@@ -1,0 +1,83 @@
+// Shared sweep harness for the figure-reproduction benches. Each data point
+// follows the paper's §7 methodology: N random scenarios (default 40), the
+// same scenarios fed to every algorithm, reporting min/avg/max.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wmcast/util/cli.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/util/table.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::bench {
+
+/// One algorithm under test: name + metric extractor. The metric receives the
+/// scenario and a per-(scenario, algorithm) rng stream.
+struct Algo {
+  std::string name;
+  std::function<double(const wlan::Scenario&, util::Rng&)> metric;
+};
+
+/// Runs every algorithm on `n_scenarios` scenarios drawn from `params` and
+/// returns one Summary per algorithm (paper's error-bar triple).
+inline std::vector<util::Summary> sweep_point(const wlan::GeneratorParams& params,
+                                              int n_scenarios, uint64_t seed,
+                                              const std::vector<Algo>& algos) {
+  std::vector<util::RunningStat> stats(algos.size());
+  util::Rng master(seed);
+  for (int s = 0; s < n_scenarios; ++s) {
+    util::Rng scenario_rng = master.fork();
+    const auto sc = wlan::generate_scenario(params, scenario_rng);
+    for (size_t a = 0; a < algos.size(); ++a) {
+      util::Rng algo_rng = master.fork();
+      stats[a].add(algos[a].metric(sc, algo_rng));
+    }
+  }
+  std::vector<util::Summary> out;
+  out.reserve(algos.size());
+  for (const auto& st : stats) out.push_back(util::summarize(st));
+  return out;
+}
+
+/// Standard bench header: prints the sweep configuration so runs are
+/// reproducible from the log alone.
+inline void print_header(const std::string& title, const util::Args& args,
+                         int n_scenarios, uint64_t seed, double session_rate) {
+  std::printf("%s\n", title.c_str());
+  std::printf("methodology: %d random scenarios per point (paper: 40), seed %llu,\n",
+              n_scenarios, static_cast<unsigned long long>(seed));
+  std::printf("  802.11a rates (Table 1), stream rate %.2f Mbps per session\n\n",
+              session_rate);
+  (void)args;
+}
+
+/// Columns "<name>_min <name>_avg <name>_max" for each algorithm.
+inline std::vector<std::string> summary_headers(const std::string& x_name,
+                                                const std::vector<Algo>& algos) {
+  std::vector<std::string> h{x_name};
+  for (const auto& a : algos) {
+    h.push_back(a.name + "_min");
+    h.push_back(a.name + "_avg");
+    h.push_back(a.name + "_max");
+  }
+  return h;
+}
+
+inline std::vector<std::string> summary_row(const std::string& x,
+                                            const std::vector<util::Summary>& sums,
+                                            int precision = 3) {
+  std::vector<std::string> row{x};
+  for (const auto& s : sums) {
+    row.push_back(util::fmt(s.min, precision));
+    row.push_back(util::fmt(s.avg, precision));
+    row.push_back(util::fmt(s.max, precision));
+  }
+  return row;
+}
+
+}  // namespace wmcast::bench

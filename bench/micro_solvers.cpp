@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): runtime scaling of every solver on
+// paper-scale inputs. The paper argues centralized algorithms "are still
+// feasible to execute" up to ~100 APs — these numbers quantify that claim
+// for our implementation.
+//
+// Run: ./micro_solvers [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/exact/exact_mla.hpp"
+#include "wmcast/ext/locks.hpp"
+#include "wmcast/setcover/greedy.hpp"
+#include "wmcast/setcover/mcg.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/setcover/scg.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace {
+
+using namespace wmcast;
+
+wlan::Scenario scenario_for(int n_aps, int n_users, uint64_t seed = 77) {
+  wlan::GeneratorParams p;
+  p.n_aps = n_aps;
+  p.n_users = n_users;
+  util::Rng rng(seed);
+  return wlan::generate_scenario(p, rng);
+}
+
+void BM_BuildSetSystem(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setcover::build_set_system(sc));
+  }
+}
+BENCHMARK(BM_BuildSetSystem)->Args({50, 100})->Args({100, 200})->Args({200, 400});
+
+void BM_CentralizedMla(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assoc::centralized_mla(sc).loads.total_load);
+  }
+}
+BENCHMARK(BM_CentralizedMla)->Args({50, 100})->Args({100, 200})->Args({200, 400});
+
+void BM_CentralizedBla(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assoc::centralized_bla(sc).loads.max_load);
+  }
+}
+BENCHMARK(BM_CentralizedBla)->Args({50, 100})->Args({100, 200})->Args({200, 400});
+
+void BM_CentralizedMnu(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)))
+                      .with_budget(0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assoc::centralized_mnu(sc).loads.satisfied_users);
+  }
+}
+BENCHMARK(BM_CentralizedMnu)->Args({50, 100})->Args({100, 200})->Args({200, 400});
+
+void BM_DistributedRound(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    util::Rng rng(1);
+    benchmark::DoNotOptimize(assoc::distributed_mla(sc, rng).loads.total_load);
+  }
+}
+BENCHMARK(BM_DistributedRound)->Args({50, 100})->Args({100, 200})->Args({200, 400});
+
+void BM_Ssa(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    util::Rng rng(1);
+    benchmark::DoNotOptimize(assoc::ssa_associate(sc, rng).loads.total_load);
+  }
+}
+BENCHMARK(BM_Ssa)->Args({100, 200})->Args({200, 400});
+
+void BM_LockCoordinated(benchmark::State& state) {
+  const auto sc = scenario_for(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    util::Rng rng(1);
+    benchmark::DoNotOptimize(
+        ext::lock_coordinated_associate(sc, rng, {}).loads.total_load);
+  }
+}
+BENCHMARK(BM_LockCoordinated)->Args({100, 200});
+
+void BM_ExactMlaSmall(benchmark::State& state) {
+  const auto sc = scenario_for(30, static_cast<int>(state.range(0)), 78);
+  const auto sys = setcover::build_set_system(sc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::exact_min_cost_cover(sys).cost);
+  }
+}
+BENCHMARK(BM_ExactMlaSmall)->Arg(20)->Arg(40);
+
+void BM_GreedySetCoverKernel(benchmark::State& state) {
+  const auto sc = scenario_for(200, 400);
+  const auto sys = setcover::build_set_system(sc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setcover::greedy_set_cover(sys).total_cost);
+  }
+}
+BENCHMARK(BM_GreedySetCoverKernel);
+
+void BM_McgGreedyKernel(benchmark::State& state) {
+  const auto sc = scenario_for(200, 400);
+  const auto sys = setcover::build_set_system(sc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setcover::mcg_greedy_uniform(sys, 0.9).chosen.size());
+  }
+}
+BENCHMARK(BM_McgGreedyKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

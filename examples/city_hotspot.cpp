@@ -1,0 +1,78 @@
+// City-scale what-if: the paper motivates association control with
+// deployments like Taipei's (2300 APs). This example runs the full pipeline
+// on a city-scale instance — 2300 APs and 5000 users over ~12 km^2 with 8
+// live streams (news, traffic, visitor info, radio) — and reports solution
+// quality and wall-clock time for each algorithm, illustrating the paper's
+// point that centralized algorithms remain feasible while distributed ones
+// scale naturally.
+//
+// Run: ./city_hotspot [--seed=200] [--aps=2300] [--users=5000]
+
+#include <cstdio>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/ext/interference.hpp"
+#include "wmcast/util/cli.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/util/table.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+using namespace wmcast;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const uint64_t seed = args.get_u64("seed", 200);
+
+  wlan::GeneratorParams city;
+  city.n_aps = args.get_int("aps", 2300);
+  city.n_users = args.get_int("users", 5000);
+  city.n_sessions = 8;
+  city.session_rate_mbps = 0.75;
+  city.area_side_m = 3464.0;  // ~12 km^2
+
+  std::printf("City hotspot: %d APs, %d users, %d streams @ %.2f Mbps, ~%.0f km^2\n",
+              city.n_aps, city.n_users, city.n_sessions, city.session_rate_mbps,
+              city.area_side_m * city.area_side_m / 1e6);
+  std::printf("(seed %llu)\n\n", static_cast<unsigned long long>(seed));
+
+  util::Rng rng(seed);
+  const auto sc = wlan::generate_scenario(city, rng);
+  std::printf("coverable users: %d / %d\n\n", sc.n_coverable_users(), sc.n_users());
+
+  util::Table t({"policy", "served", "total_airtime", "worst_ap", "solve_s"});
+  std::vector<assoc::Solution> sols;
+
+  util::Rng ssa_rng(seed + 1);
+  sols.push_back(assoc::ssa_associate(sc, ssa_rng));
+  sols.push_back(assoc::centralized_mla(sc));
+  sols.push_back(assoc::centralized_bla(sc));
+  util::Rng d_rng(seed + 2);
+  sols.push_back(assoc::distributed_mla(sc, d_rng));
+  util::Rng b_rng(seed + 3);
+  sols.push_back(assoc::distributed_bla(sc, b_rng));
+
+  for (const auto& s : sols) {
+    t.add_row({s.algorithm, std::to_string(s.loads.satisfied_users),
+               util::fmt(s.loads.total_load, 1), util::fmt(s.loads.max_load, 3),
+               util::fmt(s.solve_seconds, 2)});
+  }
+  t.print();
+
+  // Channel planning sanity check: with 12 channels (802.11a), what does the
+  // worst AP actually experience on the air?
+  const auto adj = ext::build_conflict_graph(sc, 400.0);
+  const auto ch = ext::assign_channels(adj, 12);
+  const auto eff_ssa = ext::interference_report(sc, sols[0].loads, ch, adj);
+  const auto eff_bla = ext::interference_report(sc, sols[2].loads, ch, adj);
+  std::printf("\nwith 12 channels assigned greedily (%d residual conflict edges):\n",
+              ch.conflict_edges);
+  std::printf("  worst effective busy fraction: SSA %.3f -> BLA-C %.3f (-%.1f%%)\n",
+              eff_ssa.max_effective_load, eff_bla.max_effective_load,
+              util::percent_reduction(eff_bla.max_effective_load,
+                                      eff_ssa.max_effective_load));
+  std::printf("\nTakeaway: even at city scale the centralized algorithms run in\n"
+              "seconds, and association control pays off before any MAC changes.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: builds the paper's Fig. 1 WLAN (2 APs, 5 users, 2 multicast
+// sessions) and runs every association algorithm on it — the three
+// centralized approximations, the three distributed protocols, the SSA
+// baseline, and the exact solvers — printing who associates where and the
+// resulting multicast loads.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/exact/exact_bla.hpp"
+#include "wmcast/exact/exact_mla.hpp"
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/setcover/materialize.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/util/table.hpp"
+
+namespace {
+
+wmcast::wlan::Scenario fig1(double stream_mbps) {
+  // AP a1 reaches u1..u5 at 3, 6, 4, 4, 4 Mbps; a2 reaches u3, u4, u5 at
+  // 5, 5, 3 Mbps. u1, u3 want session s1; u2, u4, u5 want s2. Budget 1.
+  const std::vector<std::vector<double>> link = {{3, 6, 4, 4, 4}, {0, 0, 5, 5, 3}};
+  return wmcast::wlan::Scenario::from_link_rates(link, {0, 1, 0, 1, 1},
+                                                 {stream_mbps, stream_mbps}, 1.0);
+}
+
+std::string assoc_string(const wmcast::wlan::Association& a) {
+  std::string s;
+  for (int u = 0; u < a.n_users(); ++u) {
+    if (u > 0) s += ' ';
+    s += "u" + std::to_string(u + 1) + "->";
+    s += a.ap_of(u) == wmcast::wlan::kNoAp ? "--" : "a" + std::to_string(a.ap_of(u) + 1);
+  }
+  return s;
+}
+
+void report(wmcast::util::Table& table, const wmcast::assoc::Solution& sol) {
+  using wmcast::util::fmt;
+  table.add_row({sol.algorithm, std::to_string(sol.loads.satisfied_users),
+                 fmt(sol.loads.total_load), fmt(sol.loads.max_load),
+                 assoc_string(sol.assoc)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace wmcast;
+
+  std::printf("wmcast quickstart: the paper's Fig. 1 WLAN\n\n");
+
+  {
+    std::printf("== MNU setting: 3 Mbps streams, budget 1.0 per AP ==\n");
+    const auto sc = fig1(3.0);
+    util::Table t({"algorithm", "served", "total", "max", "association"});
+    util::Rng rng(1);
+    report(t, assoc::ssa_associate(sc, rng));
+    assoc::CentralizedParams verbatim;
+    verbatim.mnu_augment = false;  // the paper's literal Fig. 3 greedy
+    auto literal = assoc::centralized_mnu(sc, verbatim);
+    literal.algorithm = "MNU-C(verbatim)";
+    report(t, literal);
+    report(t, assoc::centralized_mnu(sc));  // with the default augmentation
+    report(t, assoc::distributed_mnu(sc, rng));
+    // Exact optimum via branch and bound on the MCG instance.
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt = exact::exact_max_coverage_uniform(sys, sc.load_budget());
+    auto opt_sol = assoc::make_solution("MNU-OPT", sc, setcover::materialize(sc, sys, opt.chosen));
+    report(t, opt_sol);
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("== BLA / MLA setting: 1 Mbps streams ==\n");
+    const auto sc = fig1(1.0);
+    util::Table t({"algorithm", "served", "total", "max", "association"});
+    util::Rng rng(1);
+    report(t, assoc::ssa_associate(sc, rng));
+    report(t, assoc::centralized_mla(sc));
+    report(t, assoc::distributed_mla(sc, rng));
+    report(t, assoc::centralized_bla(sc));
+    report(t, assoc::distributed_bla(sc, rng));
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt_mla = exact::exact_min_cost_cover(sys);
+    report(t, assoc::make_solution("MLA-OPT", sc, setcover::materialize(sc, sys, opt_mla.chosen)));
+    const auto opt_bla = exact::exact_min_max_cover(sys);
+    report(t, assoc::make_solution("BLA-OPT", sc, setcover::materialize(sc, sys, opt_bla.chosen)));
+    t.print();
+  }
+
+  std::printf("\nExpected: the paper's verbatim centralized MNU greedy serves 3 users;\n"
+              "our default augmentation (MNU-C) recovers the 4th, matching the\n"
+              "optimum. MLA puts everyone on a1 for a total load of 7/12 (optimal);\n"
+              "distributed BLA reaches the optimal max load of 1/2 while\n"
+              "centralized BLA settles at 7/12.\n");
+  return 0;
+}

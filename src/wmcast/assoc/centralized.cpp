@@ -1,0 +1,64 @@
+#include "wmcast/assoc/centralized.hpp"
+
+#include <chrono>
+
+#include "wmcast/setcover/greedy.hpp"
+#include "wmcast/setcover/materialize.hpp"
+#include "wmcast/setcover/mcg.hpp"
+#include "wmcast/setcover/reduction.hpp"
+
+namespace wmcast::assoc {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sys = setcover::build_set_system(sc, params.multi_rate);
+  const auto greedy = setcover::greedy_set_cover(sys);
+  auto assoc = setcover::materialize(sc, sys, greedy.chosen);
+  Solution sol = make_solution("MLA-C", sc, std::move(assoc), params.multi_rate);
+  sol.solve_seconds = seconds_since(t0);
+  return sol;
+}
+
+Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& params,
+                         const setcover::ScgParams& scg_params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sys = setcover::build_set_system(sc, params.multi_rate);
+  const auto scg = setcover::scg_solve(sys, scg_params);
+  auto assoc = setcover::materialize(sc, sys, scg.chosen);
+  Solution sol = make_solution("BLA-C", sc, std::move(assoc), params.multi_rate);
+  sol.converged = scg.feasible;
+  sol.solve_seconds = seconds_since(t0);
+  return sol;
+}
+
+Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sys = setcover::build_set_system(sc, params.multi_rate);
+  const auto mcg = setcover::mcg_greedy_uniform(sys, sc.load_budget());
+  std::vector<int> chosen = mcg.chosen;
+  if (params.mnu_augment) {
+    const std::vector<double> budgets(static_cast<size_t>(sys.n_groups()),
+                                      sc.load_budget());
+    std::vector<double> group_cost(static_cast<size_t>(sys.n_groups()), 0.0);
+    for (const int j : chosen) {
+      group_cost[static_cast<size_t>(sys.set(j).group)] += sys.set(j).cost;
+    }
+    util::DynBitset covered = mcg.covered;
+    const auto added = setcover::mcg_augment(sys, budgets, group_cost, covered);
+    chosen.insert(chosen.end(), added.begin(), added.end());
+  }
+  auto assoc = setcover::materialize(sc, sys, chosen);
+  Solution sol = make_solution("MNU-C", sc, std::move(assoc), params.multi_rate);
+  sol.solve_seconds = seconds_since(t0);
+  return sol;
+}
+
+}  // namespace wmcast::assoc

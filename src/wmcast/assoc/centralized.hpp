@@ -1,0 +1,33 @@
+// The paper's centralized approximation algorithms, packaged against the
+// WLAN model: build the set system (Theorems 1/3/5), run the combinatorial
+// machine, and materialize the chosen sets back into an association.
+//
+//   centralized_mla — CostSC greedy weighted set cover,   (ln n + 1)-approx.
+//   centralized_bla — SCG via repeated MCG at guessed B*, (log_{8/7} n + 1).
+//   centralized_mnu — MCG greedy + H1/H2 split,           8-approx.
+#pragma once
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/setcover/scg.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+struct CentralizedParams {
+  /// false = all multicast at the scenario's basic rate (802.11 standard).
+  bool multi_rate = true;
+  /// MNU only: after the H1/H2 split, greedily re-add sets that still fit
+  /// their group budgets (coverage can only grow; preserves the 8-approx).
+  /// Disable to run the paper's literal algorithm.
+  bool mnu_augment = true;
+};
+
+Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params = {});
+
+Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& params = {},
+                         const setcover::ScgParams& scg = {});
+
+/// Uses the scenario's load budget as every group's budget B_i.
+Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params = {});
+
+}  // namespace wmcast::assoc

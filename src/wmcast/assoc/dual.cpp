@@ -1,0 +1,39 @@
+#include "wmcast/assoc/dual.hpp"
+
+#include <algorithm>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::assoc {
+
+DualReport evaluate_dual(const wlan::Scenario& sc, const wlan::Association& multicast,
+                         const DualParams& params) {
+  util::require(multicast.n_users() == sc.n_users(), "evaluate_dual: size mismatch");
+  util::require(params.unicast_demand_per_user >= 0.0,
+                "evaluate_dual: negative unicast demand");
+
+  const auto loads = wlan::compute_loads(sc, multicast, params.multi_rate);
+
+  DualReport rep;
+  rep.multicast_load = loads.ap_load;
+  rep.unicast_demand.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int anchor = sc.strongest_ap(u);
+    if (anchor == wlan::kNoAp) continue;
+    rep.unicast_demand[static_cast<size_t>(anchor)] += params.unicast_demand_per_user;
+    const int mc = multicast.ap_of(u);
+    if (mc != wlan::kNoAp && mc != anchor) ++rep.split_users;
+  }
+
+  rep.combined.resize(static_cast<size_t>(sc.n_aps()));
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    const double c = rep.multicast_load[static_cast<size_t>(a)] +
+                     rep.unicast_demand[static_cast<size_t>(a)];
+    rep.combined[static_cast<size_t>(a)] = c;
+    rep.max_combined = std::max(rep.max_combined, c);
+    if (c > 1.0 + 1e-9) ++rep.overloaded_aps;
+  }
+  return rep;
+}
+
+}  // namespace wmcast::assoc

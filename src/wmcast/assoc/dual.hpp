@@ -1,0 +1,46 @@
+// Dual association (paper §3.1, citing Lee/Chandrasekaran/Sinha's mesh
+// framework): when a user is both a unicast and a multicast client, it keeps
+// its strongest-signal AP for unicast and *independently* selects a
+// (possibly different) AP for the multicast stream via one of this library's
+// algorithms. The APs are assumed time-synchronized so the user can listen
+// to its multicast AP during that AP's multicast period.
+//
+// This module evaluates the combined system: per-AP airtime is the multicast
+// load (from the multicast association) plus the unicast demand of the users
+// anchored there (from signal strength). The question the paper raises —
+// does optimizing the multicast side leave enough room for everyone's
+// unicast? — becomes a per-AP feasibility and fairness report.
+#pragma once
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+struct DualParams {
+  /// Unicast airtime demanded per user (fraction of a second of airtime per
+  /// second, e.g. 0.02 = a 2%-duty video call), charged to the strongest AP.
+  double unicast_demand_per_user = 0.02;
+  bool multi_rate = true;
+};
+
+struct DualReport {
+  /// Multicast load per AP (from the multicast association).
+  std::vector<double> multicast_load;
+  /// Unicast demand anchored at each AP (strongest-signal anchoring).
+  std::vector<double> unicast_demand;
+  /// combined[a] = multicast_load[a] + unicast_demand[a].
+  std::vector<double> combined;
+  double max_combined = 0.0;
+  int overloaded_aps = 0;  // combined > 1
+  /// Users whose multicast AP differs from their unicast anchor — these are
+  /// the users dual association actually helps (single-association would
+  /// force both onto one AP).
+  int split_users = 0;
+};
+
+/// Evaluates a multicast association in the dual-association regime.
+DualReport evaluate_dual(const wlan::Scenario& sc, const wlan::Association& multicast,
+                         const DualParams& params = {});
+
+}  // namespace wmcast::assoc

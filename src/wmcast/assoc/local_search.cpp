@@ -1,0 +1,171 @@
+#include "wmcast/assoc/local_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::assoc {
+
+namespace {
+
+constexpr double kBudgetEps = 1e-9;
+constexpr double kImproveEps = 1e-12;
+
+struct State {
+  const wlan::Scenario& sc;
+  const LocalSearchParams& params;
+  std::vector<int> user_ap;
+  std::vector<std::vector<int>> members;  // per AP
+  std::vector<double> ap_load;            // per AP
+  int served = 0;
+  double total = 0.0;
+
+  explicit State(const wlan::Scenario& s, const LocalSearchParams& p)
+      : sc(s), params(p),
+        user_ap(static_cast<size_t>(s.n_users()), wlan::kNoAp),
+        members(static_cast<size_t>(s.n_aps())),
+        ap_load(static_cast<size_t>(s.n_aps()), 0.0) {}
+
+  double load_of(int a, const std::vector<int>& m) const {
+    return wlan::ap_load_for_members(sc, a, m, params.multi_rate);
+  }
+
+  void place(int u, int a) {
+    WMCAST_ASSERT(user_ap[static_cast<size_t>(u)] == wlan::kNoAp, "place: already placed");
+    if (a == wlan::kNoAp) return;
+    auto& m = members[static_cast<size_t>(a)];
+    m.push_back(u);
+    const double nl = load_of(a, m);
+    total += nl - ap_load[static_cast<size_t>(a)];
+    ap_load[static_cast<size_t>(a)] = nl;
+    user_ap[static_cast<size_t>(u)] = a;
+    ++served;
+  }
+
+  void unplace(int u) {
+    const int a = user_ap[static_cast<size_t>(u)];
+    if (a == wlan::kNoAp) return;
+    auto& m = members[static_cast<size_t>(a)];
+    m.erase(std::find(m.begin(), m.end(), u));
+    const double nl = load_of(a, m);
+    total += nl - ap_load[static_cast<size_t>(a)];
+    ap_load[static_cast<size_t>(a)] = nl;
+    user_ap[static_cast<size_t>(u)] = wlan::kNoAp;
+    --served;
+  }
+
+  double max_load() const {
+    double mx = 0.0;
+    for (const double l : ap_load) mx = std::max(mx, l);
+    return mx;
+  }
+
+  /// Lexicographic objective key; smaller is better for every objective.
+  struct Key {
+    double k1, k2, k3;
+    bool better_than(const Key& o) const {
+      if (k1 < o.k1 - kImproveEps) return true;
+      if (k1 > o.k1 + kImproveEps) return false;
+      if (k2 < o.k2 - kImproveEps) return true;
+      if (k2 > o.k2 + kImproveEps) return false;
+      return k3 < o.k3 - kImproveEps;
+    }
+  };
+
+  Key key() const {
+    switch (params.objective) {
+      case SearchObjective::kTotalLoad:
+        return {static_cast<double>(-served), total, 0.0};
+      case SearchObjective::kMaxLoad:
+        return {static_cast<double>(-served), max_load(), total};
+      case SearchObjective::kServedUsers:
+        return {static_cast<double>(-served), total, 0.0};
+    }
+    return {0.0, 0.0, 0.0};
+  }
+};
+
+}  // namespace
+
+Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
+                      const LocalSearchParams& params, LocalSearchStats* stats) {
+  util::require(start.n_users() == sc.n_users(), "local_search: association size mismatch");
+
+  State st(sc, params);
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int a = start.ap_of(u);
+    if (a == wlan::kNoAp) continue;
+    util::require(a >= 0 && a < sc.n_aps() && sc.in_range(a, u),
+                  "local_search: invalid start association");
+    st.place(u, a);
+  }
+
+  // Repair an infeasible start: peel members off over-budget APs, dropping
+  // whoever frees the most load per removal.
+  if (params.enforce_budget) {
+    for (int a = 0; a < sc.n_aps(); ++a) {
+      while (st.ap_load[static_cast<size_t>(a)] > sc.load_budget() + kBudgetEps) {
+        const auto m = st.members[static_cast<size_t>(a)];  // copy: we mutate inside
+        WMCAST_ASSERT(!m.empty(), "local_search: over budget with no members");
+        int best_u = m.front();
+        double best_drop = -1.0;
+        for (const int u : m) {
+          auto rest = m;
+          rest.erase(std::find(rest.begin(), rest.end(), u));
+          const double drop = st.ap_load[static_cast<size_t>(a)] - st.load_of(a, rest);
+          if (drop > best_drop) {
+            best_drop = drop;
+            best_u = u;
+          }
+        }
+        st.unplace(best_u);
+      }
+    }
+  }
+
+  LocalSearchStats local;
+  bool improved = true;
+  while (improved && local.moves < params.max_moves) {
+    improved = false;
+    for (int u = 0; u < sc.n_users() && local.moves < params.max_moves; ++u) {
+      const int cur = st.user_ap[static_cast<size_t>(u)];
+      const State::Key before = st.key();
+
+      int best_target = cur;
+      State::Key best_key = before;
+      for (const int a : sc.aps_of_user(u)) {
+        if (a == cur) continue;
+        // Try the move.
+        st.unplace(u);
+        st.place(u, a);
+        const bool feasible = !params.enforce_budget ||
+                              st.ap_load[static_cast<size_t>(a)] <= sc.load_budget() + kBudgetEps;
+        const State::Key k = st.key();
+        // Roll back.
+        st.unplace(u);
+        if (cur != wlan::kNoAp) st.place(u, cur);
+        if (feasible && k.better_than(best_key)) {
+          best_key = k;
+          best_target = a;
+        }
+      }
+      if (best_target != cur) {
+        st.unplace(u);
+        st.place(u, best_target);
+        ++local.moves;
+        improved = true;
+      }
+    }
+  }
+  local.reached_local_optimum = !improved;
+
+  Solution sol = make_solution("local-search", sc,
+                               wlan::Association{std::move(st.user_ap)},
+                               params.multi_rate);
+  sol.converged = local.reached_local_optimum;
+  if (stats != nullptr) *stats = local;
+  return sol;
+}
+
+}  // namespace wmcast::assoc

@@ -1,0 +1,44 @@
+// Local-search post-optimizer: hill climbing over single-user reassignments
+// (including serving an unserved user or parking a served one) against one
+// of the paper's three objectives. Useful
+//   * as a polish pass after any algorithm (never worsens the objective),
+//   * as a strong heuristic reference on instances too big for exact B&B.
+//
+// This is not from the paper; DESIGN.md lists it as an ablation tool. The
+// MNU objective is lexicographic (served users, then total load) so polishing
+// never sacrifices a served user for airtime.
+#pragma once
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+enum class SearchObjective {
+  kTotalLoad,      // MLA: minimize sum of AP loads
+  kMaxLoad,        // BLA: minimize the maximum AP load (ties: total load)
+  kServedUsers,    // MNU: maximize served users (ties: minimize total load)
+};
+
+struct LocalSearchParams {
+  SearchObjective objective = SearchObjective::kTotalLoad;
+  /// Enforce the scenario's per-AP budget on every accepted move.
+  bool enforce_budget = true;
+  bool multi_rate = true;
+  int max_moves = 100000;
+};
+
+struct LocalSearchStats {
+  int moves = 0;
+  bool reached_local_optimum = false;
+};
+
+/// Improves `start` by steepest single-user moves until a local optimum.
+/// The returned solution is feasible whenever `start` is (moves that would
+/// violate a budget are never accepted; an infeasible start is repaired by
+/// unserving users on over-budget APs first).
+Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
+                      const LocalSearchParams& params = {},
+                      LocalSearchStats* stats = nullptr);
+
+}  // namespace wmcast::assoc

@@ -1,0 +1,31 @@
+// Name-based solver dispatch: one place mapping algorithm names to runners,
+// shared by the CLI, scripts, and user code that selects algorithms from
+// configuration. Names match the CLI's --algorithm values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+struct SolveOptions {
+  bool multi_rate = true;
+};
+
+/// Names accepted by solve_by_name, in presentation order.
+const std::vector<std::string>& algorithm_names();
+
+/// True when `name` is a registered algorithm.
+bool is_algorithm(const std::string& name);
+
+/// Runs the named algorithm. Throws std::invalid_argument for unknown names
+/// or when the algorithm's preconditions fail (e.g. the single-session
+/// specializations on multi-session scenarios).
+Solution solve_by_name(const std::string& name, const wlan::Scenario& sc,
+                       util::Rng& rng, const SolveOptions& options = {});
+
+}  // namespace wmcast::assoc

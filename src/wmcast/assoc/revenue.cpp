@@ -1,0 +1,29 @@
+#include "wmcast/assoc/revenue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::assoc {
+
+RevenueReport compute_revenue(const wlan::Scenario& sc, const wlan::LoadReport& loads,
+                              const RevenueModel& model) {
+  util::require(static_cast<int>(loads.ap_load.size()) == sc.n_aps(),
+                "compute_revenue: load report does not match scenario");
+  util::require(model.unicast_concavity > 0.0, "compute_revenue: concavity must be positive");
+
+  RevenueReport rep;
+  rep.pay_per_view = model.ppv_fee * loads.satisfied_users;
+
+  const double k = model.unicast_concavity;
+  const double norm = std::log1p(k);
+  for (const double load : loads.ap_load) {
+    const double residual = std::clamp(1.0 - load, 0.0, 1.0);
+    rep.convex_unicast += std::log1p(k * residual) / norm;
+    rep.per_byte += model.per_byte_price * residual;
+  }
+  return rep;
+}
+
+}  // namespace wmcast::assoc

@@ -1,0 +1,42 @@
+// The paper's three revenue models (§1, §3.2), made computable. Each of the
+// three objectives is motivated by one model:
+//
+//   * MNU <-> pay-per-view: multicast is charged by viewing time, so revenue
+//     is proportional to the number of served multicast users.
+//   * BLA <-> convex unicast revenue: unicast revenue has diminishing
+//     returns in bandwidth ("convex" in the paper's phrasing, i.e. concave
+//     increasing); with users spread uniformly across APs, total revenue
+//     sum_a g(residual airtime of a) is maximized by balanced loads (the
+//     Kelly-style argument the paper cites).
+//   * MLA <-> flat per-byte unicast pricing: revenue is linear in total
+//     residual airtime, i.e. maximized by minimizing total multicast load.
+//
+// compute_revenue evaluates all three models for any association, so the
+// revenue_models bench can show each algorithm winning under "its" model.
+#pragma once
+
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::assoc {
+
+struct RevenueModel {
+  /// Pay-per-view fee per served multicast user (per unit time).
+  double ppv_fee = 1.0;
+  /// Concavity of the unicast revenue curve g(x) = log(1 + k*x) / log(1 + k),
+  /// where x is an AP's residual airtime fraction; higher k = stronger
+  /// diminishing returns. g(0) = 0, g(1) = 1.
+  double unicast_concavity = 8.0;
+  /// Price per unit of residual airtime under flat per-byte pricing.
+  double per_byte_price = 1.0;
+};
+
+struct RevenueReport {
+  double pay_per_view = 0.0;    // ppv_fee * served users
+  double convex_unicast = 0.0;  // sum_a g(1 - load_a)
+  double per_byte = 0.0;        // price * sum_a (1 - load_a)
+};
+
+RevenueReport compute_revenue(const wlan::Scenario& sc, const wlan::LoadReport& loads,
+                              const RevenueModel& model = {});
+
+}  // namespace wmcast::assoc

@@ -1,0 +1,34 @@
+// The polynomial special cases the paper identifies for one multicast
+// session:
+//
+//  * §4: "MNU is trivially in P, if there is only one multicast session...
+//    all APs can choose to transmit at the lowest rate that does not violate
+//    the maximum multicast period." Every AP independently transmits at the
+//    slowest rate its budget allows, which maximizes its coverage; a user is
+//    served iff some AP covers it.
+//
+//  * §5: "BLA is a P problem if there is only one multicast session... each
+//    transmission rate can be checked in sequence for feasibility of being
+//    the maximum; for a given value, all APs are assigned the same rate.
+//    Among all the transmission rates the highest rate (when assigned to all
+//    APs) that provides service to all users is the solution."
+//
+// Both are exact (tested against the B&B solvers on single-session
+// instances).
+#pragma once
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+/// Exact MNU for single-session scenarios. Throws if sc.n_sessions() != 1.
+Solution single_session_mnu(const wlan::Scenario& sc);
+
+/// Exact BLA for single-session scenarios (the paper's same-rate-everywhere
+/// argument). Throws if sc.n_sessions() != 1. When even the basic rate
+/// cannot serve every coverable user within load 1, serves as many as the
+/// best uniform rate allows (converged=false flags the infeasibility).
+Solution single_session_bla(const wlan::Scenario& sc);
+
+}  // namespace wmcast::assoc

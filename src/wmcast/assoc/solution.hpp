@@ -1,0 +1,25 @@
+// The result type every association algorithm returns: the association, the
+// induced load report, and bookkeeping (name, rounds, convergence, runtime).
+#pragma once
+
+#include <string>
+
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::assoc {
+
+struct Solution {
+  std::string algorithm;
+  wlan::Association assoc;
+  wlan::LoadReport loads;
+  int rounds = 0;         // distributed algorithms: decision rounds executed
+  bool converged = true;  // distributed algorithms: reached a fixed point
+  double solve_seconds = 0.0;
+};
+
+/// Builds a Solution by evaluating `assoc` on `sc` (multi_rate selects the
+/// transmission-rate model, see wlan::compute_loads).
+Solution make_solution(std::string algorithm, const wlan::Scenario& sc,
+                       wlan::Association assoc, bool multi_rate = true);
+
+}  // namespace wmcast::assoc

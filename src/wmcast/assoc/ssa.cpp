@@ -1,0 +1,41 @@
+#include "wmcast/assoc/ssa.hpp"
+
+#include <chrono>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::assoc {
+
+namespace {
+constexpr double kBudgetEps = 1e-9;
+}
+
+Solution ssa_associate(const wlan::Scenario& sc, util::Rng& rng, const SsaParams& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<int> order = util::iota_permutation(sc.n_users());
+  rng.shuffle(order);
+
+  auto assoc = wlan::Association::none(sc.n_users());
+  std::vector<std::vector<int>> members(static_cast<size_t>(sc.n_aps()));
+
+  for (const int u : order) {
+    const int a = sc.strongest_ap(u);
+    if (a == wlan::kNoAp) continue;
+    auto& m = members[static_cast<size_t>(a)];
+    m.push_back(u);
+    if (params.enforce_budget &&
+        wlan::ap_load_for_members(sc, a, m, params.multi_rate) >
+            sc.load_budget() + kBudgetEps) {
+      m.pop_back();  // rejected: the strongest AP is the only one SSA tries
+      continue;
+    }
+    assoc.user_ap[static_cast<size_t>(u)] = a;
+  }
+
+  Solution sol = make_solution("SSA", sc, std::move(assoc), params.multi_rate);
+  sol.solve_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return sol;
+}
+
+}  // namespace wmcast::assoc

@@ -1,0 +1,21 @@
+// SSA — the strongest-signal association baseline the paper compares
+// against: every user associates with the AP whose signal is strongest,
+// regardless of load. Users arrive in random order; with budget enforcement
+// a user whose strongest AP cannot absorb it goes unserved (the MNU setting).
+#pragma once
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+struct SsaParams {
+  bool enforce_budget = true;
+  bool multi_rate = true;
+};
+
+Solution ssa_associate(const wlan::Scenario& sc, util::Rng& rng,
+                       const SsaParams& params = {});
+
+}  // namespace wmcast::assoc

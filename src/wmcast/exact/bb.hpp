@@ -1,0 +1,58 @@
+// Shared scaffolding for the exact branch-and-bound solvers that stand in for
+// the paper's ILP runs (Fig. 12). Each solver is exact when it finishes within
+// the limits; otherwise it reports the best incumbent and a truncated status.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wmcast::exact {
+
+struct BbLimits {
+  int64_t max_nodes = 50'000'000;
+  double time_limit_s = 10.0;
+};
+
+enum class BbStatus {
+  kOptimal,    // search space exhausted: incumbent is optimal
+  kNodeLimit,  // stopped early: incumbent is a valid but unproven solution
+  kTimeLimit,
+};
+
+/// Node/time accounting used by every solver. Time is only sampled every 1024
+/// nodes to keep the hot path cheap.
+class BbClock {
+ public:
+  explicit BbClock(const BbLimits& limits)
+      : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+  /// Registers one node; returns false when a limit was hit.
+  bool tick() {
+    ++nodes_;
+    if (nodes_ >= limits_.max_nodes) {
+      status_ = BbStatus::kNodeLimit;
+      return false;
+    }
+    if ((nodes_ & 1023) == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      if (elapsed.count() >= limits_.time_limit_s) {
+        status_ = BbStatus::kTimeLimit;
+        return false;
+      }
+    }
+    return status_ == BbStatus::kOptimal;
+  }
+
+  bool exhausted() const { return status_ != BbStatus::kOptimal; }
+  BbStatus status() const { return status_; }
+  int64_t nodes() const { return nodes_; }
+
+ private:
+  BbLimits limits_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t nodes_ = 0;
+  BbStatus status_ = BbStatus::kOptimal;
+};
+
+}  // namespace wmcast::exact

@@ -1,0 +1,52 @@
+#include "wmcast/exact/dual_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::exact {
+
+DualBound set_cover_dual_ascent(const setcover::SetSystem& sys) {
+  DualBound res;
+  res.price.assign(static_cast<size_t>(sys.n_elements()), 0.0);
+
+  std::vector<std::vector<int>> sets_of(static_cast<size_t>(sys.n_elements()));
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    sys.set(j).members.for_each(
+        [&](int e) { sets_of[static_cast<size_t>(e)].push_back(j); });
+  }
+  std::vector<double> slack(static_cast<size_t>(sys.n_sets()));
+  for (int j = 0; j < sys.n_sets(); ++j) slack[static_cast<size_t>(j)] = sys.set(j).cost;
+
+  // Element order: fewest containing sets first (scarce elements first grabs
+  // slack where competition is lowest — the classic ascent heuristic).
+  std::vector<int> elements = sys.coverable().to_indices();
+  std::sort(elements.begin(), elements.end(), [&](int a, int b) {
+    const size_t ka = sets_of[static_cast<size_t>(a)].size();
+    const size_t kb = sets_of[static_cast<size_t>(b)].size();
+    return ka != kb ? ka < kb : a < b;
+  });
+
+  for (const int e : elements) {
+    double raise = std::numeric_limits<double>::infinity();
+    for (const int j : sets_of[static_cast<size_t>(e)]) {
+      raise = std::min(raise, slack[static_cast<size_t>(j)]);
+    }
+    if (raise <= 0.0) continue;  // some containing set is already tight
+    res.price[static_cast<size_t>(e)] = raise;
+    res.lower_bound += raise;
+    for (const int j : sets_of[static_cast<size_t>(e)]) {
+      slack[static_cast<size_t>(j)] -= raise;
+    }
+  }
+
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    if (slack[static_cast<size_t>(j)] <= 1e-12) res.tight_sets.push_back(j);
+  }
+  // Dual ascent terminates with every coverable element contained in some
+  // tight set (otherwise its price could still rise), so tight_sets covers.
+  return res;
+}
+
+}  // namespace wmcast::exact

@@ -1,0 +1,22 @@
+// Exact min-max group cover (optimal BLA): cover every coverable element
+// while minimizing the maximum summed set cost within any group (AP).
+#pragma once
+
+#include <vector>
+
+#include "wmcast/exact/bb.hpp"
+#include "wmcast/setcover/set_system.hpp"
+
+namespace wmcast::exact {
+
+struct ExactMinMaxResult {
+  std::vector<int> chosen;
+  double max_group_cost = 0.0;
+  BbStatus status = BbStatus::kOptimal;
+  int64_t nodes = 0;
+};
+
+ExactMinMaxResult exact_min_max_cover(const setcover::SetSystem& sys,
+                                      const BbLimits& limits = {});
+
+}  // namespace wmcast::exact

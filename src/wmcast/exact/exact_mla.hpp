@@ -1,0 +1,26 @@
+// Exact minimum-cost set cover (optimal MLA). Branch and bound over the
+// element with the fewest remaining covering sets, with an additive
+// cost-share lower bound and dominated-set elimination.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/exact/bb.hpp"
+#include "wmcast/setcover/set_system.hpp"
+
+namespace wmcast::exact {
+
+struct ExactCoverResult {
+  std::vector<int> chosen;
+  double cost = 0.0;
+  BbStatus status = BbStatus::kOptimal;
+  int64_t nodes = 0;
+};
+
+/// Minimum total cost family of sets covering every coverable element.
+/// (Uncoverable elements are ignored, matching the WLAN semantics where a
+/// user out of everyone's range cannot be served by any algorithm.)
+ExactCoverResult exact_min_cost_cover(const setcover::SetSystem& sys,
+                                      const BbLimits& limits = {});
+
+}  // namespace wmcast::exact

@@ -1,0 +1,30 @@
+// Exact budgeted maximum coverage with group budgets (optimal MNU): choose
+// sets maximizing the number of covered elements subject to each group's
+// summed cost staying within its budget.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wmcast/exact/bb.hpp"
+#include "wmcast/setcover/set_system.hpp"
+
+namespace wmcast::exact {
+
+struct ExactMnuResult {
+  std::vector<int> chosen;
+  int covered = 0;
+  BbStatus status = BbStatus::kOptimal;
+  int64_t nodes = 0;
+};
+
+/// One budget per group. Sets whose own cost exceeds their group budget can
+/// never be picked and are ignored.
+ExactMnuResult exact_max_coverage(const setcover::SetSystem& sys,
+                                  std::span<const double> group_budgets,
+                                  const BbLimits& limits = {});
+
+ExactMnuResult exact_max_coverage_uniform(const setcover::SetSystem& sys, double budget,
+                                          const BbLimits& limits = {});
+
+}  // namespace wmcast::exact

@@ -1,0 +1,97 @@
+#include "wmcast/exact/lp_writer.hpp"
+
+#include <sstream>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::exact {
+
+namespace {
+
+void emit_cover_constraints(const setcover::SetSystem& sys, std::ostringstream& out) {
+  std::vector<std::vector<int>> sets_of(static_cast<size_t>(sys.n_elements()));
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    sys.set(j).members.for_each(
+        [&](int e) { sets_of[static_cast<size_t>(e)].push_back(j); });
+  }
+  sys.coverable().for_each([&](int e) {
+    out << " cover_u" << e << ":";
+    for (const int j : sets_of[static_cast<size_t>(e)]) out << " + x" << j;
+    out << " >= 1\n";
+  });
+}
+
+void emit_binaries(int n_sets, std::ostringstream& out, const char* extra = nullptr) {
+  out << "Binary\n";
+  for (int j = 0; j < n_sets; ++j) out << " x" << j << "\n";
+  if (extra != nullptr) out << extra;
+}
+
+}  // namespace
+
+std::string write_mla_lp(const setcover::SetSystem& sys) {
+  std::ostringstream out;
+  out << "\\ MLA: minimum total multicast load (weighted set cover)\n";
+  out << "Minimize\n obj:";
+  for (int j = 0; j < sys.n_sets(); ++j) out << " + " << sys.set(j).cost << " x" << j;
+  out << "\nSubject To\n";
+  emit_cover_constraints(sys, out);
+  emit_binaries(sys.n_sets(), out);
+  out << "End\n";
+  return out.str();
+}
+
+std::string write_bla_lp(const setcover::SetSystem& sys) {
+  std::ostringstream out;
+  out << "\\ BLA: minimize the maximum per-AP multicast load\n";
+  out << "Minimize\n obj: z\n";
+  out << "Subject To\n";
+  emit_cover_constraints(sys, out);
+  for (int g = 0; g < sys.n_groups(); ++g) {
+    if (sys.group_sets(g).empty()) continue;
+    out << " load_a" << g << ":";
+    for (const int j : sys.group_sets(g)) out << " + " << sys.set(j).cost << " x" << j;
+    out << " - z <= 0\n";
+  }
+  emit_binaries(sys.n_sets(), out);
+  out << "End\n";
+  return out.str();
+}
+
+std::string write_mnu_lp(const setcover::SetSystem& sys,
+                         std::span<const double> group_budgets) {
+  util::require(static_cast<int>(group_budgets.size()) == sys.n_groups(),
+                "write_mnu_lp: one budget per group required");
+  std::ostringstream out;
+  out << "\\ MNU: maximize satisfied multicast users under per-AP budgets\n";
+  out << "Maximize\n obj:";
+  sys.coverable().for_each([&](int e) { out << " + y" << e; });
+  out << "\nSubject To\n";
+
+  std::vector<std::vector<int>> sets_of(static_cast<size_t>(sys.n_elements()));
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    sys.set(j).members.for_each(
+        [&](int e) { sets_of[static_cast<size_t>(e)].push_back(j); });
+  }
+  sys.coverable().for_each([&](int e) {
+    out << " served_u" << e << ": y" << e;
+    for (const int j : sets_of[static_cast<size_t>(e)]) out << " - x" << j;
+    out << " <= 0\n";
+  });
+  for (int g = 0; g < sys.n_groups(); ++g) {
+    if (sys.group_sets(g).empty()) continue;
+    out << " budget_a" << g << ":";
+    for (const int j : sys.group_sets(g)) out << " + " << sys.set(j).cost << " x" << j;
+    out << " <= " << group_budgets[static_cast<size_t>(g)] << "\n";
+  }
+
+  std::ostringstream extra;
+  sys.coverable().for_each([&](int e) { extra << " y" << e << "\n"; });
+  out << "Binary\n";
+  for (int j = 0; j < sys.n_sets(); ++j) out << " x" << j << "\n";
+  out << extra.str();
+  out << "End\n";
+  return out.str();
+}
+
+}  // namespace wmcast::exact

@@ -1,0 +1,25 @@
+// CPLEX-LP-format emitters for the three ILPs (the formulations the paper
+// solved to produce Fig. 12). Useful for validating our exact B&B solvers
+// against an external MILP solver, and as executable documentation of the
+// optimization models.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "wmcast/setcover/set_system.hpp"
+
+namespace wmcast::exact {
+
+/// min sum_j c_j x_j  s.t.  sum_{j: e in S_j} x_j >= 1 for all coverable e.
+std::string write_mla_lp(const setcover::SetSystem& sys);
+
+/// min z  s.t. cover constraints and sum_{j in G_i} c_j x_j <= z for all i.
+std::string write_bla_lp(const setcover::SetSystem& sys);
+
+/// max sum_e y_e  s.t.  y_e <= sum_{j: e in S_j} x_j,
+///                      sum_{j in G_i} c_j x_j <= B_i.
+std::string write_mnu_lp(const setcover::SetSystem& sys,
+                         std::span<const double> group_budgets);
+
+}  // namespace wmcast::exact

@@ -1,0 +1,93 @@
+#include "wmcast/ext/interference.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ext {
+
+std::vector<std::vector<int>> build_conflict_graph(const wlan::Scenario& sc,
+                                                   double interference_range_m) {
+  util::require(sc.has_geometry(), "build_conflict_graph: needs a geometric scenario");
+  util::require(interference_range_m > 0.0, "build_conflict_graph: range must be positive");
+  const auto& pos = sc.ap_positions();
+  std::vector<std::vector<int>> adj(static_cast<size_t>(sc.n_aps()));
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    for (int b = a + 1; b < sc.n_aps(); ++b) {
+      if (wlan::distance(pos[static_cast<size_t>(a)], pos[static_cast<size_t>(b)]) <=
+          interference_range_m) {
+        adj[static_cast<size_t>(a)].push_back(b);
+        adj[static_cast<size_t>(b)].push_back(a);
+      }
+    }
+  }
+  return adj;
+}
+
+ChannelAssignment assign_channels(const std::vector<std::vector<int>>& conflicts,
+                                  int n_channels) {
+  util::require(n_channels > 0, "assign_channels: need at least one channel");
+  const int n = static_cast<int>(conflicts.size());
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const size_t da = conflicts[static_cast<size_t>(a)].size();
+    const size_t db = conflicts[static_cast<size_t>(b)].size();
+    return da != db ? da > db : a < b;
+  });
+
+  ChannelAssignment res;
+  res.channel_of_ap.assign(static_cast<size_t>(n), -1);
+  std::vector<int> neighbor_count(static_cast<size_t>(n_channels));
+  for (const int a : order) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (const int b : conflicts[static_cast<size_t>(a)]) {
+      const int c = res.channel_of_ap[static_cast<size_t>(b)];
+      if (c >= 0) ++neighbor_count[static_cast<size_t>(c)];
+    }
+    const auto best = std::min_element(neighbor_count.begin(), neighbor_count.end());
+    res.channel_of_ap[static_cast<size_t>(a)] =
+        static_cast<int>(best - neighbor_count.begin());
+  }
+
+  for (int a = 0; a < n; ++a) {
+    for (const int b : conflicts[static_cast<size_t>(a)]) {
+      if (b > a && res.channel_of_ap[static_cast<size_t>(a)] ==
+                       res.channel_of_ap[static_cast<size_t>(b)]) {
+        ++res.conflict_edges;
+      }
+    }
+  }
+  return res;
+}
+
+InterferenceReport interference_report(const wlan::Scenario& sc,
+                                       const wlan::LoadReport& loads,
+                                       const ChannelAssignment& channels,
+                                       const std::vector<std::vector<int>>& conflicts) {
+  util::require(static_cast<int>(channels.channel_of_ap.size()) == sc.n_aps(),
+                "interference_report: channel assignment size mismatch");
+  util::require(static_cast<int>(conflicts.size()) == sc.n_aps(),
+                "interference_report: conflict graph size mismatch");
+
+  InterferenceReport rep;
+  rep.effective_load.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    double eff = loads.ap_load[static_cast<size_t>(a)];
+    for (const int b : conflicts[static_cast<size_t>(a)]) {
+      if (channels.channel_of_ap[static_cast<size_t>(a)] ==
+          channels.channel_of_ap[static_cast<size_t>(b)]) {
+        eff += loads.ap_load[static_cast<size_t>(b)];
+      }
+    }
+    rep.effective_load[static_cast<size_t>(a)] = eff;
+    rep.max_effective_load = std::max(rep.max_effective_load, eff);
+    rep.mean_effective_load += eff;
+  }
+  if (sc.n_aps() > 0) rep.mean_effective_load /= sc.n_aps();
+  return rep;
+}
+
+}  // namespace wmcast::ext

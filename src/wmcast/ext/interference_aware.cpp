@@ -1,0 +1,173 @@
+#include "wmcast/ext/interference_aware.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ext {
+
+namespace {
+
+constexpr double kBudgetEps = 1e-9;
+constexpr double kImproveEps = 1e-12;
+
+bool vector_less(const std::vector<double>& a, const std::vector<double>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i] - kImproveEps) return true;
+    if (a[i] > b[i] + kImproveEps) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+assoc::Solution interference_aware_associate(
+    const wlan::Scenario& sc, const std::vector<std::vector<int>>& conflicts,
+    util::Rng& rng, const InterferenceAwareParams& params) {
+  util::require(static_cast<int>(conflicts.size()) == sc.n_aps(),
+                "interference_aware_associate: conflict list per AP required");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<int> order = params.order;
+  if (order.empty()) {
+    order = util::iota_permutation(sc.n_users());
+    rng.shuffle(order);
+  }
+  util::require(static_cast<int>(order.size()) == sc.n_users(),
+                "interference_aware_associate: order must list every user");
+
+  // Scalar objective weight: an AP's raw load counts once for itself and
+  // once per co-channel neighbor it interferes with (sum of effective loads
+  // == sum of raw * (1 + conflict degree)).
+  std::vector<double> weight(static_cast<size_t>(sc.n_aps()));
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    weight[static_cast<size_t>(a)] = 1.0 + static_cast<double>(conflicts[static_cast<size_t>(a)].size());
+  }
+
+  // Evaluation set per user: its neighbors plus their conflict neighborhoods
+  // (every AP whose effective load a move by this user can change).
+  std::vector<std::vector<int>> eval_set(static_cast<size_t>(sc.n_users()));
+  for (int u = 0; u < sc.n_users(); ++u) {
+    auto& set = eval_set[static_cast<size_t>(u)];
+    set = sc.aps_of_user(u);
+    for (const int a : sc.aps_of_user(u)) {
+      for (const int b : conflicts[static_cast<size_t>(a)]) set.push_back(b);
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+
+  std::vector<int> user_ap(static_cast<size_t>(sc.n_users()), wlan::kNoAp);
+  std::vector<std::vector<int>> members(static_cast<size_t>(sc.n_aps()));
+  std::vector<double> raw(static_cast<size_t>(sc.n_aps()), 0.0);
+
+  auto recompute = [&](int a) {
+    raw[static_cast<size_t>(a)] = wlan::ap_load_for_members(
+        sc, a, members[static_cast<size_t>(a)], params.multi_rate);
+  };
+  auto effective = [&](int a) {
+    double e = raw[static_cast<size_t>(a)];
+    for (const int b : conflicts[static_cast<size_t>(a)]) e += raw[static_cast<size_t>(b)];
+    return e;
+  };
+
+  auto move_user = [&](int u, int to) {
+    const int from = user_ap[static_cast<size_t>(u)];
+    if (from == to) return;
+    if (from != wlan::kNoAp) {
+      auto& m = members[static_cast<size_t>(from)];
+      m.erase(std::find(m.begin(), m.end(), u));
+      recompute(from);
+    }
+    if (to != wlan::kNoAp) {
+      members[static_cast<size_t>(to)].push_back(u);
+      recompute(to);
+    }
+    user_ap[static_cast<size_t>(u)] = to;
+  };
+
+  // Scores a tentative placement of u on `a` (or staying). Raw loads change
+  // only on the user's neighbor APs, so evaluating eval_set[u] captures
+  // every effective-load change.
+  auto scalar_score = [&](int u) {
+    double s = 0.0;
+    for (const int b : sc.aps_of_user(u)) s += raw[static_cast<size_t>(b)] * weight[static_cast<size_t>(b)];
+    return s;
+  };
+  auto vector_score = [&](int u) {
+    std::vector<double> v;
+    v.reserve(eval_set[static_cast<size_t>(u)].size());
+    for (const int b : eval_set[static_cast<size_t>(u)]) v.push_back(effective(b));
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+  };
+
+  int rounds = 0;
+  bool converged = false;
+  for (int round = 0; round < params.max_rounds && !converged; ++round) {
+    ++rounds;
+    bool changed = false;
+    for (const int u : order) {
+      const int cur = user_ap[static_cast<size_t>(u)];
+
+      // Evaluate every candidate by trial move + rollback (cheap: two AP
+      // load recomputations per trial).
+      int best = cur;
+      double best_scalar = 0.0;
+      std::vector<double> best_vector;
+      bool have_baseline = false;
+      auto consider = [&](int a) {
+        if (a != wlan::kNoAp && params.enforce_budget) {
+          // Tentatively check the target's budget with u added.
+          auto& m = members[static_cast<size_t>(a)];
+          m.push_back(u);
+          const double load = wlan::ap_load_for_members(sc, a, m, params.multi_rate);
+          m.pop_back();
+          if (a != cur && load > sc.load_budget() + kBudgetEps) return;
+        }
+        move_user(u, a);
+        if (params.objective == assoc::Objective::kTotalLoad) {
+          const double s = scalar_score(u);
+          if (!have_baseline || s < best_scalar - kImproveEps) {
+            best_scalar = s;
+            best = a;
+            have_baseline = true;
+          }
+        } else {
+          auto v = vector_score(u);
+          if (!have_baseline || vector_less(v, best_vector)) {
+            best_vector = std::move(v);
+            best = a;
+            have_baseline = true;
+          }
+        }
+        move_user(u, cur);  // rollback
+      };
+
+      if (cur != wlan::kNoAp) consider(cur);  // baseline: stay
+      for (const int a : sc.aps_of_user(u)) {
+        if (a != cur) consider(a);
+      }
+      // For unassociated users any feasible AP beats staying out (have_
+      // baseline only becomes true once some candidate was admissible).
+      if (have_baseline && best != cur) {
+        move_user(u, best);
+        changed = true;
+      }
+    }
+    if (!changed) converged = true;
+  }
+
+  assoc::Solution sol = assoc::make_solution(
+      params.objective == assoc::Objective::kLoadVector ? "BLA-D-intf" : "MLA-D-intf",
+      sc, wlan::Association{std::move(user_ap)}, params.multi_rate);
+  sol.rounds = rounds;
+  sol.converged = converged;
+  sol.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return sol;
+}
+
+}  // namespace wmcast::ext

@@ -1,0 +1,37 @@
+// Interference-aware distributed association (paper §8, "Explicit
+// Interference Modeling": "the approximation algorithms need to be modified
+// to explicitly account for interference from neighboring users and APs").
+//
+// Given a channel assignment, an AP's *effective* busy fraction is its own
+// multicast load plus the load of same-channel APs within interference
+// range. This engine runs the distributed round protocol with the decision
+// rule scoring effective loads instead of raw loads: a user placing a
+// stream on AP a now also accounts for the airtime that stream steals from
+// a's co-channel neighbors. Sequential rounds still converge: a move only
+// changes the loads of the user's old and new APs, and both (plus their
+// conflict neighborhoods) are inside the evaluated set, so every accepted
+// move strictly decreases the global effective-load potential.
+#pragma once
+
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/ext/interference.hpp"
+#include "wmcast/util/rng.hpp"
+
+namespace wmcast::ext {
+
+struct InterferenceAwareParams {
+  assoc::Objective objective = assoc::Objective::kTotalLoad;
+  int max_rounds = 200;
+  bool enforce_budget = true;
+  bool multi_rate = true;
+  std::vector<int> order;  // empty = shuffled
+};
+
+/// Runs the interference-aware sequential round engine. `conflicts` is the
+/// same-channel conflict adjacency (see sim::same_channel_conflicts).
+assoc::Solution interference_aware_associate(
+    const wlan::Scenario& sc, const std::vector<std::vector<int>>& conflicts,
+    util::Rng& rng, const InterferenceAwareParams& params = {});
+
+}  // namespace wmcast::ext

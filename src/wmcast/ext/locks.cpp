@@ -1,0 +1,114 @@
+#include "wmcast/ext/locks.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ext {
+
+assoc::Solution lock_coordinated_associate(const wlan::Scenario& sc, util::Rng& rng,
+                                           const assoc::DistributedParams& params,
+                                           LockStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<int> order = params.order;
+  if (order.empty()) {
+    order = util::iota_permutation(sc.n_users());
+    rng.shuffle(order);
+  }
+  util::require(static_cast<int>(order.size()) == sc.n_users(),
+                "lock_coordinated_associate: order must list every user");
+
+  assoc::PolicyParams policy;
+  policy.objective = params.objective;
+  policy.enforce_budget = params.enforce_budget;
+  policy.multi_rate = params.multi_rate;
+
+  std::vector<int> user_ap(static_cast<size_t>(sc.n_users()), wlan::kNoAp);
+  std::vector<std::vector<int>> members(static_cast<size_t>(sc.n_aps()));
+  if (!params.initial.user_ap.empty()) {
+    util::require(params.initial.n_users() == sc.n_users(),
+                  "lock_coordinated_associate: initial association size mismatch");
+    for (int u = 0; u < sc.n_users(); ++u) {
+      const int a = params.initial.ap_of(u);
+      if (a == wlan::kNoAp) continue;
+      util::require(a >= 0 && a < sc.n_aps() && sc.in_range(a, u),
+                    "lock_coordinated_associate: invalid initial association");
+      user_ap[static_cast<size_t>(u)] = a;
+      members[static_cast<size_t>(a)].push_back(u);
+    }
+  }
+
+  LockStats local_stats;
+  bool converged = false;
+
+  std::vector<int> lock_holder(static_cast<size_t>(sc.n_aps()));
+  for (int round = 0; round < params.max_rounds; ++round) {
+    ++local_stats.rounds;
+
+    // Phase 1: everyone computes a tentative decision on the same snapshot.
+    std::vector<int> decision(static_cast<size_t>(sc.n_users()));
+    std::vector<bool> wants_move(static_cast<size_t>(sc.n_users()), false);
+    for (const int u : order) {
+      decision[static_cast<size_t>(u)] = assoc::choose_best_ap(
+          sc, u, members, user_ap[static_cast<size_t>(u)], policy);
+      wants_move[static_cast<size_t>(u)] =
+          decision[static_cast<size_t>(u)] != user_ap[static_cast<size_t>(u)];
+    }
+
+    // Phase 2: lock arbitration. A mover needs every neighboring AP; the
+    // lowest user id wins contended locks, everyone else defers.
+    std::fill(lock_holder.begin(), lock_holder.end(), -1);
+    for (int u = 0; u < sc.n_users(); ++u) {
+      if (!wants_move[static_cast<size_t>(u)]) continue;
+      for (const int a : sc.aps_of_user(u)) {
+        auto& holder = lock_holder[static_cast<size_t>(a)];
+        if (holder == -1 || holder > u) holder = u;
+      }
+    }
+
+    // Phase 3: winners (users holding all their locks) apply their moves.
+    bool changed = false;
+    for (int u = 0; u < sc.n_users(); ++u) {
+      if (!wants_move[static_cast<size_t>(u)]) continue;
+      const bool holds_all = std::all_of(
+          sc.aps_of_user(u).begin(), sc.aps_of_user(u).end(),
+          [&](int a) { return lock_holder[static_cast<size_t>(a)] == u; });
+      if (!holds_all) {
+        ++local_stats.deferrals;
+        continue;
+      }
+      ++local_stats.lock_grants;
+      const int from = user_ap[static_cast<size_t>(u)];
+      const int to = decision[static_cast<size_t>(u)];
+      if (from != wlan::kNoAp) {
+        auto& m = members[static_cast<size_t>(from)];
+        m.erase(std::find(m.begin(), m.end(), u));
+      }
+      if (to != wlan::kNoAp) members[static_cast<size_t>(to)].push_back(u);
+      user_ap[static_cast<size_t>(u)] = to;
+      changed = true;
+    }
+
+    if (!changed) {
+      // No user moved. If nobody even wanted to move, this is a fixed point;
+      // otherwise every mover deferred, which cannot happen (the lowest-id
+      // mover always wins all its locks).
+      converged = true;
+      break;
+    }
+  }
+
+  assoc::Solution sol = assoc::make_solution(
+      params.objective == assoc::Objective::kLoadVector ? "BLA-D-lock" : "MNU/MLA-D-lock",
+      sc, wlan::Association{std::move(user_ap)}, params.multi_rate);
+  sol.rounds = local_stats.rounds;
+  sol.converged = converged;
+  sol.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (stats != nullptr) *stats = local_stats;
+  return sol;
+}
+
+}  // namespace wmcast::ext

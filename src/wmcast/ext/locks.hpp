@@ -1,0 +1,32 @@
+// Lock-based coordination for simultaneous distributed decisions (paper §8,
+// "Distributed Convergence"): before committing an association change, a
+// user must hold locks on all of its neighboring APs. Users that fail to
+// acquire every lock defer to the next round. Winners in one round have
+// disjoint AP neighborhoods, so their (individually improving) moves cannot
+// invalidate each other — the global potential still strictly decreases and
+// the protocol converges even with synchronized decisions, where the plain
+// simultaneous protocol oscillates (Fig. 4).
+#pragma once
+
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::ext {
+
+struct LockStats {
+  int rounds = 0;
+  int64_t deferrals = 0;    // user-rounds lost to lock conflicts
+  int64_t lock_grants = 0;  // successful full acquisitions
+};
+
+/// Runs the simultaneous round engine with lock arbitration. Lock priority is
+/// user id (lower wins), matching a deployment where ties break on MAC
+/// address. Parameters mirror assoc::DistributedParams; `mode` is ignored
+/// (the point is that simultaneous rounds are now safe).
+assoc::Solution lock_coordinated_associate(const wlan::Scenario& sc, util::Rng& rng,
+                                           const assoc::DistributedParams& params,
+                                           LockStats* stats = nullptr);
+
+}  // namespace wmcast::ext

@@ -1,0 +1,134 @@
+#include "wmcast/ext/period_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ext {
+
+namespace {
+
+// Overlap of [a, a+la) and [b, b+lb) on the real line.
+double linear_overlap(double a, double la, double b, double lb) {
+  return std::max(0.0, std::min(a + la, b + lb) - std::max(a, b));
+}
+
+}  // namespace
+
+namespace {
+
+// Splits a wrapped window [s, s+l) on the unit circle into its linear
+// segments within [0, 1).
+std::vector<std::pair<double, double>> unit_segments(double s, double l) {
+  s = s - std::floor(s);
+  if (s + l <= 1.0) return {{s, l}};
+  return {{s, 1.0 - s}, {0.0, s + l - 1.0}};
+}
+
+}  // namespace
+
+double wrapped_overlap(double s1, double l1, double s2, double l2) {
+  util::require(l1 >= 0.0 && l1 <= 1.0 && l2 >= 0.0 && l2 <= 1.0,
+                "wrapped_overlap: lengths must be in [0,1]");
+  double total = 0.0;
+  for (const auto& [a, la] : unit_segments(s1, l1)) {
+    for (const auto& [b, lb] : unit_segments(s2, l2)) {
+      total += linear_overlap(a, la, b, lb);
+    }
+  }
+  return total;
+}
+
+PeriodSchedule schedule_multicast_periods(const wlan::Scenario& sc,
+                                          const wlan::Association& multicast) {
+  util::require(multicast.n_users() == sc.n_users(),
+                "schedule_multicast_periods: association size mismatch");
+
+  const auto loads = wlan::compute_loads(sc, multicast);
+
+  PeriodSchedule sched;
+  sched.window_start.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+  sched.window_length = loads.ap_load;
+
+  // Conflict pairs: (multicast AP, unicast anchor) of every split user.
+  struct SplitUser {
+    int user;
+    int mc_ap;
+    int anchor;
+  };
+  std::vector<SplitUser> splits;
+  std::vector<std::vector<int>> conflicts_of(static_cast<size_t>(sc.n_aps()));
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int mc = multicast.ap_of(u);
+    const int anchor = sc.strongest_ap(u);
+    if (mc == wlan::kNoAp || anchor == wlan::kNoAp || mc == anchor) continue;
+    splits.push_back({u, mc, anchor});
+    conflicts_of[static_cast<size_t>(mc)].push_back(anchor);
+    conflicts_of[static_cast<size_t>(anchor)].push_back(mc);
+  }
+  sched.split_users = static_cast<int>(splits.size());
+
+  // Greedy placement: longest window first; earliest non-overlapping offset
+  // against already-placed conflicting APs.
+  std::vector<int> order(static_cast<size_t>(sc.n_aps()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double la = sched.window_length[static_cast<size_t>(a)];
+    const double lb = sched.window_length[static_cast<size_t>(b)];
+    return la != lb ? la > lb : a < b;
+  });
+
+  std::vector<bool> placed(static_cast<size_t>(sc.n_aps()), false);
+  for (const int a : order) {
+    const double len = sched.window_length[static_cast<size_t>(a)];
+    if (len <= 0.0) {
+      placed[static_cast<size_t>(a)] = true;
+      continue;
+    }
+    // Candidate offsets: 0 and the end of every placed conflicting window.
+    std::vector<double> candidates = {0.0};
+    for (const int b : conflicts_of[static_cast<size_t>(a)]) {
+      if (!placed[static_cast<size_t>(b)]) continue;
+      const double end = sched.window_start[static_cast<size_t>(b)] +
+                         sched.window_length[static_cast<size_t>(b)];
+      candidates.push_back(end - std::floor(end));
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    double best_offset = 0.0;
+    double best_overlap = std::numeric_limits<double>::infinity();
+    for (const double s : candidates) {
+      double overlap = 0.0;
+      for (const int b : conflicts_of[static_cast<size_t>(a)]) {
+        if (!placed[static_cast<size_t>(b)]) continue;
+        overlap += wrapped_overlap(s, len, sched.window_start[static_cast<size_t>(b)],
+                                   sched.window_length[static_cast<size_t>(b)]);
+      }
+      if (overlap < best_overlap - 1e-12) {
+        best_overlap = overlap;
+        best_offset = s;
+        if (overlap <= 0.0) break;  // candidates are sorted: earliest gap wins
+      }
+    }
+    sched.window_start[static_cast<size_t>(a)] = best_offset;
+    placed[static_cast<size_t>(a)] = true;
+  }
+
+  // Residual conflicts per split user.
+  for (const auto& s : splits) {
+    const double ov = wrapped_overlap(
+        sched.window_start[static_cast<size_t>(s.mc_ap)],
+        sched.window_length[static_cast<size_t>(s.mc_ap)],
+        sched.window_start[static_cast<size_t>(s.anchor)],
+        sched.window_length[static_cast<size_t>(s.anchor)]);
+    if (ov > 1e-12) {
+      ++sched.conflicting_users;
+      sched.total_overlap += ov;
+    }
+  }
+  return sched;
+}
+
+}  // namespace wmcast::ext

@@ -1,0 +1,46 @@
+// Multicast period scheduling for dual association (paper §3.1: "the APs
+// are synchronized through a time-synchronization protocol and each user
+// independently selects one AP for unicast and another one for multicast").
+//
+// For a split user (multicast AP != unicast anchor) to use a single radio,
+// its multicast AP's multicast window must not overlap its unicast anchor's
+// multicast window — otherwise the user must be listening in two places at
+// once. Each AP needs a window of length equal to its multicast load; the
+// frame is one unit of airtime. Finding offsets that avoid all conflicts is
+// interval scheduling on a conflict graph (NP-hard in general); we provide
+// a greedy slot scheduler and report the residual conflicts, which become
+// airtime the affected users simply lose.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/assoc/dual.hpp"
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::ext {
+
+struct PeriodSchedule {
+  /// window_start[a] in [0, 1): offset of AP a's multicast window within the
+  /// (unit-length, network-synchronized) service period. Windows wrap.
+  std::vector<double> window_start;
+  /// Multicast window length per AP (its multicast load; 0 = no window).
+  std::vector<double> window_length;
+  /// Split users whose two windows overlap despite scheduling.
+  int conflicting_users = 0;
+  int split_users = 0;
+  /// Total overlap time summed over conflicting users (airtime they lose).
+  double total_overlap = 0.0;
+};
+
+/// Greedy scheduler: processes APs by descending window length; each AP
+/// takes the earliest offset that avoids overlap with every already-placed
+/// AP it shares a split user with (first-fit over the sorted busy intervals;
+/// falls back to the least-overlapping offset when no gap fits).
+PeriodSchedule schedule_multicast_periods(const wlan::Scenario& sc,
+                                          const wlan::Association& multicast);
+
+/// Overlap length of two wrapped windows [s1, s1+l1) and [s2, s2+l2) on the
+/// unit circle (exposed for testing).
+double wrapped_overlap(double s1, double l1, double s2, double l2);
+
+}  // namespace wmcast::ext

@@ -1,0 +1,179 @@
+#include "wmcast/ext/power_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ext {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kBudgetEps = 1e-9;
+
+double threshold_for_rate(const wlan::RateTable& table, double rate_mbps) {
+  for (const auto& s : table.steps()) {
+    if (s.rate_mbps == rate_mbps) return s.max_distance_m;
+  }
+  WMCAST_ASSERT(false, "threshold_for_rate: rate not in table");
+  return 0.0;
+}
+
+}  // namespace
+
+wlan::Scenario scenario_at_power(const wlan::Scenario& sc, const wlan::RateTable& base,
+                                 double scale) {
+  util::require(sc.has_geometry(), "scenario_at_power: needs a geometric scenario");
+  std::vector<int> sessions(static_cast<size_t>(sc.n_users()));
+  for (int u = 0; u < sc.n_users(); ++u) sessions[static_cast<size_t>(u)] = sc.user_session(u);
+  std::vector<double> rates(static_cast<size_t>(sc.n_sessions()));
+  for (int s = 0; s < sc.n_sessions(); ++s) rates[static_cast<size_t>(s)] = sc.session_rate(s);
+  return wlan::Scenario::from_geometry(sc.ap_positions(), sc.user_positions(),
+                                       std::move(sessions), std::move(rates),
+                                       base.scaled_range(scale), sc.load_budget());
+}
+
+PowerShrinkReport shrink_powers(const wlan::Scenario& sc, const wlan::Association& assoc,
+                                const wlan::RateTable& base,
+                                std::span<const double> scales, bool keep_rate) {
+  util::require(sc.has_geometry(), "shrink_powers: needs a geometric scenario");
+  std::vector<double> sorted_scales(scales.begin(), scales.end());
+  std::sort(sorted_scales.begin(), sorted_scales.end());
+  util::require(std::find(sorted_scales.begin(), sorted_scales.end(), 1.0) !=
+                    sorted_scales.end(),
+                "shrink_powers: scales must include 1.0 (the base power)");
+
+  // Member distances per (ap, session).
+  std::vector<std::vector<std::vector<double>>> member_dist(
+      static_cast<size_t>(sc.n_aps()),
+      std::vector<std::vector<double>>(static_cast<size_t>(sc.n_sessions())));
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int a = assoc.ap_of(u);
+    if (a == wlan::kNoAp) continue;
+    const double d = wlan::distance(sc.ap_positions()[static_cast<size_t>(a)],
+                                    sc.user_positions()[static_cast<size_t>(u)]);
+    member_dist[static_cast<size_t>(a)][static_cast<size_t>(sc.user_session(u))].push_back(d);
+  }
+
+  // Rate tables at each candidate scale.
+  std::vector<wlan::RateTable> tables;
+  tables.reserve(sorted_scales.size());
+  for (const double s : sorted_scales) tables.push_back(base.scaled_range(s));
+
+  PowerShrinkReport rep;
+  rep.scale.assign(static_cast<size_t>(sc.n_aps()),
+                   std::vector<double>(static_cast<size_t>(sc.n_sessions()), 0.0));
+  rep.loads_after = wlan::compute_loads(sc, assoc);  // structure + satisfied count
+
+  // Per (ap, session): index into sorted_scales currently chosen, base load.
+  struct Tx {
+    int ap, session;
+    size_t scale_idx;
+    double load;       // at the chosen scale
+    double base_load;  // at scale 1
+  };
+  std::vector<Tx> txs;
+
+  auto tx_rate_at = [&](int a, int s, size_t idx) -> double {
+    // Minimum member rate at tables[idx]; 0 if any member out of range.
+    double mn = std::numeric_limits<double>::infinity();
+    for (const double d : member_dist[static_cast<size_t>(a)][static_cast<size_t>(s)]) {
+      const double r = tables[idx].rate_for_distance(d);
+      if (r <= 0.0) return 0.0;
+      mn = std::min(mn, r);
+    }
+    return mn;
+  };
+
+  const size_t base_idx = static_cast<size_t>(
+      std::find(sorted_scales.begin(), sorted_scales.end(), 1.0) - sorted_scales.begin());
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      if (member_dist[static_cast<size_t>(a)][static_cast<size_t>(s)].empty()) continue;
+      const double base_rate = tx_rate_at(a, s, base_idx);
+      WMCAST_ASSERT(base_rate > 0.0, "shrink_powers: association invalid at base power");
+      const double base_load = sc.session_rate(s) / base_rate;
+      rep.footprint_before_m2 +=
+          kPi * std::pow(threshold_for_rate(tables[base_idx], base_rate), 2);
+
+      // keep_rate: smallest scale that preserves the transmission rate.
+      // otherwise: the scale minimizing the coverage radius — lowering power
+      // can drop the rate to a band whose (scaled) threshold reaches farther,
+      // so "smallest scale" is not "smallest footprint".
+      size_t pick = base_idx;
+      double pick_radius =
+          threshold_for_rate(tables[base_idx], base_rate);
+      for (size_t idx = 0; idx < sorted_scales.size(); ++idx) {
+        const double r = tx_rate_at(a, s, idx);
+        if (r <= 0.0) continue;
+        if (keep_rate) {
+          if (r == base_rate) {
+            pick = idx;
+            break;  // scales ascend: first match is the smallest
+          }
+          continue;
+        }
+        const double radius = threshold_for_rate(tables[idx], r);
+        if (radius < pick_radius - 1e-12) {
+          pick = idx;
+          pick_radius = radius;
+        }
+      }
+      const double rate = tx_rate_at(a, s, pick);
+      txs.push_back(Tx{a, s, pick, sc.session_rate(s) / rate, base_load});
+    }
+  }
+
+  if (!keep_rate) {
+    // Lower power can lower rates and raise loads; walk transmissions back up
+    // toward base power until every AP meets the budget again.
+    std::vector<double> ap_load(static_cast<size_t>(sc.n_aps()), 0.0);
+    for (const auto& t : txs) ap_load[static_cast<size_t>(t.ap)] += t.load;
+    for (bool progress = true; progress;) {
+      progress = false;
+      for (auto& t : txs) {
+        if (ap_load[static_cast<size_t>(t.ap)] <= sc.load_budget() + kBudgetEps) continue;
+        if (t.scale_idx == base_idx) continue;
+        // Raise this transmission one power level.
+        size_t next = t.scale_idx + 1;
+        while (next < sorted_scales.size() && tx_rate_at(t.ap, t.session, next) <= 0.0) {
+          ++next;
+        }
+        WMCAST_ASSERT(next < sorted_scales.size(), "shrink_powers: cannot restore budget");
+        const double new_load =
+            sc.session_rate(t.session) / tx_rate_at(t.ap, t.session, next);
+        ap_load[static_cast<size_t>(t.ap)] += new_load - t.load;
+        t.load = new_load;
+        t.scale_idx = next;
+        progress = true;
+      }
+    }
+  }
+
+  // Materialize the report.
+  std::fill(rep.loads_after.ap_load.begin(), rep.loads_after.ap_load.end(), 0.0);
+  for (auto& row : rep.loads_after.tx_rate) std::fill(row.begin(), row.end(), 0.0);
+  rep.loads_after.total_load = 0.0;
+  rep.loads_after.max_load = 0.0;
+  rep.loads_after.budget_violations = 0;
+  for (const auto& t : txs) {
+    const double rate = tx_rate_at(t.ap, t.session, t.scale_idx);
+    rep.scale[static_cast<size_t>(t.ap)][static_cast<size_t>(t.session)] =
+        sorted_scales[t.scale_idx];
+    rep.loads_after.tx_rate[static_cast<size_t>(t.ap)][static_cast<size_t>(t.session)] = rate;
+    rep.loads_after.ap_load[static_cast<size_t>(t.ap)] += t.load;
+    rep.loads_after.total_load += t.load;
+    rep.footprint_after_m2 += kPi * std::pow(threshold_for_rate(tables[t.scale_idx], rate), 2);
+  }
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    const double load = rep.loads_after.ap_load[static_cast<size_t>(a)];
+    rep.loads_after.max_load = std::max(rep.loads_after.max_load, load);
+    if (load > sc.load_budget() + kBudgetEps) ++rep.loads_after.budget_violations;
+  }
+  return rep;
+}
+
+}  // namespace wmcast::ext

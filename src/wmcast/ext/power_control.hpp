@@ -1,0 +1,50 @@
+// Adaptive power control (paper §8, "Adaptive Power Control"): APs choose
+// from a finite set of discrete power levels. A power level scales every
+// distance threshold of the rate table by a factor (free-space range grows
+// with transmit power), giving two levers the base algorithms lack:
+//
+//  1. Coverage: scenario_at_power(sc, scale > 1) re-derives link rates at a
+//     higher power, letting otherwise-unreachable users be served (MNU gains).
+//  2. Footprint: shrink_powers() post-processes an association, lowering each
+//     transmission to the smallest power that keeps its members served,
+//     shrinking the interference footprint at zero (keep_rate=true) or
+//     bounded (keep_rate=false) load cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::ext {
+
+/// Re-derives a geometric scenario's link rates with every distance
+/// threshold of `base` scaled by `scale` (same positions, sessions, budget).
+wlan::Scenario scenario_at_power(const wlan::Scenario& sc, const wlan::RateTable& base,
+                                 double scale);
+
+struct PowerShrinkReport {
+  /// scale[a][s]: the power scale chosen for AP a's transmission of session
+  /// s; 0 when a does not transmit s.
+  std::vector<std::vector<double>> scale;
+  /// Interference footprint proxy: sum over transmissions of pi * r^2 where
+  /// r is the distance reached by the transmission's rate at its power (m^2).
+  double footprint_before_m2 = 0.0;
+  double footprint_after_m2 = 0.0;
+  /// Loads after power shrinking (identical to before when keep_rate).
+  wlan::LoadReport loads_after;
+};
+
+/// For each (AP, session) transmission of `assoc`, picks the smallest power
+/// scale from `scales` (which must contain 1.0) such that
+///  * every assigned member still decodes (is in range at that power), and
+///  * keep_rate=true:  the transmission rate is unchanged (load unchanged);
+///    keep_rate=false: the rate may drop, as long as the AP stays within the
+///    scenario's load budget.
+/// Requires a geometric scenario built with `base` at scale 1.
+PowerShrinkReport shrink_powers(const wlan::Scenario& sc, const wlan::Association& assoc,
+                                const wlan::RateTable& base,
+                                std::span<const double> scales, bool keep_rate = true);
+
+}  // namespace wmcast::ext

@@ -1,0 +1,160 @@
+#include "wmcast/hardness/reductions.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::hardness {
+
+wlan::Scenario subset_sum_to_mnu(const SubsetSumInstance& in) {
+  util::require(!in.values.empty(), "subset_sum_to_mnu: empty instance");
+  util::require(in.target > 0, "subset_sum_to_mnu: target must be positive");
+  int64_t total = 0;
+  for (const int64_t g : in.values) {
+    util::require(g > 0, "subset_sum_to_mnu: values must be natural numbers");
+    total += g;
+  }
+  // D makes the AP budget T/D and all session loads g_i/D fall in (0, 1].
+  const double d = 2.0 * static_cast<double>(std::max(total, in.target));
+
+  const int k = static_cast<int>(in.values.size());
+  const auto n_users = static_cast<int>(total);
+
+  std::vector<double> session_rates(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    session_rates[static_cast<size_t>(i)] = static_cast<double>(in.values[static_cast<size_t>(i)]) / d;
+  }
+  std::vector<int> user_session;
+  user_session.reserve(static_cast<size_t>(n_users));
+  for (int i = 0; i < k; ++i) {
+    for (int64_t c = 0; c < in.values[static_cast<size_t>(i)]; ++c) user_session.push_back(i);
+  }
+  // Single AP, unit rate to everyone.
+  std::vector<std::vector<double>> link(1, std::vector<double>(static_cast<size_t>(n_users), 1.0));
+  const double budget = static_cast<double>(in.target) / d;
+  return wlan::Scenario::from_link_rates(std::move(link), std::move(user_session),
+                                         std::move(session_rates), budget);
+}
+
+int64_t subset_sum_best(const SubsetSumInstance& in) {
+  util::require(in.target >= 0, "subset_sum_best: negative target");
+  std::vector<bool> reachable(static_cast<size_t>(in.target) + 1, false);
+  reachable[0] = true;
+  for (const int64_t g : in.values) {
+    if (g > in.target) continue;
+    for (int64_t s = in.target; s >= g; --s) {
+      if (reachable[static_cast<size_t>(s - g)]) reachable[static_cast<size_t>(s)] = true;
+    }
+  }
+  for (int64_t s = in.target; s >= 0; --s) {
+    if (reachable[static_cast<size_t>(s)]) return s;
+  }
+  return 0;
+}
+
+wlan::Scenario makespan_to_bla(const MakespanInstance& in) {
+  util::require(!in.processing.empty(), "makespan_to_bla: no jobs");
+  util::require(in.machines > 0, "makespan_to_bla: need at least one machine");
+  double total = 0.0;
+  for (const double p : in.processing) {
+    util::require(p > 0.0, "makespan_to_bla: processing times must be positive");
+    total += p;
+  }
+  const double d = 2.0 * total;  // keeps every load in (0, 1]
+
+  const int n = static_cast<int>(in.processing.size());
+  std::vector<double> session_rates(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) session_rates[static_cast<size_t>(i)] = in.processing[static_cast<size_t>(i)] / d;
+  std::vector<int> user_session(static_cast<size_t>(n));
+  std::iota(user_session.begin(), user_session.end(), 0);
+  // Every machine (AP) reaches every job's user at unit rate.
+  std::vector<std::vector<double>> link(
+      static_cast<size_t>(in.machines), std::vector<double>(static_cast<size_t>(n), 1.0));
+  return wlan::Scenario::from_link_rates(std::move(link), std::move(user_session),
+                                         std::move(session_rates), 1.0);
+}
+
+namespace {
+
+void makespan_dfs(const std::vector<double>& jobs, size_t i, std::vector<double>& machine,
+                  double& best) {
+  const double cur = *std::max_element(machine.begin(), machine.end());
+  if (cur >= best) return;
+  if (i == jobs.size()) {
+    best = cur;
+    return;
+  }
+  for (auto& m : machine) {
+    m += jobs[i];
+    makespan_dfs(jobs, i + 1, machine, best);
+    m -= jobs[i];
+    if (m == 0.0) break;  // symmetry: first empty machine only
+  }
+}
+
+}  // namespace
+
+double makespan_optimal(const MakespanInstance& in) {
+  util::require(static_cast<int>(in.processing.size()) <= 16,
+                "makespan_optimal: exhaustive solver limited to 16 jobs");
+  std::vector<double> jobs = in.processing;
+  std::sort(jobs.begin(), jobs.end(), std::greater<>());  // big jobs first prune better
+  std::vector<double> machine(static_cast<size_t>(in.machines), 0.0);
+  double best = std::numeric_limits<double>::infinity();
+  makespan_dfs(jobs, 0, machine, best);
+  return best;
+}
+
+wlan::Scenario set_cover_to_mla(const SetCoverInstance& in) {
+  util::require(in.n_elements > 0, "set_cover_to_mla: empty universe");
+  util::require(!in.sets.empty(), "set_cover_to_mla: no sets");
+  const int m = static_cast<int>(in.sets.size());
+
+  std::vector<std::vector<double>> link(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(in.n_elements), 0.0));
+  for (int j = 0; j < m; ++j) {
+    for (const int e : in.sets[static_cast<size_t>(j)]) {
+      util::require(e >= 0 && e < in.n_elements, "set_cover_to_mla: element out of range");
+      link[static_cast<size_t>(j)][static_cast<size_t>(e)] = 1.0;
+    }
+  }
+  std::vector<int> user_session(static_cast<size_t>(in.n_elements), 0);
+  const std::vector<double> session_rates{set_cover_unit_load(in)};
+  return wlan::Scenario::from_link_rates(std::move(link), std::move(user_session),
+                                         session_rates, 1.0);
+}
+
+double set_cover_unit_load(const SetCoverInstance&) {
+  // Any value in (0, 1] works; 0.5 keeps one transmission well inside the
+  // budget while making total-load differences easy to decode.
+  return 0.5;
+}
+
+int set_cover_optimal(const SetCoverInstance& in) {
+  const int m = static_cast<int>(in.sets.size());
+  util::require(m <= 20, "set_cover_optimal: enumeration limited to 20 sets");
+  const uint32_t full = in.n_elements >= 32 ? 0xffffffffu
+                                            : ((1u << in.n_elements) - 1u);
+  util::require(in.n_elements <= 32, "set_cover_optimal: at most 32 elements");
+
+  std::vector<uint32_t> mask(static_cast<size_t>(m), 0);
+  for (int j = 0; j < m; ++j) {
+    for (const int e : in.sets[static_cast<size_t>(j)]) mask[static_cast<size_t>(j)] |= 1u << e;
+  }
+  int best = -1;
+  for (uint32_t pick = 0; pick < (1u << m); ++pick) {
+    uint32_t covered = 0;
+    for (int j = 0; j < m; ++j) {
+      if (pick & (1u << j)) covered |= mask[static_cast<size_t>(j)];
+    }
+    if (covered == full) {
+      const int size = __builtin_popcount(pick);
+      if (best == -1 || size < best) best = size;
+    }
+  }
+  return best;
+}
+
+}  // namespace wmcast::hardness

@@ -1,0 +1,67 @@
+// Executable versions of the paper's NP-hardness reductions (Appendix A/B/C).
+// Each builder turns an instance of the classic problem into a WLAN scenario
+// whose optimal MNU/BLA/MLA value encodes the classic optimum; brute-force
+// reference solvers let the property tests cross-validate the exact solvers
+// end-to-end through the reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::hardness {
+
+// --- Appendix A: Subset Sum -> MNU ----------------------------------------
+
+struct SubsetSumInstance {
+  std::vector<int64_t> values;  // natural numbers g_1..g_k
+  int64_t target = 0;           // T
+};
+
+/// One AP with multicast budget T/D; session i has stream rate g_i/D and g_i
+/// users, every link at unit rate (D scales everything below 1 as the paper
+/// prescribes). The subset-sum answer is "yes" iff the optimal MNU value
+/// equals T.
+wlan::Scenario subset_sum_to_mnu(const SubsetSumInstance& in);
+
+/// Max achievable subset sum <= target (meet-in-the-middle-free DP; values
+/// must be small enough for the DP table).
+int64_t subset_sum_best(const SubsetSumInstance& in);
+
+// --- Appendix B: Minimum Makespan Scheduling -> BLA ------------------------
+
+struct MakespanInstance {
+  std::vector<double> processing;  // p_1..p_n
+  int machines = 1;                // m identical machines
+};
+
+/// m APs (machines), one user per job, all links at unit rate, session i
+/// stream rate p_i/D. Optimal BLA max-load times D equals the optimal
+/// makespan.
+wlan::Scenario makespan_to_bla(const MakespanInstance& in);
+
+/// Exact minimum makespan by exhaustive assignment (use for small n only).
+double makespan_optimal(const MakespanInstance& in);
+
+// --- Appendix C: Set Cover (cardinality) -> MLA -----------------------------
+
+struct SetCoverInstance {
+  int n_elements = 0;
+  std::vector<std::vector<int>> sets;  // each a list of element ids
+};
+
+/// One AP per set, one user per element, one session; AP j reaches exactly
+/// the users of S_j at unit rate. Optimal MLA total load divided by the
+/// per-transmission load equals the minimum number of covering sets.
+wlan::Scenario set_cover_to_mla(const SetCoverInstance& in);
+
+/// Exact minimum cover size by subset enumeration (use for <= ~20 sets).
+/// Returns -1 when no cover exists.
+int set_cover_optimal(const SetCoverInstance& in);
+
+/// The per-transmission load used by set_cover_to_mla (needed to decode the
+/// MLA optimum back into a cover size).
+double set_cover_unit_load(const SetCoverInstance& in);
+
+}  // namespace wmcast::hardness

@@ -1,0 +1,38 @@
+#include "wmcast/mac/airtime.hpp"
+
+#include <cmath>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::mac {
+
+double frame_duration_us(int payload_bytes, double rate_mbps) {
+  util::require(payload_bytes > 0, "frame_duration_us: payload must be positive");
+  util::require(rate_mbps > 0.0, "frame_duration_us: rate must be positive");
+  const int psdu_bits = 8 * (payload_bytes + Ofdm80211a::kMacHeaderBytes);
+  const int total_bits = Ofdm80211a::kServiceBits + psdu_bits + Ofdm80211a::kTailBits;
+  const double bits_per_symbol = rate_mbps * Ofdm80211a::kSymbolUs;  // Mbps * us = bits
+  const double n_symbols = std::ceil(total_bits / bits_per_symbol);
+  return Ofdm80211a::kPreambleUs + Ofdm80211a::kSignalUs +
+         n_symbols * Ofdm80211a::kSymbolUs;
+}
+
+double broadcast_airtime_us(int payload_bytes, double rate_mbps, int mean_backoff_slots) {
+  util::require(mean_backoff_slots >= 0, "broadcast_airtime_us: negative backoff");
+  return Ofdm80211a::kDifsUs + mean_backoff_slots * Ofdm80211a::kSlotUs +
+         frame_duration_us(payload_bytes, rate_mbps);
+}
+
+double airtime_load(double stream_mbps, double tx_rate_mbps, int payload_bytes) {
+  util::require(stream_mbps > 0.0, "airtime_load: stream rate must be positive");
+  // Packets per microsecond carried by the stream.
+  const double pkts_per_us = stream_mbps / (8.0 * payload_bytes);
+  return pkts_per_us * broadcast_airtime_us(payload_bytes, tx_rate_mbps);
+}
+
+double ideal_load(double stream_mbps, double tx_rate_mbps) {
+  util::require(tx_rate_mbps > 0.0, "ideal_load: tx rate must be positive");
+  return stream_mbps / tx_rate_mbps;
+}
+
+}  // namespace wmcast::mac

@@ -1,0 +1,40 @@
+// 802.11a OFDM airtime model. The paper's load definition (Definition 1)
+// idealizes the busy fraction of a multicast stream as stream_rate/tx_rate;
+// this module provides the detailed frame-level accounting (PLCP preamble,
+// SIGNAL field, SERVICE/tail bits, symbol quantization, DIFS) so the
+// idealization can be validated and its error quantified (ablation bench).
+#pragma once
+
+namespace wmcast::mac {
+
+/// 802.11a OFDM timing constants (IEEE 802.11-2007, clause 17).
+struct Ofdm80211a {
+  static constexpr double kPreambleUs = 16.0;  // PLCP preamble
+  static constexpr double kSignalUs = 4.0;     // SIGNAL field (1 OFDM symbol)
+  static constexpr double kSymbolUs = 4.0;     // OFDM symbol duration
+  static constexpr int kServiceBits = 16;
+  static constexpr int kTailBits = 6;
+  static constexpr double kDifsUs = 34.0;
+  static constexpr double kSifsUs = 16.0;
+  static constexpr double kSlotUs = 9.0;
+  static constexpr int kMacHeaderBytes = 28;  // data header + FCS
+};
+
+/// Duration of one PPDU carrying `payload_bytes` of MSDU at `rate_mbps`,
+/// in microseconds (preamble + SIGNAL + data symbols, with the MAC header).
+double frame_duration_us(int payload_bytes, double rate_mbps);
+
+/// Average channel-busy time per broadcast frame including DIFS and the mean
+/// backoff (broadcast sends once, no ACK).
+double broadcast_airtime_us(int payload_bytes, double rate_mbps,
+                            int mean_backoff_slots = 7);
+
+/// Fraction of airtime a multicast stream of `stream_mbps` occupies when
+/// transmitted at `tx_rate_mbps` in `payload_bytes` packets, under the frame
+/// model above. Always >= the ideal stream/tx ratio.
+double airtime_load(double stream_mbps, double tx_rate_mbps, int payload_bytes = 1500);
+
+/// The paper's idealized load: stream_mbps / tx_rate_mbps.
+double ideal_load(double stream_mbps, double tx_rate_mbps);
+
+}  // namespace wmcast::mac

@@ -1,0 +1,57 @@
+#include "wmcast/mac/queueing.hpp"
+
+#include <algorithm>
+
+#include "wmcast/mac/airtime.hpp"
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::mac {
+
+double md1_waiting_time(double rho) {
+  util::require(rho >= 0.0 && rho < 1.0, "md1_waiting_time: rho must be in [0, 1)");
+  return rho / (2.0 * (1.0 - rho));
+}
+
+DelayReport stream_delay_report(const wlan::Scenario& sc, const wlan::LoadReport& loads,
+                                int payload_bytes) {
+  util::require(static_cast<int>(loads.ap_load.size()) == sc.n_aps(),
+                "stream_delay_report: load report does not match scenario");
+  util::require(payload_bytes > 0, "stream_delay_report: bad payload size");
+
+  DelayReport rep;
+  rep.ap_sojourn_ms.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+
+  double sum = 0.0;
+  int transmitting = 0;
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    // Mean frame service time: average the per-session frame airtime,
+    // weighted by each session's frame rate (proportional to stream rate).
+    double weighted_us = 0.0;
+    double weight = 0.0;
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      const double tx = loads.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      if (tx <= 0.0) continue;
+      weighted_us += sc.session_rate(s) * broadcast_airtime_us(payload_bytes, tx);
+      weight += sc.session_rate(s);
+    }
+    if (weight <= 0.0) continue;  // AP transmits nothing
+
+    const double rho = loads.ap_load[static_cast<size_t>(a)];
+    if (rho >= 1.0) {
+      ++rep.saturated_aps;
+      continue;
+    }
+    const double service_ms = (weighted_us / weight) / 1000.0;
+    const double wait = md1_waiting_time(rho);
+    const double sojourn = service_ms * (wait + 1.0);
+    rep.ap_sojourn_ms[static_cast<size_t>(a)] = sojourn;
+    rep.max_sojourn_ms = std::max(rep.max_sojourn_ms, sojourn);
+    rep.max_normalized_wait = std::max(rep.max_normalized_wait, wait);
+    sum += sojourn;
+    ++transmitting;
+  }
+  rep.mean_sojourn_ms = transmitting > 0 ? sum / transmitting : 0.0;
+  return rep;
+}
+
+}  // namespace wmcast::mac

@@ -1,0 +1,71 @@
+#include "wmcast/mac/reliable.hpp"
+
+#include <cmath>
+
+#include "wmcast/mac/airtime.hpp"
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::mac {
+
+namespace {
+constexpr int kAckBytes = 14;
+}
+
+double expected_rounds_until_all(int n, double p) {
+  util::require(n >= 0, "expected_rounds_until_all: negative receivers");
+  util::require(p >= 0.0 && p < 1.0, "expected_rounds_until_all: loss must be in [0,1)");
+  if (n == 0 || p == 0.0) return 1.0;
+  double total = 0.0;
+  double pk = 1.0;  // p^k for k = 0
+  for (int k = 0; k < 10000; ++k) {
+    // P(some receiver still missing after k transmissions) = 1 - (1-p^k)^n.
+    const double missing = 1.0 - std::pow(1.0 - pk, n);
+    if (k > 0 && missing < 1e-12) break;
+    total += missing;  // E[T] = sum_{k>=0} P(T > k)
+    pk *= p;
+  }
+  return total;
+}
+
+double reliable_airtime_multiplier(ReliableScheme scheme, int n_receivers,
+                                   double per_frame_loss, int payload_bytes,
+                                   double rate_mbps) {
+  util::require(n_receivers >= 0, "reliable_airtime_multiplier: negative receivers");
+  util::require(per_frame_loss >= 0.0 && per_frame_loss < 1.0,
+                "reliable_airtime_multiplier: loss must be in [0,1)");
+
+  const double data_us = broadcast_airtime_us(payload_bytes, rate_mbps, 0);
+  const double ack_us = Ofdm80211a::kSifsUs + frame_duration_us(kAckBytes, rate_mbps);
+
+  switch (scheme) {
+    case ReliableScheme::kPlainBroadcast:
+      return 1.0;
+    case ReliableScheme::kLeaderAck: {
+      // Retransmit until the leader ACKs: geometric with success 1 - p.
+      const double tx = 1.0 / (1.0 - per_frame_loss);
+      return tx * (data_us + ack_us) / data_us;
+    }
+    case ReliableScheme::kBmwUnicastChain: {
+      // One reliable unicast (data + ACK, geometric retries) per receiver.
+      if (n_receivers == 0) return 1.0;
+      const double per_rx = (data_us + ack_us) / (1.0 - per_frame_loss);
+      return n_receivers * per_rx / data_us;
+    }
+    case ReliableScheme::kBatchAck: {
+      // BMMM: each round = data frame + one ACK slot per receiver; rounds
+      // repeat until everyone has the payload.
+      const double rounds = expected_rounds_until_all(n_receivers, per_frame_loss);
+      return rounds * (data_us + n_receivers * ack_us) / data_us;
+    }
+  }
+  WMCAST_ASSERT(false, "reliable_airtime_multiplier: unknown scheme");
+  return 1.0;
+}
+
+double expected_delivery(ReliableScheme scheme, double per_frame_loss) {
+  util::require(per_frame_loss >= 0.0 && per_frame_loss < 1.0,
+                "expected_delivery: loss must be in [0,1)");
+  return scheme == ReliableScheme::kPlainBroadcast ? 1.0 - per_frame_loss : 1.0;
+}
+
+}  // namespace wmcast::mac

@@ -1,0 +1,41 @@
+// Reliable MAC-layer multicast cost models. The paper's §2 surveys the
+// protocol families (leader-ACK schemes like 802.11MX, BMW's per-receiver
+// unicast chain, BMMM's batched ACK rounds) and notes that "the efficiency
+// of the MAC layer protocol can increase the efficiency of our algorithms":
+// association control composes with whatever reliability scheme runs below
+// it. This module provides first-order airtime models for those schemes —
+// the expected airtime multiplier over a plain (unreliable) broadcast frame
+// as a function of receiver count and per-frame loss probability — so the
+// reliability bench can translate collision rates into reliable-multicast
+// airtime costs per association policy.
+#pragma once
+
+namespace wmcast::mac {
+
+enum class ReliableScheme {
+  kPlainBroadcast,   // 802.11 default: one transmission, no feedback
+  kLeaderAck,        // one designated receiver ACKs (802.11MX/RMAC style)
+  kBmwUnicastChain,  // BMW: reliable unicast to each receiver in turn
+  kBatchAck,         // BMMM: one data frame + per-receiver ACK round,
+                     // retransmitted until every receiver has it
+};
+
+/// Expected airtime (channel-busy time) per delivered multicast payload,
+/// expressed as a multiple of the plain broadcast frame's airtime.
+/// `per_frame_loss` is the independent per-receiver frame loss probability
+/// (e.g. the collision-induced loss measured by sim::simulate_csma);
+/// `n_receivers` the multicast group size at this AP.
+double reliable_airtime_multiplier(ReliableScheme scheme, int n_receivers,
+                                   double per_frame_loss, int payload_bytes = 1500,
+                                   double rate_mbps = 24.0);
+
+/// Expected fraction of receivers that get a given payload under the scheme
+/// (1.0 for every feedback-based scheme; 1 - loss for plain broadcast).
+double expected_delivery(ReliableScheme scheme, double per_frame_loss);
+
+/// Expected number of data-frame transmissions until all `n` independent
+/// receivers with loss `p` have the frame (the BMMM retransmission count):
+/// sum_{k>=1} (1 - (1 - p^k)^n).
+double expected_rounds_until_all(int n, double p);
+
+}  // namespace wmcast::mac

@@ -1,0 +1,26 @@
+// CostSC: the classic cost-effectiveness greedy for weighted set cover
+// (Vazirani), used by Centralized MLA. (ln n + 1)-approximation.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/setcover/set_system.hpp"
+#include "wmcast/util/bitset.hpp"
+
+namespace wmcast::setcover {
+
+struct GreedyCoverResult {
+  std::vector<int> chosen;    // set indices, in selection order
+  util::DynBitset covered;    // union of chosen sets
+  double total_cost = 0.0;    // sum of chosen set costs
+  bool complete = false;      // covered every coverable element of the target
+};
+
+/// Runs CostSC. If `restrict_to` is non-null, only those elements need
+/// covering (used by SCG's repeated passes); otherwise all coverable elements.
+/// Implementation uses lazy (CELF-style) re-evaluation: gains are submodular,
+/// so a stale heap entry is always an upper bound.
+GreedyCoverResult greedy_set_cover(const SetSystem& sys,
+                                   const util::DynBitset* restrict_to = nullptr);
+
+}  // namespace wmcast::setcover

@@ -1,0 +1,34 @@
+// The layering algorithm for weighted set cover (Vazirani §2.2), which the
+// paper points to in §6.1: "the layer algorithm, which is bounded by a
+// constant, can also be used if for any user the number of APs that it can
+// associate with is bounded by a constant". It is an f-approximation, where
+// f is the maximum element frequency — for the WLAN reduction, the largest
+// number of candidate (AP, rate) transmissions any one user appears in.
+//
+// Each layer peels off a degree-weighted portion of every residual set's
+// cost; sets whose residual cost hits zero join the cover, covered elements
+// leave the ground set, and the next layer recurses on what remains.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/setcover/set_system.hpp"
+
+namespace wmcast::setcover {
+
+struct LayeringResult {
+  std::vector<int> chosen;   // sets picked across all layers
+  util::DynBitset covered;
+  double total_cost = 0.0;
+  int layers = 0;
+  bool complete = false;     // every coverable element covered
+};
+
+/// Runs the layering algorithm on the whole coverable ground set.
+LayeringResult layered_set_cover(const SetSystem& sys);
+
+/// The approximation factor the layering algorithm guarantees on `sys`:
+/// the maximum number of sets any single coverable element appears in.
+int max_element_frequency(const SetSystem& sys);
+
+}  // namespace wmcast::setcover

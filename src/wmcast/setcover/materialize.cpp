@@ -1,0 +1,24 @@
+#include "wmcast/setcover/materialize.hpp"
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::setcover {
+
+wlan::Association materialize(const wlan::Scenario& sc, const SetSystem& sys,
+                              std::span<const int> chosen_sets) {
+  util::require(sys.n_elements() == sc.n_users(), "materialize: universe mismatch");
+
+  wlan::Association assoc = wlan::Association::none(sc.n_users());
+  for (const int j : chosen_sets) {
+    util::require(j >= 0 && j < sys.n_sets(), "materialize: invalid set index");
+    const auto& s = sys.set(j);
+    s.members.for_each([&](int u) {
+      if (assoc.user_ap[static_cast<size_t>(u)] == wlan::kNoAp) {
+        assoc.user_ap[static_cast<size_t>(u)] = s.ap;
+      }
+    });
+  }
+  return assoc;
+}
+
+}  // namespace wmcast::setcover

@@ -1,0 +1,21 @@
+// Turning a chosen family of candidate sets back into a user-to-AP
+// association. Each user is assigned to the AP of the first chosen set that
+// covers it; users covered by no chosen set stay unassociated.
+//
+// Invariant (tested): the materialized load of every AP is at most the summed
+// cost of its chosen sets — merging nested sets of one (AP, session) can only
+// lower the transmission count, and each member's link rate is at least the
+// covering set's tx_rate.
+#pragma once
+
+#include <span>
+
+#include "wmcast/setcover/set_system.hpp"
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::setcover {
+
+wlan::Association materialize(const wlan::Scenario& sc, const SetSystem& sys,
+                              std::span<const int> chosen_sets);
+
+}  // namespace wmcast::setcover

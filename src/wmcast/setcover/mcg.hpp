@@ -1,0 +1,59 @@
+// Centralized MNU (Fig. 3 of the paper): the Chekuri–Kumar greedy for
+// Maximum Coverage with Group Budgets, cost version, with no overall budget,
+// followed by the H1/H2 split. 8-approximation (Theorem 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wmcast/setcover/set_system.hpp"
+#include "wmcast/util/bitset.hpp"
+
+namespace wmcast::setcover {
+
+struct McgResult {
+  /// Every set the greedy added (paper's H), in selection order.
+  std::vector<int> h;
+  /// violator[k] is true when h[k] pushed its group's cost past the budget
+  /// (paper's H2 membership).
+  std::vector<bool> violator;
+
+  std::vector<int> h1;  // budget-respecting sets
+  std::vector<int> h2;  // at most one violator per group
+  /// The output: whichever of h1 / h2 covers more target elements.
+  std::vector<int> chosen;
+  /// Elements of the target covered by `chosen`.
+  util::DynBitset covered;
+  /// Elements of the target covered by the full h (diagnostics/tests).
+  util::DynBitset covered_h;
+};
+
+/// Runs the MCG greedy against `group_budgets` (one entry per group).
+/// If `restrict_to` is non-null only those elements count as coverage targets
+/// (SCG runs the greedy repeatedly on the shrinking remainder).
+///
+/// Deviations from the verbatim pseudo-code, both documented in DESIGN.md:
+///  * sets whose own cost exceeds their group budget are never selected (the
+///    paper assumes c(S) <= B_i for the H2 feasibility argument);
+///  * zero-gain sets are never selected (the literal pseudo-code could burn
+///    group budgets on sets that cover nothing).
+McgResult mcg_greedy(const SetSystem& sys, std::span<const double> group_budgets,
+                     const util::DynBitset* restrict_to = nullptr);
+
+/// Convenience: uniform budget for every group.
+McgResult mcg_greedy_uniform(const SetSystem& sys, double budget,
+                             const util::DynBitset* restrict_to = nullptr);
+
+/// Greedy augmentation after the H1/H2 split: repeatedly adds the most
+/// cost-effective set that (a) covers something new and (b) fits entirely
+/// within its group's remaining budget — no violators this time. Updates
+/// `group_cost` and `covered` in place and returns the sets it added.
+/// Coverage only grows and budgets stay respected, so running this after
+/// the MCG greedy preserves the 8-approximation of Centralized MNU while
+/// recovering coverage the discarded half left behind (practical refinement;
+/// see DESIGN.md).
+std::vector<int> mcg_augment(const SetSystem& sys, std::span<const double> group_budgets,
+                             std::vector<double>& group_cost, util::DynBitset& covered,
+                             const util::DynBitset* restrict_to = nullptr);
+
+}  // namespace wmcast::setcover

@@ -1,0 +1,63 @@
+#include "wmcast/setcover/reduction.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::setcover {
+
+SetSystem build_set_system(const wlan::Scenario& sc, bool multi_rate) {
+  std::vector<CandidateSet> sets;
+
+  // (rate, user) pairs for one (ap, session), sorted by descending rate.
+  std::vector<std::pair<double, int>> requesters;
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      requesters.clear();
+      for (const int u : sc.users_of_ap(a)) {
+        if (sc.user_session(u) == s) requesters.emplace_back(sc.link_rate(a, u), u);
+      }
+      if (requesters.empty()) continue;
+
+      if (!multi_rate) {
+        // Single candidate: everyone in range, served at the basic rate.
+        CandidateSet cs;
+        cs.members = util::DynBitset(sc.n_users());
+        for (const auto& [r, u] : requesters) cs.members.set(u);
+        cs.tx_rate = sc.basic_rate();
+        cs.cost = sc.session_rate(s) / cs.tx_rate;
+        cs.group = cs.ap = a;
+        cs.session = s;
+        sets.push_back(std::move(cs));
+        continue;
+      }
+
+      std::sort(requesters.begin(), requesters.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+
+      // One candidate per distinct occurring rate; members accumulate as the
+      // rate drops. Equal consecutive rates extend the same candidate.
+      util::DynBitset members(sc.n_users());
+      size_t i = 0;
+      while (i < requesters.size()) {
+        const double rate = requesters[i].first;
+        while (i < requesters.size() && requesters[i].first == rate) {
+          members.set(requesters[i].second);
+          ++i;
+        }
+        CandidateSet cs;
+        cs.members = members;
+        cs.tx_rate = rate;
+        cs.cost = sc.session_rate(s) / rate;
+        cs.group = cs.ap = a;
+        cs.session = s;
+        sets.push_back(std::move(cs));
+      }
+    }
+  }
+  return SetSystem(sc.n_users(), sc.n_aps(), std::move(sets));
+}
+
+}  // namespace wmcast::setcover

@@ -1,0 +1,22 @@
+// The paper's reduction (Theorems 1/3/5): a WLAN association instance becomes
+// a grouped, weighted set system. For every AP a, session s, and useful
+// transmission rate r, the candidate set is
+//     { u : user u requests s and link_rate(a, u) >= r }
+// with cost session_rate(s) / r, in group a.
+//
+// Only link-rate values that actually occur on (a, s) are enumerated: any
+// other transmission rate is dominated by the next-higher occurring rate
+// (same members, lower cost).
+#pragma once
+
+#include "wmcast/setcover/set_system.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::setcover {
+
+/// Builds the set system for `sc`.
+/// multi_rate=false restricts every multicast to the scenario's basic rate
+/// (802.11-standard broadcast), yielding one candidate set per (AP, session).
+SetSystem build_set_system(const wlan::Scenario& sc, bool multi_rate = true);
+
+}  // namespace wmcast::setcover

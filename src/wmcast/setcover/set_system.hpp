@@ -1,0 +1,61 @@
+// The combinatorial structure all three centralized algorithms operate on:
+// a weighted set system over the users, with sets grouped by AP (the paper's
+// MCG/SCG "groups"). Built from a wlan::Scenario by setcover::build_set_system
+// (Theorems 1, 3 and 5 use the same construction).
+#pragma once
+
+#include <vector>
+
+#include "wmcast/util/bitset.hpp"
+
+namespace wmcast::setcover {
+
+/// One candidate transmission: AP `ap` multicasting session `session` at PHY
+/// rate `tx_rate` covers exactly `members` (the requesters with link rate >=
+/// tx_rate) at airtime cost `cost` = stream_rate / tx_rate.
+struct CandidateSet {
+  util::DynBitset members;
+  double cost = 0.0;
+  int group = 0;  // == ap for WLAN-derived systems
+  int ap = 0;
+  int session = 0;
+  double tx_rate = 0.0;
+};
+
+/// Immutable weighted, grouped set system over ground set {0..n_elements-1}.
+class SetSystem {
+ public:
+  SetSystem(int n_elements, int n_groups, std::vector<CandidateSet> sets);
+
+  int n_elements() const { return n_elements_; }
+  int n_groups() const { return n_groups_; }
+  int n_sets() const { return static_cast<int>(sets_.size()); }
+
+  const CandidateSet& set(int j) const { return sets_[static_cast<size_t>(j)]; }
+  const std::vector<CandidateSet>& sets() const { return sets_; }
+
+  /// Indices of the sets belonging to group g.
+  const std::vector<int>& group_sets(int g) const {
+    return group_sets_[static_cast<size_t>(g)];
+  }
+
+  /// Elements covered by at least one set; elements outside are uncoverable.
+  const util::DynBitset& coverable() const { return coverable_; }
+
+  /// Largest single-set cost (the paper's c_max, used to bound B* in SCG).
+  double max_set_cost() const { return max_cost_; }
+  /// max over coverable elements e of min cost of a set containing e — a
+  /// lower bound on any feasible per-group budget in SCG.
+  double min_feasible_budget() const { return min_feasible_budget_; }
+
+ private:
+  int n_elements_;
+  int n_groups_;
+  std::vector<CandidateSet> sets_;
+  std::vector<std::vector<int>> group_sets_;
+  util::DynBitset coverable_;
+  double max_cost_ = 0.0;
+  double min_feasible_budget_ = 0.0;
+};
+
+}  // namespace wmcast::setcover

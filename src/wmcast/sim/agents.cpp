@@ -1,0 +1,20 @@
+#include "wmcast/sim/agents.hpp"
+
+#include "wmcast/util/assert.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::sim {
+
+// Builds the member-list snapshot a user's query round collects: only the
+// neighboring APs answer, so only their member lists are populated (the
+// decision policy never reads the others).
+std::vector<std::vector<int>> snapshot_neighbors(const wlan::Scenario& sc, int u,
+                                                 const std::vector<ApAgent>& aps) {
+  std::vector<std::vector<int>> snapshot(static_cast<size_t>(sc.n_aps()));
+  for (const int a : sc.aps_of_user(u)) {
+    snapshot[static_cast<size_t>(a)] = aps[static_cast<size_t>(a)].members;
+  }
+  return snapshot;
+}
+
+}  // namespace wmcast::sim

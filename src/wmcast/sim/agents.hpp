@@ -1,0 +1,78 @@
+// Protocol-level entities for the discrete-event WLAN simulation: the user
+// agent's scan/decide/apply cycle and the AP's membership state, plus the
+// configuration and trace records shared with sim::ProtocolSim.
+//
+// The modeled message exchange follows §4.2 of the paper: a user periodically
+// queries its neighboring APs; each AP answers with its multicast sessions,
+// their transmission rates and its load; the user then (re)associates.
+// Decisions are therefore based on information that is one network latency
+// old — with synchronized scan phases, two users can decide on the same
+// stale snapshot and oscillate (Fig. 4); with jittered phases decisions
+// interleave and the protocol converges (Lemmas 1-2).
+#pragma once
+
+#include <vector>
+
+#include "wmcast/assoc/policy.hpp"
+
+namespace wmcast::sim {
+
+struct SimConfig {
+  /// One-way user<->AP message latency (query and response each take one).
+  double latency_s = 0.002;
+  /// Period between a user's association re-evaluations.
+  double scan_period_s = 1.0;
+  /// Each user's scan phase is drawn uniformly from [0, phase_jitter_s).
+  /// 0 synchronizes every user (the paper's simultaneous-decision hazard).
+  double phase_jitter_s = 1.0;
+  /// Simulation stops early once no association changed for this long.
+  double quiet_period_s = 4.0;
+  /// Hard wall-clock limit of the simulated run.
+  double max_time_s = 120.0;
+  /// Failure injection: each protocol message (query, response, or
+  /// (re)association request) is independently lost with this probability.
+  /// A user that misses any neighbor's response defers its decision to the
+  /// next scan period — the protocol stays safe, only slower.
+  double message_loss_prob = 0.0;
+  assoc::PolicyParams policy;
+};
+
+/// One association change, for traces and tests.
+struct TraceEntry {
+  double time_s = 0.0;
+  int user = -1;
+  int from_ap = -1;  // wlan::kNoAp when joining from unassociated
+  int to_ap = -1;
+};
+
+/// Message/operation counters (the signaling-overhead numbers the paper's
+/// discussion of centralized vs distributed control is about).
+struct SimCounters {
+  int64_t queries = 0;    // user->AP query messages
+  int64_t responses = 0;  // AP->user responses
+  int64_t joins = 0;      // (re)association messages
+  int64_t leaves = 0;
+  int64_t decisions = 0;   // completed decide steps
+  int64_t rejections = 0;  // joins refused by the AP (budget exceeded since
+                           // the user's snapshot was taken)
+  int64_t lost_messages = 0;   // messages dropped by failure injection
+  int64_t deferred_scans = 0;  // scans abandoned due to a lost query/response
+};
+
+/// Per-AP protocol state: the members currently associated for multicast.
+struct ApAgent {
+  std::vector<int> members;
+};
+
+/// Per-user protocol state.
+struct UserAgent {
+  int ap = -1;  // wlan::kNoAp
+  double phase_s = 0.0;
+};
+
+/// The member-list snapshot one query round collects: only the neighboring
+/// APs of `u` answer, so only their lists are populated.
+std::vector<std::vector<int>> snapshot_neighbors(const wlan::Scenario& sc, int u,
+                                                 const std::vector<ApAgent>& aps);
+
+}  // namespace wmcast::sim

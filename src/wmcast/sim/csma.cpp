@@ -1,0 +1,248 @@
+#include "wmcast/sim/csma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wmcast/mac/airtime.hpp"
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::sim {
+
+namespace {
+
+constexpr double kSlotUs = mac::Ofdm80211a::kSlotUs;
+
+// Pending frame at an AP.
+struct Frame {
+  enum class Kind { kNone, kMulticast, kUnicast };
+  Kind kind = Kind::kNone;
+  int flow = -1;        // multicast session index or unicast client index
+  int duration_slots = 0;
+  int retries = 0;
+};
+
+struct ApState {
+  // Multicast arrival bookkeeping (periodic).
+  std::vector<double> next_arrival_slot;
+  std::vector<double> period_slots;
+  std::vector<int> mc_duration_slots;
+  std::vector<int64_t> mc_queue;  // queued frames per session
+  std::vector<int> uc_duration_slots;
+
+  Frame current;
+  int backoff = 0;  // remaining idle slots before transmitting
+  int cw = 0;
+  int tx_remaining = 0;  // slots left of the ongoing transmission
+  bool colliding = false;
+
+  size_t next_unicast = 0;
+  int64_t tx_slots_total = 0;
+  int64_t mc_sent = 0;
+  int64_t mc_collided = 0;
+  std::vector<int64_t> uc_delivered;  // frames per client
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> same_channel_conflicts(
+    const std::vector<std::vector<int>>& conflict_graph,
+    const std::vector<int>& channel_of_ap) {
+  util::require(conflict_graph.size() == channel_of_ap.size(),
+                "same_channel_conflicts: size mismatch");
+  std::vector<std::vector<int>> out(conflict_graph.size());
+  for (size_t a = 0; a < conflict_graph.size(); ++a) {
+    for (const int b : conflict_graph[a]) {
+      if (channel_of_ap[a] == channel_of_ap[static_cast<size_t>(b)]) {
+        out[a].push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+CsmaResult simulate_csma(const std::vector<ApWorkload>& aps,
+                         const std::vector<std::vector<int>>& conflicts,
+                         const CsmaConfig& config) {
+  const auto n = static_cast<int>(aps.size());
+  util::require(static_cast<int>(conflicts.size()) == n,
+                "simulate_csma: conflict list per AP required");
+  util::require(config.horizon_s > 0.0, "simulate_csma: bad horizon");
+  util::require(config.cw_min >= 1 && config.cw_max >= config.cw_min,
+                "simulate_csma: bad contention window");
+
+  util::Rng rng(config.seed);
+  const double payload_bits = 8.0 * config.payload_bytes;
+
+  auto slots_for = [&](double rate_mbps) {
+    const double us = mac::broadcast_airtime_us(config.payload_bytes, rate_mbps, 0);
+    return std::max(1, static_cast<int>(std::ceil(us / kSlotUs)));
+  };
+
+  std::vector<ApState> st(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    auto& s = st[static_cast<size_t>(a)];
+    const auto& w = aps[static_cast<size_t>(a)];
+    for (const auto& m : w.multicast) {
+      util::require(m.stream_mbps > 0.0 && m.tx_rate_mbps > 0.0,
+                    "simulate_csma: bad multicast flow");
+      const double period_us = payload_bits / m.stream_mbps;
+      s.period_slots.push_back(period_us / kSlotUs);
+      s.next_arrival_slot.push_back(period_us / kSlotUs);
+      s.mc_duration_slots.push_back(slots_for(m.tx_rate_mbps));
+      s.mc_queue.push_back(0);
+    }
+    for (const auto& c : w.unicast) {
+      util::require(c.link_rate_mbps > 0.0, "simulate_csma: bad unicast client");
+      s.uc_duration_slots.push_back(slots_for(c.link_rate_mbps));
+    }
+    s.uc_delivered.assign(w.unicast.size(), 0);
+    s.cw = config.cw_min;
+    s.backoff = rng.next_int(config.cw_min + 1);
+  }
+
+  const auto horizon_slots = static_cast<int64_t>(config.horizon_s * 1e6 / kSlotUs);
+
+  auto medium_busy_for = [&](int a) {
+    for (const int b : conflicts[static_cast<size_t>(a)]) {
+      if (st[static_cast<size_t>(b)].tx_remaining > 0) return true;
+    }
+    return false;
+  };
+
+  auto load_next_frame = [&](int a) {
+    auto& s = st[static_cast<size_t>(a)];
+    if (s.current.kind != Frame::Kind::kNone) return;
+    for (size_t m = 0; m < s.mc_queue.size(); ++m) {
+      if (s.mc_queue[m] > 0) {
+        --s.mc_queue[m];
+        s.current = Frame{Frame::Kind::kMulticast, static_cast<int>(m),
+                          s.mc_duration_slots[m], 0};
+        s.backoff = rng.next_int(s.cw + 1);
+        return;
+      }
+    }
+    if (!s.uc_duration_slots.empty()) {
+      const size_t c = s.next_unicast;
+      s.next_unicast = (s.next_unicast + 1) % s.uc_duration_slots.size();
+      s.current = Frame{Frame::Kind::kUnicast, static_cast<int>(c),
+                        s.uc_duration_slots[c], 0};
+      s.backoff = rng.next_int(s.cw + 1);
+    }
+  };
+
+  CsmaResult res;
+  std::vector<int> starters;
+
+  for (int64_t slot = 0; slot < horizon_slots; ++slot) {
+    // 1. Multicast arrivals.
+    for (int a = 0; a < n; ++a) {
+      auto& s = st[static_cast<size_t>(a)];
+      for (size_t m = 0; m < s.next_arrival_slot.size(); ++m) {
+        while (s.next_arrival_slot[m] <= static_cast<double>(slot)) {
+          ++s.mc_queue[m];
+          s.next_arrival_slot[m] += s.period_slots[m];
+        }
+      }
+      load_next_frame(a);
+    }
+
+    // 2. Ongoing transmissions tick down; finished frames resolve.
+    for (int a = 0; a < n; ++a) {
+      auto& s = st[static_cast<size_t>(a)];
+      if (s.tx_remaining <= 0) continue;
+      ++s.tx_slots_total;
+      if (--s.tx_remaining > 0) continue;
+
+      // Frame completed.
+      const bool collided = s.colliding;
+      s.colliding = false;
+      if (s.current.kind == Frame::Kind::kMulticast) {
+        ++s.mc_sent;
+        ++res.mc_frames_sent;
+        if (collided) {
+          ++s.mc_collided;
+          ++res.mc_frames_collided;
+        }
+        // Broadcast: no retransmission either way (802.11 semantics).
+        s.current = Frame{};
+        s.cw = config.cw_min;
+      } else {
+        if (!collided) {
+          ++s.uc_delivered[static_cast<size_t>(s.current.flow)];
+          s.current = Frame{};
+          s.cw = config.cw_min;
+        } else if (s.current.retries < config.unicast_retry_limit) {
+          ++s.current.retries;
+          s.cw = std::min(2 * s.cw + 1, config.cw_max);
+          s.backoff = rng.next_int(s.cw + 1);
+        } else {
+          ++res.unicast_drops;
+          s.current = Frame{};
+          s.cw = config.cw_min;
+        }
+      }
+      load_next_frame(a);
+    }
+
+    // 3. Backoff countdown for idle APs with pending frames; collect the
+    //    APs whose counters expire this slot.
+    starters.clear();
+    for (int a = 0; a < n; ++a) {
+      auto& s = st[static_cast<size_t>(a)];
+      if (s.tx_remaining > 0 || s.current.kind == Frame::Kind::kNone) continue;
+      if (medium_busy_for(a)) continue;  // freeze backoff while medium busy
+      if (s.backoff > 0) {
+        --s.backoff;
+        continue;
+      }
+      starters.push_back(a);
+    }
+
+    // 4. Starters begin transmitting; conflicting simultaneous starters (or
+    //    a starter overlapping an already-active conflicting transmission,
+    //    impossible here since the medium was sensed idle) collide.
+    for (const int a : starters) {
+      st[static_cast<size_t>(a)].tx_remaining = st[static_cast<size_t>(a)].current.duration_slots;
+    }
+    for (size_t i = 0; i < starters.size(); ++i) {
+      for (size_t j = i + 1; j < starters.size(); ++j) {
+        const int a = starters[i];
+        const int b = starters[j];
+        const auto& nb = conflicts[static_cast<size_t>(a)];
+        if (std::find(nb.begin(), nb.end(), b) != nb.end()) {
+          if (!st[static_cast<size_t>(a)].colliding || !st[static_cast<size_t>(b)].colliding) {
+            ++res.collisions;
+          }
+          st[static_cast<size_t>(a)].colliding = true;
+          st[static_cast<size_t>(b)].colliding = true;
+        }
+      }
+    }
+  }
+
+  // Aggregate.
+  res.mc_delivery_ratio.assign(static_cast<size_t>(n), 1.0);
+  res.airtime_fraction.assign(static_cast<size_t>(n), 0.0);
+  int64_t delivered = 0;
+  for (int a = 0; a < n; ++a) {
+    const auto& s = st[static_cast<size_t>(a)];
+    if (s.mc_sent > 0) {
+      res.mc_delivery_ratio[static_cast<size_t>(a)] =
+          1.0 - static_cast<double>(s.mc_collided) / s.mc_sent;
+    }
+    res.airtime_fraction[static_cast<size_t>(a)] =
+        static_cast<double>(s.tx_slots_total) / horizon_slots;
+    delivered += s.mc_sent - s.mc_collided;
+    for (const auto frames : s.uc_delivered) {
+      res.total_unicast_goodput_mbps +=
+          frames * payload_bits / (config.horizon_s * 1e6);
+    }
+  }
+  res.overall_mc_delivery =
+      res.mc_frames_sent > 0
+          ? static_cast<double>(delivered) / res.mc_frames_sent
+          : 1.0;
+  return res;
+}
+
+}  // namespace wmcast::sim

@@ -1,0 +1,64 @@
+// Slotted CSMA/CA (DCF) network simulator. The per-AP channel simulator
+// (ap_channel.hpp) assumes a private channel; this module drops that
+// assumption: APs sharing a channel within interference range contend with
+// binary-exponential-backoff DCF, and simultaneous transmissions by
+// conflicting APs collide. Unicast frames are retransmitted (up to a retry
+// limit, doubling the contention window); multicast/broadcast frames are
+// not — exactly the 802.11 unreliability the paper's related-work section
+// (§2) is about. This lets us measure multicast delivery ratio as a function
+// of the association policy: policies that pile load onto few APs congest
+// their channels and lose more broadcast frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wmcast/sim/ap_channel.hpp"
+#include "wmcast/util/rng.hpp"
+
+namespace wmcast::sim {
+
+struct CsmaConfig {
+  int payload_bytes = 1500;
+  double horizon_s = 2.0;
+  int cw_min = 15;    // initial contention window, slots
+  int cw_max = 1023;  // cap after doublings
+  int unicast_retry_limit = 7;
+  uint64_t seed = 1;  // backoff randomness
+};
+
+/// Per-AP offered traffic.
+struct ApWorkload {
+  std::vector<MulticastFlow> multicast;  // periodic broadcast streams
+  std::vector<UnicastClient> unicast;    // saturated downlink clients
+};
+
+struct CsmaResult {
+  /// Fraction of multicast frames transmitted without collision, per AP
+  /// (1.0 for APs that sent none).
+  std::vector<double> mc_delivery_ratio;
+  /// Fraction of the horizon each AP spent transmitting (incl. collisions).
+  std::vector<double> airtime_fraction;
+  double overall_mc_delivery = 1.0;  // network-wide delivered/sent
+  double total_unicast_goodput_mbps = 0.0;
+  int64_t mc_frames_sent = 0;
+  int64_t mc_frames_collided = 0;
+  int64_t collisions = 0;          // collision events (any frame type)
+  int64_t unicast_drops = 0;       // unicast frames beyond the retry limit
+};
+
+/// Simulates all APs for config.horizon_s. `conflicts[a]` lists the APs that
+/// share a channel with `a` within interference range (e.g. from
+/// ext::build_conflict_graph + ext::assign_channels, keeping only
+/// same-channel edges). Deterministic per config.seed.
+CsmaResult simulate_csma(const std::vector<ApWorkload>& aps,
+                         const std::vector<std::vector<int>>& conflicts,
+                         const CsmaConfig& config = {});
+
+/// Convenience: reduces a full channel assignment to same-channel conflict
+/// lists as simulate_csma expects.
+std::vector<std::vector<int>> same_channel_conflicts(
+    const std::vector<std::vector<int>>& conflict_graph,
+    const std::vector<int>& channel_of_ap);
+
+}  // namespace wmcast::sim

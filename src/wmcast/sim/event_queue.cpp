@@ -1,0 +1,38 @@
+#include "wmcast/sim/event_queue.hpp"
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::sim {
+
+void Simulator::schedule_in(double delay_s, Handler h) {
+  WMCAST_ASSERT(delay_s >= 0.0, "schedule_in: negative delay");
+  queue_.push(Event{now_ + delay_s, next_seq_++, std::move(h)});
+}
+
+void Simulator::schedule_at(double time_s, Handler h) {
+  WMCAST_ASSERT(time_s >= now_, "schedule_at: time in the past");
+  queue_.push(Event{time_s, next_seq_++, std::move(h)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the handler out before popping: the handler may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.handler();
+  return true;
+}
+
+int64_t Simulator::run_until(double t_end) {
+  int64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace wmcast::sim

@@ -1,0 +1,47 @@
+// Minimal deterministic discrete-event core. Events at equal timestamps fire
+// in scheduling order (monotone sequence numbers), so runs are reproducible.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wmcast::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_; }
+  int64_t processed() const { return processed_; }
+
+  /// Schedules `h` to run `delay_s` seconds from now (delay_s >= 0).
+  void schedule_in(double delay_s, Handler h);
+  /// Schedules `h` at absolute time `time_s` (>= now).
+  void schedule_at(double time_s, Handler h);
+
+  bool empty() const { return queue_.empty(); }
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+  /// Runs events with timestamp <= t_end; returns the number processed.
+  int64_t run_until(double t_end);
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wmcast::sim

@@ -1,0 +1,47 @@
+#include "wmcast/sim/handoff.hpp"
+
+#include <algorithm>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::sim {
+
+DisruptionReport account_disruptions(const std::vector<wlan::Association>& snapshots,
+                                     const HandoffModel& model) {
+  util::require(model.handoff_interruption_s >= 0.0 && model.rejoin_interruption_s >= 0.0,
+                "account_disruptions: negative interruption times");
+  DisruptionReport rep;
+  if (snapshots.size() < 2) return rep;
+
+  const int n_users = snapshots.front().n_users();
+  rep.per_user_s.assign(static_cast<size_t>(n_users), 0.0);
+
+  for (size_t k = 1; k < snapshots.size(); ++k) {
+    util::require(snapshots[k].n_users() == n_users,
+                  "account_disruptions: snapshot size mismatch");
+    for (int u = 0; u < n_users; ++u) {
+      const int before = snapshots[k - 1].ap_of(u);
+      const int after = snapshots[k].ap_of(u);
+      if (before == after) continue;
+      double cost = 0.0;
+      if (before == wlan::kNoAp) {
+        ++rep.joins;
+        cost = model.rejoin_interruption_s;  // initial join: scanning from scratch
+      } else if (after == wlan::kNoAp) {
+        ++rep.drops;
+        cost = model.rejoin_interruption_s;
+      } else {
+        ++rep.handoffs;
+        cost = model.handoff_interruption_s;
+      }
+      rep.per_user_s[static_cast<size_t>(u)] += cost;
+      rep.total_disruption_s += cost;
+    }
+  }
+  for (const double d : rep.per_user_s) {
+    rep.worst_user_disruption_s = std::max(rep.worst_user_disruption_s, d);
+  }
+  return rep;
+}
+
+}  // namespace wmcast::sim

@@ -1,0 +1,40 @@
+// Handoff (re-association) cost accounting. The paper's §1 argues that in
+// large networks "centralized solutions will lead to more frequent changes
+// in associations causing increased signaling traffic"; its citation of
+// SyncScan (Ramani & Savage) is about exactly this — each re-association
+// interrupts the stream for the scan + (re)association exchange. This module
+// converts a sequence of association snapshots (e.g. churn epochs) into a
+// per-user service-disruption account under a configurable handoff model.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::sim {
+
+struct HandoffModel {
+  /// Stream interruption per re-association between two APs, seconds.
+  /// Classic active-scan handoffs cost hundreds of ms; SyncScan-style
+  /// optimized handoffs single-digit ms.
+  double handoff_interruption_s = 0.3;
+  /// Interruption when a user loses service entirely and must (re)join.
+  double rejoin_interruption_s = 1.0;
+};
+
+struct DisruptionReport {
+  int64_t handoffs = 0;       // AP-to-AP re-associations
+  int64_t drops = 0;          // served -> unserved transitions
+  int64_t joins = 0;          // unserved -> served transitions
+  double total_disruption_s = 0.0;
+  double worst_user_disruption_s = 0.0;
+  /// Per-user accumulated disruption, seconds.
+  std::vector<double> per_user_s;
+};
+
+/// Accumulates disruptions across consecutive association snapshots.
+/// All snapshots must have the same user count.
+DisruptionReport account_disruptions(const std::vector<wlan::Association>& snapshots,
+                                     const HandoffModel& model = {});
+
+}  // namespace wmcast::sim

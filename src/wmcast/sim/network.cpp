@@ -1,0 +1,207 @@
+#include "wmcast/sim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::sim {
+
+namespace {
+constexpr double kBudgetEps = 1e-9;
+}
+
+ProtocolSim::ProtocolSim(const wlan::Scenario& sc, const SimConfig& config, util::Rng rng)
+    : sc_(sc),
+      config_(config),
+      rng_(rng),
+      aps_(static_cast<size_t>(sc.n_aps())),
+      users_(static_cast<size_t>(sc.n_users())),
+      activation_time_(static_cast<size_t>(sc.n_users()), 0.0),
+      deactivation_time_(static_cast<size_t>(sc.n_users()),
+                         std::numeric_limits<double>::infinity()),
+      active_(static_cast<size_t>(sc.n_users()), true) {
+  util::require(config.latency_s >= 0.0, "ProtocolSim: negative latency");
+  util::require(config.scan_period_s > 0.0, "ProtocolSim: scan period must be positive");
+}
+
+void ProtocolSim::set_initial(const wlan::Association& assoc) {
+  util::require(!started_, "ProtocolSim: set_initial must precede run()");
+  util::require(assoc.n_users() == sc_.n_users(), "ProtocolSim: association size mismatch");
+  for (auto& ap : aps_) ap.members.clear();
+  for (int u = 0; u < sc_.n_users(); ++u) {
+    const int a = assoc.ap_of(u);
+    users_[static_cast<size_t>(u)].ap = a;
+    if (a != wlan::kNoAp) {
+      util::require(sc_.in_range(a, u), "ProtocolSim: initial association out of range");
+      aps_[static_cast<size_t>(a)].members.push_back(u);
+    }
+  }
+}
+
+void ProtocolSim::activate_user_at(int u, double time_s) {
+  util::require(!started_, "ProtocolSim: activate_user_at must precede run()");
+  util::require(u >= 0 && u < sc_.n_users(), "ProtocolSim: invalid user");
+  util::require(time_s >= 0.0, "ProtocolSim: negative activation time");
+  activation_time_[static_cast<size_t>(u)] = time_s;
+}
+
+void ProtocolSim::deactivate_user_at(int u, double time_s) {
+  util::require(!started_, "ProtocolSim: deactivate_user_at must precede run()");
+  util::require(u >= 0 && u < sc_.n_users(), "ProtocolSim: invalid user");
+  util::require(time_s >= 0.0, "ProtocolSim: negative deactivation time");
+  deactivation_time_[static_cast<size_t>(u)] = time_s;
+}
+
+void ProtocolSim::schedule_scan(int u, double at) {
+  if (at > config_.max_time_s) return;  // stop generating work past the horizon
+  simulator_.schedule_at(at, [this, u] { on_scan(u); });
+}
+
+void ProtocolSim::on_scan(int u) {
+  if (!active_[static_cast<size_t>(u)]) return;
+  if (simulator_.now() >= deactivation_time_[static_cast<size_t>(u)]) {
+    // The viewer switched off: leave the current AP and stop scanning.
+    active_[static_cast<size_t>(u)] = false;
+    apply_move(u, wlan::kNoAp);
+    return;
+  }
+  const auto n_neighbors =
+      static_cast<int64_t>(sc_.aps_of_user(u).size());
+  counters_.queries += n_neighbors;
+  counters_.responses += n_neighbors;
+  if (n_neighbors > 0) {
+    // Failure injection: each query and each response can be lost
+    // independently. The user decides among the APs it actually heard from;
+    // if its own AP did not answer it defers entirely (it cannot score
+    // "stay" against the alternatives on stale information).
+    std::vector<int> heard;
+    if (config_.message_loss_prob > 0.0) {
+      for (const int a : sc_.aps_of_user(u)) {
+        const bool query_lost = rng_.next_bool(config_.message_loss_prob);
+        const bool response_lost =
+            !query_lost && rng_.next_bool(config_.message_loss_prob);
+        if (query_lost || response_lost) {
+          ++counters_.lost_messages;
+        } else {
+          heard.push_back(a);
+        }
+      }
+    } else {
+      heard = sc_.aps_of_user(u);
+    }
+
+    const int current = users_[static_cast<size_t>(u)].ap;
+    const bool current_heard =
+        current == wlan::kNoAp ||
+        std::find(heard.begin(), heard.end(), current) != heard.end();
+    if (!heard.empty() && current_heard) {
+      // Responses are all in after a query/response round trip; the user
+      // then decides on that (by now possibly stale) information.
+      simulator_.schedule_in(2.0 * config_.latency_s, [this, u, heard] {
+        on_decide(u, snapshot_neighbors(sc_, u, aps_), heard);
+      });
+    } else {
+      ++counters_.deferred_scans;
+    }
+  }
+  schedule_scan(u, simulator_.now() + config_.scan_period_s);
+}
+
+void ProtocolSim::on_decide(int u, std::vector<std::vector<int>> snapshot,
+                            const std::vector<int>& heard) {
+  if (!active_[static_cast<size_t>(u)]) return;  // left between scan and decide
+  ++counters_.decisions;
+  const int current = users_[static_cast<size_t>(u)].ap;
+  const int target =
+      assoc::choose_best_ap_among(sc_, u, snapshot, current, config_.policy, heard);
+  if (target == current) return;
+  // The (re)association request can itself be lost; the user simply retries
+  // on a later scan.
+  if (config_.message_loss_prob > 0.0 && rng_.next_bool(config_.message_loss_prob)) {
+    ++counters_.lost_messages;
+    return;
+  }
+  // The (re)association message takes one more latency to reach the AP.
+  simulator_.schedule_in(config_.latency_s, [this, u, target] { apply_move(u, target); });
+}
+
+void ProtocolSim::apply_move(int u, int target) {
+  const int current = users_[static_cast<size_t>(u)].ap;
+  if (target == current) return;
+
+  if (target != wlan::kNoAp) {
+    ++counters_.joins;
+    // Admission control at the AP: state may have moved on since the user's
+    // snapshot, so re-check the budget with live membership.
+    if (config_.policy.enforce_budget) {
+      auto& m = aps_[static_cast<size_t>(target)].members;
+      m.push_back(u);
+      const double load =
+          wlan::ap_load_for_members(sc_, target, m, config_.policy.multi_rate);
+      m.pop_back();
+      if (load > sc_.load_budget() + kBudgetEps) {
+        ++counters_.rejections;
+        return;  // stay with the current AP
+      }
+    }
+  }
+
+  if (current != wlan::kNoAp) {
+    ++counters_.leaves;
+    auto& m = aps_[static_cast<size_t>(current)].members;
+    const auto it = std::find(m.begin(), m.end(), u);
+    WMCAST_ASSERT(it != m.end(), "ProtocolSim: member list out of sync");
+    m.erase(it);
+  }
+  if (target != wlan::kNoAp) aps_[static_cast<size_t>(target)].members.push_back(u);
+  users_[static_cast<size_t>(u)].ap = target;
+
+  last_change_s_ = simulator_.now();
+  trace_.push_back(TraceEntry{simulator_.now(), u, current, target});
+}
+
+SimOutcome ProtocolSim::run() {
+  util::require(!started_, "ProtocolSim: run() may only be called once");
+  started_ = true;
+
+  for (int u = 0; u < sc_.n_users(); ++u) {
+    const double jitter =
+        config_.phase_jitter_s > 0.0 ? rng_.uniform(0.0, config_.phase_jitter_s) : 0.0;
+    users_[static_cast<size_t>(u)].phase_s = jitter;
+    const double first = activation_time_[static_cast<size_t>(u)] + jitter;
+    last_first_scan_s_ = std::max(last_first_scan_s_, first);
+    schedule_scan(u, first);
+    // A pending departure is scheduled activity too: it fires at the first
+    // scan after its time, so hold off quiescence until then.
+    const double deact = deactivation_time_[static_cast<size_t>(u)];
+    if (deact < config_.max_time_s) {
+      last_first_scan_s_ =
+          std::max(last_first_scan_s_, deact + config_.scan_period_s + jitter);
+    }
+  }
+
+  while (!simulator_.empty()) {
+    simulator_.step();
+    // Quiescence only counts once every user has joined the protocol —
+    // a late activation (activate_user_at) is pending activity, not quiet.
+    const double idle_since = std::max(last_change_s_, last_first_scan_s_);
+    if (simulator_.now() - idle_since > config_.quiet_period_s) break;
+    if (simulator_.now() > config_.max_time_s) break;
+  }
+
+  SimOutcome out;
+  out.assoc = wlan::Association::none(sc_.n_users());
+  for (int u = 0; u < sc_.n_users(); ++u) {
+    out.assoc.user_ap[static_cast<size_t>(u)] = users_[static_cast<size_t>(u)].ap;
+  }
+  out.converged = simulator_.now() - std::max(last_change_s_, last_first_scan_s_) >
+                  config_.quiet_period_s;
+  out.last_change_s = last_change_s_;
+  out.end_time_s = simulator_.now();
+  out.counters = counters_;
+  out.trace = std::move(trace_);
+  return out;
+}
+
+}  // namespace wmcast::sim

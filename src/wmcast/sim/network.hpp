@@ -1,0 +1,72 @@
+// ProtocolSim: the discrete-event simulation of the distributed association
+// protocols. This is the substrate standing in for the paper's ns-2 runs
+// (see DESIGN.md's substitution table): it reproduces the protocol dynamics
+// — message latencies, stale snapshots, convergence and oscillation — while
+// the fast round engine (assoc::distributed_associate) reproduces the
+// steady-state associations for parameter sweeps.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/sim/agents.hpp"
+#include "wmcast/sim/event_queue.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::sim {
+
+struct SimOutcome {
+  wlan::Association assoc;
+  bool converged = false;
+  double last_change_s = 0.0;  // time of the final association change
+  double end_time_s = 0.0;
+  SimCounters counters;
+  std::vector<TraceEntry> trace;
+};
+
+class ProtocolSim {
+ public:
+  ProtocolSim(const wlan::Scenario& sc, const SimConfig& config, util::Rng rng);
+
+  /// Starts from an existing association instead of all-unassociated
+  /// (used to reproduce Fig. 4, which begins from a given configuration).
+  void set_initial(const wlan::Association& assoc);
+
+  /// Delays user `u`'s first scan to `time_s` (default 0): models late
+  /// joiners. Call before run().
+  void activate_user_at(int u, double time_s);
+
+  /// Schedules user `u` to leave the network at `time_s`: it disassociates
+  /// (one leave message) and stops scanning. Models viewers switching off
+  /// (session churn in the DES). Call before run().
+  void deactivate_user_at(int u, double time_s);
+
+  /// Runs until quiescence (no association change for quiet_period_s) or
+  /// until max_time_s. One run per ProtocolSim instance.
+  SimOutcome run();
+
+ private:
+  void schedule_scan(int u, double at);
+  void on_scan(int u);
+  void on_decide(int u, std::vector<std::vector<int>> snapshot,
+                 const std::vector<int>& heard);
+  void apply_move(int u, int target);
+
+  const wlan::Scenario& sc_;
+  SimConfig config_;
+  util::Rng rng_;
+  Simulator simulator_;
+
+  std::vector<ApAgent> aps_;
+  std::vector<UserAgent> users_;
+  std::vector<double> activation_time_;
+  std::vector<double> deactivation_time_;  // infinity = never leaves
+  std::vector<bool> active_;
+  SimCounters counters_;
+  std::vector<TraceEntry> trace_;
+  double last_change_s_ = 0.0;
+  double last_first_scan_s_ = 0.0;  // when the last user starts participating
+  bool started_ = false;
+};
+
+}  // namespace wmcast::sim

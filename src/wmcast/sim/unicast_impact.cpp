@@ -1,0 +1,82 @@
+#include "wmcast/sim/unicast_impact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::sim {
+
+UnicastImpactResult measure_unicast_impact(const wlan::Scenario& sc,
+                                           const wlan::Association& assoc,
+                                           const UnicastImpactConfig& config,
+                                           util::Rng& rng) {
+  util::require(sc.has_geometry(), "measure_unicast_impact: needs a geometric scenario");
+  util::require(config.n_unicast_clients >= 0, "measure_unicast_impact: bad client count");
+
+  const auto loads = wlan::compute_loads(sc, assoc);
+
+  // Place unicast clients; each attaches to the nearest AP in range.
+  // The area bounds are inferred from the existing node positions.
+  double side = 0.0;
+  for (const auto& p : sc.ap_positions()) side = std::max({side, p.x, p.y});
+  for (const auto& p : sc.user_positions()) side = std::max({side, p.x, p.y});
+
+  const auto table = wlan::RateTable::ieee80211a();
+  std::vector<std::vector<UnicastClient>> clients(static_cast<size_t>(sc.n_aps()));
+  int placed = 0;
+  for (int c = 0; c < config.n_unicast_clients; ++c) {
+    const wlan::Point pos{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    int best_ap = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (int a = 0; a < sc.n_aps(); ++a) {
+      const double d = wlan::distance(sc.ap_positions()[static_cast<size_t>(a)], pos);
+      if (d < best_d) {
+        best_d = d;
+        best_ap = a;
+      }
+    }
+    if (best_ap < 0) continue;
+    const double rate = table.rate_for_distance(best_d);
+    if (rate <= 0.0) continue;  // out of everyone's range
+    clients[static_cast<size_t>(best_ap)].push_back(UnicastClient{rate});
+    ++placed;
+  }
+
+  UnicastImpactResult res;
+  res.clients_placed = placed;
+  res.worst_client_goodput_mbps = std::numeric_limits<double>::infinity();
+  double goodput_sum = 0.0;
+  int goodput_count = 0;
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    std::vector<MulticastFlow> flows;
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      const double tx = loads.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      if (tx > 0.0) flows.push_back(MulticastFlow{sc.session_rate(s), tx});
+    }
+    const auto& uc = clients[static_cast<size_t>(a)];
+    if (flows.empty() && uc.empty()) continue;
+
+    const auto r = simulate_ap_channel(flows, uc, config.channel);
+    res.total_goodput_mbps += r.total_unicast_goodput_mbps;
+    res.total_multicast_busy += r.multicast_busy_fraction;
+    res.max_multicast_busy = std::max(res.max_multicast_busy, r.multicast_busy_fraction);
+    if (!flows.empty()) {
+      for (const double g : r.unicast_goodput_mbps) {
+        res.worst_client_goodput_mbps = std::min(res.worst_client_goodput_mbps, g);
+      }
+    }
+    for (const double g : r.unicast_goodput_mbps) {
+      goodput_sum += g;
+      ++goodput_count;
+    }
+  }
+  if (res.worst_client_goodput_mbps == std::numeric_limits<double>::infinity()) {
+    res.worst_client_goodput_mbps = 0.0;
+  }
+  res.mean_client_goodput_mbps = goodput_count > 0 ? goodput_sum / goodput_count : 0.0;
+  return res;
+}
+
+}  // namespace wmcast::sim

@@ -1,0 +1,41 @@
+// Network-wide unicast-impact study: drops saturated unicast clients into
+// the WLAN, attaches them to their strongest-signal AP (unicast association
+// is out of the paper's scope and left as-is), and runs the frame-level
+// channel simulator on every AP under a given multicast association. This
+// turns the paper's motivation — "multicast services must minimally impact
+// existing unicast services" — into a measurable quantity.
+#pragma once
+
+#include "wmcast/sim/ap_channel.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::sim {
+
+struct UnicastImpactConfig {
+  int n_unicast_clients = 100;
+  ApChannelConfig channel;
+};
+
+struct UnicastImpactResult {
+  /// Aggregate unicast goodput over all APs, Mbps.
+  double total_goodput_mbps = 0.0;
+  /// Lowest per-client goodput among clients on APs that carry multicast —
+  /// the users the streams hurt most.
+  double worst_client_goodput_mbps = 0.0;
+  double mean_client_goodput_mbps = 0.0;
+  /// Busiest AP's measured multicast fraction (empirical Definition 1).
+  double max_multicast_busy = 0.0;
+  double total_multicast_busy = 0.0;  // sum over APs
+  int clients_placed = 0;
+};
+
+/// Places `config.n_unicast_clients` clients uniformly in the scenario's
+/// area (geometric scenarios only) and simulates every AP's channel under
+/// the multicast transmissions induced by `assoc`.
+UnicastImpactResult measure_unicast_impact(const wlan::Scenario& sc,
+                                           const wlan::Association& assoc,
+                                           const UnicastImpactConfig& config,
+                                           util::Rng& rng);
+
+}  // namespace wmcast::sim

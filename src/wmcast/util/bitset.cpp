@@ -1,0 +1,100 @@
+#include "wmcast/util/bitset.hpp"
+
+#include <bit>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+DynBitset::DynBitset(int n_bits) : n_bits_(n_bits), words_((n_bits + 63) / 64, 0) {
+  WMCAST_ASSERT(n_bits >= 0, "bitset size must be non-negative");
+}
+
+void DynBitset::set(int i) {
+  WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
+  words_[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+void DynBitset::reset(int i) {
+  WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
+  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+bool DynBitset::test(int i) const {
+  WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void DynBitset::set_all() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  // Clear the bits above n_bits_ in the last word so count() stays exact.
+  if (n_bits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (n_bits_ % 64)) - 1;
+  }
+}
+
+void DynBitset::reset_all() {
+  for (auto& w : words_) w = 0;
+}
+
+int DynBitset::count() const {
+  int total = 0;
+  for (const auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool DynBitset::any() const {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+int DynBitset::and_count(const DynBitset& other) const {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  int total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+bool DynBitset::intersects(const DynBitset& other) const {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool DynBitset::is_subset_of(const DynBitset& other) const {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+void DynBitset::or_assign(const DynBitset& other) {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void DynBitset::and_assign(const DynBitset& other) {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void DynBitset::andnot_assign(const DynBitset& other) {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+std::vector<int> DynBitset::to_indices() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(count()));
+  for_each([&out](int i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace wmcast::util

@@ -1,0 +1,67 @@
+// Dynamic bitset tuned for the set-cover kernels: the hot operations are
+// popcount of an intersection (|S ∩ X'|) and in-place and/or/andnot updates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wmcast::util {
+
+/// Fixed-universe dynamic bitset. All binary operations require both operands
+/// to share the same universe size (checked with assertions).
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(int n_bits);
+
+  int size() const { return n_bits_; }
+
+  void set(int i);
+  void reset(int i);
+  bool test(int i) const;
+
+  void set_all();
+  void reset_all();
+
+  /// Number of set bits.
+  int count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// popcount(*this & other) without materializing the intersection.
+  int and_count(const DynBitset& other) const;
+  /// True iff (*this & other) is nonempty.
+  bool intersects(const DynBitset& other) const;
+  /// True iff every set bit of *this is also set in other.
+  bool is_subset_of(const DynBitset& other) const;
+
+  void or_assign(const DynBitset& other);
+  void and_assign(const DynBitset& other);
+  /// *this &= ~other.
+  void andnot_assign(const DynBitset& other);
+
+  bool operator==(const DynBitset& other) const = default;
+
+  /// Indices of set bits in increasing order.
+  std::vector<int> to_indices() const;
+
+  /// Calls fn(i) for every set bit i in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  int n_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace wmcast::util

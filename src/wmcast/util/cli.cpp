@@ -1,0 +1,52 @@
+#include "wmcast/util/cli.hpp"
+
+#include <stdexcept>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unrecognized argument (expected --key=value): " + arg);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg.substr(2)] = "true";
+    } else {
+      kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+int Args::get_int(const std::string& key, int def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stoi(it->second);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stod(it->second);
+}
+
+uint64_t Args::get_u64(const std::string& key, uint64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stoull(it->second);
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace wmcast::util

@@ -1,0 +1,28 @@
+// Minimal command-line parsing for bench and example binaries.
+// Supported forms: --key=value and --flag (boolean true).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wmcast::util {
+
+/// Parses "--key=value" / "--flag" arguments; anything else is rejected with
+/// std::invalid_argument so typos fail loudly in scripted runs.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  int get_int(const std::string& key, int def) const;
+  double get_double(const std::string& key, double def) const;
+  uint64_t get_u64(const std::string& key, uint64_t def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace wmcast::util

@@ -1,0 +1,44 @@
+#include "wmcast/util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+std::string render_histogram(const std::vector<std::string>& labels,
+                             const std::vector<int>& counts, int width) {
+  require(labels.size() == counts.size(), "render_histogram: labels/counts mismatch");
+  require(width >= 1, "render_histogram: width must be positive");
+
+  int max_count = 0;
+  size_t label_width = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    require(counts[i] >= 0, "render_histogram: negative count");
+    max_count = std::max(max_count, counts[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+
+  std::ostringstream out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    out << labels[i] << std::string(label_width - labels[i].size(), ' ') << " | ";
+    const int bar =
+        max_count > 0 ? (counts[i] * width + max_count - 1) / max_count : 0;
+    if (counts[i] > 0) out << std::string(static_cast<size_t>(std::max(bar, 1)), '#') << ' ';
+    out << counts[i] << '\n';
+  }
+  return out.str();
+}
+
+std::string render_indexed_histogram(const std::vector<int>& counts, int width) {
+  std::vector<std::string> labels(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    labels[i] = (i + 1 == counts.size() && counts.size() > 1)
+                    ? ">=" + std::to_string(i)
+                    : std::to_string(i);
+  }
+  return render_histogram(labels, counts, width);
+}
+
+}  // namespace wmcast::util

@@ -1,0 +1,21 @@
+// Console histogram rendering for CLI/exporting analytics (bar charts in
+// plain text, value-labeled).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wmcast::util {
+
+/// Renders labeled counts as an ASCII bar chart, one row per bucket:
+///   label | ######################### 42
+/// Bars scale to `width` characters for the largest count. Buckets and
+/// labels must have equal sizes.
+std::string render_histogram(const std::vector<std::string>& labels,
+                             const std::vector<int>& counts, int width = 40);
+
+/// Convenience for integer-indexed buckets ("0", "1", ..., ">=N-1" for the
+/// final clamped bucket of e.g. wlan::CoverageReport histograms).
+std::string render_indexed_histogram(const std::vector<int>& counts, int width = 40);
+
+}  // namespace wmcast::util

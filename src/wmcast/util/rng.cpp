@@ -1,0 +1,84 @@
+#include "wmcast/util/rng.hpp"
+
+#include <numeric>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  WMCAST_ASSERT(lo <= hi, "uniform: empty interval");
+  return lo + (hi - lo) * next_double();
+}
+
+int Rng::next_int(int n) {
+  WMCAST_ASSERT(n > 0, "next_int: n must be positive");
+  // Rejection-free multiply-shift (Lemire); bias is negligible for the n used
+  // here (<= a few thousand), but do the strict unbiased variant anyway.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<int>(m >> 64);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  WMCAST_ASSERT(lo <= hi, "uniform_int: empty range");
+  return lo + next_int(hi - lo + 1);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::vector<int> iota_permutation(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+}  // namespace wmcast::util

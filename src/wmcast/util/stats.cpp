@@ -1,0 +1,61 @@
+#include "wmcast/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / n_;
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double RunningStat::variance() const { return n_ > 1 ? m2_ / (n_ - 1) : 0.0; }
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return min_; }
+
+double RunningStat::max() const { return max_; }
+
+Summary summarize(const RunningStat& s) {
+  return Summary{s.min(), s.mean(), s.max(), s.stddev(), s.count()};
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  RunningStat s;
+  for (const double x : samples) s.add(x);
+  return summarize(s);
+}
+
+double percent_reduction(double ours, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+double percent_gain(double ours, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (ours - baseline) / baseline;
+}
+
+std::string fmt(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+  return buf;
+}
+
+}  // namespace wmcast::util

@@ -1,0 +1,55 @@
+// Streaming statistics for experiment aggregation. The paper reports the
+// average, min and max over 40 random scenarios per data point; Summary is
+// exactly that triple (plus stddev, which EXPERIMENTS.md records as well).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wmcast::util {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max, without storing the samples.
+class RunningStat {
+ public:
+  void add(double x);
+
+  int count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  int n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The (min, avg, max) triple the paper's error bars show.
+struct Summary {
+  double min = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  int count = 0;
+};
+
+Summary summarize(const RunningStat& s);
+Summary summarize(const std::vector<double>& samples);
+
+/// Relative improvement of `ours` vs `baseline` in percent, where smaller is
+/// better: 100*(baseline-ours)/baseline. Returns 0 if baseline is 0.
+double percent_reduction(double ours, double baseline);
+
+/// Relative improvement where larger is better: 100*(ours-baseline)/baseline.
+double percent_gain(double ours, double baseline);
+
+/// Formats a double with fixed precision (helper for tables/logs).
+std::string fmt(double x, int precision = 3);
+
+}  // namespace wmcast::util

@@ -1,0 +1,68 @@
+#include "wmcast/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  WMCAST_ASSERT(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (const auto w : width) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "wmcast: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace wmcast::util

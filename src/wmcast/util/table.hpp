@@ -1,0 +1,36 @@
+// ASCII table and CSV output for the benchmark harnesses. Each figure bench
+// prints a human-readable table (the paper's series) and can mirror it to a
+// CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wmcast::util {
+
+/// Column-aligned ASCII table, built row by row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header separator; every column as wide as its widest cell.
+  std::string to_string() const;
+  /// Render as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  /// Print to stdout.
+  void print() const;
+  /// Write CSV to `path`; returns false (and warns on stderr) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wmcast::util

@@ -1,0 +1,78 @@
+#include "wmcast/wlan/association.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+namespace {
+// Tolerance for budget feasibility: loads are sums of rate ratios and can
+// carry rounding noise; anything within kEps of the budget counts as feasible.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+LoadReport compute_loads(const Scenario& sc, const Association& assoc, bool multi_rate) {
+  util::require(assoc.n_users() == sc.n_users(), "compute_loads: association size mismatch");
+
+  LoadReport rep;
+  rep.ap_load.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+  rep.tx_rate.assign(static_cast<size_t>(sc.n_aps()),
+                     std::vector<double>(static_cast<size_t>(sc.n_sessions()), 0.0));
+
+  // Minimum member link rate per (AP, session).
+  std::vector<std::vector<double>> min_rate(
+      static_cast<size_t>(sc.n_aps()),
+      std::vector<double>(static_cast<size_t>(sc.n_sessions()),
+                          std::numeric_limits<double>::infinity()));
+
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int a = assoc.ap_of(u);
+    if (a == kNoAp) continue;
+    util::require(a >= 0 && a < sc.n_aps(), "compute_loads: invalid AP id");
+    const double r = sc.link_rate(a, u);
+    util::require(r > 0.0, "compute_loads: user assigned to AP out of its range");
+    ++rep.satisfied_users;
+    const int s = sc.user_session(u);
+    auto& mr = min_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+    mr = std::min(mr, r);
+  }
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    double load = 0.0;
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      const double mr = min_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      if (mr == std::numeric_limits<double>::infinity()) continue;
+      const double tx = multi_rate ? mr : sc.basic_rate();
+      rep.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(s)] = tx;
+      load += sc.session_rate(s) / tx;
+    }
+    rep.ap_load[static_cast<size_t>(a)] = load;
+    rep.total_load += load;
+    rep.max_load = std::max(rep.max_load, load);
+    if (load > sc.load_budget() + kEps) ++rep.budget_violations;
+  }
+  return rep;
+}
+
+double ap_load_for_members(const Scenario& sc, int ap, const std::vector<int>& members,
+                           bool multi_rate) {
+  std::vector<double> min_rate(static_cast<size_t>(sc.n_sessions()),
+                               std::numeric_limits<double>::infinity());
+  for (const int u : members) {
+    const double r = sc.link_rate(ap, u);
+    WMCAST_ASSERT(r > 0.0, "ap_load_for_members: member out of AP range");
+    const int s = sc.user_session(u);
+    min_rate[static_cast<size_t>(s)] = std::min(min_rate[static_cast<size_t>(s)], r);
+  }
+  double load = 0.0;
+  for (int s = 0; s < sc.n_sessions(); ++s) {
+    const double mr = min_rate[static_cast<size_t>(s)];
+    if (mr == std::numeric_limits<double>::infinity()) continue;
+    load += sc.session_rate(s) / (multi_rate ? mr : sc.basic_rate());
+  }
+  return load;
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,57 @@
+// User-to-AP association and the induced multicast load model (Definition 1
+// of the paper): an AP transmitting session s to a set of members uses the
+// lowest member link rate, and its load is the sum over transmitted sessions
+// of stream_rate / tx_rate.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+/// A (possibly partial) association of users to APs. user_ap[u] == kNoAp
+/// means user u is not served (relevant for MNU, where budgets may force
+/// rejections).
+struct Association {
+  std::vector<int> user_ap;
+
+  static Association none(int n_users) {
+    return Association{std::vector<int>(static_cast<size_t>(n_users), kNoAp)};
+  }
+
+  int n_users() const { return static_cast<int>(user_ap.size()); }
+  int ap_of(int u) const { return user_ap[static_cast<size_t>(u)]; }
+
+  friend bool operator==(const Association&, const Association&) = default;
+};
+
+/// Loads and transmission rates induced by an association.
+struct LoadReport {
+  std::vector<double> ap_load;               // [ap]
+  std::vector<std::vector<double>> tx_rate;  // [ap][session], 0 = silent
+  double total_load = 0.0;
+  double max_load = 0.0;
+  int satisfied_users = 0;
+  int budget_violations = 0;  // APs whose load exceeds the scenario budget
+
+  bool within_budget() const { return budget_violations == 0; }
+};
+
+/// Computes the load report for `assoc` on `sc`.
+/// Throws std::invalid_argument if any user is assigned to an AP that cannot
+/// reach it (link rate 0) or to an out-of-range AP id.
+/// `multi_rate` selects the transmission-rate model: true (default) = the AP
+/// multicasts each session at the lowest member link rate (the paper's
+/// multi-rate assumption); false = every multicast goes at the scenario's
+/// basic rate (the plain 802.11 standard behaviour).
+LoadReport compute_loads(const Scenario& sc, const Association& assoc,
+                         bool multi_rate = true);
+
+/// Incremental load helper used by the distributed algorithms and SSA: the
+/// load of a single AP given an explicit member list (user ids), without
+/// building a full Association. Members must all be in range of `ap`.
+double ap_load_for_members(const Scenario& sc, int ap, const std::vector<int>& members,
+                           bool multi_rate = true);
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,51 @@
+#include "wmcast/wlan/coverage.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+CoverageReport analyze_coverage(const Scenario& sc, int histogram_buckets) {
+  util::require(histogram_buckets >= 2, "analyze_coverage: need at least two buckets");
+
+  CoverageReport rep;
+  rep.aps_per_user_histogram.assign(static_cast<size_t>(histogram_buckets), 0);
+
+  std::map<double, int> best_rate_hist;
+  int64_t ap_count_sum = 0;
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int k = static_cast<int>(sc.aps_of_user(u).size());
+    if (k == 0) {
+      ++rep.uncoverable_users;
+    } else {
+      ++rep.coverable_users;
+      ++best_rate_hist[sc.link_rate(sc.strongest_ap(u), u)];
+    }
+    ap_count_sum += k;
+    rep.max_aps_per_user = std::max(rep.max_aps_per_user, k);
+    const int bucket = std::min(k, histogram_buckets - 1);
+    ++rep.aps_per_user_histogram[static_cast<size_t>(bucket)];
+  }
+  rep.mean_aps_per_user =
+      sc.n_users() > 0 ? static_cast<double>(ap_count_sum) / sc.n_users() : 0.0;
+
+  for (const auto& [rate, count] : best_rate_hist) {
+    rep.best_rate_values.push_back(rate);
+    rep.best_rate_counts.push_back(count);
+  }
+
+  int64_t user_count_sum = 0;
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    const int k = static_cast<int>(sc.users_of_ap(a).size());
+    user_count_sum += k;
+    rep.max_users_per_ap = std::max(rep.max_users_per_ap, k);
+    if (k == 0) ++rep.idle_aps;
+  }
+  rep.mean_users_per_ap =
+      sc.n_aps() > 0 ? static_cast<double>(user_count_sum) / sc.n_aps() : 0.0;
+  return rep;
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,32 @@
+// Coverage and connectivity analytics for a scenario: how many APs each
+// user can hear (the `f` that bounds the §6.1 layering algorithm), the rate
+// mix, AP neighborhood sizes. Used by the CLI's `info` subcommand and by
+// experiment write-ups to characterize generated topologies.
+#pragma once
+
+#include <vector>
+
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+struct CoverageReport {
+  int coverable_users = 0;
+  int uncoverable_users = 0;
+  /// Histogram over users of |APs in range|; index = count (clamped to the
+  /// histogram size, last bucket = ">=").
+  std::vector<int> aps_per_user_histogram;
+  double mean_aps_per_user = 0.0;
+  int max_aps_per_user = 0;  // the layering algorithm's f upper bound
+  /// Histogram over users of their best (strongest-AP) link rate, one bucket
+  /// per distinct rate in ascending order; parallel to best_rate_values.
+  std::vector<double> best_rate_values;
+  std::vector<int> best_rate_counts;
+  double mean_users_per_ap = 0.0;
+  int max_users_per_ap = 0;
+  int idle_aps = 0;  // APs with no user in range
+};
+
+CoverageReport analyze_coverage(const Scenario& sc, int histogram_buckets = 16);
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,21 @@
+// 2-D geometry for node placement.
+#pragma once
+
+#include <cmath>
+
+namespace wmcast::wlan {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,69 @@
+#include "wmcast/wlan/mobility.hpp"
+
+#include <algorithm>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& rng) {
+  util::require(sc.has_geometry(), "churn_epoch: needs a geometric scenario");
+  util::require(params.move_fraction >= 0.0 && params.move_fraction <= 1.0,
+                "churn_epoch: bad move fraction");
+  util::require(params.zap_fraction >= 0.0 && params.zap_fraction <= 1.0,
+                "churn_epoch: bad zap fraction");
+
+  double side = params.area_side_m;
+  if (side <= 0.0) {
+    for (const auto& p : sc.ap_positions()) side = std::max({side, p.x, p.y});
+    for (const auto& p : sc.user_positions()) side = std::max({side, p.x, p.y});
+  }
+
+  std::vector<Point> user_pos = sc.user_positions();
+  std::vector<int> user_session(static_cast<size_t>(sc.n_users()));
+  std::vector<double> session_rates(static_cast<size_t>(sc.n_sessions()));
+  for (int u = 0; u < sc.n_users(); ++u) user_session[static_cast<size_t>(u)] = sc.user_session(u);
+  for (int s = 0; s < sc.n_sessions(); ++s) session_rates[static_cast<size_t>(s)] = sc.session_rate(s);
+
+  for (int u = 0; u < sc.n_users(); ++u) {
+    if (rng.next_bool(params.move_fraction)) {
+      user_pos[static_cast<size_t>(u)] = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    }
+    if (sc.n_sessions() > 1 && rng.next_bool(params.zap_fraction)) {
+      // Switch to a different session, uniformly among the others.
+      const int old = user_session[static_cast<size_t>(u)];
+      int next = rng.next_int(sc.n_sessions() - 1);
+      if (next >= old) ++next;
+      user_session[static_cast<size_t>(u)] = next;
+    }
+  }
+
+  return Scenario::from_geometry(sc.ap_positions(), std::move(user_pos),
+                                 std::move(user_session), std::move(session_rates),
+                                 params.rate_table, sc.load_budget());
+}
+
+Association carry_over(const Scenario& new_sc, const Scenario& old_sc,
+                       const Association& assoc) {
+  util::require(assoc.n_users() == new_sc.n_users() && assoc.n_users() == old_sc.n_users(),
+                "carry_over: size mismatch");
+  Association out = Association::none(new_sc.n_users());
+  for (int u = 0; u < new_sc.n_users(); ++u) {
+    const int a = assoc.ap_of(u);
+    if (a == kNoAp) continue;
+    const bool still_in_range = new_sc.in_range(a, u);
+    const bool same_session = new_sc.user_session(u) == old_sc.user_session(u);
+    if (still_in_range && same_session) out.user_ap[static_cast<size_t>(u)] = a;
+  }
+  return out;
+}
+
+int surviving_members(const Association& carried) {
+  int n = 0;
+  for (const int a : carried.user_ap) {
+    if (a != kNoAp) ++n;
+  }
+  return n;
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,41 @@
+// Quasi-static dynamics (paper §3.1: users "tend to stay at one place for a
+// relatively long time period before changing their location", citing the
+// SIGMETRICS/MobiCom WLAN measurement studies). The model is epoch-based:
+// between epochs a fraction of users relocates (mobility) and a fraction
+// re-picks its multicast session (channel zapping). The distributed
+// algorithms then resume from the carried-over association — exactly the
+// incremental regime the paper argues favors distributed control.
+#pragma once
+
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+struct ChurnParams {
+  /// Fraction of users that jump to a fresh uniform location per epoch.
+  double move_fraction = 0.1;
+  /// Fraction of users that switch to a different random session per epoch.
+  double zap_fraction = 0.05;
+  /// Rate table used to re-derive link rates after moves.
+  RateTable rate_table = RateTable::ieee80211a();
+  /// Area side for re-placement; 0 = infer from current positions.
+  double area_side_m = 0.0;
+};
+
+/// One epoch of churn: returns a new scenario (same APs, sessions, budget)
+/// with some users relocated and/or re-zapped. Requires a geometric scenario.
+Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& rng);
+
+/// Carries an association onto a (churned) scenario: users keep their AP if
+/// it is still in range AND they still request the same session they can get
+/// there; otherwise they become unassociated (they must re-associate).
+/// `old_sc` supplies the previous session requests for the zap check.
+Association carry_over(const Scenario& new_sc, const Scenario& old_sc,
+                       const Association& assoc);
+
+/// Number of users whose association survived the carry-over.
+int surviving_members(const Association& carried);
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,43 @@
+#include "wmcast/wlan/rate_table.hpp"
+
+#include <algorithm>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+RateTable::RateTable(std::vector<RateStep> steps) : steps_(std::move(steps)) {
+  util::require(!steps_.empty(), "RateTable: need at least one step");
+  std::sort(steps_.begin(), steps_.end(),
+            [](const RateStep& a, const RateStep& b) { return a.rate_mbps > b.rate_mbps; });
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    util::require(steps_[i].rate_mbps > 0.0, "RateTable: rates must be positive");
+    util::require(steps_[i].max_distance_m > 0.0, "RateTable: distances must be positive");
+    if (i > 0) {
+      util::require(steps_[i].rate_mbps < steps_[i - 1].rate_mbps,
+                    "RateTable: duplicate rate");
+      util::require(steps_[i].max_distance_m > steps_[i - 1].max_distance_m,
+                    "RateTable: lower rate must reach strictly farther");
+    }
+  }
+}
+
+RateTable RateTable::ieee80211a() {
+  return RateTable({{6, 200}, {12, 145}, {18, 105}, {24, 85}, {36, 60}, {48, 40}, {54, 35}});
+}
+
+double RateTable::rate_for_distance(double distance_m) const {
+  for (const auto& s : steps_) {
+    if (distance_m <= s.max_distance_m) return s.rate_mbps;
+  }
+  return 0.0;
+}
+
+RateTable RateTable::scaled_range(double factor) const {
+  util::require(factor > 0.0, "RateTable: scale factor must be positive");
+  std::vector<RateStep> scaled = steps_;
+  for (auto& s : scaled) s.max_distance_m *= factor;
+  return RateTable(std::move(scaled));
+}
+
+}  // namespace wmcast::wlan

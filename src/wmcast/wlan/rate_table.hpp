@@ -1,0 +1,51 @@
+// Discrete PHY-rate model: transmission rate as a step function of distance.
+// The default table is Table 1 of the paper (802.11a, Manshaei & Turletti):
+//
+//   Rate (Mbps)        6    12   18   24   36   48   54
+//   Max distance (m)   200  145  105  85   60   40   35
+#pragma once
+
+#include <vector>
+
+namespace wmcast::wlan {
+
+/// One step of the rate/distance staircase.
+struct RateStep {
+  double rate_mbps = 0.0;
+  double max_distance_m = 0.0;
+
+  friend bool operator==(const RateStep&, const RateStep&) = default;
+};
+
+/// Monotone rate staircase: higher rates reach shorter distances. Immutable
+/// after construction; validates monotonicity.
+class RateTable {
+ public:
+  /// Steps may be given in any order; stored sorted by descending rate.
+  /// Requires: all rates/distances positive, strictly monotone (higher rate =>
+  /// strictly smaller max distance), no duplicate rates.
+  explicit RateTable(std::vector<RateStep> steps);
+
+  /// The paper's Table 1 (IEEE 802.11a).
+  static RateTable ieee80211a();
+
+  /// Highest rate usable at `distance_m`; 0 when out of range.
+  double rate_for_distance(double distance_m) const;
+
+  /// Steps sorted by descending rate (ascending distance threshold).
+  const std::vector<RateStep>& steps() const { return steps_; }
+
+  /// Lowest (basic) rate — what the 802.11 standard mandates for broadcast.
+  double basic_rate() const { return steps_.back().rate_mbps; }
+  /// Radio range: the basic rate's distance threshold.
+  double range_m() const { return steps_.back().max_distance_m; }
+
+  /// A copy of this table with every distance threshold scaled by `factor`
+  /// (used by the adaptive-power-control extension; factor in (0, inf)).
+  RateTable scaled_range(double factor) const;
+
+ private:
+  std::vector<RateStep> steps_;  // descending rate
+};
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,135 @@
+#include "wmcast/wlan/scenario.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+Scenario Scenario::from_geometry(std::vector<Point> ap_pos, std::vector<Point> user_pos,
+                                 std::vector<int> user_session,
+                                 std::vector<double> session_rate_mbps,
+                                 const RateTable& table, double load_budget) {
+  Scenario sc;
+  sc.n_aps_ = static_cast<int>(ap_pos.size());
+  sc.n_users_ = static_cast<int>(user_pos.size());
+  sc.ap_pos_ = std::move(ap_pos);
+  sc.user_pos_ = std::move(user_pos);
+  sc.user_session_ = std::move(user_session);
+  sc.session_rate_ = std::move(session_rate_mbps);
+  sc.load_budget_ = load_budget;
+
+  sc.link_rate_.resize(static_cast<size_t>(sc.n_aps_) * sc.n_users_);
+  for (int a = 0; a < sc.n_aps_; ++a) {
+    for (int u = 0; u < sc.n_users_; ++u) {
+      const double d = distance(sc.ap_pos_[static_cast<size_t>(a)],
+                                sc.user_pos_[static_cast<size_t>(u)]);
+      sc.link_rate_[sc.idx(a, u)] = table.rate_for_distance(d);
+    }
+  }
+  sc.finalize();
+  return sc;
+}
+
+Scenario Scenario::from_link_rates(std::vector<std::vector<double>> link_rate,
+                                   std::vector<int> user_session,
+                                   std::vector<double> session_rate_mbps,
+                                   double load_budget) {
+  Scenario sc;
+  sc.n_aps_ = static_cast<int>(link_rate.size());
+  sc.n_users_ = sc.n_aps_ > 0 ? static_cast<int>(link_rate[0].size())
+                              : static_cast<int>(user_session.size());
+  sc.user_session_ = std::move(user_session);
+  sc.session_rate_ = std::move(session_rate_mbps);
+  sc.load_budget_ = load_budget;
+
+  sc.link_rate_.resize(static_cast<size_t>(sc.n_aps_) * sc.n_users_);
+  for (int a = 0; a < sc.n_aps_; ++a) {
+    util::require(static_cast<int>(link_rate[static_cast<size_t>(a)].size()) == sc.n_users_,
+                  "Scenario: ragged link-rate matrix");
+    for (int u = 0; u < sc.n_users_; ++u) {
+      sc.link_rate_[sc.idx(a, u)] = link_rate[static_cast<size_t>(a)][static_cast<size_t>(u)];
+    }
+  }
+  sc.finalize();
+  return sc;
+}
+
+void Scenario::finalize() {
+  util::require(static_cast<int>(user_session_.size()) == n_users_,
+                "Scenario: user_session size mismatch");
+  util::require(!session_rate_.empty() || n_users_ == 0,
+                "Scenario: need at least one session");
+  util::require(load_budget_ > 0.0 && load_budget_ <= 1.0,
+                "Scenario: load budget must be in (0, 1]");
+  for (const double r : session_rate_) {
+    util::require(r > 0.0, "Scenario: session rates must be positive");
+  }
+  for (int u = 0; u < n_users_; ++u) {
+    const int s = user_session_[static_cast<size_t>(u)];
+    util::require(s >= 0 && s < n_sessions(), "Scenario: user requests invalid session");
+  }
+  for (const double r : link_rate_) {
+    util::require(r >= 0.0, "Scenario: link rates must be non-negative");
+  }
+
+  aps_of_user_.assign(static_cast<size_t>(n_users_), {});
+  users_of_ap_.assign(static_cast<size_t>(n_aps_), {});
+  strongest_ap_.assign(static_cast<size_t>(n_users_), kNoAp);
+  basic_rate_ = std::numeric_limits<double>::infinity();
+  n_coverable_ = 0;
+
+  for (int u = 0; u < n_users_; ++u) {
+    auto& aps = aps_of_user_[static_cast<size_t>(u)];
+    for (int a = 0; a < n_aps_; ++a) {
+      const double r = link_rate(a, u);
+      if (r > 0.0) {
+        aps.push_back(a);
+        users_of_ap_[static_cast<size_t>(a)].push_back(u);
+        basic_rate_ = std::min(basic_rate_, r);
+      }
+    }
+    if (aps.empty()) continue;
+    ++n_coverable_;
+    // Strongest-signal order: by distance for geometric instances, by link
+    // rate otherwise; AP id breaks ties deterministically.
+    if (!ap_pos_.empty()) {
+      const Point up = user_pos_[static_cast<size_t>(u)];
+      std::sort(aps.begin(), aps.end(), [&](int a, int b) {
+        const double da = distance(ap_pos_[static_cast<size_t>(a)], up);
+        const double db = distance(ap_pos_[static_cast<size_t>(b)], up);
+        return da != db ? da < db : a < b;
+      });
+    } else {
+      std::sort(aps.begin(), aps.end(), [&](int a, int b) {
+        const double ra = link_rate(a, u);
+        const double rb = link_rate(b, u);
+        return ra != rb ? ra > rb : a < b;
+      });
+    }
+    strongest_ap_[static_cast<size_t>(u)] = aps.front();
+  }
+  if (n_coverable_ == 0) basic_rate_ = 0.0;
+}
+
+Scenario Scenario::with_budget(double load_budget) const {
+  Scenario sc = *this;
+  sc.load_budget_ = load_budget;
+  util::require(load_budget > 0.0 && load_budget <= 1.0,
+                "Scenario: load budget must be in (0, 1]");
+  return sc;
+}
+
+Scenario Scenario::with_session_rates(std::vector<double> session_rate_mbps) const {
+  util::require(session_rate_mbps.size() == session_rate_.size(),
+                "Scenario: session rate count mismatch");
+  Scenario sc = *this;
+  sc.session_rate_ = std::move(session_rate_mbps);
+  for (const double r : sc.session_rate_) {
+    util::require(r > 0.0, "Scenario: session rates must be positive");
+  }
+  return sc;
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,112 @@
+// The WLAN instance the association algorithms operate on (§3.1 of the
+// paper): a set of APs, a set of multicast users, per-link maximum PHY rates,
+// multicast sessions with stream data rates, and a per-AP multicast load
+// budget.
+//
+// Two construction paths:
+//  * from_geometry   — node positions + a RateTable (the paper's evaluation);
+//  * from_link_rates — an explicit AP×user rate matrix (the paper's worked
+//                      examples, e.g. Fig. 1, use arbitrary rates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wmcast/wlan/geometry.hpp"
+#include "wmcast/wlan/rate_table.hpp"
+
+namespace wmcast::wlan {
+
+/// Identifier conventions: APs, users and sessions are dense ints
+/// [0, n_aps), [0, n_users), [0, n_sessions). kNoAp marks "unassociated".
+inline constexpr int kNoAp = -1;
+
+/// Immutable problem instance. Invariants established at construction:
+/// rates non-negative (0 = out of range), each user requests a valid session,
+/// session stream rates positive, budget in (0, 1].
+class Scenario {
+ public:
+  /// Geometric construction: link rate = table.rate_for_distance(|ap-user|).
+  /// Signal strength ordering is by distance (closer = stronger).
+  static Scenario from_geometry(std::vector<Point> ap_pos, std::vector<Point> user_pos,
+                                std::vector<int> user_session,
+                                std::vector<double> session_rate_mbps,
+                                const RateTable& table, double load_budget = 0.9);
+
+  /// Explicit construction: link_rate[a][u] in Mbps, 0 = out of range.
+  /// Signal strength ordering is by link rate (higher = stronger).
+  static Scenario from_link_rates(std::vector<std::vector<double>> link_rate,
+                                  std::vector<int> user_session,
+                                  std::vector<double> session_rate_mbps,
+                                  double load_budget = 0.9);
+
+  int n_aps() const { return n_aps_; }
+  int n_users() const { return n_users_; }
+  int n_sessions() const { return static_cast<int>(session_rate_.size()); }
+
+  /// Maximum PHY rate from AP `a` to user `u`; 0 when out of range.
+  double link_rate(int a, int u) const { return link_rate_[idx(a, u)]; }
+  bool in_range(int a, int u) const { return link_rate(a, u) > 0.0; }
+
+  /// Session requested by user `u`.
+  int user_session(int u) const { return user_session_[static_cast<size_t>(u)]; }
+  /// Stream data rate of session `s` in Mbps.
+  double session_rate(int s) const { return session_rate_[static_cast<size_t>(s)]; }
+
+  /// Fraction of airtime each AP may spend on multicast (paper: 0.9).
+  double load_budget() const { return load_budget_; }
+
+  /// APs within range of user `u`, strongest signal first.
+  const std::vector<int>& aps_of_user(int u) const {
+    return aps_of_user_[static_cast<size_t>(u)];
+  }
+  /// Users within range of AP `a`, ascending id.
+  const std::vector<int>& users_of_ap(int a) const {
+    return users_of_ap_[static_cast<size_t>(a)];
+  }
+  /// Strongest-signal AP of user `u` (kNoAp when no AP is in range).
+  int strongest_ap(int u) const { return strongest_ap_[static_cast<size_t>(u)]; }
+
+  /// Lowest positive link rate in the instance — the "basic rate" used when
+  /// multi-rate multicast is disabled (802.11 standard behaviour).
+  double basic_rate() const { return basic_rate_; }
+
+  /// True when built by from_geometry (positions available).
+  bool has_geometry() const { return !ap_pos_.empty() || n_aps_ == 0; }
+  const std::vector<Point>& ap_positions() const { return ap_pos_; }
+  const std::vector<Point>& user_positions() const { return user_pos_; }
+
+  /// Users that at least one AP can reach; only these can ever be satisfied.
+  int n_coverable_users() const { return n_coverable_; }
+
+  /// A copy of this scenario with a different per-AP load budget.
+  Scenario with_budget(double load_budget) const;
+  /// A copy with different session stream rates (size must match).
+  Scenario with_session_rates(std::vector<double> session_rate_mbps) const;
+
+ private:
+  Scenario() = default;
+  void finalize();  // builds caches, validates, computes basic_rate_
+  size_t idx(int a, int u) const {
+    return static_cast<size_t>(a) * static_cast<size_t>(n_users_) +
+           static_cast<size_t>(u);
+  }
+
+  int n_aps_ = 0;
+  int n_users_ = 0;
+  std::vector<double> link_rate_;   // row-major [ap][user]
+  std::vector<int> user_session_;
+  std::vector<double> session_rate_;
+  double load_budget_ = 0.9;
+  double basic_rate_ = 0.0;
+  int n_coverable_ = 0;
+
+  std::vector<Point> ap_pos_;    // empty for explicit instances
+  std::vector<Point> user_pos_;  // empty for explicit instances
+
+  std::vector<std::vector<int>> aps_of_user_;
+  std::vector<std::vector<int>> users_of_ap_;
+  std::vector<int> strongest_ap_;
+};
+
+}  // namespace wmcast::wlan

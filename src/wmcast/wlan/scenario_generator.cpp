@@ -1,0 +1,92 @@
+#include "wmcast/wlan/scenario_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+namespace {
+
+/// Box-Muller standard normal from two uniforms.
+double gaussian(util::Rng& rng) {
+  const double u1 = std::max(rng.next_double(), 1e-300);
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+Scenario generate_scenario(const GeneratorParams& params, util::Rng& rng) {
+  util::require(params.n_aps > 0, "generator: need at least one AP");
+  util::require(params.n_users > 0, "generator: need at least one user");
+  util::require(params.n_sessions > 0, "generator: need at least one session");
+  util::require(params.area_side_m > 0.0, "generator: area side must be positive");
+  util::require(params.zipf_exponent >= 0.0, "generator: bad zipf exponent");
+  util::require(params.hotspot_fraction >= 0.0 && params.hotspot_fraction <= 1.0,
+                "generator: bad hotspot fraction");
+  util::require(params.n_hotspots > 0, "generator: need at least one hotspot");
+  util::require(params.session_rate_spread >= 1.0,
+                "generator: session rate spread must be >= 1");
+
+  const double side = params.area_side_m;
+  std::vector<Point> ap_pos(static_cast<size_t>(params.n_aps));
+  for (auto& p : ap_pos) p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+
+  // Hotspot centers (drawn even when unused, to keep streams aligned across
+  // hotspot_fraction settings at the same seed).
+  std::vector<Point> hotspots(static_cast<size_t>(params.n_hotspots));
+  for (auto& h : hotspots) h = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+
+  std::vector<Point> user_pos(static_cast<size_t>(params.n_users));
+  for (auto& p : user_pos) {
+    if (rng.next_bool(params.hotspot_fraction)) {
+      const auto& h = hotspots[static_cast<size_t>(rng.next_int(params.n_hotspots))];
+      p = {std::clamp(h.x + params.hotspot_sigma_m * gaussian(rng), 0.0, side),
+           std::clamp(h.y + params.hotspot_sigma_m * gaussian(rng), 0.0, side)};
+    } else {
+      p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    }
+  }
+
+  // Session choice: uniform, or Zipf over session ids.
+  std::vector<int> user_session(static_cast<size_t>(params.n_users));
+  if (params.zipf_exponent == 0.0) {
+    for (auto& s : user_session) s = rng.next_int(params.n_sessions);
+  } else {
+    std::vector<double> cdf(static_cast<size_t>(params.n_sessions));
+    double sum = 0.0;
+    for (int k = 0; k < params.n_sessions; ++k) {
+      sum += 1.0 / std::pow(k + 1, params.zipf_exponent);
+      cdf[static_cast<size_t>(k)] = sum;
+    }
+    for (auto& s : user_session) {
+      const double x = rng.next_double() * sum;
+      s = static_cast<int>(std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+      s = std::min(s, params.n_sessions - 1);
+    }
+  }
+
+  std::vector<double> session_rates(static_cast<size_t>(params.n_sessions),
+                                    params.session_rate_mbps);
+  if (params.session_rate_spread != 1.0) {
+    const double log_spread = std::log(params.session_rate_spread);
+    for (auto& r : session_rates) {
+      r = params.session_rate_mbps * std::exp(rng.uniform(-log_spread, log_spread));
+    }
+  }
+  return Scenario::from_geometry(std::move(ap_pos), std::move(user_pos),
+                                 std::move(user_session), std::move(session_rates),
+                                 params.rate_table, params.load_budget);
+}
+
+GeneratorParams fig12_params(int n_users) {
+  GeneratorParams p;
+  p.area_side_m = 600.0;
+  p.n_aps = 30;
+  p.n_users = n_users;
+  return p;
+}
+
+}  // namespace wmcast::wlan

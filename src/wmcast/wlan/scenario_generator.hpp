@@ -1,0 +1,46 @@
+// Random-scenario generation matching §7 of the paper: APs and users placed
+// uniformly at random in a square area, every user requesting one multicast
+// session chosen uniformly at random.
+#pragma once
+
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+/// Parameters with the paper's defaults: 1.2 km^2 area, 802.11a rates
+/// (Table 1, 200 m range), load budget 0.9, 5 sessions. The paper does not
+/// state the multicast stream rate; 1.0 Mbps is our default (EXPERIMENTS.md
+/// records the sensitivity of the results to this choice).
+struct GeneratorParams {
+  double area_side_m = 1095.445;  // sqrt(1.2 km^2)
+  int n_aps = 200;
+  int n_users = 400;
+  int n_sessions = 5;
+  double session_rate_mbps = 1.0;
+  double load_budget = 0.9;
+  RateTable rate_table = RateTable::ieee80211a();
+
+  // --- evaluation extensions beyond the paper's uniform setting ---
+  /// Session popularity: 0 = uniform (the paper); s > 0 = Zipf with this
+  /// exponent (session k drawn proportional to 1/(k+1)^s) — models a few hot
+  /// TV channels and a long tail.
+  double zipf_exponent = 0.0;
+  /// Fraction of users placed in Gaussian clusters instead of uniformly
+  /// (0 = the paper's uniform placement).
+  double hotspot_fraction = 0.0;
+  int n_hotspots = 4;
+  double hotspot_sigma_m = 60.0;
+  /// Stream-rate heterogeneity: session k's rate is drawn log-uniformly in
+  /// [session_rate_mbps / spread, session_rate_mbps * spread]. 1 = the
+  /// paper's homogeneous streams. Models mixing audio and video channels.
+  double session_rate_spread = 1.0;
+};
+
+/// Draws one random scenario. Consumes randomness only from `rng`.
+Scenario generate_scenario(const GeneratorParams& params, util::Rng& rng);
+
+/// The small-network setting of Fig. 12: 30 APs in a 600 m x 600 m area.
+GeneratorParams fig12_params(int n_users);
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,50 @@
+// Plain-text scenario serialization, so experiments can be archived and
+// replayed exactly (the paper published its ns-2 scripts for the same
+// reason). The format is a line-oriented text file:
+//
+//   wmcast-scenario v1
+//   budget <double>
+//   sessions <n>
+//   session_rates <r0> <r1> ...
+//   users <n>
+//   user_sessions <s0> <s1> ...
+//   geometry <0|1>
+//   -- geometric scenarios --
+//   area_hint <side>            (informational)
+//   ap_positions <n> then n lines "x y"
+//   user_positions then n lines "x y"
+//   rate_table <k> then k lines "rate max_distance"
+//   -- explicit scenarios --
+//   aps <n>
+//   link_rates then n lines of n_users doubles
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+/// Serializes `sc` (round-trips exactly for explicit scenarios; geometric
+/// scenarios additionally need the rate table, passed here).
+std::string to_text(const Scenario& sc, const RateTable& table = RateTable::ieee80211a());
+
+/// Parses a scenario written by to_text. Throws std::invalid_argument on any
+/// malformed input (never asserts: files are untrusted).
+Scenario from_text(const std::string& text);
+
+/// File helpers; save returns false on I/O error, load throws on bad content.
+bool save_scenario(const Scenario& sc, const std::string& path,
+                   const RateTable& table = RateTable::ieee80211a());
+Scenario load_scenario(const std::string& path);
+
+/// Association serialization: "wmcast-association v1", then the user count
+/// and one AP id (or -1) per user.
+std::string association_to_text(const Association& assoc);
+Association association_from_text(const std::string& text);
+bool save_association(const Association& assoc, const std::string& path);
+Association load_association(const std::string& path);
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,104 @@
+#include "wmcast/wlan/svg_map.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+namespace {
+
+// Session colors cycle through a qualitative palette.
+const char* kSessionColors[] = {"#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+                                "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+                                "#9c6b4e", "#9498a0"};
+
+std::string load_color(double load) {
+  // White (idle) to dark red (load 1).
+  const double x = std::clamp(load, 0.0, 1.0);
+  const int r = 255;
+  const int gb = static_cast<int>(255 * (1.0 - 0.85 * x));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, gb, gb);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_svg(const Scenario& sc, const Association* assoc,
+                       const SvgOptions& options) {
+  util::require(sc.has_geometry(), "render_svg: needs a geometric scenario");
+  util::require(options.canvas_px > 0.0, "render_svg: bad canvas size");
+  if (assoc != nullptr) {
+    util::require(assoc->n_users() == sc.n_users(), "render_svg: association mismatch");
+  }
+
+  double side = 1.0;
+  for (const auto& p : sc.ap_positions()) side = std::max({side, p.x, p.y});
+  for (const auto& p : sc.user_positions()) side = std::max({side, p.x, p.y});
+  const double scale = options.canvas_px / side;
+  auto px = [&](double v) { return v * scale; };
+
+  std::vector<double> ap_load(static_cast<size_t>(sc.n_aps()), 0.0);
+  if (assoc != nullptr) {
+    const auto rep = compute_loads(sc, *assoc);
+    ap_load = rep.ap_load;
+  }
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.canvas_px
+      << "\" height=\"" << options.canvas_px << "\" viewBox=\"0 0 " << options.canvas_px
+      << " " << options.canvas_px << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"#fbfaf8\"/>\n";
+
+  if (options.draw_ranges) {
+    for (const auto& p : sc.ap_positions()) {
+      out << "<circle cx=\"" << px(p.x) << "\" cy=\"" << px(p.y) << "\" r=\"" << px(200.0)
+          << "\" fill=\"none\" stroke=\"#d8d4cc\" stroke-width=\"0.5\"/>\n";
+    }
+  }
+
+  if (assoc != nullptr && options.draw_edges) {
+    for (int u = 0; u < sc.n_users(); ++u) {
+      const int a = assoc->ap_of(u);
+      if (a == kNoAp) continue;
+      const auto& ap = sc.ap_positions()[static_cast<size_t>(a)];
+      const auto& up = sc.user_positions()[static_cast<size_t>(u)];
+      out << "<line x1=\"" << px(up.x) << "\" y1=\"" << px(up.y) << "\" x2=\"" << px(ap.x)
+          << "\" y2=\"" << px(ap.y) << "\" stroke=\"#b5b1a8\" stroke-width=\"0.6\"/>\n";
+    }
+  }
+
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const auto& p = sc.user_positions()[static_cast<size_t>(u)];
+    const char* color =
+        kSessionColors[static_cast<size_t>(sc.user_session(u)) % std::size(kSessionColors)];
+    const bool unserved = assoc != nullptr && assoc->ap_of(u) == kNoAp;
+    out << "<circle class=\"user\" cx=\"" << px(p.x) << "\" cy=\"" << px(p.y)
+        << "\" r=\"3\" fill=\"" << color << "\"";
+    if (unserved) out << " fill-opacity=\"0.25\" stroke=\"#888\" stroke-width=\"0.8\"";
+    out << "/>\n";
+  }
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    const auto& p = sc.ap_positions()[static_cast<size_t>(a)];
+    out << "<rect class=\"ap\" x=\"" << px(p.x) - 5 << "\" y=\"" << px(p.y) - 5
+        << "\" width=\"10\" height=\"10\" fill=\"" << load_color(ap_load[static_cast<size_t>(a)])
+        << "\" stroke=\"#444\" stroke-width=\"1\"/>\n";
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool save_svg(const Scenario& sc, const Association* assoc, const std::string& path,
+              const SvgOptions& options) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render_svg(sc, assoc, options);
+  return static_cast<bool>(f);
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,31 @@
+// SVG rendering of a scenario and (optionally) an association: APs as
+// squares shaded by multicast load, users as dots colored by session, and
+// association edges. Pure-string output — easy to test, easy to embed in
+// reports, no graphics dependencies. Produced by the CLI's `render`
+// subcommand and usable from any example.
+#pragma once
+
+#include <string>
+
+#include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+struct SvgOptions {
+  double canvas_px = 800.0;  // square canvas, scenario area scaled to fit
+  bool draw_edges = true;    // user -> AP association lines
+  bool draw_ranges = false;  // 200 m coverage circles around APs
+};
+
+/// Renders a geometric scenario. `assoc` may be null (topology only).
+/// Throws std::invalid_argument for non-geometric scenarios or mismatched
+/// associations.
+std::string render_svg(const Scenario& sc, const Association* assoc = nullptr,
+                       const SvgOptions& options = {});
+
+/// Writes render_svg output to `path`; false on I/O failure.
+bool save_svg(const Scenario& sc, const Association* assoc, const std::string& path,
+              const SvgOptions& options = {});
+
+}  // namespace wmcast::wlan

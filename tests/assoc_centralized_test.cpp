@@ -1,0 +1,136 @@
+#include "wmcast/assoc/centralized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::assoc {
+namespace {
+
+TEST(CentralizedMla, PapersWalkthroughAllUsersOnA1) {
+  const auto sc = test::fig1_scenario(1.0);
+  const Solution sol = centralized_mla(sc);
+  for (int u = 0; u < 5; ++u) EXPECT_EQ(sol.assoc.ap_of(u), 0);
+  EXPECT_NEAR(sol.loads.total_load, 7.0 / 12.0, 1e-9);
+  EXPECT_EQ(sol.algorithm, "MLA-C");
+  EXPECT_EQ(sol.loads.satisfied_users, 5);
+}
+
+TEST(CentralizedBla, PapersWalkthroughSettlesAtSevenTwelfths) {
+  const auto sc = test::fig1_scenario(1.0);
+  const Solution sol = centralized_bla(sc);
+  EXPECT_NEAR(sol.loads.max_load, 7.0 / 12.0, 1e-9);
+  EXPECT_EQ(sol.loads.satisfied_users, 5);
+  EXPECT_TRUE(sol.converged);  // SCG found a full cover
+}
+
+TEST(CentralizedMnu, PapersLiteralWalkthroughServesThree) {
+  // The paper's verbatim algorithm (no augmentation): H1 = {(a1,s2,4)}
+  // serves u2, u4, u5 only.
+  const auto sc = test::fig1_scenario(3.0);
+  CentralizedParams p;
+  p.mnu_augment = false;
+  const Solution sol = centralized_mnu(sc, p);
+  EXPECT_EQ(sol.loads.satisfied_users, 3);
+  EXPECT_EQ(sol.assoc.ap_of(1), 0);
+  EXPECT_EQ(sol.assoc.ap_of(3), 0);
+  EXPECT_EQ(sol.assoc.ap_of(4), 0);
+  EXPECT_TRUE(sol.loads.within_budget());
+}
+
+TEST(CentralizedMnu, AugmentationRecoversTheFourthUser) {
+  // Our default refinement re-adds (a2,s1,5), serving u3 as well — matching
+  // the optimum of 4 on this instance, still within every budget.
+  const auto sc = test::fig1_scenario(3.0);
+  const Solution sol = centralized_mnu(sc);
+  EXPECT_EQ(sol.loads.satisfied_users, 4);
+  EXPECT_EQ(sol.assoc.ap_of(2), 1);
+  EXPECT_TRUE(sol.loads.within_budget());
+}
+
+TEST(CentralizedMnu, AugmentationNeverServesFewer) {
+  util::Rng rng(37);
+  for (int trial = 0; trial < 6; ++trial) {
+    wlan::GeneratorParams gp;
+    gp.n_aps = 20;
+    gp.n_users = 60;
+    gp.n_sessions = 6;
+    gp.load_budget = 0.06;
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(gp, sub);
+    CentralizedParams literal;
+    literal.mnu_augment = false;
+    const int with = centralized_mnu(sc).loads.satisfied_users;
+    const int without = centralized_mnu(sc, literal).loads.satisfied_users;
+    EXPECT_GE(with, without);
+  }
+}
+
+TEST(CentralizedMnu, AlwaysWithinBudgetOnRandomScenarios) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    wlan::GeneratorParams p;
+    p.n_aps = 20;
+    p.n_users = 60;
+    p.n_sessions = 6;
+    p.load_budget = 0.05;  // tight: forces rejections
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(p, sub);
+    const Solution sol = centralized_mnu(sc);
+    EXPECT_TRUE(sol.loads.within_budget())
+        << "budget violated on trial " << trial;
+  }
+}
+
+TEST(CentralizedMlaAndBla, ServeEveryCoverableUser) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    wlan::GeneratorParams p;
+    p.n_aps = 25;
+    p.n_users = 70;
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(p, sub);
+    EXPECT_EQ(centralized_mla(sc).loads.satisfied_users, sc.n_coverable_users());
+    EXPECT_EQ(centralized_bla(sc).loads.satisfied_users, sc.n_coverable_users());
+  }
+}
+
+TEST(Centralized, BasicRateModeMatchesSingleRateSemantics) {
+  const auto sc = test::fig1_scenario(1.0);
+  CentralizedParams p;
+  p.multi_rate = false;
+  const Solution sol = centralized_mla(sc, p);
+  EXPECT_EQ(sol.loads.satisfied_users, 5);
+  // In basic-rate mode every transmission goes at 3 Mbps; serving both
+  // sessions anywhere costs 2/3 total at minimum (one AP, two sessions).
+  EXPECT_NEAR(sol.loads.total_load, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Centralized, MultiRateNeverWorseThanBasicRate) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 5; ++trial) {
+    wlan::GeneratorParams p;
+    p.n_aps = 15;
+    p.n_users = 40;
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(p, sub);
+    CentralizedParams basic;
+    basic.multi_rate = false;
+    const double multi = centralized_mla(sc).loads.total_load;
+    const double single = centralized_mla(sc, basic).loads.total_load;
+    // The multi-rate greedy has strictly more candidate sets available, and
+    // greedy set cover on a superset of sets can in principle do worse, but
+    // the final materialized load uses true min-rates; allow equality.
+    EXPECT_LE(multi, single + 1e-9);
+  }
+}
+
+TEST(Centralized, SolveTimeIsRecorded) {
+  const auto sc = test::fig1_scenario(1.0);
+  EXPECT_GE(centralized_mla(sc).solve_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace wmcast::assoc

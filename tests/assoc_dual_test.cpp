@@ -1,0 +1,83 @@
+#include "wmcast/assoc/dual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::assoc {
+namespace {
+
+TEST(DualAssociation, Fig1AccountsUnicastAtStrongestAp) {
+  const auto sc = test::fig1_scenario(1.0);
+  // All multicast on a1 (the MLA optimum).
+  const wlan::Association mc{{0, 0, 0, 0, 0}};
+  DualParams p;
+  p.unicast_demand_per_user = 0.1;
+  const auto rep = evaluate_dual(sc, mc, p);
+
+  // Strongest APs: u1->a1, u2->a1, u3->a2, u4->a2, u5->a1.
+  EXPECT_NEAR(rep.unicast_demand[0], 0.3, 1e-12);
+  EXPECT_NEAR(rep.unicast_demand[1], 0.2, 1e-12);
+  EXPECT_NEAR(rep.multicast_load[0], 7.0 / 12.0, 1e-12);
+  EXPECT_NEAR(rep.combined[0], 7.0 / 12.0 + 0.3, 1e-12);
+  // u3 and u4 stream from a1 but anchor unicast at a2: split users.
+  EXPECT_EQ(rep.split_users, 2);
+  EXPECT_EQ(rep.overloaded_aps, 0);
+}
+
+TEST(DualAssociation, UnservedUsersAreNotSplit) {
+  const auto sc = test::fig1_scenario(3.0);
+  const wlan::Association mc{{wlan::kNoAp, 0, wlan::kNoAp, 0, 0}};
+  const auto rep = evaluate_dual(sc, mc);
+  // u2: anchor a1, multicast a1 -> not split. u4: anchor a2, multicast a1 ->
+  // split. u5: anchor a1, multicast a1 -> not split.
+  EXPECT_EQ(rep.split_users, 1);
+}
+
+TEST(DualAssociation, MlaLowersMaxCombinedVsSsaMulticast) {
+  // Multicast-side optimization still pays off when unicast anchoring is
+  // fixed: the combined worst-AP airtime drops.
+  util::Rng rng(211);
+  util::RunningStat delta;
+  for (int trial = 0; trial < 5; ++trial) {
+    wlan::GeneratorParams gp;
+    gp.n_aps = 40;
+    gp.n_users = 160;
+    gp.area_side_m = 500.0;
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(gp, sub);
+    util::Rng srng = rng.fork();
+    const auto ssa = ssa_associate(sc, srng);
+    const auto bla = centralized_bla(sc);
+    const auto rep_ssa = evaluate_dual(sc, ssa.assoc);
+    const auto rep_bla = evaluate_dual(sc, bla.assoc);
+    delta.add(rep_ssa.max_combined - rep_bla.max_combined);
+  }
+  EXPECT_GT(delta.mean(), 0.0);
+}
+
+TEST(DualAssociation, OverloadDetection) {
+  const auto sc = test::fig1_scenario(1.0);
+  const wlan::Association mc{{0, 0, 0, 0, 0}};
+  DualParams p;
+  p.unicast_demand_per_user = 0.5;  // 3 anchors x 0.5 = 1.5 on a1
+  const auto rep = evaluate_dual(sc, mc, p);
+  EXPECT_EQ(rep.overloaded_aps, 1);
+  EXPECT_GT(rep.max_combined, 1.0);
+}
+
+TEST(DualAssociation, RejectsBadInput) {
+  const auto sc = test::fig1_scenario(1.0);
+  EXPECT_THROW(evaluate_dual(sc, wlan::Association::none(3)), std::invalid_argument);
+  DualParams p;
+  p.unicast_demand_per_user = -1.0;
+  EXPECT_THROW(evaluate_dual(sc, wlan::Association::none(5), p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::assoc

@@ -1,0 +1,80 @@
+#include "wmcast/assoc/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::assoc {
+namespace {
+
+TEST(Registry, KnowsElevenAlgorithms) {
+  EXPECT_EQ(algorithm_names().size(), 11u);
+  for (const auto& name : algorithm_names()) {
+    EXPECT_TRUE(is_algorithm(name)) << name;
+  }
+  EXPECT_FALSE(is_algorithm("bogus"));
+  EXPECT_FALSE(is_algorithm(""));
+  EXPECT_FALSE(is_algorithm("MLA-C"));  // names are lowercase
+}
+
+TEST(Registry, EveryAlgorithmRunsOnAMultiSessionScenario) {
+  util::Rng gen(233);
+  wlan::GeneratorParams p;
+  p.n_aps = 10;
+  p.n_users = 30;
+  p.n_sessions = 3;
+  p.area_side_m = 400.0;
+  const auto sc = wlan::generate_scenario(p, gen);
+  for (const auto& name : algorithm_names()) {
+    if (name == "mnu-1session" || name == "bla-1session") {
+      util::Rng rng(1);
+      EXPECT_THROW(solve_by_name(name, sc, rng), std::invalid_argument) << name;
+      continue;
+    }
+    util::Rng rng(1);
+    const auto sol = solve_by_name(name, sc, rng);
+    EXPECT_FALSE(sol.algorithm.empty()) << name;
+    EXPECT_NO_THROW(wlan::compute_loads(sc, sol.assoc)) << name;
+  }
+}
+
+TEST(Registry, SingleSessionSpecializationsRun) {
+  util::Rng gen(239);
+  wlan::GeneratorParams p;
+  p.n_aps = 8;
+  p.n_users = 20;
+  p.n_sessions = 1;
+  p.area_side_m = 350.0;
+  const auto sc = wlan::generate_scenario(p, gen);
+  util::Rng rng(1);
+  EXPECT_EQ(solve_by_name("mnu-1session", sc, rng).algorithm, "MNU-1session");
+  EXPECT_EQ(solve_by_name("bla-1session", sc, rng).algorithm, "BLA-1session");
+}
+
+TEST(Registry, MatchesDirectCalls) {
+  const auto sc = test::fig1_scenario(1.0);
+  util::Rng r1(7);
+  const auto via_registry = solve_by_name("mla-c", sc, r1);
+  EXPECT_NEAR(via_registry.loads.total_load, 7.0 / 12.0, 1e-9);
+  EXPECT_EQ(via_registry.algorithm, "MLA-C");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const auto sc = test::fig1_scenario(1.0);
+  util::Rng rng(1);
+  EXPECT_THROW(solve_by_name("nope", sc, rng), std::invalid_argument);
+}
+
+TEST(Registry, BasicRateOptionPropagates) {
+  const auto sc = test::fig1_scenario(1.0);
+  util::Rng rng(1);
+  SolveOptions basic;
+  basic.multi_rate = false;
+  const auto sol = solve_by_name("mla-c", sc, rng, basic);
+  // Basic-rate MLA on Fig. 1 costs 2/3 (see centralized tests).
+  EXPECT_NEAR(sol.loads.total_load, 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wmcast::assoc

@@ -1,0 +1,111 @@
+// The paper's polynomial special cases (one multicast session) must be
+// exactly optimal — cross-checked against the exact B&B solvers.
+#include "wmcast/assoc/single_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/exact/exact_bla.hpp"
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::assoc {
+namespace {
+
+wlan::Scenario one_session_scenario(uint64_t seed, double budget, double rate = 1.0) {
+  wlan::GeneratorParams p;
+  p.n_aps = 8;
+  p.n_users = 25;
+  p.n_sessions = 1;
+  p.area_side_m = 450.0;
+  p.load_budget = budget;
+  p.session_rate_mbps = rate;
+  util::Rng rng(seed);
+  return wlan::generate_scenario(p, rng);
+}
+
+TEST(SingleSessionMnu, MatchesExactOptimum) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto sc = one_session_scenario(seed, /*budget=*/0.05);
+    const auto poly = single_session_mnu(sc);
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt = exact::exact_max_coverage_uniform(sys, sc.load_budget());
+    ASSERT_EQ(opt.status, exact::BbStatus::kOptimal);
+    EXPECT_EQ(poly.loads.satisfied_users, opt.covered) << "seed " << seed;
+    EXPECT_TRUE(poly.loads.within_budget());
+  }
+}
+
+TEST(SingleSessionMnu, ServesEveryUserAboveTheRateFloor) {
+  const auto sc = one_session_scenario(9, 0.08);
+  const auto poly = single_session_mnu(sc);
+  const double floor_rate = sc.session_rate(0) / sc.load_budget();  // 12.5 Mbps
+  for (int u = 0; u < sc.n_users(); ++u) {
+    bool reachable = false;
+    for (const int a : sc.aps_of_user(u)) {
+      if (sc.link_rate(a, u) >= floor_rate) reachable = true;
+    }
+    EXPECT_EQ(poly.assoc.ap_of(u) != wlan::kNoAp, reachable) << "user " << u;
+  }
+}
+
+TEST(SingleSessionBla, MatchesExactOptimum) {
+  for (uint64_t seed = 11; seed <= 16; ++seed) {
+    const auto sc = one_session_scenario(seed, 0.9);
+    const auto poly = single_session_bla(sc);
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt = exact::exact_min_max_cover(sys);
+    ASSERT_EQ(opt.status, exact::BbStatus::kOptimal);
+    EXPECT_NEAR(poly.loads.max_load, opt.max_group_cost, 1e-9) << "seed " << seed;
+    EXPECT_EQ(poly.loads.satisfied_users, sc.n_coverable_users());
+    EXPECT_TRUE(poly.converged);
+  }
+}
+
+TEST(SingleSessionBla, BottleneckUserDeterminesTheOptimum) {
+  // Hand-built: u0 hears a0 at 6 (bottleneck), u1 hears both APs at 54.
+  const std::vector<std::vector<double>> link = {{6, 54}, {0, 54}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0, 0}, {1.0}, 0.9);
+  const auto poly = single_session_bla(sc);
+  EXPECT_NEAR(poly.loads.max_load, 1.0 / 6.0, 1e-12);
+  EXPECT_EQ(poly.assoc.ap_of(0), 0);
+}
+
+TEST(SingleSessionBla, InfeasibleWhenBottleneckExceedsOnePeriod) {
+  // Stream faster than the only available rate: load > 1.
+  const std::vector<std::vector<double>> link = {{2.0}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0}, {3.0}, 1.0);
+  const auto poly = single_session_bla(sc);
+  EXPECT_FALSE(poly.converged);
+  EXPECT_GT(poly.loads.max_load, 1.0);
+}
+
+TEST(SingleSession, PolynomialBeatsOrMatchesGreedyHeuristics) {
+  // Sanity: on single-session instances the exact special case is at least
+  // as good as the general-purpose greedy machinery.
+  const auto sc = one_session_scenario(21, 0.06);
+  const auto poly = single_session_mnu(sc);
+  const auto greedy = centralized_mnu(sc);
+  EXPECT_GE(poly.loads.satisfied_users, greedy.loads.satisfied_users);
+
+  const auto sc2 = one_session_scenario(22, 0.9);
+  const auto poly_bla = single_session_bla(sc2);
+  const auto greedy_bla = centralized_bla(sc2);
+  EXPECT_LE(poly_bla.loads.max_load, greedy_bla.loads.max_load + 1e-9);
+}
+
+TEST(SingleSession, RejectsMultiSessionScenarios) {
+  wlan::GeneratorParams p;
+  p.n_aps = 4;
+  p.n_users = 8;
+  p.n_sessions = 2;
+  util::Rng rng(23);
+  const auto sc = wlan::generate_scenario(p, rng);
+  EXPECT_THROW(single_session_mnu(sc), std::invalid_argument);
+  EXPECT_THROW(single_session_bla(sc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::assoc

@@ -1,0 +1,100 @@
+#include "wmcast/assoc/ssa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::assoc {
+namespace {
+
+TEST(Ssa, EveryUserOnStrongestApWhenBudgetAllows) {
+  const auto sc = test::fig1_scenario(1.0);
+  util::Rng rng(2);
+  const Solution sol = ssa_associate(sc, rng);
+  // Strongest APs: u1->a1 (only), u2->a1 (only), u3->a2 (5>4), u4->a2 (5>4),
+  // u5->a1 (4>3). Loads stay within budget 1, so everyone is admitted.
+  EXPECT_EQ(sol.assoc.ap_of(0), 0);
+  EXPECT_EQ(sol.assoc.ap_of(1), 0);
+  EXPECT_EQ(sol.assoc.ap_of(2), 1);
+  EXPECT_EQ(sol.assoc.ap_of(3), 1);
+  EXPECT_EQ(sol.assoc.ap_of(4), 0);
+  EXPECT_EQ(sol.loads.satisfied_users, 5);
+  EXPECT_EQ(sol.algorithm, "SSA");
+}
+
+TEST(Ssa, BudgetRejectsLateArrivals) {
+  // 3 Mbps streams: a1 cannot carry both sessions (1 + 0.5 > 1), so whichever
+  // of {u1} / {u2,u5} side arrives later at a1 is cut; u3, u4 always fit a2.
+  const auto sc = test::fig1_scenario(3.0);
+  int total_satisfied_min = 5;
+  int total_satisfied_max = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const Solution sol = ssa_associate(sc, rng);
+    EXPECT_TRUE(sol.loads.within_budget());
+    total_satisfied_min = std::min(total_satisfied_min, sol.loads.satisfied_users);
+    total_satisfied_max = std::max(total_satisfied_max, sol.loads.satisfied_users);
+    // u3 and u4 are always served (a2 carries both sessions: 3/5+3/5 < 1...
+    // actually a2 serves s1@5 and s2@5: 0.6+0.6=1.2 > 1! So one of them can
+    // be rejected too depending on order; just check budget feasibility and
+    // that someone is served.
+    EXPECT_GE(sol.loads.satisfied_users, 2);
+  }
+  // Some arrival order must reject at least one user.
+  EXPECT_LT(total_satisfied_min, 5);
+}
+
+TEST(Ssa, WithoutBudgetEnforcementEveryoneIsServed) {
+  const auto sc = test::fig1_scenario(3.0);
+  util::Rng rng(3);
+  SsaParams p;
+  p.enforce_budget = false;
+  const Solution sol = ssa_associate(sc, rng, p);
+  EXPECT_EQ(sol.loads.satisfied_users, 5);
+  // ... at the price of violating a budget somewhere.
+  EXPECT_FALSE(sol.loads.within_budget());
+}
+
+TEST(Ssa, UncoverableUsersAreSkipped) {
+  const std::vector<std::vector<double>> link = {{5, 0}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0, 0}, {1.0}, 0.9);
+  util::Rng rng(4);
+  const Solution sol = ssa_associate(sc, rng);
+  EXPECT_EQ(sol.assoc.ap_of(0), 0);
+  EXPECT_EQ(sol.assoc.ap_of(1), wlan::kNoAp);
+}
+
+TEST(Ssa, DeterministicGivenSeed) {
+  util::Rng gen(5);
+  wlan::GeneratorParams p;
+  p.n_aps = 30;
+  p.n_users = 80;
+  const auto sc = wlan::generate_scenario(p, gen);
+  util::Rng r1(9);
+  util::Rng r2(9);
+  EXPECT_EQ(ssa_associate(sc, r1).assoc, ssa_associate(sc, r2).assoc);
+}
+
+TEST(Ssa, BasicRateModeIsFeasibleButHeavier) {
+  util::Rng gen(6);
+  wlan::GeneratorParams p;
+  p.n_aps = 20;
+  p.n_users = 50;
+  const auto sc = wlan::generate_scenario(p, gen);
+  util::Rng r1(1);
+  util::Rng r2(1);
+  SsaParams basic;
+  basic.multi_rate = false;
+  const Solution multi = ssa_associate(sc, r1);
+  const Solution slow = ssa_associate(sc, r2, basic);
+  EXPECT_TRUE(slow.loads.within_budget());
+  // Same arrival order; basic-rate transmissions can only cost more airtime
+  // per (ap, session), so with everyone admitted the total load is higher.
+  if (slow.loads.satisfied_users == multi.loads.satisfied_users) {
+    EXPECT_GE(slow.loads.total_load, multi.loads.total_load - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wmcast::assoc

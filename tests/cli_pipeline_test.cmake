@@ -1,0 +1,27 @@
+# End-to-end CLI pipeline test: generate -> info -> solve -> eval -> exact ->
+# export-lp -> render, failing on any non-zero exit.
+file(MAKE_DIRECTORY ${WORK})
+
+function(run)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "wmcast_cli ${ARGN} failed (${rc}): ${out} ${err}")
+  endif()
+endfunction()
+
+run(generate --out=${WORK}/sc.txt --aps=20 --users=40 --sessions=3 --seed=9)
+run(info --scenario=${WORK}/sc.txt)
+run(solve --scenario=${WORK}/sc.txt --algorithm=mla-c --assoc-out=${WORK}/a.txt)
+run(solve --scenario=${WORK}/sc.txt --algorithm=mnu-d --seed=2)
+run(eval --scenario=${WORK}/sc.txt --assoc=${WORK}/a.txt)
+run(exact --scenario=${WORK}/sc.txt --problem=mla --time-limit=3)
+run(export-lp --scenario=${WORK}/sc.txt --problem=bla --out=${WORK}/b.lp)
+run(render --scenario=${WORK}/sc.txt --assoc=${WORK}/a.txt --out=${WORK}/m.svg)
+
+# Negative case: unknown algorithm must fail with a non-zero exit.
+execute_process(COMMAND ${CLI} solve --scenario=${WORK}/sc.txt --algorithm=bogus
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "wmcast_cli accepted a bogus algorithm")
+endif()

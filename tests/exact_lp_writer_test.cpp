@@ -1,0 +1,61 @@
+#include "wmcast/exact/lp_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/setcover/reduction.hpp"
+
+namespace wmcast::exact {
+namespace {
+
+TEST(LpWriter, MlaHasObjectiveAndCoverConstraints) {
+  const auto sc = test::fig1_scenario(1.0);
+  const auto sys = setcover::build_set_system(sc);
+  const std::string lp = write_mla_lp(sys);
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  // One cover constraint per user.
+  for (int u = 0; u < 5; ++u) {
+    EXPECT_NE(lp.find("cover_u" + std::to_string(u) + ":"), std::string::npos);
+  }
+  // One binary per set.
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    EXPECT_NE(lp.find("x" + std::to_string(j)), std::string::npos);
+  }
+}
+
+TEST(LpWriter, BlaBoundsEveryGroupByZ) {
+  const auto sc = test::fig1_scenario(1.0);
+  const auto sys = setcover::build_set_system(sc);
+  const std::string lp = write_bla_lp(sys);
+  EXPECT_NE(lp.find("obj: z"), std::string::npos);
+  EXPECT_NE(lp.find("load_a0:"), std::string::npos);
+  EXPECT_NE(lp.find("load_a1:"), std::string::npos);
+  EXPECT_NE(lp.find("- z <= 0"), std::string::npos);
+}
+
+TEST(LpWriter, MnuHasBudgetsAndIndicators) {
+  const auto sc = test::fig1_scenario(3.0);
+  const auto sys = setcover::build_set_system(sc);
+  const std::vector<double> budgets(2, 1.0);
+  const std::string lp = write_mnu_lp(sys, budgets);
+  EXPECT_NE(lp.find("Maximize"), std::string::npos);
+  EXPECT_NE(lp.find("budget_a0:"), std::string::npos);
+  EXPECT_NE(lp.find("budget_a1:"), std::string::npos);
+  for (int u = 0; u < 5; ++u) {
+    EXPECT_NE(lp.find("served_u" + std::to_string(u) + ":"), std::string::npos);
+    EXPECT_NE(lp.find("y" + std::to_string(u)), std::string::npos);
+  }
+}
+
+TEST(LpWriter, MnuRejectsWrongBudgetCount) {
+  const auto sc = test::fig1_scenario(3.0);
+  const auto sys = setcover::build_set_system(sc);
+  const std::vector<double> wrong(1, 1.0);
+  EXPECT_THROW(write_mnu_lp(sys, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::exact

@@ -1,0 +1,123 @@
+// The exact MNU solver has two internal search strategies (groupwise
+// configuration enumeration, and a set-wise include/exclude fallback for
+// groups too rich to enumerate). Both must agree with brute force and with
+// each other.
+#include <gtest/gtest.h>
+
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::exact {
+namespace {
+
+using setcover::CandidateSet;
+using setcover::SetSystem;
+
+/// A single group with `n` disjoint unit-cost singleton sets: 2^n feasible
+/// configurations, which blows past the enumeration cap for n >= ~16 and
+/// forces the set-wise fallback.
+SetSystem many_disjoint_sets(int n, double cost) {
+  std::vector<CandidateSet> sets;
+  for (int j = 0; j < n; ++j) {
+    CandidateSet s;
+    s.members = util::DynBitset(n);
+    s.members.set(j);
+    s.cost = cost;
+    s.group = s.ap = 0;
+    s.session = 0;
+    s.tx_rate = 1.0;
+    sets.push_back(std::move(s));
+  }
+  return SetSystem(n, 1, std::move(sets));
+}
+
+TEST(ExactMnuPaths, FallbackPathSolvesTheKnapsackCase) {
+  // 30 singleton sets of cost 1, budget 7.5: optimal coverage = 7.
+  const auto sys = many_disjoint_sets(30, 1.0);
+  const auto res = exact_max_coverage_uniform(sys, 7.5);
+  EXPECT_EQ(res.status, BbStatus::kOptimal);
+  EXPECT_EQ(res.covered, 7);
+}
+
+TEST(ExactMnuPaths, GroupwisePathSolvesTheSameShapeWhenSmall) {
+  // 8 singleton sets: 2^8 configs, comfortably enumerable.
+  const auto sys = many_disjoint_sets(8, 1.0);
+  const auto res = exact_max_coverage_uniform(sys, 2.5);
+  EXPECT_EQ(res.status, BbStatus::kOptimal);
+  EXPECT_EQ(res.covered, 2);
+}
+
+TEST(ExactMnuPaths, DistinctPerGroupBudgets) {
+  // Two groups: group 0 can afford its big set, group 1 cannot.
+  std::vector<CandidateSet> sets;
+  {
+    CandidateSet a;
+    a.members = util::DynBitset(4);
+    a.members.set(0);
+    a.members.set(1);
+    a.cost = 0.5;
+    a.group = a.ap = 0;
+    CandidateSet b;
+    b.members = util::DynBitset(4);
+    b.members.set(2);
+    b.members.set(3);
+    b.cost = 0.5;
+    b.group = b.ap = 1;
+    sets = {a, b};
+  }
+  const SetSystem sys(4, 2, std::move(sets));
+  const std::vector<double> budgets = {0.6, 0.4};
+  const auto res = exact_max_coverage(sys, budgets);
+  EXPECT_EQ(res.status, BbStatus::kOptimal);
+  EXPECT_EQ(res.covered, 2);  // only group 0's set fits
+  for (const int j : res.chosen) EXPECT_EQ(sys.set(j).group, 0);
+}
+
+TEST(ExactMnuPaths, PathsAgreeOnWlanInstances) {
+  // On WLAN instances both the generous budget (rich groups, possibly
+  // fallback) and the tight budget (groupwise) must be internally optimal;
+  // the tight answer can never exceed the generous one.
+  util::Rng rng(197);
+  for (int trial = 0; trial < 4; ++trial) {
+    wlan::GeneratorParams p;
+    p.n_aps = 6;
+    p.n_users = 18;
+    p.n_sessions = 3;
+    p.area_side_m = 350.0;
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(p, sub);
+    const auto sys = setcover::build_set_system(sc);
+    const auto tight = exact_max_coverage_uniform(sys, 0.05);
+    const auto generous = exact_max_coverage_uniform(sys, 0.9);
+    ASSERT_EQ(tight.status, BbStatus::kOptimal);
+    ASSERT_EQ(generous.status, BbStatus::kOptimal);
+    EXPECT_LE(tight.covered, generous.covered);
+    EXPECT_EQ(generous.covered, sys.coverable().count());  // 0.9 serves all
+  }
+}
+
+TEST(ExactMnuPaths, ChosenSetsReproduceTheCoverCount) {
+  const auto sys = many_disjoint_sets(12, 1.0);
+  const auto res = exact_max_coverage_uniform(sys, 4.0);
+  ASSERT_EQ(res.status, BbStatus::kOptimal);
+  util::DynBitset covered(sys.n_elements());
+  double cost = 0.0;
+  for (const int j : res.chosen) {
+    covered.or_assign(sys.set(j).members);
+    cost += sys.set(j).cost;
+  }
+  EXPECT_EQ(covered.count(), res.covered);
+  EXPECT_LE(cost, 4.0 + 1e-9);
+}
+
+TEST(ExactMnuPaths, ZeroBudgetCoversNothing) {
+  const auto sys = many_disjoint_sets(5, 1.0);
+  const auto res = exact_max_coverage_uniform(sys, 1e-6);
+  EXPECT_EQ(res.covered, 0);
+  EXPECT_TRUE(res.chosen.empty());
+}
+
+}  // namespace
+}  // namespace wmcast::exact

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "test_fixtures.hpp"
+#include "wmcast/exact/exact_bla.hpp"
+#include "wmcast/exact/exact_mla.hpp"
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::exact {
+namespace {
+
+using setcover::SetSystem;
+
+// --- brute-force references over all 2^m set choices (m <= ~16) -------------
+
+double brute_min_cost_cover(const SetSystem& sys) {
+  const int m = sys.n_sets();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t pick = 0; pick < (1u << m); ++pick) {
+    util::DynBitset covered(sys.n_elements());
+    double cost = 0.0;
+    for (int j = 0; j < m; ++j) {
+      if (pick & (1u << j)) {
+        covered.or_assign(sys.set(j).members);
+        cost += sys.set(j).cost;
+      }
+    }
+    if (sys.coverable().is_subset_of(covered)) best = std::min(best, cost);
+  }
+  return best;
+}
+
+double brute_min_max_cover(const SetSystem& sys) {
+  const int m = sys.n_sets();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t pick = 0; pick < (1u << m); ++pick) {
+    util::DynBitset covered(sys.n_elements());
+    std::vector<double> group(static_cast<size_t>(sys.n_groups()), 0.0);
+    for (int j = 0; j < m; ++j) {
+      if (pick & (1u << j)) {
+        covered.or_assign(sys.set(j).members);
+        group[static_cast<size_t>(sys.set(j).group)] += sys.set(j).cost;
+      }
+    }
+    if (!sys.coverable().is_subset_of(covered)) continue;
+    const double mx = group.empty() ? 0.0 : *std::max_element(group.begin(), group.end());
+    best = std::min(best, mx);
+  }
+  return best;
+}
+
+int brute_max_coverage(const SetSystem& sys, double budget) {
+  const int m = sys.n_sets();
+  int best = 0;
+  for (uint32_t pick = 0; pick < (1u << m); ++pick) {
+    util::DynBitset covered(sys.n_elements());
+    std::vector<double> group(static_cast<size_t>(sys.n_groups()), 0.0);
+    bool ok = true;
+    for (int j = 0; j < m && ok; ++j) {
+      if (pick & (1u << j)) {
+        covered.or_assign(sys.set(j).members);
+        group[static_cast<size_t>(sys.set(j).group)] += sys.set(j).cost;
+        if (group[static_cast<size_t>(sys.set(j).group)] > budget + 1e-9) ok = false;
+      }
+    }
+    if (ok) best = std::max(best, covered.count());
+  }
+  return best;
+}
+
+// A small random scenario whose set system stays under ~16 sets.
+wlan::Scenario small_random_scenario(util::Rng& rng) {
+  wlan::GeneratorParams p;
+  p.n_aps = 3;
+  p.n_users = 4 + rng.next_int(5);
+  p.n_sessions = 2;
+  p.area_side_m = 250.0;
+  return wlan::generate_scenario(p, rng);
+}
+
+TEST(ExactMla, MatchesBruteForceOnFig1) {
+  const auto sc = test::fig1_scenario(1.0);
+  const SetSystem sys = setcover::build_set_system(sc);
+  const auto res = exact_min_cost_cover(sys);
+  EXPECT_EQ(res.status, BbStatus::kOptimal);
+  EXPECT_NEAR(res.cost, brute_min_cost_cover(sys), 1e-9);
+  EXPECT_NEAR(res.cost, 7.0 / 12.0, 1e-9);  // the paper's MLA optimum
+}
+
+TEST(ExactBla, MatchesBruteForceOnFig1) {
+  const auto sc = test::fig1_scenario(1.0);
+  const SetSystem sys = setcover::build_set_system(sc);
+  const auto res = exact_min_max_cover(sys);
+  EXPECT_EQ(res.status, BbStatus::kOptimal);
+  EXPECT_NEAR(res.max_group_cost, brute_min_max_cover(sys), 1e-9);
+  EXPECT_NEAR(res.max_group_cost, 0.5, 1e-9);  // the paper's BLA optimum
+}
+
+TEST(ExactMnu, MatchesBruteForceOnFig1) {
+  const auto sc = test::fig1_scenario(3.0);
+  const SetSystem sys = setcover::build_set_system(sc);
+  const auto res = exact_max_coverage_uniform(sys, 1.0);
+  EXPECT_EQ(res.status, BbStatus::kOptimal);
+  EXPECT_EQ(res.covered, brute_max_coverage(sys, 1.0));
+  EXPECT_EQ(res.covered, 4);  // the paper's MNU optimum (u1 or u2 unserved)
+}
+
+TEST(ExactMla, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(61);
+  int tested = 0;
+  while (tested < 8) {
+    util::Rng sub = rng.fork();
+    const auto sc = small_random_scenario(sub);
+    const SetSystem sys = setcover::build_set_system(sc);
+    if (sys.n_sets() > 16 || sys.n_sets() == 0) continue;
+    ++tested;
+    const auto res = exact_min_cost_cover(sys);
+    ASSERT_EQ(res.status, BbStatus::kOptimal);
+    EXPECT_NEAR(res.cost, brute_min_cost_cover(sys), 1e-9) << "instance " << tested;
+  }
+}
+
+TEST(ExactBla, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(67);
+  int tested = 0;
+  while (tested < 8) {
+    util::Rng sub = rng.fork();
+    const auto sc = small_random_scenario(sub);
+    const SetSystem sys = setcover::build_set_system(sc);
+    if (sys.n_sets() > 16 || sys.n_sets() == 0) continue;
+    ++tested;
+    const auto res = exact_min_max_cover(sys);
+    ASSERT_EQ(res.status, BbStatus::kOptimal);
+    EXPECT_NEAR(res.max_group_cost, brute_min_max_cover(sys), 1e-9);
+  }
+}
+
+TEST(ExactMnu, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(71);
+  int tested = 0;
+  while (tested < 8) {
+    util::Rng sub = rng.fork();
+    const auto sc = small_random_scenario(sub);
+    const SetSystem sys = setcover::build_set_system(sc);
+    if (sys.n_sets() > 16 || sys.n_sets() == 0) continue;
+    ++tested;
+    const double budget = 0.05 + 0.1 * sub.next_double();
+    const auto res = exact_max_coverage_uniform(sys, budget);
+    ASSERT_EQ(res.status, BbStatus::kOptimal);
+    EXPECT_EQ(res.covered, brute_max_coverage(sys, budget));
+  }
+}
+
+TEST(ExactMnu, ChosenSetsRespectBudgets) {
+  const auto sc = test::fig1_scenario(3.0);
+  const SetSystem sys = setcover::build_set_system(sc);
+  const auto res = exact_max_coverage_uniform(sys, 1.0);
+  std::vector<double> group(static_cast<size_t>(sys.n_groups()), 0.0);
+  for (const int j : res.chosen) {
+    group[static_cast<size_t>(sys.set(j).group)] += sys.set(j).cost;
+  }
+  for (const double g : group) EXPECT_LE(g, 1.0 + 1e-9);
+}
+
+TEST(ExactSolvers, NodeLimitReportsTruncation) {
+  util::Rng rng(73);
+  wlan::GeneratorParams p;
+  p.n_aps = 15;
+  p.n_users = 40;
+  const auto sc = wlan::generate_scenario(p, rng);
+  const SetSystem sys = setcover::build_set_system(sc);
+  BbLimits limits;
+  limits.max_nodes = 5;  // absurdly tight
+  const auto res = exact_min_cost_cover(sys, limits);
+  EXPECT_EQ(res.status, BbStatus::kNodeLimit);
+  // The greedy warm start still gives a valid cover.
+  util::DynBitset covered(sys.n_elements());
+  for (const int j : res.chosen) covered.or_assign(sys.set(j).members);
+  EXPECT_TRUE(sys.coverable().is_subset_of(covered));
+}
+
+TEST(ExactSolvers, OptimaAreConsistentWithEachOther) {
+  // On any instance: max coverage at a budget >= every group's BLA-optimal
+  // cost must cover everything; and MLA total >= BLA max (sum >= max).
+  const auto sc = test::fig1_scenario(1.0);
+  const SetSystem sys = setcover::build_set_system(sc);
+  const auto mla = exact_min_cost_cover(sys);
+  const auto bla = exact_min_max_cover(sys);
+  EXPECT_GE(mla.cost + 1e-12, bla.max_group_cost);
+  const auto mnu = exact_max_coverage_uniform(sys, bla.max_group_cost + 1e-9);
+  EXPECT_EQ(mnu.covered, sys.coverable().count());
+}
+
+}  // namespace
+}  // namespace wmcast::exact

@@ -1,0 +1,102 @@
+#include "wmcast/ext/interference_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/sim/csma.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::ext {
+namespace {
+
+wlan::Scenario dense(uint64_t seed) {
+  wlan::GeneratorParams p;
+  p.n_aps = 30;
+  p.n_users = 100;
+  p.n_sessions = 4;
+  p.area_side_m = 450.0;
+  util::Rng rng(seed);
+  return wlan::generate_scenario(p, rng);
+}
+
+std::vector<std::vector<int>> one_channel_conflicts(const wlan::Scenario& sc) {
+  return build_conflict_graph(sc, 400.0);  // all APs share one channel
+}
+
+TEST(InterferenceAware, ConvergesAndServesEveryone) {
+  const auto sc = dense(1);
+  const auto conflicts = one_channel_conflicts(sc);
+  util::Rng rng(2);
+  const auto sol = interference_aware_associate(sc, conflicts, rng);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_EQ(sol.loads.satisfied_users, sc.n_coverable_users());
+  EXPECT_TRUE(sol.loads.within_budget());
+}
+
+TEST(InterferenceAware, NoConflictsEquivalentObjectiveToPlainEngine) {
+  // With an empty conflict graph, effective == raw, so the engine solves the
+  // same problem as the plain distributed engine; quality should match.
+  const auto sc = dense(3);
+  const std::vector<std::vector<int>> no_conflicts(static_cast<size_t>(sc.n_aps()));
+  InterferenceAwareParams p;
+  p.order = util::iota_permutation(sc.n_users());
+  util::Rng r1(4);
+  const auto aware = interference_aware_associate(sc, no_conflicts, r1, p);
+
+  assoc::DistributedParams dp;
+  dp.order = p.order;
+  util::Rng r2(4);
+  const auto plain = assoc::distributed_associate(sc, r2, dp);
+  EXPECT_NEAR(aware.loads.total_load, plain.loads.total_load, 1e-9);
+}
+
+TEST(InterferenceAware, LowersEffectiveLoadVsPlainEngine) {
+  // On a single shared channel, the aware engine must do at least as well on
+  // the max effective busy fraction as the interference-blind BLA-D.
+  util::RunningStat edge;
+  for (uint64_t seed = 10; seed < 15; ++seed) {
+    const auto sc = dense(seed);
+    const auto conflicts = one_channel_conflicts(sc);
+    const auto graph_channels = std::vector<int>(static_cast<size_t>(sc.n_aps()), 0);
+
+    InterferenceAwareParams p;
+    p.objective = assoc::Objective::kLoadVector;
+    util::Rng r1(seed);
+    const auto aware = interference_aware_associate(sc, conflicts, r1, p);
+
+    util::Rng r2(seed);
+    const auto blind = assoc::distributed_bla(sc, r2);
+
+    ChannelAssignment ch;
+    ch.channel_of_ap = graph_channels;
+    const auto eff_aware = interference_report(sc, aware.loads, ch, conflicts);
+    const auto eff_blind = interference_report(sc, blind.loads, ch, conflicts);
+    edge.add(eff_blind.max_effective_load - eff_aware.max_effective_load);
+  }
+  EXPECT_GT(edge.mean(), -1e-9);  // at least as good on average, usually better
+  EXPECT_GT(edge.max(), 0.0);    // strictly better somewhere
+}
+
+TEST(InterferenceAware, BudgetsRespectedUnderTightBudget) {
+  auto sc = dense(20).with_budget(0.08);
+  const auto conflicts = one_channel_conflicts(sc);
+  util::Rng rng(21);
+  const auto sol = interference_aware_associate(sc, conflicts, rng);
+  EXPECT_TRUE(sol.loads.within_budget());
+}
+
+TEST(InterferenceAware, RejectsBadInput) {
+  const auto sc = dense(30);
+  util::Rng rng(31);
+  EXPECT_THROW(interference_aware_associate(sc, {}, rng), std::invalid_argument);
+  InterferenceAwareParams p;
+  p.order = {1, 2};
+  EXPECT_THROW(
+      interference_aware_associate(
+          sc, std::vector<std::vector<int>>(static_cast<size_t>(sc.n_aps())), rng, p),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::ext

@@ -1,0 +1,108 @@
+#include "wmcast/ext/period_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::ext {
+namespace {
+
+TEST(WrappedOverlap, LinearCases) {
+  EXPECT_DOUBLE_EQ(wrapped_overlap(0.0, 0.3, 0.3, 0.3), 0.0);   // adjacent
+  EXPECT_DOUBLE_EQ(wrapped_overlap(0.0, 0.5, 0.25, 0.5), 0.25); // partial
+  EXPECT_DOUBLE_EQ(wrapped_overlap(0.1, 0.2, 0.1, 0.2), 0.2);   // identical
+  EXPECT_DOUBLE_EQ(wrapped_overlap(0.0, 0.2, 0.5, 0.2), 0.0);   // disjoint
+}
+
+TEST(WrappedOverlap, WrapAroundCases) {
+  // [0.9, 1.1) wraps to [0.9,1)+[0,0.1); overlaps [0, 0.2) by 0.1.
+  EXPECT_NEAR(wrapped_overlap(0.9, 0.2, 0.0, 0.2), 0.1, 1e-12);
+  // Both wrap.
+  EXPECT_NEAR(wrapped_overlap(0.9, 0.3, 0.95, 0.3), 0.25, 1e-12);
+  // Full-period window overlaps everything by the other's length.
+  EXPECT_NEAR(wrapped_overlap(0.0, 1.0, 0.4, 0.25), 0.25, 1e-12);
+}
+
+TEST(WrappedOverlap, RejectsBadLengths) {
+  EXPECT_THROW(wrapped_overlap(0.0, 1.5, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(wrapped_overlap(0.0, 0.5, 0.0, -0.1), std::invalid_argument);
+}
+
+TEST(PeriodSchedule, Fig1MlaSplitUsersGetDisjointWindows) {
+  // MLA on Fig. 1 puts everyone on a1 while u3, u4 anchor unicast at a2.
+  // a1's window is 7/12 and a2's is 0 — trivially no conflicts.
+  const auto sc = test::fig1_scenario(1.0);
+  const wlan::Association all_a1{{0, 0, 0, 0, 0}};
+  const auto sched = schedule_multicast_periods(sc, all_a1);
+  EXPECT_EQ(sched.split_users, 2);  // u3, u4 (u5's anchor is a1)
+  EXPECT_EQ(sched.conflicting_users, 0);
+  EXPECT_NEAR(sched.window_length[0], 7.0 / 12.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sched.window_length[1], 0.0);
+}
+
+TEST(PeriodSchedule, ConflictingWindowsSeparatedWhenTheyFit) {
+  // Both APs transmit (loads ~1/3 each) and share split users: the greedy
+  // must stagger the windows.
+  const auto sc = test::fig1_scenario(1.0);
+  // u3 -> a1 (anchor a2), u4 -> a2 (anchor a2... need a split for a2 too):
+  // u5 -> a2 while anchoring at a1.
+  const wlan::Association assoc{{0, 0, 0, 1, 1}};
+  const auto sched = schedule_multicast_periods(sc, assoc);
+  ASSERT_GT(sched.split_users, 0);
+  EXPECT_EQ(sched.conflicting_users, 0);
+  EXPECT_NEAR(wrapped_overlap(sched.window_start[0], sched.window_length[0],
+                              sched.window_start[1], sched.window_length[1]),
+              0.0, 1e-12);
+}
+
+TEST(PeriodSchedule, OverloadedPairReportsResidualOverlap) {
+  // Two APs, each with window length 0.7, sharing a split user: 1.4 > 1, so
+  // at least 0.4 of overlap is unavoidable and must be reported.
+  const std::vector<std::vector<double>> link = {{10, 10, 1}, {10, 10, 1}};
+  // u0 anchors at a0 (equal rates -> lower index) but streams from a1 (we
+  // force that); sessions sized to give each AP load 0.7.
+  const auto sc = wlan::Scenario::from_link_rates(link, {0, 1, 0}, {7.0, 7.0, 7.0}, 1.0);
+  const wlan::Association assoc{{1, 0, wlan::kNoAp}};  // u0->a1 (split), u1->a0
+  const auto sched = schedule_multicast_periods(sc, assoc);
+  EXPECT_EQ(sched.split_users, 1);
+  EXPECT_EQ(sched.conflicting_users, 1);
+  EXPECT_NEAR(sched.total_overlap, 0.4, 1e-9);
+}
+
+TEST(PeriodSchedule, RandomScenariosMostSplitUsersSchedulable) {
+  // With the paper's light per-AP loads, nearly every split user can be
+  // given disjoint windows.
+  util::Rng rng(163);
+  wlan::GeneratorParams p;
+  p.n_aps = 30;
+  p.n_users = 120;
+  p.area_side_m = 500.0;
+  const auto sc = wlan::generate_scenario(p, rng);
+  const auto sol = assoc::centralized_mla(sc);
+  const auto sched = schedule_multicast_periods(sc, sol.assoc);
+  EXPECT_GT(sched.split_users, 0);
+  EXPECT_LE(sched.conflicting_users, sched.split_users / 4);
+}
+
+TEST(PeriodSchedule, WindowLengthsAreTheApLoads) {
+  const auto sc = test::fig1_scenario(1.0);
+  const wlan::Association assoc{{0, 0, 0, 1, 1}};
+  const auto rep = wlan::compute_loads(sc, assoc);
+  const auto sched = schedule_multicast_periods(sc, assoc);
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    EXPECT_DOUBLE_EQ(sched.window_length[static_cast<size_t>(a)],
+                     rep.ap_load[static_cast<size_t>(a)]);
+  }
+}
+
+TEST(PeriodSchedule, RejectsSizeMismatch) {
+  const auto sc = test::fig1_scenario(1.0);
+  EXPECT_THROW(schedule_multicast_periods(sc, wlan::Association::none(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::ext

@@ -1,0 +1,120 @@
+#include "wmcast/ext/power_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::ext {
+namespace {
+
+TEST(ScenarioAtPower, HigherPowerExtendsCoverage) {
+  // User at 250 m: unreachable at base power, reachable (6 Mbps) at 1.5x.
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{250, 0}}, {0}, {1.0}, wlan::RateTable::ieee80211a(), 0.9);
+  EXPECT_EQ(sc.n_coverable_users(), 0);
+  const auto boosted = scenario_at_power(sc, wlan::RateTable::ieee80211a(), 1.5);
+  EXPECT_EQ(boosted.n_coverable_users(), 1);
+  EXPECT_DOUBLE_EQ(boosted.link_rate(0, 0), 6.0);
+}
+
+TEST(ScenarioAtPower, LowerPowerShrinksRates) {
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{30, 0}}, {0}, {1.0}, wlan::RateTable::ieee80211a(), 0.9);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 0), 54.0);
+  const auto low = scenario_at_power(sc, wlan::RateTable::ieee80211a(), 0.5);
+  // Thresholds halve: 30 m now falls in the 36 Mbps band (0.5*60 = 30).
+  EXPECT_DOUBLE_EQ(low.link_rate(0, 0), 36.0);
+}
+
+TEST(ScenarioAtPower, RequiresGeometry) {
+  const auto sc = wlan::Scenario::from_link_rates({{1.0}}, {0}, {1.0}, 0.9);
+  EXPECT_THROW(scenario_at_power(sc, wlan::RateTable::ieee80211a(), 1.2),
+               std::invalid_argument);
+}
+
+TEST(ShrinkPowers, KeepRateShrinksFootprintWithoutLoadChange) {
+  // Users close to the AP: the 54 Mbps transmission reaches 35 m at base
+  // power; at 0.5x it still covers members at <= 17.5 m.
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{10, 0}, {12, 0}}, {0, 0}, {1.0}, wlan::RateTable::ieee80211a(), 0.9);
+  const auto sol = assoc::centralized_mla(sc);
+  const std::vector<double> scales = {0.5, 0.75, 1.0};
+  const auto rep = shrink_powers(sc, sol.assoc, wlan::RateTable::ieee80211a(), scales,
+                                 /*keep_rate=*/true);
+  EXPECT_DOUBLE_EQ(rep.scale[0][0], 0.5);
+  EXPECT_LT(rep.footprint_after_m2, rep.footprint_before_m2);
+  EXPECT_NEAR(rep.loads_after.total_load, sol.loads.total_load, 1e-12);
+  EXPECT_EQ(rep.loads_after.budget_violations, 0);
+}
+
+TEST(ShrinkPowers, KeepRateRefusesWhenRateWouldDrop) {
+  // Member at 30 m: 54 Mbps at base; at 0.75x the 54-band ends at 26.25 m so
+  // the rate would drop -> keep_rate must stay at 1.0.
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{30, 0}}, {0}, {1.0}, wlan::RateTable::ieee80211a(), 0.9);
+  const auto sol = assoc::centralized_mla(sc);
+  const std::vector<double> scales = {0.75, 1.0};
+  const auto rep = shrink_powers(sc, sol.assoc, wlan::RateTable::ieee80211a(), scales, true);
+  EXPECT_DOUBLE_EQ(rep.scale[0][0], 1.0);
+  EXPECT_NEAR(rep.footprint_after_m2, rep.footprint_before_m2, 1e-9);
+}
+
+TEST(ShrinkPowers, RateDropModeTradesLoadForFootprint) {
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{30, 0}}, {0}, {1.0}, wlan::RateTable::ieee80211a(), 0.9);
+  const auto sol = assoc::centralized_mla(sc);
+  const std::vector<double> scales = {0.75, 1.0};
+  const auto rep = shrink_powers(sc, sol.assoc, wlan::RateTable::ieee80211a(), scales,
+                                 /*keep_rate=*/false);
+  // At 0.75x the member (30 m) falls into the 48-band (0.75*40 = 30):
+  // load rises 1/54 -> 1/48, footprint shrinks (pi*30^2 < pi*35^2).
+  EXPECT_DOUBLE_EQ(rep.scale[0][0], 0.75);
+  EXPECT_GT(rep.loads_after.total_load, sol.loads.total_load);
+  EXPECT_LT(rep.footprint_after_m2, rep.footprint_before_m2);
+  EXPECT_EQ(rep.loads_after.budget_violations, 0);
+}
+
+TEST(ShrinkPowers, BudgetGuardWalksPowerBackUp) {
+  // Budget so tight that the rate drop from shrinking would violate it:
+  // the walk-back must restore base power.
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{30, 0}}, {0}, {1.0}, wlan::RateTable::ieee80211a(),
+      /*budget=*/1.0 / 50.0);  // 1/54 fits, 1/48 does not
+  const auto sol = assoc::centralized_mla(sc);
+  ASSERT_EQ(sol.loads.satisfied_users, 1);
+  const std::vector<double> scales = {0.75, 1.0};
+  const auto rep = shrink_powers(sc, sol.assoc, wlan::RateTable::ieee80211a(), scales,
+                                 /*keep_rate=*/false);
+  EXPECT_DOUBLE_EQ(rep.scale[0][0], 1.0);
+  EXPECT_EQ(rep.loads_after.budget_violations, 0);
+}
+
+TEST(ShrinkPowers, ScalesMustIncludeBasePower) {
+  const auto sc = wlan::Scenario::from_geometry(
+      {{0, 0}}, {{30, 0}}, {0}, {1.0}, wlan::RateTable::ieee80211a(), 0.9);
+  const auto sol = assoc::centralized_mla(sc);
+  const std::vector<double> scales = {0.5, 0.75};
+  EXPECT_THROW(
+      shrink_powers(sc, sol.assoc, wlan::RateTable::ieee80211a(), scales, true),
+      std::invalid_argument);
+}
+
+TEST(ShrinkPowers, RandomScenarioInvariants) {
+  util::Rng rng(103);
+  wlan::GeneratorParams p;
+  p.n_aps = 15;
+  p.n_users = 40;
+  const auto sc = wlan::generate_scenario(p, rng);
+  const auto sol = assoc::centralized_bla(sc);
+  const std::vector<double> scales = {0.5, 0.7, 0.85, 1.0};
+  const auto rep = shrink_powers(sc, sol.assoc, wlan::RateTable::ieee80211a(), scales, true);
+  // keep_rate: loads identical, footprint never grows, satisfied unchanged.
+  EXPECT_NEAR(rep.loads_after.total_load, sol.loads.total_load, 1e-9);
+  EXPECT_LE(rep.footprint_after_m2, rep.footprint_before_m2 + 1e-9);
+  EXPECT_EQ(rep.loads_after.satisfied_users, sol.loads.satisfied_users);
+}
+
+}  // namespace
+}  // namespace wmcast::ext

@@ -1,0 +1,130 @@
+// Randomized invariant sweep ("fuzz light"): many random scenarios of varied
+// shape, every algorithm, a fixed battery of invariants that must hold on
+// each. Catches cross-module regressions the targeted tests miss.
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/local_search.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/ext/locks.hpp"
+#include "wmcast/setcover/greedy.hpp"
+#include "wmcast/setcover/layering.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+#include "wmcast/wlan/serialization.hpp"
+
+namespace wmcast {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  wlan::GeneratorParams params;
+};
+
+std::vector<FuzzCase> make_cases() {
+  std::vector<FuzzCase> cases;
+  util::Rng meta(20260706);
+  for (int i = 0; i < 12; ++i) {
+    FuzzCase c;
+    c.seed = meta.next_u64();
+    c.params.n_aps = 2 + meta.next_int(30);
+    c.params.n_users = 1 + meta.next_int(80);
+    c.params.n_sessions = 1 + meta.next_int(8);
+    c.params.area_side_m = 150.0 + meta.uniform(0.0, 800.0);
+    c.params.session_rate_mbps = 0.25 + meta.uniform(0.0, 2.0);
+    c.params.load_budget = 0.05 + meta.uniform(0.0, 0.85);
+    c.params.zipf_exponent = meta.next_bool(0.3) ? meta.uniform(0.5, 2.0) : 0.0;
+    c.params.hotspot_fraction = meta.next_bool(0.3) ? meta.uniform(0.2, 1.0) : 0.0;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class FuzzInvariants : public testing::TestWithParam<int> {};
+
+void check_solution(const wlan::Scenario& sc, const assoc::Solution& sol,
+                    bool must_respect_budget) {
+  // 1. Every served user is in range of its AP (compute_loads would throw
+  //    otherwise; make_solution already ran it — recompute defensively).
+  const auto rep = wlan::compute_loads(sc, sol.assoc);
+  // 2. The stored report matches a recomputation (no stale caching).
+  EXPECT_NEAR(rep.total_load, sol.loads.total_load, 1e-9);
+  EXPECT_EQ(rep.satisfied_users, sol.loads.satisfied_users);
+  // 3. Budget feasibility when the algorithm promises it.
+  if (must_respect_budget) EXPECT_TRUE(rep.within_budget());
+  // 4. Served count never exceeds the coverable population.
+  EXPECT_LE(rep.satisfied_users, sc.n_coverable_users());
+  // 5. Loads are non-negative and max <= total.
+  EXPECT_GE(rep.total_load, -1e-12);
+  EXPECT_LE(rep.max_load, rep.total_load + 1e-9);
+}
+
+TEST_P(FuzzInvariants, AllAlgorithmsAllInvariants) {
+  const auto cases = make_cases();
+  const auto& c = cases[static_cast<size_t>(GetParam())];
+  util::Rng rng(c.seed);
+  const auto sc = wlan::generate_scenario(c.params, rng);
+
+  util::Rng r1(c.seed + 1);
+  check_solution(sc, assoc::ssa_associate(sc, r1), true);
+  check_solution(sc, assoc::centralized_mnu(sc), true);
+
+  // MLA/BLA serve everyone coverable but may exceed tight budgets by design
+  // (the paper's BLA/MLA setting assumes demand fits; with a random tight
+  // budget feasibility is not guaranteed).
+  const auto mla = assoc::centralized_mla(sc);
+  check_solution(sc, mla, false);
+  EXPECT_EQ(mla.loads.satisfied_users, sc.n_coverable_users());
+  const auto bla = assoc::centralized_bla(sc);
+  check_solution(sc, bla, false);
+  EXPECT_EQ(bla.loads.satisfied_users, sc.n_coverable_users());
+
+  util::Rng r2(c.seed + 2);
+  const auto dmla = assoc::distributed_mla(sc, r2);
+  check_solution(sc, dmla, true);
+  EXPECT_TRUE(dmla.converged);
+  util::Rng r3(c.seed + 3);
+  const auto dbla = assoc::distributed_bla(sc, r3);
+  check_solution(sc, dbla, true);
+  EXPECT_TRUE(dbla.converged);
+
+  util::Rng r4(c.seed + 4);
+  const auto locked = ext::lock_coordinated_associate(sc, r4, {});
+  check_solution(sc, locked, true);
+  EXPECT_TRUE(locked.converged);
+
+  // Local search from SSA: lexicographically never worse — it serves at
+  // least as many users, and with equal service the total load cannot rise.
+  util::Rng r5(c.seed + 5);
+  const auto ssa2 = assoc::ssa_associate(sc, r5);
+  const auto polished = assoc::local_search(sc, ssa2.assoc, {});
+  check_solution(sc, polished, true);
+  EXPECT_GE(polished.loads.satisfied_users, ssa2.loads.satisfied_users);
+  if (polished.loads.satisfied_users == ssa2.loads.satisfied_users) {
+    EXPECT_LE(polished.loads.total_load, ssa2.loads.total_load + 1e-9);
+  }
+
+  // Set-cover layer: greedy and layering both produce complete covers.
+  const auto sys = setcover::build_set_system(sc);
+  EXPECT_EQ(sys.coverable().count(), sc.n_coverable_users());
+  const auto greedy = setcover::greedy_set_cover(sys);
+  EXPECT_TRUE(greedy.complete);
+  const auto layered = setcover::layered_set_cover(sys);
+  EXPECT_TRUE(layered.complete);
+
+  // Serialization round trip preserves algorithm behavior exactly.
+  const auto restored = wlan::from_text(wlan::to_text(sc));
+  EXPECT_EQ(assoc::centralized_mla(restored).assoc, mla.assoc);
+
+  // Determinism: same seed, same answer.
+  util::Rng r6a(c.seed + 6);
+  util::Rng r6b(c.seed + 6);
+  EXPECT_EQ(assoc::distributed_mla(sc, r6a).assoc, assoc::distributed_mla(sc, r6b).assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, FuzzInvariants, testing::Range(0, 12));
+
+}  // namespace
+}  // namespace wmcast

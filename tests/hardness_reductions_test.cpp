@@ -1,0 +1,138 @@
+// Cross-validation of the paper's NP-hardness reductions (Appendix A/B/C):
+// solving the reduced WLAN instance exactly must recover the classic
+// problem's optimum.
+#include "wmcast/hardness/reductions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/exact/exact_bla.hpp"
+#include "wmcast/exact/exact_mla.hpp"
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/rng.hpp"
+
+namespace wmcast::hardness {
+namespace {
+
+TEST(SubsetSumToMnu, YesInstanceReachesTarget) {
+  // {3, 5, 8, 9} has a subset summing to 14 (5 + 9).
+  const SubsetSumInstance in{{3, 5, 8, 9}, 14};
+  EXPECT_EQ(subset_sum_best(in), 14);
+  const auto sc = subset_sum_to_mnu(in);
+  EXPECT_EQ(sc.n_aps(), 1);
+  EXPECT_EQ(sc.n_users(), 25);  // 3+5+8+9 users
+  const auto sys = setcover::build_set_system(sc);
+  const auto res = exact::exact_max_coverage_uniform(sys, sc.load_budget());
+  ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+  EXPECT_EQ(res.covered, 14);
+}
+
+TEST(SubsetSumToMnu, NoInstanceFallsShort) {
+  // {4, 6, 10} cannot sum to 13 (all even); best below is 10.
+  const SubsetSumInstance in{{4, 6, 10}, 13};
+  EXPECT_EQ(subset_sum_best(in), 10);
+  const auto sc = subset_sum_to_mnu(in);
+  const auto sys = setcover::build_set_system(sc);
+  const auto res = exact::exact_max_coverage_uniform(sys, sc.load_budget());
+  ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+  EXPECT_EQ(res.covered, 10);
+}
+
+TEST(SubsetSumToMnu, RandomInstancesAgreeWithDp) {
+  util::Rng rng(79);
+  for (int trial = 0; trial < 6; ++trial) {
+    SubsetSumInstance in;
+    const int k = 3 + rng.next_int(3);
+    for (int i = 0; i < k; ++i) in.values.push_back(1 + rng.next_int(7));
+    in.target = 1 + rng.next_int(12);
+    const auto sc = subset_sum_to_mnu(in);
+    const auto sys = setcover::build_set_system(sc);
+    const auto res = exact::exact_max_coverage_uniform(sys, sc.load_budget());
+    ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+    EXPECT_EQ(res.covered, subset_sum_best(in)) << "trial " << trial;
+  }
+}
+
+TEST(MakespanToBla, TwoMachinesKnownOptimum) {
+  // Jobs {3,3,2,2,2} on 2 machines: makespan 6 (3+3 / 2+2+2).
+  const MakespanInstance in{{3, 3, 2, 2, 2}, 2};
+  EXPECT_DOUBLE_EQ(makespan_optimal(in), 6.0);
+  const auto sc = makespan_to_bla(in);
+  const auto sys = setcover::build_set_system(sc);
+  const auto res = exact::exact_min_max_cover(sys);
+  ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+  const double d = 2.0 * (3 + 3 + 2 + 2 + 2);
+  EXPECT_NEAR(res.max_group_cost * d, 6.0, 1e-9);
+}
+
+TEST(MakespanToBla, RandomInstancesAgreeWithExhaustive) {
+  util::Rng rng(83);
+  for (int trial = 0; trial < 6; ++trial) {
+    MakespanInstance in;
+    const int n = 4 + rng.next_int(4);
+    for (int i = 0; i < n; ++i) in.processing.push_back(1.0 + rng.next_int(9));
+    in.machines = 2 + rng.next_int(2);
+    double total = 0.0;
+    for (const double p : in.processing) total += p;
+    const auto sc = makespan_to_bla(in);
+    const auto sys = setcover::build_set_system(sc);
+    const auto res = exact::exact_min_max_cover(sys);
+    ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+    EXPECT_NEAR(res.max_group_cost * 2.0 * total, makespan_optimal(in), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(SetCoverToMla, KnownInstance) {
+  // Universe {0..4}; sets {0,1,2}, {2,3}, {3,4}, {0,4}: optimal cover size 2
+  // ({0,1,2} + {3,4}).
+  const SetCoverInstance in{5, {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}}};
+  EXPECT_EQ(set_cover_optimal(in), 2);
+  const auto sc = set_cover_to_mla(in);
+  const auto sys = setcover::build_set_system(sc);
+  const auto res = exact::exact_min_cost_cover(sys);
+  ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+  EXPECT_NEAR(res.cost / set_cover_unit_load(in), 2.0, 1e-9);
+}
+
+TEST(SetCoverToMla, RandomInstancesAgreeWithEnumeration) {
+  util::Rng rng(89);
+  for (int trial = 0; trial < 6; ++trial) {
+    SetCoverInstance in;
+    in.n_elements = 6 + rng.next_int(5);
+    const int m = 4 + rng.next_int(5);
+    for (int j = 0; j < m; ++j) {
+      std::vector<int> s;
+      for (int e = 0; e < in.n_elements; ++e) {
+        if (rng.next_bool(0.4)) s.push_back(e);
+      }
+      if (s.empty()) s.push_back(rng.next_int(in.n_elements));
+      in.sets.push_back(std::move(s));
+    }
+    // Ensure coverability.
+    std::vector<int> all(static_cast<size_t>(in.n_elements));
+    for (int e = 0; e < in.n_elements; ++e) all[static_cast<size_t>(e)] = e;
+    in.sets.push_back(all);
+
+    const int opt = set_cover_optimal(in);
+    ASSERT_GE(opt, 1);
+    const auto sc = set_cover_to_mla(in);
+    const auto sys = setcover::build_set_system(sc);
+    const auto res = exact::exact_min_cost_cover(sys);
+    ASSERT_EQ(res.status, exact::BbStatus::kOptimal);
+    EXPECT_NEAR(res.cost / set_cover_unit_load(in), opt, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Reductions, RejectInvalidInstances) {
+  EXPECT_THROW(subset_sum_to_mnu({{}, 5}), std::invalid_argument);
+  EXPECT_THROW(subset_sum_to_mnu({{1, 2}, 0}), std::invalid_argument);
+  EXPECT_THROW(subset_sum_to_mnu({{0}, 1}), std::invalid_argument);
+  EXPECT_THROW(makespan_to_bla({{}, 2}), std::invalid_argument);
+  EXPECT_THROW(makespan_to_bla({{1.0}, 0}), std::invalid_argument);
+  EXPECT_THROW(set_cover_to_mla({0, {{0}}}), std::invalid_argument);
+  EXPECT_THROW(set_cover_to_mla({2, {{5}}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::hardness

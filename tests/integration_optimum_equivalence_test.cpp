@@ -1,0 +1,70 @@
+// DESIGN.md §5.7: the set-level optima computed by the exact B&B solvers
+// equal the association-level optima — materializing an optimal cover yields
+// an association achieving exactly the set-level objective value. This suite
+// pins that equivalence for all three problems on random instances.
+#include <gtest/gtest.h>
+
+#include "wmcast/exact/exact_bla.hpp"
+#include "wmcast/exact/exact_mla.hpp"
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/setcover/materialize.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast {
+namespace {
+
+wlan::Scenario instance(uint64_t seed) {
+  wlan::GeneratorParams p;
+  p.n_aps = 7;
+  p.n_users = 20;
+  p.n_sessions = 3;
+  p.area_side_m = 400.0;
+  util::Rng rng(seed);
+  return wlan::generate_scenario(p, rng);
+}
+
+TEST(OptimumEquivalence, MlaMaterializedTotalEqualsSetLevelCost) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sc = instance(seed);
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt = exact::exact_min_cost_cover(sys);
+    if (opt.status != exact::BbStatus::kOptimal) continue;
+    const auto assoc = setcover::materialize(sc, sys, opt.chosen);
+    const auto rep = wlan::compute_loads(sc, assoc);
+    // Materialized load <= set-level cost always; equality at the optimum
+    // (otherwise the materialized association would map back to a cheaper
+    // cover, contradicting optimality).
+    EXPECT_NEAR(rep.total_load, opt.cost, 1e-9) << "seed " << seed;
+    EXPECT_EQ(rep.satisfied_users, sc.n_coverable_users());
+  }
+}
+
+TEST(OptimumEquivalence, BlaMaterializedMaxEqualsSetLevelMax) {
+  for (uint64_t seed = 11; seed <= 15; ++seed) {
+    const auto sc = instance(seed);
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt = exact::exact_min_max_cover(sys);
+    if (opt.status != exact::BbStatus::kOptimal) continue;
+    const auto assoc = setcover::materialize(sc, sys, opt.chosen);
+    const auto rep = wlan::compute_loads(sc, assoc);
+    EXPECT_NEAR(rep.max_load, opt.max_group_cost, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(OptimumEquivalence, MnuMaterializedServesExactlyTheCoveredCount) {
+  for (uint64_t seed = 21; seed <= 25; ++seed) {
+    const auto sc = instance(seed).with_budget(0.08);
+    const auto sys = setcover::build_set_system(sc);
+    const auto opt = exact::exact_max_coverage_uniform(sys, sc.load_budget());
+    if (opt.status != exact::BbStatus::kOptimal) continue;
+    const auto assoc = setcover::materialize(sc, sys, opt.chosen);
+    const auto rep = wlan::compute_loads(sc, assoc);
+    EXPECT_EQ(rep.satisfied_users, opt.covered) << "seed " << seed;
+    EXPECT_TRUE(rep.within_budget()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wmcast

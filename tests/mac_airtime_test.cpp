@@ -1,0 +1,63 @@
+#include "wmcast/mac/airtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::mac {
+namespace {
+
+TEST(Airtime, FrameDurationKnownValue) {
+  // 1500 B payload + 28 B MAC header at 54 Mbps:
+  // bits = 16 + 8*1528 + 6 = 12246; bits/symbol = 216; symbols = ceil(56.69)
+  // = 57; duration = 20 + 57*4 = 248 us.
+  EXPECT_DOUBLE_EQ(frame_duration_us(1500, 54.0), 248.0);
+  // Same frame at 6 Mbps: bits/symbol = 24; symbols = ceil(510.25) = 511;
+  // duration = 20 + 511*4 = 2064 us.
+  EXPECT_DOUBLE_EQ(frame_duration_us(1500, 6.0), 2064.0);
+}
+
+TEST(Airtime, LowerRateTakesLonger) {
+  double prev = 0.0;
+  for (const double rate : {54.0, 48.0, 36.0, 24.0, 18.0, 12.0, 6.0}) {
+    const double d = frame_duration_us(1500, rate);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Airtime, BroadcastAddsDifsAndBackoff) {
+  const double frame = frame_duration_us(1000, 24.0);
+  EXPECT_DOUBLE_EQ(broadcast_airtime_us(1000, 24.0, 0), 34.0 + frame);
+  EXPECT_DOUBLE_EQ(broadcast_airtime_us(1000, 24.0, 7), 34.0 + 7 * 9.0 + frame);
+}
+
+TEST(Airtime, AirtimeLoadExceedsIdealLoad) {
+  // Per-frame overheads (preamble, DIFS, symbol padding) make the true busy
+  // fraction strictly larger than the paper's stream/tx ratio.
+  for (const double tx : {6.0, 12.0, 24.0, 54.0}) {
+    const double ideal = ideal_load(1.0, tx);
+    const double real = airtime_load(1.0, tx, 1500);
+    EXPECT_GT(real, ideal);
+    // ... but within a modest factor for big frames.
+    EXPECT_LT(real, ideal * 2.0);
+  }
+}
+
+TEST(Airtime, SmallerPacketsWasteMoreAirtime) {
+  EXPECT_GT(airtime_load(1.0, 54.0, 200), airtime_load(1.0, 54.0, 1500));
+}
+
+TEST(Airtime, IdealLoadIsTheRateRatio) {
+  EXPECT_DOUBLE_EQ(ideal_load(3.0, 6.0), 0.5);
+  EXPECT_DOUBLE_EQ(ideal_load(1.0, 54.0), 1.0 / 54.0);
+}
+
+TEST(Airtime, InvalidInputsThrow) {
+  EXPECT_THROW(frame_duration_us(0, 6.0), std::invalid_argument);
+  EXPECT_THROW(frame_duration_us(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(airtime_load(0.0, 6.0), std::invalid_argument);
+  EXPECT_THROW(ideal_load(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(broadcast_airtime_us(100, 6.0, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::mac

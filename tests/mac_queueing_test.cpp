@@ -1,0 +1,107 @@
+#include "wmcast/mac/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::mac {
+namespace {
+
+TEST(Md1, KnownValues) {
+  EXPECT_DOUBLE_EQ(md1_waiting_time(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(md1_waiting_time(0.5), 0.5);   // rho/(2(1-rho))
+  EXPECT_DOUBLE_EQ(md1_waiting_time(0.8), 2.0);
+  EXPECT_THROW(md1_waiting_time(1.0), std::invalid_argument);
+  EXPECT_THROW(md1_waiting_time(-0.1), std::invalid_argument);
+}
+
+TEST(Md1, MonotoneAndConvexInLoad) {
+  double prev = -1.0;
+  double prev_delta = 0.0;
+  for (double rho = 0.0; rho < 0.95; rho += 0.05) {
+    const double w = md1_waiting_time(rho);
+    EXPECT_GT(w, prev);
+    if (prev >= 0.0) {
+      const double delta = w - prev;
+      EXPECT_GE(delta, prev_delta - 1e-12);  // convex: increments grow
+      prev_delta = delta;
+    }
+    prev = w;
+  }
+}
+
+TEST(StreamDelay, IdleApsHaveZeroDelay) {
+  const auto sc = test::fig1_scenario(1.0);
+  const wlan::Association all_a1{{0, 0, 0, 0, 0}};
+  const auto loads = wlan::compute_loads(sc, all_a1);
+  const auto rep = stream_delay_report(sc, loads);
+  EXPECT_GT(rep.ap_sojourn_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(rep.ap_sojourn_ms[1], 0.0);
+  EXPECT_EQ(rep.saturated_aps, 0);
+  EXPECT_DOUBLE_EQ(rep.max_sojourn_ms, rep.ap_sojourn_ms[0]);
+}
+
+TEST(StreamDelay, HigherLoadMeansMoreDelayAtEqualRates) {
+  // Same AP serving one vs two sessions at the same tx rate: higher rho,
+  // higher sojourn.
+  const std::vector<std::vector<double>> link = {{4, 4}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0, 1}, {1.0, 1.0}, 1.0);
+  const auto one = wlan::compute_loads(sc, wlan::Association{{0, wlan::kNoAp}});
+  const auto two = wlan::compute_loads(sc, wlan::Association{{0, 0}});
+  const auto rep1 = stream_delay_report(sc, one);
+  const auto rep2 = stream_delay_report(sc, two);
+  EXPECT_GT(rep2.ap_sojourn_ms[0], rep1.ap_sojourn_ms[0]);
+}
+
+TEST(StreamDelay, SaturatedApsAreCountedNotAveraged) {
+  const std::vector<std::vector<double>> link = {{2.0}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0}, {2.0}, 1.0);
+  const auto loads = wlan::compute_loads(sc, wlan::Association{{0}});
+  ASSERT_GE(loads.ap_load[0], 1.0);
+  const auto rep = stream_delay_report(sc, loads);
+  EXPECT_EQ(rep.saturated_aps, 1);
+  EXPECT_DOUBLE_EQ(rep.ap_sojourn_ms[0], 0.0);
+}
+
+TEST(StreamDelay, BlaLowersWorstNormalizedWaitVsSsa) {
+  // The latency interpretation of the BLA objective: the worst AP's M/D/1
+  // *normalized* wait (in service-time units) is a monotone image of its
+  // load, so minimizing the max load minimizes it. (Absolute sojourn in ms
+  // is NOT monotone — a lightly loaded AP transmitting at 6 Mbps has slower
+  // frames than a busy one at 54 Mbps — which the report documents.)
+  util::Rng rng(227);
+  util::RunningStat edge;
+  for (int trial = 0; trial < 5; ++trial) {
+    wlan::GeneratorParams p;
+    p.n_aps = 40;
+    p.n_users = 160;
+    p.area_side_m = 500.0;
+    p.session_rate_mbps = 2.0;
+    util::Rng sub = rng.fork();
+    const auto sc = wlan::generate_scenario(p, sub);
+    util::Rng srng = rng.fork();
+    const auto ssa = assoc::ssa_associate(sc, srng);
+    const auto bla = assoc::centralized_bla(sc);
+    const auto d_ssa = stream_delay_report(sc, ssa.loads);
+    const auto d_bla = stream_delay_report(sc, bla.loads);
+    edge.add(d_ssa.max_normalized_wait - d_bla.max_normalized_wait);
+    // Consistency: normalized wait matches the max-load transform.
+    EXPECT_NEAR(d_bla.max_normalized_wait, md1_waiting_time(bla.loads.max_load), 1e-9);
+  }
+  EXPECT_GT(edge.mean(), 0.0);
+}
+
+TEST(StreamDelay, RejectsBadInput) {
+  const auto sc = test::fig1_scenario(1.0);
+  wlan::LoadReport wrong;
+  wrong.ap_load = {0.1};
+  EXPECT_THROW(stream_delay_report(sc, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::mac

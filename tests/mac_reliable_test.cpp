@@ -1,0 +1,74 @@
+#include "wmcast/mac/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::mac {
+namespace {
+
+TEST(Reliable, PlainBroadcastIsTheBaseline) {
+  EXPECT_DOUBLE_EQ(reliable_airtime_multiplier(ReliableScheme::kPlainBroadcast, 10, 0.2),
+                   1.0);
+  EXPECT_DOUBLE_EQ(expected_delivery(ReliableScheme::kPlainBroadcast, 0.2), 0.8);
+}
+
+TEST(Reliable, FeedbackSchemesDeliverEverything) {
+  for (const auto s : {ReliableScheme::kLeaderAck, ReliableScheme::kBmwUnicastChain,
+                       ReliableScheme::kBatchAck}) {
+    EXPECT_DOUBLE_EQ(expected_delivery(s, 0.3), 1.0);
+  }
+}
+
+TEST(Reliable, LeaderAckIndependentOfGroupSize) {
+  const double m5 = reliable_airtime_multiplier(ReliableScheme::kLeaderAck, 5, 0.1);
+  const double m50 = reliable_airtime_multiplier(ReliableScheme::kLeaderAck, 50, 0.1);
+  EXPECT_DOUBLE_EQ(m5, m50);
+  EXPECT_GT(m5, 1.0);  // ACK overhead plus retries
+}
+
+TEST(Reliable, BmwScalesLinearlyWithReceivers) {
+  const double m1 = reliable_airtime_multiplier(ReliableScheme::kBmwUnicastChain, 1, 0.0);
+  const double m8 = reliable_airtime_multiplier(ReliableScheme::kBmwUnicastChain, 8, 0.0);
+  EXPECT_NEAR(m8, 8.0 * m1, 1e-9);
+}
+
+TEST(Reliable, BatchAckGrowsSlowlyWithReceivers) {
+  // BMMM pays per-receiver ACK slots but shares the data frame: far cheaper
+  // than BMW for big groups, costlier than leader-ACK.
+  const double bmw = reliable_airtime_multiplier(ReliableScheme::kBmwUnicastChain, 20, 0.1);
+  const double batch = reliable_airtime_multiplier(ReliableScheme::kBatchAck, 20, 0.1);
+  const double leader = reliable_airtime_multiplier(ReliableScheme::kLeaderAck, 20, 0.1);
+  EXPECT_LT(batch, bmw);
+  EXPECT_GT(batch, leader);
+}
+
+TEST(Reliable, LossRaisesEveryFeedbackScheme) {
+  for (const auto s : {ReliableScheme::kLeaderAck, ReliableScheme::kBmwUnicastChain,
+                       ReliableScheme::kBatchAck}) {
+    const double clean = reliable_airtime_multiplier(s, 10, 0.0);
+    const double lossy = reliable_airtime_multiplier(s, 10, 0.3);
+    EXPECT_GT(lossy, clean);
+  }
+}
+
+TEST(Reliable, ExpectedRoundsFormula) {
+  EXPECT_DOUBLE_EQ(expected_rounds_until_all(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(expected_rounds_until_all(5, 0.0), 1.0);
+  // One receiver: geometric mean 1/(1-p).
+  EXPECT_NEAR(expected_rounds_until_all(1, 0.5), 2.0, 1e-9);
+  // Monotone in n and p.
+  EXPECT_GT(expected_rounds_until_all(10, 0.5), expected_rounds_until_all(2, 0.5));
+  EXPECT_GT(expected_rounds_until_all(5, 0.6), expected_rounds_until_all(5, 0.3));
+}
+
+TEST(Reliable, InvalidInputsThrow) {
+  EXPECT_THROW(reliable_airtime_multiplier(ReliableScheme::kLeaderAck, -1, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(reliable_airtime_multiplier(ReliableScheme::kLeaderAck, 1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(expected_rounds_until_all(3, -0.1), std::invalid_argument);
+  EXPECT_THROW(expected_delivery(ReliableScheme::kPlainBroadcast, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::mac

@@ -1,0 +1,163 @@
+#include "wmcast/setcover/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_fixtures.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::setcover {
+namespace {
+
+// Finds the set for (ap, session, tx_rate); -1 if absent.
+int find_set(const SetSystem& sys, int ap, int session, double rate) {
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    const auto& s = sys.set(j);
+    if (s.ap == ap && s.session == session && s.tx_rate == rate) return j;
+  }
+  return -1;
+}
+
+TEST(Reduction, Fig1ProducesThePapersSevenSets) {
+  // Fig. 2 of the paper: the MNU reduction of the Fig. 1 WLAN at 3 Mbps
+  // streams has exactly 7 sets (S1..S7).
+  const auto sc = test::fig1_scenario(3.0);
+  const SetSystem sys = build_set_system(sc);
+  EXPECT_EQ(sys.n_sets(), 7);
+  EXPECT_EQ(sys.n_elements(), 5);
+  EXPECT_EQ(sys.n_groups(), 2);
+
+  // (a1, s1): {u3} at rate 4 (cost 3/4) and {u1,u3} at rate 3 (cost 1).
+  int j = find_set(sys, 0, 0, 4.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{2}));
+  EXPECT_NEAR(sys.set(j).cost, 0.75, 1e-12);
+
+  j = find_set(sys, 0, 0, 3.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{0, 2}));
+  EXPECT_NEAR(sys.set(j).cost, 1.0, 1e-12);
+
+  // (a1, s2): {u2} at 6 (cost 1/2) and {u2,u4,u5} at 4 (cost 3/4).
+  j = find_set(sys, 0, 1, 6.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{1}));
+  EXPECT_NEAR(sys.set(j).cost, 0.5, 1e-12);
+
+  j = find_set(sys, 0, 1, 4.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{1, 3, 4}));
+  EXPECT_NEAR(sys.set(j).cost, 0.75, 1e-12);
+
+  // (a2, s1): {u3} at 5 (cost 3/5).
+  j = find_set(sys, 1, 0, 5.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{2}));
+  EXPECT_NEAR(sys.set(j).cost, 0.6, 1e-12);
+
+  // (a2, s2): {u4} at 5 (cost 3/5) and {u4,u5} at 3 (cost 1).
+  j = find_set(sys, 1, 1, 5.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{3}));
+
+  j = find_set(sys, 1, 1, 3.0);
+  ASSERT_GE(j, 0);
+  EXPECT_EQ(sys.set(j).members.to_indices(), (std::vector<int>{3, 4}));
+  EXPECT_NEAR(sys.set(j).cost, 1.0, 1e-12);
+}
+
+TEST(Reduction, GroupsPartitionTheSetsByAp) {
+  const auto sc = test::fig1_scenario(1.0);
+  const SetSystem sys = build_set_system(sc);
+  int total = 0;
+  for (int g = 0; g < sys.n_groups(); ++g) {
+    for (const int j : sys.group_sets(g)) {
+      EXPECT_EQ(sys.set(j).group, g);
+      EXPECT_EQ(sys.set(j).ap, g);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, sys.n_sets());
+}
+
+TEST(Reduction, NestedSetsAtLowerRatesCostMore) {
+  const auto sc = test::fig1_scenario(1.0);
+  const SetSystem sys = build_set_system(sc);
+  for (int i = 0; i < sys.n_sets(); ++i) {
+    for (int j = 0; j < sys.n_sets(); ++j) {
+      const auto& a = sys.set(i);
+      const auto& b = sys.set(j);
+      if (a.ap != b.ap || a.session != b.session || a.tx_rate <= b.tx_rate) continue;
+      // a has the higher rate: fewer members, lower cost.
+      EXPECT_TRUE(a.members.is_subset_of(b.members));
+      EXPECT_LT(a.cost, b.cost);
+    }
+  }
+}
+
+TEST(Reduction, BasicRateModeYieldsOneSetPerApSession) {
+  const auto sc = test::fig1_scenario(1.0);
+  const SetSystem sys = build_set_system(sc, /*multi_rate=*/false);
+  // (a1,s1), (a1,s2), (a2,s1), (a2,s2) -> 4 sets, all at basic rate 3.
+  EXPECT_EQ(sys.n_sets(), 4);
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    EXPECT_DOUBLE_EQ(sys.set(j).tx_rate, 3.0);
+    EXPECT_NEAR(sys.set(j).cost, 1.0 / 3.0, 1e-12);
+    // Every requester in range belongs to the basic-rate set.
+  }
+}
+
+TEST(Reduction, CoverableMatchesScenario) {
+  util::Rng rng(11);
+  wlan::GeneratorParams p;
+  p.n_aps = 20;
+  p.n_users = 60;
+  const auto sc = wlan::generate_scenario(p, rng);
+  const SetSystem sys = build_set_system(sc);
+  EXPECT_EQ(sys.coverable().count(), sc.n_coverable_users());
+  // Every member of every set is a requester of the set's session in range.
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    const auto& s = sys.set(j);
+    s.members.for_each([&](int u) {
+      EXPECT_EQ(sc.user_session(u), s.session);
+      EXPECT_GE(sc.link_rate(s.ap, u), s.tx_rate);
+    });
+    EXPECT_NEAR(s.cost, sc.session_rate(s.session) / s.tx_rate, 1e-12);
+  }
+}
+
+TEST(Reduction, DuplicateRatesCollapseIntoOneSet) {
+  // Two users at the same rate on the same (ap, session) yield one set.
+  const std::vector<std::vector<double>> link = {{4, 4}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0, 0}, {1.0}, 0.9);
+  const SetSystem sys = build_set_system(sc);
+  ASSERT_EQ(sys.n_sets(), 1);
+  EXPECT_EQ(sys.set(0).members.count(), 2);
+}
+
+TEST(SetSystem, MaxCostAndMinFeasibleBudget) {
+  const auto sc = test::fig1_scenario(3.0);
+  const SetSystem sys = build_set_system(sc);
+  EXPECT_NEAR(sys.max_set_cost(), 1.0, 1e-12);
+  // u1 is only coverable by (a1,s1,3) at cost 1 -> any feasible per-group
+  // budget must be at least 1.
+  EXPECT_NEAR(sys.min_feasible_budget(), 1.0, 1e-12);
+}
+
+TEST(SetSystem, RejectsInvalidConstruction) {
+  util::DynBitset members(3);
+  members.set(0);
+  CandidateSet s{members, /*cost=*/0.5, /*group=*/5, /*ap=*/5, /*session=*/0, 1.0};
+  EXPECT_THROW(SetSystem(3, 2, {s}), std::invalid_argument);  // group out of range
+  s.group = 0;
+  s.cost = 0.0;
+  EXPECT_THROW(SetSystem(3, 2, {s}), std::invalid_argument);  // non-positive cost
+  CandidateSet wrong{util::DynBitset(4), 0.5, 0, 0, 0, 1.0};
+  wrong.members.set(1);
+  EXPECT_THROW(SetSystem(3, 2, {wrong}), std::invalid_argument);  // universe mismatch
+}
+
+}  // namespace
+}  // namespace wmcast::setcover

@@ -1,0 +1,99 @@
+// Accounting invariants of the protocol simulator's counters and traces.
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/sim/network.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::sim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig c;
+  c.latency_s = 0.002;
+  c.scan_period_s = 1.0;
+  c.phase_jitter_s = 1.0;
+  c.quiet_period_s = 4.0;
+  c.max_time_s = 60.0;
+  return c;
+}
+
+TEST(SimCounters, QueriesEqualResponsesWithoutLoss) {
+  const auto sc = test::fig1_scenario(1.0);
+  ProtocolSim sim(sc, base_config(), util::Rng(1));
+  const auto out = sim.run();
+  EXPECT_EQ(out.counters.queries, out.counters.responses);
+  EXPECT_EQ(out.counters.lost_messages, 0);
+}
+
+TEST(SimCounters, JoinsMinusRejectionsMatchTraceJoins) {
+  util::Rng gen(199);
+  wlan::GeneratorParams p;
+  p.n_aps = 8;
+  p.n_users = 30;
+  p.area_side_m = 350.0;
+  p.load_budget = 0.2;
+  const auto sc = wlan::generate_scenario(p, gen);
+  SimConfig cfg = base_config();
+  cfg.phase_jitter_s = 0.0;  // synchronized: provoke races and rejections
+  ProtocolSim sim(sc, cfg, util::Rng(2));
+  const auto out = sim.run();
+  int64_t trace_joins = 0;
+  for (const auto& t : out.trace) {
+    if (t.to_ap != wlan::kNoAp) ++trace_joins;
+  }
+  EXPECT_EQ(out.counters.joins - out.counters.rejections, trace_joins);
+}
+
+TEST(SimCounters, LeavesNeverExceedJoins) {
+  util::Rng gen(211);
+  wlan::GeneratorParams p;
+  p.n_aps = 10;
+  p.n_users = 40;
+  p.area_side_m = 400.0;
+  const auto sc = wlan::generate_scenario(p, gen);
+  ProtocolSim sim(sc, base_config(), util::Rng(3));
+  const auto out = sim.run();
+  EXPECT_LE(out.counters.leaves, out.counters.joins);
+  EXPECT_GT(out.counters.decisions, 0);
+}
+
+TEST(SimCounters, TraceTimesAreMonotone) {
+  const auto sc = test::fig1_scenario(3.0);
+  ProtocolSim sim(sc, base_config(), util::Rng(4));
+  const auto out = sim.run();
+  for (size_t i = 1; i < out.trace.size(); ++i) {
+    EXPECT_LE(out.trace[i - 1].time_s, out.trace[i].time_s);
+  }
+  if (!out.trace.empty()) {
+    EXPECT_NEAR(out.trace.back().time_s, out.last_change_s, 1e-12);
+  }
+}
+
+TEST(SimCounters, NoNeighborsNoDecisions) {
+  // Users out of everyone's range never produce decide events.
+  const std::vector<std::vector<double>> link = {{0.0, 0.0}};
+  const auto sc = wlan::Scenario::from_link_rates(link, {0, 0}, {1.0}, 0.9);
+  SimConfig cfg = base_config();
+  cfg.max_time_s = 10.0;
+  ProtocolSim sim(sc, cfg, util::Rng(5));
+  const auto out = sim.run();
+  EXPECT_EQ(out.counters.decisions, 0);
+  EXPECT_EQ(out.counters.queries, 0);
+  EXPECT_TRUE(out.converged);  // nothing ever changes
+}
+
+TEST(SimCounters, EndTimeNeverExceedsHorizonPlusOneEvent) {
+  const auto sc = test::fig4_scenario();
+  SimConfig cfg = base_config();
+  cfg.phase_jitter_s = 0.0;
+  cfg.max_time_s = 15.0;
+  ProtocolSim sim(sc, cfg, util::Rng(6));
+  sim.set_initial(wlan::Association{{0, 0, 1, 1}});
+  const auto out = sim.run();
+  EXPECT_LE(out.end_time_s, cfg.max_time_s + 1.0);
+  EXPECT_FALSE(out.converged);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

@@ -1,0 +1,139 @@
+#include "wmcast/sim/csma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/mac/airtime.hpp"
+
+namespace wmcast::sim {
+namespace {
+
+CsmaConfig fast_config() {
+  CsmaConfig c;
+  c.horizon_s = 1.0;
+  c.seed = 3;
+  return c;
+}
+
+TEST(Csma, IsolatedApDeliversEverything) {
+  // One AP, no conflicts: no collisions possible.
+  std::vector<ApWorkload> aps(1);
+  aps[0].multicast = {{1.0, 24.0}};
+  const std::vector<std::vector<int>> conflicts = {{}};
+  const auto r = simulate_csma(aps, conflicts, fast_config());
+  EXPECT_GT(r.mc_frames_sent, 50);
+  EXPECT_EQ(r.mc_frames_collided, 0);
+  EXPECT_DOUBLE_EQ(r.overall_mc_delivery, 1.0);
+  EXPECT_EQ(r.collisions, 0);
+  // Airtime roughly matches the analytic load (backoff adds a little).
+  EXPECT_NEAR(r.airtime_fraction[0], mac::airtime_load(1.0, 24.0, 1500), 0.02);
+}
+
+TEST(Csma, DisjointChannelsNeverCollide) {
+  std::vector<ApWorkload> aps(3);
+  for (auto& a : aps) a.multicast = {{2.0, 12.0}};
+  const std::vector<std::vector<int>> conflicts = {{}, {}, {}};
+  const auto r = simulate_csma(aps, conflicts, fast_config());
+  EXPECT_EQ(r.collisions, 0);
+  EXPECT_DOUBLE_EQ(r.overall_mc_delivery, 1.0);
+}
+
+TEST(Csma, SharedChannelCausesBroadcastLoss) {
+  // Two heavily loaded APs on one channel: collisions must occur and
+  // broadcast frames are lost (no retransmission).
+  std::vector<ApWorkload> aps(2);
+  for (auto& a : aps) a.multicast = {{4.0, 12.0}, {4.0, 12.0}};
+  const std::vector<std::vector<int>> conflicts = {{1}, {0}};
+  const auto r = simulate_csma(aps, conflicts, fast_config());
+  EXPECT_GT(r.collisions, 0);
+  EXPECT_GT(r.mc_frames_collided, 0);
+  EXPECT_LT(r.overall_mc_delivery, 1.0);
+  EXPECT_GT(r.overall_mc_delivery, 0.3);  // CSMA still mostly works
+}
+
+TEST(Csma, UnicastRetriesWhereBroadcastLoses) {
+  // Same contention, but unicast traffic: retries recover collided frames,
+  // so goodput stays positive and drops stay rare relative to deliveries.
+  std::vector<ApWorkload> aps(2);
+  for (auto& a : aps) {
+    a.multicast = {{2.0, 12.0}};
+    a.unicast = {UnicastClient{54.0}};
+  }
+  const std::vector<std::vector<int>> conflicts = {{1}, {0}};
+  const auto r = simulate_csma(aps, conflicts, fast_config());
+  EXPECT_GT(r.total_unicast_goodput_mbps, 1.0);
+  EXPECT_GT(r.collisions, 0);
+}
+
+TEST(Csma, MoreContendersLowerDelivery) {
+  auto run = [&](int n_aps) {
+    std::vector<ApWorkload> aps(static_cast<size_t>(n_aps));
+    for (auto& a : aps) a.multicast = {{2.0, 12.0}};
+    // Full mesh conflicts (all on one channel, all in range).
+    std::vector<std::vector<int>> conflicts(static_cast<size_t>(n_aps));
+    for (int a = 0; a < n_aps; ++a) {
+      for (int b = 0; b < n_aps; ++b) {
+        if (a != b) conflicts[static_cast<size_t>(a)].push_back(b);
+      }
+    }
+    return simulate_csma(aps, conflicts, fast_config()).overall_mc_delivery;
+  };
+  const double d2 = run(2);
+  const double d6 = run(6);
+  EXPECT_GT(d2, d6);
+}
+
+TEST(Csma, AirtimeConservation) {
+  // On a fully conflicting channel the summed transmit airtime cannot
+  // exceed 1 (one medium), and idle+busy accounting must be sane.
+  std::vector<ApWorkload> aps(4);
+  for (auto& a : aps) {
+    a.multicast = {{3.0, 6.0}};  // heavy offered load: saturates the channel
+  }
+  std::vector<std::vector<int>> conflicts(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) conflicts[static_cast<size_t>(a)].push_back(b);
+    }
+  }
+  const auto r = simulate_csma(aps, conflicts, fast_config());
+  double total_airtime = 0.0;
+  for (const double f : r.airtime_fraction) total_airtime += f;
+  // Collided transmissions overlap pairwise, so the sum can exceed 1
+  // slightly, but never 2x the medium.
+  EXPECT_GT(total_airtime, 0.8);
+  EXPECT_LT(total_airtime, 2.0);
+}
+
+TEST(Csma, SameChannelConflictReduction) {
+  const std::vector<std::vector<int>> graph = {{1, 2}, {0, 2}, {0, 1}};
+  const std::vector<int> channels = {0, 1, 0};
+  const auto reduced = same_channel_conflicts(graph, channels);
+  EXPECT_EQ(reduced[0], (std::vector<int>{2}));
+  EXPECT_TRUE(reduced[1].empty());
+  EXPECT_EQ(reduced[2], (std::vector<int>{0}));
+}
+
+TEST(Csma, DeterministicPerSeed) {
+  std::vector<ApWorkload> aps(2);
+  for (auto& a : aps) a.multicast = {{2.0, 12.0}};
+  const std::vector<std::vector<int>> conflicts = {{1}, {0}};
+  const auto r1 = simulate_csma(aps, conflicts, fast_config());
+  const auto r2 = simulate_csma(aps, conflicts, fast_config());
+  EXPECT_EQ(r1.mc_frames_sent, r2.mc_frames_sent);
+  EXPECT_EQ(r1.mc_frames_collided, r2.mc_frames_collided);
+  EXPECT_EQ(r1.collisions, r2.collisions);
+}
+
+TEST(Csma, RejectsBadInput) {
+  std::vector<ApWorkload> aps(1);
+  EXPECT_THROW(simulate_csma(aps, {}, fast_config()), std::invalid_argument);
+  aps[0].multicast = {{0.0, 12.0}};
+  EXPECT_THROW(simulate_csma(aps, {{}}, fast_config()), std::invalid_argument);
+  aps[0].multicast.clear();
+  CsmaConfig bad = fast_config();
+  bad.cw_min = 0;
+  EXPECT_THROW(simulate_csma(aps, {{}}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

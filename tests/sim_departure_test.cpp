@@ -1,0 +1,77 @@
+// User departures in the protocol simulator (viewers switching off).
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/sim/network.hpp"
+
+namespace wmcast::sim {
+namespace {
+
+SimConfig cfg() {
+  SimConfig c;
+  c.latency_s = 0.002;
+  c.scan_period_s = 1.0;
+  c.phase_jitter_s = 1.0;
+  c.quiet_period_s = 4.0;
+  c.max_time_s = 60.0;
+  return c;
+}
+
+TEST(Departure, UserLeavesAndStaysOut) {
+  const auto sc = test::fig1_scenario(1.0);
+  ProtocolSim sim(sc, cfg(), util::Rng(1));
+  sim.deactivate_user_at(2, 10.0);  // u3 switches off at t=10
+  const auto out = sim.run();
+  EXPECT_TRUE(out.converged);
+  EXPECT_EQ(out.assoc.ap_of(2), wlan::kNoAp);
+  // Everyone else stays served.
+  for (const int u : {0, 1, 3, 4}) {
+    EXPECT_NE(out.assoc.ap_of(u), wlan::kNoAp) << "user " << u;
+  }
+  // The departure shows in the trace as a leave to kNoAp after t=10.
+  bool saw_departure = false;
+  for (const auto& t : out.trace) {
+    if (t.user == 2 && t.to_ap == wlan::kNoAp) {
+      saw_departure = true;
+      EXPECT_GE(t.time_s, 10.0);
+    }
+  }
+  EXPECT_TRUE(saw_departure);
+}
+
+TEST(Departure, FreedCapacityGetsReusedFeasibly) {
+  // Tight budget (3 Mbps streams): after u1 departs, the remaining users
+  // re-settle into a feasible configuration serving at least 3 of them
+  // (the offline optimum without u1 serves all 4).
+  const auto sc = test::fig1_scenario(3.0);
+  ProtocolSim sim(sc, cfg(), util::Rng(2));
+  sim.deactivate_user_at(0, 15.0);  // u1 leaves mid-run
+  const auto out = sim.run();
+  EXPECT_TRUE(out.converged);
+  EXPECT_EQ(out.assoc.ap_of(0), wlan::kNoAp);
+  const auto rep = wlan::compute_loads(sc, out.assoc);
+  EXPECT_TRUE(rep.within_budget());
+  EXPECT_GE(rep.satisfied_users, 3);
+}
+
+TEST(Departure, DepartureBeforeActivationIsHarmless) {
+  const auto sc = test::fig1_scenario(1.0);
+  ProtocolSim sim(sc, cfg(), util::Rng(3));
+  sim.activate_user_at(4, 20.0);
+  sim.deactivate_user_at(4, 5.0);  // leaves before it would ever join
+  const auto out = sim.run();
+  EXPECT_EQ(out.assoc.ap_of(4), wlan::kNoAp);
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(Departure, GuardsMisuse) {
+  const auto sc = test::fig1_scenario(1.0);
+  ProtocolSim sim(sc, cfg(), util::Rng(4));
+  EXPECT_THROW(sim.deactivate_user_at(99, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim.deactivate_user_at(0, -1.0), std::invalid_argument);
+  sim.run();
+  EXPECT_THROW(sim.deactivate_user_at(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

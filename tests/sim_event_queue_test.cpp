@@ -1,0 +1,81 @@
+#include "wmcast/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(3.0, [&] { order.push_back(3); });
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(2.0, [&] { order.push_back(2); });
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.processed(), 3);
+}
+
+TEST(Simulator, EqualTimesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_in(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 4) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  while (sim.step()) {
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  sim.schedule_in(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.0), 2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.run_until(10.0), 1);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(7.0), 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulator, StepOnEmptyReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(4.5, [&] { seen = sim.now(); });
+  while (sim.step()) {
+  }
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

@@ -1,0 +1,94 @@
+#include "wmcast/sim/handoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/mobility.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::sim {
+namespace {
+
+using wlan::Association;
+using wlan::kNoAp;
+
+TEST(Handoff, CountsTransitionsByKind) {
+  const std::vector<Association> snaps = {
+      Association{{kNoAp, 0, 1}},  // start
+      Association{{0, 1, 1}},      // u0 joins, u1 hands off, u2 stays
+      Association{{0, kNoAp, 0}},  // u1 drops, u2 hands off
+  };
+  HandoffModel m;
+  m.handoff_interruption_s = 0.3;
+  m.rejoin_interruption_s = 1.0;
+  const auto rep = account_disruptions(snaps, m);
+  EXPECT_EQ(rep.joins, 1);
+  EXPECT_EQ(rep.handoffs, 2);
+  EXPECT_EQ(rep.drops, 1);
+  EXPECT_NEAR(rep.total_disruption_s, 1.0 + 0.3 + 1.0 + 0.3, 1e-12);
+  // u1: one handoff + one drop = 1.3 s, the worst-hit user.
+  EXPECT_NEAR(rep.worst_user_disruption_s, 1.3, 1e-12);
+  EXPECT_NEAR(rep.per_user_s[1], 1.3, 1e-12);
+}
+
+TEST(Handoff, StableSequencesCostNothing) {
+  const Association a{{0, 1, kNoAp}};
+  const auto rep = account_disruptions({a, a, a});
+  EXPECT_EQ(rep.handoffs + rep.joins + rep.drops, 0);
+  EXPECT_DOUBLE_EQ(rep.total_disruption_s, 0.0);
+}
+
+TEST(Handoff, FewerThanTwoSnapshotsIsEmpty) {
+  EXPECT_DOUBLE_EQ(account_disruptions({}).total_disruption_s, 0.0);
+  EXPECT_DOUBLE_EQ(account_disruptions({Association{{0}}}).total_disruption_s, 0.0);
+}
+
+TEST(Handoff, MismatchedSnapshotsThrow) {
+  EXPECT_THROW(account_disruptions({Association{{0}}, Association{{0, 1}}}),
+               std::invalid_argument);
+  HandoffModel bad;
+  bad.handoff_interruption_s = -1.0;
+  EXPECT_THROW(account_disruptions({Association{{0}}, Association{{0}}}, bad),
+               std::invalid_argument);
+}
+
+TEST(Handoff, WarmDistributedDisruptsLessThanColdCentralized) {
+  // The §1 signaling argument as a user-experience number: across churn
+  // epochs, warm distributed resumes disrupt streams less than cold
+  // centralized re-solves.
+  util::Rng rng(229);
+  wlan::GeneratorParams p;
+  p.n_aps = 40;
+  p.n_users = 120;
+  auto sc = wlan::generate_scenario(p, rng);
+
+  wlan::ChurnParams churn;
+  churn.move_fraction = 0.08;
+  churn.zap_fraction = 0.04;
+
+  std::vector<Association> warm_snaps;
+  std::vector<Association> cold_snaps;
+  util::Rng wrng(1);
+  auto warm = assoc::distributed_mla(sc, wrng);
+  warm_snaps.push_back(warm.assoc);
+  cold_snaps.push_back(assoc::centralized_mla(sc).assoc);
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    const auto next = wlan::churn_epoch(sc, churn, rng);
+    assoc::DistributedParams dp;
+    dp.initial = wlan::carry_over(next, sc, warm.assoc);
+    util::Rng r = rng.fork();
+    warm = assoc::distributed_associate(next, r, dp);
+    warm_snaps.push_back(warm.assoc);
+    cold_snaps.push_back(assoc::centralized_mla(next).assoc);
+    sc = next;
+  }
+  const auto warm_rep = account_disruptions(warm_snaps);
+  const auto cold_rep = account_disruptions(cold_snaps);
+  EXPECT_LT(warm_rep.total_disruption_s, cold_rep.total_disruption_s);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

@@ -1,0 +1,81 @@
+// Failure injection: the distributed protocol under lossy control messages.
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/sim/network.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::sim {
+namespace {
+
+SimConfig lossy_config(double loss) {
+  SimConfig c;
+  c.latency_s = 0.002;
+  c.scan_period_s = 1.0;
+  c.phase_jitter_s = 1.0;
+  c.quiet_period_s = 6.0;
+  c.max_time_s = 200.0;
+  c.message_loss_prob = loss;
+  return c;
+}
+
+TEST(MessageLoss, ProtocolStillConvergesToFullService) {
+  // 30% loss: scans get deferred and joins retried, but the fixed point is
+  // eventually reached (the scan period is a built-in retry loop).
+  const auto sc = test::fig1_scenario(1.0);
+  ProtocolSim sim(sc, lossy_config(0.3), util::Rng(3));
+  const auto out = sim.run();
+  EXPECT_TRUE(out.converged);
+  const auto rep = wlan::compute_loads(sc, out.assoc);
+  EXPECT_EQ(rep.satisfied_users, 5);
+  EXPECT_GT(out.counters.lost_messages, 0);
+  EXPECT_GT(out.counters.deferred_scans, 0);
+}
+
+TEST(MessageLoss, ZeroLossInjectsNothing) {
+  const auto sc = test::fig1_scenario(1.0);
+  ProtocolSim sim(sc, lossy_config(0.0), util::Rng(3));
+  const auto out = sim.run();
+  EXPECT_EQ(out.counters.lost_messages, 0);
+  EXPECT_EQ(out.counters.deferred_scans, 0);
+}
+
+TEST(MessageLoss, LossSlowsConvergence) {
+  // Same seed, same network: the lossy run takes at least as long to quiesce.
+  util::Rng gen(17);
+  wlan::GeneratorParams p;
+  p.n_aps = 10;
+  p.n_users = 40;
+  p.n_sessions = 3;
+  p.area_side_m = 400.0;
+  const auto sc = wlan::generate_scenario(p, gen);
+
+  ProtocolSim clean(sc, lossy_config(0.0), util::Rng(5));
+  const auto clean_out = clean.run();
+  ProtocolSim lossy(sc, lossy_config(0.4), util::Rng(5));
+  const auto lossy_out = lossy.run();
+
+  ASSERT_TRUE(clean_out.converged);
+  ASSERT_TRUE(lossy_out.converged);
+  EXPECT_GE(lossy_out.last_change_s, clean_out.last_change_s - 1e-9);
+  // Both reach a fully served state; quality stays comparable.
+  const auto clean_rep = wlan::compute_loads(sc, clean_out.assoc);
+  const auto lossy_rep = wlan::compute_loads(sc, lossy_out.assoc);
+  EXPECT_EQ(clean_rep.satisfied_users, sc.n_coverable_users());
+  EXPECT_EQ(lossy_rep.satisfied_users, sc.n_coverable_users());
+}
+
+TEST(MessageLoss, ExtremeLossNeverCrashesOrViolatesBudgets) {
+  const auto sc = test::fig1_scenario(3.0);  // tight budgets
+  SimConfig cfg = lossy_config(0.9);
+  cfg.max_time_s = 60.0;
+  ProtocolSim sim(sc, cfg, util::Rng(7));
+  const auto out = sim.run();
+  const auto rep = wlan::compute_loads(sc, out.assoc);
+  EXPECT_TRUE(rep.within_budget());
+  // With 90% loss most scans die; some messages must have been dropped.
+  EXPECT_GT(out.counters.lost_messages, 10);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

@@ -1,0 +1,95 @@
+#include "wmcast/sim/unicast_impact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::sim {
+namespace {
+
+wlan::Scenario dense_scenario(uint64_t seed) {
+  wlan::GeneratorParams p;
+  p.n_aps = 30;
+  p.n_users = 120;
+  p.n_sessions = 5;
+  p.area_side_m = 400.0;
+  p.session_rate_mbps = 1.0;
+  util::Rng rng(seed);
+  return wlan::generate_scenario(p, rng);
+}
+
+TEST(UnicastImpact, MeasuredBusyTracksAnalyticLoads) {
+  const auto sc = dense_scenario(3);
+  const auto sol = assoc::centralized_mla(sc);
+  UnicastImpactConfig cfg;
+  cfg.n_unicast_clients = 0;  // isolate the multicast side
+  cfg.channel.horizon_s = 5.0;
+  util::Rng rng(1);
+  const auto r = measure_unicast_impact(sc, sol.assoc, cfg, rng);
+  // The frame-level busy fraction exceeds the ideal rate-ratio load (per-
+  // frame overheads) but by less than 2x for 1500-byte frames.
+  EXPECT_GT(r.total_multicast_busy, sol.loads.total_load);
+  EXPECT_LT(r.total_multicast_busy, 2.0 * sol.loads.total_load);
+  EXPECT_GE(r.max_multicast_busy, sol.loads.max_load);
+}
+
+TEST(UnicastImpact, MlaDeliversMoreUnicastThanSsa) {
+  // The paper's core motivation, measured end to end: the same unicast
+  // population gets more goodput when multicast association minimizes load.
+  util::RunningStat delta;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const auto sc = dense_scenario(seed);
+    util::Rng ssa_rng(seed);
+    const auto ssa = assoc::ssa_associate(sc, ssa_rng);
+    const auto mla = assoc::centralized_mla(sc);
+    UnicastImpactConfig cfg;
+    cfg.n_unicast_clients = 60;
+    cfg.channel.horizon_s = 2.0;
+    util::Rng r1(99);
+    util::Rng r2(99);  // identical unicast placement for both policies
+    const auto impact_ssa = measure_unicast_impact(sc, ssa.assoc, cfg, r1);
+    const auto impact_mla = measure_unicast_impact(sc, mla.assoc, cfg, r2);
+    delta.add(impact_mla.total_goodput_mbps - impact_ssa.total_goodput_mbps);
+  }
+  EXPECT_GT(delta.mean(), 0.0);
+}
+
+TEST(UnicastImpact, NoMulticastMeansNoImpact) {
+  const auto sc = dense_scenario(7);
+  const auto none = wlan::Association::none(sc.n_users());
+  UnicastImpactConfig cfg;
+  cfg.n_unicast_clients = 40;
+  cfg.channel.horizon_s = 2.0;
+  util::Rng rng(5);
+  const auto r = measure_unicast_impact(sc, none, cfg, rng);
+  EXPECT_DOUBLE_EQ(r.total_multicast_busy, 0.0);
+  EXPECT_GT(r.total_goodput_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(r.worst_client_goodput_mbps, 0.0);  // no multicast-hit APs
+}
+
+TEST(UnicastImpact, RequiresGeometry) {
+  const auto sc = wlan::Scenario::from_link_rates({{1.0}}, {0}, {1.0}, 0.9);
+  UnicastImpactConfig cfg;
+  util::Rng rng(1);
+  EXPECT_THROW(measure_unicast_impact(sc, wlan::Association::none(1), cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(UnicastImpact, ClientsArePlaced) {
+  const auto sc = dense_scenario(9);
+  const auto sol = assoc::centralized_mla(sc);
+  UnicastImpactConfig cfg;
+  cfg.n_unicast_clients = 50;
+  cfg.channel.horizon_s = 1.0;
+  util::Rng rng(3);
+  const auto r = measure_unicast_impact(sc, sol.assoc, cfg, rng);
+  // Dense 400 m area: everyone lands in someone's range.
+  EXPECT_EQ(r.clients_placed, 50);
+  EXPECT_GT(r.mean_client_goodput_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace wmcast::sim

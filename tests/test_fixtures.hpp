@@ -1,0 +1,42 @@
+// Shared fixtures: the paper's worked-example WLANs.
+#pragma once
+
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::test {
+
+/// The Fig. 1 WLAN: APs a1, a2; users u1..u5.
+///   a1 reaches u1..u5 at rates 3, 6, 4, 4, 4 Mbps;
+///   a2 reaches u3, u4, u5 at rates 5, 5, 3 Mbps.
+/// u1 and u3 request session s1; u2, u4, u5 request session s2.
+/// Per-AP multicast budget: 1 unit.
+/// `session_rate` is the stream rate of both sessions (3 Mbps for the MNU
+/// walkthrough, 1 Mbps for the BLA/MLA walkthroughs).
+inline wlan::Scenario fig1_scenario(double session_rate) {
+  const std::vector<std::vector<double>> link = {
+      {3, 6, 4, 4, 4},  // a1
+      {0, 0, 5, 5, 3},  // a2
+  };
+  const std::vector<int> user_session = {0, 1, 0, 1, 1};
+  const std::vector<double> session_rates = {session_rate, session_rate};
+  return wlan::Scenario::from_link_rates(link, user_session, session_rates,
+                                         /*load_budget=*/1.0);
+}
+
+/// The Fig. 4 WLAN (non-convergence example): APs a1, a2; users u1..u4.
+///   a1 reaches u1, u2, u3 at rates 5, 4, 4;
+///   a2 reaches u2, u3, u4 at rates 4, 4, 5.
+/// All users request the single session s1 at 1 Mbps.
+/// The oscillating starting point is u1,u2 -> a1 and u3,u4 -> a2.
+inline wlan::Scenario fig4_scenario() {
+  const std::vector<std::vector<double>> link = {
+      {5, 4, 4, 0},  // a1
+      {0, 4, 4, 5},  // a2
+  };
+  const std::vector<int> user_session = {0, 0, 0, 0};
+  const std::vector<double> session_rates = {1.0};
+  return wlan::Scenario::from_link_rates(link, user_session, session_rates,
+                                         /*load_budget=*/1.0);
+}
+
+}  // namespace wmcast::test

@@ -1,0 +1,31 @@
+// Contract-checking behavior: util::require throws, WMCAST_ASSERT aborts.
+#include "wmcast/util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::util {
+namespace {
+
+TEST(Require, ThrowsInvalidArgumentWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "the water is lava");
+    FAIL() << "require(false) did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("the water is lava"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("wmcast"), std::string::npos);
+  }
+}
+
+TEST(AssertDeathTest, AbortsWithLocationInfo) {
+  EXPECT_DEATH(WMCAST_ASSERT(1 == 2, "impossible arithmetic"),
+               "impossible arithmetic");
+}
+
+TEST(AssertDeathTest, PassingAssertIsSilent) {
+  WMCAST_ASSERT(2 + 2 == 4, "sanity");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -1,0 +1,136 @@
+#include "wmcast/util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wmcast/util/rng.hpp"
+
+namespace wmcast::util {
+namespace {
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset b(100);
+  EXPECT_EQ(b.size(), 100);
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynBitset, SetResetTest) {
+  DynBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(DynBitset, SetAllRespectsSize) {
+  DynBitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70);
+  b.reset_all();
+  EXPECT_EQ(b.count(), 0);
+}
+
+TEST(DynBitset, SetAllOnWordBoundary) {
+  DynBitset b(128);
+  b.set_all();
+  EXPECT_EQ(b.count(), 128);
+}
+
+TEST(DynBitset, AndCountMatchesMaterializedIntersection) {
+  Rng rng(7);
+  DynBitset a(200);
+  DynBitset b(200);
+  std::vector<bool> va(200, false);
+  std::vector<bool> vb(200, false);
+  for (int i = 0; i < 80; ++i) {
+    const int x = rng.next_int(200);
+    a.set(x);
+    va[static_cast<size_t>(x)] = true;
+    const int y = rng.next_int(200);
+    b.set(y);
+    vb[static_cast<size_t>(y)] = true;
+  }
+  int expected = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (va[static_cast<size_t>(i)] && vb[static_cast<size_t>(i)]) ++expected;
+  }
+  EXPECT_EQ(a.and_count(b), expected);
+  EXPECT_EQ(a.intersects(b), expected > 0);
+}
+
+TEST(DynBitset, OrAndAndnotAssign) {
+  DynBitset a(10);
+  DynBitset b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+
+  DynBitset u = a;
+  u.or_assign(b);
+  EXPECT_EQ(u.to_indices(), (std::vector<int>{1, 2, 3}));
+
+  DynBitset i = a;
+  i.and_assign(b);
+  EXPECT_EQ(i.to_indices(), (std::vector<int>{2}));
+
+  DynBitset d = a;
+  d.andnot_assign(b);
+  EXPECT_EQ(d.to_indices(), (std::vector<int>{1}));
+}
+
+TEST(DynBitset, SubsetRelation) {
+  DynBitset a(65);
+  DynBitset b(65);
+  a.set(5);
+  a.set(64);
+  b.set(5);
+  b.set(64);
+  b.set(30);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(DynBitset, ForEachVisitsInOrder) {
+  DynBitset a(130);
+  a.set(0);
+  a.set(64);
+  a.set(129);
+  std::vector<int> seen;
+  a.for_each([&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 64, 129}));
+  EXPECT_EQ(a.to_indices(), seen);
+}
+
+TEST(DynBitset, EqualityIsValueBased) {
+  DynBitset a(40);
+  DynBitset b(40);
+  a.set(7);
+  EXPECT_NE(a, b);
+  b.set(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynBitset, EmptyUniverse) {
+  DynBitset b(0);
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.none());
+  b.set_all();
+  EXPECT_EQ(b.count(), 0);
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -1,0 +1,61 @@
+#include "wmcast/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace wmcast::util {
+namespace {
+
+Args make_args(std::vector<std::string> argv) {
+  std::vector<char*> ptrs;
+  static std::vector<std::string> storage;  // keep strings alive
+  storage = std::move(argv);
+  ptrs.push_back(nullptr);  // argv[0] is skipped by the parser
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Args, ParsesKeyValue) {
+  const Args a = make_args({"--users=400", "--rate=1.5", "--name=fig9"});
+  EXPECT_EQ(a.get_int("users", 0), 400);
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0.0), 1.5);
+  EXPECT_EQ(a.get("name", ""), "fig9");
+}
+
+TEST(Args, FlagsAreBooleanTrue) {
+  const Args a = make_args({"--verbose"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args a = make_args({});
+  EXPECT_EQ(a.get_int("users", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 2.5), 2.5);
+  EXPECT_EQ(a.get("name", "def"), "def");
+  EXPECT_FALSE(a.get_bool("flag", false));
+  EXPECT_EQ(a.get_u64("seed", 99ull), 99ull);
+}
+
+TEST(Args, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(make_args({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make_args({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make_args({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make_args({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make_args({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  EXPECT_THROW(make_args({"positional"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"-k=v"}), std::invalid_argument);
+}
+
+TEST(Args, U64RoundTrip) {
+  const Args a = make_args({"--seed=18446744073709551615"});
+  EXPECT_EQ(a.get_u64("seed", 0), 18446744073709551615ull);
+}
+
+}  // namespace
+}  // namespace wmcast::util

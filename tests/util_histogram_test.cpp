@@ -1,0 +1,46 @@
+#include "wmcast/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::util {
+namespace {
+
+TEST(Histogram, RendersBarsProportionally) {
+  const std::string out = render_histogram({"a", "bb"}, {2, 4}, 10);
+  // Largest count gets the full width; half count gets half the bar.
+  EXPECT_NE(out.find("bb | ########## 4"), std::string::npos);
+  EXPECT_NE(out.find("a  | ##### 2"), std::string::npos);
+}
+
+TEST(Histogram, ZeroCountsGetNoBar) {
+  const std::string out = render_histogram({"x", "y"}, {0, 3}, 8);
+  EXPECT_NE(out.find("x | 0"), std::string::npos);
+  EXPECT_NE(out.find("y | ######## 3"), std::string::npos);
+}
+
+TEST(Histogram, AllZeroIsStable) {
+  const std::string out = render_histogram({"x"}, {0}, 8);
+  EXPECT_NE(out.find("x | 0"), std::string::npos);
+}
+
+TEST(Histogram, TinyCountsStillVisible) {
+  // 1 out of 1000 must render at least one '#'.
+  const std::string out = render_histogram({"big", "tiny"}, {1000, 1}, 20);
+  EXPECT_NE(out.find("tiny | # 1"), std::string::npos);
+}
+
+TEST(Histogram, IndexedLabelsWithClampMarker) {
+  const std::string out = render_indexed_histogram({1, 2, 3}, 6);
+  EXPECT_NE(out.find("0 "), std::string::npos);
+  EXPECT_NE(out.find("1 "), std::string::npos);
+  EXPECT_NE(out.find(">=2"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadInput) {
+  EXPECT_THROW(render_histogram({"a"}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(render_histogram({"a"}, {-1}), std::invalid_argument);
+  EXPECT_THROW(render_histogram({"a"}, {1}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -1,0 +1,102 @@
+#include "wmcast/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace wmcast::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 9.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Rng, NextIntCoversFullRangeWithoutEscaping) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int x = rng.next_int(7);
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit in 2000 draws
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(3, 5));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5}));
+}
+
+TEST(Rng, NextIntRoughlyUniform) {
+  Rng rng(7);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_int(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(8);
+  std::vector<int> v = iota_permutation(50);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.fork();
+  // The fork consumed one draw from a; child should not mirror a afterwards.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(IotaPermutation, IsIdentity) {
+  EXPECT_EQ(iota_permutation(4), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(iota_permutation(0).empty());
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -1,0 +1,67 @@
+#include "wmcast/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, HandlesNegativeValues) {
+  RunningStat s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Summarize, FromVector) {
+  const Summary s = summarize(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.count, 3);
+}
+
+TEST(PercentHelpers, ReductionAndGain) {
+  EXPECT_DOUBLE_EQ(percent_reduction(0.5, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(1.0, 1.0), 0.0);
+  EXPECT_NEAR(percent_gain(1.369, 1.0), 36.9, 1e-9);
+  EXPECT_DOUBLE_EQ(percent_gain(1.0, 0.0), 0.0);  // guarded division
+  EXPECT_DOUBLE_EQ(percent_reduction(1.0, 0.0), 0.0);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace wmcast::util

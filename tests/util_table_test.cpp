@@ -1,0 +1,60 @@
+#include "wmcast/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace wmcast::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"h"});
+  t.add_row({"v"});
+  const std::string path = testing::TempDir() + "/wmcast_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "h");
+  std::getline(f, line);
+  EXPECT_EQ(line, "v");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsGracefully) {
+  Table t({"h"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/foo.csv"));
+}
+
+TEST(Table, RowsCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1);
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -1,0 +1,99 @@
+#include "wmcast/wlan/association.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+TEST(ComputeLoads, Fig1BlaOptimalLoads) {
+  // Paper §3.2: with 1 Mbps streams, u1,u2,u3 -> a1 and u4,u5 -> a2 yields
+  // loads (1/2, 1/3): a1 sends s1 at min(3,4)=3 and s2 at 6; a2 sends s2 at
+  // min(5,3)=3.
+  const Scenario sc = test::fig1_scenario(1.0);
+  const Association assoc{{0, 0, 0, 1, 1}};
+  const LoadReport rep = compute_loads(sc, assoc);
+  EXPECT_NEAR(rep.ap_load[0], 0.5, 1e-12);
+  EXPECT_NEAR(rep.ap_load[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rep.max_load, 0.5, 1e-12);
+  EXPECT_NEAR(rep.total_load, 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(rep.satisfied_users, 5);
+  EXPECT_TRUE(rep.within_budget());
+  EXPECT_DOUBLE_EQ(rep.tx_rate[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(rep.tx_rate[0][1], 6.0);
+  EXPECT_DOUBLE_EQ(rep.tx_rate[1][1], 3.0);
+  EXPECT_DOUBLE_EQ(rep.tx_rate[1][0], 0.0);  // a2 does not transmit s1
+}
+
+TEST(ComputeLoads, Fig1MlaOptimalAllOnA1) {
+  // Paper §3.2: all users on a1 gives total load 1/3 + 1/4 = 7/12.
+  const Scenario sc = test::fig1_scenario(1.0);
+  const Association assoc{{0, 0, 0, 0, 0}};
+  const LoadReport rep = compute_loads(sc, assoc);
+  EXPECT_NEAR(rep.total_load, 7.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.tx_rate[0][1], 4.0);  // s2 at min(6,4,4)
+}
+
+TEST(ComputeLoads, Fig1MnuInfeasibleAllUsers) {
+  // With 3 Mbps streams, a1 serving u1 and u2 needs 3/3 + 3/6 = 1.5 > 1.
+  const Scenario sc = test::fig1_scenario(3.0);
+  const Association assoc{{0, 0, kNoAp, kNoAp, kNoAp}};
+  const LoadReport rep = compute_loads(sc, assoc);
+  EXPECT_NEAR(rep.ap_load[0], 1.5, 1e-12);
+  EXPECT_EQ(rep.budget_violations, 1);
+  EXPECT_FALSE(rep.within_budget());
+  EXPECT_EQ(rep.satisfied_users, 2);
+}
+
+TEST(ComputeLoads, UnassociatedUsersContributeNothing) {
+  const Scenario sc = test::fig1_scenario(1.0);
+  const Association assoc = Association::none(5);
+  const LoadReport rep = compute_loads(sc, assoc);
+  EXPECT_DOUBLE_EQ(rep.total_load, 0.0);
+  EXPECT_EQ(rep.satisfied_users, 0);
+  EXPECT_TRUE(rep.within_budget());
+}
+
+TEST(ComputeLoads, RejectsOutOfRangeAssignment) {
+  const Scenario sc = test::fig1_scenario(1.0);
+  // u1 cannot reach a2 (rate 0).
+  const Association bad{{1, 0, 0, 0, 0}};
+  EXPECT_THROW(compute_loads(sc, bad), std::invalid_argument);
+  const Association bad_ap{{7, 0, 0, 0, 0}};
+  EXPECT_THROW(compute_loads(sc, bad_ap), std::invalid_argument);
+  const Association wrong_size{{0, 0}};
+  EXPECT_THROW(compute_loads(sc, wrong_size), std::invalid_argument);
+}
+
+TEST(ComputeLoads, BasicRateModeUsesLowestRateEverywhere) {
+  const Scenario sc = test::fig1_scenario(1.0);
+  const Association assoc{{0, 0, 0, 1, 1}};
+  // Basic rate of the Fig. 1 instance is 3 Mbps (lowest positive link rate).
+  const LoadReport rep = compute_loads(sc, assoc, /*multi_rate=*/false);
+  EXPECT_DOUBLE_EQ(rep.tx_rate[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(rep.tx_rate[0][1], 3.0);  // not 6 (u2's rate)
+  EXPECT_NEAR(rep.ap_load[0], 1.0 / 3.0 + 1.0 / 3.0, 1e-12);
+  // Multi-rate strictly better on a1: 1/3 + 1/6 < 2/3.
+  const LoadReport multi = compute_loads(sc, assoc, /*multi_rate=*/true);
+  EXPECT_LT(multi.ap_load[0], rep.ap_load[0]);
+}
+
+TEST(ApLoadForMembers, MatchesComputeLoads) {
+  const Scenario sc = test::fig1_scenario(1.0);
+  const Association assoc{{0, 0, 0, 1, 1}};
+  const LoadReport rep = compute_loads(sc, assoc);
+  EXPECT_NEAR(ap_load_for_members(sc, 0, {0, 1, 2}), rep.ap_load[0], 1e-12);
+  EXPECT_NEAR(ap_load_for_members(sc, 1, {3, 4}), rep.ap_load[1], 1e-12);
+  EXPECT_DOUBLE_EQ(ap_load_for_members(sc, 0, {}), 0.0);
+}
+
+TEST(Association, NoneFactory) {
+  const Association a = Association::none(3);
+  EXPECT_EQ(a.n_users(), 3);
+  EXPECT_EQ(a.ap_of(0), kNoAp);
+  EXPECT_EQ(a.ap_of(2), kNoAp);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

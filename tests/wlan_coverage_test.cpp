@@ -1,0 +1,70 @@
+#include "wmcast/wlan/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+TEST(Coverage, Fig1Analytics) {
+  const auto sc = test::fig1_scenario(1.0);
+  const auto rep = analyze_coverage(sc);
+  EXPECT_EQ(rep.coverable_users, 5);
+  EXPECT_EQ(rep.uncoverable_users, 0);
+  // u1, u2 hear 1 AP; u3, u4, u5 hear 2.
+  EXPECT_EQ(rep.aps_per_user_histogram[1], 2);
+  EXPECT_EQ(rep.aps_per_user_histogram[2], 3);
+  EXPECT_EQ(rep.max_aps_per_user, 2);
+  EXPECT_NEAR(rep.mean_aps_per_user, 8.0 / 5.0, 1e-12);
+  // Best rates: u1 -> 3, u2 -> 6, u3 -> 5, u4 -> 5, u5 -> 4.
+  ASSERT_EQ(rep.best_rate_values.size(), 4u);
+  EXPECT_EQ(rep.best_rate_values, (std::vector<double>{3, 4, 5, 6}));
+  EXPECT_EQ(rep.best_rate_counts, (std::vector<int>{1, 1, 2, 1}));
+  // Users per AP: a1 hears all 5, a2 hears 3.
+  EXPECT_NEAR(rep.mean_users_per_ap, 4.0, 1e-12);
+  EXPECT_EQ(rep.max_users_per_ap, 5);
+  EXPECT_EQ(rep.idle_aps, 0);
+}
+
+TEST(Coverage, DetectsUncoverableUsersAndIdleAps) {
+  const std::vector<std::vector<double>> link = {{6, 0}, {0, 0}};
+  const auto sc = Scenario::from_link_rates(link, {0, 0}, {1.0}, 0.9);
+  const auto rep = analyze_coverage(sc);
+  EXPECT_EQ(rep.coverable_users, 1);
+  EXPECT_EQ(rep.uncoverable_users, 1);
+  EXPECT_EQ(rep.idle_aps, 1);
+  EXPECT_EQ(rep.aps_per_user_histogram[0], 1);
+}
+
+TEST(Coverage, HistogramClampsAtLastBucket) {
+  // One user hearing 5 APs, histogram of 4 buckets: lands in bucket 3.
+  const std::vector<std::vector<double>> link = {{6}, {6}, {6}, {6}, {6}};
+  const auto sc = Scenario::from_link_rates(link, {0}, {1.0}, 0.9);
+  const auto rep = analyze_coverage(sc, 4);
+  EXPECT_EQ(rep.aps_per_user_histogram[3], 1);
+  EXPECT_EQ(rep.max_aps_per_user, 5);
+}
+
+TEST(Coverage, DensityScalesWithApCount) {
+  util::Rng r1(223);
+  util::Rng r2(223);
+  GeneratorParams sparse;
+  sparse.n_aps = 50;
+  sparse.n_users = 100;
+  GeneratorParams dense = sparse;
+  dense.n_aps = 200;
+  const auto rep_sparse = analyze_coverage(generate_scenario(sparse, r1));
+  const auto rep_dense = analyze_coverage(generate_scenario(dense, r2));
+  EXPECT_GT(rep_dense.mean_aps_per_user, 2.0 * rep_sparse.mean_aps_per_user);
+}
+
+TEST(Coverage, RejectsBadBuckets) {
+  const auto sc = test::fig1_scenario(1.0);
+  EXPECT_THROW(analyze_coverage(sc, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

@@ -1,0 +1,142 @@
+// Tests for the generator extensions (Zipf session popularity, hotspot
+// clustering) added beyond the paper's uniform setting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+TEST(GeneratorExt, ZipfSkewsSessionPopularity) {
+  GeneratorParams p;
+  p.n_aps = 10;
+  p.n_users = 2000;
+  p.n_sessions = 8;
+  p.zipf_exponent = 1.2;
+  util::Rng rng(51);
+  const auto sc = generate_scenario(p, rng);
+
+  std::vector<int> counts(8, 0);
+  for (int u = 0; u < sc.n_users(); ++u) ++counts[static_cast<size_t>(sc.user_session(u))];
+  // Session 0 clearly dominates; counts roughly non-increasing overall.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 2 * counts[7]);
+  // Zipf(1.2) over 8 sessions puts ~37% on session 0.
+  EXPECT_NEAR(counts[0] / 2000.0, 0.37, 0.08);
+}
+
+TEST(GeneratorExt, ZipfZeroIsUniform) {
+  GeneratorParams p;
+  p.n_aps = 10;
+  p.n_users = 4000;
+  p.n_sessions = 4;
+  util::Rng rng(52);
+  const auto sc = generate_scenario(p, rng);
+  std::vector<int> counts(4, 0);
+  for (int u = 0; u < sc.n_users(); ++u) ++counts[static_cast<size_t>(sc.user_session(u))];
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 120);
+}
+
+TEST(GeneratorExt, HotspotsClusterUsers) {
+  GeneratorParams base;
+  base.n_aps = 10;
+  base.n_users = 1000;
+  base.area_side_m = 1000.0;
+
+  auto clustered = base;
+  clustered.hotspot_fraction = 1.0;
+  clustered.n_hotspots = 2;
+  clustered.hotspot_sigma_m = 30.0;
+
+  util::Rng r1(53);
+  util::Rng r2(53);
+  const auto uniform_sc = generate_scenario(base, r1);
+  const auto clustered_sc = generate_scenario(clustered, r2);
+
+  // Mean nearest-neighbor distance between users drops sharply when all of
+  // them pack into two sigma-30 blobs.
+  auto mean_nn = [](const Scenario& sc) {
+    double total = 0.0;
+    const auto& pos = sc.user_positions();
+    const int n = std::min<int>(sc.n_users(), 200);  // sample for speed
+    for (int i = 0; i < n; ++i) {
+      double best = 1e18;
+      for (int j = 0; j < sc.n_users(); ++j) {
+        if (i == j) continue;
+        best = std::min(best, distance(pos[static_cast<size_t>(i)], pos[static_cast<size_t>(j)]));
+      }
+      total += best;
+    }
+    return total / n;
+  };
+  EXPECT_LT(mean_nn(clustered_sc), 0.5 * mean_nn(uniform_sc));
+}
+
+TEST(GeneratorExt, HotspotPositionsStayInArea) {
+  GeneratorParams p;
+  p.n_aps = 5;
+  p.n_users = 500;
+  p.area_side_m = 200.0;
+  p.hotspot_fraction = 1.0;
+  p.hotspot_sigma_m = 150.0;  // big sigma: clamping must kick in
+  util::Rng rng(54);
+  const auto sc = generate_scenario(p, rng);
+  for (const auto& pos : sc.user_positions()) {
+    EXPECT_GE(pos.x, 0.0);
+    EXPECT_LE(pos.x, 200.0);
+    EXPECT_GE(pos.y, 0.0);
+    EXPECT_LE(pos.y, 200.0);
+  }
+}
+
+TEST(GeneratorExt, SessionRateSpreadDrawsDistinctRates) {
+  GeneratorParams p;
+  p.n_aps = 5;
+  p.n_users = 10;
+  p.n_sessions = 6;
+  p.session_rate_mbps = 1.0;
+  p.session_rate_spread = 4.0;
+  util::Rng rng(56);
+  const auto sc = generate_scenario(p, rng);
+  double mn = 1e18;
+  double mx = 0.0;
+  for (int s = 0; s < sc.n_sessions(); ++s) {
+    mn = std::min(mn, sc.session_rate(s));
+    mx = std::max(mx, sc.session_rate(s));
+    EXPECT_GE(sc.session_rate(s), 0.25 - 1e-12);
+    EXPECT_LE(sc.session_rate(s), 4.0 + 1e-12);
+  }
+  EXPECT_GT(mx, mn);  // rates actually vary
+}
+
+TEST(GeneratorExt, SpreadOneIsHomogeneous) {
+  GeneratorParams p;
+  p.n_aps = 5;
+  p.n_users = 10;
+  p.n_sessions = 4;
+  util::Rng rng(57);
+  const auto sc = generate_scenario(p, rng);
+  for (int s = 0; s < sc.n_sessions(); ++s) {
+    EXPECT_DOUBLE_EQ(sc.session_rate(s), 1.0);
+  }
+}
+
+TEST(GeneratorExt, InvalidParamsRejected) {
+  util::Rng rng(55);
+  GeneratorParams p;
+  p.zipf_exponent = -1.0;
+  EXPECT_THROW(generate_scenario(p, rng), std::invalid_argument);
+  p = GeneratorParams{};
+  p.hotspot_fraction = 1.5;
+  EXPECT_THROW(generate_scenario(p, rng), std::invalid_argument);
+  p = GeneratorParams{};
+  p.n_hotspots = 0;
+  p.hotspot_fraction = 0.5;
+  EXPECT_THROW(generate_scenario(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

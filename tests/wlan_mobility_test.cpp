@@ -1,0 +1,145 @@
+#include "wmcast/wlan/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/distributed.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+Scenario base_scenario(uint64_t seed) {
+  GeneratorParams p;
+  p.n_aps = 25;
+  p.n_users = 80;
+  p.n_sessions = 4;
+  p.area_side_m = 500.0;
+  util::Rng rng(seed);
+  return generate_scenario(p, rng);
+}
+
+TEST(Churn, ZeroChurnIsIdentity) {
+  const auto sc = base_scenario(1);
+  ChurnParams cp;
+  cp.move_fraction = 0.0;
+  cp.zap_fraction = 0.0;
+  util::Rng rng(2);
+  const auto next = churn_epoch(sc, cp, rng);
+  for (int u = 0; u < sc.n_users(); ++u) {
+    EXPECT_EQ(next.user_session(u), sc.user_session(u));
+    EXPECT_EQ(next.user_positions()[static_cast<size_t>(u)],
+              sc.user_positions()[static_cast<size_t>(u)]);
+  }
+}
+
+TEST(Churn, MoveFractionRelocatesRoughlyThatMany) {
+  const auto sc = base_scenario(2);
+  ChurnParams cp;
+  cp.move_fraction = 0.5;
+  cp.zap_fraction = 0.0;
+  util::Rng rng(3);
+  const auto next = churn_epoch(sc, cp, rng);
+  int moved = 0;
+  for (int u = 0; u < sc.n_users(); ++u) {
+    if (!(next.user_positions()[static_cast<size_t>(u)] ==
+          sc.user_positions()[static_cast<size_t>(u)])) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 20);
+  EXPECT_LT(moved, 60);
+}
+
+TEST(Churn, ZapAlwaysChangesTheSession) {
+  const auto sc = base_scenario(3);
+  ChurnParams cp;
+  cp.move_fraction = 0.0;
+  cp.zap_fraction = 1.0;
+  util::Rng rng(4);
+  const auto next = churn_epoch(sc, cp, rng);
+  for (int u = 0; u < sc.n_users(); ++u) {
+    EXPECT_NE(next.user_session(u), sc.user_session(u)) << "user " << u;
+    EXPECT_GE(next.user_session(u), 0);
+    EXPECT_LT(next.user_session(u), sc.n_sessions());
+  }
+}
+
+TEST(CarryOver, KeepsValidAssociationsOnly) {
+  const auto sc = base_scenario(4);
+  util::Rng arng(5);
+  const auto sol = assoc::distributed_mla(sc, arng);
+  ASSERT_GT(sol.loads.satisfied_users, 0);
+
+  ChurnParams cp;
+  cp.move_fraction = 0.3;
+  cp.zap_fraction = 0.2;
+  util::Rng rng(6);
+  const auto next = churn_epoch(sc, cp, rng);
+  const auto carried = carry_over(next, sc, sol.assoc);
+
+  for (int u = 0; u < next.n_users(); ++u) {
+    const int a = carried.ap_of(u);
+    if (a == kNoAp) continue;
+    EXPECT_EQ(a, sol.assoc.ap_of(u));              // never reassigned
+    EXPECT_TRUE(next.in_range(a, u));              // still reachable
+    EXPECT_EQ(next.user_session(u), sc.user_session(u));  // didn't zap
+  }
+  EXPECT_LE(surviving_members(carried), sol.loads.satisfied_users);
+}
+
+TEST(CarryOver, FullChurnDropsEveryZapper) {
+  const auto sc = base_scenario(7);
+  util::Rng arng(8);
+  const auto sol = assoc::distributed_mla(sc, arng);
+  ChurnParams cp;
+  cp.move_fraction = 0.0;
+  cp.zap_fraction = 1.0;
+  util::Rng rng(9);
+  const auto next = churn_epoch(sc, cp, rng);
+  const auto carried = carry_over(next, sc, sol.assoc);
+  EXPECT_EQ(surviving_members(carried), 0);
+}
+
+TEST(CarryOver, ResumedEngineConvergesFasterThanColdStart) {
+  // The incremental regime the paper argues for: after mild churn, resuming
+  // from the carried association touches far fewer users than starting over.
+  const auto sc = base_scenario(10);
+  util::Rng arng(11);
+  const auto sol = assoc::distributed_mla(sc, arng);
+
+  ChurnParams cp;
+  cp.move_fraction = 0.05;
+  cp.zap_fraction = 0.05;
+  util::Rng rng(12);
+  const auto next = churn_epoch(sc, cp, rng);
+  const auto carried = carry_over(next, sc, sol.assoc);
+
+  assoc::DistributedParams warm;
+  warm.initial = carried;
+  warm.order = util::iota_permutation(next.n_users());
+  util::Rng r1(13);
+  const auto resumed = assoc::distributed_associate(next, r1, warm);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.loads.satisfied_users, next.n_coverable_users());
+
+  // Count how many users hold a different AP than in the carried state —
+  // the "signaling traffic" a warm start saves.
+  int changed = 0;
+  for (int u = 0; u < next.n_users(); ++u) {
+    if (resumed.assoc.ap_of(u) != carried.ap_of(u)) ++changed;
+  }
+  EXPECT_LT(changed, next.n_users() / 2);
+}
+
+TEST(Churn, RejectsBadParams) {
+  const auto sc = base_scenario(14);
+  util::Rng rng(15);
+  ChurnParams bad;
+  bad.move_fraction = 1.5;
+  EXPECT_THROW(churn_epoch(sc, bad, rng), std::invalid_argument);
+  const auto flat = Scenario::from_link_rates({{1.0}}, {0}, {1.0}, 0.9);
+  EXPECT_THROW(churn_epoch(flat, ChurnParams{}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

@@ -1,0 +1,65 @@
+#include "wmcast/wlan/rate_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmcast::wlan {
+namespace {
+
+TEST(RateTable, Ieee80211aMatchesPaperTable1) {
+  const RateTable t = RateTable::ieee80211a();
+  ASSERT_EQ(t.steps().size(), 7u);
+  // (rate, max distance) exactly as in Table 1.
+  const std::vector<RateStep> expected = {{54, 35}, {48, 40}, {36, 60}, {24, 85},
+                                          {18, 105}, {12, 145}, {6, 200}};
+  EXPECT_EQ(t.steps(), expected);
+  EXPECT_DOUBLE_EQ(t.basic_rate(), 6.0);
+  EXPECT_DOUBLE_EQ(t.range_m(), 200.0);
+}
+
+TEST(RateTable, RateForDistanceStaircase) {
+  const RateTable t = RateTable::ieee80211a();
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(0.0), 54.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(35.0), 54.0);   // inclusive threshold
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(35.01), 48.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(40.0), 48.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(60.0), 36.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(85.0), 24.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(105.0), 18.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(145.0), 12.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(200.0), 6.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(200.01), 0.0);  // out of range
+}
+
+TEST(RateTable, SortsStepsGivenInAnyOrder) {
+  const RateTable t({{6, 100}, {54, 10}, {24, 50}});
+  EXPECT_DOUBLE_EQ(t.steps().front().rate_mbps, 54.0);
+  EXPECT_DOUBLE_EQ(t.steps().back().rate_mbps, 6.0);
+}
+
+TEST(RateTable, RejectsNonMonotoneTables) {
+  // Higher rate reaching farther than a lower rate is physically inconsistent.
+  EXPECT_THROW(RateTable({{54, 100}, {6, 50}}), std::invalid_argument);
+  EXPECT_THROW(RateTable({{54, 35}, {54, 40}}), std::invalid_argument);  // dup rate
+  EXPECT_THROW(RateTable({}), std::invalid_argument);
+  EXPECT_THROW(RateTable({{-1, 10}}), std::invalid_argument);
+  EXPECT_THROW(RateTable({{10, 0}}), std::invalid_argument);
+}
+
+TEST(RateTable, ScaledRangeScalesThresholdsOnly) {
+  const RateTable t = RateTable::ieee80211a().scaled_range(1.5);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(52.5), 54.0);  // 35 * 1.5
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(300.0), 6.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(300.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.basic_rate(), 6.0);  // rates unchanged
+  EXPECT_THROW(RateTable::ieee80211a().scaled_range(0.0), std::invalid_argument);
+}
+
+TEST(RateTable, SingleStepTable) {
+  const RateTable t({{2, 100}});
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(99.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.rate_for_distance(101.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.basic_rate(), 2.0);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

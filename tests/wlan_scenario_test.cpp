@@ -1,0 +1,141 @@
+#include "wmcast/wlan/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+TEST(Scenario, Fig1LinkRates) {
+  const Scenario sc = test::fig1_scenario(3.0);
+  EXPECT_EQ(sc.n_aps(), 2);
+  EXPECT_EQ(sc.n_users(), 5);
+  EXPECT_EQ(sc.n_sessions(), 2);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(sc.link_rate(1, 0), 0.0);
+  EXPECT_FALSE(sc.in_range(1, 0));
+  EXPECT_TRUE(sc.in_range(1, 2));
+  EXPECT_EQ(sc.user_session(0), 0);
+  EXPECT_EQ(sc.user_session(4), 1);
+  EXPECT_EQ(sc.n_coverable_users(), 5);
+  EXPECT_DOUBLE_EQ(sc.basic_rate(), 3.0);  // lowest positive link rate
+}
+
+TEST(Scenario, Fig1NeighborsAndStrongestSignal) {
+  const Scenario sc = test::fig1_scenario(3.0);
+  EXPECT_EQ(sc.aps_of_user(0), (std::vector<int>{0}));
+  // u3 (index 2): a2 at 5 Mbps beats a1 at 4 Mbps.
+  EXPECT_EQ(sc.aps_of_user(2), (std::vector<int>{1, 0}));
+  EXPECT_EQ(sc.strongest_ap(2), 1);
+  // u5 (index 4): a1 at 4 beats a2 at 3.
+  EXPECT_EQ(sc.strongest_ap(4), 0);
+  EXPECT_EQ(sc.users_of_ap(1), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(Scenario, GeometricConstructionUsesRateTable) {
+  // One AP at the origin; users at increasing distance.
+  const Scenario sc = Scenario::from_geometry(
+      {{0, 0}}, {{10, 0}, {0, 100}, {150, 0}, {300, 0}}, {0, 0, 0, 0}, {1.0},
+      RateTable::ieee80211a(), 0.9);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 0), 54.0);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 1), 18.0);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 3), 0.0);  // beyond 200 m
+  EXPECT_EQ(sc.n_coverable_users(), 3);
+  EXPECT_EQ(sc.strongest_ap(3), kNoAp);
+  EXPECT_TRUE(sc.has_geometry());
+}
+
+TEST(Scenario, GeometricStrongestIsNearestEvenAtEqualRate) {
+  // Both APs serve the user at 6 Mbps, but ap1 is nearer.
+  const Scenario sc = Scenario::from_geometry(
+      {{0, 0}, {40, 0}}, {{190, 0}}, {0}, {1.0}, RateTable::ieee80211a(), 0.9);
+  EXPECT_DOUBLE_EQ(sc.link_rate(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sc.link_rate(1, 0), 6.0);
+  EXPECT_EQ(sc.strongest_ap(0), 1);  // 150 m beats 190 m
+}
+
+TEST(Scenario, ValidationRejectsBadInput) {
+  const std::vector<std::vector<double>> link = {{1.0}};
+  EXPECT_THROW(Scenario::from_link_rates(link, {5}, {1.0}, 0.9),
+               std::invalid_argument);  // invalid session id
+  EXPECT_THROW(Scenario::from_link_rates(link, {0}, {-1.0}, 0.9),
+               std::invalid_argument);  // negative session rate
+  EXPECT_THROW(Scenario::from_link_rates(link, {0}, {1.0}, 0.0),
+               std::invalid_argument);  // zero budget
+  EXPECT_THROW(Scenario::from_link_rates(link, {0}, {1.0}, 1.5),
+               std::invalid_argument);  // budget above 1
+  EXPECT_THROW(Scenario::from_link_rates({{-2.0}}, {0}, {1.0}, 0.9),
+               std::invalid_argument);  // negative link rate
+  EXPECT_THROW(Scenario::from_link_rates({{1.0, 1.0}, {1.0}}, {0, 0}, {1.0}, 0.9),
+               std::invalid_argument);  // ragged matrix
+}
+
+TEST(Scenario, WithBudgetAndWithSessionRates) {
+  const Scenario sc = test::fig1_scenario(3.0);
+  const Scenario sc2 = sc.with_budget(0.5);
+  EXPECT_DOUBLE_EQ(sc2.load_budget(), 0.5);
+  EXPECT_DOUBLE_EQ(sc.load_budget(), 1.0);  // original untouched
+
+  const Scenario sc3 = sc.with_session_rates({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(sc3.session_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(sc3.session_rate(1), 2.0);
+  EXPECT_THROW(sc.with_session_rates({1.0}), std::invalid_argument);
+  EXPECT_THROW(sc.with_budget(0.0), std::invalid_argument);
+}
+
+TEST(ScenarioGenerator, ProducesPaperScaleScenarios) {
+  util::Rng rng(123);
+  GeneratorParams p;
+  p.n_aps = 50;
+  p.n_users = 100;
+  p.n_sessions = 5;
+  const Scenario sc = generate_scenario(p, rng);
+  EXPECT_EQ(sc.n_aps(), 50);
+  EXPECT_EQ(sc.n_users(), 100);
+  EXPECT_EQ(sc.n_sessions(), 5);
+  EXPECT_DOUBLE_EQ(sc.load_budget(), 0.9);
+  // All positions inside the square.
+  for (const auto& pos : sc.ap_positions()) {
+    EXPECT_GE(pos.x, 0.0);
+    EXPECT_LE(pos.x, p.area_side_m);
+    EXPECT_GE(pos.y, 0.0);
+    EXPECT_LE(pos.y, p.area_side_m);
+  }
+  // Session requests all valid.
+  for (int u = 0; u < sc.n_users(); ++u) {
+    EXPECT_GE(sc.user_session(u), 0);
+    EXPECT_LT(sc.user_session(u), 5);
+  }
+  // With 50 APs in 1.2 km^2 nearly everyone is coverable.
+  EXPECT_GT(sc.n_coverable_users(), 90);
+}
+
+TEST(ScenarioGenerator, DeterministicPerSeed) {
+  GeneratorParams p;
+  p.n_aps = 10;
+  p.n_users = 20;
+  util::Rng r1(7);
+  util::Rng r2(7);
+  const Scenario a = generate_scenario(p, r1);
+  const Scenario b = generate_scenario(p, r2);
+  for (int i = 0; i < a.n_aps(); ++i) {
+    for (int u = 0; u < a.n_users(); ++u) {
+      EXPECT_DOUBLE_EQ(a.link_rate(i, u), b.link_rate(i, u));
+    }
+  }
+}
+
+TEST(ScenarioGenerator, Fig12ParamsMatchPaper) {
+  const GeneratorParams p = fig12_params(40);
+  EXPECT_EQ(p.n_aps, 30);
+  EXPECT_EQ(p.n_users, 40);
+  EXPECT_DOUBLE_EQ(p.area_side_m, 600.0);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

@@ -1,0 +1,154 @@
+#include "wmcast/wlan/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_fixtures.hpp"
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+void expect_equivalent(const Scenario& a, const Scenario& b) {
+  ASSERT_EQ(a.n_aps(), b.n_aps());
+  ASSERT_EQ(a.n_users(), b.n_users());
+  ASSERT_EQ(a.n_sessions(), b.n_sessions());
+  EXPECT_DOUBLE_EQ(a.load_budget(), b.load_budget());
+  for (int s = 0; s < a.n_sessions(); ++s) {
+    EXPECT_DOUBLE_EQ(a.session_rate(s), b.session_rate(s));
+  }
+  for (int u = 0; u < a.n_users(); ++u) {
+    EXPECT_EQ(a.user_session(u), b.user_session(u));
+  }
+  for (int ap = 0; ap < a.n_aps(); ++ap) {
+    for (int u = 0; u < a.n_users(); ++u) {
+      EXPECT_DOUBLE_EQ(a.link_rate(ap, u), b.link_rate(ap, u)) << ap << "," << u;
+    }
+  }
+}
+
+TEST(Serialization, ExplicitScenarioRoundTrips) {
+  const auto sc = test::fig1_scenario(3.0);
+  const auto restored = from_text(to_text(sc));
+  expect_equivalent(sc, restored);
+  EXPECT_FALSE(restored.has_geometry());
+}
+
+TEST(Serialization, GeometricScenarioRoundTrips) {
+  util::Rng rng(41);
+  GeneratorParams p;
+  p.n_aps = 12;
+  p.n_users = 30;
+  p.n_sessions = 3;
+  const auto sc = generate_scenario(p, rng);
+  const auto restored = from_text(to_text(sc));
+  expect_equivalent(sc, restored);
+  EXPECT_TRUE(restored.has_geometry());
+  // Positions restored exactly (printed at full precision).
+  for (int u = 0; u < sc.n_users(); ++u) {
+    EXPECT_EQ(sc.user_positions()[static_cast<size_t>(u)],
+              restored.user_positions()[static_cast<size_t>(u)]);
+  }
+}
+
+TEST(Serialization, AlgorithmsAgreeOnRestoredScenario) {
+  util::Rng rng(43);
+  GeneratorParams p;
+  p.n_aps = 15;
+  p.n_users = 40;
+  const auto sc = generate_scenario(p, rng);
+  const auto restored = from_text(to_text(sc));
+  const auto a = assoc::centralized_mla(sc);
+  const auto b = assoc::centralized_mla(restored);
+  EXPECT_EQ(a.assoc, b.assoc);
+  EXPECT_DOUBLE_EQ(a.loads.total_load, b.loads.total_load);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto sc = test::fig1_scenario(1.0);
+  const std::string path = testing::TempDir() + "/wmcast_scenario_test.txt";
+  ASSERT_TRUE(save_scenario(sc, path));
+  const auto restored = load_scenario(path);
+  expect_equivalent(sc, restored);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, SaveFailsGracefully) {
+  const auto sc = test::fig1_scenario(1.0);
+  EXPECT_FALSE(save_scenario(sc, "/nonexistent-dir/x.txt"));
+  EXPECT_THROW(load_scenario("/nonexistent-dir/x.txt"), std::invalid_argument);
+}
+
+TEST(Serialization, MalformedInputThrowsNotAborts) {
+  EXPECT_THROW(from_text(""), std::invalid_argument);
+  EXPECT_THROW(from_text("wmcast-scenario v2"), std::invalid_argument);
+  EXPECT_THROW(from_text("wmcast-scenario v1\nbudget oops"), std::invalid_argument);
+  EXPECT_THROW(from_text("wmcast-scenario v1\nbudget 0.9\nsessions -3"),
+               std::invalid_argument);
+  // Truncated in the middle of the link matrix.
+  const auto sc = test::fig1_scenario(1.0);
+  std::string text = to_text(sc);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(from_text(text), std::invalid_argument);
+  // A scenario that parses structurally but violates model invariants
+  // (negative link rate) is rejected by Scenario validation.
+  EXPECT_THROW(from_text("wmcast-scenario v1\nbudget 0.9\nsessions 1\n"
+                         "session_rates 1\nusers 1\nuser_sessions 0\ngeometry 0\n"
+                         "aps 1\nlink_rates\n-5\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialization, HugeCountsRejected) {
+  EXPECT_THROW(from_text("wmcast-scenario v1\nbudget 0.9\nsessions 99999999"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan
+
+// -- association serialization (appended suite) ------------------------------
+
+#include "wmcast/assoc/centralized.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+TEST(AssociationSerialization, RoundTrips) {
+  const Association a{{0, kNoAp, 3, 1, kNoAp}};
+  const Association restored = association_from_text(association_to_text(a));
+  EXPECT_EQ(restored, a);
+}
+
+TEST(AssociationSerialization, EmptyAssociation) {
+  const Association a = Association::none(0);
+  EXPECT_EQ(association_from_text(association_to_text(a)).n_users(), 0);
+}
+
+TEST(AssociationSerialization, SolverOutputRoundTripsThroughFiles) {
+  const auto sc = test::fig1_scenario(1.0);
+  const auto sol = assoc::centralized_mla(sc);
+  const std::string path = testing::TempDir() + "/wmcast_assoc_test.txt";
+  ASSERT_TRUE(save_association(sol.assoc, path));
+  const auto restored = load_association(path);
+  EXPECT_EQ(restored, sol.assoc);
+  // Still evaluates identically.
+  const auto rep = compute_loads(sc, restored);
+  EXPECT_NEAR(rep.total_load, sol.loads.total_load, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(AssociationSerialization, MalformedInputThrows) {
+  EXPECT_THROW(association_from_text(""), std::invalid_argument);
+  EXPECT_THROW(association_from_text("wmcast-association v2"), std::invalid_argument);
+  EXPECT_THROW(association_from_text("wmcast-association v1\nusers 2\n0"),
+               std::invalid_argument);  // truncated
+  EXPECT_THROW(association_from_text("wmcast-association v1\nusers 1\n-5"),
+               std::invalid_argument);  // AP id below kNoAp
+  EXPECT_THROW(load_association("/nonexistent/a.txt"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

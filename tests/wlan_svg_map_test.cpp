@@ -1,0 +1,101 @@
+#include "wmcast/wlan/svg_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::wlan {
+namespace {
+
+Scenario small_map(uint64_t seed = 5) {
+  GeneratorParams p;
+  p.n_aps = 6;
+  p.n_users = 15;
+  p.n_sessions = 3;
+  p.area_side_m = 400.0;
+  util::Rng rng(seed);
+  return generate_scenario(p, rng);
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(SvgMap, TopologyOnlyRendersAllNodes) {
+  const auto sc = small_map();
+  const std::string svg = render_svg(sc);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "class=\"ap\""), 6);
+  EXPECT_EQ(count_occurrences(svg, "class=\"user\""), 15);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 0);  // no association, no edges
+}
+
+TEST(SvgMap, AssociationDrawsEdgesForServedUsersOnly) {
+  const auto sc = small_map();
+  const auto sol = assoc::centralized_mla(sc);
+  const std::string svg = render_svg(sc, &sol.assoc);
+  EXPECT_EQ(count_occurrences(svg, "<line"), sol.loads.satisfied_users);
+}
+
+TEST(SvgMap, RangesOptionAddsCircles) {
+  const auto sc = small_map();
+  SvgOptions opt;
+  opt.draw_ranges = true;
+  const std::string with = render_svg(sc, nullptr, opt);
+  const std::string without = render_svg(sc);
+  EXPECT_GT(count_occurrences(with, "<circle"), count_occurrences(without, "<circle"));
+}
+
+TEST(SvgMap, LoadedApsGetRedder) {
+  // An idle AP renders white (#ffffff); any load turns the green/blue
+  // channels down.
+  const auto sc = small_map();
+  const std::string idle = render_svg(sc);
+  EXPECT_NE(idle.find("#ffffff"), std::string::npos);
+  const auto sol = assoc::centralized_mla(sc);
+  const std::string loaded = render_svg(sc, &sol.assoc);
+  // At least one AP must be shaded non-white now.
+  int white_aps = 0;
+  int shaded = 0;
+  size_t pos = 0;
+  while ((pos = loaded.find("class=\"ap\"", pos)) != std::string::npos) {
+    const size_t fill = loaded.find("fill=\"#", pos);
+    if (loaded.compare(fill + 6, 7, "#ffffff") == 0) {
+      ++white_aps;
+    } else {
+      ++shaded;
+    }
+    pos += 10;
+  }
+  EXPECT_GT(shaded, 0);
+}
+
+TEST(SvgMap, RejectsBadInput) {
+  const auto flat = Scenario::from_link_rates({{1.0}}, {0}, {1.0}, 0.9);
+  EXPECT_THROW(render_svg(flat), std::invalid_argument);
+  const auto sc = small_map();
+  const Association wrong = Association::none(3);
+  EXPECT_THROW(render_svg(sc, &wrong), std::invalid_argument);
+  SvgOptions bad;
+  bad.canvas_px = 0.0;
+  EXPECT_THROW(render_svg(sc, nullptr, bad), std::invalid_argument);
+}
+
+TEST(SvgMap, SaveWritesFile) {
+  const auto sc = small_map();
+  const std::string path = testing::TempDir() + "/wmcast_map_test.svg";
+  EXPECT_TRUE(save_svg(sc, nullptr, path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(save_svg(sc, nullptr, "/nonexistent-dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace wmcast::wlan

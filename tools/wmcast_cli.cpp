@@ -1,0 +1,253 @@
+// wmcast_cli — command-line driver for the library's full pipeline:
+//
+//   wmcast_cli generate  --out=sc.txt [--aps=200 --users=400 --sessions=5
+//                        --rate=1.0 --budget=0.9 --area=1095.445 --seed=1
+//                        --zipf=0 --hotspot=0]
+//   wmcast_cli info      --scenario=sc.txt
+//   wmcast_cli solve     --scenario=sc.txt --algorithm=mla-c
+//                        [--seed=1 --assoc-out=a.txt --basic-rate]
+//   wmcast_cli eval      --scenario=sc.txt --assoc=a.txt
+//   wmcast_cli exact     --scenario=sc.txt --problem=mla [--budget=0.9
+//                        --time-limit=10]
+//   wmcast_cli export-lp --scenario=sc.txt --problem=mnu --out=m.lp
+//                        [--budget=0.9]
+//   wmcast_cli render    --scenario=sc.txt [--assoc=a.txt] --out=map.svg
+//                        [--ranges]
+//
+// Algorithms: ssa, mla-c, bla-c, mnu-c, mla-d, bla-d, mnu-d, lock-d,
+// local-search, mnu-1session, bla-1session.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/registry.hpp"
+#include "wmcast/assoc/revenue.hpp"
+#include "wmcast/assoc/ssa.hpp"
+#include "wmcast/exact/exact_bla.hpp"
+#include "wmcast/exact/exact_mla.hpp"
+#include "wmcast/exact/exact_mnu.hpp"
+#include "wmcast/exact/lp_writer.hpp"
+#include "wmcast/setcover/materialize.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/util/cli.hpp"
+#include "wmcast/util/stats.hpp"
+#include "wmcast/util/table.hpp"
+#include "wmcast/wlan/coverage.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+#include "wmcast/wlan/serialization.hpp"
+#include "wmcast/wlan/svg_map.hpp"
+
+using namespace wmcast;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wmcast_cli <generate|info|solve|eval|exact|export-lp|render> "
+               "--key=value ...\n(see the header of tools/wmcast_cli.cpp for details)\n");
+  return 2;
+}
+
+void print_solution(const wlan::Scenario& sc, const assoc::Solution& sol) {
+  util::Table t({"metric", "value"});
+  t.add_row({"algorithm", sol.algorithm});
+  t.add_row({"served users", std::to_string(sol.loads.satisfied_users) + " / " +
+                                 std::to_string(sc.n_users())});
+  t.add_row({"total multicast load", util::fmt(sol.loads.total_load, 4)});
+  t.add_row({"max AP load", util::fmt(sol.loads.max_load, 4)});
+  t.add_row({"within budget", sol.loads.within_budget() ? "yes" : "NO"});
+  t.add_row({"solve time (s)", util::fmt(sol.solve_seconds, 4)});
+  if (sol.rounds > 0) {
+    t.add_row({"rounds", std::to_string(sol.rounds)});
+    t.add_row({"converged", sol.converged ? "yes" : "NO"});
+  }
+  const auto rev = assoc::compute_revenue(sc, sol.loads);
+  t.add_row({"revenue: pay-per-view", util::fmt(rev.pay_per_view, 2)});
+  t.add_row({"revenue: convex unicast", util::fmt(rev.convex_unicast, 3)});
+  t.add_row({"revenue: per-byte", util::fmt(rev.per_byte, 3)});
+  t.print();
+}
+
+int cmd_generate(const util::Args& args) {
+  wlan::GeneratorParams p;
+  p.n_aps = args.get_int("aps", p.n_aps);
+  p.n_users = args.get_int("users", p.n_users);
+  p.n_sessions = args.get_int("sessions", p.n_sessions);
+  p.session_rate_mbps = args.get_double("rate", p.session_rate_mbps);
+  p.load_budget = args.get_double("budget", p.load_budget);
+  p.area_side_m = args.get_double("area", p.area_side_m);
+  p.zipf_exponent = args.get_double("zipf", 0.0);
+  p.hotspot_fraction = args.get_double("hotspot", 0.0);
+  util::Rng rng(args.get_u64("seed", 1));
+  const auto sc = wlan::generate_scenario(p, rng);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=path required\n");
+    return 2;
+  }
+  if (!wlan::save_scenario(sc, out)) return 1;
+  std::printf("wrote %s: %d APs, %d users (%d coverable), %d sessions\n", out.c_str(),
+              sc.n_aps(), sc.n_users(), sc.n_coverable_users(), sc.n_sessions());
+  return 0;
+}
+
+int cmd_info(const util::Args& args) {
+  const auto sc = wlan::load_scenario(args.get("scenario", ""));
+  util::Table t({"property", "value"});
+  t.add_row({"APs", std::to_string(sc.n_aps())});
+  t.add_row({"users", std::to_string(sc.n_users())});
+  t.add_row({"coverable users", std::to_string(sc.n_coverable_users())});
+  t.add_row({"sessions", std::to_string(sc.n_sessions())});
+  t.add_row({"load budget", util::fmt(sc.load_budget(), 3)});
+  t.add_row({"geometric", sc.has_geometry() ? "yes" : "no"});
+  t.add_row({"basic rate (Mbps)", util::fmt(sc.basic_rate(), 1)});
+  double demand = 0.0;
+  for (int s = 0; s < sc.n_sessions(); ++s) demand += sc.session_rate(s);
+  t.add_row({"total stream demand (Mbps)", util::fmt(demand, 2)});
+  const auto sys = setcover::build_set_system(sc);
+  t.add_row({"candidate sets", std::to_string(sys.n_sets())});
+  const auto cov = wlan::analyze_coverage(sc);
+  t.add_row({"mean APs per user", util::fmt(cov.mean_aps_per_user, 2)});
+  t.add_row({"max APs per user (layering f)", std::to_string(cov.max_aps_per_user)});
+  t.add_row({"mean users per AP", util::fmt(cov.mean_users_per_ap, 2)});
+  t.add_row({"idle APs", std::to_string(cov.idle_aps)});
+  t.print();
+  return 0;
+}
+
+int cmd_solve(const util::Args& args) {
+  auto sc = wlan::load_scenario(args.get("scenario", ""));
+  if (args.has("budget")) sc = sc.with_budget(args.get_double("budget", 0.9));
+  const std::string algorithm = args.get("algorithm", "mla-c");
+  util::Rng rng(args.get_u64("seed", 1));
+
+  if (!assoc::is_algorithm(algorithm)) {
+    std::fprintf(stderr, "solve: unknown --algorithm=%s (known:", algorithm.c_str());
+    for (const auto& n : assoc::algorithm_names()) std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  assoc::SolveOptions options;
+  options.multi_rate = !args.get_bool("basic-rate", false);
+  const assoc::Solution sol = assoc::solve_by_name(algorithm, sc, rng, options);
+
+  print_solution(sc, sol);
+  const std::string out = args.get("assoc-out", "");
+  if (!out.empty()) {
+    if (!wlan::save_association(sol.assoc, out)) return 1;
+    std::printf("association written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const util::Args& args) {
+  const auto sc = wlan::load_scenario(args.get("scenario", ""));
+  const auto assoc = wlan::load_association(args.get("assoc", ""));
+  auto sol = assoc::make_solution("eval", sc, assoc,
+                                  !args.get_bool("basic-rate", false));
+  print_solution(sc, sol);
+  return 0;
+}
+
+int cmd_exact(const util::Args& args) {
+  auto sc = wlan::load_scenario(args.get("scenario", ""));
+  if (args.has("budget")) sc = sc.with_budget(args.get_double("budget", 0.9));
+  const std::string problem = args.get("problem", "mla");
+  exact::BbLimits limits;
+  limits.time_limit_s = args.get_double("time-limit", 10.0);
+  const auto sys = setcover::build_set_system(sc);
+
+  if (problem == "mla") {
+    const auto res = exact::exact_min_cost_cover(sys, limits);
+    std::printf("MLA optimum: total load %.6f (%s, %lld nodes)\n", res.cost,
+                res.status == exact::BbStatus::kOptimal ? "proved" : "time-limited",
+                static_cast<long long>(res.nodes));
+  } else if (problem == "bla") {
+    const auto res = exact::exact_min_max_cover(sys, limits);
+    std::printf("BLA optimum: max AP load %.6f (%s, %lld nodes)\n", res.max_group_cost,
+                res.status == exact::BbStatus::kOptimal ? "proved" : "time-limited",
+                static_cast<long long>(res.nodes));
+  } else if (problem == "mnu") {
+    const auto res = exact::exact_max_coverage_uniform(sys, sc.load_budget(), limits);
+    std::printf("MNU optimum: %d of %d users (%s, %lld nodes)\n", res.covered,
+                sc.n_coverable_users(),
+                res.status == exact::BbStatus::kOptimal ? "proved" : "time-limited",
+                static_cast<long long>(res.nodes));
+  } else {
+    std::fprintf(stderr, "exact: unknown --problem=%s\n", problem.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_export_lp(const util::Args& args) {
+  auto sc = wlan::load_scenario(args.get("scenario", ""));
+  if (args.has("budget")) sc = sc.with_budget(args.get_double("budget", 0.9));
+  const std::string problem = args.get("problem", "mla");
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "export-lp: --out=path required\n");
+    return 2;
+  }
+  const auto sys = setcover::build_set_system(sc);
+  std::string lp;
+  if (problem == "mla") {
+    lp = exact::write_mla_lp(sys);
+  } else if (problem == "bla") {
+    lp = exact::write_bla_lp(sys);
+  } else if (problem == "mnu") {
+    const std::vector<double> budgets(static_cast<size_t>(sys.n_groups()),
+                                      sc.load_budget());
+    lp = exact::write_mnu_lp(sys, budgets);
+  } else {
+    std::fprintf(stderr, "export-lp: unknown --problem=%s\n", problem.c_str());
+    return 2;
+  }
+  std::ofstream f(out);
+  if (!f || !(f << lp)) return 1;
+  std::printf("wrote %s (%zu bytes)\n", out.c_str(), lp.size());
+  return 0;
+}
+
+int cmd_render(const util::Args& args) {
+  const auto sc = wlan::load_scenario(args.get("scenario", ""));
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "render: --out=path required\n");
+    return 2;
+  }
+  wlan::SvgOptions opt;
+  opt.draw_ranges = args.get_bool("ranges", false);
+  if (args.has("assoc")) {
+    const auto assoc = wlan::load_association(args.get("assoc", ""));
+    if (!wlan::save_svg(sc, &assoc, out, opt)) return 1;
+  } else {
+    if (!wlan::save_svg(sc, nullptr, out, opt)) return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const util::Args args(argc - 1, argv + 1);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "exact") return cmd_exact(args);
+    if (cmd == "export-lp") return cmd_export_lp(args);
+    if (cmd == "render") return cmd_render(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wmcast_cli %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
