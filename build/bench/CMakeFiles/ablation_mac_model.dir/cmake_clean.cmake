@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mac_model.dir/ablation_mac_model.cpp.o"
+  "CMakeFiles/ablation_mac_model.dir/ablation_mac_model.cpp.o.d"
+  "ablation_mac_model"
+  "ablation_mac_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mac_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_churn.dir/dynamics_churn.cpp.o"
+  "CMakeFiles/dynamics_churn.dir/dynamics_churn.cpp.o.d"
+  "dynamics_churn"
+  "dynamics_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_satisfied_users.dir/fig11_satisfied_users.cpp.o"
+  "CMakeFiles/fig11_satisfied_users.dir/fig11_satisfied_users.cpp.o.d"
+  "fig11_satisfied_users"
+  "fig11_satisfied_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_satisfied_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_optimality.dir/fig12_optimality.cpp.o"
+  "CMakeFiles/fig12_optimality.dir/fig12_optimality.cpp.o.d"
+  "fig12_optimality"
+  "fig12_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

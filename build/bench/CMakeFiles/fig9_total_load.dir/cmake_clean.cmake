@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_total_load.dir/fig9_total_load.cpp.o"
+  "CMakeFiles/fig9_total_load.dir/fig9_total_load.cpp.o.d"
+  "fig9_total_load"
+  "fig9_total_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_total_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_unicast_impact.dir/motivation_unicast_impact.cpp.o"
+  "CMakeFiles/motivation_unicast_impact.dir/motivation_unicast_impact.cpp.o.d"
+  "motivation_unicast_impact"
+  "motivation_unicast_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_unicast_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_collisions.dir/reliability_collisions.cpp.o"
+  "CMakeFiles/reliability_collisions.dir/reliability_collisions.cpp.o.d"
+  "reliability_collisions"
+  "reliability_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revenue_models.dir/revenue_models.cpp.o"
+  "CMakeFiles/revenue_models.dir/revenue_models.cpp.o.d"
+  "revenue_models"
+  "revenue_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revenue_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

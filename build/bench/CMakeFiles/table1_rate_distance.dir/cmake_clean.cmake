@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rate_distance.dir/table1_rate_distance.cpp.o"
+  "CMakeFiles/table1_rate_distance.dir/table1_rate_distance.cpp.o.d"
+  "table1_rate_distance"
+  "table1_rate_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rate_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_tv.dir/campus_tv.cpp.o"
+  "CMakeFiles/campus_tv.dir/campus_tv.cpp.o.d"
+  "campus_tv"
+  "campus_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_hotspot.dir/city_hotspot.cpp.o"
+  "CMakeFiles/city_hotspot.dir/city_hotspot.cpp.o.d"
+  "city_hotspot"
+  "city_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

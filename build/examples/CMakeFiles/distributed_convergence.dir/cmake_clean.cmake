@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_convergence.dir/distributed_convergence.cpp.o"
+  "CMakeFiles/distributed_convergence.dir/distributed_convergence.cpp.o.d"
+  "distributed_convergence"
+  "distributed_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

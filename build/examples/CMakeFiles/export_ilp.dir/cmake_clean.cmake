@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_ilp.dir/export_ilp.cpp.o"
+  "CMakeFiles/export_ilp.dir/export_ilp.cpp.o.d"
+  "export_ilp"
+  "export_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wmcast/assoc/centralized.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/centralized.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/centralized.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/distributed.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/distributed.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/distributed.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/dual.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/dual.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/dual.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/local_search.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/local_search.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/local_search.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/metrics.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/metrics.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/metrics.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/registry.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/registry.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/registry.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/revenue.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/revenue.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/revenue.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/single_session.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/single_session.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/single_session.cpp.o.d"
+  "/root/repo/src/wmcast/assoc/ssa.cpp" "src/CMakeFiles/wmcast.dir/wmcast/assoc/ssa.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/assoc/ssa.cpp.o.d"
+  "/root/repo/src/wmcast/exact/dual_bound.cpp" "src/CMakeFiles/wmcast.dir/wmcast/exact/dual_bound.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/exact/dual_bound.cpp.o.d"
+  "/root/repo/src/wmcast/exact/exact_bla.cpp" "src/CMakeFiles/wmcast.dir/wmcast/exact/exact_bla.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/exact/exact_bla.cpp.o.d"
+  "/root/repo/src/wmcast/exact/exact_mla.cpp" "src/CMakeFiles/wmcast.dir/wmcast/exact/exact_mla.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/exact/exact_mla.cpp.o.d"
+  "/root/repo/src/wmcast/exact/exact_mnu.cpp" "src/CMakeFiles/wmcast.dir/wmcast/exact/exact_mnu.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/exact/exact_mnu.cpp.o.d"
+  "/root/repo/src/wmcast/exact/lp_writer.cpp" "src/CMakeFiles/wmcast.dir/wmcast/exact/lp_writer.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/exact/lp_writer.cpp.o.d"
+  "/root/repo/src/wmcast/ext/interference.cpp" "src/CMakeFiles/wmcast.dir/wmcast/ext/interference.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/ext/interference.cpp.o.d"
+  "/root/repo/src/wmcast/ext/interference_aware.cpp" "src/CMakeFiles/wmcast.dir/wmcast/ext/interference_aware.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/ext/interference_aware.cpp.o.d"
+  "/root/repo/src/wmcast/ext/locks.cpp" "src/CMakeFiles/wmcast.dir/wmcast/ext/locks.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/ext/locks.cpp.o.d"
+  "/root/repo/src/wmcast/ext/period_schedule.cpp" "src/CMakeFiles/wmcast.dir/wmcast/ext/period_schedule.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/ext/period_schedule.cpp.o.d"
+  "/root/repo/src/wmcast/ext/power_control.cpp" "src/CMakeFiles/wmcast.dir/wmcast/ext/power_control.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/ext/power_control.cpp.o.d"
+  "/root/repo/src/wmcast/hardness/reductions.cpp" "src/CMakeFiles/wmcast.dir/wmcast/hardness/reductions.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/hardness/reductions.cpp.o.d"
+  "/root/repo/src/wmcast/mac/airtime.cpp" "src/CMakeFiles/wmcast.dir/wmcast/mac/airtime.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/mac/airtime.cpp.o.d"
+  "/root/repo/src/wmcast/mac/queueing.cpp" "src/CMakeFiles/wmcast.dir/wmcast/mac/queueing.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/mac/queueing.cpp.o.d"
+  "/root/repo/src/wmcast/mac/reliable.cpp" "src/CMakeFiles/wmcast.dir/wmcast/mac/reliable.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/mac/reliable.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/greedy.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/greedy.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/greedy.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/layering.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/layering.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/layering.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/materialize.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/materialize.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/materialize.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/mcg.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/mcg.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/mcg.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/reduction.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/reduction.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/reduction.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/scg.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/scg.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/scg.cpp.o.d"
+  "/root/repo/src/wmcast/setcover/set_system.cpp" "src/CMakeFiles/wmcast.dir/wmcast/setcover/set_system.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/setcover/set_system.cpp.o.d"
+  "/root/repo/src/wmcast/sim/agents.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/agents.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/agents.cpp.o.d"
+  "/root/repo/src/wmcast/sim/ap_channel.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/ap_channel.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/ap_channel.cpp.o.d"
+  "/root/repo/src/wmcast/sim/csma.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/csma.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/csma.cpp.o.d"
+  "/root/repo/src/wmcast/sim/event_queue.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/event_queue.cpp.o.d"
+  "/root/repo/src/wmcast/sim/handoff.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/handoff.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/handoff.cpp.o.d"
+  "/root/repo/src/wmcast/sim/network.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/network.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/network.cpp.o.d"
+  "/root/repo/src/wmcast/sim/unicast_impact.cpp" "src/CMakeFiles/wmcast.dir/wmcast/sim/unicast_impact.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/sim/unicast_impact.cpp.o.d"
+  "/root/repo/src/wmcast/util/bitset.cpp" "src/CMakeFiles/wmcast.dir/wmcast/util/bitset.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/util/bitset.cpp.o.d"
+  "/root/repo/src/wmcast/util/cli.cpp" "src/CMakeFiles/wmcast.dir/wmcast/util/cli.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/util/cli.cpp.o.d"
+  "/root/repo/src/wmcast/util/histogram.cpp" "src/CMakeFiles/wmcast.dir/wmcast/util/histogram.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/util/histogram.cpp.o.d"
+  "/root/repo/src/wmcast/util/rng.cpp" "src/CMakeFiles/wmcast.dir/wmcast/util/rng.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/util/rng.cpp.o.d"
+  "/root/repo/src/wmcast/util/stats.cpp" "src/CMakeFiles/wmcast.dir/wmcast/util/stats.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/util/stats.cpp.o.d"
+  "/root/repo/src/wmcast/util/table.cpp" "src/CMakeFiles/wmcast.dir/wmcast/util/table.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/util/table.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/association.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/association.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/association.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/coverage.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/coverage.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/coverage.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/mobility.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/mobility.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/mobility.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/rate_table.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/rate_table.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/rate_table.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/scenario.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/scenario.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/scenario.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/scenario_generator.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/scenario_generator.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/scenario_generator.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/serialization.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/serialization.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/serialization.cpp.o.d"
+  "/root/repo/src/wmcast/wlan/svg_map.cpp" "src/CMakeFiles/wmcast.dir/wmcast/wlan/svg_map.cpp.o" "gcc" "src/CMakeFiles/wmcast.dir/wmcast/wlan/svg_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

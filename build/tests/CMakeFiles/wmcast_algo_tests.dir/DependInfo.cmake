@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assoc_centralized_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_centralized_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_centralized_test.cpp.o.d"
+  "/root/repo/tests/assoc_distributed_edge_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_distributed_edge_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_distributed_edge_test.cpp.o.d"
+  "/root/repo/tests/assoc_distributed_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_distributed_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_distributed_test.cpp.o.d"
+  "/root/repo/tests/assoc_policy_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_policy_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_policy_test.cpp.o.d"
+  "/root/repo/tests/assoc_registry_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_registry_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_registry_test.cpp.o.d"
+  "/root/repo/tests/assoc_ssa_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_ssa_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/assoc_ssa_test.cpp.o.d"
+  "/root/repo/tests/exact_dual_bound_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_dual_bound_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_dual_bound_test.cpp.o.d"
+  "/root/repo/tests/exact_lp_writer_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_lp_writer_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_lp_writer_test.cpp.o.d"
+  "/root/repo/tests/exact_mnu_paths_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_mnu_paths_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_mnu_paths_test.cpp.o.d"
+  "/root/repo/tests/exact_solvers_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_solvers_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/exact_solvers_test.cpp.o.d"
+  "/root/repo/tests/hardness_reductions_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/hardness_reductions_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/hardness_reductions_test.cpp.o.d"
+  "/root/repo/tests/integration_optimum_equivalence_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/integration_optimum_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/integration_optimum_equivalence_test.cpp.o.d"
+  "/root/repo/tests/mac_queueing_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/mac_queueing_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/mac_queueing_test.cpp.o.d"
+  "/root/repo/tests/paper_examples_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/property_approx_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/property_approx_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/property_approx_test.cpp.o.d"
+  "/root/repo/tests/property_distributed_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/property_distributed_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/property_distributed_test.cpp.o.d"
+  "/root/repo/tests/setcover_augment_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/setcover_augment_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/setcover_augment_test.cpp.o.d"
+  "/root/repo/tests/sim_counters_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/sim_counters_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/sim_counters_test.cpp.o.d"
+  "/root/repo/tests/sim_departure_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/sim_departure_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/sim_departure_test.cpp.o.d"
+  "/root/repo/tests/sim_handoff_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/sim_handoff_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/sim_handoff_test.cpp.o.d"
+  "/root/repo/tests/util_assert_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/util_assert_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/util_assert_test.cpp.o.d"
+  "/root/repo/tests/util_histogram_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/util_histogram_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/util_histogram_test.cpp.o.d"
+  "/root/repo/tests/wlan_coverage_test.cpp" "tests/CMakeFiles/wmcast_algo_tests.dir/wlan_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_algo_tests.dir/wlan_coverage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

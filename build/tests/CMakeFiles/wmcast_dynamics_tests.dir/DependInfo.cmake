@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assoc_dual_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_dual_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_dual_test.cpp.o.d"
+  "/root/repo/tests/assoc_local_search_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_local_search_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_local_search_test.cpp.o.d"
+  "/root/repo/tests/assoc_revenue_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_revenue_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_revenue_test.cpp.o.d"
+  "/root/repo/tests/assoc_single_session_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_single_session_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/assoc_single_session_test.cpp.o.d"
+  "/root/repo/tests/fuzz_invariants_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/fuzz_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/fuzz_invariants_test.cpp.o.d"
+  "/root/repo/tests/mac_reliable_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/mac_reliable_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/mac_reliable_test.cpp.o.d"
+  "/root/repo/tests/setcover_layering_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/setcover_layering_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/setcover_layering_test.cpp.o.d"
+  "/root/repo/tests/sim_csma_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/sim_csma_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/sim_csma_test.cpp.o.d"
+  "/root/repo/tests/sim_message_loss_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/sim_message_loss_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/sim_message_loss_test.cpp.o.d"
+  "/root/repo/tests/wlan_generator_ext_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_generator_ext_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_generator_ext_test.cpp.o.d"
+  "/root/repo/tests/wlan_mobility_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_mobility_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_mobility_test.cpp.o.d"
+  "/root/repo/tests/wlan_serialization_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_serialization_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_serialization_test.cpp.o.d"
+  "/root/repo/tests/wlan_svg_map_test.cpp" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_svg_map_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_dynamics_tests.dir/wlan_svg_map_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

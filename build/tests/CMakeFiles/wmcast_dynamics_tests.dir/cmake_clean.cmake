@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_dual_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_dual_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_local_search_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_local_search_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_revenue_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_revenue_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_single_session_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/assoc_single_session_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/fuzz_invariants_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/fuzz_invariants_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/mac_reliable_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/mac_reliable_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/setcover_layering_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/setcover_layering_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/sim_csma_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/sim_csma_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/sim_message_loss_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/sim_message_loss_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_generator_ext_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_generator_ext_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_mobility_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_mobility_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_serialization_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_serialization_test.cpp.o.d"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_svg_map_test.cpp.o"
+  "CMakeFiles/wmcast_dynamics_tests.dir/wlan_svg_map_test.cpp.o.d"
+  "wmcast_dynamics_tests"
+  "wmcast_dynamics_tests.pdb"
+  "wmcast_dynamics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmcast_dynamics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ext_interference_aware_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_interference_aware_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_interference_aware_test.cpp.o.d"
+  "/root/repo/tests/ext_interference_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_interference_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_interference_test.cpp.o.d"
+  "/root/repo/tests/ext_locks_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_locks_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_locks_test.cpp.o.d"
+  "/root/repo/tests/ext_period_schedule_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_period_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_period_schedule_test.cpp.o.d"
+  "/root/repo/tests/ext_power_control_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_power_control_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/ext_power_control_test.cpp.o.d"
+  "/root/repo/tests/sim_ap_channel_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_ap_channel_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_ap_channel_test.cpp.o.d"
+  "/root/repo/tests/sim_event_queue_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim_protocol_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_protocol_test.cpp.o.d"
+  "/root/repo/tests/sim_unicast_impact_test.cpp" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_unicast_impact_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_sim_tests.dir/sim_unicast_impact_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

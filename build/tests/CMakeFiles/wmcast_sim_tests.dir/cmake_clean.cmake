@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmcast_sim_tests.dir/ext_interference_aware_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_interference_aware_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_interference_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_interference_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_locks_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_locks_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_period_schedule_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_period_schedule_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_power_control_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/ext_power_control_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_ap_channel_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_ap_channel_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_event_queue_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_event_queue_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_protocol_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_protocol_test.cpp.o.d"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_unicast_impact_test.cpp.o"
+  "CMakeFiles/wmcast_sim_tests.dir/sim_unicast_impact_test.cpp.o.d"
+  "wmcast_sim_tests"
+  "wmcast_sim_tests.pdb"
+  "wmcast_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmcast_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mac_airtime_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/mac_airtime_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/mac_airtime_test.cpp.o.d"
+  "/root/repo/tests/setcover_greedy_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_greedy_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_greedy_test.cpp.o.d"
+  "/root/repo/tests/setcover_materialize_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_materialize_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_materialize_test.cpp.o.d"
+  "/root/repo/tests/setcover_mcg_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_mcg_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_mcg_test.cpp.o.d"
+  "/root/repo/tests/setcover_reduction_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_reduction_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_reduction_test.cpp.o.d"
+  "/root/repo/tests/setcover_scg_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_scg_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/setcover_scg_test.cpp.o.d"
+  "/root/repo/tests/util_bitset_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/util_bitset_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/util_bitset_test.cpp.o.d"
+  "/root/repo/tests/util_cli_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/util_cli_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/util_cli_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/util_table_test.cpp.o.d"
+  "/root/repo/tests/wlan_association_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/wlan_association_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/wlan_association_test.cpp.o.d"
+  "/root/repo/tests/wlan_rate_table_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/wlan_rate_table_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/wlan_rate_table_test.cpp.o.d"
+  "/root/repo/tests/wlan_scenario_test.cpp" "tests/CMakeFiles/wmcast_unit_tests.dir/wlan_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/wmcast_unit_tests.dir/wlan_scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

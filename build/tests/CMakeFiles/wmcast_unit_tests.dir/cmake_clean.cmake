@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmcast_unit_tests.dir/mac_airtime_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/mac_airtime_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_greedy_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_greedy_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_materialize_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_materialize_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_mcg_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_mcg_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_reduction_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_reduction_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_scg_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/setcover_scg_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/util_bitset_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/util_bitset_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/util_cli_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/util_cli_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/util_rng_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/util_rng_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/util_stats_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/util_stats_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/util_table_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/util_table_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/wlan_association_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/wlan_association_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/wlan_rate_table_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/wlan_rate_table_test.cpp.o.d"
+  "CMakeFiles/wmcast_unit_tests.dir/wlan_scenario_test.cpp.o"
+  "CMakeFiles/wmcast_unit_tests.dir/wlan_scenario_test.cpp.o.d"
+  "wmcast_unit_tests"
+  "wmcast_unit_tests.pdb"
+  "wmcast_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmcast_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

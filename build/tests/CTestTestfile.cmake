@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/wmcast_unit_tests[1]_include.cmake")
+include("/root/repo/build/tests/wmcast_algo_tests[1]_include.cmake")
+include("/root/repo/build/tests/wmcast_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/wmcast_dynamics_tests[1]_include.cmake")
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;69;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.campus_tv "/root/repo/build/examples/campus_tv")
+set_tests_properties(example.campus_tv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.distributed_convergence "/root/repo/build/examples/distributed_convergence")
+set_tests_properties(example.distributed_convergence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.city_hotspot_small "/root/repo/build/examples/city_hotspot" "--aps=200" "--users=400")
+set_tests_properties(example.city_hotspot_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.export_ilp "/root/repo/build/examples/export_ilp" "--out=/root/repo/build/tests/ilp_test" "--users=12")
+set_tests_properties(example.export_ilp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.pipeline "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/wmcast_cli" "-DWORK=/root/repo/build/tests/cli_work" "-P" "/root/repo/tests/cli_pipeline_test.cmake")
+set_tests_properties(cli.pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;76;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmcast_cli.dir/wmcast_cli.cpp.o"
+  "CMakeFiles/wmcast_cli.dir/wmcast_cli.cpp.o.d"
+  "wmcast_cli"
+  "wmcast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
