@@ -124,11 +124,32 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
     }
   }
 
+  // Candidate movers: everyone, or the caller's restriction set.
+  std::vector<int> movers;
+  if (params.restrict_users.empty()) {
+    movers.resize(static_cast<size_t>(sc.n_users()));
+    for (int u = 0; u < sc.n_users(); ++u) movers[static_cast<size_t>(u)] = u;
+  } else {
+    movers = params.restrict_users;
+    for (const int u : movers) {
+      util::require(u >= 0 && u < sc.n_users(), "local_search: restrict user out of range");
+    }
+  }
+
+  const int start_served = st.served;
+  const auto target_reached = [&] {
+    return params.target_total >= 0.0 && st.served >= start_served &&
+           st.total <= params.target_total;
+  };
+
   LocalSearchStats local;
   bool improved = true;
-  while (improved && local.moves < params.max_moves) {
+  while (improved && local.moves < params.max_moves && !target_reached()) {
     improved = false;
-    for (int u = 0; u < sc.n_users() && local.moves < params.max_moves; ++u) {
+    for (size_t mi = 0; mi < movers.size() && local.moves < params.max_moves &&
+                        !target_reached();
+         ++mi) {
+      const int u = movers[mi];
       const int cur = st.user_ap[static_cast<size_t>(u)];
       const State::Key before = st.key();
 
@@ -150,7 +171,12 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
           best_target = a;
         }
       }
-      if (best_target != cur) {
+      // A move must either serve an extra user or beat the gain floor.
+      const bool serves_more = best_key.k1 < before.k1 - kImproveEps;
+      const bool enough_gain =
+          params.min_gain <= 0.0 || serves_more ||
+          before.k2 - best_key.k2 >= params.min_gain - kImproveEps;
+      if (best_target != cur && enough_gain) {
         st.unplace(u);
         st.place(u, best_target);
         ++local.moves;

@@ -9,6 +9,8 @@
 // never sacrifices a served user for airtime.
 #pragma once
 
+#include <vector>
+
 #include "wmcast/assoc/solution.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
@@ -26,6 +28,20 @@ struct LocalSearchParams {
   bool enforce_budget = true;
   bool multi_rate = true;
   int max_moves = 100000;
+  /// When non-empty, only these users may be moved (dirty-region repair for
+  /// the online controller); everyone else keeps their start assignment.
+  /// The infeasible-start budget peel still considers all users.
+  std::vector<int> restrict_users;
+  /// Minimum load improvement (in load units) a move must buy to be
+  /// accepted; moves that serve a previously unserved user are always
+  /// accepted. 0 accepts any improvement. The online controller uses this to
+  /// stop paying a re-association (a real handoff) for an epsilon gain.
+  double min_gain = 0.0;
+  /// Early stop: quit as soon as every coverable user is served and the total
+  /// load is at or below this value (< 0 disables). The online controller's
+  /// degradation escalation stops here instead of polishing to a local
+  /// optimum, since every further move is a billable handoff.
+  double target_total = -1.0;
 };
 
 struct LocalSearchStats {

@@ -1,0 +1,446 @@
+#include "wmcast/ctrl/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "wmcast/assoc/policy.hpp"
+#include "wmcast/assoc/registry.hpp"
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ctrl {
+
+namespace {
+
+constexpr double kBudgetEps = 1e-9;
+
+assoc::Objective policy_objective(assoc::SearchObjective o) {
+  return o == assoc::SearchObjective::kMaxLoad ? assoc::Objective::kLoadVector
+                                               : assoc::Objective::kTotalLoad;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+AssociationController::AssociationController(const wlan::Scenario& initial,
+                                             ControllerConfig cfg)
+    : cfg_(std::move(cfg)),
+      state_(NetworkState::from_scenario(initial, cfg_.rate_table)),
+      compact_sc_(initial),
+      rng_(cfg_.seed) {
+  util::require(assoc::is_algorithm(cfg_.full_solver),
+                "AssociationController: unknown full solver '" + cfg_.full_solver + "'");
+  util::require(cfg_.degradation_threshold >= 0.0,
+                "AssociationController: negative degradation threshold");
+  compact_sc_ = state_.to_scenario(&row_slot_);
+  const auto sol = solve_full(compact_sc_);
+  slot_ap_ = slot_association(sol.assoc, row_slot_, state_.n_slots());
+  loads_ = sol.loads;
+  baseline_load_ = sol.loads.total_load;
+  tele_.baseline_refreshes.inc();
+  tele_.users_present.set(state_.n_slots());
+  tele_.users_subscribed.set(state_.n_active());
+  tele_.users_served.set(loads_.satisfied_users);
+  tele_.total_load.set(loads_.total_load);
+  tele_.max_load.set(loads_.max_load);
+  tele_.baseline_load.set(baseline_load_);
+}
+
+assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc) {
+  if (sc.n_users() == 0) {
+    return assoc::make_solution(cfg_.full_solver, sc, wlan::Association::none(0),
+                                cfg_.multi_rate);
+  }
+  assoc::SolveOptions opt;
+  opt.multi_rate = cfg_.multi_rate;
+  return assoc::solve_by_name(cfg_.full_solver, sc, rng_, opt);
+}
+
+bool AssociationController::admit(const JoinRequest& req) const {
+  if (!cfg_.admission_control) return true;
+  if (cfg_.admission_hook) return cfg_.admission_hook(req, loads_.ap_load, state_);
+
+  // Built-in budget gate: admit iff some in-range AP can absorb the user's
+  // exact marginal load (the multicast group's bottleneck rate after the
+  // join) within the scenario budget — MNU's per-AP budget semantics applied
+  // at the door.
+  const double stream = req.session < state_.n_sessions()
+                            ? state_.session_rate(req.session)
+                            : 0.0;
+  if (stream <= 0.0) return false;
+  for (int a = 0; a < state_.n_aps(); ++a) {
+    const double r = state_.rate_table().rate_for_distance(
+        wlan::distance(state_.ap_positions()[static_cast<size_t>(a)], req.pos));
+    if (r <= 0.0) continue;
+    const double old_tx =
+        static_cast<size_t>(a) < loads_.tx_rate.size()
+            ? loads_.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(req.session)]
+            : 0.0;
+    const double new_tx = old_tx > 0.0 ? std::min(old_tx, r) : r;
+    const double marginal = stream / new_tx - (old_tx > 0.0 ? stream / old_tx : 0.0);
+    const double load = static_cast<size_t>(a) < loads_.ap_load.size()
+                            ? loads_.ap_load[static_cast<size_t>(a)]
+                            : 0.0;
+    if (load + marginal <= state_.load_budget() + kBudgetEps) return true;
+  }
+  return false;
+}
+
+wlan::Association AssociationController::repair(const wlan::Scenario& sc,
+                                                const wlan::Association& carried,
+                                                const std::vector<int>& movable_rows,
+                                                bool polish) {
+  const int n = sc.n_users();
+  std::vector<int> user_ap = carried.user_ap;
+  std::vector<std::vector<int>> members(static_cast<size_t>(sc.n_aps()));
+  for (int u = 0; u < n; ++u) {
+    if (user_ap[static_cast<size_t>(u)] != wlan::kNoAp) {
+      members[static_cast<size_t>(user_ap[static_cast<size_t>(u)])].push_back(u);
+    }
+  }
+
+  std::vector<char> movable(static_cast<size_t>(n), 0);
+  std::vector<int> movers = movable_rows;
+  std::vector<int> pending;
+  for (const int u : movable_rows) {
+    movable[static_cast<size_t>(u)] = 1;
+    if (user_ap[static_cast<size_t>(u)] == wlan::kNoAp) pending.push_back(u);
+  }
+
+  // Budget peel over the carried part: a rate change or zap can push a kept
+  // AP over budget; evict whoever frees the most load and re-place them.
+  if (cfg_.enforce_budget) {
+    for (int a = 0; a < sc.n_aps(); ++a) {
+      auto& m = members[static_cast<size_t>(a)];
+      double load = wlan::ap_load_for_members(sc, a, m, cfg_.multi_rate);
+      while (load > sc.load_budget() + kBudgetEps && !m.empty()) {
+        int best_u = m.front();
+        double best_drop = -std::numeric_limits<double>::infinity();
+        for (const int u : m) {
+          auto rest = m;
+          rest.erase(std::find(rest.begin(), rest.end(), u));
+          const double drop =
+              load - wlan::ap_load_for_members(sc, a, rest, cfg_.multi_rate);
+          if (drop > best_drop) {
+            best_drop = drop;
+            best_u = u;
+          }
+        }
+        m.erase(std::find(m.begin(), m.end(), best_u));
+        user_ap[static_cast<size_t>(best_u)] = wlan::kNoAp;
+        pending.push_back(best_u);
+        if (!movable[static_cast<size_t>(best_u)]) {
+          movable[static_cast<size_t>(best_u)] = 1;
+          movers.push_back(best_u);
+        }
+        load = wlan::ap_load_for_members(sc, a, m, cfg_.multi_rate);
+      }
+    }
+  }
+
+  // Greedy placement with the distributed decision rule.
+  assoc::PolicyParams pp;
+  pp.objective = policy_objective(cfg_.objective);
+  pp.enforce_budget = cfg_.enforce_budget;
+  pp.multi_rate = cfg_.multi_rate;
+  std::sort(pending.begin(), pending.end());
+  for (const int u : pending) {
+    const int a = assoc::choose_best_ap(sc, u, members, wlan::kNoAp, pp);
+    if (a != wlan::kNoAp) {
+      members[static_cast<size_t>(a)].push_back(u);
+      user_ap[static_cast<size_t>(u)] = a;
+    }
+  }
+
+  wlan::Association out{std::move(user_ap)};
+  if (polish && !movers.empty()) {
+    assoc::LocalSearchParams lp;
+    lp.objective = cfg_.objective;
+    lp.enforce_budget = cfg_.enforce_budget;
+    lp.multi_rate = cfg_.multi_rate;
+    lp.max_moves =
+        std::max(100, cfg_.polish_moves_per_dirty * static_cast<int>(movers.size()));
+    lp.restrict_users = movers;
+    lp.min_gain = cfg_.polish_min_gain;
+    out = assoc::local_search(sc, out, lp).assoc;
+  }
+  return out;
+}
+
+AssociationController::ChangeCount AssociationController::count_changes(
+    const std::vector<int>& old_slot_ap, const std::vector<int>& new_slot_ap,
+    const NetworkState& next) const {
+  ChangeCount c;
+  const size_t n = std::max(old_slot_ap.size(), new_slot_ap.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int o = i < old_slot_ap.size() ? old_slot_ap[i] : wlan::kNoAp;
+    const int w = i < new_slot_ap.size() ? new_slot_ap[i] : wlan::kNoAp;
+    if (o == w) continue;
+    ++c.total;
+    if (o == wlan::kNoAp) continue;  // pure join: neither forced nor voluntary
+    if (w != wlan::kNoAp) ++c.handoffs;
+    const bool still_valid = static_cast<int>(i) < next.n_slots() &&
+                             next.slot(static_cast<int>(i)).wants_service() &&
+                             next.link_rate(o, static_cast<int>(i)) > 0.0;
+    if (still_valid) {
+      ++c.voluntary;
+    } else {
+      ++c.forced;
+    }
+  }
+  return c;
+}
+
+EpochReport AssociationController::drain() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto events = queue_.drain(cfg_.max_batch);
+
+  EpochReport rep;
+  rep.epoch = epoch_index_;
+  rep.events = static_cast<int>(events.size());
+  tele_.drains.inc();
+  tele_.events_ingested.inc(events.size());
+
+  // --- 1. apply the batch to a scratch state (the epoch snapshot is simply
+  // the committed state_/slot_ap_, restored by not committing). -------------
+  NetworkState next = state_;
+  std::map<int, int> slot_events;
+  std::map<int, int> session_events;
+  for (const auto& e : events) {
+    tele_.events_by_type[static_cast<size_t>(e.type)].inc();
+    if (e.type == EventType::kUserJoin) {
+      const bool valid = e.user >= 0 && e.user <= next.n_slots() && e.session >= 0 &&
+                         e.session < next.n_sessions() &&
+                         (e.user == next.n_slots() || !next.slot(e.user).present);
+      if (!valid) {
+        tele_.events_invalid.inc();
+        ++rep.events_invalid;
+        continue;
+      }
+      const bool ok = admit({e.user, e.pos, e.session});
+      next.apply(e);
+      if (ok) {
+        tele_.joins_admitted.inc();
+      } else {
+        next.apply(Event::unsubscribe(e.user));
+        tele_.joins_rejected.inc();
+        ++rep.rejected_joins;
+      }
+      tele_.events_applied.inc();
+      ++rep.events_applied;
+      ++slot_events[e.user];
+      continue;
+    }
+    try {
+      next.apply(e);
+      tele_.events_applied.inc();
+      ++rep.events_applied;
+      if (e.type == EventType::kRateChange) {
+        ++session_events[e.session];
+      } else {
+        ++slot_events[e.user];
+      }
+    } catch (const std::invalid_argument&) {
+      tele_.events_invalid.inc();
+      ++rep.events_invalid;
+    }
+  }
+
+  // --- 2. coalescing accounting: every event on a slot/session whose net
+  // state is unchanged across the drain cancelled out. ----------------------
+  for (const auto& [slot, cnt] : slot_events) {
+    const UserSlot before = slot < state_.n_slots() ? state_.slot(slot) : UserSlot{};
+    const UserSlot& after = next.slot(slot);
+    // Net no-op from the optimizer's perspective: an identical record, or a
+    // user invisible (not wanting service) on both sides — e.g. a join and a
+    // leave of the same user landing in one batch.
+    if (before == after || (!before.wants_service() && !after.wants_service())) {
+      tele_.events_coalesced.inc(static_cast<uint64_t>(cnt));
+      rep.events_coalesced += cnt;
+    }
+  }
+  for (const auto& [s, cnt] : session_events) {
+    if (s < state_.n_sessions() && state_.session_rate(s) == next.session_rate(s)) {
+      tele_.events_coalesced.inc(static_cast<uint64_t>(cnt));
+      rep.events_coalesced += cnt;
+    }
+  }
+
+  // --- 3. dirty region + compact projection. -------------------------------
+  const auto dirty_slots = compute_dirty_slots(state_, next, slot_ap_);
+  rep.dirty_users = static_cast<int>(dirty_slots.size());
+  tele_.dirty_region_size.record(static_cast<double>(dirty_slots.size()));
+
+  std::vector<int> row_slot;
+  auto sc = next.to_scenario(&row_slot);
+
+  std::vector<char> dirty_mask(static_cast<size_t>(next.n_slots()), 0);
+  for (const int s : dirty_slots) dirty_mask[static_cast<size_t>(s)] = 1;
+
+  // Sticky carry: everyone whose old AP is still valid keeps it — including
+  // dirty users, whose placement is *reconsidered* (by the restricted polish)
+  // rather than discarded. Re-placing the dirty region from scratch would
+  // re-associate users whose small move changed nothing, defeating the
+  // signaling advantage the controller exists for.
+  const int n_rows = sc.n_users();
+  auto carried = wlan::Association::none(n_rows);
+  std::vector<int> dirty_rows;
+  for (int r = 0; r < n_rows; ++r) {
+    const int slot = row_slot[static_cast<size_t>(r)];
+    const int old = static_cast<size_t>(slot) < slot_ap_.size()
+                        ? slot_ap_[static_cast<size_t>(slot)]
+                        : wlan::kNoAp;
+    const bool valid = old != wlan::kNoAp && sc.in_range(old, r);
+    if (valid) carried.user_ap[static_cast<size_t>(r)] = old;
+    if (dirty_mask[static_cast<size_t>(slot)] || !valid) dirty_rows.push_back(r);
+  }
+
+  // --- 4. incremental repair. ----------------------------------------------
+  auto cand = repair(sc, carried, dirty_rows, /*polish=*/true);
+  tele_.incremental_repairs.inc();
+  auto cand_slot = slot_association(cand, row_slot, next.n_slots());
+  auto cc = count_changes(slot_ap_, cand_slot, next);
+
+  // --- 5. bounded signaling: roll back to the minimal forced repair. -------
+  if (cfg_.max_reassoc_per_epoch >= 0 && cc.voluntary > cfg_.max_reassoc_per_epoch) {
+    rep.rolled_back = true;
+    tele_.rollbacks.inc();
+    std::vector<int> forced_rows;
+    for (int r = 0; r < n_rows; ++r) {
+      if (carried.ap_of(r) == wlan::kNoAp) forced_rows.push_back(r);
+    }
+    cand = repair(sc, carried, forced_rows, /*polish=*/false);
+    cand_slot = slot_association(cand, row_slot, next.n_slots());
+    cc = count_changes(slot_ap_, cand_slot, next);
+  }
+
+  auto cand_loads = wlan::compute_loads(sc, cand, cfg_.multi_rate);
+
+  // --- 6. baseline refresh + degradation fallback. -------------------------
+  ++epochs_since_refresh_;
+  std::optional<assoc::Solution> full;
+  if (cfg_.full_refresh_epochs > 0 && epochs_since_refresh_ >= cfg_.full_refresh_epochs &&
+      sc.n_users() > 0) {
+    full = solve_full(sc);
+    baseline_load_ = full->loads.total_load;
+    epochs_since_refresh_ = 0;
+    tele_.baseline_refreshes.inc();
+  }
+
+  const bool no_baseline = baseline_load_ <= 0.0 && cand_loads.total_load > 0.0;
+  const bool degraded =
+      baseline_load_ > 0.0 &&
+      cand_loads.total_load > baseline_load_ * (1.0 + cfg_.degradation_threshold);
+  if (sc.n_users() > 0 && (no_baseline || degraded) && !rep.rolled_back) {
+    if (!full) {
+      full = solve_full(sc);
+      baseline_load_ = full->loads.total_load;
+      epochs_since_refresh_ = 0;
+    }
+    const double acceptable = baseline_load_ * (1.0 + cfg_.degradation_threshold);
+    // Re-check against the *fresh* baseline: a stale baseline often reports
+    // drift that a present-day full solve no longer confirms (the instance
+    // itself got harder). Escalating then would pay handoffs for nothing.
+    const bool still_degraded = cand_loads.total_load > acceptable;
+
+    // Escalation ladder. Step 1: a *warm* global polish — every user movable,
+    // no gain floor (this runs rarely; when it does we want the drift gone).
+    // Warm-starting from the current association recovers the quality for a
+    // fraction of the handoffs a cold solution adoption costs, because users
+    // already well-placed never move; stopping halfway into the degradation
+    // band (rather than at a local optimum) keeps the burst short without
+    // re-triggering next epoch.
+    assoc::LocalSearchParams lp;
+    lp.objective = cfg_.objective;
+    lp.enforce_budget = cfg_.enforce_budget;
+    lp.multi_rate = cfg_.multi_rate;
+    if (still_degraded) {
+      lp.target_total = baseline_load_ * (1.0 + 0.5 * cfg_.degradation_threshold);
+      auto warm = assoc::local_search(sc, cand, lp);
+      auto warm_slot = slot_association(warm.assoc, row_slot, next.n_slots());
+      auto wc = count_changes(slot_ap_, warm_slot, next);
+      const bool warm_within_cap = cfg_.max_reassoc_per_epoch < 0 ||
+                                   wc.voluntary <= cfg_.max_reassoc_per_epoch;
+      // Good enough = back inside the degradation band, or matching the cold
+      // solution's quality (within 2%) — in the latter case adopting the cold
+      // association instead would buy nothing but a network-wide shuffle.
+      const bool warm_good =
+          warm.loads.total_load <= acceptable ||
+          warm.loads.total_load <= full->loads.total_load * 1.02;
+      if (warm_within_cap && warm.loads.total_load < cand_loads.total_load &&
+          warm_good) {
+        cand = std::move(warm.assoc);
+        cand_slot = std::move(warm_slot);
+        cand_loads = std::move(warm.loads);
+        cc = wc;
+        tele_.warm_escalations.inc();
+      } else {
+        // Step 2: adopt the cold full solution outright.
+        const auto full_slot = slot_association(full->assoc, row_slot, next.n_slots());
+        const auto fc = count_changes(slot_ap_, full_slot, next);
+        const bool within_cap = cfg_.max_reassoc_per_epoch < 0 ||
+                                fc.voluntary <= cfg_.max_reassoc_per_epoch;
+        if (within_cap && full->loads.total_load < cand_loads.total_load) {
+          cand = full->assoc;
+          cand_slot = full_slot;
+          cand_loads = full->loads;
+          cc = fc;
+          rep.used_full_solve = true;
+          tele_.full_solves.inc();
+        } else {
+          tele_.full_solve_rejections.inc();
+        }
+      }
+    }
+  }
+  if (sc.n_users() == 0) baseline_load_ = 0.0;
+
+  // --- 7. commit. ----------------------------------------------------------
+  state_ = std::move(next);
+  slot_ap_ = std::move(cand_slot);
+  compact_sc_ = std::move(sc);
+  row_slot_ = std::move(row_slot);
+  loads_ = std::move(cand_loads);
+  ++epoch_index_;
+
+  tele_.epochs.inc();
+  tele_.reassociations.inc(static_cast<uint64_t>(cc.total));
+  tele_.handoffs.inc(static_cast<uint64_t>(cc.handoffs));
+  tele_.forced_reassociations.inc(static_cast<uint64_t>(cc.forced));
+  tele_.reassoc_per_epoch.record(static_cast<double>(cc.total));
+
+  int present = 0;
+  for (int s = 0; s < state_.n_slots(); ++s) {
+    if (state_.slot(s).present) ++present;
+  }
+  rep.reassociations = cc.total;
+  rep.handoffs = cc.handoffs;
+  rep.forced_reassociations = cc.forced;
+  rep.voluntary_reassociations = cc.voluntary;
+  rep.users_present = present;
+  rep.users_subscribed = state_.n_active();
+  rep.users_served = loads_.satisfied_users;
+  rep.total_load = loads_.total_load;
+  rep.max_load = loads_.max_load;
+  rep.baseline_load = baseline_load_;
+  rep.drain_seconds = seconds_since(t0);
+
+  tele_.users_present.set(present);
+  tele_.users_subscribed.set(rep.users_subscribed);
+  tele_.users_served.set(rep.users_served);
+  tele_.total_load.set(loads_.total_load);
+  tele_.max_load.set(loads_.max_load);
+  tele_.baseline_load.set(baseline_load_);
+  tele_.degradation_pct.set(
+      baseline_load_ > 0.0 ? (loads_.total_load / baseline_load_ - 1.0) * 100.0 : 0.0);
+  tele_.queue_depth.set(static_cast<double>(queue_.size()));
+  tele_.drain_seconds.record(rep.drain_seconds);
+  return rep;
+}
+
+}  // namespace wmcast::ctrl

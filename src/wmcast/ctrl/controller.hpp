@@ -1,0 +1,174 @@
+// The online association controller — the long-lived serving loop around the
+// paper's batch solvers. Events (joins, leaves, moves, zaps, rate changes)
+// are ingested into a queue; each drain() call applies one batch as an
+// *epoch*:
+//
+//   1. coalesce   — per-user net effect of the batch (join+leave = no-op);
+//   2. admission  — joins are gated by per-AP load budgets (MNU's budget
+//                   semantics) or a caller-supplied hook;
+//   3. dirty region — users whose candidate-AP set or rate moved, plus
+//                   members of multicast groups whose bottleneck rate moved
+//                   (see compute_dirty_slots);
+//   4. incremental repair — carry everyone else, greedily re-place the dirty
+//                   region, polish with a dirty-restricted local search;
+//   5. bounded signaling — epoch snapshots allow rejecting any outcome whose
+//                   voluntary re-associations exceed max_reassoc_per_epoch,
+//                   rolling back to the minimal forced repair (quantifying
+//                   §1's churn argument against naive centralized control);
+//   6. degradation fallback — when repaired load drifts past the configured
+//                   threshold over a periodically refreshed full-solve
+//                   baseline, fall back to a full centralized re-solve
+//                   (MNU-C/BLA-C/MLA-C via assoc/registry), itself subject to
+//                   the signaling cap.
+//
+// Telemetry (ctrl/telemetry.hpp) records every step; dump via
+// telemetry().to_json().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wmcast/assoc/local_search.hpp"
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/ctrl/events.hpp"
+#include "wmcast/ctrl/state.hpp"
+#include "wmcast/ctrl/telemetry.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/rate_table.hpp"
+
+namespace wmcast::ctrl {
+
+struct JoinRequest {
+  int slot = -1;
+  wlan::Point pos{};
+  int session = -1;
+};
+
+/// Admission decision for one join: `ap_load` is the per-AP load of the last
+/// committed epoch, `state` the pre-drain network state. Return false to
+/// refuse service (the user stays present but unsubscribed until it
+/// re-subscribes).
+using AdmissionHook = std::function<bool(const JoinRequest& request,
+                                         const std::vector<double>& ap_load,
+                                         const NetworkState& state)>;
+
+struct ControllerConfig {
+  /// Registry name of the full re-solve fallback (mla-c, bla-c, mnu-c, ...).
+  std::string full_solver = "mla-c";
+  /// Objective steering the greedy repair and the local-search polish.
+  assoc::SearchObjective objective = assoc::SearchObjective::kTotalLoad;
+  bool multi_rate = true;
+  bool enforce_budget = true;
+  /// Repaired total load may exceed the full-solve baseline by this relative
+  /// factor before a full re-solve is triggered (0.10 = 10%).
+  double degradation_threshold = 0.10;
+  /// Bounded-signaling mode: reject any epoch outcome with more than this
+  /// many *voluntary* re-associations (changes of users whose current AP is
+  /// still valid) and roll back to the minimal forced repair. < 0 = off.
+  int max_reassoc_per_epoch = -1;
+  /// Refresh the full-solve baseline every N epochs (0 = only when the
+  /// degradation fallback runs one anyway).
+  int full_refresh_epochs = 10;
+  /// Gate joins on per-AP load budgets (default hook) or `admission_hook`.
+  bool admission_control = true;
+  AdmissionHook admission_hook;  // overrides the built-in budget check
+  /// Max events per drain (<= 0 drains everything pending).
+  int max_batch = 0;
+  /// Local-search polish budget: moves allowed per dirty user.
+  int polish_moves_per_dirty = 50;
+  /// Minimum load improvement a polish move must buy to justify the handoff
+  /// it costs (local_search's min_gain). 0 = accept any improvement.
+  double polish_min_gain = 0.02;
+  /// Rate table for link-rate updates as users move (must match the one the
+  /// seed scenario was generated with).
+  wlan::RateTable rate_table = wlan::RateTable::ieee80211a();
+  uint64_t seed = 1;
+};
+
+/// What one drain()/epoch did, for logs and benches. Cumulative counterparts
+/// live in Telemetry.
+struct EpochReport {
+  int epoch = 0;
+  int events = 0;             // drained this epoch
+  int events_applied = 0;
+  int events_invalid = 0;
+  int events_coalesced = 0;   // net no-ops folded away
+  int dirty_users = 0;
+  bool used_full_solve = false;
+  bool rolled_back = false;   // signaling cap forced the minimal repair
+  int reassociations = 0;     // slot AP changes committed (incl. joins/drops)
+  int handoffs = 0;           // AP -> different-AP moves (802.11 Reassociation)
+  int forced_reassociations = 0;
+  int voluntary_reassociations = 0;
+  int rejected_joins = 0;
+  int users_present = 0;
+  int users_subscribed = 0;
+  int users_served = 0;
+  double total_load = 0.0;
+  double max_load = 0.0;
+  double baseline_load = 0.0;
+  double drain_seconds = 0.0;
+};
+
+class AssociationController {
+ public:
+  /// Seeds the controller from a geometric scenario (all users present and
+  /// subscribed) and computes the initial association + baseline with the
+  /// configured full solver.
+  explicit AssociationController(const wlan::Scenario& initial,
+                                 ControllerConfig cfg = {});
+
+  /// Enqueues events (thread-safe; drained on the next drain()).
+  void submit(const Event& e) { queue_.push(e); }
+  void submit(const std::vector<Event>& batch) { queue_.push_all(batch); }
+  size_t pending_events() const { return queue_.size(); }
+
+  /// Drains one batch and runs the incremental epoch. Safe to call with an
+  /// empty queue (a quiescent epoch: nothing dirty, nothing changes).
+  EpochReport drain();
+
+  // State of the last committed epoch.
+  const NetworkState& state() const { return state_; }
+  const std::vector<int>& slot_ap() const { return slot_ap_; }
+  const wlan::Scenario& scenario() const { return compact_sc_; }
+  const std::vector<int>& row_slot() const { return row_slot_; }
+  const wlan::LoadReport& loads() const { return loads_; }
+  double baseline_load() const { return baseline_load_; }
+  int epochs() const { return epoch_index_; }
+
+  Telemetry& telemetry() { return tele_; }
+  const Telemetry& telemetry() const { return tele_; }
+
+ private:
+  struct ChangeCount {
+    int total = 0;      // any slot AP change, including joins and drops
+    int handoffs = 0;   // AP -> different-AP moves (802.11 Reassociation frames)
+    int forced = 0;     // old AP invalidated (left, unsubscribed, moved out of range)
+    int voluntary = 0;  // old AP still valid, optimizer moved or dropped the user
+  };
+
+  bool admit(const JoinRequest& req) const;
+  assoc::Solution solve_full(const wlan::Scenario& sc);
+  wlan::Association repair(const wlan::Scenario& sc, const wlan::Association& carried,
+                           const std::vector<int>& movable_rows, bool polish);
+  ChangeCount count_changes(const std::vector<int>& old_slot_ap,
+                            const std::vector<int>& new_slot_ap,
+                            const NetworkState& next) const;
+
+  ControllerConfig cfg_;
+  NetworkState state_;
+  std::vector<int> slot_ap_;
+  wlan::Scenario compact_sc_;
+  std::vector<int> row_slot_;
+  wlan::LoadReport loads_;
+  double baseline_load_ = 0.0;
+  int epochs_since_refresh_ = 0;
+  int epoch_index_ = 0;
+  EventQueue queue_;
+  Telemetry tele_;
+  util::Rng rng_;
+};
+
+}  // namespace wmcast::ctrl

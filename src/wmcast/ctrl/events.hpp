@@ -1,0 +1,77 @@
+// Event model for the online association controller (paper §3.1: quasi-static
+// users join, leave, move, and zap channels). Producers — the protocol
+// simulator, trace replay, or an operator console — submit events; the
+// controller drains them in batches and re-optimizes incrementally.
+//
+// Users are identified by dense *slot* ids; a UserJoin with slot ==
+// n_slots() extends the slot space (NetworkState::apply). Slots persist
+// across leaves so a returning user keeps its id and traces stay stable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "wmcast/wlan/geometry.hpp"
+
+namespace wmcast::ctrl {
+
+enum class EventType {
+  kUserJoin,        // a user appears (position + session) and wants service
+  kUserLeave,       // a user departs the network entirely
+  kUserMove,        // a present user relocates
+  kRateChange,      // a session's stream data rate changes
+  kSubscribe,       // a present user (re)subscribes, possibly zapping sessions
+  kUnsubscribe,     // a present user stops watching but stays in the network
+};
+
+/// Stable lowercase names used by trace files and telemetry keys.
+const char* event_type_name(EventType t);
+/// Inverse of event_type_name; throws std::invalid_argument for unknown names.
+EventType event_type_from_name(const std::string& name);
+
+struct Event {
+  EventType type = EventType::kUserJoin;
+  int user = -1;            // join/leave/move/subscribe/unsubscribe
+  int session = -1;         // join/subscribe/rate_change
+  wlan::Point pos{};        // join/move
+  double rate_mbps = 0.0;   // rate_change
+
+  static Event join(int user, wlan::Point pos, int session);
+  static Event leave(int user);
+  static Event move(int user, wlan::Point pos);
+  static Event rate_change(int session, double rate_mbps);
+  static Event subscribe(int user, int session);
+  static Event unsubscribe(int user);
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Ingestion queue: producers push, the controller drains batches. Guarded by
+/// a mutex so protocol agents or an RPC frontend can submit from other
+/// threads while the controller drains (the CI sanitizer config exercises
+/// this path).
+class EventQueue {
+ public:
+  void push(Event e);
+  void push_all(const std::vector<Event>& events);
+
+  /// Removes and returns up to `max_batch` events in FIFO order
+  /// (max_batch <= 0 drains everything pending).
+  std::vector<Event> drain(int max_batch = 0);
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Total events ever pushed (monotonic, survives drains).
+  uint64_t total_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Event> q_;
+  uint64_t pushed_ = 0;
+};
+
+}  // namespace wmcast::ctrl

@@ -1,0 +1,213 @@
+#include "wmcast/ctrl/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <limits>
+
+#include "wmcast/ctrl/events.hpp"
+#include "wmcast/util/assert.hpp"
+#include "wmcast/util/histogram.hpp"
+#include "wmcast/util/stats.hpp"
+
+namespace wmcast::ctrl {
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  util::require(!bounds_.empty(), "BucketHistogram: need at least one bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    util::require(bounds_[i] > bounds_[i - 1],
+                  "BucketHistogram: bounds must be strictly ascending");
+  }
+}
+
+BucketHistogram BucketHistogram::exponential(double start, double factor, int n) {
+  util::require(start > 0.0 && factor > 1.0 && n > 0,
+                "BucketHistogram: bad exponential ladder");
+  std::vector<double> bounds(static_cast<size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds[static_cast<size_t>(i)] = b;
+    b *= factor;
+  }
+  return BucketHistogram(std::move(bounds));
+}
+
+void BucketHistogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double BucketHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+std::string BucketHistogram::render(int width) const {
+  std::vector<std::string> labels;
+  std::vector<int> ints;
+  char buf[48];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i < bounds_.size()) {
+      std::snprintf(buf, sizeof(buf), "<=%s", util::fmt(bounds_[i], 6).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), ">%s", util::fmt(bounds_.back(), 6).c_str());
+    }
+    labels.emplace_back(buf);
+    ints.push_back(static_cast<int>(std::min<uint64_t>(
+        counts_[i], static_cast<uint64_t>(std::numeric_limits<int>::max()))));
+  }
+  return util::render_histogram(labels, ints, width);
+}
+
+util::Json BucketHistogram::to_json() const {
+  util::Json bounds = util::Json::array();
+  for (const double b : bounds_) bounds.push(b);
+  util::Json counts = util::Json::array();
+  for (const uint64_t c : counts_) counts.push(static_cast<int64_t>(c));
+  util::Json j = util::Json::object();
+  j.set("upper_bounds", std::move(bounds));
+  j.set("counts", std::move(counts));
+  j.set("count", static_cast<int64_t>(count_));
+  j.set("sum", sum_);
+  j.set("min", min_value());
+  j.set("max", max_value());
+  j.set("mean", mean());
+  j.set("p50", quantile(0.5));
+  j.set("p99", quantile(0.99));
+  return j;
+}
+
+namespace {
+
+constexpr EventType kAllEventTypes[] = {
+    EventType::kUserJoin, EventType::kUserLeave,  EventType::kUserMove,
+    EventType::kRateChange, EventType::kSubscribe, EventType::kUnsubscribe,
+};
+
+}  // namespace
+
+Telemetry::Telemetry()
+    : events_by_type(std::size(kAllEventTypes)),
+      // Dirty regions: 1 .. ~4k users per drain.
+      dirty_region_size(BucketHistogram::exponential(1.0, 2.0, 13)),
+      // Re-associations committed per epoch, same scale.
+      reassoc_per_epoch(BucketHistogram::exponential(1.0, 2.0, 13)),
+      // Drain wall time: 1 µs .. ~16 s.
+      drain_seconds(BucketHistogram::exponential(1e-6, 4.0, 13)) {}
+
+util::Json Telemetry::to_json() const {
+  util::Json counters = util::Json::object();
+  counters.set("events_ingested", static_cast<int64_t>(events_ingested.value()));
+  counters.set("events_applied", static_cast<int64_t>(events_applied.value()));
+  counters.set("events_coalesced", static_cast<int64_t>(events_coalesced.value()));
+  counters.set("events_invalid", static_cast<int64_t>(events_invalid.value()));
+  util::Json by_type = util::Json::object();
+  for (const EventType t : kAllEventTypes) {
+    by_type.set(event_type_name(t),
+                static_cast<int64_t>(events_by_type[static_cast<size_t>(t)].value()));
+  }
+  counters.set("events_by_type", std::move(by_type));
+  counters.set("drains", static_cast<int64_t>(drains.value()));
+  counters.set("epochs", static_cast<int64_t>(epochs.value()));
+  counters.set("incremental_repairs", static_cast<int64_t>(incremental_repairs.value()));
+  counters.set("warm_escalations", static_cast<int64_t>(warm_escalations.value()));
+  counters.set("full_solves", static_cast<int64_t>(full_solves.value()));
+  counters.set("baseline_refreshes", static_cast<int64_t>(baseline_refreshes.value()));
+  counters.set("rollbacks", static_cast<int64_t>(rollbacks.value()));
+  counters.set("full_solve_rejections",
+               static_cast<int64_t>(full_solve_rejections.value()));
+  counters.set("joins_admitted", static_cast<int64_t>(joins_admitted.value()));
+  counters.set("joins_rejected", static_cast<int64_t>(joins_rejected.value()));
+  counters.set("reassociations", static_cast<int64_t>(reassociations.value()));
+  counters.set("handoffs", static_cast<int64_t>(handoffs.value()));
+  counters.set("forced_reassociations",
+               static_cast<int64_t>(forced_reassociations.value()));
+
+  util::Json gauges = util::Json::object();
+  gauges.set("users_present", users_present.value());
+  gauges.set("users_subscribed", users_subscribed.value());
+  gauges.set("users_served", users_served.value());
+  gauges.set("total_load", total_load.value());
+  gauges.set("max_load", max_load.value());
+  gauges.set("baseline_load", baseline_load.value());
+  gauges.set("degradation_pct", degradation_pct.value());
+  gauges.set("queue_depth", queue_depth.value());
+
+  util::Json histograms = util::Json::object();
+  histograms.set("dirty_region_size", dirty_region_size.to_json());
+  histograms.set("reassoc_per_epoch", reassoc_per_epoch.to_json());
+  histograms.set("drain_seconds", drain_seconds.to_json());
+
+  util::Json j = util::Json::object();
+  j.set("schema", kTelemetrySchema);
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+std::string Telemetry::to_text() const {
+  std::string out;
+  char buf[160];
+  const auto line = [&](const char* k, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %llu\n", k,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  out += "counters:\n";
+  line("events_ingested", events_ingested.value());
+  line("events_applied", events_applied.value());
+  line("events_coalesced", events_coalesced.value());
+  line("events_invalid", events_invalid.value());
+  line("drains", drains.value());
+  line("epochs", epochs.value());
+  line("incremental_repairs", incremental_repairs.value());
+  line("warm_escalations", warm_escalations.value());
+  line("full_solves", full_solves.value());
+  line("baseline_refreshes", baseline_refreshes.value());
+  line("rollbacks", rollbacks.value());
+  line("full_solve_rejections", full_solve_rejections.value());
+  line("joins_admitted", joins_admitted.value());
+  line("joins_rejected", joins_rejected.value());
+  line("reassociations", reassociations.value());
+  line("handoffs", handoffs.value());
+  line("forced_reassociations", forced_reassociations.value());
+  out += "gauges:\n";
+  const auto gline = [&](const char* k, double v) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %s\n", k, util::fmt(v, 4).c_str());
+    out += buf;
+  };
+  gline("users_present", users_present.value());
+  gline("users_subscribed", users_subscribed.value());
+  gline("users_served", users_served.value());
+  gline("total_load", total_load.value());
+  gline("max_load", max_load.value());
+  gline("baseline_load", baseline_load.value());
+  gline("degradation_pct", degradation_pct.value());
+  gline("queue_depth", queue_depth.value());
+  out += "dirty_region_size:\n" + dirty_region_size.render();
+  out += "reassoc_per_epoch:\n" + reassoc_per_epoch.render();
+  out += "drain_seconds:\n" + drain_seconds.render();
+  return out;
+}
+
+}  // namespace wmcast::ctrl

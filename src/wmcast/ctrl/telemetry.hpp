@@ -1,0 +1,123 @@
+// Built-in telemetry for the association controller: monotonic counters,
+// gauges, and bucketed histograms (log-scaled latency / size distributions),
+// dumped as JSON under the documented `wmcast-ctrl-telemetry/v1` schema (see
+// DESIGN.md §Controller) or rendered as text via util/histogram.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wmcast/util/json.hpp"
+
+namespace wmcast::ctrl {
+
+inline constexpr const char* kTelemetrySchema = "wmcast-ctrl-telemetry/v1";
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_ += n; }
+  uint64_t value() const { return v_; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Histogram over explicit ascending bucket upper bounds, with an implicit
+/// overflow bucket; tracks count/sum/min/max exactly so means are not subject
+/// to bucketing error.
+class BucketHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  /// Geometric bucket ladder: bounds start, start*factor, ... (n bounds).
+  static BucketHistogram exponential(double start, double factor, int n);
+
+  void record(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min_value() const { return count_ == 0 ? 0.0 : min_; }
+  double max_value() const { return count_ == 0 ? 0.0 : max_; }
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// counts().size() == upper_bounds().size() + 1 (last = overflow).
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]); the overflow
+  /// bucket reports the exact observed max.
+  double quantile(double q) const;
+
+  /// ASCII bar chart (labels = "<=bound" / ">bound") via util::render_histogram.
+  std::string render(int width = 40) const;
+
+  util::Json to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The controller's fixed instrument set. Field names match the JSON keys.
+struct Telemetry {
+  Telemetry();
+
+  // Counters.
+  Counter events_ingested;        // drained from the queue
+  Counter events_applied;         // accepted state mutations
+  Counter events_coalesced;       // folded away within a drain (net no-ops)
+  Counter events_invalid;         // rejected as malformed
+  std::vector<Counter> events_by_type;  // indexed by EventType
+  Counter drains;
+  Counter epochs;
+  Counter incremental_repairs;
+  Counter warm_escalations;       // degradation fixed by a global warm polish
+  Counter full_solves;            // full re-solves adopted
+  Counter baseline_refreshes;     // full solves run only to refresh the baseline
+  Counter rollbacks;              // epochs rolled back to the minimal repair
+  Counter full_solve_rejections;  // full solutions rejected by the signaling cap
+  Counter joins_admitted;
+  Counter joins_rejected;         // refused by the admission hook
+  Counter reassociations;         // slot AP changes committed (incl. joins/drops)
+  Counter handoffs;               // AP -> different-AP moves (Reassociation frames)
+  Counter forced_reassociations;  // subset forced by invalidated associations
+
+  // Gauges (state as of the last committed epoch).
+  Gauge users_present;
+  Gauge users_subscribed;
+  Gauge users_served;
+  Gauge total_load;
+  Gauge max_load;
+  Gauge baseline_load;
+  Gauge degradation_pct;          // (total_load / baseline_load - 1) * 100
+  Gauge queue_depth;
+
+  // Histograms.
+  BucketHistogram dirty_region_size;
+  BucketHistogram reassoc_per_epoch;
+  BucketHistogram drain_seconds;
+
+  /// Serializes under the wmcast-ctrl-telemetry/v1 schema.
+  util::Json to_json() const;
+  /// Human-readable dump (counters table + rendered histograms).
+  std::string to_text() const;
+};
+
+}  // namespace wmcast::ctrl

@@ -1,0 +1,205 @@
+#include "wmcast/ctrl/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::ctrl {
+
+size_t EventTrace::n_events() const {
+  size_t n = 0;
+  for (const auto& e : epochs) n += e.size();
+  return n;
+}
+
+namespace {
+
+double gaussian(util::Rng& rng) {
+  // Box-Muller; u1 bounded away from 0 so the log is finite.
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+EventTrace generate_churn_trace(const NetworkState& initial, const TraceParams& params,
+                                util::Rng& rng) {
+  util::require(params.epochs >= 0, "generate_churn_trace: negative epoch count");
+  for (const double f : {params.move_fraction, params.zap_fraction,
+                         params.leave_fraction, params.join_fraction,
+                         params.rate_change_prob}) {
+    util::require(f >= 0.0 && f <= 1.0, "generate_churn_trace: fraction out of [0,1]");
+  }
+  util::require(params.rate_change_spread >= 1.0,
+                "generate_churn_trace: rate spread must be >= 1");
+
+  NetworkState st = initial;
+  const double side = params.area_side_m > 0.0 ? params.area_side_m : st.area_side();
+  const int initial_users = st.n_active();
+
+  EventTrace trace;
+  trace.epochs.reserve(static_cast<size_t>(params.epochs));
+  for (int e = 0; e < params.epochs; ++e) {
+    std::vector<Event> evs;
+
+    for (int u = 0; u < st.n_slots(); ++u) {
+      if (!st.slot(u).present) continue;
+      if (rng.next_bool(params.leave_fraction)) {
+        evs.push_back(Event::leave(u));
+        continue;
+      }
+      if (rng.next_bool(params.move_fraction)) {
+        wlan::Point p;
+        if (params.walk_sigma_m > 0.0) {
+          p = st.slot(u).pos;
+          p.x = std::clamp(p.x + params.walk_sigma_m * gaussian(rng), 0.0, side);
+          p.y = std::clamp(p.y + params.walk_sigma_m * gaussian(rng), 0.0, side);
+        } else {
+          p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        }
+        evs.push_back(Event::move(u, p));
+      }
+      if (st.n_sessions() > 1 && rng.next_bool(params.zap_fraction)) {
+        const int old = st.slot(u).session;
+        int next = rng.next_int(st.n_sessions() - 1);
+        if (next >= old) ++next;
+        evs.push_back(Event::subscribe(u, next));
+      }
+    }
+
+    int fresh = 0;
+    for (int k = 0; k < initial_users; ++k) {
+      if (rng.next_bool(params.join_fraction)) {
+        const wlan::Point p{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        evs.push_back(Event::join(st.n_slots() + fresh, p, rng.next_int(st.n_sessions())));
+        ++fresh;
+      }
+    }
+
+    if (params.rate_change_prob > 0.0 && rng.next_bool(params.rate_change_prob)) {
+      const int s = rng.next_int(st.n_sessions());
+      const double span = std::log(params.rate_change_spread);
+      const double r = st.session_rate(s) * std::exp(rng.uniform(-span, span));
+      evs.push_back(Event::rate_change(s, r));
+    }
+
+    for (const auto& ev : evs) st.apply(ev);
+    trace.epochs.push_back(std::move(evs));
+  }
+  return trace;
+}
+
+std::string trace_to_text(const EventTrace& trace) {
+  std::ostringstream out;
+  // max_digits10: coordinates and rates must survive the text round-trip
+  // bit-exactly, or a replayed trace diverges from the generating run.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "wmcast-trace v1\n";
+  out << "epochs " << trace.n_epochs() << "\n";
+  for (int e = 0; e < trace.n_epochs(); ++e) {
+    const auto& evs = trace.epochs[static_cast<size_t>(e)];
+    out << "epoch " << e << " " << evs.size() << "\n";
+    for (const auto& ev : evs) {
+      out << event_type_name(ev.type);
+      switch (ev.type) {
+        case EventType::kUserJoin:
+          out << " " << ev.user << " " << ev.pos.x << " " << ev.pos.y << " "
+              << ev.session;
+          break;
+        case EventType::kUserLeave:
+        case EventType::kUnsubscribe:
+          out << " " << ev.user;
+          break;
+        case EventType::kUserMove:
+          out << " " << ev.user << " " << ev.pos.x << " " << ev.pos.y;
+          break;
+        case EventType::kRateChange:
+          out << " " << ev.session << " " << ev.rate_mbps;
+          break;
+        case EventType::kSubscribe:
+          out << " " << ev.user << " " << ev.session;
+          break;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+EventTrace trace_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  util::require(static_cast<bool>(in >> magic >> version) && magic == "wmcast-trace" &&
+                    version == "v1",
+                "trace: bad header");
+  std::string kw;
+  int n_epochs = 0;
+  util::require(static_cast<bool>(in >> kw >> n_epochs) && kw == "epochs" && n_epochs >= 0,
+                "trace: bad epoch count");
+
+  EventTrace trace;
+  trace.epochs.resize(static_cast<size_t>(n_epochs));
+  for (int e = 0; e < n_epochs; ++e) {
+    int index = 0;
+    size_t n_events = 0;
+    util::require(static_cast<bool>(in >> kw >> index >> n_events) && kw == "epoch" &&
+                      index == e,
+                  "trace: bad epoch record");
+    auto& evs = trace.epochs[static_cast<size_t>(e)];
+    evs.reserve(n_events);
+    for (size_t i = 0; i < n_events; ++i) {
+      std::string name;
+      util::require(static_cast<bool>(in >> name), "trace: truncated epoch");
+      Event ev;
+      ev.type = event_type_from_name(name);
+      bool ok = false;
+      switch (ev.type) {
+        case EventType::kUserJoin:
+          ok = static_cast<bool>(in >> ev.user >> ev.pos.x >> ev.pos.y >> ev.session);
+          break;
+        case EventType::kUserLeave:
+        case EventType::kUnsubscribe:
+          ok = static_cast<bool>(in >> ev.user);
+          break;
+        case EventType::kUserMove:
+          ok = static_cast<bool>(in >> ev.user >> ev.pos.x >> ev.pos.y);
+          break;
+        case EventType::kRateChange:
+          ok = static_cast<bool>(in >> ev.session >> ev.rate_mbps);
+          break;
+        case EventType::kSubscribe:
+          ok = static_cast<bool>(in >> ev.user >> ev.session);
+          break;
+      }
+      util::require(ok, "trace: malformed '" + name + "' event");
+      evs.push_back(ev);
+    }
+  }
+  return trace;
+}
+
+bool save_trace(const EventTrace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "save_trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  f << trace_to_text(trace);
+  return static_cast<bool>(f);
+}
+
+EventTrace load_trace(const std::string& path) {
+  std::ifstream f(path);
+  util::require(static_cast<bool>(f), "load_trace: cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return trace_from_text(buf.str());
+}
+
+}  // namespace wmcast::ctrl

@@ -1,0 +1,76 @@
+// Minimal JSON value: an ordered builder for machine-readable experiment and
+// telemetry output, plus a strict parser so emitted documents can be
+// validated in tests and benches without external dependencies.
+//
+// Scope is deliberately small: objects keep insertion order, numbers are
+// int64 or double, no comments, no trailing commas, UTF-8 passed through
+// byte-wise (only control characters and quotes/backslashes are escaped).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wmcast::util {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(int64_t v) : kind_(Kind::kInt), int_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+  static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Object: appends (or overwrites) a key. Requires an object.
+  Json& set(const std::string& key, Json value);
+  /// Array: appends an element. Requires an array.
+  Json& push(Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Accessors (return the natural zero value on kind mismatch).
+  bool as_bool() const { return kind_ == Kind::kBool && bool_; }
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return array_; }
+  const std::vector<std::pair<std::string, Json>>& members() const { return object_; }
+  size_t size() const;
+
+  /// Serializes. indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse; throws std::invalid_argument with position info on error.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escapes a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace wmcast::util

@@ -1,0 +1,89 @@
+#include "wmcast/ctrl/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::ctrl {
+namespace {
+
+NetworkState seed_state(uint64_t seed) {
+  wlan::GeneratorParams p;
+  p.n_aps = 16;
+  p.n_users = 50;
+  p.n_sessions = 3;
+  p.area_side_m = 400.0;
+  util::Rng rng(seed);
+  return NetworkState::from_scenario(wlan::generate_scenario(p, rng));
+}
+
+TraceParams busy_params() {
+  TraceParams tp;
+  tp.epochs = 6;
+  tp.move_fraction = 0.2;
+  tp.walk_sigma_m = 30.0;
+  tp.zap_fraction = 0.1;
+  tp.leave_fraction = 0.05;
+  tp.join_fraction = 0.05;
+  tp.rate_change_prob = 0.5;
+  return tp;
+}
+
+TEST(Trace, GenerationIsDeterministicInTheRng) {
+  const auto st = seed_state(5);
+  util::Rng r1(7), r2(7), r3(8);
+  const auto a = generate_churn_trace(st, busy_params(), r1);
+  const auto b = generate_churn_trace(st, busy_params(), r2);
+  const auto c = generate_churn_trace(st, busy_params(), r3);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_NE(a.epochs, c.epochs);
+  EXPECT_EQ(a.n_epochs(), 6);
+  EXPECT_GT(a.n_events(), 0u);
+}
+
+TEST(Trace, EventsReplayCleanlyOntoTheGeneratingState) {
+  auto st = seed_state(6);
+  util::Rng rng(9);
+  const auto trace = generate_churn_trace(st, busy_params(), rng);
+  for (const auto& batch : trace.epochs) {
+    for (const auto& e : batch) {
+      EXPECT_NO_THROW(st.apply(e)) << "trace event invalid against its own state";
+    }
+  }
+}
+
+TEST(Trace, TextRoundTripPreservesEveryEvent) {
+  const auto st = seed_state(7);
+  util::Rng rng(10);
+  const auto trace = generate_churn_trace(st, busy_params(), rng);
+  const auto text = trace_to_text(trace);
+  EXPECT_NE(text.find("wmcast-trace v1"), std::string::npos);
+  const auto back = trace_from_text(text);
+  EXPECT_EQ(back.epochs, trace.epochs);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const auto st = seed_state(8);
+  util::Rng rng(11);
+  const auto trace = generate_churn_trace(st, busy_params(), rng);
+  const std::string path = ::testing::TempDir() + "/wmcast_trace_test.trace";
+  ASSERT_TRUE(save_trace(trace, path));
+  const auto back = load_trace(path);
+  EXPECT_EQ(back.epochs, trace.epochs);
+}
+
+TEST(Trace, MalformedTextThrows) {
+  EXPECT_THROW(trace_from_text(""), std::invalid_argument);
+  EXPECT_THROW(trace_from_text("not-a-trace v1\nepochs 0\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_text("wmcast-trace v1\nepochs 1\nepoch 0 1\nwarp 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      trace_from_text("wmcast-trace v1\nepochs 1\nepoch 0 2\nleave 1\n"),
+      std::invalid_argument)
+      << "declared event count must match";
+}
+
+}  // namespace
+}  // namespace wmcast::ctrl

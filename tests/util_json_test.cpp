@@ -1,0 +1,97 @@
+#include "wmcast/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace wmcast::util {
+namespace {
+
+TEST(Json, BuildsAndDumpsCompact) {
+  Json j = Json::object();
+  j.set("name", "wmcast");
+  j.set("n", 3);
+  j.set("x", 1.5);
+  j.set("ok", true);
+  j.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push(2);
+  j.set("list", std::move(arr));
+  EXPECT_EQ(j.dump(),
+            R"({"name":"wmcast","n":3,"x":1.5,"ok":true,"nothing":null,"list":[1,2]})");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndOverwrite) {
+  Json j = Json::object();
+  j.set("b", 1);
+  j.set("a", 2);
+  j.set("b", 3);  // overwrite keeps the original position
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.members()[0].first, "b");
+  EXPECT_EQ(j.find("b")->as_int(), 3);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  Json j("line1\nline2");
+  EXPECT_EQ(j.dump(), "\"line1\\nline2\"");
+}
+
+TEST(Json, ParseRoundTripsTypes) {
+  const auto j = Json::parse(
+      R"({"i": -42, "d": 2.5e-1, "s": "hiA", "b": false, "n": null,
+          "a": [1, {"k": "v"}]})");
+  EXPECT_EQ(j.find("i")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(j.find("d")->as_double(), 0.25);
+  EXPECT_EQ(j.find("s")->as_string(), "hiA");
+  EXPECT_FALSE(j.find("b")->as_bool());
+  EXPECT_EQ(j.find("n")->kind(), Json::Kind::kNull);
+  ASSERT_EQ(j.find("a")->size(), 2u);
+  EXPECT_EQ(j.find("a")->items()[1].find("k")->as_string(), "v");
+}
+
+TEST(Json, DumpParseIdentityOnNestedDocument) {
+  Json j = Json::object();
+  Json inner = Json::object();
+  inner.set("pi", 3.14159);
+  inner.set("tag", "a/b \"c\"");
+  j.set("inner", std::move(inner));
+  Json arr = Json::array();
+  for (int i = 0; i < 3; ++i) arr.push(i * 10);
+  j.set("arr", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const auto back = Json::parse(j.dump(indent));
+    EXPECT_EQ(back.find("inner")->find("tag")->as_string(), "a/b \"c\"");
+    EXPECT_EQ(back.find("arr")->items()[2].as_int(), 20);
+  }
+}
+
+TEST(Json, StrictParserRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "tru",
+                          "{\"a\":1} trailing", "\"unterminated", "[1 2]",
+                          "{\"a\" 1}"}) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << "input: " << bad;
+  }
+}
+
+TEST(Json, AccessorsReturnZeroValuesOnKindMismatch) {
+  const Json s("text");
+  EXPECT_EQ(s.as_int(), 0);
+  EXPECT_DOUBLE_EQ(s.as_double(), 0.0);
+  EXPECT_FALSE(s.as_bool());
+  EXPECT_EQ(s.find("k"), nullptr);
+  const Json i(7);
+  EXPECT_DOUBLE_EQ(i.as_double(), 7.0) << "ints read as doubles";
+}
+
+TEST(Json, SetAndPushEnforceContainerKind) {
+  Json notObj(1);
+  EXPECT_THROW(notObj.set("k", 1), std::invalid_argument);
+  EXPECT_THROW(notObj.push(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -13,6 +13,14 @@
 //                        [--budget=0.9]
 //   wmcast_cli render    --scenario=sc.txt [--assoc=a.txt] --out=map.svg
 //                        [--ranges]
+//   wmcast_cli replay    [--scenario=sc.txt | --aps=100 --users=300
+//                        --scenario-seed=1] [--trace=t.txt | --epochs=20
+//                        --move=0.1 --walk=40 --zap=0.05 --leave=0.02
+//                        --join=0.02 --rate-prob=0 --trace-seed=7]
+//                        [--solver=mla-c --threshold=0.1 --refresh=10
+//                        --max-reassoc=-1 --no-admission --seed=1
+//                        --telemetry=tele.json --trace-out=t.txt --quiet]
+//   wmcast_cli serve     [replay flags]                     (trace on stdin)
 //
 // Algorithms: ssa, mla-c, bla-c, mnu-c, mla-d, bla-d, mnu-d, lock-d,
 // local-search, mnu-1session, bla-1session.
@@ -20,9 +28,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "wmcast/assoc/centralized.hpp"
+#include "wmcast/ctrl/controller.hpp"
+#include "wmcast/ctrl/trace.hpp"
 #include "wmcast/assoc/registry.hpp"
 #include "wmcast/assoc/revenue.hpp"
 #include "wmcast/assoc/ssa.hpp"
@@ -46,7 +58,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: wmcast_cli <generate|info|solve|eval|exact|export-lp|render> "
+               "usage: wmcast_cli <generate|info|solve|eval|exact|export-lp|render|"
+               "replay|serve> "
                "--key=value ...\n(see the header of tools/wmcast_cli.cpp for details)\n");
   return 2;
 }
@@ -231,6 +244,117 @@ int cmd_render(const util::Args& args) {
   return 0;
 }
 
+// Shared by `replay` (trace from file or generated) and `serve` (trace on
+// stdin): runs the online controller epoch by epoch and prints per-epoch
+// rows plus a cumulative summary.
+int cmd_replay(const util::Args& args, bool trace_from_stdin) {
+  // Without --scenario, generate one (same flags as `generate`) so
+  // `wmcast_cli replay` works out of the box.
+  wlan::Scenario sc = [&] {
+    if (args.has("scenario")) return wlan::load_scenario(args.get("scenario", ""));
+    wlan::GeneratorParams p;
+    p.n_aps = args.get_int("aps", 100);
+    p.n_users = args.get_int("users", 300);
+    p.n_sessions = args.get_int("sessions", p.n_sessions);
+    p.session_rate_mbps = args.get_double("rate", p.session_rate_mbps);
+    p.load_budget = args.get_double("budget", p.load_budget);
+    util::Rng rng(args.get_u64("scenario-seed", 1));
+    return wlan::generate_scenario(p, rng);
+  }();
+  if (!sc.has_geometry()) {
+    std::fprintf(stderr, "replay: scenario must be geometric\n");
+    return 2;
+  }
+
+  ctrl::ControllerConfig cfg;
+  cfg.full_solver = args.get("solver", cfg.full_solver);
+  cfg.multi_rate = !args.get_bool("basic-rate", false);
+  cfg.degradation_threshold = args.get_double("threshold", cfg.degradation_threshold);
+  cfg.full_refresh_epochs = args.get_int("refresh", cfg.full_refresh_epochs);
+  cfg.max_reassoc_per_epoch = args.get_int("max-reassoc", cfg.max_reassoc_per_epoch);
+  cfg.polish_min_gain = args.get_double("min-gain", cfg.polish_min_gain);
+  cfg.admission_control = !args.get_bool("no-admission", false);
+  cfg.seed = args.get_u64("seed", 1);
+  if (!assoc::is_algorithm(cfg.full_solver)) {
+    std::fprintf(stderr, "replay: unknown --solver=%s\n", cfg.full_solver.c_str());
+    return 2;
+  }
+
+  ctrl::AssociationController controller(sc, cfg);
+
+  ctrl::EventTrace trace;
+  if (trace_from_stdin) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    trace = ctrl::trace_from_text(buf.str());
+  } else if (args.has("trace")) {
+    trace = ctrl::load_trace(args.get("trace", ""));
+  } else {
+    ctrl::TraceParams tp;
+    tp.epochs = args.get_int("epochs", tp.epochs);
+    tp.move_fraction = args.get_double("move", tp.move_fraction);
+    tp.walk_sigma_m = args.get_double("walk", tp.walk_sigma_m);
+    tp.zap_fraction = args.get_double("zap", tp.zap_fraction);
+    tp.leave_fraction = args.get_double("leave", tp.leave_fraction);
+    tp.join_fraction = args.get_double("join", tp.join_fraction);
+    tp.rate_change_prob = args.get_double("rate-prob", tp.rate_change_prob);
+    util::Rng trng(args.get_u64("trace-seed", 7));
+    trace = ctrl::generate_churn_trace(controller.state(), tp, trng);
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty() && !ctrl::save_trace(trace, trace_out)) return 1;
+
+  const bool quiet = args.get_bool("quiet", false);
+  util::Table t({"epoch", "events", "dirty", "reassoc", "forced", "full", "load",
+                 "vs base", "served"});
+  long long reassoc = 0;
+  long long forced = 0;
+  int full_solves = 0;
+  int rollbacks = 0;
+  for (int e = 0; e < trace.n_epochs(); ++e) {
+    controller.submit(trace.epochs[static_cast<size_t>(e)]);
+    const auto rep = controller.drain();
+    reassoc += rep.reassociations;
+    forced += rep.forced_reassociations;
+    full_solves += rep.used_full_solve ? 1 : 0;
+    rollbacks += rep.rolled_back ? 1 : 0;
+    if (!quiet) {
+      const double vs = rep.baseline_load > 0.0
+                            ? (rep.total_load / rep.baseline_load - 1.0) * 100.0
+                            : 0.0;
+      t.add_row({std::to_string(rep.epoch), std::to_string(rep.events),
+                 std::to_string(rep.dirty_users), std::to_string(rep.reassociations),
+                 std::to_string(rep.forced_reassociations),
+                 std::string(rep.used_full_solve ? "yes" : "") +
+                     (rep.rolled_back ? " rb" : ""),
+                 util::fmt(rep.total_load, 3), util::fmt(vs, 1) + "%",
+                 std::to_string(rep.users_served) + "/" +
+                     std::to_string(rep.users_subscribed)});
+    }
+  }
+  if (!quiet) t.print();
+
+  const int n_epochs = std::max(1, trace.n_epochs());
+  std::printf("replayed %d epochs (%zu events): %.1f reassoc/epoch "
+              "(%.1f forced), %d full re-solves, %d rollbacks, final load %.3f "
+              "(baseline %.3f)\n",
+              trace.n_epochs(), trace.n_events(),
+              static_cast<double>(reassoc) / n_epochs,
+              static_cast<double>(forced) / n_epochs, full_solves, rollbacks,
+              controller.loads().total_load, controller.baseline_load());
+
+  const std::string tele_out = args.get("telemetry", "");
+  if (!tele_out.empty()) {
+    std::ofstream f(tele_out);
+    if (!f || !(f << controller.telemetry().to_json().dump(2) << "\n")) {
+      std::fprintf(stderr, "replay: cannot write %s\n", tele_out.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", tele_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +369,8 @@ int main(int argc, char** argv) {
     if (cmd == "exact") return cmd_exact(args);
     if (cmd == "export-lp") return cmd_export_lp(args);
     if (cmd == "render") return cmd_render(args);
+    if (cmd == "replay") return cmd_replay(args, /*trace_from_stdin=*/false);
+    if (cmd == "serve") return cmd_replay(args, /*trace_from_stdin=*/true);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wmcast_cli %s: %s\n", cmd.c_str(), e.what());
