@@ -66,6 +66,11 @@ std::string validate_telemetry(const util::Json& j) {
                           "forced_reassociations"}) {
     if (counters->find(key) == nullptr) return std::string("missing counter ") + key;
   }
+  const auto* engine = counters->find("engine");
+  if (engine == nullptr || engine->find("incremental_updates") == nullptr ||
+      engine->find("groups_rebuilt") == nullptr) {
+    return "missing engine rebuild-vs-repair counters";
+  }
   const auto* by_type = counters->find("events_by_type");
   if (by_type == nullptr || by_type->find("join") == nullptr ||
       by_type->find("move") == nullptr) {
@@ -210,6 +215,20 @@ int main(int argc, char** argv) {
               "threshold): %s\n", signal_ok ? "MET" : "NOT MET",
               quality_ok ? "MET" : "NOT MET");
 
+  // Engine rebuild-vs-repair accounting: how much of the set system the
+  // incremental path actually re-projected across the whole trace.
+  const auto& es = controller.engine().stats();
+  std::printf("  engine: %llu full build(s), %llu incremental updates touching "
+              "%llu/%d AP candidate-set rebuilds (%llu sets rebuilt, %llu retired, "
+              "%llu compactions)\n",
+              static_cast<unsigned long long>(es.full_builds),
+              static_cast<unsigned long long>(es.incremental_updates),
+              static_cast<unsigned long long>(es.groups_rebuilt),
+              controller.engine().n_groups() * trace.n_epochs(),
+              static_cast<unsigned long long>(es.sets_rebuilt),
+              static_cast<unsigned long long>(es.sets_retired),
+              static_cast<unsigned long long>(es.compactions));
+
   // Telemetry dump + schema validation.
   const auto tele = controller.telemetry().to_json();
   const auto reparsed = util::Json::parse(tele.dump(2));
@@ -244,6 +263,18 @@ int main(int argc, char** argv) {
     j.set("signaling_target_met", util::Json(signal_ok));
     j.set("quality_target_met", util::Json(quality_ok));
     j.set("telemetry_valid", util::Json(problem.empty()));
+    auto eng = util::Json::object();
+    eng.set("full_builds", util::Json(static_cast<int64_t>(es.full_builds)));
+    eng.set("incremental_updates",
+            util::Json(static_cast<int64_t>(es.incremental_updates)));
+    eng.set("groups_rebuilt", util::Json(static_cast<int64_t>(es.groups_rebuilt)));
+    eng.set("sets_rebuilt", util::Json(static_cast<int64_t>(es.sets_rebuilt)));
+    eng.set("sets_retired", util::Json(static_cast<int64_t>(es.sets_retired)));
+    eng.set("compactions", util::Json(static_cast<int64_t>(es.compactions)));
+    eng.set("group_rebuild_fraction",
+            util::Json(static_cast<double>(es.groups_rebuilt) /
+                       std::max(1, controller.engine().n_groups() * trace.n_epochs())));
+    j.set("engine", std::move(eng));
     std::ofstream f(json_out);
     f << j.dump(2) << "\n";
     std::printf("  json written to %s\n", json_out.c_str());

@@ -1,21 +1,34 @@
 // Micro-benchmarks (google-benchmark): runtime scaling of every solver on
-// paper-scale inputs. The paper argues centralized algorithms "are still
-// feasible to execute" up to ~100 APs — these numbers quantify that claim
-// for our implementation.
+// paper-scale inputs, plus the shared coverage engine's warm-vs-cold story on
+// a large instance (400 APs / 20k users). The paper argues centralized
+// algorithms "are still feasible to execute" up to ~100 APs — these numbers
+// quantify that claim for our implementation, and the Warm* benches quantify
+// what the reusable engine buys for repeated solves (the online controller's
+// steady state).
 //
-// Run: ./micro_solvers [--benchmark_filter=...]
+// Run: ./micro_solvers [--benchmark_filter=...] [--json=out.json]
+//
+// --json writes {"schema": "wmcast-microbench/v1", "benchmarks": [{name,
+// real_time_ns, iterations}, ...]} for tools/bench_guard to diff against the
+// committed baseline (bench/BENCH_micro_solvers.json).
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/distributed.hpp"
 #include "wmcast/assoc/ssa.hpp"
+#include "wmcast/core/solve.hpp"
 #include "wmcast/exact/exact_mla.hpp"
 #include "wmcast/ext/locks.hpp"
 #include "wmcast/setcover/greedy.hpp"
 #include "wmcast/setcover/mcg.hpp"
 #include "wmcast/setcover/reduction.hpp"
 #include "wmcast/setcover/scg.hpp"
+#include "wmcast/util/json.hpp"
 #include "wmcast/util/rng.hpp"
 #include "wmcast/wlan/scenario_generator.hpp"
 
@@ -29,6 +42,20 @@ wlan::Scenario scenario_for(int n_aps, int n_users, uint64_t seed = 77) {
   p.n_users = n_users;
   util::Rng rng(seed);
   return wlan::generate_scenario(p, rng);
+}
+
+/// The large instance for the warm-engine benches: scaled so the reduction
+/// (not the solve) dominates a cold run.
+wlan::Scenario large_scenario() {
+  static const wlan::Scenario sc = [] {
+    wlan::GeneratorParams p;
+    p.n_aps = 400;
+    p.n_users = 20000;
+    p.area_side_m = 2000.0;
+    util::Rng rng(79);
+    return wlan::generate_scenario(p, rng);
+  }();
+  return sc;
 }
 
 void BM_BuildSetSystem(benchmark::State& state) {
@@ -126,6 +153,131 @@ void BM_McgGreedyKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_McgGreedyKernel);
 
+// --- Engine warm-vs-cold on the large instance -------------------------------
+
+/// Cold repeated solve: what every epoch costs without the engine — project
+/// the scenario into a fresh set system, then run greedy over it.
+void BM_LargeColdGreedy(benchmark::State& state) {
+  const auto sc = large_scenario();
+  for (auto _ : state) {
+    const auto sys = setcover::build_set_system(sc);
+    benchmark::DoNotOptimize(setcover::greedy_set_cover(sys).total_cost);
+  }
+}
+BENCHMARK(BM_LargeColdGreedy);
+
+/// One-time engine projection of the large instance (the warm path's setup).
+void BM_LargeEngineBuild(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  for (auto _ : state) {
+    eng.build_full(setcover::ScenarioSource(sc), true);
+    benchmark::DoNotOptimize(eng.n_live_sets());
+  }
+}
+BENCHMARK(BM_LargeEngineBuild);
+
+/// Warm repeated solve: greedy on the prebuilt engine with a reused
+/// workspace — zero allocations and no reduction in steady state. The
+/// headline number: must be >= 3x faster than BM_LargeColdGreedy.
+void BM_LargeWarmGreedy(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  core::SolveWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_cover(eng, ws).total_cost);
+  }
+}
+BENCHMARK(BM_LargeWarmGreedy);
+
+/// Warm epoch: rebuild the candidate sets of 4 dirty APs via the dirty-group
+/// protocol, then re-solve — the online controller's steady-state work.
+void BM_LargeWarmDirtySolve(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  core::SolveWorkspace ws;
+  const std::vector<int> dirty = {11, 97, 203, 389};
+  for (auto _ : state) {
+    eng.update_groups(setcover::ScenarioSource(sc), dirty, true);
+    benchmark::DoNotOptimize(core::greedy_cover(eng, ws).total_cost);
+  }
+}
+BENCHMARK(BM_LargeWarmDirtySolve);
+
+void BM_LargeWarmScg(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  core::SolveWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::scg_cover(eng, ws).max_group_cost);
+  }
+}
+BENCHMARK(BM_LargeWarmScg);
+
+// --- JSON reporter -----------------------------------------------------------
+
+/// Console output as usual, plus a flat (name, real_time, iterations) record
+/// per run for the regression guard.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time_ns = 0.0;
+    int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      entries_.push_back({r.benchmark_name(), r.GetAdjustedRealTime(), r.iterations});
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    auto benches = util::Json::array();
+    for (const auto& e : reporter.entries()) {
+      auto b = util::Json::object();
+      b.set("name", util::Json(e.name));
+      b.set("real_time_ns", util::Json(e.real_time_ns));
+      b.set("iterations", util::Json(e.iterations));
+      benches.push(std::move(b));
+    }
+    auto j = util::Json::object();
+    j.set("schema", util::Json("wmcast-microbench/v1"));
+    j.set("benchmarks", std::move(benches));
+    std::ofstream f(json_path);
+    f << j.dump(2) << "\n";
+  }
+  return 0;
+}

@@ -2,9 +2,8 @@
 
 #include <chrono>
 
-#include "wmcast/setcover/greedy.hpp"
+#include "wmcast/core/solve.hpp"
 #include "wmcast/setcover/materialize.hpp"
-#include "wmcast/setcover/mcg.hpp"
 #include "wmcast/setcover/reduction.hpp"
 
 namespace wmcast::assoc {
@@ -17,46 +16,87 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params) {
+void EngineContext::build(const wlan::Scenario& sc, bool multi_rate) {
+  engine.build_full(setcover::ScenarioSource(sc), multi_rate);
+}
+
+void EngineContext::update(const wlan::Scenario& sc, std::span<const int> dirty_aps,
+                           bool multi_rate) {
+  engine.update_groups(setcover::ScenarioSource(sc), dirty_aps, multi_rate);
+}
+
+Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params,
+                         EngineContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sys = setcover::build_set_system(sc, params.multi_rate);
-  const auto greedy = setcover::greedy_set_cover(sys);
-  auto assoc = setcover::materialize(sc, sys, greedy.chosen);
+  const auto greedy = core::greedy_cover(ctx.engine, ctx.ws);
+  auto assoc = setcover::materialize(sc, ctx.engine, greedy.chosen);
   Solution sol = make_solution("MLA-C", sc, std::move(assoc), params.multi_rate);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }
 
 Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& params,
-                         const setcover::ScgParams& scg_params) {
+                         const setcover::ScgParams& scg_params, EngineContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sys = setcover::build_set_system(sc, params.multi_rate);
-  const auto scg = setcover::scg_solve(sys, scg_params);
-  auto assoc = setcover::materialize(sc, sys, scg.chosen);
+  core::ScgParams p;
+  p.budget_cap = scg_params.budget_cap;
+  p.grid_points = scg_params.grid_points;
+  p.refine_steps = scg_params.refine_steps;
+  p.carry_budgets = scg_params.carry_budgets;
+  const auto scg = core::scg_cover(ctx.engine, ctx.ws, p);
+  auto assoc = setcover::materialize(sc, ctx.engine, scg.chosen);
   Solution sol = make_solution("BLA-C", sc, std::move(assoc), params.multi_rate);
   sol.converged = scg.feasible;
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }
 
-Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params) {
+Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params,
+                         EngineContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sys = setcover::build_set_system(sc, params.multi_rate);
-  const auto mcg = setcover::mcg_greedy_uniform(sys, sc.load_budget());
+  ctx.budgets.assign(static_cast<size_t>(ctx.engine.n_groups()), sc.load_budget());
+  const auto mcg = core::mcg_cover(ctx.engine, ctx.ws, ctx.budgets);
   std::vector<int> chosen = mcg.chosen;
   if (params.mnu_augment) {
-    const std::vector<double> budgets(static_cast<size_t>(sys.n_groups()),
-                                      sc.load_budget());
-    std::vector<double> group_cost(static_cast<size_t>(sys.n_groups()), 0.0);
+    ctx.group_cost.assign(static_cast<size_t>(ctx.engine.n_groups()), 0.0);
     for (const int j : chosen) {
-      group_cost[static_cast<size_t>(sys.set(j).group)] += sys.set(j).cost;
+      ctx.group_cost[static_cast<size_t>(ctx.engine.group(j))] += ctx.engine.cost(j);
     }
     util::DynBitset covered = mcg.covered;
-    const auto added = setcover::mcg_augment(sys, budgets, group_cost, covered);
+    const auto added =
+        core::mcg_augment(ctx.engine, ctx.ws, ctx.budgets, ctx.group_cost, covered);
     chosen.insert(chosen.end(), added.begin(), added.end());
   }
-  auto assoc = setcover::materialize(sc, sys, chosen);
+  auto assoc = setcover::materialize(sc, ctx.engine, chosen);
   Solution sol = make_solution("MNU-C", sc, std::move(assoc), params.multi_rate);
+  sol.solve_seconds = seconds_since(t0);
+  return sol;
+}
+
+Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EngineContext ctx;
+  ctx.build(sc, params.multi_rate);
+  Solution sol = centralized_mla(sc, params, ctx);
+  sol.solve_seconds = seconds_since(t0);  // include the reduction
+  return sol;
+}
+
+Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& params,
+                         const setcover::ScgParams& scg_params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EngineContext ctx;
+  ctx.build(sc, params.multi_rate);
+  Solution sol = centralized_bla(sc, params, scg_params, ctx);
+  sol.solve_seconds = seconds_since(t0);
+  return sol;
+}
+
+Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EngineContext ctx;
+  ctx.build(sc, params.multi_rate);
+  Solution sol = centralized_mnu(sc, params, ctx);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }

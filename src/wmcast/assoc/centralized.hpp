@@ -1,13 +1,24 @@
 // The paper's centralized approximation algorithms, packaged against the
-// WLAN model: build the set system (Theorems 1/3/5), run the combinatorial
-// machine, and materialize the chosen sets back into an association.
+// WLAN model: build the coverage engine (Theorems 1/3/5 reduction), run the
+// combinatorial machine, and materialize the chosen sets back into an
+// association.
 //
 //   centralized_mla — CostSC greedy weighted set cover,   (ln n + 1)-approx.
 //   centralized_bla — SCG via repeated MCG at guessed B*, (log_{8/7} n + 1).
 //   centralized_mnu — MCG greedy + H1/H2 split,           8-approx.
+//
+// Every algorithm has a warm-path overload taking an EngineContext: the
+// engine is built once (or patched incrementally with update_groups) and the
+// solve reuses the context's workspace, so repeated solves on an evolving
+// network skip the reduction entirely and allocate nothing in steady state.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "wmcast/assoc/solution.hpp"
+#include "wmcast/core/engine.hpp"
+#include "wmcast/core/workspace.hpp"
 #include "wmcast/setcover/scg.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
@@ -22,12 +33,36 @@ struct CentralizedParams {
   bool mnu_augment = true;
 };
 
-Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params = {});
+/// Warm solve state shared by repeated centralized solves: the built engine
+/// plus reusable scratch. The caller owns keeping the engine in sync with the
+/// scenario it passes to the solve (build() after wholesale changes,
+/// update(dirty_aps) after local ones).
+struct EngineContext {
+  core::CoverageEngine engine;
+  core::SolveWorkspace ws;
+  std::vector<double> budgets;     // per-group budget scratch (MNU)
+  std::vector<double> group_cost;  // per-group spend scratch (MNU augment)
 
+  /// Full rebuild from the scenario.
+  void build(const wlan::Scenario& sc, bool multi_rate = true);
+  /// Re-projects only the candidate sets of `dirty_aps` from `sc`.
+  void update(const wlan::Scenario& sc, std::span<const int> dirty_aps,
+              bool multi_rate = true);
+};
+
+Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params = {});
 Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& params = {},
                          const setcover::ScgParams& scg = {});
-
 /// Uses the scenario's load budget as every group's budget B_i.
 Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params = {});
+
+/// Warm-path overloads: `ctx.engine` must already reflect `sc` (same
+/// multi_rate flag included); the reduction step is skipped.
+Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params,
+                         EngineContext& ctx);
+Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& params,
+                         const setcover::ScgParams& scg, EngineContext& ctx);
+Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& params,
+                         EngineContext& ctx);
 
 }  // namespace wmcast::assoc

@@ -42,10 +42,16 @@ std::string algorithm_name(const DistributedParams& p) {
 }  // namespace
 
 Solution distributed_associate(const wlan::Scenario& sc, util::Rng& rng,
-                               const DistributedParams& params) {
+                               const DistributedParams& params,
+                               core::AssocWorkspace* workspace) {
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<int> order = params.order;
+  core::AssocWorkspace local_ws;
+  core::AssocWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  ws.prepare(sc.n_aps(), sc.n_users());
+
+  std::vector<int>& order = ws.scratch;
+  order = params.order;
   if (order.empty()) {
     order = util::iota_permutation(sc.n_users());
     rng.shuffle(order);
@@ -58,8 +64,8 @@ Solution distributed_associate(const wlan::Scenario& sc, util::Rng& rng,
   policy.enforce_budget = params.enforce_budget;
   policy.multi_rate = params.multi_rate;
 
-  std::vector<int> user_ap(static_cast<size_t>(sc.n_users()), wlan::kNoAp);
-  std::vector<std::vector<int>> members(static_cast<size_t>(sc.n_aps()));
+  std::vector<int>& user_ap = ws.user_ap;
+  std::vector<std::vector<int>>& members = ws.members;
   if (!params.initial.user_ap.empty()) {
     util::require(params.initial.n_users() == sc.n_users(),
                   "distributed_associate: initial association size mismatch");
@@ -93,7 +99,8 @@ Solution distributed_associate(const wlan::Scenario& sc, util::Rng& rng,
       }
     } else {
       // Everyone decides against the same snapshot, then all moves apply.
-      std::vector<int> decision(static_cast<size_t>(sc.n_users()));
+      std::vector<int>& decision = ws.decision;
+      decision.assign(static_cast<size_t>(sc.n_users()), wlan::kNoAp);
       for (const int u : order) {
         decision[static_cast<size_t>(u)] =
             choose_best_ap(sc, u, members, user_ap[static_cast<size_t>(u)], policy);
@@ -117,8 +124,9 @@ Solution distributed_associate(const wlan::Scenario& sc, util::Rng& rng,
     }
   }
 
-  Solution sol = make_solution(algorithm_name(params), sc,
-                               wlan::Association{std::move(user_ap)}, params.multi_rate);
+  // Copy (not move) the assignment out so the workspace stays reusable.
+  Solution sol = make_solution(algorithm_name(params), sc, wlan::Association{user_ap},
+                               params.multi_rate);
   sol.rounds = rounds;
   sol.converged = converged;
   sol.solve_seconds =

@@ -14,6 +14,7 @@
 
 #include "wmcast/assoc/policy.hpp"
 #include "wmcast/assoc/solution.hpp"
+#include "wmcast/core/workspace.hpp"
 #include "wmcast/util/rng.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
@@ -38,8 +39,11 @@ struct DistributedParams {
 /// Runs the round engine from an all-unassociated start. Solution::rounds is
 /// the number of executed rounds and Solution::converged reports whether a
 /// fixed point (or, in simultaneous mode, the absence of a cycle) was reached.
+/// `workspace`, when given, supplies the per-AP member lists and per-user
+/// decision scratch so repeated runs allocate nothing in steady state.
 Solution distributed_associate(const wlan::Scenario& sc, util::Rng& rng,
-                               const DistributedParams& params = {});
+                               const DistributedParams& params = {},
+                               core::AssocWorkspace* workspace = nullptr);
 
 /// Convenience wrappers matching the paper's three protocols (sequential).
 Solution distributed_mnu(const wlan::Scenario& sc, util::Rng& rng);

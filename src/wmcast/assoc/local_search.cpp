@@ -15,17 +15,17 @@ constexpr double kImproveEps = 1e-12;
 struct State {
   const wlan::Scenario& sc;
   const LocalSearchParams& params;
-  std::vector<int> user_ap;
-  std::vector<std::vector<int>> members;  // per AP
-  std::vector<double> ap_load;            // per AP
+  // All mutable search state lives in the (possibly caller-owned) workspace.
+  std::vector<int>& user_ap;
+  std::vector<std::vector<int>>& members;  // per AP
+  std::vector<double>& ap_load;            // per AP
   int served = 0;
   double total = 0.0;
 
-  explicit State(const wlan::Scenario& s, const LocalSearchParams& p)
-      : sc(s), params(p),
-        user_ap(static_cast<size_t>(s.n_users()), wlan::kNoAp),
-        members(static_cast<size_t>(s.n_aps())),
-        ap_load(static_cast<size_t>(s.n_aps()), 0.0) {}
+  State(const wlan::Scenario& s, const LocalSearchParams& p, core::AssocWorkspace& w)
+      : sc(s), params(p), user_ap(w.user_ap), members(w.members), ap_load(w.ap_load) {
+    w.prepare(s.n_aps(), s.n_users());
+  }
 
   double load_of(int a, const std::vector<int>& m) const {
     return wlan::ap_load_for_members(sc, a, m, params.multi_rate);
@@ -89,10 +89,13 @@ struct State {
 }  // namespace
 
 Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
-                      const LocalSearchParams& params, LocalSearchStats* stats) {
+                      const LocalSearchParams& params, LocalSearchStats* stats,
+                      core::AssocWorkspace* workspace) {
   util::require(start.n_users() == sc.n_users(), "local_search: association size mismatch");
 
-  State st(sc, params);
+  core::AssocWorkspace local_ws;
+  core::AssocWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  State st(sc, params, ws);
   for (int u = 0; u < sc.n_users(); ++u) {
     const int a = start.ap_of(u);
     if (a == wlan::kNoAp) continue;
@@ -125,7 +128,8 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
   }
 
   // Candidate movers: everyone, or the caller's restriction set.
-  std::vector<int> movers;
+  std::vector<int>& movers = ws.scratch;
+  movers.clear();
   if (params.restrict_users.empty()) {
     movers.resize(static_cast<size_t>(sc.n_users()));
     for (int u = 0; u < sc.n_users(); ++u) movers[static_cast<size_t>(u)] = u;
@@ -186,8 +190,8 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
   }
   local.reached_local_optimum = !improved;
 
-  Solution sol = make_solution("local-search", sc,
-                               wlan::Association{std::move(st.user_ap)},
+  // Copy (not move) the assignment out so the workspace stays reusable.
+  Solution sol = make_solution("local-search", sc, wlan::Association{st.user_ap},
                                params.multi_rate);
   sol.converged = local.reached_local_optimum;
   if (stats != nullptr) *stats = local;

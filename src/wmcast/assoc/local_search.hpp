@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "wmcast/assoc/solution.hpp"
+#include "wmcast/core/workspace.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
 namespace wmcast::assoc {
@@ -53,8 +54,13 @@ struct LocalSearchStats {
 /// The returned solution is feasible whenever `start` is (moves that would
 /// violate a budget are never accepted; an infeasible start is repaired by
 /// unserving users on over-budget APs first).
+///
+/// `workspace`, when given, supplies all per-AP/per-user scratch; callers
+/// running the search every epoch (the online controller) pass one so
+/// steady-state invocations allocate nothing.
 Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
                       const LocalSearchParams& params = {},
-                      LocalSearchStats* stats = nullptr);
+                      LocalSearchStats* stats = nullptr,
+                      core::AssocWorkspace* workspace = nullptr);
 
 }  // namespace wmcast::assoc

@@ -1,0 +1,383 @@
+#include "wmcast/core/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::core {
+
+namespace {
+
+constexpr double kEps = 1e-12;  // same budget tolerance as setcover/mcg.cpp
+constexpr double kTol = 1e-12;  // same residual tolerance as setcover/layering.cpp
+
+/// Heap "less" for std::push_heap/pop_heap: a sorts below b iff b is the
+/// strictly better pick, so the heap top is the best entry.
+struct HeapLess {
+  const CoverageEngine& eng;
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return better_pick(b.gain, eng.cost(b.set), b.set, a.gain, eng.cost(a.set), a.set);
+  }
+};
+
+/// ws.remaining = coverable ∩ restrict_to (or just coverable).
+void init_remaining(const CoverageEngine& eng, SolveWorkspace& ws,
+                    const util::DynBitset* restrict_to) {
+  ws.remaining = eng.coverable();
+  if (restrict_to != nullptr) ws.remaining.and_assign(*restrict_to);
+}
+
+/// ws.gain[j] = |members(j) ∩ ws.remaining| for every live slot. When the
+/// target is the full coverable universe every member of a live set counts,
+/// so the gain is just the degree — O(slots). Otherwise scatter through the
+/// inverted index — O(Σ_{e ∈ remaining} freq(e)).
+void init_gains(const CoverageEngine& eng, SolveWorkspace& ws, bool full_target) {
+  const auto slots = static_cast<size_t>(eng.n_set_slots());
+  if (full_target) {
+    ws.gain.resize(slots);
+    for (int j = 0; j < eng.n_set_slots(); ++j) {
+      ws.gain[static_cast<size_t>(j)] = eng.alive(j) ? eng.degree(j) : 0;
+    }
+    return;
+  }
+  ws.gain.assign(slots, 0);
+  ws.remaining.for_each([&](int e) {
+    eng.for_each_set_of(e, [&](int32_t k) { ++ws.gain[static_cast<size_t>(k)]; });
+  });
+}
+
+void heap_push(std::vector<HeapEntry>& heap, const HeapLess& less, HeapEntry e) {
+  heap.push_back(e);
+  std::push_heap(heap.begin(), heap.end(), less);
+}
+
+HeapEntry heap_pop(std::vector<HeapEntry>& heap, const HeapLess& less) {
+  std::pop_heap(heap.begin(), heap.end(), less);
+  const HeapEntry top = heap.back();
+  heap.pop_back();
+  return top;
+}
+
+/// Commits set j: marks its full member list in `covered_full` (when given),
+/// clears its still-remaining members and decrements the maintained gain of
+/// every set containing each newly covered element. Returns how many target
+/// elements the set newly covered.
+int commit_set(const CoverageEngine& eng, SolveWorkspace& ws, int j,
+               util::DynBitset* covered_full) {
+  int newly = 0;
+  for (const int32_t e : eng.members(j)) {
+    if (covered_full != nullptr) covered_full->set(e);
+    if (!ws.remaining.test(e)) continue;
+    ws.remaining.reset(e);
+    ++newly;
+    eng.for_each_set_of(e, [&](int32_t k) { --ws.gain[static_cast<size_t>(k)]; });
+  }
+  return newly;
+}
+
+}  // namespace
+
+CoverResult greedy_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                         const util::DynBitset* restrict_to) {
+  init_remaining(eng, ws, restrict_to);
+  init_gains(eng, ws, restrict_to == nullptr);
+
+  CoverResult res;
+  res.covered = util::DynBitset(eng.n_elements());
+
+  const HeapLess less{eng};
+  auto& heap = ws.heap;
+  heap.clear();
+  for (int j = 0; j < eng.n_set_slots(); ++j) {
+    const int32_t g = ws.gain[static_cast<size_t>(j)];
+    if (g > 0) heap.push_back({g, j});
+  }
+  std::make_heap(heap.begin(), heap.end(), less);
+
+  int left = ws.remaining.count();
+  while (left > 0 && !heap.empty()) {
+    const HeapEntry top = heap_pop(heap, less);
+    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
+    if (top.gain != g) {  // stale: refresh with the exact maintained gain
+      if (g > 0) heap_push(heap, less, {g, top.set});
+      continue;
+    }
+    res.chosen.push_back(top.set);
+    res.total_cost += eng.cost(top.set);
+    left -= commit_set(eng, ws, top.set, &res.covered);
+  }
+  res.complete = left == 0;
+  return res;
+}
+
+McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                    std::span<const double> group_budgets,
+                    const util::DynBitset* restrict_to) {
+  util::require(static_cast<int>(group_budgets.size()) == eng.n_groups(),
+                "mcg_cover: one budget per group required");
+
+  init_remaining(eng, ws, restrict_to);
+  ws.target = ws.remaining;
+  init_gains(eng, ws, restrict_to == nullptr);
+  ws.group_cost.assign(static_cast<size_t>(eng.n_groups()), 0.0);
+
+  McgResult res;
+  res.covered_h = util::DynBitset(eng.n_elements());
+
+  const HeapLess less{eng};
+  auto& heap = ws.heap;
+  heap.clear();
+  for (int j = 0; j < eng.n_set_slots(); ++j) {
+    const int32_t g = ws.gain[static_cast<size_t>(j)];
+    if (g <= 0) continue;
+    if (eng.cost(j) > group_budgets[static_cast<size_t>(eng.group(j))] + kEps) continue;
+    heap.push_back({g, j});
+  }
+  std::make_heap(heap.begin(), heap.end(), less);
+
+  int left = ws.remaining.count();
+  while (left > 0 && !heap.empty()) {
+    const HeapEntry top = heap_pop(heap, less);
+    const auto grp = static_cast<size_t>(eng.group(top.set));
+    if (ws.group_cost[grp] + kEps >= group_budgets[grp]) continue;  // group exhausted
+    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
+    if (top.gain != g) {
+      if (g > 0) heap_push(heap, less, {g, top.set});
+      continue;
+    }
+    ws.group_cost[grp] += eng.cost(top.set);
+    res.h.push_back(top.set);
+    res.violator.push_back(
+        ws.group_cost[grp] > group_budgets[grp] + kEps ? char{1} : char{0});
+    left -= commit_set(eng, ws, top.set, &res.covered_h);
+  }
+  res.covered_h.and_assign(ws.target);
+
+  // H1/H2 split; output whichever covers more of the target.
+  ws.cov_a.resize(eng.n_elements());
+  ws.cov_b.resize(eng.n_elements());
+  ws.cov_a.reset_all();
+  ws.cov_b.reset_all();
+  for (size_t k = 0; k < res.h.size(); ++k) {
+    auto& cov = res.violator[k] ? ws.cov_b : ws.cov_a;
+    (res.violator[k] ? res.h2 : res.h1).push_back(res.h[k]);
+    for (const int32_t e : eng.members(res.h[k])) cov.set(e);
+  }
+  ws.cov_a.and_assign(ws.target);
+  ws.cov_b.and_assign(ws.target);
+  if (ws.cov_b.count() > ws.cov_a.count()) {
+    res.chosen = res.h2;
+    res.covered = ws.cov_b;
+  } else {
+    res.chosen = res.h1;
+    res.covered = ws.cov_a;
+  }
+  return res;
+}
+
+std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
+                             std::span<const double> group_budgets,
+                             std::vector<double>& group_cost, util::DynBitset& covered,
+                             const util::DynBitset* restrict_to) {
+  util::require(static_cast<int>(group_budgets.size()) == eng.n_groups(),
+                "mcg_augment: one budget per group required");
+  util::require(static_cast<int>(group_cost.size()) == eng.n_groups(),
+                "mcg_augment: one cost entry per group required");
+
+  init_remaining(eng, ws, restrict_to);
+  ws.remaining.andnot_assign(covered);
+  init_gains(eng, ws, /*full_target=*/false);
+
+  const HeapLess less{eng};
+  auto& heap = ws.heap;
+  heap.clear();
+  for (int j = 0; j < eng.n_set_slots(); ++j) {
+    const int32_t g = ws.gain[static_cast<size_t>(j)];
+    if (g <= 0) continue;
+    const auto grp = static_cast<size_t>(eng.group(j));
+    if (group_cost[grp] + eng.cost(j) > group_budgets[grp] + kEps) continue;
+    heap.push_back({g, j});
+  }
+  std::make_heap(heap.begin(), heap.end(), less);
+
+  std::vector<int> added;
+  int left = ws.remaining.count();
+  while (left > 0 && !heap.empty()) {
+    const HeapEntry top = heap_pop(heap, less);
+    const auto grp = static_cast<size_t>(eng.group(top.set));
+    if (group_cost[grp] + eng.cost(top.set) > group_budgets[grp] + kEps) {
+      continue;  // no longer fits
+    }
+    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
+    if (top.gain != g) {
+      if (g > 0) heap_push(heap, less, {g, top.set});
+      continue;
+    }
+    group_cost[grp] += eng.cost(top.set);
+    added.push_back(top.set);
+    left -= commit_set(eng, ws, top.set, &covered);
+  }
+  return added;
+}
+
+namespace {
+
+/// One full SCG attempt at a fixed B*: iterate the MCG greedy on the
+/// shrinking remainder until coverage stalls or completes.
+ScgResult run_at_budget(const CoverageEngine& eng, SolveWorkspace& ws, double bstar,
+                        int max_passes, bool carry_budgets) {
+  ScgResult res;
+  res.bstar = bstar;
+  res.covered = util::DynBitset(eng.n_elements());
+  res.group_cost.assign(static_cast<size_t>(eng.n_groups()), 0.0);
+
+  ws.pass_budget.assign(static_cast<size_t>(eng.n_groups()), bstar);
+  ws.scg_remaining = eng.coverable();
+  for (int pass = 0; pass < max_passes && ws.scg_remaining.any(); ++pass) {
+    if (carry_budgets) {
+      for (int g = 0; g < eng.n_groups(); ++g) {
+        ws.pass_budget[static_cast<size_t>(g)] =
+            std::max(0.0, bstar - res.group_cost[static_cast<size_t>(g)]);
+      }
+    }
+    const McgResult mcg = mcg_cover(eng, ws, ws.pass_budget, &ws.scg_remaining);
+    if (mcg.covered.none()) break;  // no progress possible at this B*
+    ++res.passes;
+    for (const int j : mcg.chosen) {
+      res.chosen.push_back(j);
+      res.group_cost[static_cast<size_t>(eng.group(j))] += eng.cost(j);
+    }
+    res.covered.or_assign(mcg.covered);
+    ws.scg_remaining.andnot_assign(mcg.covered);
+  }
+  res.feasible = ws.scg_remaining.none();
+  res.max_group_cost =
+      res.group_cost.empty()
+          ? 0.0
+          : *std::max_element(res.group_cost.begin(), res.group_cost.end());
+  return res;
+}
+
+bool scg_better(const ScgResult& a, const ScgResult& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (!a.feasible) return a.covered.count() > b.covered.count();
+  return a.max_group_cost < b.max_group_cost;
+}
+
+}  // namespace
+
+ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                    const ScgParams& params) {
+  util::require(params.budget_cap > 0.0, "scg_cover: budget cap must be positive");
+  util::require(params.grid_points >= 2, "scg_cover: need at least two grid points");
+
+  const int n = std::max(1, eng.coverable().count());
+  // Theorem 4's pass bound, with the same slack as setcover/scg.cpp.
+  const int max_passes =
+      static_cast<int>(std::ceil(std::log(n) / std::log(8.0 / 7.0))) + 8;
+
+  const double lo = std::max(eng.min_feasible_budget(), 1e-9);
+  const double hi = std::max(params.budget_cap, lo);
+
+  ScgResult best = run_at_budget(eng, ws, lo, max_passes, params.carry_budgets);
+  double largest_infeasible = best.feasible ? 0.0 : lo;
+
+  const double ratio = hi / lo;
+  for (int k = 1; k < params.grid_points; ++k) {
+    const double b =
+        lo * std::pow(ratio, static_cast<double>(k) / (params.grid_points - 1));
+    ScgResult r = run_at_budget(eng, ws, b, max_passes, params.carry_budgets);
+    if (!r.feasible) largest_infeasible = std::max(largest_infeasible, b);
+    if (scg_better(r, best)) best = std::move(r);
+  }
+
+  if (best.feasible) {
+    double infeasible_lo = largest_infeasible;
+    double feasible_hi = best.bstar;
+    for (int step = 0; step < params.refine_steps; ++step) {
+      if (feasible_hi - infeasible_lo < 1e-6) break;
+      const double mid = infeasible_lo <= 0.0 ? feasible_hi / 2
+                                              : 0.5 * (infeasible_lo + feasible_hi);
+      ScgResult r = run_at_budget(eng, ws, mid, max_passes, params.carry_budgets);
+      if (r.feasible) {
+        feasible_hi = mid;
+        if (scg_better(r, best)) best = std::move(r);
+      } else {
+        infeasible_lo = mid;
+      }
+    }
+  }
+  return best;
+}
+
+LayeringResult layered_cover(const CoverageEngine& eng, SolveWorkspace& ws) {
+  LayeringResult res;
+  res.covered = util::DynBitset(eng.n_elements());
+
+  init_remaining(eng, ws, nullptr);
+  init_gains(eng, ws, /*full_target=*/true);
+  const auto slots = static_cast<size_t>(eng.n_set_slots());
+  ws.residual.assign(slots, 0.0);
+  ws.taken.assign(slots, 0);
+  for (int j = 0; j < eng.n_set_slots(); ++j) {
+    if (eng.alive(j)) ws.residual[static_cast<size_t>(j)] = eng.cost(j);
+  }
+
+  int left = ws.remaining.count();
+  while (left > 0) {
+    // epsilon = min over live sets of residual cost per uncovered element.
+    // The maintained gains ARE the uncovered degrees: they only change
+    // between layers (commit_set below), so both sweeps of one layer see a
+    // consistent snapshot, exactly like the SetSystem implementation.
+    double eps = std::numeric_limits<double>::infinity();
+    bool any_live = false;
+    for (int j = 0; j < eng.n_set_slots(); ++j) {
+      if (ws.taken[static_cast<size_t>(j)]) continue;
+      const int32_t deg = ws.gain[static_cast<size_t>(j)];
+      if (deg <= 0) continue;
+      any_live = true;
+      eps = std::min(eps, ws.residual[static_cast<size_t>(j)] / deg);
+    }
+    if (!any_live) break;
+    ++res.layers;
+
+    bool picked_any = false;
+    const size_t layer_start = res.chosen.size();
+    for (int j = 0; j < eng.n_set_slots(); ++j) {
+      if (ws.taken[static_cast<size_t>(j)]) continue;
+      const int32_t deg = ws.gain[static_cast<size_t>(j)];
+      if (deg <= 0) continue;
+      ws.residual[static_cast<size_t>(j)] -= eps * deg;
+      if (ws.residual[static_cast<size_t>(j)] <= kTol) {
+        ws.taken[static_cast<size_t>(j)] = 1;
+        picked_any = true;
+        res.chosen.push_back(j);
+        res.total_cost += eng.cost(j);
+      }
+    }
+    WMCAST_ASSERT(picked_any, "layering: a layer must exhaust at least one set");
+    for (size_t k = layer_start; k < res.chosen.size(); ++k) {
+      left -= commit_set(eng, ws, res.chosen[k], &res.covered);
+    }
+  }
+
+  res.covered.and_assign(eng.coverable());
+  res.complete = left == 0;
+  return res;
+}
+
+int max_element_frequency(const CoverageEngine& eng) {
+  std::vector<int> freq(static_cast<size_t>(eng.n_elements()), 0);
+  for (int j = 0; j < eng.n_set_slots(); ++j) {
+    if (!eng.alive(j)) continue;
+    for (const int32_t e : eng.members(j)) ++freq[static_cast<size_t>(e)];
+  }
+  int f = 0;
+  eng.coverable().for_each(
+      [&](int e) { f = std::max(f, freq[static_cast<size_t>(e)]); });
+  return f;
+}
+
+}  // namespace wmcast::core

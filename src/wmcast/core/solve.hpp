@@ -1,0 +1,114 @@
+// Engine-backed set-cover solver policies. Each algorithm here is the same
+// algorithm as its setcover/ counterpart (CostSC greedy, the MCG greedy with
+// H1/H2 split, SCG's budget search, Vazirani layering) re-expressed over a
+// CoverageEngine + SolveWorkspace:
+//
+//  * marginal gains are *maintained*, not recomputed — covering an element
+//    decrements the exact gain of every set containing it through the
+//    engine's inverted index, so the total maintenance work over a whole
+//    solve is O(arena size);
+//  * the lazy heap stores exact gains; an entry is stale iff its gain no
+//    longer matches the maintained value (an O(1) check), and a fresh pop is
+//    provably the argmax under the comparator below;
+//  * ratios are compared by integer×cost cross products, never by divided
+//    doubles, with ties broken toward the lower set id — so every solver is
+//    exactly equal to an eager argmax reference (see setcover/reference.hpp)
+//    and deterministic across platforms;
+//  * all scratch lives in the caller's SolveWorkspace: repeated solves on a
+//    warm engine perform no steady-state allocations beyond their results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wmcast/core/engine.hpp"
+#include "wmcast/core/workspace.hpp"
+#include "wmcast/util/bitset.hpp"
+
+namespace wmcast::core {
+
+/// True iff set a (gain_a, cost_a, id set_a) is a strictly better greedy pick
+/// than set b: higher gain/cost ratio, ties to the lower set id. The ratios
+/// are compared as cross products — gain_a * cost_b vs gain_b * cost_a — so
+/// two sets with the exact same rational ratio always compare equal, which
+/// divided doubles cannot promise. The products are named locals to keep the
+/// compiler from contracting them into FMAs with asymmetric rounding.
+inline bool better_pick(int32_t gain_a, double cost_a, int set_a,
+                        int32_t gain_b, double cost_b, int set_b) {
+  const double lhs = static_cast<double>(gain_a) * cost_b;
+  const double rhs = static_cast<double>(gain_b) * cost_a;
+  if (lhs != rhs) return lhs > rhs;
+  return set_a < set_b;
+}
+
+struct CoverResult {
+  std::vector<int> chosen;  // set ids, selection order
+  util::DynBitset covered;  // union of chosen sets' members
+  double total_cost = 0.0;
+  bool complete = false;  // every coverable target element covered
+};
+
+struct McgResult {
+  std::vector<int> h;          // every set the greedy added, selection order
+  std::vector<char> violator;  // h[k] pushed its group past the budget
+  std::vector<int> h1;         // budget-respecting sets
+  std::vector<int> h2;         // at most one violator per group
+  std::vector<int> chosen;     // whichever of h1/h2 covers more of the target
+  util::DynBitset covered;     // target elements covered by `chosen`
+  util::DynBitset covered_h;   // target elements covered by the full h
+};
+
+struct ScgParams {
+  double budget_cap = 1.0;
+  int grid_points = 8;
+  int refine_steps = 6;
+  bool carry_budgets = true;
+};
+
+struct ScgResult {
+  std::vector<int> chosen;
+  util::DynBitset covered;
+  bool feasible = false;
+  double bstar = 0.0;
+  double max_group_cost = 0.0;
+  std::vector<double> group_cost;
+  int passes = 0;
+};
+
+struct LayeringResult {
+  std::vector<int> chosen;
+  util::DynBitset covered;
+  double total_cost = 0.0;
+  int layers = 0;
+  bool complete = false;
+};
+
+/// CostSC greedy. Targets all coverable elements, or coverable ∩ restrict_to.
+CoverResult greedy_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                         const util::DynBitset* restrict_to = nullptr);
+
+/// The MCG greedy with the H1/H2 split (one budget per group).
+McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                    std::span<const double> group_budgets,
+                    const util::DynBitset* restrict_to = nullptr);
+
+/// Budget-respecting augmentation after the split; extends `covered` and
+/// `group_cost` in place and returns the sets it added.
+std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
+                             std::span<const double> group_budgets,
+                             std::vector<double>& group_cost, util::DynBitset& covered,
+                             const util::DynBitset* restrict_to = nullptr);
+
+/// SCG: geometric grid + bisection search for B*, repeated MCG passes.
+ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                    const ScgParams& params = {});
+
+/// Vazirani layering over the whole coverable ground set.
+LayeringResult layered_cover(const CoverageEngine& eng, SolveWorkspace& ws);
+
+/// Max number of live sets any coverable element appears in (the layering
+/// algorithm's approximation factor f).
+int max_element_frequency(const CoverageEngine& eng);
+
+}  // namespace wmcast::core

@@ -8,6 +8,7 @@
 
 #include "wmcast/assoc/policy.hpp"
 #include "wmcast/assoc/registry.hpp"
+#include "wmcast/ctrl/engine_source.hpp"
 #include "wmcast/util/assert.hpp"
 
 namespace wmcast::ctrl {
@@ -38,7 +39,9 @@ AssociationController::AssociationController(const wlan::Scenario& initial,
   util::require(cfg_.degradation_threshold >= 0.0,
                 "AssociationController: negative degradation threshold");
   compact_sc_ = state_.to_scenario(&row_slot_);
-  const auto sol = solve_full(compact_sc_);
+  engine_.build_full(StateSource(state_), cfg_.multi_rate);
+  sync_engine_stats(nullptr);
+  const auto sol = solve_full(compact_sc_, row_slot_);
   slot_ap_ = slot_association(sol.assoc, row_slot_, state_.n_slots());
   loads_ = sol.loads;
   baseline_load_ = sol.loads.total_load;
@@ -51,14 +54,97 @@ AssociationController::AssociationController(const wlan::Scenario& initial,
   tele_.baseline_load.set(baseline_load_);
 }
 
-assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc) {
+assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc,
+                                                  const std::vector<int>& row_slot) {
   if (sc.n_users() == 0) {
     return assoc::make_solution(cfg_.full_solver, sc, wlan::Association::none(0),
                                 cfg_.multi_rate);
   }
+  // Fast path: the default solver (MLA-C = greedy set cover) runs directly on
+  // the maintained slot-space engine instead of re-projecting the scenario
+  // into a fresh set system. The engine enumerates sets in the same (AP,
+  // session, descending rate) order the reduction does and rows are slots in
+  // ascending order, so the greedy picks — and hence the association — are
+  // identical to the registry path.
+  if (cfg_.full_solver == "mla-c" && cfg_.multi_rate) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto greedy = core::greedy_cover(engine_, solve_ws_);
+    slot_row_.assign(static_cast<size_t>(engine_.n_elements()), -1);
+    for (int r = 0; r < sc.n_users(); ++r) {
+      slot_row_[static_cast<size_t>(row_slot[static_cast<size_t>(r)])] = r;
+    }
+    auto assoc = wlan::Association::none(sc.n_users());
+    for (const int j : greedy.chosen) {
+      const int a = engine_.ap(j);
+      for (const int32_t slot : engine_.members(j)) {
+        const int r = slot_row_[static_cast<size_t>(slot)];
+        if (r >= 0 && assoc.user_ap[static_cast<size_t>(r)] == wlan::kNoAp) {
+          assoc.user_ap[static_cast<size_t>(r)] = a;
+        }
+      }
+    }
+    auto sol = assoc::make_solution("MLA-C", sc, std::move(assoc), cfg_.multi_rate);
+    sol.solve_seconds = seconds_since(t0);
+    return sol;
+  }
   assoc::SolveOptions opt;
   opt.multi_rate = cfg_.multi_rate;
   return assoc::solve_by_name(cfg_.full_solver, sc, rng_, opt);
+}
+
+void AssociationController::refresh_engine(const NetworkState& next) {
+  dirty_groups_.clear();
+  group_mark_.assign(static_cast<size_t>(next.n_aps()), 0);
+  const auto mark = [&](int a) {
+    if (!group_mark_[static_cast<size_t>(a)]) {
+      group_mark_[static_cast<size_t>(a)] = 1;
+      dirty_groups_.push_back(a);
+    }
+  };
+
+  bool rate_changed = false;
+  for (int t = 0; t < next.n_sessions() && !rate_changed; ++t) {
+    rate_changed = next.session_rate(t) != state_.session_rate(t);
+  }
+  if (rate_changed) {
+    // A stream-rate change reprices every set of that session; rebuild all.
+    for (int a = 0; a < next.n_aps(); ++a) mark(a);
+  } else {
+    for (int s = 0; s < next.n_slots(); ++s) {
+      if (s < state_.n_slots() && state_.slot(s) == next.slot(s)) continue;
+      // APs that held this slot before: exactly the groups of the sets the
+      // inverted index lists for it.
+      if (s < engine_.n_elements()) {
+        engine_.for_each_set_of(s, [&](int j) { mark(engine_.ap(j)); });
+      }
+      // APs that gain it now: anything in range of the new position.
+      if (next.slot(s).wants_service()) {
+        for (int a = 0; a < next.n_aps(); ++a) {
+          if (next.link_rate(a, s) > 0.0) mark(a);
+        }
+      }
+    }
+  }
+  if (dirty_groups_.empty() && next.n_slots() <= engine_.n_elements()) return;
+  engine_.update_groups(StateSource(next), dirty_groups_, cfg_.multi_rate);
+}
+
+void AssociationController::sync_engine_stats(EpochReport* rep) {
+  const core::EngineStats& now = engine_.stats();
+  const core::EngineStats& old = engine_stats_synced_;
+  if (rep != nullptr) {
+    rep->engine_groups_rebuilt = static_cast<int>(now.groups_rebuilt - old.groups_rebuilt);
+    rep->engine_sets_rebuilt = static_cast<int>(now.sets_rebuilt - old.sets_rebuilt);
+    rep->engine_sets_retired = static_cast<int>(now.sets_retired - old.sets_retired);
+    rep->engine_compacted = now.compactions > old.compactions;
+  }
+  tele_.engine_full_builds.inc(now.full_builds - old.full_builds);
+  tele_.engine_incremental_updates.inc(now.incremental_updates - old.incremental_updates);
+  tele_.engine_groups_rebuilt.inc(now.groups_rebuilt - old.groups_rebuilt);
+  tele_.engine_sets_rebuilt.inc(now.sets_rebuilt - old.sets_rebuilt);
+  tele_.engine_sets_retired.inc(now.sets_retired - old.sets_retired);
+  tele_.engine_compactions.inc(now.compactions - old.compactions);
+  engine_stats_synced_ = now;
 }
 
 bool AssociationController::admit(const JoinRequest& req) const {
@@ -96,17 +182,23 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
                                                 const std::vector<int>& movable_rows,
                                                 bool polish) {
   const int n = sc.n_users();
-  std::vector<int> user_ap = carried.user_ap;
-  std::vector<std::vector<int>> members(static_cast<size_t>(sc.n_aps()));
+  // All per-AP/per-user scratch lives in the reusable workspace; the polish
+  // pass below re-prepares the same workspace once the lists here are spent.
+  repair_ws_.prepare(sc.n_aps(), n);
+  std::vector<int>& user_ap = repair_ws_.user_ap;
+  user_ap = carried.user_ap;
+  std::vector<std::vector<int>>& members = repair_ws_.members;
   for (int u = 0; u < n; ++u) {
     if (user_ap[static_cast<size_t>(u)] != wlan::kNoAp) {
       members[static_cast<size_t>(user_ap[static_cast<size_t>(u)])].push_back(u);
     }
   }
 
-  std::vector<char> movable(static_cast<size_t>(n), 0);
+  std::vector<int>& movable = repair_ws_.decision;  // 0/1 mask
+  movable.assign(static_cast<size_t>(n), 0);
   std::vector<int> movers = movable_rows;
-  std::vector<int> pending;
+  std::vector<int>& pending = repair_ws_.scratch;
+  pending.clear();
   for (const int u : movable_rows) {
     movable[static_cast<size_t>(u)] = 1;
     if (user_ap[static_cast<size_t>(u)] == wlan::kNoAp) pending.push_back(u);
@@ -134,7 +226,7 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
         m.erase(std::find(m.begin(), m.end(), best_u));
         user_ap[static_cast<size_t>(best_u)] = wlan::kNoAp;
         pending.push_back(best_u);
-        if (!movable[static_cast<size_t>(best_u)]) {
+        if (movable[static_cast<size_t>(best_u)] == 0) {
           movable[static_cast<size_t>(best_u)] = 1;
           movers.push_back(best_u);
         }
@@ -157,7 +249,9 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
     }
   }
 
-  wlan::Association out{std::move(user_ap)};
+  // Copy (not move) the assignment out: the workspace is reused by the
+  // restricted local search below and by the next epoch.
+  wlan::Association out{user_ap};
   if (polish && !movers.empty()) {
     assoc::LocalSearchParams lp;
     lp.objective = cfg_.objective;
@@ -165,9 +259,9 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
     lp.multi_rate = cfg_.multi_rate;
     lp.max_moves =
         std::max(100, cfg_.polish_moves_per_dirty * static_cast<int>(movers.size()));
-    lp.restrict_users = movers;
+    lp.restrict_users = std::move(movers);
     lp.min_gain = cfg_.polish_min_gain;
-    out = assoc::local_search(sc, out, lp).assoc;
+    out = assoc::local_search(sc, out, lp, nullptr, &repair_ws_).assoc;
   }
   return out;
 }
@@ -272,6 +366,9 @@ EpochReport AssociationController::drain() {
   }
 
   // --- 3. dirty region + compact projection. -------------------------------
+  // Bring the slot-space engine to `next` first: only the candidate sets of
+  // APs actually touched by the batch are re-projected.
+  refresh_engine(next);
   const auto dirty_slots = compute_dirty_slots(state_, next, slot_ap_);
   rep.dirty_users = static_cast<int>(dirty_slots.size());
   tele_.dirty_region_size.record(static_cast<double>(dirty_slots.size()));
@@ -326,7 +423,7 @@ EpochReport AssociationController::drain() {
   std::optional<assoc::Solution> full;
   if (cfg_.full_refresh_epochs > 0 && epochs_since_refresh_ >= cfg_.full_refresh_epochs &&
       sc.n_users() > 0) {
-    full = solve_full(sc);
+    full = solve_full(sc, row_slot);
     baseline_load_ = full->loads.total_load;
     epochs_since_refresh_ = 0;
     tele_.baseline_refreshes.inc();
@@ -338,7 +435,7 @@ EpochReport AssociationController::drain() {
       cand_loads.total_load > baseline_load_ * (1.0 + cfg_.degradation_threshold);
   if (sc.n_users() > 0 && (no_baseline || degraded) && !rep.rolled_back) {
     if (!full) {
-      full = solve_full(sc);
+      full = solve_full(sc, row_slot);
       baseline_load_ = full->loads.total_load;
       epochs_since_refresh_ = 0;
     }
@@ -361,7 +458,7 @@ EpochReport AssociationController::drain() {
     lp.multi_rate = cfg_.multi_rate;
     if (still_degraded) {
       lp.target_total = baseline_load_ * (1.0 + 0.5 * cfg_.degradation_threshold);
-      auto warm = assoc::local_search(sc, cand, lp);
+      auto warm = assoc::local_search(sc, cand, lp, nullptr, &repair_ws_);
       auto warm_slot = slot_association(warm.assoc, row_slot, next.n_slots());
       auto wc = count_changes(slot_ap_, warm_slot, next);
       const bool warm_within_cap = cfg_.max_reassoc_per_epoch < 0 ||
@@ -428,6 +525,7 @@ EpochReport AssociationController::drain() {
   rep.total_load = loads_.total_load;
   rep.max_load = loads_.max_load;
   rep.baseline_load = baseline_load_;
+  sync_engine_stats(&rep);
   rep.drain_seconds = seconds_since(t0);
 
   tele_.users_present.set(present);

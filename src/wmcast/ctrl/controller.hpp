@@ -31,6 +31,9 @@
 
 #include "wmcast/assoc/local_search.hpp"
 #include "wmcast/assoc/solution.hpp"
+#include "wmcast/core/engine.hpp"
+#include "wmcast/core/solve.hpp"
+#include "wmcast/core/workspace.hpp"
 #include "wmcast/ctrl/events.hpp"
 #include "wmcast/ctrl/state.hpp"
 #include "wmcast/ctrl/telemetry.hpp"
@@ -110,6 +113,13 @@ struct EpochReport {
   double max_load = 0.0;
   double baseline_load = 0.0;
   double drain_seconds = 0.0;
+  // Coverage-engine maintenance this epoch (rebuild-vs-repair accounting):
+  // how many APs' candidate sets were re-projected, and the set churn that
+  // caused. A quiescent epoch reports all zeros.
+  int engine_groups_rebuilt = 0;
+  int engine_sets_rebuilt = 0;
+  int engine_sets_retired = 0;
+  bool engine_compacted = false;
 };
 
 class AssociationController {
@@ -141,6 +151,10 @@ class AssociationController {
   Telemetry& telemetry() { return tele_; }
   const Telemetry& telemetry() const { return tele_; }
 
+  /// The slot-space coverage engine, kept current with state(). Exposed for
+  /// benches and tests; treat as read-only.
+  const core::CoverageEngine& engine() const { return engine_; }
+
  private:
   struct ChangeCount {
     int total = 0;      // any slot AP change, including joins and drops
@@ -150,12 +164,19 @@ class AssociationController {
   };
 
   bool admit(const JoinRequest& req) const;
-  assoc::Solution solve_full(const wlan::Scenario& sc);
+  assoc::Solution solve_full(const wlan::Scenario& sc, const std::vector<int>& row_slot);
   wlan::Association repair(const wlan::Scenario& sc, const wlan::Association& carried,
                            const std::vector<int>& movable_rows, bool polish);
   ChangeCount count_changes(const std::vector<int>& old_slot_ap,
                             const std::vector<int>& new_slot_ap,
                             const NetworkState& next) const;
+  /// Brings engine_ from state_ to `next`: marks every AP whose candidate
+  /// sets could differ (old sets via the inverted index, new in-range APs by
+  /// position) and rebuilds only those groups.
+  void refresh_engine(const NetworkState& next);
+  /// Folds engine stat deltas since the last sync into telemetry (and the
+  /// epoch report, when given).
+  void sync_engine_stats(EpochReport* rep);
 
   ControllerConfig cfg_;
   NetworkState state_;
@@ -169,6 +190,16 @@ class AssociationController {
   EventQueue queue_;
   Telemetry tele_;
   util::Rng rng_;
+
+  // Slot-space engine + reusable solve/repair scratch (steady-state epochs
+  // allocate nothing beyond what the scenario projection needs).
+  core::CoverageEngine engine_;
+  core::EngineStats engine_stats_synced_;
+  core::SolveWorkspace solve_ws_;
+  core::AssocWorkspace repair_ws_;
+  std::vector<int> dirty_groups_;
+  std::vector<char> group_mark_;
+  std::vector<int> slot_row_;
 };
 
 }  // namespace wmcast::ctrl

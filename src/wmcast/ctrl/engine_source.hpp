@@ -1,0 +1,38 @@
+// Source adapter exposing a NetworkState to the coverage engine in *slot*
+// space: elements are controller slots (ids stable across epochs, unlike the
+// compact scenario's rows), groups are APs. Slots not wanting service are
+// inactive, so they appear in no candidate set but keep their element id for
+// when they return. This is what lets the controller keep one engine alive
+// across epochs and rebuild only the candidate sets of dirty APs.
+#pragma once
+
+#include "wmcast/core/engine.hpp"
+#include "wmcast/ctrl/state.hpp"
+
+namespace wmcast::ctrl {
+
+class StateSource {
+ public:
+  explicit StateSource(const NetworkState& st) : st_(&st) {}
+
+  int n_elements() const { return st_->n_slots(); }
+  int n_groups() const { return st_->n_aps(); }
+  int n_sessions() const { return st_->n_sessions(); }
+  double session_rate(int s) const { return st_->session_rate(s); }
+  int element_session(int e) const { return st_->slot(e).session; }
+  bool element_active(int e) const { return st_->slot(e).wants_service(); }
+  double link_rate(int g, int e) const { return st_->link_rate(g, e); }
+  double basic_rate() const { return st_->rate_table().basic_rate(); }
+
+  /// NetworkState keeps no per-AP member list, so every slot is offered; the
+  /// engine filters by link_rate > 0.
+  template <typename Fn>
+  void for_each_element_of_group(int /*g*/, Fn&& fn) const {
+    for (int s = 0; s < st_->n_slots(); ++s) fn(s);
+  }
+
+ private:
+  const NetworkState* st_;
+};
+
+}  // namespace wmcast::ctrl

@@ -141,6 +141,15 @@ util::Json Telemetry::to_json() const {
   counters.set("handoffs", static_cast<int64_t>(handoffs.value()));
   counters.set("forced_reassociations",
                static_cast<int64_t>(forced_reassociations.value()));
+  util::Json engine = util::Json::object();
+  engine.set("full_builds", static_cast<int64_t>(engine_full_builds.value()));
+  engine.set("incremental_updates",
+             static_cast<int64_t>(engine_incremental_updates.value()));
+  engine.set("groups_rebuilt", static_cast<int64_t>(engine_groups_rebuilt.value()));
+  engine.set("sets_rebuilt", static_cast<int64_t>(engine_sets_rebuilt.value()));
+  engine.set("sets_retired", static_cast<int64_t>(engine_sets_retired.value()));
+  engine.set("compactions", static_cast<int64_t>(engine_compactions.value()));
+  counters.set("engine", std::move(engine));
 
   util::Json gauges = util::Json::object();
   gauges.set("users_present", users_present.value());
@@ -191,6 +200,12 @@ std::string Telemetry::to_text() const {
   line("reassociations", reassociations.value());
   line("handoffs", handoffs.value());
   line("forced_reassociations", forced_reassociations.value());
+  line("engine_full_builds", engine_full_builds.value());
+  line("engine_incremental_updates", engine_incremental_updates.value());
+  line("engine_groups_rebuilt", engine_groups_rebuilt.value());
+  line("engine_sets_rebuilt", engine_sets_rebuilt.value());
+  line("engine_sets_retired", engine_sets_retired.value());
+  line("engine_compactions", engine_compactions.value());
   out += "gauges:\n";
   const auto gline = [&](const char* k, double v) {
     std::snprintf(buf, sizeof(buf), "  %-24s %s\n", k, util::fmt(v, 4).c_str());

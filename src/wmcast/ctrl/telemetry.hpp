@@ -99,6 +99,15 @@ struct Telemetry {
   Counter handoffs;               // AP -> different-AP moves (Reassociation frames)
   Counter forced_reassociations;  // subset forced by invalidated associations
 
+  // Coverage-engine maintenance (rebuild-vs-repair accounting, mirrored from
+  // core::EngineStats by the controller; additive keys under the v1 schema).
+  Counter engine_full_builds;          // whole-system projections
+  Counter engine_incremental_updates;  // dirty-group update passes
+  Counter engine_groups_rebuilt;       // AP candidate-set rebuilds
+  Counter engine_sets_rebuilt;         // sets re-appended by those rebuilds
+  Counter engine_sets_retired;         // sets tombstoned by those rebuilds
+  Counter engine_compactions;          // arena reclamation passes
+
   // Gauges (state as of the last committed epoch).
   Gauge users_present;
   Gauge users_subscribed;

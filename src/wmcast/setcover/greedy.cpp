@@ -1,59 +1,21 @@
 #include "wmcast/setcover/greedy.hpp"
 
-#include <queue>
+#include <utility>
 
-#include "wmcast/util/assert.hpp"
+#include "wmcast/core/solve.hpp"
 
 namespace wmcast::setcover {
 
-namespace {
-
-struct HeapEntry {
-  double ratio;  // gain / cost at the time of evaluation (upper bound)
-  int set;
-
-  bool operator<(const HeapEntry& o) const {
-    // max-heap by ratio; deterministic tie-break on the set index.
-    return ratio != o.ratio ? ratio < o.ratio : set > o.set;
-  }
-};
-
-}  // namespace
-
 GreedyCoverResult greedy_set_cover(const SetSystem& sys, const util::DynBitset* restrict_to) {
-  util::DynBitset remaining = sys.coverable();
-  if (restrict_to != nullptr) remaining.and_assign(*restrict_to);
+  const core::CoverageEngine eng = to_engine(sys);
+  core::SolveWorkspace ws;
+  core::CoverResult r = core::greedy_cover(eng, ws, restrict_to);
 
   GreedyCoverResult res;
-  res.covered = util::DynBitset(sys.n_elements());
-
-  std::priority_queue<HeapEntry> heap;
-  for (int j = 0; j < sys.n_sets(); ++j) {
-    const auto& s = sys.set(j);
-    const int gain = s.members.and_count(remaining);
-    if (gain > 0) heap.push({gain / s.cost, j});
-  }
-
-  while (remaining.any() && !heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const auto& s = sys.set(top.set);
-    const int gain = s.members.and_count(remaining);
-    if (gain <= 0) continue;  // fully covered meanwhile; discard
-    const double ratio = gain / s.cost;
-    // Lazy re-evaluation: if the refreshed ratio still beats (or ties) the
-    // next candidate's stale upper bound, the pick is the true argmax.
-    if (!heap.empty() && ratio < heap.top().ratio) {
-      heap.push({ratio, top.set});
-      continue;
-    }
-    res.chosen.push_back(top.set);
-    res.total_cost += s.cost;
-    res.covered.or_assign(s.members);
-    remaining.andnot_assign(s.members);
-  }
-
-  res.complete = remaining.none();
+  res.chosen = std::move(r.chosen);
+  res.covered = std::move(r.covered);
+  res.total_cost = r.total_cost;
+  res.complete = r.complete;
   return res;
 }
 

@@ -18,8 +18,8 @@ struct GreedyCoverResult {
 
 /// Runs CostSC. If `restrict_to` is non-null, only those elements need
 /// covering (used by SCG's repeated passes); otherwise all coverable elements.
-/// Implementation uses lazy (CELF-style) re-evaluation: gains are submodular,
-/// so a stale heap entry is always an upper bound.
+/// Thin policy over core::greedy_cover (maintained-gain lazy heap): every
+/// pick equals the eager argmax of gain/cost, ties to the lower set index.
 GreedyCoverResult greedy_set_cover(const SetSystem& sys,
                                    const util::DynBitset* restrict_to = nullptr);
 

@@ -1,15 +1,11 @@
 #include "wmcast/setcover/layering.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <utility>
 
-#include "wmcast/util/assert.hpp"
+#include "wmcast/core/solve.hpp"
 
 namespace wmcast::setcover {
-
-namespace {
-constexpr double kTol = 1e-12;
-}
 
 int max_element_frequency(const SetSystem& sys) {
   std::vector<int> freq(static_cast<size_t>(sys.n_elements()), 0);
@@ -23,50 +19,16 @@ int max_element_frequency(const SetSystem& sys) {
 }
 
 LayeringResult layered_set_cover(const SetSystem& sys) {
+  const core::CoverageEngine eng = to_engine(sys);
+  core::SolveWorkspace ws;
+  core::LayeringResult r = core::layered_cover(eng, ws);
+
   LayeringResult res;
-  res.covered = util::DynBitset(sys.n_elements());
-
-  util::DynBitset remaining = sys.coverable();
-  std::vector<double> residual(static_cast<size_t>(sys.n_sets()));
-  std::vector<bool> taken(static_cast<size_t>(sys.n_sets()), false);
-  for (int j = 0; j < sys.n_sets(); ++j) residual[static_cast<size_t>(j)] = sys.set(j).cost;
-
-  while (remaining.any()) {
-    // epsilon = min over live sets of residual cost per uncovered element.
-    double eps = std::numeric_limits<double>::infinity();
-    bool any_live = false;
-    for (int j = 0; j < sys.n_sets(); ++j) {
-      if (taken[static_cast<size_t>(j)]) continue;
-      const int deg = sys.set(j).members.and_count(remaining);
-      if (deg <= 0) continue;
-      any_live = true;
-      eps = std::min(eps, residual[static_cast<size_t>(j)] / deg);
-    }
-    if (!any_live) break;  // cannot make progress (shouldn't happen: remaining ⊆ coverable)
-    ++res.layers;
-
-    // Peel the layer: every live set pays eps per uncovered element it holds;
-    // exhausted sets join the cover.
-    bool picked_any = false;
-    for (int j = 0; j < sys.n_sets(); ++j) {
-      if (taken[static_cast<size_t>(j)]) continue;
-      const int deg = sys.set(j).members.and_count(remaining);
-      if (deg <= 0) continue;
-      residual[static_cast<size_t>(j)] -= eps * deg;
-      if (residual[static_cast<size_t>(j)] <= kTol) {
-        taken[static_cast<size_t>(j)] = true;
-        picked_any = true;
-        res.chosen.push_back(j);
-        res.total_cost += sys.set(j).cost;
-        res.covered.or_assign(sys.set(j).members);
-      }
-    }
-    WMCAST_ASSERT(picked_any, "layering: a layer must exhaust at least one set");
-    remaining.andnot_assign(res.covered);
-  }
-
-  res.covered.and_assign(sys.coverable());
-  res.complete = !remaining.any();
+  res.chosen = std::move(r.chosen);
+  res.covered = std::move(r.covered);
+  res.total_cost = r.total_cost;
+  res.layers = r.layers;
+  res.complete = r.complete;
   return res;
 }
 

@@ -21,4 +21,21 @@ wlan::Association materialize(const wlan::Scenario& sc, const SetSystem& sys,
   return assoc;
 }
 
+wlan::Association materialize(const wlan::Scenario& sc, const core::CoverageEngine& eng,
+                              std::span<const int> chosen_sets) {
+  util::require(eng.n_elements() == sc.n_users(), "materialize: universe mismatch");
+
+  wlan::Association assoc = wlan::Association::none(sc.n_users());
+  for (const int j : chosen_sets) {
+    util::require(j >= 0 && j < eng.n_set_slots(), "materialize: invalid set index");
+    const int a = eng.ap(j);
+    for (const int32_t u : eng.members(j)) {
+      if (assoc.user_ap[static_cast<size_t>(u)] == wlan::kNoAp) {
+        assoc.user_ap[static_cast<size_t>(u)] = a;
+      }
+    }
+  }
+  return assoc;
+}
+
 }  // namespace wmcast::setcover

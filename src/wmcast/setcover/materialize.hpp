@@ -18,4 +18,8 @@ namespace wmcast::setcover {
 wlan::Association materialize(const wlan::Scenario& sc, const SetSystem& sys,
                               std::span<const int> chosen_sets);
 
+/// Engine overload: same first-chosen-set-wins rule over engine set ids.
+wlan::Association materialize(const wlan::Scenario& sc, const core::CoverageEngine& eng,
+                              std::span<const int> chosen_sets);
+
 }  // namespace wmcast::setcover

@@ -1,93 +1,25 @@
 #include "wmcast/setcover/mcg.hpp"
 
-#include <queue>
+#include <utility>
 
-#include "wmcast/util/assert.hpp"
+#include "wmcast/core/solve.hpp"
 
 namespace wmcast::setcover {
 
-namespace {
-
-constexpr double kEps = 1e-12;
-
-struct HeapEntry {
-  double ratio;
-  int set;
-
-  bool operator<(const HeapEntry& o) const {
-    return ratio != o.ratio ? ratio < o.ratio : set > o.set;
-  }
-};
-
-}  // namespace
-
 McgResult mcg_greedy(const SetSystem& sys, std::span<const double> group_budgets,
                      const util::DynBitset* restrict_to) {
-  util::require(static_cast<int>(group_budgets.size()) == sys.n_groups(),
-                "mcg_greedy: one budget per group required");
-
-  util::DynBitset remaining = sys.coverable();
-  if (restrict_to != nullptr) remaining.and_assign(*restrict_to);
-  const util::DynBitset target = remaining;
-
-  std::vector<double> group_cost(static_cast<size_t>(sys.n_groups()), 0.0);
-
-  // Global lazy heap over all usable sets. Popping the global argmax of
-  // gain/cost among sets in still-active groups is equivalent to the paper's
-  // two-stage argmax (best per group, then best across groups).
-  std::priority_queue<HeapEntry> heap;
-  for (int j = 0; j < sys.n_sets(); ++j) {
-    const auto& s = sys.set(j);
-    if (s.cost > group_budgets[static_cast<size_t>(s.group)] + kEps) continue;
-    const int gain = s.members.and_count(remaining);
-    if (gain > 0) heap.push({gain / s.cost, j});
-  }
+  const core::CoverageEngine eng = to_engine(sys);
+  core::SolveWorkspace ws;
+  core::McgResult r = core::mcg_cover(eng, ws, group_budgets, restrict_to);
 
   McgResult res;
-  res.covered_h = util::DynBitset(sys.n_elements());
-
-  while (remaining.any() && !heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const auto& s = sys.set(top.set);
-    const auto g = static_cast<size_t>(s.group);
-    if (group_cost[g] + kEps >= group_budgets[g]) continue;  // group exhausted
-    const int gain = s.members.and_count(remaining);
-    if (gain <= 0) continue;
-    const double ratio = gain / s.cost;
-    if (!heap.empty() && ratio < heap.top().ratio) {
-      heap.push({ratio, top.set});
-      continue;
-    }
-    group_cost[g] += s.cost;
-    res.h.push_back(top.set);
-    res.violator.push_back(group_cost[g] > group_budgets[g] + kEps);
-    res.covered_h.or_assign(s.members);
-    remaining.andnot_assign(s.members);
-  }
-  res.covered_h.and_assign(target);
-
-  // H1/H2 split; output whichever covers more of the target.
-  util::DynBitset cov1(sys.n_elements());
-  util::DynBitset cov2(sys.n_elements());
-  for (size_t k = 0; k < res.h.size(); ++k) {
-    if (res.violator[k]) {
-      res.h2.push_back(res.h[k]);
-      cov2.or_assign(sys.set(res.h[k]).members);
-    } else {
-      res.h1.push_back(res.h[k]);
-      cov1.or_assign(sys.set(res.h[k]).members);
-    }
-  }
-  cov1.and_assign(target);
-  cov2.and_assign(target);
-  if (cov2.count() > cov1.count()) {
-    res.chosen = res.h2;
-    res.covered = std::move(cov2);
-  } else {
-    res.chosen = res.h1;
-    res.covered = std::move(cov1);
-  }
+  res.h = std::move(r.h);
+  res.violator.assign(r.violator.begin(), r.violator.end());
+  res.h1 = std::move(r.h1);
+  res.h2 = std::move(r.h2);
+  res.chosen = std::move(r.chosen);
+  res.covered = std::move(r.covered);
+  res.covered_h = std::move(r.covered_h);
   return res;
 }
 
@@ -100,44 +32,9 @@ McgResult mcg_greedy_uniform(const SetSystem& sys, double budget,
 std::vector<int> mcg_augment(const SetSystem& sys, std::span<const double> group_budgets,
                              std::vector<double>& group_cost, util::DynBitset& covered,
                              const util::DynBitset* restrict_to) {
-  util::require(static_cast<int>(group_budgets.size()) == sys.n_groups(),
-                "mcg_augment: one budget per group required");
-  util::require(static_cast<int>(group_cost.size()) == sys.n_groups(),
-                "mcg_augment: one cost entry per group required");
-
-  util::DynBitset remaining = sys.coverable();
-  if (restrict_to != nullptr) remaining.and_assign(*restrict_to);
-  remaining.andnot_assign(covered);
-
-  std::priority_queue<HeapEntry> heap;
-  for (int j = 0; j < sys.n_sets(); ++j) {
-    const auto& s = sys.set(j);
-    const auto g = static_cast<size_t>(s.group);
-    if (group_cost[g] + s.cost > group_budgets[g] + kEps) continue;
-    const int gain = s.members.and_count(remaining);
-    if (gain > 0) heap.push({gain / s.cost, j});
-  }
-
-  std::vector<int> added;
-  while (remaining.any() && !heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const auto& s = sys.set(top.set);
-    const auto g = static_cast<size_t>(s.group);
-    if (group_cost[g] + s.cost > group_budgets[g] + kEps) continue;  // no longer fits
-    const int gain = s.members.and_count(remaining);
-    if (gain <= 0) continue;
-    const double ratio = gain / s.cost;
-    if (!heap.empty() && ratio < heap.top().ratio) {
-      heap.push({ratio, top.set});
-      continue;
-    }
-    group_cost[g] += s.cost;
-    added.push_back(top.set);
-    covered.or_assign(s.members);
-    remaining.andnot_assign(s.members);
-  }
-  return added;
+  const core::CoverageEngine eng = to_engine(sys);
+  core::SolveWorkspace ws;
+  return core::mcg_augment(eng, ws, group_budgets, group_cost, covered, restrict_to);
 }
 
 }  // namespace wmcast::setcover

@@ -60,4 +60,10 @@ SetSystem build_set_system(const wlan::Scenario& sc, bool multi_rate) {
   return SetSystem(sc.n_users(), sc.n_aps(), std::move(sets));
 }
 
+core::CoverageEngine build_engine(const wlan::Scenario& sc, bool multi_rate) {
+  core::CoverageEngine eng;
+  eng.build_full(ScenarioSource(sc), multi_rate);
+  return eng;
+}
+
 }  // namespace wmcast::setcover

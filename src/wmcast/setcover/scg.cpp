@@ -1,105 +1,30 @@
 #include "wmcast/setcover/scg.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
-#include "wmcast/setcover/mcg.hpp"
-#include "wmcast/util/assert.hpp"
+#include "wmcast/core/solve.hpp"
 
 namespace wmcast::setcover {
 
-namespace {
-
-/// One full SCG attempt at a fixed B*: iterate the MCG greedy on the shrinking
-/// remainder until everything coverable is covered or a pass makes no
-/// progress. Returns an infeasible result in the latter case.
-/// With carry_budgets, each pass sees only the budget the group has left.
-ScgResult run_at_budget(const SetSystem& sys, double bstar, int max_passes,
-                        bool carry_budgets) {
-  ScgResult res;
-  res.bstar = bstar;
-  res.covered = util::DynBitset(sys.n_elements());
-  res.group_cost.assign(static_cast<size_t>(sys.n_groups()), 0.0);
-
-  std::vector<double> pass_budget(static_cast<size_t>(sys.n_groups()), bstar);
-  util::DynBitset remaining = sys.coverable();
-  for (int pass = 0; pass < max_passes && remaining.any(); ++pass) {
-    if (carry_budgets) {
-      for (int g = 0; g < sys.n_groups(); ++g) {
-        pass_budget[static_cast<size_t>(g)] =
-            std::max(0.0, bstar - res.group_cost[static_cast<size_t>(g)]);
-      }
-    }
-    const McgResult mcg = mcg_greedy(sys, pass_budget, &remaining);
-    if (mcg.covered.none()) break;  // no progress possible at this B*
-    ++res.passes;
-    for (const int j : mcg.chosen) {
-      res.chosen.push_back(j);
-      res.group_cost[static_cast<size_t>(sys.set(j).group)] += sys.set(j).cost;
-    }
-    res.covered.or_assign(mcg.covered);
-    remaining.andnot_assign(mcg.covered);
-  }
-  res.feasible = remaining.none();
-  res.max_group_cost =
-      res.group_cost.empty()
-          ? 0.0
-          : *std::max_element(res.group_cost.begin(), res.group_cost.end());
-  return res;
-}
-
-bool better(const ScgResult& a, const ScgResult& b) {
-  if (a.feasible != b.feasible) return a.feasible;
-  if (!a.feasible) return a.covered.count() > b.covered.count();
-  return a.max_group_cost < b.max_group_cost;
-}
-
-}  // namespace
-
 ScgResult scg_solve(const SetSystem& sys, const ScgParams& params) {
-  util::require(params.budget_cap > 0.0, "scg_solve: budget cap must be positive");
-  util::require(params.grid_points >= 2, "scg_solve: need at least two grid points");
+  const core::CoverageEngine eng = to_engine(sys);
+  core::SolveWorkspace ws;
+  core::ScgParams p;
+  p.budget_cap = params.budget_cap;
+  p.grid_points = params.grid_points;
+  p.refine_steps = params.refine_steps;
+  p.carry_budgets = params.carry_budgets;
+  core::ScgResult r = core::scg_cover(eng, ws, p);
 
-  const int n = std::max(1, sys.coverable().count());
-  // Theorem 4's pass bound; +8 slack because our per-pass coverage guarantee
-  // is on the chosen half, and tiny remainders can take an extra pass or two.
-  const int max_passes =
-      static_cast<int>(std::ceil(std::log(n) / std::log(8.0 / 7.0))) + 8;
-
-  const double lo = std::max(sys.min_feasible_budget(), 1e-9);
-  const double hi = std::max(params.budget_cap, lo);
-
-  ScgResult best = run_at_budget(sys, lo, max_passes, params.carry_budgets);
-  double largest_infeasible = best.feasible ? 0.0 : lo;
-
-  const double ratio = hi / lo;
-  for (int k = 1; k < params.grid_points; ++k) {
-    const double b =
-        lo * std::pow(ratio, static_cast<double>(k) / (params.grid_points - 1));
-    ScgResult r = run_at_budget(sys, b, max_passes, params.carry_budgets);
-    if (!r.feasible) largest_infeasible = std::max(largest_infeasible, b);
-    if (better(r, best)) best = std::move(r);
-  }
-
-  if (best.feasible) {
-    // Bisect between the largest known-infeasible budget and the best
-    // feasible one to squeeze the guess further.
-    double infeasible_lo = largest_infeasible;
-    double feasible_hi = best.bstar;
-    for (int step = 0; step < params.refine_steps; ++step) {
-      if (feasible_hi - infeasible_lo < 1e-6) break;
-      const double mid = infeasible_lo <= 0.0 ? feasible_hi / 2
-                                              : 0.5 * (infeasible_lo + feasible_hi);
-      ScgResult r = run_at_budget(sys, mid, max_passes, params.carry_budgets);
-      if (r.feasible) {
-        feasible_hi = mid;
-        if (better(r, best)) best = std::move(r);
-      } else {
-        infeasible_lo = mid;
-      }
-    }
-  }
-  return best;
+  ScgResult res;
+  res.chosen = std::move(r.chosen);
+  res.covered = std::move(r.covered);
+  res.feasible = r.feasible;
+  res.bstar = r.bstar;
+  res.max_group_cost = r.max_group_cost;
+  res.group_cost = std::move(r.group_cost);
+  res.passes = r.passes;
+  return res;
 }
 
 }  // namespace wmcast::setcover

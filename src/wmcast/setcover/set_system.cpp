@@ -39,4 +39,17 @@ SetSystem::SetSystem(int n_elements, int n_groups, std::vector<CandidateSet> set
   });
 }
 
+core::CoverageEngine to_engine(const SetSystem& sys) {
+  core::CoverageEngine eng;
+  eng.reset(sys.n_elements(), sys.n_groups());
+  std::vector<int32_t> members;
+  for (int j = 0; j < sys.n_sets(); ++j) {
+    const auto& s = sys.set(j);
+    members.clear();
+    s.members.for_each([&](int e) { members.push_back(e); });
+    eng.add_set(s.group, s.session, s.tx_rate, s.cost, members);
+  }
+  return eng;
+}
+
 }  // namespace wmcast::setcover

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "wmcast/core/engine.hpp"
 #include "wmcast/util/bitset.hpp"
 
 namespace wmcast::setcover {
@@ -57,5 +58,9 @@ class SetSystem {
   double max_cost_ = 0.0;
   double min_feasible_budget_ = 0.0;
 };
+
+/// Flattens the system into a fresh CoverageEngine. Set ids equal the
+/// system's set indices, so engine-side results translate one-to-one.
+core::CoverageEngine to_engine(const SetSystem& sys);
 
 }  // namespace wmcast::setcover

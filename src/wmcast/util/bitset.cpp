@@ -59,6 +59,25 @@ int DynBitset::and_count(const DynBitset& other) const {
   return total;
 }
 
+int DynBitset::andnot_count(const DynBitset& other) const {
+  WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
+  int total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & ~other.words_[i]);
+  }
+  return total;
+}
+
+void DynBitset::resize(int n_bits) {
+  WMCAST_ASSERT(n_bits >= 0, "bitset size must be non-negative");
+  n_bits_ = n_bits;
+  words_.resize(static_cast<size_t>((n_bits + 63) / 64), 0);
+  // Clear the bits above n_bits_ in the last word so count() stays exact.
+  if (n_bits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (n_bits_ % 64)) - 1;
+  }
+}
+
 bool DynBitset::intersects(const DynBitset& other) const {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
   for (size_t i = 0; i < words_.size(); ++i) {

@@ -31,10 +31,16 @@ class DynBitset {
 
   /// popcount(*this & other) without materializing the intersection.
   int and_count(const DynBitset& other) const;
+  /// popcount(*this & ~other) without materializing the difference.
+  int andnot_count(const DynBitset& other) const;
   /// True iff (*this & other) is nonempty.
   bool intersects(const DynBitset& other) const;
   /// True iff every set bit of *this is also set in other.
   bool is_subset_of(const DynBitset& other) const;
+
+  /// Grows (or shrinks) the universe to n_bits; surviving bits keep their
+  /// values, new bits start clear.
+  void resize(int n_bits);
 
   void or_assign(const DynBitset& other);
   void and_assign(const DynBitset& other);
@@ -51,6 +57,34 @@ class DynBitset {
   void for_each(Fn&& fn) const {
     for (size_t w = 0; w < words_.size(); ++w) {
       uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for every bit set in (*this & other), in increasing order,
+  /// without materializing the intersection.
+  template <typename Fn>
+  void for_each_and(const DynBitset& other, Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w] & other.words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for every bit set in (*this & ~other), in increasing order,
+  /// without materializing the difference.
+  template <typename Fn>
+  void for_each_andnot(const DynBitset& other, Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w] & ~other.words_[w];
       while (bits != 0) {
         const int b = __builtin_ctzll(bits);
         fn(static_cast<int>(w * 64) + b);

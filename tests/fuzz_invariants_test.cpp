@@ -10,7 +10,10 @@
 #include "wmcast/ext/locks.hpp"
 #include "wmcast/setcover/greedy.hpp"
 #include "wmcast/setcover/layering.hpp"
+#include "wmcast/setcover/mcg.hpp"
 #include "wmcast/setcover/reduction.hpp"
+#include "wmcast/setcover/reference.hpp"
+#include "wmcast/setcover/scg.hpp"
 #include "wmcast/util/rng.hpp"
 #include "wmcast/wlan/scenario_generator.hpp"
 #include "wmcast/wlan/serialization.hpp"
@@ -125,6 +128,99 @@ TEST_P(FuzzInvariants, AllAlgorithmsAllInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, FuzzInvariants, testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Engine-vs-reference equivalence suite: the engine-backed solvers (which the
+// setcover wrappers now run on) must match the retained naive eager
+// references *exactly* — identical chosen sequences and bitwise-identical
+// objective values — across hundreds of seeded instances. Any drift in gain
+// maintenance, heap staleness handling, or tie-breaking shows up here.
+
+/// A random weighted grouped set system; half synthetic (arbitrary costs and
+/// overlaps), half projected from a random scenario (the shape the paper's
+/// reduction produces).
+setcover::SetSystem random_system(util::Rng& rng) {
+  if (rng.next_bool(0.5)) {
+    wlan::GeneratorParams p;
+    p.n_aps = 2 + rng.next_int(10);
+    p.n_users = 1 + rng.next_int(40);
+    p.n_sessions = 1 + rng.next_int(5);
+    p.area_side_m = 150.0 + rng.uniform(0.0, 600.0);
+    p.session_rate_mbps = 0.25 + rng.uniform(0.0, 2.0);
+    return setcover::build_set_system(wlan::generate_scenario(p, rng));
+  }
+  const int n_elements = 1 + rng.next_int(50);
+  const int n_groups = 1 + rng.next_int(8);
+  const int n_sets = 1 + rng.next_int(90);
+  std::vector<setcover::CandidateSet> sets;
+  for (int j = 0; j < n_sets; ++j) {
+    setcover::CandidateSet s;
+    s.members = util::DynBitset(n_elements);
+    const int degree = 1 + rng.next_int(std::min(n_elements, 12));
+    for (int k = 0; k < degree; ++k) s.members.set(rng.next_int(n_elements));
+    s.group = rng.next_int(n_groups);
+    s.ap = s.group;
+    s.session = rng.next_int(3);
+    s.tx_rate = 6.0 * (1 + rng.next_int(9));
+    // Coarse cost grid so cross-product ratio ties actually occur and the
+    // deterministic lower-index tie-break gets exercised.
+    s.cost = 0.125 * (1 + rng.next_int(16));
+    sets.push_back(std::move(s));
+  }
+  return setcover::SetSystem(n_elements, n_groups, std::move(sets));
+}
+
+class EngineEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalence, MatchesNaiveReferenceExactly) {
+  // 8 shards x 28 instances = 224 seeded instances.
+  util::Rng rng(0x9e3779b9u + static_cast<uint64_t>(GetParam()) * 1000003u);
+  for (int i = 0; i < 28; ++i) {
+    const auto sys = random_system(rng);
+
+    // Optional restriction target (exercises SCG-style partial covers).
+    util::DynBitset target(sys.n_elements());
+    for (int e = 0; e < sys.n_elements(); ++e) {
+      if (rng.next_bool(0.7)) target.set(e);
+    }
+    const util::DynBitset* restrict_to = rng.next_bool(0.5) ? &target : nullptr;
+
+    // Greedy (CostSC).
+    const auto g_eng = setcover::greedy_set_cover(sys, restrict_to);
+    const auto g_ref = setcover::greedy_set_cover_reference(sys, restrict_to);
+    ASSERT_EQ(g_eng.chosen, g_ref.chosen);
+    EXPECT_EQ(g_eng.total_cost, g_ref.total_cost);
+    EXPECT_EQ(g_eng.covered, g_ref.covered);
+    EXPECT_EQ(g_eng.complete, g_ref.complete);
+
+    // MCG with random per-group budgets.
+    std::vector<double> budgets(static_cast<size_t>(sys.n_groups()));
+    for (auto& b : budgets) b = rng.uniform(0.05, 2.5);
+    const auto m_eng = setcover::mcg_greedy(sys, budgets, restrict_to);
+    const auto m_ref = setcover::mcg_greedy_reference(sys, budgets, restrict_to);
+    ASSERT_EQ(m_eng.h, m_ref.h);
+    EXPECT_EQ(m_eng.violator, m_ref.violator);
+    EXPECT_EQ(m_eng.h1, m_ref.h1);
+    EXPECT_EQ(m_eng.h2, m_ref.h2);
+    ASSERT_EQ(m_eng.chosen, m_ref.chosen);
+    EXPECT_EQ(m_eng.covered, m_ref.covered);
+    EXPECT_EQ(m_eng.covered_h, m_ref.covered_h);
+
+    // SCG (full budget search: grid + bisection over repeated MCG passes).
+    setcover::ScgParams sp;
+    sp.carry_budgets = rng.next_bool(0.7);
+    const auto s_eng = setcover::scg_solve(sys, sp);
+    const auto s_ref = setcover::scg_solve_reference(sys, sp);
+    ASSERT_EQ(s_eng.chosen, s_ref.chosen);
+    EXPECT_EQ(s_eng.feasible, s_ref.feasible);
+    EXPECT_EQ(s_eng.bstar, s_ref.bstar);
+    EXPECT_EQ(s_eng.max_group_cost, s_ref.max_group_cost);
+    EXPECT_EQ(s_eng.group_cost, s_ref.group_cost);
+    EXPECT_EQ(s_eng.passes, s_ref.passes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededInstances, EngineEquivalence, testing::Range(0, 8));
 
 }  // namespace
 }  // namespace wmcast

@@ -132,5 +132,60 @@ TEST(DynBitset, EmptyUniverse) {
   EXPECT_EQ(b.count(), 0);
 }
 
+TEST(DynBitset, AndnotCountMatchesMaterializedDifference) {
+  DynBitset a(130);
+  DynBitset b(130);
+  a.set(0);
+  a.set(63);
+  a.set(64);
+  a.set(129);
+  b.set(63);
+  b.set(129);
+  EXPECT_EQ(a.andnot_count(b), 2);  // {0, 64}
+  EXPECT_EQ(b.andnot_count(a), 0);  // b is a subset of a
+  DynBitset diff = a;
+  diff.andnot_assign(b);
+  EXPECT_EQ(diff.count(), a.andnot_count(b));
+}
+
+TEST(DynBitset, ResizePreservesLowBitsAndClearsTail) {
+  DynBitset b(70);
+  b.set(0);
+  b.set(69);
+  b.resize(200);
+  EXPECT_EQ(b.size(), 200);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 2);
+  b.set(199);
+  b.resize(70);  // shrink drops the high bits
+  EXPECT_EQ(b.size(), 70);
+  EXPECT_EQ(b.count(), 2);
+  b.resize(200);  // grow again: dropped bits stay dropped
+  EXPECT_EQ(b.count(), 2);
+  b.set_all();
+  EXPECT_EQ(b.count(), 200);
+}
+
+TEST(DynBitset, ForEachAndVisitsIntersection) {
+  DynBitset a(130);
+  DynBitset b(130);
+  for (const int i : {1, 64, 65, 128}) a.set(i);
+  for (const int i : {1, 65, 100, 129}) b.set(i);
+  std::vector<int> seen;
+  a.for_each_and(b, [&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 65}));
+}
+
+TEST(DynBitset, ForEachAndnotVisitsDifference) {
+  DynBitset a(130);
+  DynBitset b(130);
+  for (const int i : {1, 64, 65, 128}) a.set(i);
+  for (const int i : {1, 65, 100, 129}) b.set(i);
+  std::vector<int> seen;
+  a.for_each_andnot(b, [&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{64, 128}));
+}
+
 }  // namespace
 }  // namespace wmcast::util

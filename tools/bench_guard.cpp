@@ -1,0 +1,113 @@
+// Benchmark regression guard: diffs a wmcast-microbench/v1 JSON produced by
+// bench/micro_solvers --json=... against a committed baseline and fails when
+// any benchmark regressed past the tolerance. CI runs this in Release after
+// every build; refresh the baseline (bench/BENCH_micro_solvers.json) whenever
+// a deliberate perf change lands.
+//
+// Run: ./bench_guard --baseline=bench/BENCH_micro_solvers.json \
+//                    --current=out.json [--tolerance=0.25] [--min-ns=50000]
+//
+// Exit code: 0 = all within tolerance, 1 = regression (or malformed input).
+// Benchmarks faster than --min-ns in the baseline are reported but never
+// fail the run: at that scale timer noise dominates any real change.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "wmcast/util/cli.hpp"
+#include "wmcast/util/json.hpp"
+
+namespace {
+
+using wmcast::util::Json;
+
+std::map<std::string, double> load_times(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const Json j = Json::parse(buf.str());
+  const auto* schema = j.find("schema");
+  if (schema == nullptr || schema->as_string() != "wmcast-microbench/v1") {
+    throw std::runtime_error(path + ": not a wmcast-microbench/v1 document");
+  }
+  const auto* benches = j.find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    throw std::runtime_error(path + ": missing benchmarks array");
+  }
+  std::map<std::string, double> out;
+  for (const auto& b : benches->items()) {
+    const auto* name = b.find("name");
+    const auto* ns = b.find("real_time_ns");
+    if (name == nullptr || ns == nullptr) {
+      throw std::runtime_error(path + ": benchmark entry missing name/real_time_ns");
+    }
+    out[name->as_string()] = ns->as_double();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const wmcast::util::Args args(argc, argv);
+    const std::string baseline_path = args.get("baseline", "");
+    const std::string current_path = args.get("current", "");
+    const double tolerance = args.get_double("tolerance", 0.25);
+    const double min_ns = args.get_double("min-ns", 50000.0);
+    if (baseline_path.empty() || current_path.empty()) {
+      std::fprintf(stderr, "usage: bench_guard --baseline=A.json --current=B.json "
+                           "[--tolerance=0.25] [--min-ns=50000]\n");
+      return 1;
+    }
+
+    const auto baseline = load_times(baseline_path);
+    const auto current = load_times(current_path);
+
+    int regressions = 0;
+    int missing = 0;
+    std::printf("%-40s %14s %14s %8s\n", "benchmark", "baseline_ns", "current_ns",
+                "delta");
+    for (const auto& [name, base_ns] : baseline) {
+      const auto it = current.find(name);
+      if (it == current.end()) {
+        std::printf("%-40s %14.0f %14s %8s\n", name.c_str(), base_ns, "MISSING", "");
+        ++missing;
+        continue;
+      }
+      const double cur_ns = it->second;
+      const double delta = base_ns > 0.0 ? (cur_ns / base_ns - 1.0) * 100.0 : 0.0;
+      const bool noise_floor = base_ns < min_ns;
+      const bool regressed = !noise_floor && cur_ns > base_ns * (1.0 + tolerance);
+      std::printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", name.c_str(), base_ns, cur_ns,
+                  delta,
+                  regressed ? "  <-- REGRESSION" : (noise_floor ? "  (noise floor)" : ""));
+      if (regressed) ++regressions;
+    }
+    for (const auto& [name, cur_ns] : current) {
+      if (baseline.find(name) == baseline.end()) {
+        std::printf("%-40s %14s %14.0f %8s\n", name.c_str(), "NEW", cur_ns, "");
+      }
+    }
+
+    if (missing > 0) {
+      std::printf("\n%d baseline benchmark(s) missing from the current run — "
+                  "refresh the baseline if they were renamed.\n", missing);
+      return 1;
+    }
+    if (regressions > 0) {
+      std::printf("\n%d benchmark(s) regressed more than %.0f%% over baseline.\n",
+                  regressions, tolerance * 100.0);
+      return 1;
+    }
+    std::printf("\nall benchmarks within %.0f%% of baseline.\n", tolerance * 100.0);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_guard: %s\n", e.what());
+    return 1;
+  }
+}
