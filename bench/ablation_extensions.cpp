@@ -23,6 +23,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 20);
   const uint64_t seed = args.get_u64("seed", 22);
   const double rate = args.get_double("rate", 1.0);
@@ -170,7 +171,7 @@ int main(int argc, char** argv) {
       p.n_users = users;
       p.session_rate_mbps = rate;
       t.add_row(bench::summary_row(std::to_string(users),
-                                   bench::sweep_point(p, scenarios, seed, algos)));
+                                   bench::sweep_point(p, scenarios, seed, algos, &pool)));
     }
     t.print();
     std::printf("takeaway: carrying group budgets across the SCG passes lets the\n"

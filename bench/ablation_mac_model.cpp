@@ -34,6 +34,7 @@ double airtime_total_load(const wlan::Scenario& sc, const wlan::LoadReport& rep,
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 20);
   const uint64_t seed = args.get_u64("seed", 21);
   const double rate = args.get_double("rate", 1.0);
@@ -106,7 +107,7 @@ int main(int argc, char** argv) {
       p.n_sessions = sessions;
       p.session_rate_mbps = rate;
       t.add_row(bench::summary_row(std::to_string(sessions),
-                                   bench::sweep_point(p, scenarios, seed, algos)));
+                                   bench::sweep_point(p, scenarios, seed, algos, &pool)));
     }
     t.print();
     std::printf("takeaway: association control helps in BOTH rate models (the\n"

@@ -12,6 +12,7 @@
 #include "wmcast/util/rng.hpp"
 #include "wmcast/util/stats.hpp"
 #include "wmcast/util/table.hpp"
+#include "wmcast/util/thread_pool.hpp"
 #include "wmcast/wlan/scenario_generator.hpp"
 
 namespace wmcast::bench {
@@ -25,24 +26,60 @@ struct Algo {
 
 /// Runs every algorithm on `n_scenarios` scenarios drawn from `params` and
 /// returns one Summary per algorithm (paper's error-bar triple).
+///
+/// Every per-(scenario, algorithm) rng stream is forked from the master
+/// up front, in the exact order the historical serial loop forked them
+/// (scenario s's generator stream, then one stream per algorithm) — so the
+/// streams, and hence every published figure number, are independent of how
+/// the scenarios are later scheduled. With a pool the scenarios run across
+/// its lanes; per-scenario values land in slots indexed by (scenario,
+/// algorithm) and are reduced in that order, making the summaries bitwise
+/// identical at any thread count.
 inline std::vector<util::Summary> sweep_point(const wlan::GeneratorParams& params,
                                               int n_scenarios, uint64_t seed,
-                                              const std::vector<Algo>& algos) {
-  std::vector<util::RunningStat> stats(algos.size());
+                                              const std::vector<Algo>& algos,
+                                              util::ThreadPool* pool = nullptr) {
+  const size_t n_algos = algos.size();
   util::Rng master(seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(static_cast<size_t>(n_scenarios) * (n_algos + 1));
   for (int s = 0; s < n_scenarios; ++s) {
-    util::Rng scenario_rng = master.fork();
+    streams.push_back(master.fork());  // scenario generator stream
+    for (size_t a = 0; a < n_algos; ++a) streams.push_back(master.fork());
+  }
+
+  std::vector<double> value(static_cast<size_t>(n_scenarios) * n_algos, 0.0);
+  const auto run_scenario = [&](int s) {
+    const size_t base = static_cast<size_t>(s) * (n_algos + 1);
+    util::Rng scenario_rng = streams[base];
     const auto sc = wlan::generate_scenario(params, scenario_rng);
-    for (size_t a = 0; a < algos.size(); ++a) {
-      util::Rng algo_rng = master.fork();
-      stats[a].add(algos[a].metric(sc, algo_rng));
+    for (size_t a = 0; a < n_algos; ++a) {
+      util::Rng algo_rng = streams[base + 1 + a];
+      value[static_cast<size_t>(s) * n_algos + a] = algos[a].metric(sc, algo_rng);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, n_scenarios, [&](int64_t b, int64_t e, int) {
+      for (int64_t s = b; s < e; ++s) run_scenario(static_cast<int>(s));
+    });
+  } else {
+    for (int s = 0; s < n_scenarios; ++s) run_scenario(s);
+  }
+
+  std::vector<util::RunningStat> stats(n_algos);
+  for (int s = 0; s < n_scenarios; ++s) {
+    for (size_t a = 0; a < n_algos; ++a) {
+      stats[a].add(value[static_cast<size_t>(s) * n_algos + a]);
     }
   }
   std::vector<util::Summary> out;
-  out.reserve(algos.size());
+  out.reserve(n_algos);
   for (const auto& st : stats) out.push_back(util::summarize(st));
   return out;
 }
+
+/// The sweep's worker-thread count: `--threads=N`, else WMCAST_THREADS, else 1.
+inline int thread_count(const util::Args& args) { return util::resolve_threads(args); }
 
 /// Standard bench header: prints the sweep configuration so runs are
 /// reproducible from the log alone.
@@ -51,9 +88,9 @@ inline void print_header(const std::string& title, const util::Args& args,
   std::printf("%s\n", title.c_str());
   std::printf("methodology: %d random scenarios per point (paper: 40), seed %llu,\n",
               n_scenarios, static_cast<unsigned long long>(seed));
-  std::printf("  802.11a rates (Table 1), stream rate %.2f Mbps per session\n\n",
+  std::printf("  802.11a rates (Table 1), stream rate %.2f Mbps per session\n",
               session_rate);
-  (void)args;
+  std::printf("  threads: %d\n\n", thread_count(args));
 }
 
 /// Columns "<name>_min <name>_avg <name>_max" for each algorithm.

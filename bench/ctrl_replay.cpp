@@ -16,7 +16,7 @@
 // Run: ./ctrl_replay [--epochs=24] [--seed=41] [--move=0.12] [--walk=40]
 //                    [--zap=0.04] [--leave=0.02] [--join=0.02]
 //                    [--solver=mla-c] [--threshold=0.1] [--refresh=8]
-//                    [--json=out.json] [--telemetry=tele.json]
+//                    [--json=out.json] [--telemetry=tele.json] [--threads=N]
 
 #include <chrono>
 #include <cmath>
@@ -70,6 +70,12 @@ std::string validate_telemetry(const util::Json& j) {
   if (engine == nullptr || engine->find("incremental_updates") == nullptr ||
       engine->find("groups_rebuilt") == nullptr) {
     return "missing engine rebuild-vs-repair counters";
+  }
+  const auto* parallel = engine->find("parallel");
+  if (parallel == nullptr || parallel->find("solves") == nullptr ||
+      parallel->find("tasks") == nullptr || parallel->find("workers") == nullptr ||
+      parallel->find("imbalance") == nullptr) {
+    return "missing engine.parallel sharded-solve counters";
   }
   const auto* by_type = counters->find("events_by_type");
   if (by_type == nullptr || by_type->find("join") == nullptr ||
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
   cfg.max_reassoc_per_epoch = args.get_int("max-reassoc", -1);
   cfg.polish_min_gain = args.get_double("min-gain", cfg.polish_min_gain);
   cfg.seed = seed + 2;
+  cfg.threads = bench::thread_count(args);
 
   bench::print_header("Online controller: incremental repair vs cold re-solve", args,
                       epochs, seed, 1.0);

@@ -16,6 +16,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 40);
   const uint64_t seed = args.get_u64("seed", 11);
   const double rate = args.get_double("rate", 1.0);
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
     p.n_sessions = 18;
     p.session_rate_mbps = rate;
     p.load_budget = budget;
-    const auto sums = bench::sweep_point(p, scenarios, seed, algos);
+    const auto sums = bench::sweep_point(p, scenarios, seed, algos, &pool);
     t.add_row(bench::summary_row(util::fmt(budget, 2), sums, 1));
     if (budget == 0.04) at004 = sums;
   }

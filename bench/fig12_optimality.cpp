@@ -54,6 +54,7 @@ double exact_mnu_unsatisfied(const wlan::Scenario& sc) {
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 40);
   const uint64_t seed = args.get_u64("seed", 12);
   const double rate = args.get_double("rate", 1.0);
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
     for (const int users : user_counts) {
       auto p = wlan::fig12_params(users);
       p.session_rate_mbps = rate;
-      const auto sums = bench::sweep_point(p, scenarios, seed, algos);
+      const auto sums = bench::sweep_point(p, scenarios, seed, algos, &pool);
       t.add_row(bench::summary_row(std::to_string(users), sums));
       if (users == 30) at30 = sums;
     }
@@ -126,7 +127,7 @@ int main(int argc, char** argv) {
     for (const int users : user_counts) {
       auto p = wlan::fig12_params(users);
       p.session_rate_mbps = rate;
-      const auto sums = bench::sweep_point(p, scenarios, seed, algos);
+      const auto sums = bench::sweep_point(p, scenarios, seed, algos, &pool);
       t.add_row(bench::summary_row(std::to_string(users), sums));
       if (users == 40) at40 = sums;
     }
@@ -168,7 +169,7 @@ int main(int argc, char** argv) {
       p.session_rate_mbps = rate;
       p.load_budget = budget_c;
       t.add_row(bench::summary_row(std::to_string(users),
-                                   bench::sweep_point(p, scenarios, seed, algos), 1));
+                                   bench::sweep_point(p, scenarios, seed, algos, &pool), 1));
     }
     std::printf("(c) unsatisfied users (budget %.3f) vs OPT\n", budget_c);
     t.print();

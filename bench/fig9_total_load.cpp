@@ -37,6 +37,7 @@ std::vector<bench::Algo> mla_algos() {
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 40);
   const uint64_t seed = args.get_u64("seed", 9);
   const double rate = args.get_double("rate", 1.0);
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
       p.n_aps = 200;
       p.n_users = users;
       p.session_rate_mbps = rate;
-      const auto sums = bench::sweep_point(p, scenarios, seed, algos);
+      const auto sums = bench::sweep_point(p, scenarios, seed, algos, &pool);
       t.add_row(bench::summary_row(std::to_string(users), sums));
       if (users == 400) at400 = sums;
     }
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
       p.n_users = 100;
       p.session_rate_mbps = rate;
       t.add_row(bench::summary_row(std::to_string(aps),
-                                   bench::sweep_point(p, scenarios, seed, algos)));
+                                   bench::sweep_point(p, scenarios, seed, algos, &pool)));
     }
     std::printf("(b) total load vs APs (100 users, 5 sessions)\n");
     t.print();
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
       p.n_sessions = sessions;
       p.session_rate_mbps = rate;
       t.add_row(bench::summary_row(std::to_string(sessions),
-                                   bench::sweep_point(p, scenarios, seed, algos)));
+                                   bench::sweep_point(p, scenarios, seed, algos, &pool)));
     }
     std::printf("(c) total load vs sessions (200 APs, 200 users)\n");
     t.print();

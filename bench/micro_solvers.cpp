@@ -8,9 +8,9 @@
 //
 // Run: ./micro_solvers [--benchmark_filter=...] [--json=out.json]
 //
-// --json writes {"schema": "wmcast-microbench/v1", "benchmarks": [{name,
-// real_time_ns, iterations}, ...]} for tools/bench_guard to diff against the
-// committed baseline (bench/BENCH_micro_solvers.json).
+// --json writes {"schema": "wmcast-microbench/v1", "threads": <hw threads>,
+// "benchmarks": [{name, real_time_ns, iterations}, ...]} for tools/bench_guard
+// to diff against the committed baseline (bench/BENCH_micro_solvers.json).
 
 #include <benchmark/benchmark.h>
 
@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/distributed.hpp"
+#include "wmcast/core/parallel.hpp"
 #include "wmcast/assoc/ssa.hpp"
 #include "wmcast/core/solve.hpp"
 #include "wmcast/exact/exact_mla.hpp"
@@ -217,6 +219,43 @@ void BM_LargeWarmScg(benchmark::State& state) {
 }
 BENCHMARK(BM_LargeWarmScg);
 
+// --- Parallel execution layer (DESIGN.md §9) ---------------------------------
+
+/// Sharded per-session greedy on the large warm engine across N threads; the
+/// /1 run is the serial reference the speedup is measured against (the result
+/// is bitwise identical at every N).
+void BM_ParallelSolveSessions(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  core::SessionShards shards;
+  shards.build(eng);
+  core::ShardWorkspaces wss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::parallel_greedy_cover(eng, pool, wss, shards).total_cost);
+  }
+}
+BENCHMARK(BM_ParallelSolveSessions)->Arg(1)->Arg(8);
+
+/// One full figure-bench sweep point (40 scenarios x MLA-C) across N threads;
+/// streams are pre-drawn so summaries match the serial sweep exactly.
+void BM_ParallelSweep(benchmark::State& state) {
+  wlan::GeneratorParams p;
+  p.n_aps = 200;
+  p.n_users = 400;
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  const std::vector<bench::Algo> algos = {
+      {"MLA-C", [](const wlan::Scenario& sc, util::Rng&) {
+         return assoc::centralized_mla(sc).loads.total_load;
+       }}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::sweep_point(p, 40, 9, algos, &pool)[0].avg);
+  }
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(8);
+
 // --- JSON reporter -----------------------------------------------------------
 
 /// Console output as usual, plus a flat (name, real_time, iterations) record
@@ -275,6 +314,7 @@ int main(int argc, char** argv) {
     }
     auto j = util::Json::object();
     j.set("schema", util::Json("wmcast-microbench/v1"));
+    j.set("threads", util::Json(util::ThreadPool::hardware_threads()));
     j.set("benchmarks", std::move(benches));
     std::ofstream f(json_path);
     f << j.dump(2) << "\n";

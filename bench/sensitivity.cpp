@@ -8,6 +8,8 @@
 //
 // Run: ./sensitivity [--scenarios=15] [--seed=51]
 
+#include <array>
+
 #include "bench_common.hpp"
 #include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/distributed.hpp"
@@ -24,27 +26,59 @@ struct HeadlineRow {
 };
 
 HeadlineRow measure(const wlan::GeneratorParams& big, const wlan::GeneratorParams& mnu_p,
-                    int scenarios, uint64_t seed) {
-  util::RunningStat ssa_total, mla_total, ssa_max, bla_max, ssa_served, mnu_served;
+                    int scenarios, uint64_t seed, util::ThreadPool* pool) {
+  // Pre-draw the four per-scenario streams in the historical serial fork
+  // order (big scenario, big algos, mnu scenario, mnu algos) so the results
+  // are identical at any thread count — see bench_common.hpp's sweep_point.
   util::Rng master(seed);
+  std::vector<std::array<util::Rng, 4>> streams;
+  streams.reserve(static_cast<size_t>(scenarios));
   for (int s = 0; s < scenarios; ++s) {
+    streams.push_back(
+        {master.fork(), master.fork(), master.fork(), master.fork()});
+  }
+
+  struct Row {
+    double ssa_total, mla_total, ssa_max, bla_max, ssa_served, mnu_served;
+  };
+  std::vector<Row> rows(static_cast<size_t>(scenarios));
+  const auto run_scenario = [&](int s) {
+    auto& st = streams[static_cast<size_t>(s)];
+    Row& r = rows[static_cast<size_t>(s)];
     {
-      util::Rng srng = master.fork();
+      util::Rng srng = st[0];
       const auto sc = wlan::generate_scenario(big, srng);
-      util::Rng arng = master.fork();
+      util::Rng arng = st[1];
       const auto ssa = assoc::ssa_associate(sc, arng);
-      ssa_total.add(ssa.loads.total_load);
-      ssa_max.add(ssa.loads.max_load);
-      mla_total.add(assoc::centralized_mla(sc).loads.total_load);
-      bla_max.add(assoc::centralized_bla(sc).loads.max_load);
+      r.ssa_total = ssa.loads.total_load;
+      r.ssa_max = ssa.loads.max_load;
+      r.mla_total = assoc::centralized_mla(sc).loads.total_load;
+      r.bla_max = assoc::centralized_bla(sc).loads.max_load;
     }
     {
-      util::Rng srng = master.fork();
+      util::Rng srng = st[2];
       const auto sc = wlan::generate_scenario(mnu_p, srng);
-      util::Rng arng = master.fork();
-      ssa_served.add(assoc::ssa_associate(sc, arng).loads.satisfied_users);
-      mnu_served.add(assoc::centralized_mnu(sc).loads.satisfied_users);
+      util::Rng arng = st[3];
+      r.ssa_served = assoc::ssa_associate(sc, arng).loads.satisfied_users;
+      r.mnu_served = assoc::centralized_mnu(sc).loads.satisfied_users;
     }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, scenarios, [&](int64_t b, int64_t e, int) {
+      for (int64_t s = b; s < e; ++s) run_scenario(static_cast<int>(s));
+    });
+  } else {
+    for (int s = 0; s < scenarios; ++s) run_scenario(s);
+  }
+
+  util::RunningStat ssa_total, mla_total, ssa_max, bla_max, ssa_served, mnu_served;
+  for (const Row& r : rows) {
+    ssa_total.add(r.ssa_total);
+    mla_total.add(r.mla_total);
+    ssa_max.add(r.ssa_max);
+    bla_max.add(r.bla_max);
+    ssa_served.add(r.ssa_served);
+    mnu_served.add(r.mnu_served);
   }
   return {util::percent_reduction(mla_total.mean(), ssa_total.mean()),
           util::percent_reduction(bla_max.mean(), ssa_max.mean()),
@@ -55,6 +89,7 @@ HeadlineRow measure(const wlan::GeneratorParams& big, const wlan::GeneratorParam
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 15);
   const uint64_t seed = args.get_u64("seed", 51);
 
@@ -82,7 +117,7 @@ int main(int argc, char** argv) {
       b.session_rate_mbps = rate;
       m.session_rate_mbps = rate;
       m.load_budget = 0.04 * rate;  // keep the budget:cost ratio fixed
-      const auto r = measure(b, m, scenarios, seed);
+      const auto r = measure(b, m, scenarios, seed, &pool);
       t.add_row({util::fmt(rate, 2), util::fmt(r.mla_reduction_pct, 1),
                  util::fmt(r.bla_reduction_pct, 1), util::fmt(r.mnu_gain_pct, 1)});
     }
@@ -98,7 +133,7 @@ int main(int argc, char** argv) {
       auto m = mnu_p;
       b.zipf_exponent = z;
       m.zipf_exponent = z;
-      const auto r = measure(b, m, scenarios, seed);
+      const auto r = measure(b, m, scenarios, seed, &pool);
       t.add_row({util::fmt(z, 1), util::fmt(r.mla_reduction_pct, 1),
                  util::fmt(r.bla_reduction_pct, 1), util::fmt(r.mnu_gain_pct, 1)});
     }
@@ -115,7 +150,7 @@ int main(int argc, char** argv) {
       auto m = mnu_p;
       b.hotspot_fraction = h;
       m.hotspot_fraction = h;
-      const auto r = measure(b, m, scenarios, seed);
+      const auto r = measure(b, m, scenarios, seed, &pool);
       t.add_row({util::fmt(h, 1), util::fmt(r.mla_reduction_pct, 1),
                  util::fmt(r.bla_reduction_pct, 1), util::fmt(r.mnu_gain_pct, 1)});
     }

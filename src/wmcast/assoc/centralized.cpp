@@ -28,7 +28,14 @@ void EngineContext::update(const wlan::Scenario& sc, std::span<const int> dirty_
 Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& params,
                          EngineContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto greedy = core::greedy_cover(ctx.engine, ctx.ws);
+  core::CoverResult greedy;
+  if (params.pool != nullptr) {
+    ctx.shards.build(ctx.engine);
+    greedy = core::parallel_greedy_cover(ctx.engine, *params.pool, ctx.shard_ws,
+                                         ctx.shards);
+  } else {
+    greedy = core::greedy_cover(ctx.engine, ctx.ws);
+  }
   auto assoc = setcover::materialize(sc, ctx.engine, greedy.chosen);
   Solution sol = make_solution("MLA-C", sc, std::move(assoc), params.multi_rate);
   sol.solve_seconds = seconds_since(t0);
@@ -43,7 +50,14 @@ Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& para
   p.grid_points = scg_params.grid_points;
   p.refine_steps = scg_params.refine_steps;
   p.carry_budgets = scg_params.carry_budgets;
-  const auto scg = core::scg_cover(ctx.engine, ctx.ws, p);
+  core::ScgResult scg;
+  if (params.pool != nullptr) {
+    ctx.shards.build(ctx.engine);
+    scg = core::parallel_scg_cover(ctx.engine, *params.pool, ctx.shard_ws,
+                                   ctx.shards, p);
+  } else {
+    scg = core::scg_cover(ctx.engine, ctx.ws, p);
+  }
   auto assoc = setcover::materialize(sc, ctx.engine, scg.chosen);
   Solution sol = make_solution("BLA-C", sc, std::move(assoc), params.multi_rate);
   sol.converged = scg.feasible;
@@ -55,17 +69,26 @@ Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& para
                          EngineContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
   ctx.budgets.assign(static_cast<size_t>(ctx.engine.n_groups()), sc.load_budget());
-  const auto mcg = core::mcg_cover(ctx.engine, ctx.ws, ctx.budgets);
-  std::vector<int> chosen = mcg.chosen;
-  if (params.mnu_augment) {
-    ctx.group_cost.assign(static_cast<size_t>(ctx.engine.n_groups()), 0.0);
-    for (const int j : chosen) {
-      ctx.group_cost[static_cast<size_t>(ctx.engine.group(j))] += ctx.engine.cost(j);
+  std::vector<int> chosen;
+  if (params.pool != nullptr) {
+    ctx.shards.build(ctx.engine);
+    const auto mcg =
+        core::parallel_mcg_cover(ctx.engine, *params.pool, ctx.shard_ws, ctx.shards,
+                                 ctx.budgets, params.mnu_augment);
+    chosen = mcg.chosen;
+  } else {
+    const auto mcg = core::mcg_cover(ctx.engine, ctx.ws, ctx.budgets);
+    chosen = mcg.chosen;
+    if (params.mnu_augment) {
+      ctx.group_cost.assign(static_cast<size_t>(ctx.engine.n_groups()), 0.0);
+      for (const int j : chosen) {
+        ctx.group_cost[static_cast<size_t>(ctx.engine.group(j))] += ctx.engine.cost(j);
+      }
+      util::DynBitset covered = mcg.covered;
+      const auto added =
+          core::mcg_augment(ctx.engine, ctx.ws, ctx.budgets, ctx.group_cost, covered);
+      chosen.insert(chosen.end(), added.begin(), added.end());
     }
-    util::DynBitset covered = mcg.covered;
-    const auto added =
-        core::mcg_augment(ctx.engine, ctx.ws, ctx.budgets, ctx.group_cost, covered);
-    chosen.insert(chosen.end(), added.begin(), added.end());
   }
   auto assoc = setcover::materialize(sc, ctx.engine, chosen);
   Solution sol = make_solution("MNU-C", sc, std::move(assoc), params.multi_rate);

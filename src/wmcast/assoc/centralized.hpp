@@ -18,8 +18,10 @@
 
 #include "wmcast/assoc/solution.hpp"
 #include "wmcast/core/engine.hpp"
+#include "wmcast/core/parallel.hpp"
 #include "wmcast/core/workspace.hpp"
 #include "wmcast/setcover/scg.hpp"
+#include "wmcast/util/thread_pool.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
 namespace wmcast::assoc {
@@ -31,6 +33,13 @@ struct CentralizedParams {
   /// their group budgets (coverage can only grow; preserves the 8-approx).
   /// Disable to run the paper's literal algorithm.
   bool mnu_augment = true;
+  /// Non-null switches the warm paths to the sharded per-session solves
+  /// (core/parallel.hpp), distributing shards across the pool. The result is
+  /// bitwise identical at any pool size (see DESIGN.md §9); for MNU/BLA the
+  /// sharded path applies group budgets per channel shard, which differs from
+  /// the joint serial algorithm — null (the default) keeps the paper's joint
+  /// semantics.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Warm solve state shared by repeated centralized solves: the built engine
@@ -42,6 +51,8 @@ struct EngineContext {
   core::SolveWorkspace ws;
   std::vector<double> budgets;     // per-group budget scratch (MNU)
   std::vector<double> group_cost;  // per-group spend scratch (MNU augment)
+  core::SessionShards shards;      // per-session partition (parallel path)
+  core::ShardWorkspaces shard_ws;  // one workspace per pool lane
 
   /// Full rebuild from the scenario.
   void build(const wlan::Scenario& sc, bool multi_rate = true);

@@ -227,7 +227,8 @@ namespace {
 /// One full SCG attempt at a fixed B*: iterate the MCG greedy on the
 /// shrinking remainder until coverage stalls or completes.
 ScgResult run_at_budget(const CoverageEngine& eng, SolveWorkspace& ws, double bstar,
-                        int max_passes, bool carry_budgets) {
+                        int max_passes, bool carry_budgets,
+                        const util::DynBitset* restrict_to) {
   ScgResult res;
   res.bstar = bstar;
   res.covered = util::DynBitset(eng.n_elements());
@@ -235,6 +236,7 @@ ScgResult run_at_budget(const CoverageEngine& eng, SolveWorkspace& ws, double bs
 
   ws.pass_budget.assign(static_cast<size_t>(eng.n_groups()), bstar);
   ws.scg_remaining = eng.coverable();
+  if (restrict_to != nullptr) ws.scg_remaining.and_assign(*restrict_to);
   for (int pass = 0; pass < max_passes && ws.scg_remaining.any(); ++pass) {
     if (carry_budgets) {
       for (int g = 0; g < eng.n_groups(); ++g) {
@@ -269,26 +271,34 @@ bool scg_better(const ScgResult& a, const ScgResult& b) {
 }  // namespace
 
 ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
-                    const ScgParams& params) {
+                    const ScgParams& params, const util::DynBitset* restrict_to) {
   util::require(params.budget_cap > 0.0, "scg_cover: budget cap must be positive");
   util::require(params.grid_points >= 2, "scg_cover: need at least two grid points");
 
-  const int n = std::max(1, eng.coverable().count());
+  const int n_target = restrict_to != nullptr
+                           ? eng.coverable().and_count(*restrict_to)
+                           : eng.coverable().count();
+  const int n = std::max(1, n_target);
   // Theorem 4's pass bound, with the same slack as setcover/scg.cpp.
   const int max_passes =
       static_cast<int>(std::ceil(std::log(n) / std::log(8.0 / 7.0))) + 8;
 
-  const double lo = std::max(eng.min_feasible_budget(), 1e-9);
+  const double min_budget = restrict_to != nullptr
+                                ? min_feasible_budget_for(eng, *restrict_to)
+                                : eng.min_feasible_budget();
+  const double lo = std::max(min_budget, 1e-9);
   const double hi = std::max(params.budget_cap, lo);
 
-  ScgResult best = run_at_budget(eng, ws, lo, max_passes, params.carry_budgets);
+  ScgResult best =
+      run_at_budget(eng, ws, lo, max_passes, params.carry_budgets, restrict_to);
   double largest_infeasible = best.feasible ? 0.0 : lo;
 
   const double ratio = hi / lo;
   for (int k = 1; k < params.grid_points; ++k) {
     const double b =
         lo * std::pow(ratio, static_cast<double>(k) / (params.grid_points - 1));
-    ScgResult r = run_at_budget(eng, ws, b, max_passes, params.carry_budgets);
+    ScgResult r =
+        run_at_budget(eng, ws, b, max_passes, params.carry_budgets, restrict_to);
     if (!r.feasible) largest_infeasible = std::max(largest_infeasible, b);
     if (scg_better(r, best)) best = std::move(r);
   }
@@ -300,7 +310,8 @@ ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
       if (feasible_hi - infeasible_lo < 1e-6) break;
       const double mid = infeasible_lo <= 0.0 ? feasible_hi / 2
                                               : 0.5 * (infeasible_lo + feasible_hi);
-      ScgResult r = run_at_budget(eng, ws, mid, max_passes, params.carry_budgets);
+      ScgResult r =
+          run_at_budget(eng, ws, mid, max_passes, params.carry_budgets, restrict_to);
       if (r.feasible) {
         feasible_hi = mid;
         if (scg_better(r, best)) best = std::move(r);
@@ -366,6 +377,20 @@ LayeringResult layered_cover(const CoverageEngine& eng, SolveWorkspace& ws) {
   res.covered.and_assign(eng.coverable());
   res.complete = left == 0;
   return res;
+}
+
+double min_feasible_budget_for(const CoverageEngine& eng,
+                               const util::DynBitset& target) {
+  double budget = 0.0;
+  target.for_each([&](int e) {
+    if (!eng.coverable().test(e)) return;
+    double min_cost = std::numeric_limits<double>::infinity();
+    eng.for_each_set_of(e, [&](int32_t j) {
+      min_cost = std::min(min_cost, eng.cost(j));
+    });
+    budget = std::max(budget, min_cost);
+  });
+  return budget;
 }
 
 int max_element_frequency(const CoverageEngine& eng) {

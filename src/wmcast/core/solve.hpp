@@ -101,8 +101,11 @@ std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
                              const util::DynBitset* restrict_to = nullptr);
 
 /// SCG: geometric grid + bisection search for B*, repeated MCG passes.
+/// Targets all coverable elements, or coverable ∩ restrict_to (the sharded
+/// per-session path restricts each solve to one shard's elements).
 ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
-                    const ScgParams& params = {});
+                    const ScgParams& params = {},
+                    const util::DynBitset* restrict_to = nullptr);
 
 /// Vazirani layering over the whole coverable ground set.
 LayeringResult layered_cover(const CoverageEngine& eng, SolveWorkspace& ws);
@@ -110,5 +113,11 @@ LayeringResult layered_cover(const CoverageEngine& eng, SolveWorkspace& ws);
 /// Max number of live sets any coverable element appears in (the layering
 /// algorithm's approximation factor f).
 int max_element_frequency(const CoverageEngine& eng);
+
+/// max over coverable e in `target` of the min cost of a live set containing
+/// e — the smallest per-group budget at which every target element has some
+/// affordable set (SCG's search floor, restricted to one shard).
+double min_feasible_budget_for(const CoverageEngine& eng,
+                               const util::DynBitset& target);
 
 }  // namespace wmcast::core

@@ -31,6 +31,7 @@ struct SolveWorkspace {
   util::DynBitset cov_a, cov_b;     // MCG's H1/H2 split accumulators
   std::vector<double> residual;     // layering's residual costs
   std::vector<char> taken;          // layering's chosen mask
+  std::vector<double> shard_group_cost;  // per-group spend of one shard's picks
 };
 
 /// Scratch for the association-side algorithms (local search, distributed

@@ -33,7 +33,8 @@ AssociationController::AssociationController(const wlan::Scenario& initial,
     : cfg_(std::move(cfg)),
       state_(NetworkState::from_scenario(initial, cfg_.rate_table)),
       compact_sc_(initial),
-      rng_(cfg_.seed) {
+      rng_(cfg_.seed),
+      pool_(util::ThreadPool::resolve_threads(cfg_.threads)) {
   util::require(assoc::is_algorithm(cfg_.full_solver),
                 "AssociationController: unknown full solver '" + cfg_.full_solver + "'");
   util::require(cfg_.degradation_threshold >= 0.0,
@@ -68,7 +69,23 @@ assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc,
   // identical to the registry path.
   if (cfg_.full_solver == "mla-c" && cfg_.multi_rate) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto greedy = core::greedy_cover(engine_, solve_ws_);
+    core::CoverResult greedy;
+    if (pool_.size() > 1) {
+      // Sharded per-session solve across the pool. The chosen *set* — and
+      // hence the first-chosen-wins association below — matches the joint
+      // greedy exactly (sets of one session never cover another session's
+      // slots), so this path commits the same association as threads = 1.
+      shards_.build(engine_);
+      core::ParallelStats pstats;
+      greedy = core::parallel_greedy_cover(engine_, pool_, shard_ws_, shards_,
+                                           &pstats);
+      tele_.engine_parallel_solves.inc();
+      tele_.engine_parallel_tasks.inc(static_cast<uint64_t>(pstats.tasks));
+      tele_.engine_parallel_workers.set(pstats.workers);
+      tele_.engine_parallel_imbalance.set(pstats.imbalance);
+    } else {
+      greedy = core::greedy_cover(engine_, solve_ws_);
+    }
     slot_row_.assign(static_cast<size_t>(engine_.n_elements()), -1);
     for (int r = 0; r < sc.n_users(); ++r) {
       slot_row_[static_cast<size_t>(row_slot[static_cast<size_t>(r)])] = r;

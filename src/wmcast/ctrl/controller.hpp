@@ -37,7 +37,9 @@
 #include "wmcast/ctrl/events.hpp"
 #include "wmcast/ctrl/state.hpp"
 #include "wmcast/ctrl/telemetry.hpp"
+#include "wmcast/core/parallel.hpp"
 #include "wmcast/util/rng.hpp"
+#include "wmcast/util/thread_pool.hpp"
 #include "wmcast/wlan/association.hpp"
 #include "wmcast/wlan/rate_table.hpp"
 
@@ -88,6 +90,11 @@ struct ControllerConfig {
   /// seed scenario was generated with).
   wlan::RateTable rate_table = wlan::RateTable::ieee80211a();
   uint64_t seed = 1;
+  /// Worker threads for the epoch full-solve's sharded per-session path
+  /// (core/parallel.hpp). 1 = serial joint solve (the reference semantics);
+  /// <= 0 resolves WMCAST_THREADS, else 1. The committed association is
+  /// identical at any thread count (DESIGN.md §9).
+  int threads = 1;
 };
 
 /// What one drain()/epoch did, for logs and benches. Cumulative counterparts
@@ -196,6 +203,9 @@ class AssociationController {
   core::CoverageEngine engine_;
   core::EngineStats engine_stats_synced_;
   core::SolveWorkspace solve_ws_;
+  util::ThreadPool pool_;            // sized from cfg_.threads (1 = inline)
+  core::SessionShards shards_;       // rebuilt before each sharded full solve
+  core::ShardWorkspaces shard_ws_;   // one solve workspace per pool lane
   core::AssocWorkspace repair_ws_;
   std::vector<int> dirty_groups_;
   std::vector<char> group_mark_;

@@ -149,6 +149,12 @@ util::Json Telemetry::to_json() const {
   engine.set("sets_rebuilt", static_cast<int64_t>(engine_sets_rebuilt.value()));
   engine.set("sets_retired", static_cast<int64_t>(engine_sets_retired.value()));
   engine.set("compactions", static_cast<int64_t>(engine_compactions.value()));
+  util::Json parallel = util::Json::object();
+  parallel.set("solves", static_cast<int64_t>(engine_parallel_solves.value()));
+  parallel.set("tasks", static_cast<int64_t>(engine_parallel_tasks.value()));
+  parallel.set("workers", engine_parallel_workers.value());
+  parallel.set("imbalance", engine_parallel_imbalance.value());
+  engine.set("parallel", std::move(parallel));
   counters.set("engine", std::move(engine));
 
   util::Json gauges = util::Json::object();
@@ -206,6 +212,8 @@ std::string Telemetry::to_text() const {
   line("engine_sets_rebuilt", engine_sets_rebuilt.value());
   line("engine_sets_retired", engine_sets_retired.value());
   line("engine_compactions", engine_compactions.value());
+  line("engine_parallel_solves", engine_parallel_solves.value());
+  line("engine_parallel_tasks", engine_parallel_tasks.value());
   out += "gauges:\n";
   const auto gline = [&](const char* k, double v) {
     std::snprintf(buf, sizeof(buf), "  %-24s %s\n", k, util::fmt(v, 4).c_str());
@@ -219,6 +227,8 @@ std::string Telemetry::to_text() const {
   gline("baseline_load", baseline_load.value());
   gline("degradation_pct", degradation_pct.value());
   gline("queue_depth", queue_depth.value());
+  gline("engine_parallel_workers", engine_parallel_workers.value());
+  gline("engine_parallel_imbalance", engine_parallel_imbalance.value());
   out += "dirty_region_size:\n" + dirty_region_size.render();
   out += "reassoc_per_epoch:\n" + reassoc_per_epoch.render();
   out += "drain_seconds:\n" + drain_seconds.render();

@@ -108,6 +108,11 @@ struct Telemetry {
   Counter engine_sets_retired;         // sets tombstoned by those rebuilds
   Counter engine_compactions;          // arena reclamation passes
 
+  // Sharded parallel solve accounting (core/parallel.hpp; additive keys under
+  // counters.engine.parallel). Zero unless the controller runs with threads > 1.
+  Counter engine_parallel_solves;      // sharded full solves executed
+  Counter engine_parallel_tasks;       // shards dispatched across all of them
+
   // Gauges (state as of the last committed epoch).
   Gauge users_present;
   Gauge users_subscribed;
@@ -117,6 +122,8 @@ struct Telemetry {
   Gauge baseline_load;
   Gauge degradation_pct;          // (total_load / baseline_load - 1) * 100
   Gauge queue_depth;
+  Gauge engine_parallel_workers;    // pool lanes used by the last sharded solve
+  Gauge engine_parallel_imbalance;  // max/mean shard weight of that solve
 
   // Histograms.
   BucketHistogram dirty_region_size;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/thread_pool.hpp"
 
 namespace wmcast::util {
 
@@ -47,6 +48,10 @@ bool Args::get_bool(const std::string& key, bool def) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+int resolve_threads(const Args& args) {
+  return ThreadPool::resolve_threads(args.get_int("threads", 0));
 }
 
 }  // namespace wmcast::util

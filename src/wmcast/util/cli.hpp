@@ -25,4 +25,9 @@ class Args {
   std::map<std::string, std::string> kv_;
 };
 
+/// The one `--threads` convention shared by every binary: an explicit
+/// `--threads=N` (N >= 1) wins, else the WMCAST_THREADS environment variable,
+/// else 1 (serial reference execution). See util/thread_pool.hpp.
+int resolve_threads(const Args& args);
+
 }  // namespace wmcast::util

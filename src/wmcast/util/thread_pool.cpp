@@ -1,0 +1,157 @@
+#include "wmcast/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wmcast::util {
+
+namespace {
+
+/// True while the current thread is executing a pool task; nested
+/// parallel_for calls from a task run inline instead of re-entering the
+/// queue (a worker waiting on its own queue would deadlock).
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ThreadPool::env_threads() {
+  const char* s = std::getenv("WMCAST_THREADS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 4096) return 0;
+  return static_cast<int>(v);
+}
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  const int env = env_threads();
+  return env >= 1 ? env : 1;
+}
+
+ThreadPool::ThreadPool(int threads) : size_(resolve_threads(threads)) {
+  // threads == 1 short-circuits to inline execution: no workers, no queue
+  // traffic, byte-identical to code that never heard of the pool.
+  if (size_ == 1) return;
+  workers_.reserve(static_cast<size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Drain: workers finish every queued task before exiting (tested).
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool_task = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (size_ == 1 || t_in_pool_task) {
+    (*task)();
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end,
+                              const std::function<void(int64_t, int64_t, int)>& body) {
+  const int64_t len = end - begin;
+  if (len <= 0) return;
+  const int chunks =
+      size_ == 1 || t_in_pool_task
+          ? 1
+          : static_cast<int>(std::min<int64_t>(len, static_cast<int64_t>(size_)));
+  if (chunks == 1) {
+    body(begin, end, 0);
+    return;
+  }
+
+  // Static partition: chunk k covers base + (k < rem) elements, boundaries a
+  // pure function of (len, chunks) so lane assignment is reproducible.
+  const int64_t base = len / chunks;
+  const int64_t rem = len % chunks;
+  std::vector<int64_t> starts(static_cast<size_t>(chunks) + 1);
+  starts[0] = begin;
+  for (int k = 0; k < chunks; ++k) {
+    starts[static_cast<size_t>(k) + 1] =
+        starts[static_cast<size_t>(k)] + base + (k < rem ? 1 : 0);
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(chunks));
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining;
+  } latch{{}, {}, chunks - 1};
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool::parallel_for: pool is shutting down");
+    }
+    for (int k = 1; k < chunks; ++k) {
+      queue_.emplace_back([&, k] {
+        try {
+          body(starts[static_cast<size_t>(k)], starts[static_cast<size_t>(k) + 1], k);
+        } catch (...) {
+          errors[static_cast<size_t>(k)] = std::current_exception();
+        }
+        std::lock_guard<std::mutex> done(latch.mu);
+        if (--latch.remaining == 0) latch.cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread takes lane 0, then blocks until the workers drain the
+  // rest.
+  try {
+    body(starts[0], starts[1], 0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(latch.mu);
+    latch.cv.wait(lk, [&] { return latch.remaining == 0; });
+  }
+
+  // Deterministic propagation: the lowest lane's exception wins.
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace wmcast::util

@@ -1,0 +1,77 @@
+// Fixed-size worker pool for the deterministic parallel execution layer.
+//
+// Design rules (DESIGN.md §9):
+//
+//  * `threads == 1` is the reference semantics: no worker threads are
+//    spawned, submit() and parallel_for() execute inline on the calling
+//    thread, and behavior is byte-identical to a build without the pool.
+//  * parallel_for uses *static* chunking — [begin, end) is split into at
+//    most size() contiguous chunks whose boundaries depend only on the range
+//    length and the pool size, never on runtime timing. The chunk index is
+//    passed to the body as a `lane` id so callers can give each chunk its own
+//    scratch (one workspace per lane, not per OS thread).
+//  * exceptions thrown by tasks are captured and rethrown to the caller:
+//    submit() through the returned future, parallel_for() directly — when
+//    several chunks throw, the lowest chunk's exception wins, so error
+//    reporting is deterministic too.
+//
+// Thread-count resolution (resolve_threads): an explicit request >= 1 wins,
+// else the WMCAST_THREADS environment variable, else 1. Every binary resolves
+// `--threads` through this single path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wmcast::util {
+
+class ThreadPool {
+ public:
+  /// threads <= 0 resolves via resolve_threads(0) (env override, else 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (>= 1). 1 = inline serial execution.
+  int size() const { return size_; }
+
+  /// Enqueues one task; the future carries any exception it throws. With
+  /// size() == 1 the task runs inline before submit returns.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs body(chunk_begin, chunk_end, lane) over a static partition of
+  /// [begin, end) into min(size(), end - begin) contiguous chunks. Lane k
+  /// handles the k-th chunk; chunk 0 runs on the calling thread. Blocks until
+  /// every chunk finished; rethrows the lowest-lane exception, if any.
+  /// Empty ranges are a no-op. Must not be called from inside a pool task
+  /// (nested calls degrade to inline serial execution to avoid deadlock).
+  void parallel_for(int64_t begin, int64_t end,
+                    const std::function<void(int64_t, int64_t, int)>& body);
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static int hardware_threads();
+  /// WMCAST_THREADS as a positive int, or 0 when unset/invalid.
+  static int env_threads();
+  /// requested >= 1 -> requested; else WMCAST_THREADS if set; else 1.
+  static int resolve_threads(int requested);
+
+ private:
+  void worker_loop();
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace wmcast::util

@@ -1,0 +1,194 @@
+// ThreadPool unit tests: exact range coverage under static chunking,
+// inline reference semantics at size 1, queue drain on destruction, and
+// deterministic exception propagation — the contracts the deterministic
+// parallel layer (DESIGN.md §9) is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "wmcast/util/thread_pool.hpp"
+
+namespace wmcast::util {
+namespace {
+
+/// Marks every index of [b, e) once; duplicates or gaps fail the test.
+void check_exact_coverage(int threads, int64_t begin, int64_t end) {
+  ThreadPool pool(threads);
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(end - begin));
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(begin, end, [&](int64_t b, int64_t e, int lane) {
+    EXPECT_GE(lane, 0);
+    EXPECT_LT(lane, pool.size());
+    for (int64_t i = b; i < e; ++i) {
+      hits[static_cast<size_t>(i - begin)].fetch_add(1);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << (begin + static_cast<int64_t>(i));
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversExactRange) {
+  for (const int threads : {1, 2, 3, 8}) {
+    check_exact_coverage(threads, 0, 100);   // not divisible by 3 or 8
+    check_exact_coverage(threads, 7, 7);     // empty range is a no-op
+    check_exact_coverage(threads, 5, 8);     // fewer items than threads
+    check_exact_coverage(threads, -10, 13);  // negative begin
+  }
+}
+
+TEST(ThreadPool, StaticChunkBoundariesAreDeterministic) {
+  // Same (len, size) must produce the same chunks on every call: record the
+  // boundaries twice and compare.
+  ThreadPool pool(4);
+  const auto record = [&] {
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> chunks(static_cast<size_t>(pool.size()),
+                                                    {-1, -1});
+    pool.parallel_for(0, 1003, [&](int64_t b, int64_t e, int lane) {
+      std::lock_guard<std::mutex> lk(mu);
+      chunks[static_cast<size_t>(lane)] = {b, e};
+    });
+    return chunks;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.parallel_for(0, 10, [&](int64_t b, int64_t e, int lane) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lane, 0);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 10);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+
+  bool submitted = false;
+  auto fut = pool.submit([&] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    submitted = true;
+  });
+  EXPECT_TRUE(submitted);  // ran before submit returned
+  fut.get();
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndFuturesComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 32; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 32 * 33 / 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor must wait for all 64, not drop the queue.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SubmitExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestLaneException) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    try {
+      pool.parallel_for(0, 100, [&](int64_t b, int64_t, int lane) {
+        // Every lane throws; the caller must see lane 0's (its chunk starts
+        // at 0), regardless of completion order.
+        throw std::runtime_error("lane " + std::to_string(lane) + " at " +
+                                 std::to_string(b));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "lane 0 at 0");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForSurvivesSingleLaneFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> covered{0};
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](int64_t b, int64_t e, int lane) {
+                                   if (lane == 2) throw std::runtime_error("x");
+                                   covered.fetch_add(static_cast<int>(e - b));
+                                 }),
+               std::runtime_error);
+  // The other lanes' work completed before the rethrow.
+  EXPECT_EQ(covered.load(), 75);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A parallel_for issued from inside a pool *task* must degrade to one
+  // inline chunk — a worker blocking on its own queue would deadlock. (The
+  // outer call's lane 0 runs on the calling thread, which is not a worker
+  // and may dispatch normally, so issue the nested calls via submit.)
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < 8; ++t) {
+    futs.push_back(pool.submit([&] {
+      pool.parallel_for(0, 10, [&](int64_t ib, int64_t ie, int lane) {
+        EXPECT_EQ(lane, 0);  // nested call degrades to one inline chunk
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, ResolveThreadsPrecedence) {
+  // Explicit request wins.
+  ::setenv("WMCAST_THREADS", "6", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  // Env applies when the request is unset (<= 0).
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 6);
+  EXPECT_EQ(ThreadPool::resolve_threads(-1), 6);
+  // Invalid env values fall back to 1.
+  ::setenv("WMCAST_THREADS", "zero", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 1);
+  ::setenv("WMCAST_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 1);
+  ::setenv("WMCAST_THREADS", "-4", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 1);
+  ::unsetenv("WMCAST_THREADS");
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 1);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, DefaultConstructionResolvesEnv) {
+  ::setenv("WMCAST_THREADS", "3", 1);
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), 3);
+  ::unsetenv("WMCAST_THREADS");
+  ThreadPool serial;
+  EXPECT_EQ(serial.size(), 1);
+}
+
+}  // namespace
+}  // namespace wmcast::util

@@ -24,7 +24,7 @@ namespace {
 
 using wmcast::util::Json;
 
-std::map<std::string, double> load_times(const std::string& path) {
+std::map<std::string, double> load_times(const std::string& path, int* threads) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open " + path);
   std::stringstream buf;
@@ -34,6 +34,12 @@ std::map<std::string, double> load_times(const std::string& path) {
   if (schema == nullptr || schema->as_string() != "wmcast-microbench/v1") {
     throw std::runtime_error(path + ": not a wmcast-microbench/v1 document");
   }
+  // Optional hardware-thread count of the machine that produced the document;
+  // informational only (a baseline from a wider machine is still comparable
+  // for the serial benches, and the mismatch is worth flagging for the
+  // parallel ones).
+  const auto* t = j.find("threads");
+  if (threads != nullptr) *threads = t != nullptr ? static_cast<int>(t->as_double()) : 0;
   const auto* benches = j.find("benchmarks");
   if (benches == nullptr || !benches->is_array()) {
     throw std::runtime_error(path + ": missing benchmarks array");
@@ -65,8 +71,17 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const auto baseline = load_times(baseline_path);
-    const auto current = load_times(current_path);
+    int baseline_threads = 0;
+    int current_threads = 0;
+    const auto baseline = load_times(baseline_path, &baseline_threads);
+    const auto current = load_times(current_path, &current_threads);
+    if (baseline_threads > 0 || current_threads > 0) {
+      std::printf("hardware threads: baseline %d, current %d%s\n\n", baseline_threads,
+                  current_threads,
+                  baseline_threads != current_threads
+                      ? "  (differ: read parallel benches with care)"
+                      : "");
+    }
 
     int regressions = 0;
     int missing = 0;

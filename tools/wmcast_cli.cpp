@@ -18,7 +18,7 @@
 //                        --move=0.1 --walk=40 --zap=0.05 --leave=0.02
 //                        --join=0.02 --rate-prob=0 --trace-seed=7]
 //                        [--solver=mla-c --threshold=0.1 --refresh=10
-//                        --max-reassoc=-1 --no-admission --seed=1
+//                        --max-reassoc=-1 --no-admission --seed=1 --threads=N
 //                        --telemetry=tele.json --trace-out=t.txt --quiet]
 //   wmcast_cli serve     [replay flags]                     (trace on stdin)
 //
@@ -275,6 +275,7 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
   cfg.polish_min_gain = args.get_double("min-gain", cfg.polish_min_gain);
   cfg.admission_control = !args.get_bool("no-admission", false);
   cfg.seed = args.get_u64("seed", 1);
+  cfg.threads = util::resolve_threads(args);
   if (!assoc::is_algorithm(cfg.full_solver)) {
     std::fprintf(stderr, "replay: unknown --solver=%s\n", cfg.full_solver.c_str());
     return 2;
