@@ -23,6 +23,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "rate", "seed", "threads"});
   util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 20);
   const uint64_t seed = args.get_u64("seed", 22);

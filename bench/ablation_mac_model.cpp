@@ -34,6 +34,7 @@ double airtime_total_load(const wlan::Scenario& sc, const wlan::LoadReport& rep,
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "rate", "pkt", "csv", "seed", "threads"});
   util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 20);
   const uint64_t seed = args.get_u64("seed", 21);

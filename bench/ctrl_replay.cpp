@@ -111,6 +111,8 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"seed", "threads", "epochs", "join", "leave", "move", "walk",
+                       "zap", "json", "telemetry", "solver", "threshold", "min-gain", "max-reassoc", "refresh"});
   const int epochs = args.get_int("epochs", 24);
   const uint64_t seed = args.get_u64("seed", 41);
 

@@ -104,6 +104,8 @@ std::vector<wlan::Association> pad_snapshots(
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"seed", "threads", "epochs", "join", "leave",
+                       "move", "walk", "zap", "rate-prob", "json"});
   const uint64_t seed = args.get_u64("seed", 41);
 
   ctrl::TraceParams tp;

@@ -54,6 +54,7 @@ double exact_mnu_unsatisfied(const wlan::Scenario& sc) {
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "rate", "csv", "seed", "threads", "budget_c", "time_limit"});
   util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 40);
   const uint64_t seed = args.get_u64("seed", 12);

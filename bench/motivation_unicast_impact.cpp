@@ -17,6 +17,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "rate", "clients", "seed", "threads"});
   const int scenarios = args.get_int("scenarios", 10);
   const uint64_t seed = args.get_u64("seed", 31);
   const double rate = args.get_double("rate", 1.0);

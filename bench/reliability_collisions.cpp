@@ -62,6 +62,7 @@ double mean_group_size(const wlan::Scenario& sc, const wlan::Association& assoc)
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "channels", "seed", "threads"});
   const int scenarios = args.get_int("scenarios", 8);
   const uint64_t seed = args.get_u64("seed", 71);
   const int channels = args.get_int("channels", 3);

@@ -21,6 +21,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "rate", "seed", "threads"});
   const int scenarios = args.get_int("scenarios", 20);
   const uint64_t seed = args.get_u64("seed", 61);
   const double rate = args.get_double("rate", 1.0);

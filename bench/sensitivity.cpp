@@ -89,6 +89,7 @@ HeadlineRow measure(const wlan::GeneratorParams& big, const wlan::GeneratorParam
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"scenarios", "seed", "threads"});
   util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 15);
   const uint64_t seed = args.get_u64("seed", 51);

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace wmcast;
   const util::Args args(argc, argv);
+  args.reject_unknown({"csv"});
 
   std::printf("Table 1: transmission rate vs distance threshold (802.11a)\n");
   std::printf("paper source: Manshaei & Turletti, simulation-based 802.11a analysis\n\n");

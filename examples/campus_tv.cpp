@@ -27,6 +27,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"seed"});
   const uint64_t seed = args.get_u64("seed", 100);
 
   wlan::GeneratorParams campus;

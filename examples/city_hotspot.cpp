@@ -23,6 +23,7 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"aps", "users", "seed"});
   const uint64_t seed = args.get_u64("seed", 200);
 
   wlan::GeneratorParams city;

@@ -36,6 +36,7 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  args.reject_unknown({"out", "users", "seed"});
   const std::string out = args.get("out", "/tmp/wmcast");
   const int users = args.get_int("users", 20);
   const uint64_t seed = args.get_u64("seed", 7);

@@ -1,4 +1,5 @@
 #include "wmcast/assoc/local_search.hpp"
+#include "wmcast/util/fp.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -9,7 +10,6 @@ namespace wmcast::assoc {
 
 namespace {
 
-constexpr double kBudgetEps = 1e-9;
 constexpr double kImproveEps = 1e-12;
 
 struct State {
@@ -108,7 +108,7 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
   // whoever frees the most load per removal.
   if (params.enforce_budget) {
     for (int a = 0; a < sc.n_aps(); ++a) {
-      while (st.ap_load[static_cast<size_t>(a)] > sc.load_budget() + kBudgetEps) {
+      while (util::exceeds_budget(st.ap_load[static_cast<size_t>(a)], sc.load_budget())) {
         const auto m = st.members[static_cast<size_t>(a)];  // copy: we mutate inside
         WMCAST_ASSERT(!m.empty(), "local_search: over budget with no members");
         int best_u = m.front();
@@ -165,7 +165,7 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
         st.unplace(u);
         st.place(u, a);
         const bool feasible = !params.enforce_budget ||
-                              st.ap_load[static_cast<size_t>(a)] <= sc.load_budget() + kBudgetEps;
+                              util::fits_budget(st.ap_load[static_cast<size_t>(a)], sc.load_budget());
         const State::Key k = st.key();
         // Roll back.
         st.unplace(u);

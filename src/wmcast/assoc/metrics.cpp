@@ -3,6 +3,7 @@
 #include "wmcast/assoc/policy.hpp"
 #include "wmcast/assoc/solution.hpp"
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
 #include "wmcast/wlan/association.hpp"
 
 namespace wmcast::assoc {
@@ -17,8 +18,6 @@ Solution make_solution(std::string algorithm, const wlan::Scenario& sc,
 }
 
 namespace {
-
-constexpr double kBudgetEps = 1e-9;
 
 /// Lexicographic comparison of two load vectors sorted non-increasing, with
 /// tolerance: a < b iff at the first position where they differ by more than
@@ -81,7 +80,7 @@ int choose_best_ap_among(const wlan::Scenario& sc, int u,
     return v;
   };
   auto feasible = [&](size_t i) {
-    return !params.enforce_budget || load_with[i] <= sc.load_budget() + kBudgetEps;
+    return !params.enforce_budget || util::fits_budget(load_with[i], sc.load_budget());
   };
 
   // Best candidate among all feasible neighbors; the strongest-first iteration

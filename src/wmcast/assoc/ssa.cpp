@@ -1,14 +1,11 @@
 #include "wmcast/assoc/ssa.hpp"
+#include "wmcast/util/fp.hpp"
 
 #include <chrono>
 
 #include "wmcast/util/assert.hpp"
 
 namespace wmcast::assoc {
-
-namespace {
-constexpr double kBudgetEps = 1e-9;
-}
 
 Solution ssa_associate(const wlan::Scenario& sc, util::Rng& rng, const SsaParams& params) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -25,8 +22,8 @@ Solution ssa_associate(const wlan::Scenario& sc, util::Rng& rng, const SsaParams
     auto& m = members[static_cast<size_t>(a)];
     m.push_back(u);
     if (params.enforce_budget &&
-        wlan::ap_load_for_members(sc, a, m, params.multi_rate) >
-            sc.load_budget() + kBudgetEps) {
+        util::exceeds_budget(wlan::ap_load_for_members(sc, a, m, params.multi_rate),
+                             sc.load_budget())) {
       m.pop_back();  // rejected: the strongest AP is the only one SSA tries
       continue;
     }

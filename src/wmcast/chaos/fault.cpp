@@ -1,0 +1,185 @@
+#include "wmcast/chaos/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::chaos {
+
+FaultProfile FaultProfile::named(const std::string& name) {
+  FaultProfile p;
+  p.name = name;
+  if (name == "none") return p;
+  if (name == "light") {
+    p.drop_prob = 0.02;
+    p.duplicate_prob = 0.02;
+    p.skew_prob = 0.01;
+    return p;
+  }
+  if (name == "heavy") {
+    p.drop_prob = 0.15;
+    p.duplicate_prob = 0.10;
+    p.skew_prob = 0.05;
+    p.flap_prob = 0.10;
+    p.burst_prob = 0.10;
+    return p;
+  }
+  if (name == "reorder") {
+    p.reorder_prob = 0.5;
+    p.reorder_window = 6;
+    p.skew_prob = 0.05;
+    return p;
+  }
+  if (name == "malformed") {
+    p.corrupt_prob = 0.08;
+    return p;
+  }
+  if (name == "mixed") {
+    p.drop_prob = 0.05;
+    p.duplicate_prob = 0.05;
+    p.reorder_prob = 0.25;
+    p.skew_prob = 0.02;
+    p.flap_prob = 0.05;
+    p.burst_prob = 0.05;
+    p.corrupt_prob = 0.04;
+    return p;
+  }
+  throw std::invalid_argument("FaultProfile: unknown profile '" + name + "'");
+}
+
+const std::vector<std::string>& FaultProfile::names() {
+  static const std::vector<std::string> kNames = {"none",    "light",     "heavy",
+                                                  "reorder", "malformed", "mixed"};
+  return kNames;
+}
+
+FaultInjector::FaultInjector(uint64_t seed, FaultProfile profile)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+void FaultInjector::flap(std::vector<ctrl::Event>& epoch,
+                         const ctrl::NetworkState& initial) {
+  // An AP power-cycles: a run of its neighborhood drops off and rejoins at
+  // fresh positions near the AP. Slot ids are drawn from the initial slot
+  // range, so against an evolved state some pairs will be invalid — that is
+  // the fault being modeled (stale associations racing a recovering AP).
+  if (initial.n_aps() == 0 || initial.n_slots() == 0 || initial.n_sessions() == 0) return;
+  ++log_.ap_flaps;
+  const int ap = rng_.next_int(initial.n_aps());
+  const wlan::Point center = initial.ap_positions()[static_cast<size_t>(ap)];
+  for (int k = 0; k < profile_.flap_leaves; ++k) {
+    const int slot = rng_.next_int(initial.n_slots());
+    epoch.push_back(ctrl::Event::leave(slot));
+    const wlan::Point pos{center.x + rng_.uniform(-30.0, 30.0),
+                          center.y + rng_.uniform(-30.0, 30.0)};
+    epoch.push_back(ctrl::Event::join(slot, pos, rng_.next_int(initial.n_sessions())));
+  }
+}
+
+void FaultInjector::burst(std::vector<ctrl::Event>& epoch,
+                          const ctrl::NetworkState& initial) {
+  // A stampede of arrivals and departures landing in one drain. Joins target
+  // the slot just past the initial range (the only id a join can extend) plus
+  // random existing slots; leaves hit random slots.
+  if (initial.n_slots() == 0 || initial.n_sessions() == 0) return;
+  ++log_.churn_bursts;
+  const double side = std::max(1.0, initial.area_side());
+  for (int k = 0; k < profile_.burst_size; ++k) {
+    if (rng_.next_bool(0.5)) {
+      const int slot =
+          rng_.next_bool(0.5) ? initial.n_slots() : rng_.next_int(initial.n_slots());
+      const wlan::Point pos{rng_.uniform(0.0, side), rng_.uniform(0.0, side)};
+      epoch.push_back(ctrl::Event::join(slot, pos, rng_.next_int(initial.n_sessions())));
+    } else {
+      epoch.push_back(ctrl::Event::leave(rng_.next_int(initial.n_slots())));
+    }
+  }
+}
+
+ctrl::EventTrace FaultInjector::perturb(const ctrl::EventTrace& trace,
+                                        const ctrl::NetworkState& initial) {
+  ctrl::EventTrace out;
+  out.epochs.resize(trace.epochs.size());
+  std::vector<ctrl::Event> skewed;  // events displaced into the next epoch
+
+  for (size_t ep = 0; ep < trace.epochs.size(); ++ep) {
+    auto& dst = out.epochs[ep];
+    // Clock-skewed stragglers from the previous epoch arrive first.
+    dst.insert(dst.end(), skewed.begin(), skewed.end());
+    skewed.clear();
+
+    for (const auto& e : trace.epochs[ep]) {
+      if (profile_.drop_prob > 0.0 && rng_.next_bool(profile_.drop_prob)) {
+        ++log_.events_dropped;
+        continue;
+      }
+      if (profile_.skew_prob > 0.0 && ep + 1 < trace.epochs.size() &&
+          rng_.next_bool(profile_.skew_prob)) {
+        ++log_.events_skewed;
+        skewed.push_back(e);
+        continue;
+      }
+      dst.push_back(e);
+      if (profile_.duplicate_prob > 0.0 && rng_.next_bool(profile_.duplicate_prob)) {
+        ++log_.events_duplicated;
+        dst.push_back(e);
+      }
+    }
+
+    if (profile_.flap_prob > 0.0 && rng_.next_bool(profile_.flap_prob)) {
+      flap(dst, initial);
+    }
+    if (profile_.burst_prob > 0.0 && rng_.next_bool(profile_.burst_prob)) {
+      burst(dst, initial);
+    }
+
+    // Bounded reordering: shuffle disjoint windows of `reorder_window`
+    // consecutive events, so no event moves farther than window-1 positions.
+    if (profile_.reorder_prob > 0.0 && profile_.reorder_window > 1 &&
+        rng_.next_bool(profile_.reorder_prob)) {
+      for (size_t w = 0; w < dst.size(); w += static_cast<size_t>(profile_.reorder_window)) {
+        const size_t end = std::min(dst.size(), w + static_cast<size_t>(profile_.reorder_window));
+        if (end - w < 2) break;
+        std::vector<ctrl::Event> window(dst.begin() + static_cast<ptrdiff_t>(w),
+                                        dst.begin() + static_cast<ptrdiff_t>(end));
+        rng_.shuffle(window);
+        std::copy(window.begin(), window.end(), dst.begin() + static_cast<ptrdiff_t>(w));
+        ++log_.windows_reordered;
+      }
+    }
+  }
+  return out;
+}
+
+std::string FaultInjector::corrupt_text(const std::string& text) {
+  if (profile_.corrupt_prob <= 0.0) return text;
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && rng_.next_bool(profile_.corrupt_prob)) {
+      ++log_.lines_corrupted;
+      switch (rng_.next_int(3)) {
+        case 0:  // truncate the line mid-token
+          line.resize(static_cast<size_t>(rng_.next_int(static_cast<int>(line.size()))));
+          break;
+        case 1: {  // flip one bit of one byte
+          const auto i = static_cast<size_t>(rng_.next_int(static_cast<int>(line.size())));
+          line[i] = static_cast<char>(line[i] ^ (1 << rng_.next_int(7)));
+          break;
+        }
+        default: {  // delete the first whitespace-separated token
+          const auto sp = line.find(' ');
+          line = sp == std::string::npos ? std::string() : line.substr(sp + 1);
+          break;
+        }
+      }
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wmcast::chaos

@@ -1,0 +1,86 @@
+// Deterministic fault injection for the online controller's input surfaces
+// (DESIGN.md §10). A FaultInjector is a pure function of (seed, profile): it
+// perturbs an event trace — message loss, duplication, bounded reordering,
+// AP down/up flaps, user-churn bursts, clock skew — and corrupts serialized
+// text for parser-robustness checks. Replaying the same (seed, profile) over
+// the same input reproduces the exact same faults, which is what lets the
+// differential replayer (chaos/oracles.hpp) compare two oracles on identical
+// perturbed inputs and lets a failure shrink to a standalone repro file.
+//
+// Faults are intentionally *not* kept semantically valid: a flap or a churn
+// burst may reference slots that never joined, and skewed events can arrive
+// before the join they depend on. The controller's contract is to count such
+// events invalid and keep serving — the injector tests that contract rather
+// than working around it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wmcast/ctrl/state.hpp"
+#include "wmcast/ctrl/trace.hpp"
+#include "wmcast/util/rng.hpp"
+
+namespace wmcast::chaos {
+
+/// Per-input fault rates. All probabilities are per event (or per epoch/line
+/// where noted); 0 everywhere = the identity injector.
+struct FaultProfile {
+  std::string name = "none";
+  double drop_prob = 0.0;         // per event: message loss
+  double duplicate_prob = 0.0;    // per event: delivered twice back to back
+  double reorder_prob = 0.0;      // per epoch: shuffle within bounded windows
+  int reorder_window = 4;         // max displacement of a reordered event
+  double skew_prob = 0.0;         // per event: clock skew into the next epoch
+  double flap_prob = 0.0;         // per epoch: one AP's users drop and rejoin
+  int flap_leaves = 6;            // leave/rejoin pairs per flap
+  double burst_prob = 0.0;        // per epoch: user-churn burst
+  int burst_size = 8;             // join/leave events per burst
+  double corrupt_prob = 0.0;      // per line of corrupt_text()
+
+  /// Named profiles: none, light, heavy, reorder, malformed, mixed.
+  /// Throws std::invalid_argument for unknown names.
+  static FaultProfile named(const std::string& name);
+  static const std::vector<std::string>& names();
+};
+
+/// What the injector actually did (deterministic given seed + profile + input).
+struct FaultLog {
+  uint64_t events_dropped = 0;
+  uint64_t events_duplicated = 0;
+  uint64_t events_skewed = 0;
+  uint64_t windows_reordered = 0;
+  uint64_t ap_flaps = 0;
+  uint64_t churn_bursts = 0;
+  uint64_t lines_corrupted = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(uint64_t seed, FaultProfile profile);
+
+  /// Perturbs `trace` under the profile. `initial` supplies the geometry the
+  /// synthetic flap/burst events reference (AP positions, session and slot id
+  /// ranges); the injector tracks no evolving state, so synthetic events may
+  /// be invalid by the time they land — deliberately (see header comment).
+  ctrl::EventTrace perturb(const ctrl::EventTrace& trace,
+                           const ctrl::NetworkState& initial);
+
+  /// Corrupts serialized text line by line: truncation, bit flips inside the
+  /// line, token deletion. At corrupt_prob = 0 returns the input unchanged.
+  std::string corrupt_text(const std::string& text);
+
+  const FaultProfile& profile() const { return profile_; }
+  const FaultLog& log() const { return log_; }
+
+ private:
+  void flap(std::vector<ctrl::Event>& epoch, const ctrl::NetworkState& initial);
+  void burst(std::vector<ctrl::Event>& epoch, const ctrl::NetworkState& initial);
+
+  FaultProfile profile_;
+  util::Rng rng_;
+  FaultLog log_;
+};
+
+}  // namespace wmcast::chaos

@@ -1,0 +1,351 @@
+#include "wmcast/chaos/oracles.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "wmcast/assoc/registry.hpp"
+#include "wmcast/core/engine.hpp"
+#include "wmcast/core/parallel.hpp"
+#include "wmcast/core/solve.hpp"
+#include "wmcast/core/workspace.hpp"
+#include "wmcast/setcover/reduction.hpp"
+#include "wmcast/setcover/reference.hpp"
+#include "wmcast/setcover/set_system.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/util/thread_pool.hpp"
+#include "wmcast/wlan/association.hpp"
+
+namespace wmcast::chaos {
+namespace {
+
+OracleResult ok(std::string check) { return {std::move(check), true, {}}; }
+
+OracleResult bad(std::string check, std::string detail) {
+  return {std::move(check), false, std::move(detail)};
+}
+
+std::string ids_to_text(const std::vector<int>& v) {
+  std::ostringstream os;
+  os << '[';
+  const size_t shown = std::min<size_t>(v.size(), 16);
+  for (size_t i = 0; i < shown; ++i) os << (i ? " " : "") << v[i];
+  if (v.size() > shown) os << " ...+" << v.size() - shown;
+  os << ']';
+  return os.str();
+}
+
+/// First index where the two id sequences disagree, formatted for a detail.
+std::string seq_diff(const std::vector<int>& a, const std::vector<int>& b) {
+  std::ostringstream os;
+  size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  os << "diverge at index " << i << ": engine " << ids_to_text(a) << " vs reference "
+     << ids_to_text(b);
+  return os.str();
+}
+
+bool near(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+std::string failures_to_text(const std::vector<OracleResult>& results) {
+  std::string out;
+  for (const auto& r : results) {
+    if (r.pass) continue;
+    out += r.check;
+    out += ": ";
+    out += r.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<OracleResult> check_solver_equivalence(const wlan::Scenario& sc) {
+  std::vector<OracleResult> out;
+  const auto sys = setcover::build_set_system(sc, /*multi_rate=*/true);
+  const auto eng = setcover::to_engine(sys);
+  core::SolveWorkspace ws;
+
+  // Greedy CostSC: the engine's lazy-heap greedy must reproduce the eager
+  // reference pick for pick (ties broken by the shared better_pick rule).
+  {
+    const auto a = core::greedy_cover(eng, ws);
+    const auto b = setcover::greedy_set_cover_reference(sys);
+    if (a.chosen != b.chosen) {
+      out.push_back(bad("greedy.chosen", seq_diff(a.chosen, b.chosen)));
+    } else if (a.total_cost != b.total_cost || a.complete != b.complete ||
+               a.covered.count() != b.covered.count()) {
+      std::ostringstream os;
+      os << "same chosen, different result: cost " << a.total_cost << " vs "
+         << b.total_cost << ", complete " << a.complete << " vs " << b.complete
+         << ", covered " << a.covered.count() << " vs " << b.covered.count();
+      out.push_back(bad("greedy.result", os.str()));
+    } else {
+      out.push_back(ok("greedy"));
+    }
+
+    // Sharded greedy vs the joint solve: same chosen *set* (order interleaves
+    // across shards), identical coverage, same total cost.
+    core::SessionShards shards;
+    shards.build(eng);
+    util::ThreadPool pool(2);
+    core::ShardWorkspaces wss;
+    auto p = core::parallel_greedy_cover(eng, pool, wss, shards);
+    auto sorted_p = p.chosen;
+    auto sorted_a = a.chosen;
+    std::sort(sorted_p.begin(), sorted_p.end());
+    std::sort(sorted_a.begin(), sorted_a.end());
+    if (sorted_p != sorted_a || !(p.covered == a.covered)) {
+      out.push_back(bad("greedy.sharded", seq_diff(sorted_p, sorted_a)));
+    } else if (!near(p.total_cost, a.total_cost)) {
+      std::ostringstream os;
+      os << "sharded cost " << p.total_cost << " vs joint " << a.total_cost;
+      out.push_back(bad("greedy.sharded_cost", os.str()));
+    } else {
+      out.push_back(ok("greedy.sharded"));
+    }
+  }
+
+  // MCG with per-AP budgets at the scenario's load budget.
+  {
+    const std::vector<double> budgets(static_cast<size_t>(sys.n_groups()),
+                                      sc.load_budget());
+    const auto a = core::mcg_cover(eng, ws, budgets);
+    const auto b = setcover::mcg_greedy_reference(sys, budgets);
+    bool same_violators = a.violator.size() == b.violator.size();
+    for (size_t i = 0; same_violators && i < a.violator.size(); ++i) {
+      same_violators = (a.violator[i] != 0) == static_cast<bool>(b.violator[i]);
+    }
+    if (a.h != b.h) {
+      out.push_back(bad("mcg.h", seq_diff(a.h, b.h)));
+    } else if (!same_violators) {
+      out.push_back(bad("mcg.violators", "same h, different budget-violation marks"));
+    } else if (a.chosen != b.chosen || a.covered.count() != b.covered.count()) {
+      out.push_back(bad("mcg.chosen", seq_diff(a.chosen, b.chosen)));
+    } else {
+      out.push_back(ok("mcg"));
+    }
+  }
+
+  // SCG: same B* search grid on both sides, so the trajectory must match
+  // exactly — chosen sets, feasibility, B*, and the winning pass count.
+  {
+    const auto a = core::scg_cover(eng, ws, core::ScgParams{});
+    const auto b = setcover::scg_solve_reference(sys, setcover::ScgParams{});
+    if (a.chosen != b.chosen) {
+      out.push_back(bad("scg.chosen", seq_diff(a.chosen, b.chosen)));
+    } else if (a.feasible != b.feasible || a.bstar != b.bstar ||
+               a.passes != b.passes || !near(a.max_group_cost, b.max_group_cost)) {
+      std::ostringstream os;
+      os << "same chosen, different result: feasible " << a.feasible << " vs "
+         << b.feasible << ", bstar " << a.bstar << " vs " << b.bstar << ", passes "
+         << a.passes << " vs " << b.passes << ", max_group_cost "
+         << a.max_group_cost << " vs " << b.max_group_cost;
+      out.push_back(bad("scg.result", os.str()));
+    } else {
+      out.push_back(ok("scg"));
+    }
+  }
+
+  return out;
+}
+
+std::vector<OracleResult> check_controller_invariants(
+    const ctrl::AssociationController& c, int expected_epochs) {
+  std::vector<OracleResult> out;
+  const auto& st = c.state();
+  const auto& slot_ap = c.slot_ap();
+
+  if (c.epochs() != expected_epochs) {
+    std::ostringstream os;
+    os << "controller reports " << c.epochs() << " epochs after " << expected_epochs
+       << " drains";
+    out.push_back(bad("invariant.epochs", os.str()));
+  } else {
+    out.push_back(ok("invariant.epochs"));
+  }
+
+  if (static_cast<int>(slot_ap.size()) != st.n_slots()) {
+    std::ostringstream os;
+    os << "slot_ap has " << slot_ap.size() << " entries for " << st.n_slots()
+       << " slots";
+    out.push_back(bad("invariant.slot_space", os.str()));
+    return out;  // the remaining checks index slot_ap by slot id
+  }
+  out.push_back(ok("invariant.slot_space"));
+
+  // Association sanity: a served user wants service, its AP id is real, and
+  // the AP can actually reach it. No check that every service-wanting user is
+  // served — MCG/admission may legitimately leave users uncovered.
+  bool assoc_ok = true;
+  for (int i = 0; i < st.n_slots() && assoc_ok; ++i) {
+    const int ap = slot_ap[static_cast<size_t>(i)];
+    if (ap == wlan::kNoAp) continue;
+    std::ostringstream os;
+    if (ap < 0 || ap >= st.n_aps()) {
+      os << "slot " << i << " assigned to nonexistent AP " << ap;
+    } else if (!st.slot(i).wants_service()) {
+      os << "slot " << i << " served by AP " << ap << " but does not want service";
+    } else if (st.link_rate(ap, i) <= 0.0) {
+      os << "slot " << i << " served by out-of-range AP " << ap;
+    } else {
+      continue;
+    }
+    out.push_back(bad("invariant.association", os.str()));
+    assoc_ok = false;
+  }
+  if (assoc_ok) out.push_back(ok("invariant.association"));
+
+  // Load-report consistency: the committed report must equal a fresh
+  // recomputation from the committed association. Assumes the controller runs
+  // the default multi-rate model (true for every chaos campaign config).
+  if (assoc_ok) {
+    const auto fresh = wlan::compute_loads(
+        c.scenario(), ctrl::compact_association(slot_ap, c.row_slot()),
+        /*multi_rate=*/true);
+    const auto& live = c.loads();
+    if (live.ap_load != fresh.ap_load || live.total_load != fresh.total_load ||
+        live.max_load != fresh.max_load ||
+        live.satisfied_users != fresh.satisfied_users ||
+        live.budget_violations != fresh.budget_violations) {
+      std::ostringstream os;
+      os << "committed report (total " << live.total_load << ", max " << live.max_load
+         << ", satisfied " << live.satisfied_users << ", violations "
+         << live.budget_violations << ") != recomputed (total " << fresh.total_load
+         << ", max " << fresh.max_load << ", satisfied " << fresh.satisfied_users
+         << ", violations " << fresh.budget_violations << ")";
+      out.push_back(bad("invariant.loads", os.str()));
+    } else {
+      out.push_back(ok("invariant.loads"));
+    }
+  }
+
+  return out;
+}
+
+std::vector<OracleResult> check_telemetry_conservation(
+    const ctrl::AssociationController& c) {
+  std::vector<OracleResult> out;
+  const auto& t = c.telemetry();
+  const uint64_t ingested = t.events_ingested.value();
+  const uint64_t applied = t.events_applied.value();
+  const uint64_t invalid = t.events_invalid.value();
+
+  auto expect = [&out](bool cond, const char* check, std::string detail) {
+    out.push_back(cond ? ok(check) : bad(check, std::move(detail)));
+  };
+
+  {
+    std::ostringstream os;
+    os << "ingested " << ingested << " != applied " << applied << " + invalid "
+       << invalid;
+    expect(ingested == applied + invalid, "telemetry.event_conservation", os.str());
+  }
+  {
+    uint64_t by_type = 0;
+    for (const auto& counter : t.events_by_type) by_type += counter.value();
+    std::ostringstream os;
+    os << "per-type counts sum to " << by_type << ", ingested " << ingested;
+    expect(by_type == ingested, "telemetry.by_type_sum", os.str());
+  }
+  {
+    const uint64_t joins =
+        t.events_by_type[static_cast<size_t>(ctrl::EventType::kUserJoin)].value();
+    const uint64_t gated = t.joins_admitted.value() + t.joins_rejected.value();
+    std::ostringstream os;
+    os << "admitted+rejected " << gated << " exceeds join events " << joins;
+    expect(gated <= joins, "telemetry.join_gate", os.str());
+  }
+  {
+    std::ostringstream os;
+    os << "coalesced " << t.events_coalesced.value() << " exceeds applied " << applied;
+    expect(t.events_coalesced.value() <= applied, "telemetry.coalesced", os.str());
+  }
+  {
+    std::ostringstream os;
+    os << "drains " << t.drains.value() << " != committed epochs " << t.epochs.value();
+    expect(t.drains.value() == t.epochs.value(), "telemetry.drains", os.str());
+  }
+  {
+    const uint64_t reassoc = t.reassociations.value();
+    std::ostringstream os;
+    os << "handoffs " << t.handoffs.value() << " / forced "
+       << t.forced_reassociations.value() << " exceed reassociations " << reassoc;
+    expect(t.handoffs.value() <= reassoc && t.forced_reassociations.value() <= reassoc,
+           "telemetry.reassociation_split", os.str());
+  }
+  return out;
+}
+
+ReplayCheckResult check_differential_replay(const wlan::Scenario& sc,
+                                            const ctrl::EventTrace& trace,
+                                            const ctrl::ControllerConfig& cfg,
+                                            int n_threads) {
+  ReplayCheckResult out;
+  ctrl::ControllerConfig serial_cfg = cfg;
+  serial_cfg.threads = 1;
+  ctrl::ControllerConfig parallel_cfg = cfg;
+  parallel_cfg.threads = n_threads;
+
+  ctrl::AssociationController serial(sc, serial_cfg);
+  ctrl::AssociationController parallel(sc, parallel_cfg);
+
+  bool invariants_clean = true;
+  for (size_t ep = 0; ep < trace.epochs.size(); ++ep) {
+    serial.submit(trace.epochs[ep]);
+    parallel.submit(trace.epochs[ep]);
+    serial.drain();
+    parallel.drain();
+    ++out.epochs_run;
+
+    if (serial.slot_ap() != parallel.slot_ap()) {
+      out.diverged = true;
+      out.divergence_epoch = static_cast<int>(ep);
+      std::ostringstream os;
+      os << "epoch " << ep << ": committed association differs between threads=1 and threads="
+         << n_threads;
+      out.results.push_back(bad("replay.thread_determinism", os.str()));
+      break;
+    }
+    for (auto& r : check_controller_invariants(serial, out.epochs_run)) {
+      if (!r.pass) {
+        r.detail = "epoch " + std::to_string(ep) + ": " + r.detail;
+        out.results.push_back(std::move(r));
+        invariants_clean = false;
+      }
+    }
+  }
+  if (!out.diverged) out.results.push_back(ok("replay.thread_determinism"));
+  if (invariants_clean) out.results.push_back(ok("replay.invariants"));
+
+  for (auto& r : check_telemetry_conservation(serial)) out.results.push_back(std::move(r));
+
+  // Incremental repair vs a cold full re-solve of the final state. The
+  // controller's own fallback ladder bounds drift against its (possibly
+  // stale) baseline, so allow the configured threshold plus slack for
+  // baseline staleness between refreshes.
+  if (!out.diverged && serial.scenario().n_users() > 0) {
+    util::Rng rng(cfg.seed);
+    assoc::SolveOptions opt;
+    opt.multi_rate = cfg.multi_rate;
+    const auto cold = assoc::solve_by_name(cfg.full_solver, serial.scenario(), rng, opt);
+    const double live = serial.loads().total_load;
+    const double bound =
+        cold.loads.total_load * (1.0 + cfg.degradation_threshold + 0.25) + 1e-9;
+    if (cold.loads.total_load > 0.0 && live > bound) {
+      std::ostringstream os;
+      os << "final total load " << live << " exceeds cold re-solve "
+         << cold.loads.total_load << " by more than the degradation bound " << bound;
+      out.results.push_back(bad("replay.bounded_degradation", os.str()));
+    } else {
+      out.results.push_back(ok("replay.bounded_degradation"));
+    }
+  }
+  return out;
+}
+
+}  // namespace wmcast::chaos

@@ -1,0 +1,78 @@
+// Differential oracles (DESIGN.md §10): independent implementations of the
+// same computation, run on identical (possibly fault-perturbed) inputs and
+// required to agree. Disagreement is a bug in one of them by construction —
+// no ground truth needed.
+//
+// Oracle pairs:
+//  * engine-backed greedy/MCG/SCG (core/solve) vs the eager references
+//    (setcover/reference) — exact chosen-sequence equivalence;
+//  * sharded parallel solves (core/parallel) vs the joint solve — chosen-set
+//    and covered equivalence;
+//  * the controller at --threads=1 vs --threads=N over the same trace —
+//    committed slot_ap equality after every epoch;
+//  * the controller's incremental repair vs a cold full re-solve — bounded
+//    degradation (repair may be worse, but only within the configured
+//    threshold plus a slack term for baseline staleness between refreshes).
+//
+// Structural invariants checked on the controller after every epoch:
+//  * association sanity — slot_ap sized to the slot space, every served
+//    user's AP in radio range, no user served without wanting service;
+//  * load-report consistency — the committed LoadReport equals a fresh
+//    recomputation from the committed association;
+//  * monotone epoch counters, and telemetry conservation: ingested =
+//    applied + invalid, per-type counts sum to ingested, admitted +
+//    rejected <= join events, handoffs <= reassociations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wmcast/ctrl/controller.hpp"
+#include "wmcast/ctrl/trace.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::chaos {
+
+/// One oracle verdict. `pass == false` carries a human-readable detail that
+/// names both sides of the disagreement.
+struct OracleResult {
+  std::string check;
+  bool pass = true;
+  std::string detail;
+};
+
+/// All failures in `results`, formatted one per line (empty when all passed).
+std::string failures_to_text(const std::vector<OracleResult>& results);
+
+/// Engine solvers vs eager references on one scenario snapshot: greedy, MCG
+/// (per-AP budgets = the scenario load budget), SCG, and sharded-vs-joint
+/// greedy. Pure and deterministic.
+std::vector<OracleResult> check_solver_equivalence(const wlan::Scenario& sc);
+
+/// Structural invariants on a controller after an epoch (see header comment).
+/// `expected_epochs` is the number of drain() calls made so far.
+std::vector<OracleResult> check_controller_invariants(
+    const ctrl::AssociationController& c, int expected_epochs);
+
+/// Telemetry counter conservation on a controller's cumulative telemetry.
+std::vector<OracleResult> check_telemetry_conservation(
+    const ctrl::AssociationController& c);
+
+struct ReplayCheckResult {
+  std::vector<OracleResult> results;
+  int epochs_run = 0;
+  bool diverged = false;
+  int divergence_epoch = -1;
+};
+
+/// Replays `trace` through two controllers built from the same scenario and
+/// config but threads=1 vs threads=n_threads, comparing the committed
+/// slot_ap after every epoch and running the per-epoch invariant checks on
+/// the 1-thread side. Also runs the incremental-vs-cold bounded-degradation
+/// check on the final state.
+ReplayCheckResult check_differential_replay(const wlan::Scenario& sc,
+                                            const ctrl::EventTrace& trace,
+                                            const ctrl::ControllerConfig& cfg,
+                                            int n_threads);
+
+}  // namespace wmcast::chaos

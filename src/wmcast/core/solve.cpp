@@ -5,12 +5,12 @@
 #include <limits>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
 
 namespace wmcast::core {
 
 namespace {
 
-constexpr double kEps = 1e-12;  // same budget tolerance as setcover/mcg.cpp
 constexpr double kTol = 1e-12;  // same residual tolerance as setcover/layering.cpp
 
 /// Heap "less" for std::push_heap/pop_heap: a sorts below b iff b is the
@@ -132,7 +132,9 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
   for (int j = 0; j < eng.n_set_slots(); ++j) {
     const int32_t g = ws.gain[static_cast<size_t>(j)];
     if (g <= 0) continue;
-    if (eng.cost(j) > group_budgets[static_cast<size_t>(eng.group(j))] + kEps) continue;
+    if (!util::fits_budget(eng.cost(j), group_budgets[static_cast<size_t>(eng.group(j))])) {
+      continue;
+    }
     heap.push_back({g, j});
   }
   std::make_heap(heap.begin(), heap.end(), less);
@@ -141,7 +143,7 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
   while (left > 0 && !heap.empty()) {
     const HeapEntry top = heap_pop(heap, less);
     const auto grp = static_cast<size_t>(eng.group(top.set));
-    if (ws.group_cost[grp] + kEps >= group_budgets[grp]) continue;  // group exhausted
+    if (util::budget_exhausted(ws.group_cost[grp], group_budgets[grp])) continue;
     const int32_t g = ws.gain[static_cast<size_t>(top.set)];
     if (top.gain != g) {
       if (g > 0) heap_push(heap, less, {g, top.set});
@@ -150,7 +152,7 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
     ws.group_cost[grp] += eng.cost(top.set);
     res.h.push_back(top.set);
     res.violator.push_back(
-        ws.group_cost[grp] > group_budgets[grp] + kEps ? char{1} : char{0});
+        util::exceeds_budget(ws.group_cost[grp], group_budgets[grp]) ? char{1} : char{0});
     left -= commit_set(eng, ws, top.set, &res.covered_h);
   }
   res.covered_h.and_assign(ws.target);
@@ -197,7 +199,7 @@ std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
     const int32_t g = ws.gain[static_cast<size_t>(j)];
     if (g <= 0) continue;
     const auto grp = static_cast<size_t>(eng.group(j));
-    if (group_cost[grp] + eng.cost(j) > group_budgets[grp] + kEps) continue;
+    if (!util::fits_budget(group_cost[grp] + eng.cost(j), group_budgets[grp])) continue;
     heap.push_back({g, j});
   }
   std::make_heap(heap.begin(), heap.end(), less);
@@ -207,7 +209,7 @@ std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
   while (left > 0 && !heap.empty()) {
     const HeapEntry top = heap_pop(heap, less);
     const auto grp = static_cast<size_t>(eng.group(top.set));
-    if (group_cost[grp] + eng.cost(top.set) > group_budgets[grp] + kEps) {
+    if (!util::fits_budget(group_cost[grp] + eng.cost(top.set), group_budgets[grp])) {
       continue;  // no longer fits
     }
     const int32_t g = ws.gain[static_cast<size_t>(top.set)];

@@ -18,6 +18,7 @@
 //    warm engine perform no steady-state allocations beyond their results.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,13 +33,41 @@ namespace wmcast::core {
 /// than set b: higher gain/cost ratio, ties to the lower set id. The ratios
 /// are compared as cross products — gain_a * cost_b vs gain_b * cost_a — so
 /// two sets with the exact same rational ratio always compare equal, which
-/// divided doubles cannot promise. The products are named locals to keep the
-/// compiler from contracting them into FMAs with asymmetric rounding.
+/// divided doubles cannot promise.
+///
+/// The cross products are evaluated EXACTLY, in 128-bit integers over the
+/// costs' (mantissa, exponent) decomposition. Rounded double products are
+/// not transitive: with c = cost of a 1-member set, the trio (9, 9c), (3,
+/// 3c), (1, c) can compare 9c-set < 3c-set < c-set < 9c-set, because each
+/// product rounds at a different magnitude. A comparator that is not a
+/// strict weak order makes std::make_heap/pop_heap behavior undefined — the
+/// lazy-greedy heap then pops a context-dependent element at ties, so the
+/// joint solve and the sharded per-session solves (core/parallel.hpp) could
+/// commit different associations for the same instance. Found by the chaos
+/// differential replayer (chaos/oracles.hpp); see tests/chaos tests.
 inline bool better_pick(int32_t gain_a, double cost_a, int set_a,
                         int32_t gain_b, double cost_b, int set_b) {
-  const double lhs = static_cast<double>(gain_a) * cost_b;
-  const double rhs = static_cast<double>(gain_b) * cost_a;
-  if (lhs != rhs) return lhs > rhs;
+  if (gain_a > 0 || gain_b > 0) {
+    if (gain_a <= 0) return false;  // b's ratio is positive, a's is not
+    if (gain_b <= 0) return true;
+    // cost = m * 2^(e-53) with m an integer in [2^52, 2^53) (or smaller for
+    // subnormals; still exact). gain * m fits in 31+53 bits, and the shift
+    // below stays under 127 bits, so every comparison is exact.
+    int ea = 0;
+    int eb = 0;
+    const double fa = std::frexp(cost_a, &ea);
+    const double fb = std::frexp(cost_b, &eb);
+    const auto ma = static_cast<int64_t>(std::ldexp(fa, 53));
+    const auto mb = static_cast<int64_t>(std::ldexp(fb, 53));
+    const __int128 lhs = static_cast<__int128>(gain_a) * mb;  // * 2^(eb-53)
+    const __int128 rhs = static_cast<__int128>(gain_b) * ma;  // * 2^(ea-53)
+    const int diff = eb - ea;
+    if (diff > 43) return lhs != 0;    // lhs scale dominates any 84-bit rhs
+    if (diff < -43) return rhs == 0;
+    const __int128 l = diff > 0 ? lhs << diff : lhs;
+    const __int128 r = diff < 0 ? rhs << -diff : rhs;
+    if (l != r) return l > r;
+  }
   return set_a < set_b;
 }
 

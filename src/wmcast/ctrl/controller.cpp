@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <optional>
@@ -10,12 +11,11 @@
 #include "wmcast/assoc/registry.hpp"
 #include "wmcast/ctrl/engine_source.hpp"
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
 
 namespace wmcast::ctrl {
 
 namespace {
-
-constexpr double kBudgetEps = 1e-9;
 
 assoc::Objective policy_objective(assoc::SearchObjective o) {
   return o == assoc::SearchObjective::kMaxLoad ? assoc::Objective::kLoadVector
@@ -189,7 +189,7 @@ bool AssociationController::admit(const JoinRequest& req) const {
     const double load = static_cast<size_t>(a) < loads_.ap_load.size()
                             ? loads_.ap_load[static_cast<size_t>(a)]
                             : 0.0;
-    if (load + marginal <= state_.load_budget() + kBudgetEps) return true;
+    if (util::fits_budget(load + marginal, state_.load_budget())) return true;
   }
   return false;
 }
@@ -227,7 +227,7 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
     for (int a = 0; a < sc.n_aps(); ++a) {
       auto& m = members[static_cast<size_t>(a)];
       double load = wlan::ap_load_for_members(sc, a, m, cfg_.multi_rate);
-      while (load > sc.load_budget() + kBudgetEps && !m.empty()) {
+      while (util::exceeds_budget(load, sc.load_budget()) && !m.empty()) {
         int best_u = m.front();
         double best_drop = -std::numeric_limits<double>::infinity();
         for (const int u : m) {
@@ -309,7 +309,8 @@ AssociationController::ChangeCount AssociationController::count_changes(
 
 EpochReport AssociationController::drain() {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto events = queue_.drain(cfg_.max_batch);
+  auto events = queue_.drain(cfg_.max_batch);
+  if (cfg_.batch_hook) cfg_.batch_hook(epoch_index_, events);
 
   EpochReport rep;
   rep.epoch = epoch_index_;
@@ -327,6 +328,7 @@ EpochReport AssociationController::drain() {
     if (e.type == EventType::kUserJoin) {
       const bool valid = e.user >= 0 && e.user <= next.n_slots() && e.session >= 0 &&
                          e.session < next.n_sessions() &&
+                         std::isfinite(e.pos.x) && std::isfinite(e.pos.y) &&
                          (e.user == next.n_slots() || !next.slot(e.user).present);
       if (!valid) {
         tele_.events_invalid.inc();

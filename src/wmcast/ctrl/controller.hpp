@@ -59,6 +59,12 @@ using AdmissionHook = std::function<bool(const JoinRequest& request,
                                          const std::vector<double>& ap_load,
                                          const NetworkState& state)>;
 
+/// Called on each drained batch (with the epoch index it will run as) before
+/// any event is validated or applied; free to mutate the batch — drop,
+/// duplicate, reorder, corrupt. The chaos harness (chaos/fault.hpp) injects
+/// faults through this seam; leave unset in production.
+using BatchHook = std::function<void(int epoch, std::vector<Event>& batch)>;
+
 struct ControllerConfig {
   /// Registry name of the full re-solve fallback (mla-c, bla-c, mnu-c, ...).
   std::string full_solver = "mla-c";
@@ -79,6 +85,8 @@ struct ControllerConfig {
   /// Gate joins on per-AP load budgets (default hook) or `admission_hook`.
   bool admission_control = true;
   AdmissionHook admission_hook;  // overrides the built-in budget check
+  /// Mutates each drained batch before it is applied (fault injection).
+  BatchHook batch_hook;
   /// Max events per drain (<= 0 drains everything pending).
   int max_batch = 0;
   /// Local-search polish budget: moves allowed per dirty user.

@@ -1,6 +1,7 @@
 #include "wmcast/ctrl/state.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 
@@ -55,12 +56,19 @@ int NetworkState::n_active() const {
 void NetworkState::apply(const Event& e) {
   const auto valid_slot = [&](int u) { return u >= 0 && u < n_slots(); };
   const auto valid_session = [&](int s) { return s >= 0 && s < n_sessions(); };
+  // A NaN position would poison every distance (and thus every link rate)
+  // computed from it; an infinite one silently strands the user out of range
+  // of all APs. Both come from corrupted traces, never from real producers.
+  const auto valid_pos = [&](const wlan::Point& p) {
+    return std::isfinite(p.x) && std::isfinite(p.y);
+  };
 
   switch (e.type) {
     case EventType::kUserJoin: {
       util::require(e.user >= 0 && e.user <= n_slots(),
                     "apply(join): slot id gap or negative slot");
       util::require(valid_session(e.session), "apply(join): unknown session");
+      util::require(valid_pos(e.pos), "apply(join): non-finite position");
       if (e.user == n_slots()) slots_.emplace_back();
       auto& slot = slots_[static_cast<size_t>(e.user)];
       util::require(!slot.present, "apply(join): user already present");
@@ -80,6 +88,7 @@ void NetworkState::apply(const Event& e) {
     }
     case EventType::kUserMove: {
       util::require(valid_slot(e.user), "apply(move): unknown slot");
+      util::require(valid_pos(e.pos), "apply(move): non-finite position");
       auto& slot = slots_[static_cast<size_t>(e.user)];
       util::require(slot.present, "apply(move): user not present");
       slot.pos = e.pos;
@@ -87,7 +96,8 @@ void NetworkState::apply(const Event& e) {
     }
     case EventType::kRateChange: {
       util::require(valid_session(e.session), "apply(rate_change): unknown session");
-      util::require(e.rate_mbps > 0.0, "apply(rate_change): rate must be positive");
+      util::require(std::isfinite(e.rate_mbps) && e.rate_mbps > 0.0,
+                    "apply(rate_change): rate must be positive and finite");
       session_rate_[static_cast<size_t>(e.session)] = e.rate_mbps;
       return;
     }

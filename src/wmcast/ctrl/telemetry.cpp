@@ -48,7 +48,8 @@ void BucketHistogram::record(double v) {
 }
 
 double BucketHistogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (count_ == 1) return max_;  // the one sample, not its bucket bound
   q = std::clamp(q, 0.0, 1.0);
   const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
   uint64_t seen = 0;
@@ -91,8 +92,8 @@ util::Json BucketHistogram::to_json() const {
   j.set("min", min_value());
   j.set("max", max_value());
   j.set("mean", mean());
-  j.set("p50", quantile(0.5));
-  j.set("p99", quantile(0.99));
+  j.set("p50", count_ == 0 ? 0.0 : quantile(0.5));
+  j.set("p99", count_ == 0 ? 0.0 : quantile(0.99));
   return j;
 }
 

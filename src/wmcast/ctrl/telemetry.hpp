@@ -58,7 +58,10 @@ class BucketHistogram {
   const std::vector<uint64_t>& counts() const { return counts_; }
 
   /// Upper-bound estimate of the q-quantile (q in [0, 1]); the overflow
-  /// bucket reports the exact observed max.
+  /// bucket reports the exact observed max. A single sample is every quantile
+  /// of itself. Contract: an empty histogram has no quantiles — returns NaN
+  /// (to_json guards the empty case and serializes 0.0 so the schema stays
+  /// numeric).
   double quantile(double q) const;
 
   /// ASCII bar chart (labels = "<=bound" / ">bound") via util::render_histogram.

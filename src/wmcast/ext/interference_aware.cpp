@@ -5,12 +5,12 @@
 #include <functional>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
 
 namespace wmcast::ext {
 
 namespace {
 
-constexpr double kBudgetEps = 1e-9;
 constexpr double kImproveEps = 1e-12;
 
 bool vector_less(const std::vector<double>& a, const std::vector<double>& b) {
@@ -125,7 +125,7 @@ assoc::Solution interference_aware_associate(
           m.push_back(u);
           const double load = wlan::ap_load_for_members(sc, a, m, params.multi_rate);
           m.pop_back();
-          if (a != cur && load > sc.load_budget() + kBudgetEps) return;
+          if (a != cur && util::exceeds_budget(load, sc.load_budget())) return;
         }
         move_user(u, a);
         if (params.objective == assoc::Objective::kTotalLoad) {

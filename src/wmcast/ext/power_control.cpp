@@ -5,13 +5,13 @@
 #include <limits>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
 
 namespace wmcast::ext {
 
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
-constexpr double kBudgetEps = 1e-9;
 
 double threshold_for_rate(const wlan::RateTable& table, double rate_mbps) {
   for (const auto& s : table.steps()) {
@@ -135,7 +135,7 @@ PowerShrinkReport shrink_powers(const wlan::Scenario& sc, const wlan::Associatio
     for (bool progress = true; progress;) {
       progress = false;
       for (auto& t : txs) {
-        if (ap_load[static_cast<size_t>(t.ap)] <= sc.load_budget() + kBudgetEps) continue;
+        if (util::fits_budget(ap_load[static_cast<size_t>(t.ap)], sc.load_budget())) continue;
         if (t.scale_idx == base_idx) continue;
         // Raise this transmission one power level.
         size_t next = t.scale_idx + 1;
@@ -171,7 +171,7 @@ PowerShrinkReport shrink_powers(const wlan::Scenario& sc, const wlan::Associatio
   for (int a = 0; a < sc.n_aps(); ++a) {
     const double load = rep.loads_after.ap_load[static_cast<size_t>(a)];
     rep.loads_after.max_load = std::max(rep.loads_after.max_load, load);
-    if (load > sc.load_budget() + kBudgetEps) ++rep.loads_after.budget_violations;
+    if (util::exceeds_budget(load, sc.load_budget())) ++rep.loads_after.budget_violations;
   }
   return rep;
 }

@@ -5,14 +5,9 @@
 
 #include "wmcast/core/solve.hpp"
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
 
 namespace wmcast::setcover {
-
-namespace {
-
-constexpr double kEps = 1e-12;  // same budget tolerance as the engine solvers
-
-}  // namespace
 
 GreedyCoverResult greedy_set_cover_reference(const SetSystem& sys,
                                              const util::DynBitset* restrict_to) {
@@ -64,8 +59,8 @@ McgResult mcg_greedy_reference(const SetSystem& sys, std::span<const double> gro
     for (int j = 0; j < sys.n_sets(); ++j) {
       const auto& s = sys.set(j);
       const auto g = static_cast<size_t>(s.group);
-      if (s.cost > group_budgets[g] + kEps) continue;        // never fits alone
-      if (group_cost[g] + kEps >= group_budgets[g]) continue;  // group exhausted
+      if (!util::fits_budget(s.cost, group_budgets[g])) continue;  // never fits alone
+      if (util::budget_exhausted(group_cost[g], group_budgets[g])) continue;
       const int gain = s.members.and_count(remaining);
       if (gain <= 0) continue;
       if (best == -1 || core::better_pick(gain, s.cost, j, best_gain,
@@ -79,7 +74,7 @@ McgResult mcg_greedy_reference(const SetSystem& sys, std::span<const double> gro
     const auto g = static_cast<size_t>(s.group);
     group_cost[g] += s.cost;
     res.h.push_back(best);
-    res.violator.push_back(group_cost[g] > group_budgets[g] + kEps);
+    res.violator.push_back(util::exceeds_budget(group_cost[g], group_budgets[g]));
     res.covered_h.or_assign(s.members);
     remaining.andnot_assign(s.members);
   }

@@ -1,4 +1,5 @@
 #include "wmcast/sim/network.hpp"
+#include "wmcast/util/fp.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -6,10 +7,6 @@
 #include "wmcast/util/assert.hpp"
 
 namespace wmcast::sim {
-
-namespace {
-constexpr double kBudgetEps = 1e-9;
-}
 
 ProtocolSim::ProtocolSim(const wlan::Scenario& sc, const SimConfig& config, util::Rng rng)
     : sc_(sc),
@@ -140,7 +137,7 @@ void ProtocolSim::apply_move(int u, int target) {
       const double load =
           wlan::ap_load_for_members(sc_, target, m, config_.policy.multi_rate);
       m.pop_back();
-      if (load > sc_.load_budget() + kBudgetEps) {
+      if (util::exceeds_budget(load, sc_.load_budget())) {
         ++counters_.rejections;
         return;  // stay with the current AP
       }

@@ -3,13 +3,19 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace wmcast::util {
 
 /// Parses "--key=value" / "--flag" arguments; anything else is rejected with
-/// std::invalid_argument so typos fail loudly in scripted runs.
+/// std::invalid_argument so typos fail loudly in scripted runs. An empty flag
+/// name ("--" or "--=x") is rejected the same way. Numeric getters require
+/// the whole value to parse — "--n=12x" or "--rate=" throw with the offending
+/// key and value in the message, and get_u64 rejects negative values instead
+/// of wrapping them.
 class Args {
  public:
   Args(int argc, char** argv);
@@ -20,6 +26,11 @@ class Args {
   double get_double(const std::string& key, double def) const;
   uint64_t get_u64(const std::string& key, uint64_t def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  /// Throws std::invalid_argument listing every parsed flag not in `known`.
+  /// Binaries call this once, after deciding their flag set, so a typo like
+  /// --theads=8 aborts the run instead of silently using the default.
+  void reject_unknown(std::initializer_list<std::string_view> known) const;
 
  private:
   std::map<std::string, std::string> kv_;

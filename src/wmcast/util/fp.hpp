@@ -1,0 +1,49 @@
+// The one floating-point feasibility policy for budget/load comparisons.
+//
+// Every layer that checks an accumulated load against a budget — the engine
+// solvers (core/solve), their eager references (setcover/reference), the
+// association heuristics (assoc/*), the controller's admission/peel paths
+// (ctrl/controller) and the load report (wlan/association) — must agree on
+// what "fits" means, or a budget exactly equal to a load sum flips between
+// feasible and infeasible depending on which module (and which platform's
+// rounding) looks at it. Historically the solvers used an absolute 1e-12 and
+// the association layer an absolute 1e-9; an accumulated sum of large costs
+// (say, per-AP loads in the hundreds) carries rounding noise above 1e-12, so
+// the same instance could be feasible to assoc/ and infeasible to core/.
+//
+// The shared tolerance is relative-plus-absolute: 1e-9 scaled by
+// max(1, |budget|). At the paper's unit budgets it is numerically identical
+// to the old association-layer behavior; at large magnitudes it absorbs the
+// accumulation noise a fixed absolute epsilon cannot.
+#pragma once
+
+#include <cmath>
+
+namespace wmcast::util {
+
+inline constexpr double kBudgetEps = 1e-9;
+
+/// The comparison slack for a given budget magnitude.
+inline double budget_tol(double budget) {
+  return kBudgetEps * std::max(1.0, std::fabs(budget));
+}
+
+/// True iff an accumulated spend fits within `budget` (a sum exactly equal to
+/// the budget is always feasible, regardless of accumulation order).
+inline bool fits_budget(double spend, double budget) {
+  return spend <= budget + budget_tol(budget);
+}
+
+/// True iff `spend` strictly exceeds `budget` beyond the shared tolerance —
+/// the violation predicate, exactly !fits_budget.
+inline bool exceeds_budget(double spend, double budget) {
+  return !fits_budget(spend, budget);
+}
+
+/// True iff a group at `spend` has (numerically) reached `budget` and can
+/// accept no further set (the MCG greedy's group-exhausted test).
+inline bool budget_exhausted(double spend, double budget) {
+  return spend >= budget - budget_tol(budget);
+}
+
+}  // namespace wmcast::util

@@ -176,6 +176,19 @@ class Parser {
   }
 
  private:
+  // A malicious or corrupted document of nothing but '[' recurses once per
+  // byte; cap the nesting so it fails cleanly instead of overflowing the
+  // stack. 256 is far beyond anything the repo's schemas produce.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) fail_at(p_.pos_, "nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
   void skip_ws() {
     while (pos_ < t_.size() && std::isspace(static_cast<unsigned char>(t_[pos_]))) ++pos_;
   }
@@ -221,6 +234,7 @@ class Parser {
   }
 
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json obj = Json::object();
     skip_ws();
@@ -249,6 +263,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json arr = Json::array();
     skip_ws();
@@ -296,25 +311,35 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > t_.size()) fail_at(pos_, "bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = t_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail_at(pos_ - 1, "bad hex digit");
+          unsigned code = parse_hex4();
+          // Surrogate pairs: a high surrogate must be followed by an escaped
+          // low surrogate; anything else (lone high, lone low, high+high) is
+          // an error rather than mojibake in downstream telemetry.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > t_.size() || t_[pos_] != '\\' || t_[pos_ + 1] != 'u') {
+              fail_at(pos_, "high surrogate not followed by \\u low surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail_at(pos_ - 4, "invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail_at(pos_ - 4, "lone low surrogate");
           }
-          // Encode as UTF-8 (surrogate pairs not recombined; telemetry output
-          // never emits them).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -324,6 +349,20 @@ class Parser {
           fail_at(pos_ - 1, "bad escape");
       }
     }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > t_.size()) fail_at(pos_, "bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = t_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail_at(pos_ - 1, "bad hex digit");
+    }
+    return code;
   }
 
   Json parse_number() {
@@ -355,6 +394,7 @@ class Parser {
 
   const std::string& t_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "wmcast/util/assert.hpp"
 
@@ -40,6 +41,21 @@ Summary summarize(const std::vector<double>& samples) {
   RunningStat s;
   for (const double x : samples) s.add(x);
   return summarize(s);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in [0, 100], got " + fmt(p));
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  if (lo + 1 >= samples.size()) return samples.back();
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
 }
 
 double percent_reduction(double ours, double baseline) {

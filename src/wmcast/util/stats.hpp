@@ -42,6 +42,13 @@ struct Summary {
 Summary summarize(const RunningStat& s);
 Summary summarize(const std::vector<double>& samples);
 
+/// Exact p-th percentile (p in [0, 100]) of `samples` with linear
+/// interpolation between order statistics (the common "linear"/R-7 rule).
+/// Contract: throws std::invalid_argument on an empty sample set or p outside
+/// [0, 100] — it never returns NaN or reads out of bounds. A single sample is
+/// every percentile of itself.
+double percentile(std::vector<double> samples, double p);
+
 /// Relative improvement of `ours` vs `baseline` in percent, where smaller is
 /// better: 100*(baseline-ours)/baseline. Returns 0 if baseline is 0.
 double percent_reduction(double ours, double baseline);

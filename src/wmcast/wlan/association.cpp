@@ -1,4 +1,5 @@
 #include "wmcast/wlan/association.hpp"
+#include "wmcast/util/fp.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -6,12 +7,6 @@
 #include "wmcast/util/assert.hpp"
 
 namespace wmcast::wlan {
-
-namespace {
-// Tolerance for budget feasibility: loads are sums of rate ratios and can
-// carry rounding noise; anything within kEps of the budget counts as feasible.
-constexpr double kEps = 1e-9;
-}  // namespace
 
 LoadReport compute_loads(const Scenario& sc, const Association& assoc, bool multi_rate) {
   util::require(assoc.n_users() == sc.n_users(), "compute_loads: association size mismatch");
@@ -51,7 +46,7 @@ LoadReport compute_loads(const Scenario& sc, const Association& assoc, bool mult
     rep.ap_load[static_cast<size_t>(a)] = load;
     rep.total_load += load;
     rep.max_load = std::max(rep.max_load, load);
-    if (load > sc.load_budget() + kEps) ++rep.budget_violations;
+    if (util::exceeds_budget(load, sc.load_budget())) ++rep.budget_violations;
   }
   return rep;
 }

@@ -1,0 +1,104 @@
+// Campaign-driver tests (chaos/campaign.hpp): the campaign must be a pure
+// function of its config — the acceptance bar for `wmcast_cli chaos` is
+// bit-reproducible findings at any thread count — and a healthy build must
+// come back clean across every fault profile.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "wmcast/chaos/campaign.hpp"
+
+namespace wmcast::chaos {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.seed = 77;
+  cfg.scenarios = 6;  // one full cycle of the named profiles under "all"
+  cfg.profile = "all";
+  cfg.threads = 2;
+  cfg.n_aps = 10;
+  cfg.n_users = 30;
+  cfg.n_sessions = 3;
+  cfg.area_side_m = 300.0;
+  cfg.trace_epochs = 5;
+  return cfg;
+}
+
+TEST(CampaignTest, CleanAcrossAllProfilesOnAHealthyBuild) {
+  const auto cfg = small_config();
+  const auto res = run_campaign(cfg);
+
+  EXPECT_TRUE(res.clean()) << campaign_to_json(cfg, res).dump(2);
+  EXPECT_EQ(res.scenarios_run, cfg.scenarios);
+  EXPECT_GT(res.checks_run, 0);
+  EXPECT_EQ(res.checks_failed, 0);
+  EXPECT_TRUE(res.findings.empty());
+  // The malformed/mixed profiles probe the parsers: every corrupted document
+  // must have been either parsed or cleanly rejected (probe_parser lets any
+  // other outcome escape and fail the campaign).
+  EXPECT_GT(res.parse_attempts, 0);
+  EXPECT_LE(res.parse_rejected, res.parse_attempts);
+  // The aggregate fault log proves faults were actually injected.
+  EXPECT_GT(res.faults.events_dropped + res.faults.events_duplicated +
+                res.faults.windows_reordered + res.faults.ap_flaps +
+                res.faults.churn_bursts + res.faults.lines_corrupted,
+            0u);
+}
+
+TEST(CampaignTest, IsAPureFunctionOfItsConfig) {
+  const auto cfg = small_config();
+  const auto a = run_campaign(cfg);
+  const auto b = run_campaign(cfg);
+  EXPECT_EQ(campaign_to_json(cfg, a).dump(2), campaign_to_json(cfg, b).dump(2));
+
+  // The differential replay thread count is part of the *checks*, not the
+  // fault schedule: campaigns at different --threads see identical faults.
+  auto cfg8 = cfg;
+  cfg8.threads = 8;
+  const auto c = run_campaign(cfg8);
+  EXPECT_EQ(c.faults.events_dropped, a.faults.events_dropped);
+  EXPECT_EQ(c.faults.windows_reordered, a.faults.windows_reordered);
+  EXPECT_EQ(c.checks_failed, a.checks_failed);
+}
+
+TEST(CampaignTest, ProgressStreamGetsOneLinePerScenario) {
+  auto cfg = small_config();
+  cfg.scenarios = 3;
+  std::ostringstream progress;
+  run_campaign(cfg, &progress);
+  int lines = 0;
+  for (const char ch : progress.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, cfg.scenarios);
+}
+
+TEST(CampaignTest, RejectsInvalidConfig) {
+  auto cfg = small_config();
+  cfg.profile = "bogus";
+  EXPECT_THROW(run_campaign(cfg), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.scenarios = -1;
+  EXPECT_THROW(run_campaign(cfg), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.threads = 0;
+  EXPECT_THROW(run_campaign(cfg), std::invalid_argument);
+}
+
+TEST(CampaignTest, JsonSummaryCarriesConfigAndCounts) {
+  const auto cfg = small_config();
+  const auto res = run_campaign(cfg);
+  const auto j = campaign_to_json(cfg, res);
+  const std::string text = j.dump(2);
+  EXPECT_NE(text.find("\"scenarios_run\""), std::string::npos);
+  EXPECT_NE(text.find("\"checks_run\""), std::string::npos);
+  EXPECT_NE(text.find("\"faults\""), std::string::npos);
+  EXPECT_NE(text.find("\"clean\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wmcast::chaos

@@ -1,0 +1,214 @@
+// FaultInjector determinism and accounting (chaos/fault.hpp): the whole
+// harness rests on perturb() being a pure function of (seed, profile, input),
+// so these tests pin that down alongside the per-fault bookkeeping the
+// campaign aggregates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "wmcast/chaos/fault.hpp"
+#include "wmcast/ctrl/state.hpp"
+#include "wmcast/ctrl/trace.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/wlan/scenario_generator.hpp"
+
+namespace wmcast::chaos {
+namespace {
+
+wlan::Scenario small_scenario() {
+  wlan::GeneratorParams gp;
+  gp.n_aps = 6;
+  gp.n_users = 20;
+  gp.n_sessions = 2;
+  gp.area_side_m = 250.0;
+  util::Rng rng(11);
+  return wlan::generate_scenario(gp, rng);
+}
+
+ctrl::EventTrace churn_trace(const ctrl::NetworkState& initial) {
+  ctrl::TraceParams tp;
+  tp.epochs = 8;
+  tp.move_fraction = 0.3;
+  tp.walk_sigma_m = 25.0;
+  tp.zap_fraction = 0.1;
+  tp.leave_fraction = 0.05;
+  tp.join_fraction = 0.1;
+  tp.rate_change_prob = 0.3;
+  util::Rng rng(7);
+  return ctrl::generate_churn_trace(initial, tp, rng);
+}
+
+TEST(FaultProfileTest, NamedProfilesRoundTripAndUnknownThrows) {
+  const auto& names = FaultProfile::names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const auto& n : names) {
+    const FaultProfile p = FaultProfile::named(n);
+    EXPECT_EQ(p.name, n);
+  }
+  EXPECT_EQ(FaultProfile::named("none").drop_prob, 0.0);
+  EXPECT_GT(FaultProfile::named("heavy").flap_prob, 0.0);
+  EXPECT_GT(FaultProfile::named("malformed").corrupt_prob, 0.0);
+  EXPECT_THROW(FaultProfile::named("bogus"), std::invalid_argument);
+  EXPECT_THROW(FaultProfile::named(""), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, NoneProfileIsTheIdentity) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultInjector inj(123, FaultProfile::named("none"));
+  const auto out = inj.perturb(trace, initial);
+  EXPECT_EQ(ctrl::trace_to_text(out), ctrl::trace_to_text(trace));
+
+  const std::string text = ctrl::trace_to_text(trace);
+  EXPECT_EQ(inj.corrupt_text(text), text);
+
+  const FaultLog& log = inj.log();
+  EXPECT_EQ(log.events_dropped, 0u);
+  EXPECT_EQ(log.events_duplicated, 0u);
+  EXPECT_EQ(log.events_skewed, 0u);
+  EXPECT_EQ(log.windows_reordered, 0u);
+  EXPECT_EQ(log.ap_flaps, 0u);
+  EXPECT_EQ(log.churn_bursts, 0u);
+  EXPECT_EQ(log.lines_corrupted, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedAndProfileReproduceExactly) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultInjector a(42, FaultProfile::named("heavy"));
+  FaultInjector b(42, FaultProfile::named("heavy"));
+  EXPECT_EQ(ctrl::trace_to_text(a.perturb(trace, initial)),
+            ctrl::trace_to_text(b.perturb(trace, initial)));
+  EXPECT_EQ(a.log().events_dropped, b.log().events_dropped);
+  EXPECT_EQ(a.log().events_duplicated, b.log().events_duplicated);
+  EXPECT_EQ(a.log().events_skewed, b.log().events_skewed);
+  EXPECT_EQ(a.log().ap_flaps, b.log().ap_flaps);
+  EXPECT_EQ(a.log().churn_bursts, b.log().churn_bursts);
+
+  FaultInjector c(42, FaultProfile::named("malformed"));
+  FaultInjector d(42, FaultProfile::named("malformed"));
+  const std::string text = ctrl::trace_to_text(trace);
+  EXPECT_EQ(c.corrupt_text(text), d.corrupt_text(text));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsPerturbDifferently) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultInjector a(1, FaultProfile::named("heavy"));
+  FaultInjector b(2, FaultProfile::named("heavy"));
+  EXPECT_NE(ctrl::trace_to_text(a.perturb(trace, initial)),
+            ctrl::trace_to_text(b.perturb(trace, initial)));
+}
+
+TEST(FaultInjectorTest, DropAndDuplicateAccountingBalances) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultProfile p;
+  p.name = "drop-dup";
+  p.drop_prob = 0.3;
+  p.duplicate_prob = 0.3;
+  FaultInjector inj(5, p);
+  const auto out = inj.perturb(trace, initial);
+
+  const FaultLog& log = inj.log();
+  EXPECT_GT(log.events_dropped, 0u);
+  EXPECT_GT(log.events_duplicated, 0u);
+  EXPECT_EQ(out.n_events(),
+            trace.n_events() - log.events_dropped + log.events_duplicated);
+  EXPECT_EQ(out.n_epochs(), trace.n_epochs());
+}
+
+TEST(FaultInjectorTest, SkewPreservesTotalEventCount) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultProfile p;
+  p.name = "skew";
+  p.skew_prob = 0.5;
+  FaultInjector inj(9, p);
+  const auto out = inj.perturb(trace, initial);
+
+  EXPECT_GT(inj.log().events_skewed, 0u);
+  EXPECT_EQ(out.n_events(), trace.n_events());
+  EXPECT_EQ(out.n_epochs(), trace.n_epochs());
+}
+
+TEST(FaultInjectorTest, ReorderPreservesPerEpochMultisets) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultProfile p;
+  p.name = "reorder";
+  p.reorder_prob = 1.0;
+  p.reorder_window = 4;
+  FaultInjector inj(13, p);
+  const auto out = inj.perturb(trace, initial);
+
+  EXPECT_GT(inj.log().windows_reordered, 0u);
+  ASSERT_EQ(out.n_epochs(), trace.n_epochs());
+  for (size_t ep = 0; ep < trace.epochs.size(); ++ep) {
+    // Same events, multiplicity included, possibly in a different order.
+    std::vector<ctrl::Event> remaining = trace.epochs[ep];
+    ASSERT_EQ(out.epochs[ep].size(), remaining.size()) << "epoch " << ep;
+    for (const auto& e : out.epochs[ep]) {
+      const auto it = std::find(remaining.begin(), remaining.end(), e);
+      ASSERT_NE(it, remaining.end()) << "epoch " << ep << ": event not in original";
+      remaining.erase(it);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, FlapsAndBurstsAddExactlyTheLoggedEvents) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial);
+
+  FaultProfile p;
+  p.name = "flap-burst";
+  p.flap_prob = 1.0;
+  p.flap_leaves = 6;
+  p.burst_prob = 1.0;
+  p.burst_size = 8;
+  FaultInjector inj(17, p);
+  const auto out = inj.perturb(trace, initial);
+
+  const FaultLog& log = inj.log();
+  EXPECT_EQ(log.ap_flaps, static_cast<uint64_t>(trace.n_epochs()));
+  EXPECT_EQ(log.churn_bursts, static_cast<uint64_t>(trace.n_epochs()));
+  // Each flap emits flap_leaves leave/rejoin pairs; each burst burst_size events.
+  EXPECT_EQ(out.n_events(),
+            trace.n_events() +
+                log.ap_flaps * 2 * static_cast<uint64_t>(p.flap_leaves) +
+                log.churn_bursts * static_cast<uint64_t>(p.burst_size));
+}
+
+TEST(FaultInjectorTest, CorruptTextIsDeterministicAndCounted) {
+  const auto sc = small_scenario();
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const std::string text = ctrl::trace_to_text(churn_trace(initial));
+
+  FaultProfile p;
+  p.name = "corrupt";
+  p.corrupt_prob = 0.5;
+  FaultInjector a(21, p);
+  FaultInjector b(21, p);
+  const std::string ca = a.corrupt_text(text);
+  EXPECT_EQ(ca, b.corrupt_text(text));
+  EXPECT_NE(ca, text);
+  EXPECT_GT(a.log().lines_corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace wmcast::chaos

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "wmcast/assoc/registry.hpp"
 #include "wmcast/ctrl/trace.hpp"
 #include "wmcast/wlan/scenario_generator.hpp"
@@ -53,6 +55,35 @@ TEST(Controller, InvalidEventsAreCountedNotFatal) {
   const auto rep = c.drain();
   EXPECT_EQ(rep.events_invalid, 1);
   EXPECT_EQ(rep.events_applied, 1);
+}
+
+TEST(Controller, NonFiniteEventsAreCountedNotFatal) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  AssociationController c(two_ap_scenario({{10, 0}, {120, 0}}, {0, 1}));
+  c.submit({Event::join(2, {nan, 0}, 0), Event::move(0, {0, inf}),
+            Event::rate_change(0, nan), Event::move(0, {11, 0})});
+  const auto rep = c.drain();
+  EXPECT_EQ(rep.events_invalid, 3);
+  EXPECT_EQ(rep.events_applied, 1);
+  EXPECT_EQ(c.state().n_slots(), 2) << "the corrupted join must not take a slot";
+}
+
+TEST(Controller, BatchHookSeesAndMutatesEachDrain) {
+  ControllerConfig cfg;
+  std::vector<int> hook_epochs;
+  cfg.batch_hook = [&](int epoch, std::vector<Event>& batch) {
+    hook_epochs.push_back(epoch);
+    batch.clear();  // drop everything: the epoch must be quiescent
+  };
+  AssociationController c(two_ap_scenario({{10, 0}, {120, 0}}, {0, 1}), cfg);
+  c.submit({Event::join(2, {20, 0}, 0)});
+  const auto rep = c.drain();
+  EXPECT_EQ(rep.events, 0) << "hook dropped the batch before accounting";
+  EXPECT_EQ(rep.events_applied, 0);
+  EXPECT_EQ(c.state().n_slots(), 2);
+  c.drain();
+  EXPECT_EQ(hook_epochs, (std::vector<int>{0, 1}));
 }
 
 TEST(Controller, SignalingCapRollsBackVoluntaryMoves) {

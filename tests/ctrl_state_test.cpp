@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace wmcast::ctrl {
@@ -44,6 +45,22 @@ TEST(NetworkState, ApplyJoinExtendsSlotSpaceAndValidates) {
       << "double join";
   EXPECT_THROW(st.apply(Event::join(2, {0, 0}, 9)), std::invalid_argument)
       << "unknown session";
+}
+
+TEST(NetworkState, ApplyRejectsNonFinitePositionsAndRates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  auto st = two_ap_state({{10, 0}}, {0});
+  EXPECT_THROW(st.apply(Event::join(1, {nan, 0}, 0)), std::invalid_argument);
+  EXPECT_THROW(st.apply(Event::join(1, {0, inf}, 0)), std::invalid_argument);
+  EXPECT_THROW(st.apply(Event::move(0, {nan, nan})), std::invalid_argument);
+  EXPECT_THROW(st.apply(Event::move(0, {-inf, 0})), std::invalid_argument);
+  EXPECT_THROW(st.apply(Event::rate_change(0, inf)), std::invalid_argument);
+  EXPECT_THROW(st.apply(Event::rate_change(0, nan)), std::invalid_argument);
+  // Nothing above may have mutated the state.
+  EXPECT_EQ(st.n_slots(), 1);
+  EXPECT_DOUBLE_EQ(st.slot(0).pos.x, 10.0);
+  EXPECT_DOUBLE_EQ(st.session_rate(0), 1.0);
 }
 
 TEST(NetworkState, ApplyLifecycleAndErrors) {

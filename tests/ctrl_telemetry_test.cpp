@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 namespace wmcast::ctrl {
@@ -30,6 +31,22 @@ TEST(BucketHistogram, RecordsIntoTheRightBuckets) {
   EXPECT_DOUBLE_EQ(h.max_value(), 500.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0) << "overflow reports the exact max";
+}
+
+// Documented contract: an empty histogram has no quantiles (NaN), a single
+// sample is every quantile of itself, and serialization stays numeric.
+TEST(BucketHistogram, EmptyAndSingleSampleQuantiles) {
+  BucketHistogram h(std::vector<double>{10.0, 100.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_DOUBLE_EQ(h.to_json().find("p50")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(h.to_json().find("p99")->as_double(), 0.0);
+
+  h.record(42.0);  // lands in the 100.0 bucket; the sample itself is 42
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 42.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.to_json().find("p50")->as_double(), 42.0);
 }
 
 TEST(BucketHistogram, ExponentialLadder) {

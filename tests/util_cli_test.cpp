@@ -57,5 +57,57 @@ TEST(Args, U64RoundTrip) {
   EXPECT_EQ(a.get_u64("seed", 0), 18446744073709551615ull);
 }
 
+TEST(Args, RejectsEmptyFlagName) {
+  EXPECT_THROW(make_args({"--"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--=value"}), std::invalid_argument);
+}
+
+// Numeric values must parse in full and errors must name the offending flag.
+TEST(Args, NumericErrorsNameTheFlag) {
+  const auto expect_message_mentions = [](const auto& fn, const std::string& needle) {
+    try {
+      fn();
+      FAIL() << "expected std::invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  expect_message_mentions(
+      [] { make_args({"--users=12x"}).get_int("users", 0); }, "--users=12x");
+  expect_message_mentions(
+      [] { make_args({"--rate="}).get_double("rate", 0.0); }, "--rate=");
+  expect_message_mentions(
+      [] { make_args({"--seed=abc"}).get_u64("seed", 0); }, "--seed=abc");
+}
+
+TEST(Args, NumericRejectsPartialParses) {
+  EXPECT_THROW(make_args({"--n=1.5"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make_args({"--n=7 "}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make_args({"--r=1.5e"}).get_double("r", 0.0), std::invalid_argument);
+  EXPECT_THROW(make_args({"--n=99999999999999999999"}).get_int("n", 0),
+               std::invalid_argument);
+  // A flag used as a number ("--epochs" alone stores "true") must throw too.
+  EXPECT_THROW(make_args({"--epochs"}).get_int("epochs", 0), std::invalid_argument);
+}
+
+TEST(Args, U64RejectsSigns) {
+  EXPECT_THROW(make_args({"--seed=-1"}).get_u64("seed", 0), std::invalid_argument);
+  EXPECT_THROW(make_args({"--seed=+3"}).get_u64("seed", 0), std::invalid_argument);
+}
+
+TEST(Args, RejectUnknownFlagsByList) {
+  const Args a = make_args({"--users=10", "--theads=8"});
+  EXPECT_NO_THROW(a.reject_unknown({"users", "theads"}));
+  try {
+    a.reject_unknown({"users", "threads"});
+    FAIL() << "expected the typo to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--theads"), std::string::npos)
+        << "message was: " << e.what();
+  }
+  EXPECT_NO_THROW(make_args({}).reject_unknown({}));
+}
+
 }  // namespace
 }  // namespace wmcast::util

@@ -42,5 +42,14 @@ TEST(Histogram, RejectsBadInput) {
   EXPECT_THROW(render_histogram({"a"}, {1}, 0), std::invalid_argument);
 }
 
+TEST(Histogram, EmptyInputRendersEmpty) {
+  EXPECT_EQ(render_histogram({}, {}), "");
+  EXPECT_EQ(render_indexed_histogram({}), "");
+}
+
+TEST(Histogram, SingleBucket) {
+  EXPECT_EQ(render_indexed_histogram({3}, 4), "0 | #### 3\n");
+}
+
 }  // namespace
 }  // namespace wmcast::util

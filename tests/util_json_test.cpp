@@ -93,5 +93,65 @@ TEST(Json, SetAndPushEnforceContainerKind) {
   EXPECT_THROW(notObj.push(1), std::invalid_argument);
 }
 
+TEST(Json, ParseErrorsCarryTheOffset) {
+  try {
+    Json::parse("{\"a\": 1, \"b\": }");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 14"), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(Json, TruncatedInputFailsCleanlyAtEveryPrefix) {
+  const std::string doc =
+      R"({"schema": "wmcast-ctrl-telemetry/v1", "vals": [1, 2.5, null, "x\n"]})";
+  ASSERT_NO_THROW(Json::parse(doc));
+  for (size_t cut = 0; cut < doc.size(); ++cut) {
+    EXPECT_THROW(Json::parse(doc.substr(0, cut)), std::invalid_argument)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Json, DeepNestingIsCappedNotAStackOverflow) {
+  // Within the cap: parses fine.
+  std::string ok(200, '[');
+  ok += std::string(200, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+  // A pathological all-bracket document must raise, not smash the stack.
+  const std::string bomb(100000, '[');
+  try {
+    Json::parse(bomb);
+    FAIL() << "expected depth failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos);
+  }
+  std::string mixed;
+  for (int i = 0; i < 50000; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW(Json::parse(mixed), std::invalid_argument);
+}
+
+TEST(Json, UnicodeEscapes) {
+  // BMP escape decodes to UTF-8.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+  EXPECT_EQ(Json::parse("\"\\u20AC\"").as_string(), "\xE2\x82\xAC");
+  // A surrogate pair recombines to the astral code point (U+1F600).
+  EXPECT_EQ(Json::parse("\"\\uD83D\\uDE00\"").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsLoneAndMalformedSurrogates) {
+  for (const char* bad : {
+           "\"\\uD83D\"",            // lone high surrogate
+           "\"\\uDE00\"",            // lone low surrogate
+           "\"\\uD83D\\uD83D\"",     // high followed by high
+           "\"\\uD83Dx\"",           // high followed by a raw char
+           "\"\\uD83D\\n\"",         // high followed by a non-\u escape
+           "\"\\u12G4\"",            // bad hex digit
+           "\"\\u12\"",              // truncated hex
+       }) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << "input: " << bad;
+  }
+}
+
 }  // namespace
 }  // namespace wmcast::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 namespace wmcast::util {
 namespace {
 
@@ -55,6 +58,30 @@ TEST(PercentHelpers, ReductionAndGain) {
   EXPECT_NEAR(percent_gain(1.369, 1.0), 36.9, 1e-9);
   EXPECT_DOUBLE_EQ(percent_gain(1.0, 0.0), 0.0);  // guarded division
   EXPECT_DOUBLE_EQ(percent_reduction(1.0, 0.0), 0.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  for (const double p : {0.0, 37.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({7.5}, p), 7.5) << "p=" << p;
+  }
+}
+
+// Documented contract: empty input and out-of-range p throw — never NaN,
+// never an out-of-bounds read.
+TEST(Percentile, EmptyAndBadPThrow) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 100.1), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(percentile({1.0}, nan), std::invalid_argument);
 }
 
 TEST(Fmt, FixedPrecision) {

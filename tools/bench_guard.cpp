@@ -61,6 +61,7 @@ std::map<std::string, double> load_times(const std::string& path, int* threads) 
 int main(int argc, char** argv) {
   try {
     const wmcast::util::Args args(argc, argv);
+    args.reject_unknown({"baseline", "current", "min-ns", "tolerance"});
     const std::string baseline_path = args.get("baseline", "");
     const std::string current_path = args.get("current", "");
     const double tolerance = args.get_double("tolerance", 0.25);

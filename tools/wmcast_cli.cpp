@@ -21,6 +21,18 @@
 //                        --max-reassoc=-1 --no-admission --seed=1 --threads=N
 //                        --telemetry=tele.json --trace-out=t.txt --quiet]
 //   wmcast_cli serve     [replay flags]                     (trace on stdin)
+//   wmcast_cli chaos     [--seed=1 --scenarios=20 --profile=mixed --threads=4
+//                        --solver=mla-c --aps=16 --users=60 --sessions=4
+//                        --area=400 --epochs=10 --out-dir=repros --no-shrink
+//                        --json --quiet] | --repro=f.repro
+//
+// `chaos` runs the deterministic fault-injection campaign (chaos/campaign.hpp):
+// same --seed and --profile always inject the same faults and report the same
+// findings; failures are shrunk to standalone .repro files. `chaos
+// --repro=f.repro` re-runs one repro through the differential oracles, and
+// `replay --repro=f.repro` steps through its embedded scenario + trace with
+// the normal per-epoch output. Profiles: none, light, heavy, reorder,
+// malformed, mixed, or `all` to cycle.
 //
 // Algorithms: ssa, mla-c, bla-c, mnu-c, mla-d, bla-d, mnu-d, lock-d,
 // local-search, mnu-1session, bla-1session.
@@ -29,10 +41,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "wmcast/assoc/centralized.hpp"
+#include "wmcast/chaos/campaign.hpp"
+#include "wmcast/chaos/oracles.hpp"
 #include "wmcast/ctrl/controller.hpp"
 #include "wmcast/ctrl/trace.hpp"
 #include "wmcast/assoc/registry.hpp"
@@ -59,7 +74,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: wmcast_cli <generate|info|solve|eval|exact|export-lp|render|"
-               "replay|serve> "
+               "replay|serve|chaos> "
                "--key=value ...\n(see the header of tools/wmcast_cli.cpp for details)\n");
   return 2;
 }
@@ -248,9 +263,15 @@ int cmd_render(const util::Args& args) {
 // stdin): runs the online controller epoch by epoch and prints per-epoch
 // rows plus a cumulative summary.
 int cmd_replay(const util::Args& args, bool trace_from_stdin) {
+  // A chaos repro file embeds its own scenario + trace (+ solver + seed);
+  // explicit flags still override the embedded defaults.
+  std::optional<chaos::Repro> repro;
+  if (args.has("repro")) repro = chaos::load_repro(args.get("repro", ""));
+
   // Without --scenario, generate one (same flags as `generate`) so
   // `wmcast_cli replay` works out of the box.
   wlan::Scenario sc = [&] {
+    if (repro) return repro->scenario;
     if (args.has("scenario")) return wlan::load_scenario(args.get("scenario", ""));
     wlan::GeneratorParams p;
     p.n_aps = args.get_int("aps", 100);
@@ -267,6 +288,10 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
   }
 
   ctrl::ControllerConfig cfg;
+  if (repro) {
+    cfg.full_solver = repro->solver;
+    cfg.seed = repro->seed;
+  }
   cfg.full_solver = args.get("solver", cfg.full_solver);
   cfg.multi_rate = !args.get_bool("basic-rate", false);
   cfg.degradation_threshold = args.get_double("threshold", cfg.degradation_threshold);
@@ -274,7 +299,7 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
   cfg.max_reassoc_per_epoch = args.get_int("max-reassoc", cfg.max_reassoc_per_epoch);
   cfg.polish_min_gain = args.get_double("min-gain", cfg.polish_min_gain);
   cfg.admission_control = !args.get_bool("no-admission", false);
-  cfg.seed = args.get_u64("seed", 1);
+  cfg.seed = args.get_u64("seed", cfg.seed);
   cfg.threads = util::resolve_threads(args);
   if (!assoc::is_algorithm(cfg.full_solver)) {
     std::fprintf(stderr, "replay: unknown --solver=%s\n", cfg.full_solver.c_str());
@@ -284,7 +309,9 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
   ctrl::AssociationController controller(sc, cfg);
 
   ctrl::EventTrace trace;
-  if (trace_from_stdin) {
+  if (repro) {
+    trace = repro->trace;
+  } else if (trace_from_stdin) {
     std::ostringstream buf;
     buf << std::cin.rdbuf();
     trace = ctrl::trace_from_text(buf.str());
@@ -356,6 +383,73 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
   return 0;
 }
 
+// Deterministic fault-injection campaign (or a single-repro re-check).
+int cmd_chaos(const util::Args& args) {
+  if (args.has("repro")) {
+    args.reject_unknown({"repro", "quiet"});
+    const auto repro = chaos::load_repro(args.get("repro", ""));
+    const auto r = chaos::run_repro(repro);
+    const std::string failures = chaos::failures_to_text(r.results);
+    if (failures.empty()) {
+      std::printf("repro %s: all %zu checks pass over %d epochs\n",
+                  repro.check.c_str(), r.results.size(), r.epochs_run);
+      return 0;
+    }
+    std::printf("repro %s: STILL FAILING after %d epochs%s\n%s", repro.check.c_str(),
+                r.epochs_run,
+                r.diverged ? (" (diverged at epoch " +
+                              std::to_string(r.divergence_epoch) + ")")
+                                 .c_str()
+                           : "",
+                failures.c_str());
+    return 1;
+  }
+
+  chaos::CampaignConfig cfg;
+  cfg.seed = args.get_u64("seed", cfg.seed);
+  cfg.scenarios = args.get_int("scenarios", cfg.scenarios);
+  cfg.profile = args.get("profile", cfg.profile);
+  cfg.threads = args.get_int("threads", cfg.threads);
+  cfg.solver = args.get("solver", cfg.solver);
+  cfg.n_aps = args.get_int("aps", cfg.n_aps);
+  cfg.n_users = args.get_int("users", cfg.n_users);
+  cfg.n_sessions = args.get_int("sessions", cfg.n_sessions);
+  cfg.area_side_m = args.get_double("area", cfg.area_side_m);
+  cfg.trace_epochs = args.get_int("epochs", cfg.trace_epochs);
+  cfg.shrink_failures = !args.get_bool("no-shrink", false);
+  cfg.out_dir = args.get("out-dir", "");
+  const bool quiet = args.get_bool("quiet", false);
+  const bool as_json = args.get_bool("json", false);
+  args.reject_unknown({"seed", "scenarios", "profile", "threads", "solver", "aps",
+                       "users", "sessions", "area", "epochs", "no-shrink", "out-dir",
+                       "quiet", "json"});
+  if (!assoc::is_algorithm(cfg.solver)) {
+    std::fprintf(stderr, "chaos: unknown --solver=%s\n", cfg.solver.c_str());
+    return 2;
+  }
+
+  const auto res = chaos::run_campaign(cfg, quiet ? nullptr : &std::cerr);
+  if (as_json) {
+    std::cout << chaos::campaign_to_json(cfg, res).dump(2) << "\n";
+  } else {
+    std::printf("chaos: %d scenarios, %d checks, %d failed", res.scenarios_run,
+                res.checks_run, res.checks_failed);
+    if (res.parse_attempts > 0) {
+      std::printf(", %d/%d corrupted parses cleanly rejected", res.parse_rejected,
+                  res.parse_attempts);
+    }
+    std::printf("\n");
+    for (const auto& f : res.findings) {
+      std::printf("  scenario %d seed=%llu profile=%s: %s — %s%s%s\n",
+                  f.scenario_index, static_cast<unsigned long long>(f.seed),
+                  f.profile.c_str(), f.repro.check.c_str(), f.repro.detail.c_str(),
+                  f.repro_path.empty() ? "" : " -> ",
+                  f.repro_path.c_str());
+    }
+  }
+  return res.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -372,6 +466,7 @@ int main(int argc, char** argv) {
     if (cmd == "render") return cmd_render(args);
     if (cmd == "replay") return cmd_replay(args, /*trace_from_stdin=*/false);
     if (cmd == "serve") return cmd_replay(args, /*trace_from_stdin=*/true);
+    if (cmd == "chaos") return cmd_chaos(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wmcast_cli %s: %s\n", cmd.c_str(), e.what());
