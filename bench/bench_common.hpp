@@ -27,6 +27,12 @@ struct Algo {
 /// Runs every algorithm on `n_scenarios` scenarios drawn from `params` and
 /// returns one Summary per algorithm (paper's error-bar triple).
 ///
+/// Each scenario is generated ONCE per sweep point and shared by every
+/// algorithm — generation (grid build + CSR rows) dominates at large n_users,
+/// so benches must never regenerate identical geometry per algorithm or per
+/// derived sweep value (sensitivity's stream-rate sweep re-rates copies via
+/// Scenario::with_session_rates instead).
+///
 /// Every per-(scenario, algorithm) rng stream is forked from the master
 /// up front, in the exact order the historical serial loop forked them
 /// (scenario s's generator stream, then one stream per algorithm) — so the

@@ -41,8 +41,8 @@ int choose_best_ap(const wlan::Scenario& sc, int u,
 
 int choose_best_ap_among(const wlan::Scenario& sc, int u,
                          const std::vector<std::vector<int>>& members, int current_ap,
-                         const PolicyParams& params, const std::vector<int>& heard_aps) {
-  const auto& neighbors = heard_aps;  // strongest signal first
+                         const PolicyParams& params, wlan::IndexSpan heard_aps) {
+  const auto neighbors = heard_aps;  // strongest signal first; view, no copy
   if (neighbors.empty()) return current_ap;
 
   // Per-neighbor loads without u, and with u joined.

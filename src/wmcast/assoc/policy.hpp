@@ -49,7 +49,6 @@ int choose_best_ap(const wlan::Scenario& sc, int u,
 /// simulator under message loss.
 int choose_best_ap_among(const wlan::Scenario& sc, int u,
                          const std::vector<std::vector<int>>& members, int current_ap,
-                         const PolicyParams& params,
-                         const std::vector<int>& heard_aps);
+                         const PolicyParams& params, wlan::IndexSpan heard_aps);
 
 }  // namespace wmcast::assoc

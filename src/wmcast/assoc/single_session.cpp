@@ -28,9 +28,11 @@ Solution single_session_mnu(const wlan::Scenario& sc) {
 
   auto assoc = wlan::Association::none(sc.n_users());
   for (int u = 0; u < sc.n_users(); ++u) {
-    for (const int a : sc.aps_of_user(u)) {  // strongest first
-      if (sc.link_rate(a, u) >= min_rate) {
-        assoc.user_ap[static_cast<size_t>(u)] = a;
+    const auto aps = sc.aps_of_user(u);  // strongest first
+    const double* rates = sc.rates_of_user(u);
+    for (size_t i = 0; i < aps.size(); ++i) {
+      if (rates[i] >= min_rate) {
+        assoc.user_ap[static_cast<size_t>(u)] = aps[i];
         break;
       }
     }
@@ -53,10 +55,12 @@ Solution single_session_bla(const wlan::Scenario& sc) {
   for (int u = 0; u < sc.n_users(); ++u) {
     int best_ap = wlan::kNoAp;
     double best_rate = 0.0;
-    for (const int a : sc.aps_of_user(u)) {  // strongest first breaks ties
-      if (sc.link_rate(a, u) > best_rate) {
-        best_rate = sc.link_rate(a, u);
-        best_ap = a;
+    const auto aps = sc.aps_of_user(u);  // strongest first breaks ties
+    const double* rates = sc.rates_of_user(u);
+    for (size_t i = 0; i < aps.size(); ++i) {
+      if (rates[i] > best_rate) {
+        best_rate = rates[i];
+        best_ap = aps[i];
       }
     }
     assoc.user_ap[static_cast<size_t>(u)] = best_ap;  // kNoAp if uncoverable

@@ -111,6 +111,26 @@ CampaignResult run_campaign(const CampaignConfig& cfg, std::ostream* progress) {
                    [](const std::string& t) { ctrl::trace_from_text(t); }, res);
       probe_parser(injector, wlan::to_text(sc),
                    [](const std::string& t) { wlan::from_text(t); }, res);
+      // Same instance as an explicit scenario: exercises the v2 sparse_links
+      // writer and its parser branch, not just the geometric one.
+      std::vector<std::vector<double>> dense(
+          static_cast<size_t>(sc.n_aps()),
+          std::vector<double>(static_cast<size_t>(sc.n_users()), 0.0));
+      for (int a = 0; a < sc.n_aps(); ++a) {
+        const wlan::IndexSpan members = sc.users_of_ap(a);
+        const double* rates = sc.rates_of_ap(a);
+        for (size_t k = 0; k < members.size(); ++k) {
+          dense[static_cast<size_t>(a)][static_cast<size_t>(members[k])] = rates[k];
+        }
+      }
+      std::vector<int> sessions(static_cast<size_t>(sc.n_users()));
+      for (int u = 0; u < sc.n_users(); ++u) sessions[static_cast<size_t>(u)] = sc.user_session(u);
+      std::vector<double> srates(static_cast<size_t>(sc.n_sessions()));
+      for (int s = 0; s < sc.n_sessions(); ++s) srates[static_cast<size_t>(s)] = sc.session_rate(s);
+      const wlan::Scenario explicit_sc = wlan::Scenario::from_link_rates(
+          std::move(dense), std::move(sessions), std::move(srates), sc.load_budget());
+      probe_parser(injector, wlan::to_text(explicit_sc),
+                   [](const std::string& t) { wlan::from_text(t); }, res);
     }
     accumulate(res.faults, injector.log());
 

@@ -34,6 +34,14 @@
 //   template <class Fn> void for_each_element_of_group(int g, Fn) const;
 //     // superset of the group's in-range elements; the engine filters
 //
+// A Source may additionally provide
+//   template <class Fn> void for_each_link_of_group(int g, Fn) const;
+//     // calls Fn(e, rate) with the positive link rate paired in — sources
+//     // with sparse per-group (element, rate) rows (CSR scenarios) skip the
+//     // per-element link_rate lookup; element order must match
+//     // for_each_element_of_group
+// and the engine uses it when present (detected via `requires`).
+//
 // Set ids are stable between updates but NOT across compaction; hold ids only
 // while the engine is quiescent (one epoch / one solve).
 #pragma once
@@ -186,11 +194,18 @@ class CoverageEngine {
     auto& req = requesters_scratch_;
     for (int s = 0; s < src.n_sessions(); ++s) {
       req.clear();
-      src.for_each_element_of_group(g, [&](int e) {
-        if (!src.element_active(e) || src.element_session(e) != s) return;
-        const double r = src.link_rate(g, e);
-        if (r > 0.0) req.emplace_back(r, e);
-      });
+      if constexpr (requires { src.for_each_link_of_group(g, [](int, double) {}); }) {
+        src.for_each_link_of_group(g, [&](int e, double r) {
+          if (!src.element_active(e) || src.element_session(e) != s) return;
+          if (r > 0.0) req.emplace_back(r, e);
+        });
+      } else {
+        src.for_each_element_of_group(g, [&](int e) {
+          if (!src.element_active(e) || src.element_session(e) != s) return;
+          const double r = src.link_rate(g, e);
+          if (r > 0.0) req.emplace_back(r, e);
+        });
+      }
       if (req.empty()) continue;
       const double stream = src.session_rate(s);
       if (!multi_rate) {

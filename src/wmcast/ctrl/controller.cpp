@@ -127,6 +127,7 @@ void AssociationController::refresh_engine(const NetworkState& next) {
     // A stream-rate change reprices every set of that session; rebuild all.
     for (int a = 0; a < next.n_aps(); ++a) mark(a);
   } else {
+    std::vector<int> near;  // reused per slot
     for (int s = 0; s < next.n_slots(); ++s) {
       if (s < state_.n_slots() && state_.slot(s) == next.slot(s)) continue;
       // APs that held this slot before: exactly the groups of the sets the
@@ -134,11 +135,17 @@ void AssociationController::refresh_engine(const NetworkState& next) {
       if (s < engine_.n_elements()) {
         engine_.for_each_set_of(s, [&](int j) { mark(engine_.ap(j)); });
       }
-      // APs that gain it now: anything in range of the new position.
+      // APs that gain it now: anything in range of the new position, found
+      // through the AP grid in O(k). Sorted before marking so the marks land
+      // in the same ascending order the pre-grid full scan produced —
+      // dirty_groups_ order feeds set-id assignment, which is deterministic.
       if (next.slot(s).wants_service()) {
-        for (int a = 0; a < next.n_aps(); ++a) {
-          if (next.link_rate(a, s) > 0.0) mark(a);
-        }
+        near.clear();
+        next.for_each_ap_near(next.slot(s).pos, [&](int a) {
+          if (next.link_rate(a, s) > 0.0) near.push_back(a);
+        });
+        std::sort(near.begin(), near.end());
+        for (const int a : near) mark(a);
       }
     }
   }
@@ -176,10 +183,13 @@ bool AssociationController::admit(const JoinRequest& req) const {
                             ? state_.session_rate(req.session)
                             : 0.0;
   if (stream <= 0.0) return false;
-  for (int a = 0; a < state_.n_aps(); ++a) {
+  // Any-fit over the in-range APs only (grid query; order-free boolean).
+  bool ok = false;
+  state_.for_each_ap_near(req.pos, [&](int a) {
+    if (ok) return;
     const double r = state_.rate_table().rate_for_distance(
         wlan::distance(state_.ap_positions()[static_cast<size_t>(a)], req.pos));
-    if (r <= 0.0) continue;
+    if (r <= 0.0) return;
     const double old_tx =
         static_cast<size_t>(a) < loads_.tx_rate.size()
             ? loads_.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(req.session)]
@@ -189,9 +199,9 @@ bool AssociationController::admit(const JoinRequest& req) const {
     const double load = static_cast<size_t>(a) < loads_.ap_load.size()
                             ? loads_.ap_load[static_cast<size_t>(a)]
                             : 0.0;
-    if (util::fits_budget(load + marginal, state_.load_budget())) return true;
-  }
-  return false;
+    if (util::fits_budget(load + marginal, state_.load_budget())) ok = true;
+  });
+  return ok;
 }
 
 wlan::Association AssociationController::repair(const wlan::Scenario& sc,

@@ -15,6 +15,7 @@ NetworkState NetworkState::from_scenario(const wlan::Scenario& sc, wlan::RateTab
   NetworkState st;
   st.ap_pos_ = sc.ap_positions();
   st.table_ = std::move(table);
+  st.ap_grid_ = wlan::GridIndex(st.ap_pos_, st.table_.range_m());
   st.budget_ = sc.load_budget();
   st.session_rate_.resize(static_cast<size_t>(sc.n_sessions()));
   for (int s = 0; s < sc.n_sessions(); ++s) {
@@ -188,10 +189,15 @@ std::vector<int> compute_dirty_slots(const NetworkState& before,
     if (b == a) continue;
     if (i < before.n_slots() && b.present == a.present &&
         b.subscribed == a.subscribed && b.session == a.session) {
+      // Only APs within coverage range of the old or the new position can see
+      // a rate change (everything else is 0 on both sides), so the grid
+      // queries around both positions bound the check at O(k), not O(n_aps).
       bool rate_moved = false;
-      for (int ap = 0; ap < after.n_aps() && !rate_moved; ++ap) {
-        rate_moved = before.link_rate(ap, i) != after.link_rate(ap, i);
-      }
+      const auto check = [&](int ap) {
+        if (!rate_moved) rate_moved = before.link_rate(ap, i) != after.link_rate(ap, i);
+      };
+      after.for_each_ap_near(b.pos, check);
+      after.for_each_ap_near(a.pos, check);
       if (!rate_moved) continue;  // pure move inside the same rate steps
     }
     changed[static_cast<size_t>(i)] = 1;

@@ -12,6 +12,7 @@
 
 #include "wmcast/ctrl/events.hpp"
 #include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/grid_index.hpp"
 #include "wmcast/wlan/rate_table.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
@@ -52,6 +53,19 @@ class NetworkState {
   /// range. Valid for any slot, present or not.
   double link_rate(int a, int s) const;
 
+  /// Uniform grid over the AP positions (cell size = the rate table's
+  /// coverage radius). AP positions never change after from_scenario, so the
+  /// index is built once and shared by every range query.
+  const wlan::GridIndex& ap_grid() const { return ap_grid_; }
+
+  /// Calls fn(a) for every AP whose grid cell intersects the coverage disk
+  /// around `p` — a superset of the in-range APs; callers filter by
+  /// link_rate/distance. O(k) in the local AP density, not O(n_aps).
+  template <typename Fn>
+  void for_each_ap_near(const wlan::Point& p, Fn&& fn) const {
+    ap_grid_.for_each_candidate(p, table_.range_m(), fn);
+  }
+
   /// Side of the bounding square of all node positions (trace generation
   /// re-places movers inside it, mirroring wlan::churn_epoch).
   double area_side() const;
@@ -77,6 +91,7 @@ class NetworkState {
   std::vector<double> session_rate_;
   double budget_ = 0.9;
   std::vector<UserSlot> slots_;
+  wlan::GridIndex ap_grid_;  // derived from ap_pos_ + table_, built once
 };
 
 /// Expands a compact association (rows of `row_slot`) into slot space of size

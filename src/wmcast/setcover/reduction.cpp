@@ -16,8 +16,11 @@ SetSystem build_set_system(const wlan::Scenario& sc, bool multi_rate) {
   for (int a = 0; a < sc.n_aps(); ++a) {
     for (int s = 0; s < sc.n_sessions(); ++s) {
       requesters.clear();
-      for (const int u : sc.users_of_ap(a)) {
-        if (sc.user_session(u) == s) requesters.emplace_back(sc.link_rate(a, u), u);
+      const auto members_of_a = sc.users_of_ap(a);
+      const double* rates_of_a = sc.rates_of_ap(a);
+      for (size_t i = 0; i < members_of_a.size(); ++i) {
+        const int u = members_of_a[i];
+        if (sc.user_session(u) == s) requesters.emplace_back(rates_of_a[i], u);
       }
       if (requesters.empty()) continue;
 

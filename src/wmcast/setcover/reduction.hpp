@@ -43,6 +43,15 @@ class ScenarioSource {
     for (const int u : sc_->users_of_ap(g)) fn(u);
   }
 
+  /// Paired CSR row (same user order as for_each_element_of_group) — lets the
+  /// engine skip the per-user link_rate binary search.
+  template <typename Fn>
+  void for_each_link_of_group(int g, Fn&& fn) const {
+    const auto users = sc_->users_of_ap(g);
+    const double* rates = sc_->rates_of_ap(g);
+    for (size_t i = 0; i < users.size(); ++i) fn(users[i], rates[i]);
+  }
+
  private:
   const wlan::Scenario* sc_;
 };

@@ -1,7 +1,6 @@
 #include "wmcast/wlan/coverage.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "wmcast/util/assert.hpp"
 
@@ -13,7 +12,12 @@ CoverageReport analyze_coverage(const Scenario& sc, int histogram_buckets) {
   CoverageReport rep;
   rep.aps_per_user_histogram.assign(static_cast<size_t>(histogram_buckets), 0);
 
-  std::map<double, int> best_rate_hist;
+  // Best-rate histogram keyed by the scenario's rate-level index: every rate a
+  // user can see is one of the (few) values in rate_levels(), so a flat count
+  // array replaces the old std::map<double, int> — no tree allocations in the
+  // per-user loop, identical ascending output order.
+  const std::vector<double>& levels = sc.rate_levels();
+  std::vector<int> best_rate_count(levels.size(), 0);
   int64_t ap_count_sum = 0;
   for (int u = 0; u < sc.n_users(); ++u) {
     const int k = static_cast<int>(sc.aps_of_user(u).size());
@@ -21,7 +25,12 @@ CoverageReport analyze_coverage(const Scenario& sc, int histogram_buckets) {
       ++rep.uncoverable_users;
     } else {
       ++rep.coverable_users;
-      ++best_rate_hist[sc.link_rate(sc.strongest_ap(u), u)];
+      // Rows are strongest-first, so the best rate is entry 0.
+      const double best = sc.rates_of_user(u)[0];
+      const auto it = std::lower_bound(levels.begin(), levels.end(), best);
+      WMCAST_ASSERT(it != levels.end() && *it == best,
+                    "coverage: best rate missing from rate_levels()");
+      ++best_rate_count[static_cast<size_t>(it - levels.begin())];
     }
     ap_count_sum += k;
     rep.max_aps_per_user = std::max(rep.max_aps_per_user, k);
@@ -31,9 +40,10 @@ CoverageReport analyze_coverage(const Scenario& sc, int histogram_buckets) {
   rep.mean_aps_per_user =
       sc.n_users() > 0 ? static_cast<double>(ap_count_sum) / sc.n_users() : 0.0;
 
-  for (const auto& [rate, count] : best_rate_hist) {
-    rep.best_rate_values.push_back(rate);
-    rep.best_rate_counts.push_back(count);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (best_rate_count[i] == 0) continue;  // keep only-present-rates output
+    rep.best_rate_values.push_back(levels[i]);
+    rep.best_rate_counts.push_back(best_rate_count[i]);
   }
 
   int64_t user_count_sum = 0;

@@ -1,12 +1,14 @@
 #include "wmcast/wlan/mobility.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "wmcast/util/assert.hpp"
 
 namespace wmcast::wlan {
 
-Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& rng) {
+Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& rng,
+                     std::vector<int>* dirty_aps) {
   util::require(sc.has_geometry(), "churn_epoch: needs a geometric scenario");
   util::require(params.move_fraction >= 0.0 && params.move_fraction <= 1.0,
                 "churn_epoch: bad move fraction");
@@ -19,25 +21,44 @@ Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& r
     for (const auto& p : sc.user_positions()) side = std::max({side, p.x, p.y});
   }
 
+  // Draw the epoch's changes first (the RNG stream consumption is identical
+  // whether the rebuild below is incremental or full).
+  ScenarioDelta delta;
+  for (int u = 0; u < sc.n_users(); ++u) {
+    if (rng.next_bool(params.move_fraction)) {
+      delta.moved.emplace_back(u, Point{rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    }
+    if (sc.n_sessions() > 1 && rng.next_bool(params.zap_fraction)) {
+      // Switch to a different session, uniformly among the others.
+      const int old = sc.user_session(u);
+      int next = rng.next_int(sc.n_sessions() - 1);
+      if (next >= old) ++next;
+      delta.rezapped.emplace_back(u, next);
+    }
+  }
+
+  // Fast path: the scenario was built with the same rate table, so only the
+  // moved users' candidate rows change — re-query just those from the AP grid
+  // instead of re-deriving every link. apply_delta yields a scenario
+  // identical to the full rebuild, plus the exact dirty AP set.
+  if (const RateTable* built_with = sc.rate_table();
+      built_with != nullptr && *built_with == params.rate_table) {
+    return sc.apply_delta(delta, dirty_aps);
+  }
+
+  // Table changed (e.g. power control rescaled the ranges): full rebuild;
+  // every AP's candidate set may have changed.
   std::vector<Point> user_pos = sc.user_positions();
   std::vector<int> user_session(static_cast<size_t>(sc.n_users()));
   std::vector<double> session_rates(static_cast<size_t>(sc.n_sessions()));
   for (int u = 0; u < sc.n_users(); ++u) user_session[static_cast<size_t>(u)] = sc.user_session(u);
   for (int s = 0; s < sc.n_sessions(); ++s) session_rates[static_cast<size_t>(s)] = sc.session_rate(s);
-
-  for (int u = 0; u < sc.n_users(); ++u) {
-    if (rng.next_bool(params.move_fraction)) {
-      user_pos[static_cast<size_t>(u)] = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
-    }
-    if (sc.n_sessions() > 1 && rng.next_bool(params.zap_fraction)) {
-      // Switch to a different session, uniformly among the others.
-      const int old = user_session[static_cast<size_t>(u)];
-      int next = rng.next_int(sc.n_sessions() - 1);
-      if (next >= old) ++next;
-      user_session[static_cast<size_t>(u)] = next;
-    }
+  for (const auto& [u, p] : delta.moved) user_pos[static_cast<size_t>(u)] = p;
+  for (const auto& [u, s] : delta.rezapped) user_session[static_cast<size_t>(u)] = s;
+  if (dirty_aps != nullptr) {
+    dirty_aps->resize(static_cast<size_t>(sc.n_aps()));
+    std::iota(dirty_aps->begin(), dirty_aps->end(), 0);
   }
-
   return Scenario::from_geometry(sc.ap_positions(), std::move(user_pos),
                                  std::move(user_session), std::move(session_rates),
                                  params.rate_table, sc.load_budget());

@@ -26,7 +26,16 @@ struct ChurnParams {
 
 /// One epoch of churn: returns a new scenario (same APs, sessions, budget)
 /// with some users relocated and/or re-zapped. Requires a geometric scenario.
-Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& rng);
+///
+/// When `sc` was built with the same rate table as `params`, the rebuild is
+/// incremental: only the moved users' candidate rows are re-queried from the
+/// AP grid (Scenario::apply_delta) — the result is identical to a full
+/// rebuild. `dirty_aps` (optional out) receives the ascending ids of every AP
+/// whose candidate/member structure may have changed — exactly the groups a
+/// ctrl-style dirty-region repair must re-project (all APs on the full-
+/// rebuild path, i.e. when the table changed).
+Scenario churn_epoch(const Scenario& sc, const ChurnParams& params, util::Rng& rng,
+                     std::vector<int>* dirty_aps = nullptr);
 
 /// Carries an association onto a (churned) scenario: users keep their AP if
 /// it is still in range AND they still request the same session they can get

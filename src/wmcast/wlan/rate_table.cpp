@@ -33,6 +33,13 @@ double RateTable::rate_for_distance(double distance_m) const {
   return 0.0;
 }
 
+int RateTable::step_index_for_distance(double distance_m) const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (distance_m <= steps_[i].max_distance_m) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 RateTable RateTable::scaled_range(double factor) const {
   util::require(factor > 0.0, "RateTable: scale factor must be positive");
   std::vector<RateStep> scaled = steps_;

@@ -32,6 +32,9 @@ class RateTable {
   /// Highest rate usable at `distance_m`; 0 when out of range.
   double rate_for_distance(double distance_m) const;
 
+  /// Index into steps() of the rate usable at `distance_m`; -1 out of range.
+  int step_index_for_distance(double distance_m) const;
+
   /// Steps sorted by descending rate (ascending distance threshold).
   const std::vector<RateStep>& steps() const { return steps_; }
 
@@ -43,6 +46,12 @@ class RateTable {
   /// A copy of this table with every distance threshold scaled by `factor`
   /// (used by the adaptive-power-control extension; factor in (0, inf)).
   RateTable scaled_range(double factor) const;
+
+  /// Equal iff the step staircases match exactly (the incremental-churn fast
+  /// path requires the rebuild table to be the build table).
+  friend bool operator==(const RateTable& a, const RateTable& b) {
+    return a.steps_ == b.steps_;
+  }
 
  private:
   std::vector<RateStep> steps_;  // descending rate

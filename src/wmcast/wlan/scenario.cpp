@@ -1,16 +1,52 @@
 #include "wmcast/wlan/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/thread_pool.hpp"
 
 namespace wmcast::wlan {
+
+namespace {
+
+/// One candidate AP of one user, as found by the grid query.
+struct Cand {
+  double dist;
+  int ap;
+  int step;  // index into table.steps()
+};
+
+/// Strongest-first order of a geometric row: closer = stronger, AP id ties.
+bool closer(const Cand& a, const Cand& b) {
+  return a.dist != b.dist ? a.dist < b.dist : a.ap < b.ap;
+}
+
+/// Gathers the in-range candidates of a point from the AP grid. The grid
+/// over-approximates by cell, so each candidate is distance-filtered exactly;
+/// rate_for_distance is inclusive at each threshold, hence `d <= radius`
+/// keeps an AP at exactly the maximum range.
+void query_row(const GridIndex& grid, const std::vector<Point>& ap_pos,
+               const RateTable& table, double radius, const Point& up,
+               std::vector<Cand>& out) {
+  out.clear();
+  grid.for_each_candidate(up, radius, [&](int a) {
+    const double d = distance(ap_pos[static_cast<size_t>(a)], up);
+    const int step = table.step_index_for_distance(d);
+    if (step >= 0) out.push_back({d, a, step});
+  });
+  std::sort(out.begin(), out.end(), closer);
+}
+
+}  // namespace
 
 Scenario Scenario::from_geometry(std::vector<Point> ap_pos, std::vector<Point> user_pos,
                                  std::vector<int> user_session,
                                  std::vector<double> session_rate_mbps,
-                                 const RateTable& table, double load_budget) {
+                                 const RateTable& table, double load_budget,
+                                 util::ThreadPool* pool) {
   Scenario sc;
   sc.n_aps_ = static_cast<int>(ap_pos.size());
   sc.n_users_ = static_cast<int>(user_pos.size());
@@ -19,16 +55,88 @@ Scenario Scenario::from_geometry(std::vector<Point> ap_pos, std::vector<Point> u
   sc.user_session_ = std::move(user_session);
   sc.session_rate_ = std::move(session_rate_mbps);
   sc.load_budget_ = load_budget;
+  sc.table_ = table;
+  sc.validate_core();
+  sc.grid_ = GridIndex(sc.ap_pos_, table.range_m());
+  sc.build_geometric_rows(pool);
+  sc.build_transpose();
+  sc.finalize_stats();
+  return sc;
+}
 
-  sc.link_rate_.resize(static_cast<size_t>(sc.n_aps_) * sc.n_users_);
+Scenario Scenario::from_geometry_dense(std::vector<Point> ap_pos,
+                                       std::vector<Point> user_pos,
+                                       std::vector<int> user_session,
+                                       std::vector<double> session_rate_mbps,
+                                       const RateTable& table, double load_budget) {
+  Scenario sc;
+  sc.n_aps_ = static_cast<int>(ap_pos.size());
+  sc.n_users_ = static_cast<int>(user_pos.size());
+  sc.ap_pos_ = std::move(ap_pos);
+  sc.user_pos_ = std::move(user_pos);
+  sc.user_session_ = std::move(user_session);
+  sc.session_rate_ = std::move(session_rate_mbps);
+  sc.load_budget_ = load_budget;
+  sc.table_ = table;
+  sc.validate_core();
+  sc.grid_ = GridIndex(sc.ap_pos_, table.range_m());
+
+  // The pre-sparse build: materialize the full AP×user matrix with the
+  // O(n_aps · n_users) pairwise scan, then project its positive entries.
+  std::vector<double> dense(static_cast<size_t>(sc.n_aps_) *
+                            static_cast<size_t>(sc.n_users_));
   for (int a = 0; a < sc.n_aps_; ++a) {
     for (int u = 0; u < sc.n_users_; ++u) {
       const double d = distance(sc.ap_pos_[static_cast<size_t>(a)],
                                 sc.user_pos_[static_cast<size_t>(u)]);
-      sc.link_rate_[sc.idx(a, u)] = table.rate_for_distance(d);
+      dense[static_cast<size_t>(a) * static_cast<size_t>(sc.n_users_) +
+            static_cast<size_t>(u)] = table.rate_for_distance(d);
     }
   }
-  sc.finalize();
+
+  const int n_steps = static_cast<int>(table.steps().size());
+  sc.rate_levels_.resize(static_cast<size_t>(n_steps));
+  for (int i = 0; i < n_steps; ++i) {
+    sc.rate_levels_[static_cast<size_t>(n_steps - 1 - i)] =
+        table.steps()[static_cast<size_t>(i)].rate_mbps;
+  }
+  sc.rate_level_count_.assign(static_cast<size_t>(n_steps), 0);
+
+  sc.user_row_.assign(static_cast<size_t>(sc.n_users_) + 1, 0);
+  sc.strongest_ap_.assign(static_cast<size_t>(sc.n_users_), kNoAp);
+  std::vector<Cand> cand;
+  for (int u = 0; u < sc.n_users_; ++u) {
+    cand.clear();
+    const Point up = sc.user_pos_[static_cast<size_t>(u)];
+    for (int a = 0; a < sc.n_aps_; ++a) {
+      if (dense[static_cast<size_t>(a) * static_cast<size_t>(sc.n_users_) +
+                static_cast<size_t>(u)] <= 0.0) {
+        continue;
+      }
+      const double d = distance(sc.ap_pos_[static_cast<size_t>(a)], up);
+      cand.push_back({d, a, table.step_index_for_distance(d)});
+    }
+    std::sort(cand.begin(), cand.end(), closer);
+    const auto base = static_cast<int64_t>(sc.nbr_ap_.size());
+    for (const Cand& c : cand) {
+      sc.nbr_ap_.push_back(c.ap);
+      sc.nbr_rate_.push_back(table.steps()[static_cast<size_t>(c.step)].rate_mbps);
+      ++sc.rate_level_count_[static_cast<size_t>(n_steps - 1 - c.step)];
+    }
+    sc.nbr_by_ap_.resize(sc.nbr_ap_.size());
+    int* by = sc.nbr_by_ap_.data() + base;
+    std::iota(by, by + cand.size(), 0);
+    std::sort(by, by + cand.size(), [&](int x, int y) {
+      return sc.nbr_ap_[static_cast<size_t>(base + x)] <
+             sc.nbr_ap_[static_cast<size_t>(base + y)];
+    });
+    if (!cand.empty()) {
+      sc.strongest_ap_[static_cast<size_t>(u)] = sc.nbr_ap_[static_cast<size_t>(base)];
+    }
+    sc.user_row_[static_cast<size_t>(u) + 1] = static_cast<int64_t>(sc.nbr_ap_.size());
+  }
+  sc.build_transpose();
+  sc.finalize_stats();
   return sc;
 }
 
@@ -43,20 +151,67 @@ Scenario Scenario::from_link_rates(std::vector<std::vector<double>> link_rate,
   sc.user_session_ = std::move(user_session);
   sc.session_rate_ = std::move(session_rate_mbps);
   sc.load_budget_ = load_budget;
-
-  sc.link_rate_.resize(static_cast<size_t>(sc.n_aps_) * sc.n_users_);
+  sc.validate_core();
   for (int a = 0; a < sc.n_aps_; ++a) {
     util::require(static_cast<int>(link_rate[static_cast<size_t>(a)].size()) == sc.n_users_,
                   "Scenario: ragged link-rate matrix");
-    for (int u = 0; u < sc.n_users_; ++u) {
-      sc.link_rate_[sc.idx(a, u)] = link_rate[static_cast<size_t>(a)][static_cast<size_t>(u)];
+    for (const double r : link_rate[static_cast<size_t>(a)]) {
+      util::require(r >= 0.0, "Scenario: link rates must be non-negative");
     }
   }
-  sc.finalize();
+
+  // Project the dense input to CSR, keeping only positive rates. Strongest
+  // order for explicit instances is by rate (higher = stronger), AP id ties.
+  sc.user_row_.assign(static_cast<size_t>(sc.n_users_) + 1, 0);
+  sc.strongest_ap_.assign(static_cast<size_t>(sc.n_users_), kNoAp);
+  std::vector<std::pair<double, int>> cand;  // (rate, ap)
+  for (int u = 0; u < sc.n_users_; ++u) {
+    cand.clear();
+    for (int a = 0; a < sc.n_aps_; ++a) {
+      const double r = link_rate[static_cast<size_t>(a)][static_cast<size_t>(u)];
+      if (r > 0.0) cand.emplace_back(r, a);
+    }
+    std::sort(cand.begin(), cand.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+    const auto base = static_cast<int64_t>(sc.nbr_ap_.size());
+    for (const auto& [r, a] : cand) {
+      sc.nbr_ap_.push_back(a);
+      sc.nbr_rate_.push_back(r);
+    }
+    sc.nbr_by_ap_.resize(sc.nbr_ap_.size());
+    int* by = sc.nbr_by_ap_.data() + base;
+    std::iota(by, by + cand.size(), 0);
+    std::sort(by, by + cand.size(), [&](int x, int y) {
+      return sc.nbr_ap_[static_cast<size_t>(base + x)] <
+             sc.nbr_ap_[static_cast<size_t>(base + y)];
+    });
+    if (!cand.empty()) {
+      sc.strongest_ap_[static_cast<size_t>(u)] = sc.nbr_ap_[static_cast<size_t>(base)];
+    }
+    sc.user_row_[static_cast<size_t>(u) + 1] = static_cast<int64_t>(sc.nbr_ap_.size());
+  }
+
+  // Explicit instances have no rate table: the levels are whatever rates
+  // actually occur.
+  sc.rate_levels_.assign(sc.nbr_rate_.begin(), sc.nbr_rate_.end());
+  std::sort(sc.rate_levels_.begin(), sc.rate_levels_.end());
+  sc.rate_levels_.erase(std::unique(sc.rate_levels_.begin(), sc.rate_levels_.end()),
+                        sc.rate_levels_.end());
+  sc.rate_level_count_.assign(sc.rate_levels_.size(), 0);
+  for (const double r : sc.nbr_rate_) {
+    const auto i = static_cast<size_t>(
+        std::lower_bound(sc.rate_levels_.begin(), sc.rate_levels_.end(), r) -
+        sc.rate_levels_.begin());
+    ++sc.rate_level_count_[i];
+  }
+
+  sc.build_transpose();
+  sc.finalize_stats();
   return sc;
 }
 
-void Scenario::finalize() {
+void Scenario::validate_core() const {
   util::require(static_cast<int>(user_session_.size()) == n_users_,
                 "Scenario: user_session size mismatch");
   util::require(!session_rate_.empty() || n_users_ == 0,
@@ -70,47 +225,142 @@ void Scenario::finalize() {
     const int s = user_session_[static_cast<size_t>(u)];
     util::require(s >= 0 && s < n_sessions(), "Scenario: user requests invalid session");
   }
-  for (const double r : link_rate_) {
-    util::require(r >= 0.0, "Scenario: link rates must be non-negative");
+}
+
+void Scenario::build_geometric_rows(util::ThreadPool* pool) {
+  const RateTable& table = *table_;
+  const double radius = table.range_m();
+  const int n_steps = static_cast<int>(table.steps().size());
+
+  rate_levels_.resize(static_cast<size_t>(n_steps));
+  for (int i = 0; i < n_steps; ++i) {
+    rate_levels_[static_cast<size_t>(n_steps - 1 - i)] =
+        table.steps()[static_cast<size_t>(i)].rate_mbps;
+  }
+  rate_level_count_.assign(static_cast<size_t>(n_steps), 0);
+
+  const bool parallel = pool != nullptr && pool->size() > 1 && n_users_ > 1;
+  const int lanes = parallel ? pool->size() : 1;
+
+  // Pass 1: exact per-user candidate counts. The candidate predicate
+  // (distance within the basic-rate radius) is the same one pass 2 filters
+  // by, so the counts are the row lengths.
+  user_row_.assign(static_cast<size_t>(n_users_) + 1, 0);
+  const auto count_user = [&](int u) {
+    const Point up = user_pos_[static_cast<size_t>(u)];
+    int64_t k = 0;
+    grid_.for_each_candidate(up, radius, [&](int a) {
+      if (distance(ap_pos_[static_cast<size_t>(a)], up) <= radius) ++k;
+    });
+    user_row_[static_cast<size_t>(u) + 1] = k;
+  };
+  if (parallel) {
+    pool->parallel_for(0, n_users_, [&](int64_t b, int64_t e, int) {
+      for (int64_t u = b; u < e; ++u) count_user(static_cast<int>(u));
+    });
+  } else {
+    for (int u = 0; u < n_users_; ++u) count_user(u);
   }
 
-  aps_of_user_.assign(static_cast<size_t>(n_users_), {});
-  users_of_ap_.assign(static_cast<size_t>(n_aps_), {});
-  strongest_ap_.assign(static_cast<size_t>(n_users_), kNoAp);
-  basic_rate_ = std::numeric_limits<double>::infinity();
-  n_coverable_ = 0;
-
+  // Serial exclusive scan -> CSR offsets.
   for (int u = 0; u < n_users_; ++u) {
-    auto& aps = aps_of_user_[static_cast<size_t>(u)];
-    for (int a = 0; a < n_aps_; ++a) {
-      const double r = link_rate(a, u);
-      if (r > 0.0) {
-        aps.push_back(a);
-        users_of_ap_[static_cast<size_t>(a)].push_back(u);
-        basic_rate_ = std::min(basic_rate_, r);
-      }
-    }
-    if (aps.empty()) continue;
-    ++n_coverable_;
-    // Strongest-signal order: by distance for geometric instances, by link
-    // rate otherwise; AP id breaks ties deterministically.
-    if (!ap_pos_.empty()) {
-      const Point up = user_pos_[static_cast<size_t>(u)];
-      std::sort(aps.begin(), aps.end(), [&](int a, int b) {
-        const double da = distance(ap_pos_[static_cast<size_t>(a)], up);
-        const double db = distance(ap_pos_[static_cast<size_t>(b)], up);
-        return da != db ? da < db : a < b;
-      });
-    } else {
-      std::sort(aps.begin(), aps.end(), [&](int a, int b) {
-        const double ra = link_rate(a, u);
-        const double rb = link_rate(b, u);
-        return ra != rb ? ra > rb : a < b;
-      });
-    }
-    strongest_ap_[static_cast<size_t>(u)] = aps.front();
+    user_row_[static_cast<size_t>(u) + 1] += user_row_[static_cast<size_t>(u)];
   }
-  if (n_coverable_ == 0) basic_rate_ = 0.0;
+  const int64_t n_links = user_row_[static_cast<size_t>(n_users_)];
+  nbr_ap_.resize(static_cast<size_t>(n_links));
+  nbr_rate_.resize(static_cast<size_t>(n_links));
+  nbr_by_ap_.resize(static_cast<size_t>(n_links));
+  strongest_ap_.assign(static_cast<size_t>(n_users_), kNoAp);
+
+  // Pass 2: fill the rows. Each user's row is a pure function of the inputs
+  // and lands in its own pre-sized slice, so static chunking makes the build
+  // bit-identical at any lane count; per-lane scratch and per-lane level
+  // counters (summed afterwards — integer addition commutes) avoid sharing.
+  std::vector<std::vector<Cand>> scratch(static_cast<size_t>(lanes));
+  std::vector<std::vector<int64_t>> lane_level(
+      static_cast<size_t>(lanes), std::vector<int64_t>(static_cast<size_t>(n_steps), 0));
+  const auto fill_user = [&](int u, int lane) {
+    auto& cand = scratch[static_cast<size_t>(lane)];
+    query_row(grid_, ap_pos_, table, radius, user_pos_[static_cast<size_t>(u)], cand);
+    const int64_t base = user_row_[static_cast<size_t>(u)];
+    WMCAST_ASSERT(static_cast<int64_t>(cand.size()) ==
+                      user_row_[static_cast<size_t>(u) + 1] - base,
+                  "Scenario: candidate count drifted between passes");
+    auto& levels = lane_level[static_cast<size_t>(lane)];
+    for (size_t i = 0; i < cand.size(); ++i) {
+      nbr_ap_[static_cast<size_t>(base) + i] = cand[i].ap;
+      nbr_rate_[static_cast<size_t>(base) + i] =
+          table.steps()[static_cast<size_t>(cand[i].step)].rate_mbps;
+      ++levels[static_cast<size_t>(n_steps - 1 - cand[i].step)];
+    }
+    int* by = nbr_by_ap_.data() + base;
+    std::iota(by, by + cand.size(), 0);
+    std::sort(by, by + cand.size(), [&](int x, int y) {
+      return nbr_ap_[static_cast<size_t>(base + x)] <
+             nbr_ap_[static_cast<size_t>(base + y)];
+    });
+    if (!cand.empty()) {
+      strongest_ap_[static_cast<size_t>(u)] = nbr_ap_[static_cast<size_t>(base)];
+    }
+  };
+  if (parallel) {
+    pool->parallel_for(0, n_users_, [&](int64_t b, int64_t e, int lane) {
+      for (int64_t u = b; u < e; ++u) fill_user(static_cast<int>(u), lane);
+    });
+  } else {
+    for (int u = 0; u < n_users_; ++u) fill_user(u, 0);
+  }
+  for (const auto& levels : lane_level) {
+    for (int i = 0; i < n_steps; ++i) {
+      rate_level_count_[static_cast<size_t>(i)] += levels[static_cast<size_t>(i)];
+    }
+  }
+}
+
+void Scenario::build_transpose() {
+  // Counting sort of the links by AP; visiting users ascending keeps each
+  // AP's member list ascending by user id (the users_of_ap contract).
+  ap_row_.assign(static_cast<size_t>(n_aps_) + 1, 0);
+  for (const int a : nbr_ap_) ++ap_row_[static_cast<size_t>(a) + 1];
+  for (int a = 0; a < n_aps_; ++a) {
+    ap_row_[static_cast<size_t>(a) + 1] += ap_row_[static_cast<size_t>(a)];
+  }
+  ap_user_.resize(nbr_ap_.size());
+  ap_user_rate_.resize(nbr_ap_.size());
+  std::vector<int64_t> fill(ap_row_.begin(), ap_row_.end() - 1);
+  for (int u = 0; u < n_users_; ++u) {
+    for (int64_t pos = user_row_[static_cast<size_t>(u)];
+         pos < user_row_[static_cast<size_t>(u) + 1]; ++pos) {
+      const auto a = static_cast<size_t>(nbr_ap_[static_cast<size_t>(pos)]);
+      const auto at = static_cast<size_t>(fill[a]++);
+      ap_user_[at] = u;
+      ap_user_rate_[at] = nbr_rate_[static_cast<size_t>(pos)];
+    }
+  }
+}
+
+void Scenario::finalize_stats() {
+  n_coverable_ = 0;
+  for (int u = 0; u < n_users_; ++u) {
+    if (user_row_[static_cast<size_t>(u) + 1] > user_row_[static_cast<size_t>(u)]) {
+      ++n_coverable_;
+    }
+  }
+  basic_rate_ = 0.0;
+  for (size_t i = 0; i < rate_levels_.size(); ++i) {
+    if (rate_level_count_[i] > 0) {
+      basic_rate_ = rate_levels_[i];
+      break;
+    }
+  }
+}
+
+size_t Scenario::memory_bytes() const {
+  const auto vb = [](const auto& v) { return v.size() * sizeof(*v.data()); };
+  return vb(user_session_) + vb(session_rate_) + vb(user_row_) + vb(nbr_ap_) +
+         vb(nbr_rate_) + vb(nbr_by_ap_) + vb(ap_row_) + vb(ap_user_) +
+         vb(ap_user_rate_) + vb(strongest_ap_) + vb(rate_levels_) +
+         vb(rate_level_count_) + vb(ap_pos_) + vb(user_pos_);
 }
 
 Scenario Scenario::with_budget(double load_budget) const {
@@ -130,6 +380,157 @@ Scenario Scenario::with_session_rates(std::vector<double> session_rate_mbps) con
     util::require(r > 0.0, "Scenario: session rates must be positive");
   }
   return sc;
+}
+
+Scenario Scenario::apply_delta(const ScenarioDelta& delta,
+                               std::vector<int>* dirty_aps) const {
+  util::require(has_geometry() && table_.has_value(),
+                "apply_delta: needs a geometric scenario");
+
+  // Metadata and untouched caches carry over; the CSR arrays are rebuilt
+  // below (copied row-by-row, so the big copy happens exactly once).
+  Scenario out;
+  out.n_aps_ = n_aps_;
+  out.n_users_ = n_users_;
+  out.user_session_ = user_session_;
+  out.session_rate_ = session_rate_;
+  out.load_budget_ = load_budget_;
+  out.rate_levels_ = rate_levels_;
+  out.rate_level_count_ = rate_level_count_;
+  out.ap_pos_ = ap_pos_;
+  out.user_pos_ = user_pos_;
+  out.table_ = table_;
+  out.grid_ = grid_;
+  out.strongest_ap_ = strongest_ap_;
+
+  std::vector<char> ap_mark(static_cast<size_t>(n_aps_), 0);
+  std::vector<int> dirty;
+  const auto mark = [&](int a) {
+    if (!ap_mark[static_cast<size_t>(a)]) {
+      ap_mark[static_cast<size_t>(a)] = 1;
+      dirty.push_back(a);
+    }
+  };
+
+  // Session switches keep the row but change every (ap, session) group the
+  // user belongs to on both sides of the switch.
+  for (const auto& [u, s] : delta.rezapped) {
+    util::require(u >= 0 && u < n_users_, "apply_delta: rezap of unknown user");
+    util::require(s >= 0 && s < n_sessions(), "apply_delta: rezap to unknown session");
+    if (out.user_session_[static_cast<size_t>(u)] == s) continue;
+    out.user_session_[static_cast<size_t>(u)] = s;
+    for (const int a : aps_of_user(u)) mark(a);
+  }
+
+  // Moves: last position wins per user.
+  std::vector<char> moved(static_cast<size_t>(n_users_), 0);
+  std::vector<int> moved_users;
+  for (const auto& [u, p] : delta.moved) {
+    util::require(u >= 0 && u < n_users_, "apply_delta: move of unknown user");
+    util::require(std::isfinite(p.x) && std::isfinite(p.y),
+                  "apply_delta: non-finite position");
+    out.user_pos_[static_cast<size_t>(u)] = p;
+    if (!moved[static_cast<size_t>(u)]) {
+      moved[static_cast<size_t>(u)] = 1;
+      moved_users.push_back(u);
+    }
+  }
+  std::sort(moved_users.begin(), moved_users.end());
+
+  if (moved_users.empty()) {
+    out.user_row_ = user_row_;
+    out.nbr_ap_ = nbr_ap_;
+    out.nbr_rate_ = nbr_rate_;
+    out.nbr_by_ap_ = nbr_by_ap_;
+  } else {
+    const RateTable& table = *table_;
+    const double radius = table.range_m();
+    const int n_steps = static_cast<int>(table.steps().size());
+    const auto level_of = [&](int step) { return static_cast<size_t>(n_steps - 1 - step); };
+
+    // Fresh rows for the movers (grid re-query at the new position); old and
+    // new candidate APs alike see their member set change.
+    std::vector<int64_t> new_start(moved_users.size() + 1, 0);
+    std::vector<Cand> new_rows;
+    std::vector<Cand> cand;
+    for (size_t m = 0; m < moved_users.size(); ++m) {
+      const int u = moved_users[m];
+      for (int64_t pos = user_row_[static_cast<size_t>(u)];
+           pos < user_row_[static_cast<size_t>(u) + 1]; ++pos) {
+        mark(nbr_ap_[static_cast<size_t>(pos)]);
+        const int step = table.step_index_for_distance(
+            distance(ap_pos_[static_cast<size_t>(nbr_ap_[static_cast<size_t>(pos)])],
+                     user_pos_[static_cast<size_t>(u)]));
+        WMCAST_ASSERT(step >= 0, "apply_delta: stored link out of range");
+        --out.rate_level_count_[level_of(step)];
+      }
+      query_row(grid_, ap_pos_, table, radius, out.user_pos_[static_cast<size_t>(u)],
+                cand);
+      for (const Cand& c : cand) {
+        mark(c.ap);
+        ++out.rate_level_count_[level_of(c.step)];
+        new_rows.push_back(c);
+      }
+      new_start[m + 1] = static_cast<int64_t>(new_rows.size());
+    }
+
+    // Stitch the new CSR: movers get their fresh rows, everyone else's row
+    // (including its row-local search index) is copied verbatim.
+    std::vector<int32_t> moved_idx(static_cast<size_t>(n_users_), -1);
+    for (size_t m = 0; m < moved_users.size(); ++m) {
+      moved_idx[static_cast<size_t>(moved_users[m])] = static_cast<int32_t>(m);
+    }
+    out.user_row_.assign(static_cast<size_t>(n_users_) + 1, 0);
+    for (int u = 0; u < n_users_; ++u) {
+      const int32_t m = moved_idx[static_cast<size_t>(u)];
+      const int64_t len = m >= 0 ? new_start[static_cast<size_t>(m) + 1] -
+                                       new_start[static_cast<size_t>(m)]
+                                 : user_row_[static_cast<size_t>(u) + 1] -
+                                       user_row_[static_cast<size_t>(u)];
+      out.user_row_[static_cast<size_t>(u) + 1] =
+          out.user_row_[static_cast<size_t>(u)] + len;
+    }
+    const auto n_links = static_cast<size_t>(out.user_row_[static_cast<size_t>(n_users_)]);
+    out.nbr_ap_.resize(n_links);
+    out.nbr_rate_.resize(n_links);
+    out.nbr_by_ap_.resize(n_links);
+    for (int u = 0; u < n_users_; ++u) {
+      const int64_t base = out.user_row_[static_cast<size_t>(u)];
+      const int32_t m = moved_idx[static_cast<size_t>(u)];
+      if (m < 0) {
+        const int64_t old_base = user_row_[static_cast<size_t>(u)];
+        const int64_t len = user_row_[static_cast<size_t>(u) + 1] - old_base;
+        std::copy_n(nbr_ap_.begin() + old_base, len, out.nbr_ap_.begin() + base);
+        std::copy_n(nbr_rate_.begin() + old_base, len, out.nbr_rate_.begin() + base);
+        std::copy_n(nbr_by_ap_.begin() + old_base, len, out.nbr_by_ap_.begin() + base);
+        continue;
+      }
+      const int64_t lo = new_start[static_cast<size_t>(m)];
+      const int64_t len = new_start[static_cast<size_t>(m) + 1] - lo;
+      for (int64_t i = 0; i < len; ++i) {
+        const Cand& c = new_rows[static_cast<size_t>(lo + i)];
+        out.nbr_ap_[static_cast<size_t>(base + i)] = c.ap;
+        out.nbr_rate_[static_cast<size_t>(base + i)] =
+            table.steps()[static_cast<size_t>(c.step)].rate_mbps;
+      }
+      int* by = out.nbr_by_ap_.data() + base;
+      std::iota(by, by + len, 0);
+      std::sort(by, by + len, [&](int x, int y) {
+        return out.nbr_ap_[static_cast<size_t>(base + x)] <
+               out.nbr_ap_[static_cast<size_t>(base + y)];
+      });
+      out.strongest_ap_[static_cast<size_t>(u)] =
+          len > 0 ? out.nbr_ap_[static_cast<size_t>(base)] : kNoAp;
+    }
+  }
+
+  out.build_transpose();
+  out.finalize_stats();
+  if (dirty_aps != nullptr) {
+    std::sort(dirty.begin(), dirty.end());
+    *dirty_aps = std::move(dirty);
+  }
+  return out;
 }
 
 }  // namespace wmcast::wlan

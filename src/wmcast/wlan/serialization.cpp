@@ -1,5 +1,6 @@
 #include "wmcast/wlan/serialization.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -29,7 +30,7 @@ T read_value(std::istream& in, const char* what) {
 std::string to_text(const Scenario& sc, const RateTable& table) {
   std::ostringstream out;
   out.precision(17);
-  out << "wmcast-scenario v1\n";
+  out << "wmcast-scenario v2\n";
   out << "budget " << sc.load_budget() << "\n";
   out << "sessions " << sc.n_sessions() << "\n";
   out << "session_rates";
@@ -49,12 +50,16 @@ std::string to_text(const Scenario& sc, const RateTable& table) {
       out << st.rate_mbps << ' ' << st.max_distance_m << "\n";
     }
   } else {
+    // v2: per-user sparse rows instead of the v1 dense [ap][user] matrix —
+    // explicit instances write O(links), matching the CSR in-memory layout.
+    // Each row is `k ap rate ap rate ...` in the stored strongest-first order.
     out << "aps " << sc.n_aps() << "\n";
-    out << "link_rates\n";
-    for (int a = 0; a < sc.n_aps(); ++a) {
-      for (int u = 0; u < sc.n_users(); ++u) {
-        out << (u > 0 ? " " : "") << sc.link_rate(a, u);
-      }
+    out << "sparse_links\n";
+    for (int u = 0; u < sc.n_users(); ++u) {
+      const IndexSpan aps = sc.aps_of_user(u);
+      const double* rates = sc.rates_of_user(u);
+      out << aps.size();
+      for (size_t i = 0; i < aps.size(); ++i) out << ' ' << aps[i] << ' ' << rates[i];
       out << "\n";
     }
   }
@@ -64,7 +69,10 @@ std::string to_text(const Scenario& sc, const RateTable& table) {
 Scenario from_text(const std::string& text) {
   std::istringstream in(text);
   expect_token(in, "wmcast-scenario");
-  expect_token(in, "v1");
+  std::string version;
+  in >> version;
+  util::require(static_cast<bool>(in) && (version == "v1" || version == "v2"),
+                "scenario parse: expected 'v1' or 'v2', got '" + version + "'");
 
   expect_token(in, "budget");
   const auto budget = read_value<double>(in, "budget");
@@ -116,11 +124,35 @@ Scenario from_text(const std::string& text) {
   expect_token(in, "aps");
   const auto n_aps = read_value<int>(in, "AP count");
   util::require(n_aps >= 0 && n_aps < 10000000, "scenario parse: AP count");
-  expect_token(in, "link_rates");
+
+  // Explicit instances are hand-sized (tests, traces); the loader goes
+  // through a dense intermediate, so bound it. Million-user instances travel
+  // as geometry, never as explicit matrices.
+  util::require(static_cast<int64_t>(n_aps) * static_cast<int64_t>(n_users) <= 10000000,
+                "scenario parse: explicit instance too large");
   std::vector<std::vector<double>> link(
       static_cast<size_t>(n_aps), std::vector<double>(static_cast<size_t>(n_users)));
-  for (auto& row : link) {
-    for (auto& r : row) r = read_value<double>(in, "link rate");
+
+  if (version == "v1") {
+    expect_token(in, "link_rates");
+    for (auto& row : link) {
+      for (auto& r : row) r = read_value<double>(in, "link rate");
+    }
+  } else {
+    expect_token(in, "sparse_links");
+    for (int u = 0; u < n_users; ++u) {
+      const auto k = read_value<int>(in, "sparse row size");
+      util::require(k >= 0 && k <= n_aps, "scenario parse: sparse row size");
+      for (int i = 0; i < k; ++i) {
+        const auto a = read_value<int>(in, "sparse link AP");
+        util::require(a >= 0 && a < n_aps, "scenario parse: sparse link AP out of range");
+        const auto r = read_value<double>(in, "sparse link rate");
+        util::require(r > 0.0, "scenario parse: sparse link rate must be positive");
+        util::require(link[static_cast<size_t>(a)][static_cast<size_t>(u)] == 0.0,
+                      "scenario parse: duplicate sparse link");
+        link[static_cast<size_t>(a)][static_cast<size_t>(u)] = r;
+      }
+    }
   }
   return Scenario::from_link_rates(std::move(link), std::move(user_sessions),
                                    std::move(session_rates), budget);

@@ -13,6 +13,7 @@
 #include "wmcast/ctrl/trace.hpp"
 #include "wmcast/util/rng.hpp"
 #include "wmcast/wlan/scenario_generator.hpp"
+#include "wmcast/wlan/serialization.hpp"
 
 namespace wmcast::chaos {
 namespace {
@@ -192,6 +193,51 @@ TEST(FaultInjectorTest, FlapsAndBurstsAddExactlyTheLoggedEvents) {
             trace.n_events() +
                 log.ap_flaps * 2 * static_cast<uint64_t>(p.flap_leaves) +
                 log.churn_bursts * static_cast<uint64_t>(p.burst_size));
+}
+
+// The corrupt-text corpus must cover both branches of the v2 scenario format:
+// geometric (positions + rate table) and explicit (sparse_links rows). Every
+// corrupted variant must either parse or throw std::invalid_argument — any
+// crash or other exception type fails the test.
+TEST(FaultInjectorTest, CorruptedV2ScenarioTextParsesOrThrows) {
+  const auto sc = small_scenario();
+  const std::string geometric = wlan::to_text(sc);
+  ASSERT_NE(geometric.find("wmcast-scenario v2"), std::string::npos);
+
+  // The same instance as an explicit scenario exercises the sparse_links rows.
+  std::vector<std::vector<double>> dense(
+      static_cast<size_t>(sc.n_aps()),
+      std::vector<double>(static_cast<size_t>(sc.n_users()), 0.0));
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    for (int u = 0; u < sc.n_users(); ++u) {
+      dense[static_cast<size_t>(a)][static_cast<size_t>(u)] = sc.link_rate(a, u);
+    }
+  }
+  std::vector<int> sessions(static_cast<size_t>(sc.n_users()));
+  for (int u = 0; u < sc.n_users(); ++u) sessions[static_cast<size_t>(u)] = sc.user_session(u);
+  const wlan::Scenario explicit_sc = wlan::Scenario::from_link_rates(
+      std::move(dense), std::move(sessions), {1.0, 1.0}, sc.load_budget());
+  const std::string sparse = wlan::to_text(explicit_sc);
+  ASSERT_NE(sparse.find("sparse_links"), std::string::npos);
+
+  FaultProfile p;
+  p.name = "corrupt";
+  p.corrupt_prob = 0.3;
+  int parsed = 0;
+  int rejected = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    for (const std::string* text : {&geometric, &sparse}) {
+      FaultInjector inj(seed, p);
+      try {
+        (void)wlan::from_text(inj.corrupt_text(*text));
+        ++parsed;
+      } catch (const std::invalid_argument&) {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 80);
+  EXPECT_GT(rejected, 0);  // corpus actually hit the parsers
 }
 
 TEST(FaultInjectorTest, CorruptTextIsDeterministicAndCounted) {

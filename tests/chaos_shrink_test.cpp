@@ -113,6 +113,23 @@ TEST(ReproFormatTest, RoundTripsExactly) {
   EXPECT_EQ(repro_to_text(back), text);
 }
 
+// Shrink -> serialize -> parse -> serialize must be a fixpoint: the whole
+// point of shrinking is committing the minimized repro, so the shrunk trace
+// (with its emptied-but-kept leading epochs) must survive the v2 scenario +
+// trace formats byte-for-byte.
+TEST(ReproFormatTest, ShrunkReproRoundTripsExactly) {
+  Repro r = sample_repro();
+  const auto res = shrink_trace(r.trace, contains_leave3);
+  r.trace = res.trace;
+  r.detail = "shrunk to " + std::to_string(res.events_after) + " events";
+
+  const std::string text = repro_to_text(r);
+  const Repro back = repro_from_text(text);
+  EXPECT_EQ(repro_to_text(back), text);
+  EXPECT_EQ(ctrl::trace_to_text(back.trace), ctrl::trace_to_text(res.trace));
+  EXPECT_TRUE(contains_leave3(back.trace));
+}
+
 TEST(ReproFormatTest, MalformedInputThrows) {
   const std::string good = repro_to_text(sample_repro());
 

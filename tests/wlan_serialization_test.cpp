@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
 
 #include "test_fixtures.hpp"
 #include "wmcast/assoc/centralized.hpp"
@@ -52,6 +53,59 @@ TEST(Serialization, GeometricScenarioRoundTrips) {
     EXPECT_EQ(sc.user_positions()[static_cast<size_t>(u)],
               restored.user_positions()[static_cast<size_t>(u)]);
   }
+}
+
+TEST(Serialization, WritesV2WithSparseExplicitRows) {
+  const auto sc = test::fig1_scenario(3.0);
+  const std::string text = to_text(sc);
+  EXPECT_NE(text.find("wmcast-scenario v2"), std::string::npos);
+  EXPECT_NE(text.find("sparse_links"), std::string::npos);
+  EXPECT_EQ(text.find("link_rates"), std::string::npos);
+}
+
+TEST(Serialization, V1DenseExplicitStillLoads) {
+  // Read-compat: scenarios saved before the sparse format (dense [ap][user]
+  // matrix under "link_rates") must keep loading to the same instance.
+  const auto sc = test::fig1_scenario(3.0);
+  std::ostringstream v1;
+  v1.precision(17);
+  v1 << "wmcast-scenario v1\n";
+  v1 << "budget " << sc.load_budget() << "\n";
+  v1 << "sessions " << sc.n_sessions() << "\n";
+  v1 << "session_rates";
+  for (int s = 0; s < sc.n_sessions(); ++s) v1 << ' ' << sc.session_rate(s);
+  v1 << "\nusers " << sc.n_users() << "\n";
+  v1 << "user_sessions";
+  for (int u = 0; u < sc.n_users(); ++u) v1 << ' ' << sc.user_session(u);
+  v1 << "\ngeometry 0\n";
+  v1 << "aps " << sc.n_aps() << "\n";
+  v1 << "link_rates\n";
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    for (int u = 0; u < sc.n_users(); ++u) {
+      v1 << (u > 0 ? " " : "") << sc.link_rate(a, u);
+    }
+    v1 << "\n";
+  }
+  const auto restored = from_text(v1.str());
+  expect_equivalent(sc, restored);
+  // And it re-saves in the current format.
+  EXPECT_NE(to_text(restored).find("wmcast-scenario v2"), std::string::npos);
+}
+
+TEST(Serialization, MalformedSparseRowsThrow) {
+  const std::string head =
+      "wmcast-scenario v2\nbudget 0.9\nsessions 1\nsession_rates 1\n"
+      "users 2\nuser_sessions 0 0\ngeometry 0\naps 2\nsparse_links\n";
+  EXPECT_THROW(from_text(head + "3 0 6 1 6 0 6\n0\n"),
+               std::invalid_argument);  // row size > n_aps
+  EXPECT_THROW(from_text(head + "1 5 6\n0\n"),
+               std::invalid_argument);  // AP id out of range
+  EXPECT_THROW(from_text(head + "1 0 -6\n0\n"),
+               std::invalid_argument);  // non-positive rate
+  EXPECT_THROW(from_text(head + "2 0 6 0 12\n0\n"),
+               std::invalid_argument);  // duplicate (ap, user) link
+  EXPECT_THROW(from_text(head + "1 0 6\n"),
+               std::invalid_argument);  // truncated: second row missing
 }
 
 TEST(Serialization, AlgorithmsAgreeOnRestoredScenario) {

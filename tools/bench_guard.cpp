@@ -24,7 +24,12 @@ namespace {
 
 using wmcast::util::Json;
 
-std::map<std::string, double> load_times(const std::string& path, int* threads) {
+struct Entry {
+  double ns = 0.0;
+  double bytes = -1.0;  // optional deterministic memory metric; -1 = absent
+};
+
+std::map<std::string, Entry> load_times(const std::string& path, int* threads) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open " + path);
   std::stringstream buf;
@@ -44,14 +49,21 @@ std::map<std::string, double> load_times(const std::string& path, int* threads) 
   if (benches == nullptr || !benches->is_array()) {
     throw std::runtime_error(path + ": missing benchmarks array");
   }
-  std::map<std::string, double> out;
+  std::map<std::string, Entry> out;
   for (const auto& b : benches->items()) {
     const auto* name = b.find("name");
     const auto* ns = b.find("real_time_ns");
     if (name == nullptr || ns == nullptr) {
       throw std::runtime_error(path + ": benchmark entry missing name/real_time_ns");
     }
-    out[name->as_string()] = ns->as_double();
+    Entry e;
+    e.ns = ns->as_double();
+    // Optional "bytes": a *deterministic* memory metric (e.g. the scale_build
+    // bench's Scenario::memory_bytes()), guarded with the same tolerance as
+    // time but with no noise floor — a byte regression is never timer noise.
+    const auto* bytes = b.find("bytes");
+    if (bytes != nullptr) e.bytes = bytes->as_double();
+    out[name->as_string()] = e;
   }
   return out;
 }
@@ -88,25 +100,41 @@ int main(int argc, char** argv) {
     int missing = 0;
     std::printf("%-40s %14s %14s %8s\n", "benchmark", "baseline_ns", "current_ns",
                 "delta");
-    for (const auto& [name, base_ns] : baseline) {
+    for (const auto& [name, base] : baseline) {
       const auto it = current.find(name);
       if (it == current.end()) {
-        std::printf("%-40s %14.0f %14s %8s\n", name.c_str(), base_ns, "MISSING", "");
+        std::printf("%-40s %14.0f %14s %8s\n", name.c_str(), base.ns, "MISSING", "");
         ++missing;
         continue;
       }
-      const double cur_ns = it->second;
-      const double delta = base_ns > 0.0 ? (cur_ns / base_ns - 1.0) * 100.0 : 0.0;
-      const bool noise_floor = base_ns < min_ns;
-      const bool regressed = !noise_floor && cur_ns > base_ns * (1.0 + tolerance);
-      std::printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", name.c_str(), base_ns, cur_ns,
+      const double cur_ns = it->second.ns;
+      const double delta = base.ns > 0.0 ? (cur_ns / base.ns - 1.0) * 100.0 : 0.0;
+      const bool noise_floor = base.ns < min_ns;
+      const bool regressed = !noise_floor && cur_ns > base.ns * (1.0 + tolerance);
+      std::printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", name.c_str(), base.ns, cur_ns,
                   delta,
                   regressed ? "  <-- REGRESSION" : (noise_floor ? "  (noise floor)" : ""));
       if (regressed) ++regressions;
+
+      if (base.bytes >= 0.0) {
+        const std::string label = name + " [bytes]";
+        if (it->second.bytes < 0.0) {
+          std::printf("%-40s %14.0f %14s %8s\n", label.c_str(), base.bytes, "MISSING",
+                      "");
+          ++missing;
+          continue;
+        }
+        const double cur_b = it->second.bytes;
+        const double bdelta = base.bytes > 0.0 ? (cur_b / base.bytes - 1.0) * 100.0 : 0.0;
+        const bool bregressed = cur_b > base.bytes * (1.0 + tolerance);
+        std::printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", label.c_str(), base.bytes,
+                    cur_b, bdelta, bregressed ? "  <-- REGRESSION" : "");
+        if (bregressed) ++regressions;
+      }
     }
-    for (const auto& [name, cur_ns] : current) {
+    for (const auto& [name, cur] : current) {
       if (baseline.find(name) == baseline.end()) {
-        std::printf("%-40s %14s %14.0f %8s\n", name.c_str(), "NEW", cur_ns, "");
+        std::printf("%-40s %14s %14.0f %8s\n", name.c_str(), "NEW", cur.ns, "");
       }
     }
 
