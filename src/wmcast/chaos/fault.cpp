@@ -46,12 +46,25 @@ FaultProfile FaultProfile::named(const std::string& name) {
     p.corrupt_prob = 0.04;
     return p;
   }
+  if (name == "storm") {
+    // Serve-loop stressor: flash crowds (large churn bursts) colliding with
+    // AP flaps under sustained load — every epoch has a fair chance of both,
+    // so coalescing and backpressure see correlated, bursty, partly-invalid
+    // input rather than smooth churn.
+    p.flap_prob = 0.35;
+    p.flap_leaves = 12;
+    p.burst_prob = 0.5;
+    p.burst_size = 32;
+    p.duplicate_prob = 0.10;
+    p.skew_prob = 0.05;
+    return p;
+  }
   throw std::invalid_argument("FaultProfile: unknown profile '" + name + "'");
 }
 
 const std::vector<std::string>& FaultProfile::names() {
-  static const std::vector<std::string> kNames = {"none",    "light",     "heavy",
-                                                  "reorder", "malformed", "mixed"};
+  static const std::vector<std::string> kNames = {
+      "none", "light", "heavy", "reorder", "malformed", "mixed", "storm"};
   return kNames;
 }
 

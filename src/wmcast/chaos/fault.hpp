@@ -39,7 +39,8 @@ struct FaultProfile {
   int burst_size = 8;             // join/leave events per burst
   double corrupt_prob = 0.0;      // per line of corrupt_text()
 
-  /// Named profiles: none, light, heavy, reorder, malformed, mixed.
+  /// Named profiles: none, light, heavy, reorder, malformed, mixed, storm
+  /// (flash-crowd churn bursts + AP flaps for serve-loop stress).
   /// Throws std::invalid_argument for unknown names.
   static FaultProfile named(const std::string& name);
   static const std::vector<std::string>& names();

@@ -10,6 +10,7 @@
 #include "wmcast/core/parallel.hpp"
 #include "wmcast/core/solve.hpp"
 #include "wmcast/core/workspace.hpp"
+#include "wmcast/serve/loop.hpp"
 #include "wmcast/setcover/reduction.hpp"
 #include "wmcast/setcover/reference.hpp"
 #include "wmcast/setcover/set_system.hpp"
@@ -345,6 +346,83 @@ ReplayCheckResult check_differential_replay(const wlan::Scenario& sc,
       out.results.push_back(ok("replay.bounded_degradation"));
     }
   }
+  return out;
+}
+
+std::vector<OracleResult> check_serve_coalescing(const wlan::Scenario& sc,
+                                                 const ctrl::EventTrace& trace,
+                                                 const ctrl::ControllerConfig& cfg) {
+  std::vector<OracleResult> out;
+
+  serve::ServeConfig base;
+  base.batch_max = 64;
+  base.staleness_s = 0.02;
+  base.queue_cap = 0;  // unbounded: both sides must accept the identical stream
+  base.modeled_service = true;
+
+  ctrl::AssociationController with(sc, cfg);
+  ctrl::AssociationController without(sc, cfg);
+  serve::ServeConfig with_cfg = base;
+  with_cfg.coalesce = true;
+  serve::ServeConfig without_cfg = base;
+  without_cfg.coalesce = false;
+  serve::ServeLoop loop_with(&with, with_cfg);
+  serve::ServeLoop loop_without(&without, without_cfg);
+
+  // Epoch e maps to virtual window [e, e+1) * epoch_s, events spread evenly.
+  const double epoch_s = 0.05;
+  for (size_t e = 0; e < trace.epochs.size(); ++e) {
+    const auto& evs = trace.epochs[e];
+    for (size_t i = 0; i < evs.size(); ++i) {
+      const double t = (static_cast<double>(e) +
+                        static_cast<double>(i + 1) / static_cast<double>(evs.size() + 1)) *
+                       epoch_s;
+      loop_with.offer(t, evs[i]);
+      loop_without.offer(t, evs[i]);
+    }
+  }
+  const serve::ServeTelemetry& tw =
+      loop_with.finish(static_cast<double>(trace.n_epochs()) * epoch_s);
+  const serve::ServeTelemetry& to =
+      loop_without.finish(static_cast<double>(trace.n_epochs()) * epoch_s);
+
+  if (!(with.state() == without.state())) {
+    std::ostringstream os;
+    os << "final NetworkState differs with coalescing on (" << with.state().n_slots()
+       << " slots, " << with.state().n_active() << " active) vs off ("
+       << without.state().n_slots() << " slots, " << without.state().n_active()
+       << " active)";
+    out.push_back(bad("serve.coalesce_equivalence", os.str()));
+  } else {
+    out.push_back(ok("serve.coalesce_equivalence"));
+  }
+
+  const auto conserve = [&out](const char* check, const serve::ServeTelemetry& t) {
+    const uint64_t offered = t.offered.value();
+    const uint64_t accepted = t.accepted.value();
+    const uint64_t handled = t.submitted.value() + t.coalesced.value() + t.shed.value();
+    if (offered != accepted + t.rejected.value() || accepted != handled) {
+      std::ostringstream os;
+      os << "offered " << offered << ", accepted " << accepted << ", rejected "
+         << t.rejected.value() << ", submitted " << t.submitted.value() << ", coalesced "
+         << t.coalesced.value() << ", shed " << t.shed.value();
+      out.push_back(bad(check, os.str()));
+    } else {
+      out.push_back(ok(check));
+    }
+  };
+  conserve("serve.conservation_coalesced", tw);
+  conserve("serve.conservation_plain", to);
+
+  bool invariants_clean = true;
+  for (auto& r : check_controller_invariants(with, with.epochs())) {
+    if (!r.pass) {
+      r.check = "serve." + r.check;
+      out.push_back(std::move(r));
+      invariants_clean = false;
+    }
+  }
+  if (invariants_clean) out.push_back(ok("serve.invariants"));
   return out;
 }
 

@@ -75,4 +75,19 @@ ReplayCheckResult check_differential_replay(const wlan::Scenario& sc,
                                             const ctrl::ControllerConfig& cfg,
                                             int n_threads);
 
+/// Serve-loop differential: streams `trace` (epochs mapped onto a virtual
+/// timeline) through two ServeLoop+controller stacks under a deterministic
+/// service model, identical except coalescing on vs off. Bounded-staleness
+/// coalescing only folds events whose effect is superseded within a batch,
+/// so both sides must converge to the same final NetworkState even on
+/// fault-perturbed traces; the oracle also enforces the serve-telemetry
+/// conservation laws (offered = accepted + rejected; accepted = submitted +
+/// coalesced + shed after the final flush) and the controller's structural
+/// invariants on the coalescing side. The ingress queue is unbounded here so
+/// both sides accept the identical stream — backpressure is exercised by the
+/// serve tests, not this oracle.
+std::vector<OracleResult> check_serve_coalescing(const wlan::Scenario& sc,
+                                                 const ctrl::EventTrace& trace,
+                                                 const ctrl::ControllerConfig& cfg);
+
 }  // namespace wmcast::chaos

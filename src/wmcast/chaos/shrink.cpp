@@ -218,6 +218,14 @@ ReplayCheckResult run_repro(const Repro& repro) {
   // Mirror the campaign's controller config (chaos/campaign.cpp) so a repro
   // replays under exactly the conditions that produced it.
   cfg.full_refresh_epochs = 1;
+  // Repros whose check lives in the serve loop ("serve.*") replay through the
+  // serve coalescing oracle instead of the controller differential.
+  if (repro.check.rfind("serve.", 0) == 0) {
+    ReplayCheckResult out;
+    out.results = check_serve_coalescing(repro.scenario, repro.trace, cfg);
+    out.epochs_run = repro.trace.n_epochs();
+    return out;
+  }
   return check_differential_replay(repro.scenario, repro.trace, cfg, repro.threads);
 }
 

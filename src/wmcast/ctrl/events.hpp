@@ -49,29 +49,72 @@ struct Event {
   friend bool operator==(const Event&, const Event&) = default;
 };
 
+/// An event plus its ingest stamp (the serve loop's virtual arrival time in
+/// seconds); events entering through the plain push() APIs carry stamp 0.
+struct StampedEvent {
+  Event ev;
+  double t_s = 0.0;
+};
+
 /// Ingestion queue: producers push, the controller drains batches. Guarded by
 /// a mutex so protocol agents or an RPC frontend can submit from other
 /// threads while the controller drains (the CI sanitizer config exercises
 /// this path).
+///
+/// Optionally bounded: set_capacity() caps the undrained backlog, and the
+/// bounded entry points (try_push / push_shed_oldest) surface overflow as
+/// reject/shed outcomes with monotonic counters instead of blocking — the
+/// serve loop's backpressure hooks. The plain push() APIs always accept so
+/// existing controller paths are unaffected.
 class EventQueue {
  public:
   void push(Event e);
   void push_all(const std::vector<Event>& events);
 
+  /// Caps queued (undrained) events; 0 = unbounded (the default). Shrinking
+  /// the capacity below the current backlog does not drop anything already
+  /// queued — the bound applies to subsequent bounded pushes.
+  void set_capacity(size_t cap);
+  size_t capacity() const;
+
+  /// Bounded push (reject-newest policy): refuses the event and returns
+  /// false when the queue is at capacity, counting it in total_rejected().
+  bool try_push(Event e, double stamp = 0.0);
+
+  /// Bounded push (shed-oldest policy): always enqueues, evicting the oldest
+  /// queued event first when at capacity. Returns true when something was
+  /// shed (counted in total_shed()).
+  bool push_shed_oldest(Event e, double stamp = 0.0);
+
   /// Removes and returns up to `max_batch` events in FIFO order
   /// (max_batch <= 0 drains everything pending).
   std::vector<Event> drain(int max_batch = 0);
 
+  /// drain() variant preserving ingest stamps, for latency accounting.
+  std::vector<StampedEvent> drain_stamped(int max_batch = 0);
+
+  /// Stamp of the i-th queued event (0 = oldest) without removing it; false
+  /// when fewer than i+1 events are queued. The serve loop peeks these to
+  /// decide when a batch is due (staleness deadline / batch-full trigger).
+  bool peek_stamp(size_t i, double* t_s) const;
+
   size_t size() const;
   bool empty() const { return size() == 0; }
 
-  /// Total events ever pushed (monotonic, survives drains).
+  /// Total events ever pushed (monotonic, survives drains; excludes rejects).
   uint64_t total_pushed() const;
+  /// Events refused by try_push against a full queue.
+  uint64_t total_rejected() const;
+  /// Events evicted by push_shed_oldest to admit newer arrivals.
+  uint64_t total_shed() const;
 
  private:
   mutable std::mutex mu_;
-  std::deque<Event> q_;
+  std::deque<StampedEvent> q_;
+  size_t capacity_ = 0;
   uint64_t pushed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
 };
 
 }  // namespace wmcast::ctrl

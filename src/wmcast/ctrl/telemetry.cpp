@@ -12,90 +12,8 @@
 
 namespace wmcast::ctrl {
 
-BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)),
-      counts_(bounds_.size() + 1, 0) {
-  util::require(!bounds_.empty(), "BucketHistogram: need at least one bound");
-  for (size_t i = 1; i < bounds_.size(); ++i) {
-    util::require(bounds_[i] > bounds_[i - 1],
-                  "BucketHistogram: bounds must be strictly ascending");
-  }
-}
-
-BucketHistogram BucketHistogram::exponential(double start, double factor, int n) {
-  util::require(start > 0.0 && factor > 1.0 && n > 0,
-                "BucketHistogram: bad exponential ladder");
-  std::vector<double> bounds(static_cast<size_t>(n));
-  double b = start;
-  for (int i = 0; i < n; ++i) {
-    bounds[static_cast<size_t>(i)] = b;
-    b *= factor;
-  }
-  return BucketHistogram(std::move(bounds));
-}
-
-void BucketHistogram::record(double v) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++count_;
-  sum_ += v;
-}
-
-double BucketHistogram::quantile(double q) const {
-  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
-  if (count_ == 1) return max_;  // the one sample, not its bucket bound
-  q = std::clamp(q, 0.0, 1.0);
-  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen > target) {
-      return i < bounds_.size() ? bounds_[i] : max_;
-    }
-  }
-  return max_;
-}
-
-std::string BucketHistogram::render(int width) const {
-  std::vector<std::string> labels;
-  std::vector<int> ints;
-  char buf[48];
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (i < bounds_.size()) {
-      std::snprintf(buf, sizeof(buf), "<=%s", util::fmt(bounds_[i], 6).c_str());
-    } else {
-      std::snprintf(buf, sizeof(buf), ">%s", util::fmt(bounds_.back(), 6).c_str());
-    }
-    labels.emplace_back(buf);
-    ints.push_back(static_cast<int>(std::min<uint64_t>(
-        counts_[i], static_cast<uint64_t>(std::numeric_limits<int>::max()))));
-  }
-  return util::render_histogram(labels, ints, width);
-}
-
-util::Json BucketHistogram::to_json() const {
-  util::Json bounds = util::Json::array();
-  for (const double b : bounds_) bounds.push(b);
-  util::Json counts = util::Json::array();
-  for (const uint64_t c : counts_) counts.push(static_cast<int64_t>(c));
-  util::Json j = util::Json::object();
-  j.set("upper_bounds", std::move(bounds));
-  j.set("counts", std::move(counts));
-  j.set("count", static_cast<int64_t>(count_));
-  j.set("sum", sum_);
-  j.set("min", min_value());
-  j.set("max", max_value());
-  j.set("mean", mean());
-  j.set("p50", count_ == 0 ? 0.0 : quantile(0.5));
-  j.set("p99", count_ == 0 ? 0.0 : quantile(0.99));
-  return j;
-}
+// BucketHistogram is util::Histogram (util/histogram.cpp) since the serve
+// subsystem began sharing the instrument; only the Telemetry struct lives here.
 
 namespace {
 

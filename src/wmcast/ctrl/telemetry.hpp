@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "wmcast/util/histogram.hpp"
 #include "wmcast/util/json.hpp"
 
 namespace wmcast::ctrl {
@@ -34,49 +35,10 @@ class Gauge {
   double v_ = 0.0;
 };
 
-/// Histogram over explicit ascending bucket upper bounds, with an implicit
-/// overflow bucket; tracks count/sum/min/max exactly so means are not subject
-/// to bucketing error.
-class BucketHistogram {
- public:
-  /// `upper_bounds` must be non-empty and strictly ascending.
-  explicit BucketHistogram(std::vector<double> upper_bounds);
-
-  /// Geometric bucket ladder: bounds start, start*factor, ... (n bounds).
-  static BucketHistogram exponential(double start, double factor, int n);
-
-  void record(double v);
-
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
-  double min_value() const { return count_ == 0 ? 0.0 : min_; }
-  double max_value() const { return count_ == 0 ? 0.0 : max_; }
-
-  const std::vector<double>& upper_bounds() const { return bounds_; }
-  /// counts().size() == upper_bounds().size() + 1 (last = overflow).
-  const std::vector<uint64_t>& counts() const { return counts_; }
-
-  /// Upper-bound estimate of the q-quantile (q in [0, 1]); the overflow
-  /// bucket reports the exact observed max. A single sample is every quantile
-  /// of itself. Contract: an empty histogram has no quantiles — returns NaN
-  /// (to_json guards the empty case and serializes 0.0 so the schema stays
-  /// numeric).
-  double quantile(double q) const;
-
-  /// ASCII bar chart (labels = "<=bound" / ">bound") via util::render_histogram.
-  std::string render(int width = 40) const;
-
-  util::Json to_json() const;
-
- private:
-  std::vector<double> bounds_;
-  std::vector<uint64_t> counts_;
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
+/// The bucketed histogram now lives in util (shared with the serve
+/// subsystem's latency instruments); the alias keeps the established
+/// controller-facing name.
+using BucketHistogram = util::Histogram;
 
 /// The controller's fixed instrument set. Field names match the JSON keys.
 struct Telemetry {

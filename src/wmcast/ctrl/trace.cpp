@@ -132,55 +132,65 @@ std::string trace_to_text(const EventTrace& trace) {
   return out.str();
 }
 
-EventTrace trace_from_text(const std::string& text) {
-  std::istringstream in(text);
+TraceReader::TraceReader(std::istream& in) : in_(in) {
   std::string magic, version;
-  util::require(static_cast<bool>(in >> magic >> version) && magic == "wmcast-trace" &&
+  util::require(static_cast<bool>(in_ >> magic >> version) && magic == "wmcast-trace" &&
                     version == "v1",
                 "trace: bad header");
   std::string kw;
-  int n_epochs = 0;
-  util::require(static_cast<bool>(in >> kw >> n_epochs) && kw == "epochs" && n_epochs >= 0,
-                "trace: bad epoch count");
+  util::require(
+      static_cast<bool>(in_ >> kw >> n_epochs_) && kw == "epochs" && n_epochs_ >= 0,
+      "trace: bad epoch count");
+}
 
-  EventTrace trace;
-  trace.epochs.resize(static_cast<size_t>(n_epochs));
-  for (int e = 0; e < n_epochs; ++e) {
-    int index = 0;
-    size_t n_events = 0;
-    util::require(static_cast<bool>(in >> kw >> index >> n_events) && kw == "epoch" &&
-                      index == e,
-                  "trace: bad epoch record");
-    auto& evs = trace.epochs[static_cast<size_t>(e)];
-    evs.reserve(n_events);
-    for (size_t i = 0; i < n_events; ++i) {
-      std::string name;
-      util::require(static_cast<bool>(in >> name), "trace: truncated epoch");
-      Event ev;
-      ev.type = event_type_from_name(name);
-      bool ok = false;
-      switch (ev.type) {
-        case EventType::kUserJoin:
-          ok = static_cast<bool>(in >> ev.user >> ev.pos.x >> ev.pos.y >> ev.session);
-          break;
-        case EventType::kUserLeave:
-        case EventType::kUnsubscribe:
-          ok = static_cast<bool>(in >> ev.user);
-          break;
-        case EventType::kUserMove:
-          ok = static_cast<bool>(in >> ev.user >> ev.pos.x >> ev.pos.y);
-          break;
-        case EventType::kRateChange:
-          ok = static_cast<bool>(in >> ev.session >> ev.rate_mbps);
-          break;
-        case EventType::kSubscribe:
-          ok = static_cast<bool>(in >> ev.user >> ev.session);
-          break;
-      }
-      util::require(ok, "trace: malformed '" + name + "' event");
-      evs.push_back(ev);
+bool TraceReader::next_epoch(std::vector<Event>* out) {
+  out->clear();
+  if (next_ >= n_epochs_) return false;
+  std::string kw;
+  int index = 0;
+  size_t n_events = 0;
+  util::require(static_cast<bool>(in_ >> kw >> index >> n_events) && kw == "epoch" &&
+                    index == next_,
+                "trace: bad epoch record");
+  out->reserve(n_events);
+  for (size_t i = 0; i < n_events; ++i) {
+    std::string name;
+    util::require(static_cast<bool>(in_ >> name), "trace: truncated epoch");
+    Event ev;
+    ev.type = event_type_from_name(name);
+    bool ok = false;
+    switch (ev.type) {
+      case EventType::kUserJoin:
+        ok = static_cast<bool>(in_ >> ev.user >> ev.pos.x >> ev.pos.y >> ev.session);
+        break;
+      case EventType::kUserLeave:
+      case EventType::kUnsubscribe:
+        ok = static_cast<bool>(in_ >> ev.user);
+        break;
+      case EventType::kUserMove:
+        ok = static_cast<bool>(in_ >> ev.user >> ev.pos.x >> ev.pos.y);
+        break;
+      case EventType::kRateChange:
+        ok = static_cast<bool>(in_ >> ev.session >> ev.rate_mbps);
+        break;
+      case EventType::kSubscribe:
+        ok = static_cast<bool>(in_ >> ev.user >> ev.session);
+        break;
     }
+    util::require(ok, "trace: malformed '" + name + "' event");
+    out->push_back(ev);
   }
+  ++next_;
+  return true;
+}
+
+EventTrace trace_from_text(const std::string& text) {
+  std::istringstream in(text);
+  TraceReader reader(in);
+  EventTrace trace;
+  trace.epochs.reserve(static_cast<size_t>(reader.n_epochs()));
+  std::vector<Event> evs;
+  while (reader.next_epoch(&evs)) trace.epochs.push_back(evs);
   return trace;
 }
 

@@ -17,6 +17,7 @@
 //   unsubscribe <user>
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -65,5 +66,34 @@ std::string trace_to_text(const EventTrace& trace);
 EventTrace trace_from_text(const std::string& text);
 bool save_trace(const EventTrace& trace, const std::string& path);
 EventTrace load_trace(const std::string& path);
+
+/// Incremental trace parser over any istream: reads one epoch at a time so
+/// `wmcast_cli serve` can solve while stdin is still arriving instead of
+/// buffering a whole (possibly multi-GB) trace first. The header is parsed by
+/// the constructor; each next_epoch() consumes one epoch record. Throws
+/// std::invalid_argument on malformed input, exactly like trace_from_text
+/// (which is implemented on top of this reader).
+class TraceReader {
+ public:
+  /// Parses the "wmcast-trace v1" header + epoch count. The stream must
+  /// outlive the reader.
+  explicit TraceReader(std::istream& in);
+
+  /// Declared epoch count from the header.
+  int n_epochs() const { return n_epochs_; }
+  /// Epochs consumed so far.
+  int epochs_read() const { return next_; }
+
+  /// Reads the next epoch's events into `out` (replacing its contents).
+  /// Returns false when all declared epochs have been consumed. An epoch may
+  /// legitimately be empty, so the return value — not out.empty() — signals
+  /// end of trace.
+  bool next_epoch(std::vector<Event>* out);
+
+ private:
+  std::istream& in_;
+  int n_epochs_ = 0;
+  int next_ = 0;
+};
 
 }  // namespace wmcast::ctrl

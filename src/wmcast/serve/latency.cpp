@@ -1,0 +1,92 @@
+#include "wmcast/serve/latency.hpp"
+
+#include <cstdio>
+
+#include "wmcast/util/stats.hpp"
+
+namespace wmcast::serve {
+
+ServeTelemetry::ServeTelemetry()
+    // Latency: 1 µs .. ~8 s, factor-2 ladder (SLO quantiles interpolate
+    // within a bucket, so the ladder sets their resolution).
+    : latency_s(util::Histogram::exponential(1e-6, 2.0, 24)),
+      // Batches: 1 .. ~32k events.
+      batch_size(util::Histogram::exponential(1.0, 2.0, 16)),
+      // Backlog at batch close, same scale.
+      queue_depth(util::Histogram::exponential(1.0, 2.0, 16)),
+      // Service: 1 µs .. ~16 s, mirroring ctrl drain_seconds.
+      service_s(util::Histogram::exponential(1e-6, 4.0, 13)) {}
+
+double ServeTelemetry::virtual_events_per_s() const {
+  if (virtual_duration_s <= 0.0) return 0.0;
+  return static_cast<double>(accepted.value()) / virtual_duration_s;
+}
+
+double ServeTelemetry::wall_events_per_s() const {
+  if (wall_elapsed_s <= 0.0) return 0.0;
+  return static_cast<double>(accepted.value()) / wall_elapsed_s;
+}
+
+util::Json ServeTelemetry::to_json(bool include_wall) const {
+  util::Json counters = util::Json::object();
+  counters.set("offered", static_cast<int64_t>(offered.value()));
+  counters.set("accepted", static_cast<int64_t>(accepted.value()));
+  counters.set("rejected", static_cast<int64_t>(rejected.value()));
+  counters.set("shed", static_cast<int64_t>(shed.value()));
+  counters.set("coalesced", static_cast<int64_t>(coalesced.value()));
+  counters.set("submitted", static_cast<int64_t>(submitted.value()));
+  counters.set("batches", static_cast<int64_t>(batches.value()));
+
+  util::Json histograms = util::Json::object();
+  histograms.set("latency_s", latency_s.to_json());
+  histograms.set("batch_size", batch_size.to_json());
+  histograms.set("queue_depth", queue_depth.to_json());
+  histograms.set("service_s", service_s.to_json());
+
+  util::Json virt = util::Json::object();
+  virt.set("duration_s", virtual_duration_s);
+  virt.set("events_per_s", virtual_events_per_s());
+
+  util::Json j = util::Json::object();
+  j.set("schema", kServeTelemetrySchema);
+  j.set("counters", std::move(counters));
+  j.set("histograms", std::move(histograms));
+  j.set("virtual", std::move(virt));
+  if (include_wall) {
+    util::Json wall = util::Json::object();
+    wall.set("elapsed_s", wall_elapsed_s);
+    wall.set("events_per_s", wall_events_per_s());
+    j.set("wall", std::move(wall));
+  }
+  return j;
+}
+
+std::string ServeTelemetry::to_text() const {
+  std::string out;
+  char buf[160];
+  const auto line = [&](const char* k, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "  %-12s %llu\n", k,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  out += "serve counters:\n";
+  line("offered", offered.value());
+  line("accepted", accepted.value());
+  line("rejected", rejected.value());
+  line("shed", shed.value());
+  line("coalesced", coalesced.value());
+  line("submitted", submitted.value());
+  line("batches", batches.value());
+  std::snprintf(buf, sizeof(buf),
+                "latency p50 %s  p99 %s  p999 %s  (events/sec virtual %s, wall %s)\n",
+                util::fmt(latency_s.quantile(0.5), 4).c_str(),
+                util::fmt(latency_s.quantile(0.99), 4).c_str(),
+                util::fmt(latency_s.quantile(0.999), 4).c_str(),
+                util::fmt(virtual_events_per_s(), 4).c_str(),
+                util::fmt(wall_events_per_s(), 4).c_str());
+  out += buf;
+  out += "latency_s:\n" + latency_s.render();
+  return out;
+}
+
+}  // namespace wmcast::serve

@@ -1,0 +1,63 @@
+// Latency-SLO instrumentation for the serve loop: per-event ingest→decision
+// latency, batch shape, queue depth, and backpressure accounting, serialized
+// under the documented `wmcast-serve-telemetry/v1` schema (docs/cli.md).
+//
+// Two clocks coexist. *Virtual* time is the workload's arrival timeline plus
+// the (possibly modeled) service times — every virtual-derived field is a
+// pure function of (workload, config), so it is byte-identical across thread
+// counts and machines; determinism tests diff exactly this. *Wall* time is
+// what the host actually spent, reported separately and excluded from
+// to_json(/*include_wall=*/false).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wmcast/ctrl/telemetry.hpp"
+#include "wmcast/util/histogram.hpp"
+#include "wmcast/util/json.hpp"
+
+namespace wmcast::serve {
+
+inline constexpr const char* kServeTelemetrySchema = "wmcast-serve-telemetry/v1";
+
+/// The serve loop's instrument set. Conservation invariants (checked by the
+/// chaos oracles and tests):
+///   offered  == accepted + rejected            (every arrival is accounted)
+///   accepted == submitted + coalesced + shed + still queued at flush
+struct ServeTelemetry {
+  ServeTelemetry();
+
+  // Backpressure counters.
+  ctrl::Counter offered;     // arrivals presented to the ingress queue
+  ctrl::Counter accepted;    // enqueued
+  ctrl::Counter rejected;    // refused at a full queue (kRejectNewest)
+  ctrl::Counter shed;        // evicted to admit newer arrivals (kShedOldest)
+  ctrl::Counter coalesced;   // folded away by bounded-staleness coalescing
+  ctrl::Counter submitted;   // handed to the controller
+  ctrl::Counter batches;     // controller drains issued
+
+  // Virtual-time distributions.
+  util::Histogram latency_s;    // ingest -> decision-committed, per event
+  util::Histogram batch_size;   // events per drain, pre-coalescing
+  util::Histogram queue_depth;  // backlog observed at each batch close
+  util::Histogram service_s;    // per-batch service time (modeled or measured)
+
+  // Stream summary, set by ServeLoop::finish().
+  double virtual_duration_s = 0.0;  // arrival-span end incl. final drain
+  double wall_elapsed_s = 0.0;      // host time across the whole run
+
+  /// Virtual events/sec: accepted / virtual_duration_s (0 when degenerate).
+  double virtual_events_per_s() const;
+  /// Wall events/sec: accepted / wall_elapsed_s (0 when degenerate).
+  double wall_events_per_s() const;
+
+  /// Serializes under wmcast-serve-telemetry/v1. With include_wall = false
+  /// every field is deterministic in (workload, config) — what the
+  /// thread-invariance tests compare byte-for-byte.
+  util::Json to_json(bool include_wall = true) const;
+  /// Human-readable dump (counter table + rendered latency histogram).
+  std::string to_text() const;
+};
+
+}  // namespace wmcast::serve

@@ -1,0 +1,270 @@
+#include "wmcast/serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::serve {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double gaussian(util::Rng& rng) {
+  // Box-Muller; u1 bounded away from 0 so the log is finite.
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+}  // namespace
+
+WorkloadProfile WorkloadProfile::named(const std::string& name) {
+  WorkloadProfile p;
+  p.name = name;
+  if (name == "steady") {
+    return p;
+  }
+  if (name == "diurnal") {
+    p.diurnal_amplitude = 0.8;
+    p.diurnal_period_s = 60.0;
+    return p;
+  }
+  if (name == "flash") {
+    // Bursty: correlated join storms on top of a churny base — the profile
+    // where batching + coalescing should beat --batch-max=1 hardest.
+    p.move_weight = 0.45;
+    p.zap_weight = 0.2;
+    p.leave_weight = 0.15;
+    p.join_weight = 0.15;
+    p.flash_prob_per_s = 0.5;
+    p.flash_size_frac = 0.02;
+    return p;
+  }
+  if (name == "hotspot") {
+    p.hotspot_fraction = 0.7;
+    return p;
+  }
+  if (name == "mixed") {
+    p.diurnal_amplitude = 0.5;
+    p.flash_prob_per_s = 0.2;
+    p.flash_size_frac = 0.01;
+    p.hotspot_fraction = 0.5;
+    return p;
+  }
+  util::require(false, "WorkloadProfile: unknown profile '" + name + "'");
+  return p;  // unreachable
+}
+
+std::vector<std::string> WorkloadProfile::names() {
+  return {"steady", "diurnal", "flash", "hotspot", "mixed"};
+}
+
+WorkloadGenerator::WorkloadGenerator(const ctrl::NetworkState& initial,
+                                     WorkloadProfile profile, WorkloadParams params)
+    : st_(initial),
+      profile_(std::move(profile)),
+      params_(params),
+      rng_(params.seed) {
+  util::require(params_.duration_s >= 0.0, "workload: negative duration");
+  util::require(params_.events_per_s >= 0.0, "workload: negative rate");
+  util::require(params_.tick_s > 0.0, "workload: tick must be positive");
+  const double w = profile_.move_weight + profile_.zap_weight + profile_.leave_weight +
+                   profile_.join_weight + profile_.rate_change_weight;
+  util::require(w > 0.0, "workload: all category weights are zero");
+
+  side_ = std::max(st_.area_side(), 1.0);
+  slot_pos_.assign(static_cast<size_t>(st_.n_slots()), -1);
+  for (int s = 0; s < st_.n_slots(); ++s) {
+    if (st_.slot(s).present) {
+      slot_pos_[static_cast<size_t>(s)] = static_cast<int>(present_.size());
+      present_.push_back(s);
+    } else {
+      absent_.push_back(s);
+    }
+  }
+
+  hotspot_ = random_point();
+  const double theta = rng_.uniform(0.0, 2.0 * kPi);
+  hotspot_v_ = {profile_.hotspot_speed_mps * std::cos(theta),
+                profile_.hotspot_speed_mps * std::sin(theta)};
+}
+
+wlan::Point WorkloadGenerator::random_point() {
+  return {rng_.uniform(0.0, side_), rng_.uniform(0.0, side_)};
+}
+
+wlan::Point WorkloadGenerator::move_target(const wlan::Point& from) {
+  if (profile_.hotspot_fraction > 0.0 && rng_.next_bool(profile_.hotspot_fraction)) {
+    return {std::clamp(hotspot_.x + profile_.hotspot_radius_m * gaussian(rng_), 0.0, side_),
+            std::clamp(hotspot_.y + profile_.hotspot_radius_m * gaussian(rng_), 0.0, side_)};
+  }
+  if (profile_.walk_sigma_m > 0.0) {
+    return {std::clamp(from.x + profile_.walk_sigma_m * gaussian(rng_), 0.0, side_),
+            std::clamp(from.y + profile_.walk_sigma_m * gaussian(rng_), 0.0, side_)};
+  }
+  return random_point();
+}
+
+int WorkloadGenerator::pick_present() {
+  return present_[static_cast<size_t>(rng_.next_int(static_cast<int>(present_.size())))];
+}
+
+void WorkloadGenerator::emit_one(double t) {
+  const bool have_present = !present_.empty();
+  const bool can_zap = have_present && st_.n_sessions() > 1;
+  const bool can_rate = st_.n_sessions() > 0;
+
+  const double wm = have_present ? profile_.move_weight : 0.0;
+  const double wz = can_zap ? profile_.zap_weight : 0.0;
+  const double wl = have_present ? profile_.leave_weight : 0.0;
+  const double wr = can_rate ? profile_.rate_change_weight : 0.0;
+  const double wj = profile_.join_weight;
+  const double total = wm + wz + wl + wr + wj;
+
+  ctrl::Event ev;
+  const double r = rng_.next_double() * total;
+  if (total <= 0.0 || r < wj || (r >= wj + wm + wz + wl + wr)) {
+    // Join: reuse an absent slot when one exists (bounds the slot space under
+    // sustained churn), otherwise extend.
+    int slot;
+    if (!absent_.empty()) {
+      const size_t i = static_cast<size_t>(rng_.next_int(static_cast<int>(absent_.size())));
+      slot = absent_[i];
+      absent_[i] = absent_.back();
+      absent_.pop_back();
+    } else {
+      slot = st_.n_slots();
+      slot_pos_.push_back(-1);
+    }
+    const int session = st_.n_sessions() > 0 ? rng_.next_int(st_.n_sessions()) : 0;
+    ev = ctrl::Event::join(slot, move_target(random_point()), session);
+    slot_pos_[static_cast<size_t>(slot)] = static_cast<int>(present_.size());
+    present_.push_back(slot);
+  } else if (r < wj + wm) {
+    const int u = pick_present();
+    ev = ctrl::Event::move(u, move_target(st_.slot(u).pos));
+  } else if (r < wj + wm + wz) {
+    const int u = pick_present();
+    const int old = st_.slot(u).session;
+    int next = rng_.next_int(st_.n_sessions() - 1);
+    if (next >= old) ++next;
+    ev = ctrl::Event::subscribe(u, next);
+  } else if (r < wj + wm + wz + wl) {
+    const int u = pick_present();
+    ev = ctrl::Event::leave(u);
+    const int i = slot_pos_[static_cast<size_t>(u)];
+    slot_pos_[static_cast<size_t>(present_.back())] = i;
+    present_[static_cast<size_t>(i)] = present_.back();
+    present_.pop_back();
+    slot_pos_[static_cast<size_t>(u)] = -1;
+    absent_.push_back(u);
+  } else {
+    const int s = rng_.next_int(st_.n_sessions());
+    const double span = std::log(2.0);
+    ev = ctrl::Event::rate_change(s, st_.session_rate(s) * std::exp(rng_.uniform(-span, span)));
+  }
+
+  st_.apply(ev);
+  buf_.push_back(TimedEvent{t, ev});
+}
+
+void WorkloadGenerator::emit_flash(double t) {
+  const wlan::Point center = random_point();
+  const int burst = std::max(
+      1, static_cast<int>(std::lround(profile_.flash_size_frac * st_.n_slots())));
+  for (int k = 0; k < burst; ++k) {
+    int slot;
+    if (!absent_.empty()) {
+      const size_t i = static_cast<size_t>(rng_.next_int(static_cast<int>(absent_.size())));
+      slot = absent_[i];
+      absent_[i] = absent_.back();
+      absent_.pop_back();
+    } else {
+      slot = st_.n_slots();
+      slot_pos_.push_back(-1);
+    }
+    const wlan::Point p{
+        std::clamp(center.x + profile_.flash_radius_m * gaussian(rng_), 0.0, side_),
+        std::clamp(center.y + profile_.flash_radius_m * gaussian(rng_), 0.0, side_)};
+    const int session = st_.n_sessions() > 0 ? rng_.next_int(st_.n_sessions()) : 0;
+    const ctrl::Event ev = ctrl::Event::join(slot, p, session);
+    slot_pos_[static_cast<size_t>(slot)] = static_cast<int>(present_.size());
+    present_.push_back(slot);
+    st_.apply(ev);
+    buf_.push_back(TimedEvent{t, ev});
+  }
+}
+
+void WorkloadGenerator::refill() {
+  buf_.clear();
+  buf_next_ = 0;
+  while (buf_.empty() && tick_t_ < params_.duration_s) {
+    const double t0 = tick_t_;
+    const double tick = std::min(params_.tick_s, params_.duration_s - t0);
+    tick_t_ += params_.tick_s;
+
+    // Drift the hotspot, bouncing off the area edges.
+    hotspot_.x += hotspot_v_.x * tick;
+    hotspot_.y += hotspot_v_.y * tick;
+    if (hotspot_.x < 0.0 || hotspot_.x > side_) {
+      hotspot_v_.x = -hotspot_v_.x;
+      hotspot_.x = std::clamp(hotspot_.x, 0.0, side_);
+    }
+    if (hotspot_.y < 0.0 || hotspot_.y > side_) {
+      hotspot_v_.y = -hotspot_v_.y;
+      hotspot_.y = std::clamp(hotspot_.y, 0.0, side_);
+    }
+
+    const double mult = std::max(
+        0.0, 1.0 + profile_.diurnal_amplitude *
+                       std::sin(2.0 * kPi * t0 / std::max(profile_.diurnal_period_s, 1e-9)));
+    const double expected = params_.events_per_s * mult * tick;
+    const int n = static_cast<int>(expected) +
+                  (rng_.next_bool(expected - std::floor(expected)) ? 1 : 0);
+    for (int i = 0; i < n; ++i) {
+      emit_one(t0 + tick * static_cast<double>(i + 1) / static_cast<double>(n + 1));
+    }
+    if (profile_.flash_prob_per_s > 0.0 &&
+        rng_.next_bool(std::min(1.0, profile_.flash_prob_per_s * tick))) {
+      emit_flash(t0 + tick);
+    }
+  }
+}
+
+bool WorkloadGenerator::next(TimedEvent* out) {
+  if (buf_next_ >= buf_.size()) {
+    refill();
+    if (buf_.empty()) return false;
+  }
+  *out = buf_[buf_next_++];
+  return true;
+}
+
+std::vector<TimedEvent> generate_workload(const ctrl::NetworkState& initial,
+                                          const WorkloadProfile& profile,
+                                          const WorkloadParams& params) {
+  WorkloadGenerator gen(initial, profile, params);
+  std::vector<TimedEvent> out;
+  TimedEvent te;
+  while (gen.next(&te)) out.push_back(te);
+  return out;
+}
+
+ctrl::EventTrace workload_to_trace(const std::vector<TimedEvent>& events,
+                                   double duration_s, double epoch_s) {
+  util::require(epoch_s > 0.0, "workload_to_trace: epoch_s must be positive");
+  const int n_epochs =
+      std::max(1, static_cast<int>(std::ceil(duration_s / epoch_s)));
+  ctrl::EventTrace trace;
+  trace.epochs.resize(static_cast<size_t>(n_epochs));
+  for (const TimedEvent& te : events) {
+    const int e = std::min(n_epochs - 1,
+                           std::max(0, static_cast<int>(te.t_s / epoch_s)));
+    trace.epochs[static_cast<size_t>(e)].push_back(te.ev);
+  }
+  return trace;
+}
+
+}  // namespace wmcast::serve

@@ -1,0 +1,126 @@
+// Deterministic workload synthesis for the serve loop: a pull-based generator
+// that turns a seed + named profile into a timestamped stream of valid
+// controller events (joins, leaves, moves, zaps, rate changes) with the
+// temporal structure production WLAN controllers actually face — diurnal
+// rate ramps, flash crowds that slam one spot with correlated joins, and a
+// drifting hotspot that keeps a fraction of mobility concentrated. The same
+// (initial state, profile, params) always yields the same stream, so serve
+// benchmarks and determinism tests are reproducible by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wmcast/ctrl/events.hpp"
+#include "wmcast/ctrl/state.hpp"
+#include "wmcast/ctrl/trace.hpp"
+#include "wmcast/util/rng.hpp"
+
+namespace wmcast::serve {
+
+/// An event with its virtual arrival time. Streams are non-decreasing in t_s.
+struct TimedEvent {
+  double t_s = 0.0;
+  ctrl::Event ev;
+};
+
+/// Shape of the synthesized load. Category weights are relative (normalized
+/// internally); temporal features are off when their controlling field is 0.
+struct WorkloadProfile {
+  std::string name = "steady";
+
+  // Relative event-category weights.
+  double move_weight = 0.6;
+  double zap_weight = 0.25;
+  double leave_weight = 0.05;
+  double join_weight = 0.05;
+  double rate_change_weight = 0.05;
+
+  /// Gaussian random-walk step for moves (meters); 0 = uniform teleport.
+  double walk_sigma_m = 10.0;
+
+  // Diurnal modulation: rate multiplier 1 + amplitude * sin(2*pi*t/period).
+  double diurnal_amplitude = 0.0;   // 0 = flat
+  double diurnal_period_s = 60.0;
+
+  // Flash crowds: with probability flash_prob_per_s (per second), a burst of
+  // size_frac * n_slots correlated join+subscribe events lands inside
+  // flash_radius_m of a random point, all within one tick.
+  double flash_prob_per_s = 0.0;
+  double flash_size_frac = 0.0;
+  double flash_radius_m = 30.0;
+
+  // Hotspot drift: this fraction of moves targets a Gaussian cloud of
+  // hotspot_radius_m around a center that drifts at hotspot_speed_mps
+  // (bouncing off the area edges).
+  double hotspot_fraction = 0.0;
+  double hotspot_radius_m = 40.0;
+  double hotspot_speed_mps = 1.5;
+
+  /// Named profiles: steady, diurnal, flash, hotspot, mixed. Throws
+  /// std::invalid_argument for unknown names.
+  static WorkloadProfile named(const std::string& name);
+  /// All named profiles, in documentation order.
+  static std::vector<std::string> names();
+};
+
+struct WorkloadParams {
+  double duration_s = 10.0;     // virtual stream length
+  double events_per_s = 1000.0; // mean aggregate arrival rate (pre-modulation)
+  uint64_t seed = 1;
+  double tick_s = 0.1;          // generation granularity
+};
+
+/// Pull-based generator. Tracks an internal NetworkState copy so every
+/// emitted event is valid against the stream so far (moves target present
+/// users, joins reuse absent slots before extending the slot space, zaps
+/// pick a genuinely different session).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const ctrl::NetworkState& initial, WorkloadProfile profile,
+                    WorkloadParams params);
+
+  /// Produces the next event; false once the stream is exhausted (virtual
+  /// time passed duration_s). Timestamps are non-decreasing.
+  bool next(TimedEvent* out);
+
+  /// The evolved state after everything emitted so far (what a controller
+  /// that applied every event would hold).
+  const ctrl::NetworkState& state() const { return st_; }
+
+ private:
+  void refill();
+  void emit_one(double t);
+  void emit_flash(double t);
+  wlan::Point random_point();
+  wlan::Point move_target(const wlan::Point& from);
+  int pick_present();
+
+  ctrl::NetworkState st_;
+  WorkloadProfile profile_;
+  WorkloadParams params_;
+  util::Rng rng_;
+  double side_ = 0.0;
+  double tick_t_ = 0.0;      // start time of the next tick to generate
+  wlan::Point hotspot_{};
+  wlan::Point hotspot_v_{};  // meters/sec drift velocity
+  std::vector<int> present_;   // slots with present == true
+  std::vector<int> absent_;    // slots with present == false (rejoin pool)
+  std::vector<int> slot_pos_;  // slot -> index in present_ (or -1)
+  std::vector<TimedEvent> buf_;
+  size_t buf_next_ = 0;
+};
+
+/// Runs the generator to completion. Convenience for tests and trace export.
+std::vector<TimedEvent> generate_workload(const ctrl::NetworkState& initial,
+                                          const WorkloadProfile& profile,
+                                          const WorkloadParams& params);
+
+/// Bins a timed stream into trace epochs of `epoch_s` seconds (events keep
+/// their order; empty trailing epochs are preserved so duration round-trips).
+/// The result feeds ctrl::trace_to_text / wmcast_cli replay unchanged.
+ctrl::EventTrace workload_to_trace(const std::vector<TimedEvent>& events,
+                                   double duration_s, double epoch_s);
+
+}  // namespace wmcast::serve

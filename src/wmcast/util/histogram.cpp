@@ -1,11 +1,114 @@
 #include "wmcast/util/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/stats.hpp"
 
 namespace wmcast::util {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  require(!bounds_.empty(), "Histogram: need at least one bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    require(bounds_[i] > bounds_[i - 1], "Histogram: bounds must be strictly ascending");
+  }
+}
+
+Histogram Histogram::exponential(double start, double factor, int n) {
+  require(start > 0.0 && factor > 1.0 && n > 0, "Histogram: bad exponential ladder");
+  std::vector<double> bounds(static_cast<size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds[static_cast<size_t>(i)] = b;
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (count_ == 1) return max_;  // the one sample, not its bucket bound
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Continuous rank in [0, count-1]; the samples of the containing bucket
+  // occupy ranks [seen, seen + c - 1] and are assumed evenly spread over the
+  // bucket span, which is clamped to the exactly tracked [min, max].
+  const double rank = q * static_cast<double>(count_ - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(seen + c)) {
+      const double lo =
+          i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+      const double hi = i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+      if (hi <= lo) return lo;
+      const double frac =
+          c > 1 ? std::clamp((rank - static_cast<double>(seen)) /
+                                 static_cast<double>(c - 1),
+                             0.0, 1.0)
+                : 0.5;
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+std::string Histogram::render(int width) const {
+  std::vector<std::string> labels;
+  std::vector<int> ints;
+  char buf[48];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i < bounds_.size()) {
+      std::snprintf(buf, sizeof(buf), "<=%s", fmt(bounds_[i], 6).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), ">%s", fmt(bounds_.back(), 6).c_str());
+    }
+    labels.emplace_back(buf);
+    ints.push_back(static_cast<int>(std::min<uint64_t>(
+        counts_[i], static_cast<uint64_t>(std::numeric_limits<int>::max()))));
+  }
+  return render_histogram(labels, ints, width);
+}
+
+Json Histogram::to_json() const {
+  Json bounds = Json::array();
+  for (const double b : bounds_) bounds.push(b);
+  Json counts = Json::array();
+  for (const uint64_t c : counts_) counts.push(static_cast<int64_t>(c));
+  Json j = Json::object();
+  j.set("upper_bounds", std::move(bounds));
+  j.set("counts", std::move(counts));
+  j.set("count", static_cast<int64_t>(count_));
+  j.set("sum", sum_);
+  j.set("min", min_value());
+  j.set("max", max_value());
+  j.set("mean", mean());
+  j.set("p50", count_ == 0 ? 0.0 : quantile(0.5));
+  j.set("p99", count_ == 0 ? 0.0 : quantile(0.99));
+  j.set("p999", count_ == 0 ? 0.0 : quantile(0.999));
+  return j;
+}
 
 std::string render_histogram(const std::vector<std::string>& labels,
                              const std::vector<int>& counts, int width) {

@@ -1,11 +1,64 @@
-// Console histogram rendering for CLI/exporting analytics (bar charts in
-// plain text, value-labeled).
+// Bucketed value histograms plus console rendering. util::Histogram is the
+// shared latency/size distribution instrument: ctrl::Telemetry records into
+// it, the serve subsystem derives its p50/p99/p999 latency SLOs from it, and
+// benches embed its JSON form in their machine-readable output.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "wmcast/util/json.hpp"
+
 namespace wmcast::util {
+
+/// Histogram over explicit ascending bucket upper bounds, with an implicit
+/// overflow bucket; tracks count/sum/min/max exactly so means are not subject
+/// to bucketing error.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Geometric bucket ladder: bounds start, start*factor, ... (n bounds).
+  static Histogram exponential(double start, double factor, int n);
+
+  void record(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min_value() const { return count_ == 0 ? 0.0 : min_; }
+  double max_value() const { return count_ == 0 ? 0.0 : max_; }
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// counts().size() == upper_bounds().size() + 1 (last = overflow).
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Estimate of the q-quantile (q in [0, 1]) with linear interpolation
+  /// inside the containing bucket, the bucket span clamped to the exactly
+  /// tracked [min, max] (so the first bucket never reports below the observed
+  /// minimum and the overflow bucket never above the observed maximum).
+  /// Contract: q <= 0 is the exact min and q >= 1 the exact max; a single
+  /// sample is every quantile of itself; an empty histogram has no quantiles —
+  /// returns NaN (to_json guards the empty case and serializes 0.0 so the
+  /// schema stays numeric).
+  double quantile(double q) const;
+
+  /// ASCII bar chart (labels = "<=bound" / ">bound") via util::render_histogram.
+  std::string render(int width = 40) const;
+
+  /// Bounds, counts, count/sum/min/max/mean, and p50/p99/p999.
+  Json to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 /// Renders labeled counts as an ASCII bar chart, one row per bucket:
 ///   label | ######################### 42

@@ -43,7 +43,7 @@ ctrl::EventTrace churn_trace(const ctrl::NetworkState& initial) {
 
 TEST(FaultProfileTest, NamedProfilesRoundTripAndUnknownThrows) {
   const auto& names = FaultProfile::names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   for (const auto& n : names) {
     const FaultProfile p = FaultProfile::named(n);
     EXPECT_EQ(p.name, n);
@@ -51,6 +51,7 @@ TEST(FaultProfileTest, NamedProfilesRoundTripAndUnknownThrows) {
   EXPECT_EQ(FaultProfile::named("none").drop_prob, 0.0);
   EXPECT_GT(FaultProfile::named("heavy").flap_prob, 0.0);
   EXPECT_GT(FaultProfile::named("malformed").corrupt_prob, 0.0);
+  EXPECT_GT(FaultProfile::named("storm").burst_prob, 0.0);
   EXPECT_THROW(FaultProfile::named("bogus"), std::invalid_argument);
   EXPECT_THROW(FaultProfile::named(""), std::invalid_argument);
 }

@@ -190,7 +190,7 @@ TEST(CommittedReprosTest, AllReprosStayFixed) {
     EXPECT_EQ(failures_to_text(res.results), "");
     EXPECT_EQ(res.epochs_run, r.trace.n_epochs());
   }
-  EXPECT_GE(n_repros, 2) << "committed repro corpus went missing";
+  EXPECT_GE(n_repros, 3) << "committed repro corpus went missing";
 }
 
 }  // namespace

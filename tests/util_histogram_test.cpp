@@ -2,8 +2,99 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace wmcast::util {
 namespace {
+
+// Contract (histogram.hpp): empty -> NaN, single sample -> itself for every q,
+// q<=0 -> exact min, q>=1 -> exact max, interior q interpolated on the
+// continuous rank r = q*(count-1) within the containing bucket's span clamped
+// to [min, max].
+TEST(BucketedQuantiles, EmptyIsNaNAndSerializesToZero) {
+  Histogram h({1.0, 2.0});
+  for (const double q : {0.0, 0.5, 0.999, 1.0}) {
+    EXPECT_TRUE(std::isnan(h.quantile(q))) << "q=" << q;
+  }
+  const auto j = h.to_json();
+  EXPECT_DOUBLE_EQ(j.find("p50")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(j.find("p99")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(j.find("p999")->as_double(), 0.0);
+}
+
+TEST(BucketedQuantiles, SingleSampleIsEveryQuantile) {
+  Histogram h({1.0, 10.0});
+  h.record(3.5);
+  for (const double q : {0.0, 0.25, 0.5, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.5) << "q=" << q;
+  }
+}
+
+TEST(BucketedQuantiles, ExtremesReportExactMinAndMax) {
+  Histogram h = Histogram::exponential(1.0, 2.0, 8);
+  h.record(0.7);
+  h.record(3.0);
+  h.record(77.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.7);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 77.0) << "even though 77 overflows no bound";
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 77.0);
+}
+
+TEST(BucketedQuantiles, InterpolatesWithinABucket) {
+  // Three samples in one [0, 10] bucket at ranks 0, 1, 2; min=2, max=8.
+  // Rank spread is linear over the clamped span [2, 8], so the median
+  // (rank 1 of 0..2) sits exactly halfway.
+  Histogram h({10.0});
+  h.record(2.0);
+  h.record(5.0);
+  h.record(8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 3.5);
+}
+
+TEST(BucketedQuantiles, CrossesBucketBoundaries) {
+  // 2 samples in (0,1], 2 in (1,2]: ranks 0..3. q=0.5 -> rank 1.5, still in
+  // the first bucket's span [0.25, 1]; q=0.9 -> rank 2.7 in the second
+  // bucket's span (1, 1.75].
+  Histogram h({1.0, 2.0});
+  h.record(0.25);
+  h.record(0.75);
+  h.record(1.25);
+  h.record(1.75);
+  const double q50 = h.quantile(0.5);
+  EXPECT_GE(q50, 0.25);
+  EXPECT_LE(q50, 1.0);
+  const double q90 = h.quantile(0.9);
+  EXPECT_GT(q90, 1.0);
+  EXPECT_LE(q90, 1.75);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9)) << "quantiles are monotone in q";
+}
+
+TEST(BucketedQuantiles, P999TracksTheTail) {
+  // 900 fast samples and 100 slow ones: p50 stays in the fast bucket while
+  // p99 and p999 land in the slow (10, 100] bucket, p999 deeper into it.
+  Histogram h = Histogram::exponential(1e-3, 10.0, 6);
+  for (int i = 0; i < 900; ++i) h.record(1e-3);
+  for (int i = 0; i < 100; ++i) h.record(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e-3);
+  EXPECT_GT(h.quantile(0.99), 10.0);
+  EXPECT_GT(h.quantile(0.999), h.quantile(0.99));
+  EXPECT_LE(h.quantile(0.999), 50.0);
+  const auto j = h.to_json();
+  EXPECT_GT(j.find("p999")->as_double(), j.find("p50")->as_double());
+}
+
+TEST(BucketedQuantiles, MonotoneAcrossManyQs) {
+  Histogram h = Histogram::exponential(1.0, 2.0, 12);
+  for (int i = 1; i <= 500; ++i) h.record(static_cast<double>(i % 97) + 0.5);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
 
 TEST(Histogram, RendersBarsProportionally) {
   const std::string out = render_histogram({"a", "bb"}, {2, 4}, 10);

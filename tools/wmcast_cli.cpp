@@ -20,7 +20,16 @@
 //                        [--solver=mla-c --threshold=0.1 --refresh=10
 //                        --max-reassoc=-1 --no-admission --seed=1 --threads=N
 //                        --telemetry=tele.json --trace-out=t.txt --quiet]
-//   wmcast_cli serve     [replay flags]                     (trace on stdin)
+//   wmcast_cli serve     [--scenario=sc.txt | --aps=100 --users=300
+//                        --area=1095.445 --scenario-seed=1]
+//                        [--profile=mixed --duration=10
+//                        --rate=1000 --workload-seed=1 | trace on stdin,
+//                        streamed incrementally and paced at --rate]
+//                        [--batch-max=256 --staleness-ms=50 --queue-cap=8192
+//                        --policy=reject|shed --no-coalesce --modeled
+//                        --solver=mla-c --seed=1 --threads=N
+//                        --telemetry=tele.json --trace-out=t.txt --json
+//                        --quiet]
 //   wmcast_cli chaos     [--seed=1 --scenarios=20 --profile=mixed --threads=4
 //                        --solver=mla-c --aps=16 --users=60 --sessions=4
 //                        --area=400 --epochs=10 --out-dir=repros --no-shrink
@@ -53,6 +62,8 @@
 #include "wmcast/assoc/registry.hpp"
 #include "wmcast/assoc/revenue.hpp"
 #include "wmcast/assoc/ssa.hpp"
+#include "wmcast/serve/loop.hpp"
+#include "wmcast/serve/workload.hpp"
 #include "wmcast/exact/exact_bla.hpp"
 #include "wmcast/exact/exact_mla.hpp"
 #include "wmcast/exact/exact_mnu.hpp"
@@ -259,10 +270,9 @@ int cmd_render(const util::Args& args) {
   return 0;
 }
 
-// Shared by `replay` (trace from file or generated) and `serve` (trace on
-// stdin): runs the online controller epoch by epoch and prints per-epoch
-// rows plus a cumulative summary.
-int cmd_replay(const util::Args& args, bool trace_from_stdin) {
+// `replay`: runs the online controller epoch by epoch over a trace (from
+// file, a repro, or generated) and prints per-epoch rows plus a summary.
+int cmd_replay(const util::Args& args) {
   // A chaos repro file embeds its own scenario + trace (+ solver + seed);
   // explicit flags still override the embedded defaults.
   std::optional<chaos::Repro> repro;
@@ -311,10 +321,6 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
   ctrl::EventTrace trace;
   if (repro) {
     trace = repro->trace;
-  } else if (trace_from_stdin) {
-    std::ostringstream buf;
-    buf << std::cin.rdbuf();
-    trace = ctrl::trace_from_text(buf.str());
   } else if (args.has("trace")) {
     trace = ctrl::load_trace(args.get("trace", ""));
   } else {
@@ -376,6 +382,144 @@ int cmd_replay(const util::Args& args, bool trace_from_stdin) {
     std::ofstream f(tele_out);
     if (!f || !(f << controller.telemetry().to_json().dump(2) << "\n")) {
       std::fprintf(stderr, "replay: cannot write %s\n", tele_out.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", tele_out.c_str());
+  }
+  return 0;
+}
+
+// `serve`: the production streaming mode. Feeds the controller through the
+// serve loop (bounded queue, adaptive batching, bounded-staleness coalescing,
+// reject/shed backpressure) from either a synthetic workload (--profile) or a
+// wmcast-trace on stdin, read incrementally so solving overlaps input and
+// multi-GB traces never need buffering. On EOF the backlog drains and the
+// final wmcast-serve-telemetry/v1 block is flushed.
+int cmd_serve(const util::Args& args) {
+  args.reject_unknown(
+      {"scenario", "aps", "users", "sessions", "area", "budget", "scenario-seed",
+       "solver", "basic-rate", "threshold", "refresh", "max-reassoc", "min-gain",
+       "no-admission", "seed", "threads", "profile", "duration", "rate",
+       "workload-seed", "batch-max", "staleness-ms", "queue-cap", "policy",
+       "no-coalesce", "modeled", "telemetry", "trace-out", "trace-epoch-s",
+       "quiet", "json"});
+
+  wlan::Scenario sc = [&] {
+    if (args.has("scenario")) return wlan::load_scenario(args.get("scenario", ""));
+    wlan::GeneratorParams p;
+    p.n_aps = args.get_int("aps", 100);
+    p.n_users = args.get_int("users", 300);
+    p.n_sessions = args.get_int("sessions", p.n_sessions);
+    p.area_side_m = args.get_double("area", p.area_side_m);
+    p.load_budget = args.get_double("budget", p.load_budget);
+    util::Rng rng(args.get_u64("scenario-seed", 1));
+    return wlan::generate_scenario(p, rng);
+  }();
+  if (!sc.has_geometry()) {
+    std::fprintf(stderr, "serve: scenario must be geometric\n");
+    return 2;
+  }
+
+  ctrl::ControllerConfig cfg;
+  cfg.full_solver = args.get("solver", cfg.full_solver);
+  cfg.multi_rate = !args.get_bool("basic-rate", false);
+  cfg.degradation_threshold = args.get_double("threshold", cfg.degradation_threshold);
+  cfg.full_refresh_epochs = args.get_int("refresh", cfg.full_refresh_epochs);
+  cfg.max_reassoc_per_epoch = args.get_int("max-reassoc", cfg.max_reassoc_per_epoch);
+  cfg.polish_min_gain = args.get_double("min-gain", cfg.polish_min_gain);
+  cfg.admission_control = !args.get_bool("no-admission", false);
+  cfg.seed = args.get_u64("seed", cfg.seed);
+  cfg.threads = util::resolve_threads(args);
+  cfg.max_batch = 0;  // the serve loop owns batching; one batch = one epoch
+  if (!assoc::is_algorithm(cfg.full_solver)) {
+    std::fprintf(stderr, "serve: unknown --solver=%s\n", cfg.full_solver.c_str());
+    return 2;
+  }
+  ctrl::AssociationController controller(sc, cfg);
+
+  serve::ServeConfig scfg;
+  scfg.batch_max = args.get_int("batch-max", scfg.batch_max);
+  scfg.staleness_s = args.get_double("staleness-ms", scfg.staleness_s * 1000.0) / 1000.0;
+  const int queue_cap = args.get_int("queue-cap", static_cast<int>(scfg.queue_cap));
+  scfg.queue_cap = queue_cap <= 0 ? 0 : static_cast<size_t>(queue_cap);
+  scfg.policy = serve::overflow_policy_from_name(args.get("policy", "reject"));
+  scfg.coalesce = !args.get_bool("no-coalesce", false);
+  scfg.modeled_service = args.get_bool("modeled", false);
+  serve::ServeLoop loop(&controller, scfg);
+
+  const double rate = args.get_double("rate", 1000.0);
+  const std::string trace_out = args.get("trace-out", "");
+  double end_t = 0.0;
+  uint64_t offered = 0;
+
+  if (args.has("profile")) {
+    // Synthetic workload, deterministic in (scenario, profile, seed).
+    serve::WorkloadParams wp;
+    wp.duration_s = args.get_double("duration", 10.0);
+    wp.events_per_s = rate;
+    wp.seed = args.get_u64("workload-seed", 1);
+    const auto profile = serve::WorkloadProfile::named(args.get("profile", "mixed"));
+    serve::WorkloadGenerator gen(controller.state(), profile, wp);
+    std::vector<serve::TimedEvent> kept;  // only populated for --trace-out
+    serve::TimedEvent te;
+    while (gen.next(&te)) {
+      loop.offer(te.t_s, te.ev);
+      ++offered;
+      if (!trace_out.empty()) kept.push_back(te);
+    }
+    end_t = wp.duration_s;
+    if (!trace_out.empty()) {
+      const auto exported = serve::workload_to_trace(
+          kept, wp.duration_s, args.get_double("trace-epoch-s", 1.0));
+      if (!ctrl::save_trace(exported, trace_out)) return 1;
+      std::printf("workload trace written to %s\n", trace_out.c_str());
+    }
+  } else {
+    // Streaming stdin: one epoch parsed and offered at a time; events are
+    // paced onto the virtual timeline at --rate events/sec.
+    const double dt = rate > 0.0 ? 1.0 / rate : 0.0;
+    ctrl::TraceReader reader(std::cin);
+    std::vector<ctrl::Event> epoch;
+    double t = 0.0;
+    while (reader.next_epoch(&epoch)) {
+      for (const auto& ev : epoch) {
+        loop.offer(t, ev);
+        ++offered;
+        t += dt;
+      }
+    }
+    end_t = t;
+  }
+
+  const serve::ServeTelemetry& tele = loop.finish(end_t);
+
+  const bool quiet = args.get_bool("quiet", false);
+  std::printf("served %llu events in %llu batches: latency p50 %s p99 %s p999 %s s, "
+              "%0.0f events/s virtual, %0.0f events/s wall "
+              "(rejected %llu, shed %llu, coalesced %llu)\n",
+              static_cast<unsigned long long>(tele.offered.value()),
+              static_cast<unsigned long long>(tele.batches.value()),
+              util::fmt(tele.latency_s.quantile(0.5), 4).c_str(),
+              util::fmt(tele.latency_s.quantile(0.99), 4).c_str(),
+              util::fmt(tele.latency_s.quantile(0.999), 4).c_str(),
+              tele.virtual_events_per_s(), tele.wall_events_per_s(),
+              static_cast<unsigned long long>(tele.rejected.value()),
+              static_cast<unsigned long long>(tele.shed.value()),
+              static_cast<unsigned long long>(tele.coalesced.value()));
+  if (!quiet) std::fputs(tele.to_text().c_str(), stdout);
+
+  // Wall-clock fields are nondeterministic; drop them from serialized
+  // telemetry under --modeled so the block is a pure function of
+  // (scenario, workload, config) — what the determinism tests diff.
+  const bool include_wall = !scfg.modeled_service;
+  if (args.get_bool("json", false)) {
+    std::printf("%s\n", tele.to_json(include_wall).dump(2).c_str());
+  }
+  const std::string tele_out = args.get("telemetry", "");
+  if (!tele_out.empty()) {
+    std::ofstream f(tele_out);
+    if (!f || !(f << tele.to_json(include_wall).dump(2) << "\n")) {
+      std::fprintf(stderr, "serve: cannot write %s\n", tele_out.c_str());
       return 1;
     }
     std::printf("telemetry written to %s\n", tele_out.c_str());
@@ -464,8 +608,8 @@ int main(int argc, char** argv) {
     if (cmd == "exact") return cmd_exact(args);
     if (cmd == "export-lp") return cmd_export_lp(args);
     if (cmd == "render") return cmd_render(args);
-    if (cmd == "replay") return cmd_replay(args, /*trace_from_stdin=*/false);
-    if (cmd == "serve") return cmd_replay(args, /*trace_from_stdin=*/true);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "chaos") return cmd_chaos(args);
     return usage();
   } catch (const std::exception& e) {
