@@ -3,6 +3,9 @@
 // same scenarios fed to every algorithm, reporting min/avg/max.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -16,6 +19,24 @@
 #include "wmcast/wlan/scenario_generator.hpp"
 
 namespace wmcast::bench {
+
+/// Monotonic wall clock in seconds, shared by every bench's timing arms.
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Process peak RSS. A high-water mark: once a large arm has been resident,
+/// every later reading reports it — benches must sample after each arm, in
+/// ascending footprint order, for the per-arm numbers to mean anything.
+/// Reported as the informational "peak_rss_bytes" field of the
+/// wmcast-microbench/v1 schema (tools/bench_guard ignores it for gating).
+inline size_t peak_rss_bytes() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // Linux reports KB
+}
 
 /// One algorithm under test: name + metric extractor. The metric receives the
 /// scenario and a per-(scenario, algorithm) rng stream.

@@ -16,7 +16,8 @@ using namespace wmcast;
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
-  args.reject_unknown({"scenarios", "rate", "csv", "seed", "threads"});
+  args.reject_unknown({"scenarios", "rate", "csv", "seed", "threads", "simd"});
+  util::resolve_simd(args);
   util::ThreadPool pool(bench::thread_count(args));
   const int scenarios = args.get_int("scenarios", 40);
   const uint64_t seed = args.get_u64("seed", 11);

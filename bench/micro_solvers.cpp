@@ -7,6 +7,7 @@
 // steady state).
 //
 // Run: ./micro_solvers [--benchmark_filter=...] [--json=out.json]
+//                      [--simd=auto|scalar|avx2]
 //
 // --json writes {"schema": "wmcast-microbench/v1", "threads": <hw threads>,
 // "benchmarks": [{name, real_time_ns, iterations}, ...]} for tools/bench_guard
@@ -32,6 +33,7 @@
 #include "wmcast/setcover/scg.hpp"
 #include "wmcast/util/json.hpp"
 #include "wmcast/util/rng.hpp"
+#include "wmcast/util/simd.hpp"
 #include "wmcast/wlan/scenario_generator.hpp"
 
 namespace {
@@ -256,6 +258,108 @@ void BM_ParallelSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(8);
 
+// --- Hot-path kernels (DESIGN.md §13) ----------------------------------------
+//
+// The solver's inner loops, benched in isolation under dotted kernel.* names
+// so tools/bench_guard can gate each one independently (--only=kernel.). All
+// run whichever dispatch --simd selected (auto by default); the scalar path
+// is byte-compared against AVX2 by the tests, so these entries only track
+// speed. Sized to clear bench_guard's 50 µs noise floor per iteration.
+
+constexpr size_t kKernelWords = size_t{1} << 17;  // 1 MiB per operand
+
+std::vector<uint64_t> random_words(uint64_t seed) {
+  std::vector<uint64_t> w(kKernelWords);
+  util::Rng rng(seed);
+  for (auto& x : w) x = rng.next_u64();
+  return w;
+}
+
+void BM_KernelPopcount(benchmark::State& state) {
+  const auto a = random_words(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::popcount_words(a.data(), a.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kKernelWords * 8));
+}
+
+void BM_KernelPopcountAnd(benchmark::State& state) {
+  const auto a = random_words(11);
+  const auto b = random_words(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::popcount_and_words(a.data(), b.data(), a.size()));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * kKernelWords * 16));
+}
+
+void BM_KernelPopcountAndnot(benchmark::State& state) {
+  const auto a = random_words(11);
+  const auto b = random_words(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::popcount_andnot_words(a.data(), b.data(), a.size()));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * kKernelWords * 16));
+}
+
+/// Pure CSR member-arena streaming: every live set's row, in set order — the
+/// memory-bandwidth floor under the gain rescan.
+void BM_KernelCsrWalk(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int j = 0; j < eng.n_set_slots(); ++j) {
+      if (!eng.alive(j)) continue;
+      for (const int32_t e : eng.members(j)) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+/// The eager gain recomputation: per live set, count members still uncovered
+/// (CSR row walk + bitset probes) — what the maintained-gain design avoids
+/// per pick but the dirty-group path still pays per rebuilt set.
+void BM_KernelGainRescan(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  const util::DynBitset& remaining = eng.coverable();
+  for (auto _ : state) {
+    int64_t total = 0;
+    for (int j = 0; j < eng.n_set_slots(); ++j) {
+      if (!eng.alive(j)) continue;
+      int gain = 0;
+      for (const int32_t e : eng.members(j)) gain += remaining.test(e) ? 1 : 0;
+      total += gain;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+
+/// Warm engine solve end-to-end — the composite the kernels above feed.
+void BM_KernelWarmGreedySolve(benchmark::State& state) {
+  const auto sc = large_scenario();
+  core::CoverageEngine eng;
+  eng.build_full(setcover::ScenarioSource(sc), true);
+  core::SolveWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_cover(eng, ws).total_cost);
+  }
+}
+
+void register_kernel_benches() {
+  benchmark::RegisterBenchmark("kernel.popcount", BM_KernelPopcount);
+  benchmark::RegisterBenchmark("kernel.popcount_and", BM_KernelPopcountAnd);
+  benchmark::RegisterBenchmark("kernel.popcount_andnot", BM_KernelPopcountAndnot);
+  benchmark::RegisterBenchmark("kernel.csr_walk", BM_KernelCsrWalk);
+  benchmark::RegisterBenchmark("kernel.gain_rescan", BM_KernelGainRescan);
+  benchmark::RegisterBenchmark("kernel.warm_greedy_solve", BM_KernelWarmGreedySolve);
+}
+
 // --- JSON reporter -----------------------------------------------------------
 
 /// Console output as usual, plus a flat (name, real_time, iterations) record
@@ -291,10 +395,13 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
+    } else if (a.rfind("--simd=", 0) == 0) {
+      wmcast::simd::set_mode(wmcast::simd::mode_from_name(a.substr(7)));
     } else {
       rest.push_back(argv[i]);
     }
   }
+  register_kernel_benches();
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());
   if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
@@ -310,6 +417,8 @@ int main(int argc, char** argv) {
       b.set("name", util::Json(e.name));
       b.set("real_time_ns", util::Json(e.real_time_ns));
       b.set("iterations", util::Json(e.iterations));
+      b.set("peak_rss_bytes",
+            static_cast<int64_t>(wmcast::bench::peak_rss_bytes()));
       benches.push(std::move(b));
     }
     auto j = util::Json::object();

@@ -10,6 +10,7 @@
 // Run: ./scale_build [--users=100000] [--aps=2000] [--sessions=8]
 //                    [--degree=20] [--seed=71] [--threads=N] [--dense]
 //                    [--solve] [--require-speedup=0] [--json=out.json]
+//                    [--simd=auto|scalar|avx2]
 //
 //  --dense             also run the dense reference build (same instance) and
 //                      verify the two scenarios are identical
@@ -25,15 +26,13 @@
 // Linux ru_maxrss is a high-water mark — once the dense matrix has been
 // resident, every later reading would report it.
 
-#include <sys/resource.h>
-
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "wmcast/assoc/centralized.hpp"
 #include "wmcast/util/cli.hpp"
 #include "wmcast/util/json.hpp"
@@ -45,19 +44,10 @@
 
 using namespace wmcast;
 
+using wmcast::bench::now_seconds;
+using wmcast::bench::peak_rss_bytes;
+
 namespace {
-
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-size_t peak_rss_bytes() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // Linux reports KB
-}
 
 struct Arm {
   std::string name;
@@ -71,7 +61,8 @@ struct Arm {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   args.reject_unknown({"users", "aps", "sessions", "degree", "seed", "threads",
-                       "dense", "solve", "require-speedup", "json"});
+                       "dense", "solve", "require-speedup", "json", "simd"});
+  util::resolve_simd(args);
   const int n_users = args.get_int("users", 100000);
   const int n_aps = args.get_int("aps", 2000);
   const int n_sessions = args.get_int("sessions", 8);

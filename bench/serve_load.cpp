@@ -12,6 +12,7 @@
 //                   [--queue-cap=0] [--policy=reject] [--refresh=0]
 //                   [--threshold=0.5] [--burst-events=1500] [--no-burst]
 //                   [--require-batching-gain=0] [--json=out.json]
+//                   [--simd=auto|scalar|avx2]
 //
 //  --require-batching-gain=K  exit 1 unless the batched burst arm beats
 //                             --batch-max=1 by >= K in wall events/sec;
@@ -20,13 +21,13 @@
 //                             tools/bench_guard (per-event wall ns per arm,
 //                             plus the main arm's p99 latency in ns)
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "wmcast/ctrl/controller.hpp"
 #include "wmcast/serve/loop.hpp"
 #include "wmcast/serve/workload.hpp"
@@ -40,13 +41,10 @@
 
 using namespace wmcast;
 
-namespace {
+using wmcast::bench::now_seconds;
+using wmcast::bench::peak_rss_bytes;
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+namespace {
 
 struct ArmResult {
   std::string name;
@@ -89,7 +87,8 @@ int main(int argc, char** argv) {
                        "profile", "rate", "duration", "batch-max", "staleness-ms",
                        "queue-cap", "policy", "refresh", "threshold",
                        "burst-events", "no-burst", "require-batching-gain",
-                       "json"});
+                       "json", "simd"});
+  util::resolve_simd(args);
   const int n_users = args.get_int("users", 100000);
   const int n_aps = args.get_int("aps", 2000);
   const int n_sessions = args.get_int("sessions", 8);
@@ -208,6 +207,7 @@ int main(int argc, char** argv) {
       b.set("real_time_ns",
             a.events > 0 ? a.wall_s * 1e9 / static_cast<double>(a.events) : 0.0);
       b.set("iterations", static_cast<int64_t>(a.events));
+      b.set("peak_rss_bytes", static_cast<int64_t>(peak_rss_bytes()));
       benches.push(std::move(b));
     }
     {

@@ -103,6 +103,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg, std::ostream* progress) {
     ccfg.full_refresh_epochs = 1;
 
     std::vector<OracleResult> verdicts = check_solver_equivalence(sc);
+    const auto simd_verdicts = check_simd_vs_scalar(sc);
+    verdicts.insert(verdicts.end(), simd_verdicts.begin(), simd_verdicts.end());
     auto replay = check_differential_replay(sc, perturbed, ccfg, cfg.threads);
     verdicts.insert(verdicts.end(), replay.results.begin(), replay.results.end());
 

@@ -15,6 +15,7 @@
 #include "wmcast/setcover/reference.hpp"
 #include "wmcast/setcover/set_system.hpp"
 #include "wmcast/util/rng.hpp"
+#include "wmcast/util/simd.hpp"
 #include "wmcast/util/thread_pool.hpp"
 #include "wmcast/wlan/association.hpp"
 
@@ -150,6 +151,63 @@ std::vector<OracleResult> check_solver_equivalence(const wlan::Scenario& sc) {
     } else {
       out.push_back(ok("scg"));
     }
+  }
+
+  return out;
+}
+
+std::vector<OracleResult> check_simd_vs_scalar(const wlan::Scenario& sc) {
+  std::vector<OracleResult> out;
+  struct Snapshot {
+    core::CoverResult greedy;
+    core::McgResult mcg;
+    core::ScgResult scg;
+  };
+  const auto solve_all = [&sc] {
+    Snapshot s;
+    const auto sys = setcover::build_set_system(sc, /*multi_rate=*/true);
+    const auto eng = setcover::to_engine(sys);
+    core::SolveWorkspace ws;
+    s.greedy = core::greedy_cover(eng, ws);
+    const std::vector<double> budgets(static_cast<size_t>(sys.n_groups()),
+                                      sc.load_budget());
+    s.mcg = core::mcg_cover(eng, ws, budgets);
+    s.scg = core::scg_cover(eng, ws, core::ScgParams{});
+    return s;
+  };
+
+  Snapshot scalar;
+  {
+    simd::ScopedMode force(simd::Mode::kScalar);
+    scalar = solve_all();
+  }
+  const Snapshot dispatched = solve_all();
+
+  if (scalar.greedy.chosen != dispatched.greedy.chosen ||
+      !(scalar.greedy.covered == dispatched.greedy.covered) ||
+      scalar.greedy.total_cost != dispatched.greedy.total_cost ||
+      scalar.greedy.complete != dispatched.greedy.complete) {
+    out.push_back(bad("simd.greedy",
+                      seq_diff(dispatched.greedy.chosen, scalar.greedy.chosen)));
+  } else {
+    out.push_back(ok("simd.greedy"));
+  }
+
+  if (scalar.mcg.h != dispatched.mcg.h ||
+      scalar.mcg.chosen != dispatched.mcg.chosen ||
+      !(scalar.mcg.covered == dispatched.mcg.covered)) {
+    out.push_back(bad("simd.mcg", seq_diff(dispatched.mcg.chosen, scalar.mcg.chosen)));
+  } else {
+    out.push_back(ok("simd.mcg"));
+  }
+
+  if (scalar.scg.chosen != dispatched.scg.chosen ||
+      scalar.scg.bstar != dispatched.scg.bstar ||
+      scalar.scg.passes != dispatched.scg.passes ||
+      !(scalar.scg.covered == dispatched.scg.covered)) {
+    out.push_back(bad("simd.scg", seq_diff(dispatched.scg.chosen, scalar.scg.chosen)));
+  } else {
+    out.push_back(ok("simd.scg"));
   }
 
   return out;

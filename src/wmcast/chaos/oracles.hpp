@@ -49,6 +49,15 @@ std::string failures_to_text(const std::vector<OracleResult>& results);
 /// greedy. Pure and deterministic.
 std::vector<OracleResult> check_solver_equivalence(const wlan::Scenario& sc);
 
+/// SIMD-vs-scalar differential (DESIGN.md §13): the full engine solver stack
+/// (greedy, MCG, SCG) run once with the kernel dispatch forced scalar and
+/// once under the ambient mode (auto = widest supported, so AVX2 where the
+/// CPU has it). Both paths compute exact integer popcounts, so every field —
+/// chosen sequences, covered bitsets, costs, pass counts — must be
+/// bit-identical; any difference is a kernel bug, never a tolerance. On a CPU
+/// without AVX2 the two runs share a code path and the check passes trivially.
+std::vector<OracleResult> check_simd_vs_scalar(const wlan::Scenario& sc);
+
 /// Structural invariants on a controller after an epoch (see header comment).
 /// `expected_epochs` is the number of drain() calls made so far.
 std::vector<OracleResult> check_controller_invariants(

@@ -226,6 +226,13 @@ ReplayCheckResult run_repro(const Repro& repro) {
     out.epochs_run = repro.trace.n_epochs();
     return out;
   }
+  // Kernel-dispatch repros ("simd.*") re-run the SIMD-vs-scalar solver
+  // differential on the embedded scenario; the trace is irrelevant to them.
+  if (repro.check.rfind("simd.", 0) == 0) {
+    ReplayCheckResult out;
+    out.results = check_simd_vs_scalar(repro.scenario);
+    return out;
+  }
   return check_differential_replay(repro.scenario, repro.trace, cfg, repro.threads);
 }
 

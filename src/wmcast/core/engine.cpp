@@ -13,6 +13,8 @@ void CoverageEngine::reset(int n_elements, int n_groups) {
   mem_off_.clear();
   mem_len_.clear();
   cost_.clear();
+  cost_mant_.clear();
+  cost_exp_.clear();
   tx_rate_.clear();
   group_.clear();
   session_.clear();
@@ -40,6 +42,11 @@ int CoverageEngine::add_set(int group, int session, double tx_rate, double cost,
   mem_off_.push_back(static_cast<int32_t>(mem_.size()));
   mem_len_.push_back(static_cast<int32_t>(members.size()));
   cost_.push_back(cost);
+  int64_t mant = 0;
+  int32_t exp = 0;
+  decompose_cost(cost, mant, exp);
+  cost_mant_.push_back(mant);
+  cost_exp_.push_back(exp);
   tx_rate_.push_back(tx_rate);
   group_.push_back(group);
   session_.push_back(session);
@@ -48,10 +55,14 @@ int CoverageEngine::add_set(int group, int session, double tx_rate, double cost,
     util::require(e >= 0 && e < n_elements_, "CoverageEngine: member out of range");
     mem_.push_back(e);
     coverable_.set(e);
-    // Newly created sets index through the overflow chain until compaction.
-    inv_node_set_.push_back(static_cast<int32_t>(j));
-    inv_next_.push_back(inv_head_[static_cast<size_t>(e)]);
-    inv_head_[static_cast<size_t>(e)] = static_cast<int32_t>(inv_node_set_.size()) - 1;
+    if (!bulk_building_) {
+      // Newly created sets index through the overflow chain until compaction;
+      // full builds skip the chains and counting-sort the CSR once at the end.
+      inv_node_set_.push_back(static_cast<int32_t>(j));
+      inv_next_.push_back(inv_head_[static_cast<size_t>(e)]);
+      inv_head_[static_cast<size_t>(e)] =
+          static_cast<int32_t>(inv_node_set_.size()) - 1;
+    }
   }
   group_sets_[static_cast<size_t>(group)].push_back(static_cast<int32_t>(j));
   ++live_sets_;
@@ -110,6 +121,8 @@ void CoverageEngine::compact() {
   const int old_slots = n_set_slots();
   std::vector<int32_t> new_off, new_len, new_group, new_session;
   std::vector<double> new_cost, new_tx;
+  std::vector<int64_t> new_mant;
+  std::vector<int32_t> new_exp;
   std::vector<int32_t> new_mem;
   new_mem.reserve(mem_.size() - static_cast<size_t>(dead_members_));
   new_off.reserve(static_cast<size_t>(live_sets_));
@@ -121,6 +134,8 @@ void CoverageEngine::compact() {
     new_off.push_back(static_cast<int32_t>(new_mem.size()));
     new_len.push_back(mem_len_[static_cast<size_t>(j)]);
     new_cost.push_back(cost_[static_cast<size_t>(j)]);
+    new_mant.push_back(cost_mant_[static_cast<size_t>(j)]);
+    new_exp.push_back(cost_exp_[static_cast<size_t>(j)]);
     new_tx.push_back(tx_rate_[static_cast<size_t>(j)]);
     new_group.push_back(group_[static_cast<size_t>(j)]);
     new_session.push_back(session_[static_cast<size_t>(j)]);
@@ -131,6 +146,8 @@ void CoverageEngine::compact() {
   mem_off_ = std::move(new_off);
   mem_len_ = std::move(new_len);
   cost_ = std::move(new_cost);
+  cost_mant_ = std::move(new_mant);
+  cost_exp_ = std::move(new_exp);
   tx_rate_ = std::move(new_tx);
   group_ = std::move(new_group);
   session_ = std::move(new_session);
@@ -142,15 +159,20 @@ void CoverageEngine::compact() {
     for (auto& j : sets) j = remap[static_cast<size_t>(j)];
   }
 
-  // Rebuild the inverted CSR with counting sort; overflow chains drain.
+  rebuild_inverted_csr();
+}
+
+void CoverageEngine::rebuild_inverted_csr() {
+  // Counting sort mem_ into the inverted CSR; overflow chains drain.
   inv_off_.assign(static_cast<size_t>(n_elements_) + 1, 0);
   for (const int32_t e : mem_) ++inv_off_[static_cast<size_t>(e) + 1];
   for (size_t e = 1; e < inv_off_.size(); ++e) inv_off_[e] += inv_off_[e - 1];
   inv_sets_.assign(mem_.size(), 0);
-  std::vector<int32_t> cursor(inv_off_.begin(), inv_off_.end() - 1);
+  inv_cursor_scratch_.assign(inv_off_.begin(), inv_off_.end() - 1);
   for (int j = 0; j < n_set_slots(); ++j) {
     for (const int32_t e : members(j)) {
-      inv_sets_[static_cast<size_t>(cursor[static_cast<size_t>(e)]++)] =
+      inv_sets_[static_cast<size_t>(
+          inv_cursor_scratch_[static_cast<size_t>(e)]++)] =
           static_cast<int32_t>(j);
     }
   }

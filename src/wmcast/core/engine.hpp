@@ -47,6 +47,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -60,6 +61,18 @@ namespace wmcast::core {
 /// Lifetime counters for the rebuild-vs-repair story: how much of the system
 /// incremental updates actually touched. Exposed through controller telemetry
 /// and the churn benches.
+/// Exact (mantissa, exponent) decomposition of a positive cost: cost =
+/// mant * 2^(exp-53) with mant an integer in [2^52, 2^53) (smaller for
+/// subnormals; still exact). The engine caches this per set so the solvers'
+/// exact cross-product comparator (core/solve.hpp better_pick) never re-runs
+/// frexp inside the heap hot loop.
+inline void decompose_cost(double cost, int64_t& mant, int32_t& exp) {
+  int e = 0;
+  const double f = std::frexp(cost, &e);
+  mant = static_cast<int64_t>(std::ldexp(f, 53));
+  exp = e;
+}
+
 struct EngineStats {
   uint64_t full_builds = 0;          // build_full calls
   uint64_t incremental_updates = 0;  // update_groups calls
@@ -81,6 +94,9 @@ class CoverageEngine {
 
   bool alive(int j) const { return alive_[static_cast<size_t>(j)] != 0; }
   double cost(int j) const { return cost_[static_cast<size_t>(j)]; }
+  /// Cached decompose_cost of cost(j): cost == cost_mant * 2^(cost_exp - 53).
+  int64_t cost_mant(int j) const { return cost_mant_[static_cast<size_t>(j)]; }
+  int32_t cost_exp(int j) const { return cost_exp_[static_cast<size_t>(j)]; }
   int group(int j) const { return group_[static_cast<size_t>(j)]; }
   int ap(int j) const { return group(j); }  // group == AP for WLAN systems
   int session(int j) const { return session_[static_cast<size_t>(j)]; }
@@ -146,10 +162,21 @@ class CoverageEngine {
   /// Full projection of a Source (same construction as the paper's reduction,
   /// see setcover/reduction.hpp): per (group, session), one candidate set per
   /// distinct occurring link rate, members accumulating as the rate drops.
+  ///
+  /// Bulk path: while building, add_set skips the per-member overflow-chain
+  /// insertion and the whole inverted index is counting-sorted into its CSR
+  /// form once at the end — the solver's for_each_set_of then walks
+  /// contiguous slices instead of 20M-node linked chains at the million-user
+  /// scale. Visit order through the index differs from the chain order, but
+  /// every consumer folds commutatively (gain scatter/decrement, coverability
+  /// flags), so results are bit-identical.
   template <typename Source>
   void build_full(const Source& src, bool multi_rate = true) {
     reset(src.n_elements(), src.n_groups());
+    bulk_building_ = true;
     for (int g = 0; g < n_groups_; ++g) build_group(src, g, multi_rate);
+    bulk_building_ = false;
+    rebuild_inverted_csr();
     ++stats_.full_builds;
   }
 
@@ -189,23 +216,39 @@ class CoverageEngine {
   void compact();
 
  private:
+  /// One pass over the group's link row buckets requesters by session (the
+  /// old shape re-walked the whole row once per session — an O(degree ×
+  /// n_sessions) tax that dominated full builds at scale); sessions are then
+  /// emitted in ascending order. Within a session, entries arrive in row
+  /// order exactly as the per-session scan produced them, so set ids, member
+  /// layout, and tie-breaks are unchanged.
   template <typename Source>
   void build_group(const Source& src, int g, bool multi_rate) {
-    auto& req = requesters_scratch_;
-    for (int s = 0; s < src.n_sessions(); ++s) {
-      req.clear();
-      if constexpr (requires { src.for_each_link_of_group(g, [](int, double) {}); }) {
-        src.for_each_link_of_group(g, [&](int e, double r) {
-          if (!src.element_active(e) || src.element_session(e) != s) return;
-          if (r > 0.0) req.emplace_back(r, e);
-        });
-      } else {
-        src.for_each_element_of_group(g, [&](int e) {
-          if (!src.element_active(e) || src.element_session(e) != s) return;
-          const double r = src.link_rate(g, e);
-          if (r > 0.0) req.emplace_back(r, e);
-        });
-      }
+    const int n_sessions = src.n_sessions();
+    auto& buckets = session_req_scratch_;
+    if (buckets.size() < static_cast<size_t>(n_sessions)) {
+      buckets.resize(static_cast<size_t>(n_sessions));
+    }
+    for (int s = 0; s < n_sessions; ++s) buckets[static_cast<size_t>(s)].clear();
+
+    if constexpr (requires { src.for_each_link_of_group(g, [](int, double) {}); }) {
+      src.for_each_link_of_group(g, [&](int e, double r) {
+        if (r <= 0.0 || !src.element_active(e)) return;
+        const int s = src.element_session(e);
+        if (s >= 0 && s < n_sessions) buckets[static_cast<size_t>(s)].emplace_back(r, e);
+      });
+    } else {
+      src.for_each_element_of_group(g, [&](int e) {
+        if (!src.element_active(e)) return;
+        const int s = src.element_session(e);
+        if (s < 0 || s >= n_sessions) return;
+        const double r = src.link_rate(g, e);
+        if (r > 0.0) buckets[static_cast<size_t>(s)].emplace_back(r, e);
+      });
+    }
+
+    for (int s = 0; s < n_sessions; ++s) {
+      auto& req = buckets[static_cast<size_t>(s)];
       if (req.empty()) continue;
       const double stream = src.session_rate(s);
       if (!multi_rate) {
@@ -214,6 +257,55 @@ class CoverageEngine {
         std::sort(members_scratch_.begin(), members_scratch_.end());
         const double basic = src.basic_rate();
         add_set(g, s, basic, stream / basic, members_scratch_);
+        continue;
+      }
+      // Bucket by distinct rate level instead of sorting the whole row:
+      // rates come from a small discrete PHY table, so one linear pass with
+      // a short linear-probe over the levels seen so far replaces the
+      // O(d log d) pair sort that dominated million-user builds. Levels are
+      // then emitted in descending rate order with ascending element ids
+      // inside each level — exactly the (rate desc, id asc) sorted order —
+      // so set ids, member layout, and costs are unchanged. Rows with more
+      // distinct rates than the cap fall back to the sort.
+      constexpr size_t kMaxRateLevels = 64;
+      auto& rates = level_rate_scratch_;
+      auto& lv_members = level_members_scratch_;
+      rates.clear();
+      bool bucketed = true;
+      for (const auto& [r, e] : req) {
+        size_t li = 0;
+        const size_t n = rates.size();
+        while (li < n && rates[li] != r) ++li;
+        if (li == n) {
+          if (n == kMaxRateLevels) {
+            bucketed = false;
+            break;
+          }
+          rates.push_back(r);
+          if (lv_members.size() <= li) lv_members.emplace_back();
+          lv_members[li].clear();
+        }
+        lv_members[li].push_back(e);
+      }
+      if (bucketed) {
+        auto& order = level_order_scratch_;
+        order.resize(rates.size());
+        for (size_t k = 0; k < order.size(); ++k) order[k] = static_cast<int>(k);
+        // Rates within one row are distinct by construction, so descending
+        // `>` is a total order — the emission order is deterministic.
+        std::sort(order.begin(), order.end(), [&](int x, int y) {
+          return rates[static_cast<size_t>(x)] > rates[static_cast<size_t>(y)];
+        });
+        members_scratch_.clear();
+        for (const int li : order) {
+          auto& m = lv_members[static_cast<size_t>(li)];
+          // Row order is already ascending for CSR sources (the users_of_ap
+          // contract); generic sources pay the per-level sort.
+          if (!std::is_sorted(m.begin(), m.end())) std::sort(m.begin(), m.end());
+          members_scratch_.insert(members_scratch_.end(), m.begin(), m.end());
+          const double rate = rates[static_cast<size_t>(li)];
+          add_set(g, s, rate, stream / rate, members_scratch_);
+        }
         continue;
       }
       // Descending rate; ties on rate keep ascending element order so set
@@ -237,6 +329,10 @@ class CoverageEngine {
   void retire_set(int32_t j);
   void refresh_coverable(std::span<const int32_t> elements);
   void maybe_compact();
+  /// Counting-sorts mem_ into the inverted CSR (inv_off_/inv_sets_) and
+  /// drains the overflow chains. Requires every slot alive (fresh full build
+  /// or post-compaction state).
+  void rebuild_inverted_csr();
 
   int n_elements_ = 0;
   int n_groups_ = 0;
@@ -246,6 +342,8 @@ class CoverageEngine {
   std::vector<int32_t> mem_off_;
   std::vector<int32_t> mem_len_;
   std::vector<double> cost_;
+  std::vector<int64_t> cost_mant_;  // cached decompose_cost(cost_[j])
+  std::vector<int32_t> cost_exp_;
   std::vector<double> tx_rate_;
   std::vector<int32_t> group_;
   std::vector<int32_t> session_;
@@ -270,10 +368,15 @@ class CoverageEngine {
   mutable bool cost_caches_dirty_ = true;
 
   // Reusable build scratch (no steady-state allocations).
-  std::vector<std::pair<double, int>> requesters_scratch_;
+  std::vector<std::vector<std::pair<double, int>>> session_req_scratch_;
   std::vector<int32_t> members_scratch_;
+  std::vector<double> level_rate_scratch_;
+  std::vector<std::vector<int32_t>> level_members_scratch_;
+  std::vector<int> level_order_scratch_;
+  bool bulk_building_ = false;
   std::vector<int32_t> touched_scratch_;
   std::vector<int32_t> touched_stamp_;
+  std::vector<int32_t> inv_cursor_scratch_;
   int32_t stamp_ = 0;
 
   EngineStats stats_;

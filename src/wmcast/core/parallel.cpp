@@ -13,9 +13,16 @@ void SessionShards::build_impl(const CoverageEngine& eng,
       shard_of_session.empty()
           ? 0
           : 1 + *std::max_element(shard_of_session.begin(), shard_of_session.end());
-  targets_.assign(static_cast<size_t>(n_shards), util::DynBitset(eng.n_elements()));
+  // Controllers rebuild shards every sharded solve; reuse the target bitsets'
+  // word storage and the per-shard vectors instead of reallocating them.
+  targets_.resize(static_cast<size_t>(n_shards));
+  for (auto& t : targets_) {
+    t.resize(eng.n_elements());
+    t.reset_all();
+  }
   weights_.assign(static_cast<size_t>(n_shards), 0);
-  sessions_.assign(static_cast<size_t>(n_shards), {});
+  sessions_.resize(static_cast<size_t>(n_shards));
+  for (auto& s : sessions_) s.clear();
   for (size_t s = 0; s < shard_of_session.size(); ++s) {
     sessions_[static_cast<size_t>(shard_of_session[s])].push_back(static_cast<int>(s));
   }

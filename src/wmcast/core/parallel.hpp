@@ -17,11 +17,14 @@
 // threads = 1 (an inline pool) is the reference semantics.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "wmcast/core/engine.hpp"
+#include "wmcast/util/arena.hpp"
 #include "wmcast/core/solve.hpp"
 #include "wmcast/core/workspace.hpp"
 #include "wmcast/util/bitset.hpp"
@@ -62,16 +65,39 @@ class SessionShards {
   std::vector<std::vector<int>> sessions_;
 };
 
-/// One SolveWorkspace per pool lane, reused across sharded solves so the
-/// steady state allocates nothing. prepare() must run before dispatch (it
-/// grows the vector on the calling thread; lanes only index afterwards).
+/// One SolveWorkspace per pool lane, each seated on its own monotonic
+/// util::Arena, reused across sharded solves so the steady state allocates
+/// nothing — and never from the shared heap even while warming up. prepare()
+/// must run before dispatch (it grows the vectors on the calling thread;
+/// lanes only index afterwards). Arenas are declared before the workspaces
+/// and heap-pinned via unique_ptr, so they outlive every container seated on
+/// them and survive vector reallocation.
 struct ShardWorkspaces {
+  std::vector<std::unique_ptr<util::Arena>> arenas;
   std::vector<SolveWorkspace> ws;
 
   void prepare(int lanes) {
-    if (ws.size() < static_cast<size_t>(lanes)) ws.resize(static_cast<size_t>(lanes));
+    while (arenas.size() < static_cast<size_t>(lanes)) {
+      arenas.push_back(std::make_unique<util::Arena>());
+    }
+    while (ws.size() < static_cast<size_t>(lanes)) {
+      ws.emplace_back(arenas[ws.size()].get());
+    }
   }
   SolveWorkspace& lane(int k) { return ws[static_cast<size_t>(k)]; }
+
+  /// Sum of the lanes' arena high-water marks (peak live scratch bytes).
+  size_t arena_high_water_bytes() const {
+    size_t total = 0;
+    for (const auto& a : arenas) total += a->high_water_bytes();
+    return total;
+  }
+  /// Sum of the lanes' reserved arena block capacity.
+  size_t arena_reserved_bytes() const {
+    size_t total = 0;
+    for (const auto& a : arenas) total += a->reserved_bytes();
+    return total;
+  }
 };
 
 /// Per-solve accounting, surfaced as counters.engine.parallel.* telemetry.
@@ -79,6 +105,8 @@ struct ParallelStats {
   int tasks = 0;         // shards dispatched
   int workers = 0;       // pool lanes that received work
   double imbalance = 0.0;  // max shard weight / mean shard weight (1 = balanced)
+  uint64_t arena_high_water_bytes = 0;  // peak live per-shard arena scratch
+  uint64_t arena_reserved_bytes = 0;    // arena block capacity reserved
 };
 
 /// Fills `stats` from a partition + pool (helper for the entry points below).
@@ -105,7 +133,11 @@ std::vector<Result> parallel_solve_sessions(const SessionShards& shards,
           solve_shard(static_cast<int>(k), ws, shards.target(static_cast<int>(k)));
     }
   });
-  if (stats != nullptr) fill_parallel_stats(shards, pool, *stats);
+  if (stats != nullptr) {
+    fill_parallel_stats(shards, pool, *stats);
+    stats->arena_high_water_bytes = wss.arena_high_water_bytes();
+    stats->arena_reserved_bytes = wss.arena_reserved_bytes();
+  }
   return out;
 }
 

@@ -13,14 +13,58 @@ namespace {
 
 constexpr double kTol = 1e-12;  // same residual tolerance as setcover/layering.cpp
 
+/// Fast-path margin for the double cross-product comparison below. Each
+/// product carries one rounding (relative error <= u = 2^-53); a computed
+/// gap beyond (1+u)/(1-u)^2 - 1 ~ 3u guarantees the exact comparison
+/// agrees. 1e-15 ~ 9u leaves slack — anything closer takes the exact path.
+constexpr double kRatioMargin = 1.0 + 1e-15;
+/// Below this, a product may be subnormal and the relative-error argument
+/// breaks down; such freak costs take the exact path too.
+constexpr double kRatioTiny = 1e-290;
+
 /// Heap "less" for std::push_heap/pop_heap: a sorts below b iff b is the
-/// strictly better pick, so the heap top is the best entry.
+/// strictly better pick, so the heap top is the best entry. The double
+/// cross products decide almost every comparison outright (the margin above
+/// makes the verdict provably equal to the exact one); near-tied ratios
+/// fall back to better_pick's exact integer arithmetic over the engine's
+/// cached cost decomposition, so the order is bit-identical to better_pick.
 struct HeapLess {
   const CoverageEngine& eng;
+
+  /// True iff x is the strictly better pick than y.
+  bool better(const HeapEntry& x, const HeapEntry& y) const {
+    if (x.gain > 0 || y.gain > 0) {
+      if (x.gain <= 0) return false;
+      if (y.gain <= 0) return true;
+      const double lhs = static_cast<double>(x.gain) * y.cost;
+      const double rhs = static_cast<double>(y.gain) * x.cost;
+      if (lhs > kRatioTiny && rhs > kRatioTiny) {
+        if (lhs > rhs * kRatioMargin) return true;
+        if (rhs > lhs * kRatioMargin) return false;
+      }
+      // Equal costs (ubiquitous: sets sharing a rate level share a cost, and
+      // ratio ties land here) reduce g_x/c vs g_y/c to an integer gain
+      // compare — exact, and no engine lookups.
+      if (x.cost == y.cost) {
+        if (x.gain != y.gain) return x.gain > y.gain;
+        return x.set < y.set;
+      }
+      return better_pick_decomposed(
+          x.gain, eng.cost_mant(x.set), eng.cost_exp(x.set), x.set, y.gain,
+          eng.cost_mant(y.set), eng.cost_exp(y.set), y.set);
+    }
+    return x.set < y.set;
+  }
+
   bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    return better_pick(b.gain, eng.cost(b.set), b.set, a.gain, eng.cost(a.set), a.set);
+    return better(b, a);
   }
 };
+
+/// Heap entry for set j with gain g.
+inline HeapEntry entry_for(const CoverageEngine& eng, int32_t g, int32_t j) {
+  return {g, j, eng.cost(j)};
+}
 
 /// ws.remaining = coverable ∩ restrict_to (or just coverable).
 void init_remaining(const CoverageEngine& eng, SolveWorkspace& ws,
@@ -48,33 +92,80 @@ void init_gains(const CoverageEngine& eng, SolveWorkspace& ws, bool full_target)
   });
 }
 
-void heap_push(std::vector<HeapEntry>& heap, const HeapLess& less, HeapEntry e) {
-  heap.push_back(e);
-  std::push_heap(heap.begin(), heap.end(), less);
+void heap_make(util::ArenaVector<HeapEntry>& heap, const HeapLess& less) {
+  std::make_heap(heap.begin(), heap.end(), less);
 }
 
-HeapEntry heap_pop(std::vector<HeapEntry>& heap, const HeapLess& less) {
-  std::pop_heap(heap.begin(), heap.end(), less);
-  const HeapEntry top = heap.back();
+/// Seat `e` starting from the root of a binary max-heap whose slot 0 is a
+/// hole (same layout std::make_heap/push_heap maintain). Early-exits as
+/// soon as `e` dominates both children, so re-seating a slightly-demoted
+/// front entry touches only the cache-hot top levels — the key cost
+/// difference vs a full pop (which sifts a random *leaf* through every
+/// level) followed by a push.
+void heap_replace_front(util::ArenaVector<HeapEntry>& heap, const HeapLess& less,
+                        HeapEntry e) {
+  const size_t n = heap.size();
+  size_t i = 0;
+  for (;;) {
+    size_t c = 2 * i + 1;
+    if (c >= n) break;
+    if (c + 1 < n && less(heap[c], heap[c + 1])) ++c;
+    if (!less(e, heap[c])) break;
+    heap[i] = heap[c];
+    i = c;
+  }
+  heap[i] = e;
+}
+
+/// Removes the front (max) entry.
+void heap_drop_front(util::ArenaVector<HeapEntry>& heap, const HeapLess& less) {
+  const HeapEntry last = heap.back();
   heap.pop_back();
-  return top;
+  if (!heap.empty()) heap_replace_front(heap, less, last);
+}
+
+/// Wholesale refresh: drop every entry whose set's maintained gain hit zero,
+/// overwrite each survivor's stored gain with the exact value, re-heapify.
+/// O(n) total — the escape hatch the solver loops take when front-of-heap
+/// churn (stale refreshes + dead drops since the last rebuild) says most of
+/// the heap is stale, instead of funneling ~n dead entries one by one
+/// through full-depth sifts. Selection is unchanged: afterwards the heap
+/// holds exactly the entries a freshly seeded heap would, with exact gains,
+/// and the comparator's strict total order picks the same unique argmax.
+void heap_compact_rebuild(const util::ArenaVector<int32_t>& gain,
+                          util::ArenaVector<HeapEntry>& heap, const HeapLess& less) {
+  size_t w = 0;
+  for (const HeapEntry& e : heap) {
+    const int32_t g = gain[static_cast<size_t>(e.set)];
+    if (g > 0) heap[w++] = HeapEntry{g, e.set, e.cost};
+  }
+  heap.resize(w);
+  heap_make(heap, less);
 }
 
 /// Commits set j: marks its full member list in `covered_full` (when given),
 /// clears its still-remaining members and decrements the maintained gain of
 /// every set containing each newly covered element. Returns how many target
 /// elements the set newly covered.
+///
+/// Two batched phases instead of one interleaved loop: first the member walk
+/// (bitset reads/writes) gathers the newly covered elements into ws.newly,
+/// then the gain maintenance streams their inverted-index rows back to back.
+/// Members are ascending within a set, so the rows land in ascending CSR
+/// order — sequential slices of inv_sets_ — and the decrement loop runs
+/// without the member bitsets competing for cache. Decrements are
+/// commutative, so the split changes nothing observable.
 int commit_set(const CoverageEngine& eng, SolveWorkspace& ws, int j,
                util::DynBitset* covered_full) {
-  int newly = 0;
+  ws.newly.clear();
   for (const int32_t e : eng.members(j)) {
     if (covered_full != nullptr) covered_full->set(e);
-    if (!ws.remaining.test(e)) continue;
-    ws.remaining.reset(e);
-    ++newly;
+    if (ws.remaining.test_and_reset(e)) ws.newly.push_back(e);
+  }
+  for (const int32_t e : ws.newly) {
     eng.for_each_set_of(e, [&](int32_t k) { --ws.gain[static_cast<size_t>(k)]; });
   }
-  return newly;
+  return static_cast<int>(ws.newly.size());
 }
 
 }  // namespace
@@ -92,18 +183,35 @@ CoverResult greedy_cover(const CoverageEngine& eng, SolveWorkspace& ws,
   heap.clear();
   for (int j = 0; j < eng.n_set_slots(); ++j) {
     const int32_t g = ws.gain[static_cast<size_t>(j)];
-    if (g > 0) heap.push_back({g, j});
+    if (g > 0) heap.push_back(entry_for(eng, g, j));
   }
-  std::make_heap(heap.begin(), heap.end(), less);
+  heap_make(heap, less);
 
   int left = ws.remaining.count();
+  size_t churn = 0;  // stale-front events since the last wholesale rebuild
   while (left > 0 && !heap.empty()) {
-    const HeapEntry top = heap_pop(heap, less);
-    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
-    if (top.gain != g) {  // stale: refresh with the exact maintained gain
-      if (g > 0) heap_push(heap, less, {g, top.set});
+    if (churn * 32 > heap.size() + 64) {
+      heap_compact_rebuild(ws.gain, heap, less);
+      churn = 0;
       continue;
     }
+    HeapEntry top = heap.front();  // peek — don't pay for a pop yet
+    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
+    if (top.gain != g) {  // stale: refresh with the exact maintained gain
+      ++churn;
+      if (g <= 0) {
+        heap_drop_front(heap, less);
+      } else {
+        // Re-seat the refreshed entry in place. Gains fall by small steps,
+        // so it usually stops within the top (cache-hot) levels — far
+        // cheaper than the classic pop + re-push round trip, and the heap
+        // invariant is identical, so the pick order doesn't change.
+        top.gain = g;
+        heap_replace_front(heap, less, top);
+      }
+      continue;
+    }
+    heap_drop_front(heap, less);
     res.chosen.push_back(top.set);
     res.total_cost += eng.cost(top.set);
     left -= commit_set(eng, ws, top.set, &res.covered);
@@ -112,9 +220,9 @@ CoverResult greedy_cover(const CoverageEngine& eng, SolveWorkspace& ws,
   return res;
 }
 
-McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+void mcg_cover_into(const CoverageEngine& eng, SolveWorkspace& ws,
                     std::span<const double> group_budgets,
-                    const util::DynBitset* restrict_to) {
+                    const util::DynBitset* restrict_to, McgResult& res) {
   util::require(static_cast<int>(group_budgets.size()) == eng.n_groups(),
                 "mcg_cover: one budget per group required");
 
@@ -123,8 +231,13 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
   init_gains(eng, ws, restrict_to == nullptr);
   ws.group_cost.assign(static_cast<size_t>(eng.n_groups()), 0.0);
 
-  McgResult res;
-  res.covered_h = util::DynBitset(eng.n_elements());
+  res.h.clear();
+  res.violator.clear();
+  res.h1.clear();
+  res.h2.clear();
+  res.chosen.clear();
+  res.covered_h.resize(eng.n_elements());
+  res.covered_h.reset_all();
 
   const HeapLess less{eng};
   auto& heap = ws.heap;
@@ -135,20 +248,36 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
     if (!util::fits_budget(eng.cost(j), group_budgets[static_cast<size_t>(eng.group(j))])) {
       continue;
     }
-    heap.push_back({g, j});
+    heap.push_back(entry_for(eng, g, j));
   }
-  std::make_heap(heap.begin(), heap.end(), less);
+  heap_make(heap, less);
 
   int left = ws.remaining.count();
+  size_t churn = 0;  // stale-front events since the last wholesale rebuild
   while (left > 0 && !heap.empty()) {
-    const HeapEntry top = heap_pop(heap, less);
-    const auto grp = static_cast<size_t>(eng.group(top.set));
-    if (util::budget_exhausted(ws.group_cost[grp], group_budgets[grp])) continue;
-    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
-    if (top.gain != g) {
-      if (g > 0) heap_push(heap, less, {g, top.set});
+    if (churn * 32 > heap.size() + 64) {
+      heap_compact_rebuild(ws.gain, heap, less);
+      churn = 0;
       continue;
     }
+    HeapEntry top = heap.front();  // peek, as in greedy_cover
+    const auto grp = static_cast<size_t>(eng.group(top.set));
+    if (util::budget_exhausted(ws.group_cost[grp], group_budgets[grp])) {
+      heap_drop_front(heap, less);
+      continue;
+    }
+    const int32_t g = ws.gain[static_cast<size_t>(top.set)];
+    if (top.gain != g) {
+      ++churn;
+      if (g <= 0) {
+        heap_drop_front(heap, less);
+      } else {
+        top.gain = g;
+        heap_replace_front(heap, less, top);
+      }
+      continue;
+    }
+    heap_drop_front(heap, less);
     ws.group_cost[grp] += eng.cost(top.set);
     res.h.push_back(top.set);
     res.violator.push_back(
@@ -176,12 +305,19 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
     res.chosen = res.h1;
     res.covered = ws.cov_a;
   }
+}
+
+McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
+                    std::span<const double> group_budgets,
+                    const util::DynBitset* restrict_to) {
+  McgResult res;
+  mcg_cover_into(eng, ws, group_budgets, restrict_to, res);
   return res;
 }
 
 std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
                              std::span<const double> group_budgets,
-                             std::vector<double>& group_cost, util::DynBitset& covered,
+                             std::span<double> group_cost, util::DynBitset& covered,
                              const util::DynBitset* restrict_to) {
   util::require(static_cast<int>(group_budgets.size()) == eng.n_groups(),
                 "mcg_augment: one budget per group required");
@@ -200,23 +336,37 @@ std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
     if (g <= 0) continue;
     const auto grp = static_cast<size_t>(eng.group(j));
     if (!util::fits_budget(group_cost[grp] + eng.cost(j), group_budgets[grp])) continue;
-    heap.push_back({g, j});
+    heap.push_back(entry_for(eng, g, j));
   }
-  std::make_heap(heap.begin(), heap.end(), less);
+  heap_make(heap, less);
 
   std::vector<int> added;
   int left = ws.remaining.count();
+  size_t churn = 0;  // stale-front events since the last wholesale rebuild
   while (left > 0 && !heap.empty()) {
-    const HeapEntry top = heap_pop(heap, less);
+    if (churn * 32 > heap.size() + 64) {
+      heap_compact_rebuild(ws.gain, heap, less);
+      churn = 0;
+      continue;
+    }
+    HeapEntry top = heap.front();  // peek, as in greedy_cover
     const auto grp = static_cast<size_t>(eng.group(top.set));
     if (!util::fits_budget(group_cost[grp] + eng.cost(top.set), group_budgets[grp])) {
-      continue;  // no longer fits
+      heap_drop_front(heap, less);  // no longer fits
+      continue;
     }
     const int32_t g = ws.gain[static_cast<size_t>(top.set)];
     if (top.gain != g) {
-      if (g > 0) heap_push(heap, less, {g, top.set});
+      ++churn;
+      if (g <= 0) {
+        heap_drop_front(heap, less);
+      } else {
+        top.gain = g;
+        heap_replace_front(heap, less, top);
+      }
       continue;
     }
+    heap_drop_front(heap, less);
     group_cost[grp] += eng.cost(top.set);
     added.push_back(top.set);
     left -= commit_set(eng, ws, top.set, &covered);
@@ -227,10 +377,12 @@ std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
 namespace {
 
 /// One full SCG attempt at a fixed B*: iterate the MCG greedy on the
-/// shrinking remainder until coverage stalls or completes.
+/// shrinking remainder until coverage stalls or completes. `mcg_scratch` is
+/// the one McgResult reused across every pass of every attempt, so the
+/// budget search allocates nothing per pass once warm.
 ScgResult run_at_budget(const CoverageEngine& eng, SolveWorkspace& ws, double bstar,
                         int max_passes, bool carry_budgets,
-                        const util::DynBitset* restrict_to) {
+                        const util::DynBitset* restrict_to, McgResult& mcg_scratch) {
   ScgResult res;
   res.bstar = bstar;
   res.covered = util::DynBitset(eng.n_elements());
@@ -246,7 +398,8 @@ ScgResult run_at_budget(const CoverageEngine& eng, SolveWorkspace& ws, double bs
             std::max(0.0, bstar - res.group_cost[static_cast<size_t>(g)]);
       }
     }
-    const McgResult mcg = mcg_cover(eng, ws, ws.pass_budget, &ws.scg_remaining);
+    mcg_cover_into(eng, ws, ws.pass_budget, &ws.scg_remaining, mcg_scratch);
+    const McgResult& mcg = mcg_scratch;
     if (mcg.covered.none()) break;  // no progress possible at this B*
     ++res.passes;
     for (const int j : mcg.chosen) {
@@ -291,16 +444,17 @@ ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
   const double lo = std::max(min_budget, 1e-9);
   const double hi = std::max(params.budget_cap, lo);
 
-  ScgResult best =
-      run_at_budget(eng, ws, lo, max_passes, params.carry_budgets, restrict_to);
+  McgResult mcg_scratch;  // reused across every pass of every budget attempt
+  ScgResult best = run_at_budget(eng, ws, lo, max_passes, params.carry_budgets,
+                                 restrict_to, mcg_scratch);
   double largest_infeasible = best.feasible ? 0.0 : lo;
 
   const double ratio = hi / lo;
   for (int k = 1; k < params.grid_points; ++k) {
     const double b =
         lo * std::pow(ratio, static_cast<double>(k) / (params.grid_points - 1));
-    ScgResult r =
-        run_at_budget(eng, ws, b, max_passes, params.carry_budgets, restrict_to);
+    ScgResult r = run_at_budget(eng, ws, b, max_passes, params.carry_budgets,
+                                restrict_to, mcg_scratch);
     if (!r.feasible) largest_infeasible = std::max(largest_infeasible, b);
     if (scg_better(r, best)) best = std::move(r);
   }
@@ -312,8 +466,8 @@ ScgResult scg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
       if (feasible_hi - infeasible_lo < 1e-6) break;
       const double mid = infeasible_lo <= 0.0 ? feasible_hi / 2
                                               : 0.5 * (infeasible_lo + feasible_hi);
-      ScgResult r =
-          run_at_budget(eng, ws, mid, max_passes, params.carry_budgets, restrict_to);
+      ScgResult r = run_at_budget(eng, ws, mid, max_passes, params.carry_budgets,
+                                  restrict_to, mcg_scratch);
       if (r.feasible) {
         feasible_hi = mid;
         if (scg_better(r, best)) best = std::move(r);

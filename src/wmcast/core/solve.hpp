@@ -45,20 +45,18 @@ namespace wmcast::core {
 /// joint solve and the sharded per-session solves (core/parallel.hpp) could
 /// commit different associations for the same instance. Found by the chaos
 /// differential replayer (chaos/oracles.hpp); see tests/chaos tests.
-inline bool better_pick(int32_t gain_a, double cost_a, int set_a,
-                        int32_t gain_b, double cost_b, int set_b) {
+/// better_pick over pre-decomposed costs (cost = mant * 2^(exp-53), the
+/// frexp/ldexp decomposition below). The engine caches each set's (mant, exp)
+/// at add_set time so the heap comparator never re-runs frexp in the hot
+/// loop; the arithmetic is identical, so picks are bit-identical.
+inline bool better_pick_decomposed(int32_t gain_a, int64_t ma, int32_t ea,
+                                   int set_a, int32_t gain_b, int64_t mb,
+                                   int32_t eb, int set_b) {
   if (gain_a > 0 || gain_b > 0) {
     if (gain_a <= 0) return false;  // b's ratio is positive, a's is not
     if (gain_b <= 0) return true;
-    // cost = m * 2^(e-53) with m an integer in [2^52, 2^53) (or smaller for
-    // subnormals; still exact). gain * m fits in 31+53 bits, and the shift
-    // below stays under 127 bits, so every comparison is exact.
-    int ea = 0;
-    int eb = 0;
-    const double fa = std::frexp(cost_a, &ea);
-    const double fb = std::frexp(cost_b, &eb);
-    const auto ma = static_cast<int64_t>(std::ldexp(fa, 53));
-    const auto mb = static_cast<int64_t>(std::ldexp(fb, 53));
+    // gain * m fits in 31+53 bits, and the shift below stays under 127 bits,
+    // so every comparison is exact.
     const __int128 lhs = static_cast<__int128>(gain_a) * mb;  // * 2^(eb-53)
     const __int128 rhs = static_cast<__int128>(gain_b) * ma;  // * 2^(ea-53)
     const int diff = eb - ea;
@@ -69,6 +67,17 @@ inline bool better_pick(int32_t gain_a, double cost_a, int set_a,
     if (l != r) return l > r;
   }
   return set_a < set_b;
+}
+
+inline bool better_pick(int32_t gain_a, double cost_a, int set_a,
+                        int32_t gain_b, double cost_b, int set_b) {
+  int64_t ma = 0;
+  int64_t mb = 0;
+  int32_t ea = 0;
+  int32_t eb = 0;
+  decompose_cost(cost_a, ma, ea);
+  decompose_cost(cost_b, mb, eb);
+  return better_pick_decomposed(gain_a, ma, ea, set_a, gain_b, mb, eb, set_b);
 }
 
 struct CoverResult {
@@ -122,11 +131,18 @@ McgResult mcg_cover(const CoverageEngine& eng, SolveWorkspace& ws,
                     std::span<const double> group_budgets,
                     const util::DynBitset* restrict_to = nullptr);
 
+/// Allocation-reusing form: clears `res` and solves into it, keeping the
+/// capacity of its vectors and bitsets. SCG's budget search calls this once
+/// per pass — dozens of times per solve — with one reused result.
+void mcg_cover_into(const CoverageEngine& eng, SolveWorkspace& ws,
+                    std::span<const double> group_budgets,
+                    const util::DynBitset* restrict_to, McgResult& res);
+
 /// Budget-respecting augmentation after the split; extends `covered` and
 /// `group_cost` in place and returns the sets it added.
 std::vector<int> mcg_augment(const CoverageEngine& eng, SolveWorkspace& ws,
                              std::span<const double> group_budgets,
-                             std::vector<double>& group_cost, util::DynBitset& covered,
+                             std::span<double> group_cost, util::DynBitset& covered,
                              const util::DynBitset* restrict_to = nullptr);
 
 /// SCG: geometric grid + bisection search for B*, repeated MCG passes.

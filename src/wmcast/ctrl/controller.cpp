@@ -83,6 +83,10 @@ assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc,
       tele_.engine_parallel_tasks.inc(static_cast<uint64_t>(pstats.tasks));
       tele_.engine_parallel_workers.set(pstats.workers);
       tele_.engine_parallel_imbalance.set(pstats.imbalance);
+      tele_.engine_parallel_arena_peak_bytes.set(
+          static_cast<double>(pstats.arena_high_water_bytes));
+      tele_.engine_parallel_arena_reserved_bytes.set(
+          static_cast<double>(pstats.arena_reserved_bytes));
     } else {
       greedy = core::greedy_cover(engine_, solve_ws_);
     }
@@ -150,6 +154,26 @@ void AssociationController::refresh_engine(const NetworkState& next) {
     }
   }
   if (dirty_groups_.empty() && next.n_slots() <= engine_.n_elements()) return;
+  // Rescan dirty groups in (grid cell, ap) order: neighboring APs share most
+  // of their member slots, so walking their CSR rows back-to-back hits the
+  // per-slot data while it is still cache-hot. The key is a pure function of
+  // the AP layout, so set-id assignment — and hence solver tie-breaks — stays
+  // deterministic for a given batch. States built from explicit link rates
+  // carry no AP geometry; they keep the ascending-id order.
+  const auto& grid = next.ap_grid();
+  const auto& pos = next.ap_positions();
+  const bool have_geometry =
+      !dirty_groups_.empty() &&
+      pos.size() > static_cast<size_t>(*std::max_element(dirty_groups_.begin(),
+                                                         dirty_groups_.end()));
+  if (have_geometry) {
+    std::sort(dirty_groups_.begin(), dirty_groups_.end(), [&](int a, int b) {
+      const int64_t ka = grid.cell_key(pos[static_cast<size_t>(a)]);
+      const int64_t kb = grid.cell_key(pos[static_cast<size_t>(b)]);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+  }
   engine_.update_groups(StateSource(next), dirty_groups_, cfg_.multi_rate);
 }
 

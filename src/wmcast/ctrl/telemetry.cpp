@@ -73,6 +73,9 @@ util::Json Telemetry::to_json() const {
   parallel.set("tasks", static_cast<int64_t>(engine_parallel_tasks.value()));
   parallel.set("workers", engine_parallel_workers.value());
   parallel.set("imbalance", engine_parallel_imbalance.value());
+  parallel.set("arena_peak_bytes", engine_parallel_arena_peak_bytes.value());
+  parallel.set("arena_reserved_bytes",
+               engine_parallel_arena_reserved_bytes.value());
   engine.set("parallel", std::move(parallel));
   counters.set("engine", std::move(engine));
 
@@ -148,6 +151,10 @@ std::string Telemetry::to_text() const {
   gline("queue_depth", queue_depth.value());
   gline("engine_parallel_workers", engine_parallel_workers.value());
   gline("engine_parallel_imbalance", engine_parallel_imbalance.value());
+  gline("engine_parallel_arena_peak_bytes",
+        engine_parallel_arena_peak_bytes.value());
+  gline("engine_parallel_arena_reserved_bytes",
+        engine_parallel_arena_reserved_bytes.value());
   out += "dirty_region_size:\n" + dirty_region_size.render();
   out += "reassoc_per_epoch:\n" + reassoc_per_epoch.render();
   out += "drain_seconds:\n" + drain_seconds.render();

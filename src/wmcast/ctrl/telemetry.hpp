@@ -89,6 +89,8 @@ struct Telemetry {
   Gauge queue_depth;
   Gauge engine_parallel_workers;    // pool lanes used by the last sharded solve
   Gauge engine_parallel_imbalance;  // max/mean shard weight of that solve
+  Gauge engine_parallel_arena_peak_bytes;      // summed lane-arena high-water marks
+  Gauge engine_parallel_arena_reserved_bytes;  // summed lane-arena block capacity
 
   // Histograms.
   BucketHistogram dirty_region_size;

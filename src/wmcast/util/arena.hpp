@@ -1,0 +1,142 @@
+#pragma once
+
+// Monotonic per-shard arena (DESIGN.md §13). Each `SessionShards` lane owns
+// one Arena; its SolveWorkspace's bitset words and scratch vectors allocate
+// from it, so steady-state parallel solves never touch the shared heap (and
+// never contend on the global allocator lock). Allocation only grows —
+// nothing is freed until the arena itself dies — which is exactly the
+// workspace lifetime: workspaces are prepared once per universe size and
+// reused across solves.
+//
+// Ownership rule: an Arena must outlive every container seated on it. The
+// structs that pair them (ShardWorkspaces) declare the arenas first so they
+// destruct last; ArenaAllocator's select_on_container_copy_construction
+// returns a heap-backed allocator, so copies that escape the shard (results,
+// telemetry snapshots) never alias arena memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = std::size_t{1} << 20)
+      : block_bytes_(block_bytes < 4096 ? 4096 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    WMCAST_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    if (!blocks_.empty()) {
+      Block& b = blocks_.back();
+      // Align the address, not the offset: new[] only guarantees 16 bytes.
+      const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      const std::size_t at =
+          ((base + b.used + align - 1) & ~(align - 1)) - base;
+      if (at + bytes <= b.cap) {
+        b.used = at + bytes;
+        allocated_ += bytes;
+        if (allocated_ > high_water_) high_water_ = allocated_;
+        return b.data.get() + at;
+      }
+    }
+    // New block: doubles past block_bytes_ for oversized requests so a big
+    // bitset doesn't strand a chain of near-empty blocks.
+    std::size_t cap = block_bytes_;
+    while (cap < bytes + align) cap *= 2;
+    Block b;
+    b.data.reset(new unsigned char[cap]);
+    b.cap = cap;
+    b.used = 0;
+    reserved_ += cap;
+    blocks_.push_back(std::move(b));
+    return allocate(bytes, align);
+  }
+
+  // Live bytes handed out (monotonic: arenas never free individually).
+  std::size_t allocated_bytes() const { return allocated_; }
+  // Peak of allocated_bytes() over the arena's lifetime.
+  std::size_t high_water_bytes() const { return high_water_; }
+  // Total block capacity reserved from the OS heap.
+  std::size_t reserved_bytes() const { return reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t block_bytes_;
+  std::size_t allocated_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+// std-compatible allocator over an Arena. A null arena means plain heap —
+// the default for every container so arena wiring is strictly opt-in.
+// Deallocation is a no-op for arena-backed memory (monotonic); heap-backed
+// memory is released normally. Propagation traits are all false and copies
+// made via select_on_container_copy_construction fall back to the heap, so
+// container copies that escape a shard never point into its arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept : arena_(nullptr) {}
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  ArenaAllocator select_on_container_copy_construction() const noexcept {
+    return ArenaAllocator();  // escaping copies are heap-backed
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ != o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+// Shorthand for arena-capable containers: heap-backed when default-built,
+// arena-backed when constructed with ArenaAllocator(&arena).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace wmcast::util

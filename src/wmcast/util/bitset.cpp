@@ -1,28 +1,44 @@
 #include "wmcast/util/bitset.hpp"
 
-#include <bit>
-
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/simd.hpp"
 
 namespace wmcast::util {
 
-DynBitset::DynBitset(int n_bits) : n_bits_(n_bits), words_((n_bits + 63) / 64, 0) {
+DynBitset::DynBitset(int n_bits)
+    : n_bits_(n_bits),
+      words_(static_cast<std::size_t>((n_bits + 63) / 64), 0) {
+  WMCAST_ASSERT(n_bits >= 0, "bitset size must be non-negative");
+}
+
+DynBitset::DynBitset(int n_bits, ArenaAllocator<uint64_t> alloc)
+    : n_bits_(n_bits),
+      words_(static_cast<std::size_t>((n_bits + 63) / 64), 0, alloc) {
   WMCAST_ASSERT(n_bits >= 0, "bitset size must be non-negative");
 }
 
 void DynBitset::set(int i) {
   WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
-  words_[i / 64] |= uint64_t{1} << (i % 64);
+  words_[static_cast<std::size_t>(i) / 64] |= uint64_t{1} << (i % 64);
 }
 
 void DynBitset::reset(int i) {
   WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
-  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+  words_[static_cast<std::size_t>(i) / 64] &= ~(uint64_t{1} << (i % 64));
 }
 
 bool DynBitset::test(int i) const {
   WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
-  return (words_[i / 64] >> (i % 64)) & 1;
+  return (words_[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1;
+}
+
+bool DynBitset::test_and_reset(int i) {
+  WMCAST_ASSERT(i >= 0 && i < n_bits_, "bit index out of range");
+  uint64_t& w = words_[static_cast<std::size_t>(i) / 64];
+  const uint64_t mask = uint64_t{1} << (i % 64);
+  const bool was = (w & mask) != 0;
+  w &= ~mask;
+  return was;
 }
 
 void DynBitset::set_all() {
@@ -38,40 +54,38 @@ void DynBitset::reset_all() {
 }
 
 int DynBitset::count() const {
-  int total = 0;
-  for (const auto w : words_) total += std::popcount(w);
-  return total;
+  return simd::popcount_words(words_.data(), words_.size());
 }
 
 bool DynBitset::any() const {
-  for (const auto w : words_) {
-    if (w != 0) return true;
+  const uint64_t* w = words_.data();
+  const std::size_t n = words_.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if ((w[i] | w[i + 1] | w[i + 2] | w[i + 3]) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (w[i] != 0) return true;
   }
   return false;
 }
 
 int DynBitset::and_count(const DynBitset& other) const {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  int total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] & other.words_[i]);
-  }
-  return total;
+  return simd::popcount_and_words(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 int DynBitset::andnot_count(const DynBitset& other) const {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  int total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] & ~other.words_[i]);
-  }
-  return total;
+  return simd::popcount_andnot_words(words_.data(), other.words_.data(),
+                                     words_.size());
 }
 
 void DynBitset::resize(int n_bits) {
   WMCAST_ASSERT(n_bits >= 0, "bitset size must be non-negative");
   n_bits_ = n_bits;
-  words_.resize(static_cast<size_t>((n_bits + 63) / 64), 0);
+  words_.resize(static_cast<std::size_t>((n_bits + 63) / 64), 0);
   // Clear the bits above n_bits_ in the last word so count() stays exact.
   if (n_bits_ % 64 != 0 && !words_.empty()) {
     words_.back() &= (uint64_t{1} << (n_bits_ % 64)) - 1;
@@ -80,38 +94,64 @@ void DynBitset::resize(int n_bits) {
 
 bool DynBitset::intersects(const DynBitset& other) const {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
+  const uint64_t* a = words_.data();
+  const uint64_t* b = other.words_.data();
+  const std::size_t n = words_.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (((a[i] & b[i]) | (a[i + 1] & b[i + 1]) | (a[i + 2] & b[i + 2]) |
+         (a[i + 3] & b[i + 3])) != 0) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
   }
   return false;
 }
 
 bool DynBitset::is_subset_of(const DynBitset& other) const {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  const uint64_t* a = words_.data();
+  const uint64_t* b = other.words_.data();
+  const std::size_t n = words_.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (((a[i] & ~b[i]) | (a[i + 1] & ~b[i + 1]) | (a[i + 2] & ~b[i + 2]) |
+         (a[i + 3] & ~b[i + 3])) != 0) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
   }
   return true;
 }
 
 void DynBitset::or_assign(const DynBitset& other) {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  uint64_t* a = words_.data();
+  const uint64_t* b = other.words_.data();
+  for (std::size_t i = 0; i < words_.size(); ++i) a[i] |= b[i];
 }
 
 void DynBitset::and_assign(const DynBitset& other) {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  uint64_t* a = words_.data();
+  const uint64_t* b = other.words_.data();
+  for (std::size_t i = 0; i < words_.size(); ++i) a[i] &= b[i];
 }
 
 void DynBitset::andnot_assign(const DynBitset& other) {
   WMCAST_ASSERT(n_bits_ == other.n_bits_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  uint64_t* a = words_.data();
+  const uint64_t* b = other.words_.data();
+  for (std::size_t i = 0; i < words_.size(); ++i) a[i] &= ~b[i];
 }
 
 std::vector<int> DynBitset::to_indices() const {
   std::vector<int> out;
-  out.reserve(static_cast<size_t>(count()));
+  out.reserve(static_cast<std::size_t>(count()));
   for_each([&out](int i) { out.push_back(i); });
   return out;
 }

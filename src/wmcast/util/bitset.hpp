@@ -1,10 +1,19 @@
 // Dynamic bitset tuned for the set-cover kernels: the hot operations are
 // popcount of an intersection (|S ∩ X'|) and in-place and/or/andnot updates.
+// Count kernels dispatch through wmcast::simd (unrolled word-parallel scalar
+// or AVX2, selected at runtime, bit-identical by construction); the visitor
+// templates skip zero words four at a time so sparse sets cost loads, not
+// per-bit branches. Word storage is arena-capable: a DynBitset constructed
+// with an ArenaAllocator allocates from its shard's arena (see util/arena.hpp
+// for the ownership rules); the default is the plain heap.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "wmcast/util/arena.hpp"
+#include "wmcast/util/simd.hpp"
 
 namespace wmcast::util {
 
@@ -14,12 +23,18 @@ class DynBitset {
  public:
   DynBitset() = default;
   explicit DynBitset(int n_bits);
+  /// Arena-backed storage: words allocate through `alloc` (heap when its
+  /// arena is null). Copy construction intentionally falls back to the heap.
+  DynBitset(int n_bits, ArenaAllocator<uint64_t> alloc);
 
   int size() const { return n_bits_; }
 
   void set(int i);
   void reset(int i);
   bool test(int i) const;
+  /// Clears bit i and returns its previous value (one word access — the
+  /// solvers' commit loop fuses its test+reset pair through this).
+  bool test_and_reset(int i);
 
   void set_all();
   void reset_all();
@@ -47,55 +62,90 @@ class DynBitset {
   /// *this &= ~other.
   void andnot_assign(const DynBitset& other);
 
-  bool operator==(const DynBitset& other) const = default;
+  bool operator==(const DynBitset& other) const {
+    return n_bits_ == other.n_bits_ && words_ == other.words_;
+  }
 
   /// Indices of set bits in increasing order.
   std::vector<int> to_indices() const;
 
+  /// Raw word storage (ceil(size/64) words, trailing bits clear). For the
+  /// engine's fused kernels; never exposes writable access.
+  const uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
   /// Calls fn(i) for every set bit i in increasing order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w];
-      while (bits != 0) {
-        const int b = __builtin_ctzll(bits);
-        fn(static_cast<int>(w * 64) + b);
-        bits &= bits - 1;
-      }
+    const uint64_t* w = words_.data();
+    const std::size_t n = words_.size();
+    std::size_t i = 0;
+    // Blocks of four words: one OR + branch skips 256 empty bits at a time.
+    for (; i + 4 <= n; i += 4) {
+      if ((w[i] | w[i + 1] | w[i + 2] | w[i + 3]) == 0) continue;
+      visit_word(w[i], static_cast<int>(i * 64), fn);
+      visit_word(w[i + 1], static_cast<int>((i + 1) * 64), fn);
+      visit_word(w[i + 2], static_cast<int>((i + 2) * 64), fn);
+      visit_word(w[i + 3], static_cast<int>((i + 3) * 64), fn);
     }
+    for (; i < n; ++i) visit_word(w[i], static_cast<int>(i * 64), fn);
   }
 
   /// Calls fn(i) for every bit set in (*this & other), in increasing order,
   /// without materializing the intersection.
   template <typename Fn>
   void for_each_and(const DynBitset& other, Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w] & other.words_[w];
-      while (bits != 0) {
-        const int b = __builtin_ctzll(bits);
-        fn(static_cast<int>(w * 64) + b);
-        bits &= bits - 1;
-      }
+    const uint64_t* a = words_.data();
+    const uint64_t* b = other.words_.data();
+    const std::size_t n = words_.size();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const uint64_t w0 = a[i] & b[i];
+      const uint64_t w1 = a[i + 1] & b[i + 1];
+      const uint64_t w2 = a[i + 2] & b[i + 2];
+      const uint64_t w3 = a[i + 3] & b[i + 3];
+      if ((w0 | w1 | w2 | w3) == 0) continue;
+      visit_word(w0, static_cast<int>(i * 64), fn);
+      visit_word(w1, static_cast<int>((i + 1) * 64), fn);
+      visit_word(w2, static_cast<int>((i + 2) * 64), fn);
+      visit_word(w3, static_cast<int>((i + 3) * 64), fn);
     }
+    for (; i < n; ++i) visit_word(a[i] & b[i], static_cast<int>(i * 64), fn);
   }
 
   /// Calls fn(i) for every bit set in (*this & ~other), in increasing order,
   /// without materializing the difference.
   template <typename Fn>
   void for_each_andnot(const DynBitset& other, Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w] & ~other.words_[w];
-      while (bits != 0) {
-        const int b = __builtin_ctzll(bits);
-        fn(static_cast<int>(w * 64) + b);
-        bits &= bits - 1;
-      }
+    const uint64_t* a = words_.data();
+    const uint64_t* b = other.words_.data();
+    const std::size_t n = words_.size();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const uint64_t w0 = a[i] & ~b[i];
+      const uint64_t w1 = a[i + 1] & ~b[i + 1];
+      const uint64_t w2 = a[i + 2] & ~b[i + 2];
+      const uint64_t w3 = a[i + 3] & ~b[i + 3];
+      if ((w0 | w1 | w2 | w3) == 0) continue;
+      visit_word(w0, static_cast<int>(i * 64), fn);
+      visit_word(w1, static_cast<int>((i + 1) * 64), fn);
+      visit_word(w2, static_cast<int>((i + 2) * 64), fn);
+      visit_word(w3, static_cast<int>((i + 3) * 64), fn);
     }
+    for (; i < n; ++i) visit_word(a[i] & ~b[i], static_cast<int>(i * 64), fn);
   }
 
  private:
+  template <typename Fn>
+  static void visit_word(uint64_t bits, int base, Fn&& fn) {
+    while (bits != 0) {
+      fn(base + __builtin_ctzll(bits));
+      bits &= bits - 1;
+    }
+  }
+
   int n_bits_ = 0;
-  std::vector<uint64_t> words_;
+  ArenaVector<uint64_t> words_;
 };
 
 }  // namespace wmcast::util

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/util/simd.hpp"
 #include "wmcast/util/thread_pool.hpp"
 
 namespace wmcast::util {
@@ -106,6 +107,10 @@ void Args::reject_unknown(std::initializer_list<std::string_view> known) const {
 
 int resolve_threads(const Args& args) {
   return ThreadPool::resolve_threads(args.get_int("threads", 0));
+}
+
+void resolve_simd(const Args& args) {
+  simd::set_mode(simd::mode_from_name(args.get("simd", "auto")));
 }
 
 }  // namespace wmcast::util

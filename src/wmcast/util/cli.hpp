@@ -41,4 +41,11 @@ class Args {
 /// else 1 (serial reference execution). See util/thread_pool.hpp.
 int resolve_threads(const Args& args);
 
+/// The one `--simd=auto|scalar|avx2` convention: applies the requested kernel
+/// dispatch mode process-wide (simd::set_mode) and returns it. Unknown names
+/// and --simd=avx2 on a CPU without AVX2 throw std::invalid_argument, so
+/// scripted byte-diff legs fail loudly instead of silently comparing the
+/// dispatched path against itself. Default: auto.
+void resolve_simd(const Args& args);
+
 }  // namespace wmcast::util

@@ -1,0 +1,66 @@
+#pragma once
+
+// Runtime-dispatched word-parallel kernels for DynBitset and the coverage
+// engine (DESIGN.md §13). The CPU is probed once (`caps()`); a process-wide
+// mode (`set_mode`) can force the scalar path so the SIMD implementations can
+// be differentially tested against it — both paths compute exact integer
+// popcounts, so they are bit-identical by construction and any divergence is
+// a bug, not a tolerance.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wmcast::simd {
+
+enum class Mode : int {
+  kAuto = 0,    // use the widest instruction set the CPU supports
+  kScalar = 1,  // force the portable unrolled-word path
+  kAvx2 = 2,    // force AVX2 (requires caps().avx2; asserted at set_mode)
+};
+
+struct Caps {
+  bool avx2 = false;
+};
+
+// CPU capabilities, detected once on first call.
+const Caps& caps();
+
+// Process-wide dispatch override. kAuto by default. set_mode(kAvx2) on a CPU
+// without AVX2 throws std::invalid_argument.
+void set_mode(Mode m);
+Mode mode();
+
+// True when the AVX2 kernels will actually be used.
+bool active_avx2();
+
+// "auto" | "scalar" | "avx2" <-> Mode, for --simd= flags.
+Mode mode_from_name(const std::string& name);
+const char* mode_name(Mode m);
+
+// RAII mode override for tests and differential oracles.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) : prev_(mode()) { set_mode(m); }
+  ~ScopedMode() { set_mode(prev_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+// Kernels over raw 64-bit word arrays (n = word count). Dispatched once per
+// call on the current mode; tails are handled internally. The scalar
+// implementations are exposed directly so tests can cross-check dispatch.
+int popcount_words(const uint64_t* w, std::size_t n);
+int popcount_and_words(const uint64_t* a, const uint64_t* b, std::size_t n);
+int popcount_andnot_words(const uint64_t* a, const uint64_t* b, std::size_t n);
+
+int popcount_words_scalar(const uint64_t* w, std::size_t n);
+int popcount_and_words_scalar(const uint64_t* a, const uint64_t* b,
+                              std::size_t n);
+int popcount_andnot_words_scalar(const uint64_t* a, const uint64_t* b,
+                                 std::size_t n);
+
+}  // namespace wmcast::simd

@@ -11,6 +11,8 @@
 // range (rate_for_distance uses <=).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +36,20 @@ class GridIndex {
   /// Equal iff built from the same points and cell size (the construction is
   /// deterministic, so field-wise comparison is exact).
   friend bool operator==(const GridIndex&, const GridIndex&) = default;
+
+  /// Row-major key of the cell containing `p`, clamped to the indexed extent.
+  /// Sorting by (cell_key, id) groups spatially adjacent points while keeping
+  /// a deterministic total order — consumers use it to walk per-point work in
+  /// cache-friendly cell order (points in one cell share most of their
+  /// in-range neighborhood).
+  int64_t cell_key(const Point& p) const {
+    if (n_points_ == 0) return 0;
+    const int cx = std::clamp(
+        static_cast<int>(std::floor((p.x - min_x_) / cell_)), 0, nx_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::floor((p.y - min_y_) / cell_)), 0, ny_ - 1);
+    return static_cast<int64_t>(cy) * nx_ + cx;
+  }
 
   /// Calls fn(i) for every indexed point i whose cell intersects the closed
   /// disk (center `p`, radius `radius`). Candidates are a superset of the

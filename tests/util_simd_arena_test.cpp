@@ -1,0 +1,213 @@
+// Kernel-dispatch and arena tests (DESIGN.md §13).
+//
+// The SIMD contract is bit-identity: scalar and dispatched (possibly AVX2)
+// kernels compute exact integer popcounts, so every result is compared with
+// EXPECT_EQ, never a tolerance. The bitset sizes 0/1/63/64/65/127 pin the
+// trailing-word edge cases: empty, single word, full word, one-past-a-word,
+// and a partial second word — where a masking bug would double-count or drop
+// the bits above n_bits.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "wmcast/util/arena.hpp"
+#include "wmcast/util/bitset.hpp"
+#include "wmcast/util/rng.hpp"
+#include "wmcast/util/simd.hpp"
+
+namespace wmcast {
+namespace {
+
+constexpr int kEdgeSizes[] = {0, 1, 63, 64, 65, 127};
+
+// Deterministic ~half-density bit pattern with all trailing-word shapes.
+util::DynBitset patterned(int n_bits, uint64_t seed) {
+  util::DynBitset b(n_bits);
+  util::Rng rng(seed);
+  for (int i = 0; i < n_bits; ++i) {
+    if (rng.next_u64() & 1) b.set(i);
+  }
+  return b;
+}
+
+int count_reference(const util::DynBitset& b, int n_bits) {
+  int n = 0;
+  for (int i = 0; i < n_bits; ++i) n += b.test(i) ? 1 : 0;
+  return n;
+}
+
+TEST(SimdKernelsTest, ScalarMatchesDispatchedOnWordArrays) {
+  util::Rng rng(2024);
+  // Sizes straddle the n >= 8 AVX2 dispatch threshold and the 4x unroll.
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                         size_t{8}, size_t{9}, size_t{31}, size_t{256},
+                         size_t{1000}}) {
+    std::vector<uint64_t> a(n), b(n);
+    for (auto& w : a) w = rng.next_u64();
+    for (auto& w : b) w = rng.next_u64();
+    EXPECT_EQ(simd::popcount_words(a.data(), n),
+              simd::popcount_words_scalar(a.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(simd::popcount_and_words(a.data(), b.data(), n),
+              simd::popcount_and_words_scalar(a.data(), b.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(simd::popcount_andnot_words(a.data(), b.data(), n),
+              simd::popcount_andnot_words_scalar(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, ModeNamesRoundTrip) {
+  EXPECT_EQ(simd::mode_from_name("auto"), simd::Mode::kAuto);
+  EXPECT_EQ(simd::mode_from_name("scalar"), simd::Mode::kScalar);
+  EXPECT_THROW(simd::mode_from_name("sse9"), std::invalid_argument);
+  EXPECT_STREQ(simd::mode_name(simd::Mode::kScalar), "scalar");
+  EXPECT_STREQ(simd::mode_name(simd::Mode::kAuto), "auto");
+  EXPECT_STREQ(simd::mode_name(simd::Mode::kAvx2), "avx2");
+  if (!simd::caps().avx2) {
+    EXPECT_THROW(simd::set_mode(simd::Mode::kAvx2), std::invalid_argument);
+  }
+}
+
+TEST(SimdKernelsTest, ScopedModeRestores) {
+  const simd::Mode before = simd::mode();
+  {
+    simd::ScopedMode force(simd::Mode::kScalar);
+    EXPECT_EQ(simd::mode(), simd::Mode::kScalar);
+    EXPECT_FALSE(simd::active_avx2());
+  }
+  EXPECT_EQ(simd::mode(), before);
+}
+
+TEST(BitsetEdgeTest, CountAtEveryTrailingWordShape) {
+  for (const int n : kEdgeSizes) {
+    const util::DynBitset b = patterned(n, 7 + static_cast<uint64_t>(n));
+    const int expected = count_reference(b, n);
+    EXPECT_EQ(b.count(), expected) << "n=" << n;
+    simd::ScopedMode force(simd::Mode::kScalar);
+    EXPECT_EQ(b.count(), expected) << "scalar n=" << n;
+  }
+}
+
+TEST(BitsetEdgeTest, AndAndnotCountsMatchScalarAtEdgeSizes) {
+  for (const int n : kEdgeSizes) {
+    const util::DynBitset a = patterned(n, 11 + static_cast<uint64_t>(n));
+    const util::DynBitset b = patterned(n, 13 + static_cast<uint64_t>(n));
+    int and_ref = 0;
+    int andnot_ref = 0;
+    for (int i = 0; i < n; ++i) {
+      and_ref += (a.test(i) && b.test(i)) ? 1 : 0;
+      andnot_ref += (a.test(i) && !b.test(i)) ? 1 : 0;
+    }
+    EXPECT_EQ(a.and_count(b), and_ref) << "n=" << n;
+    EXPECT_EQ(a.andnot_count(b), andnot_ref) << "n=" << n;
+    simd::ScopedMode force(simd::Mode::kScalar);
+    EXPECT_EQ(a.and_count(b), and_ref) << "scalar n=" << n;
+    EXPECT_EQ(a.andnot_count(b), andnot_ref) << "scalar n=" << n;
+  }
+}
+
+TEST(BitsetEdgeTest, VisitorsMatchTestLoopAtEdgeSizes) {
+  for (const int n : kEdgeSizes) {
+    const util::DynBitset a = patterned(n, 17 + static_cast<uint64_t>(n));
+    const util::DynBitset b = patterned(n, 19 + static_cast<uint64_t>(n));
+    std::vector<int> plain_ref, and_ref, andnot_ref;
+    for (int i = 0; i < n; ++i) {
+      if (a.test(i)) plain_ref.push_back(i);
+      if (a.test(i) && b.test(i)) and_ref.push_back(i);
+      if (a.test(i) && !b.test(i)) andnot_ref.push_back(i);
+    }
+    std::vector<int> plain, both, anot;
+    a.for_each([&](int i) { plain.push_back(i); });
+    a.for_each_and(b, [&](int i) { both.push_back(i); });
+    a.for_each_andnot(b, [&](int i) { anot.push_back(i); });
+    EXPECT_EQ(plain, plain_ref) << "n=" << n;
+    EXPECT_EQ(both, and_ref) << "n=" << n;
+    EXPECT_EQ(anot, andnot_ref) << "n=" << n;
+  }
+}
+
+TEST(BitsetEdgeTest, TestAndReset) {
+  util::DynBitset b(65);
+  b.set(0);
+  b.set(64);
+  EXPECT_TRUE(b.test_and_reset(64));
+  EXPECT_FALSE(b.test(64));
+  EXPECT_FALSE(b.test_and_reset(64));
+  EXPECT_TRUE(b.test_and_reset(0));
+  EXPECT_EQ(b.count(), 0);
+}
+
+TEST(ArenaTest, BumpAllocationAndStats) {
+  util::Arena arena(1024);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  void* p = arena.allocate(100, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  EXPECT_GE(arena.allocated_bytes(), 100u);
+  // Oversized requests get their own block instead of failing.
+  void* big = arena.allocate(10000, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % 64, 0u);
+  EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes());
+  EXPECT_GE(arena.high_water_bytes(), arena.allocated_bytes());
+}
+
+TEST(ArenaTest, HighWaterTracksAllocatedMonotonically) {
+  util::Arena arena(4096);
+  arena.allocate(200, 8);
+  const size_t peak = arena.high_water_bytes();
+  EXPECT_GE(peak, 200u);
+  arena.allocate(300, 8);
+  EXPECT_GE(arena.high_water_bytes(), peak + 300);
+  EXPECT_EQ(arena.high_water_bytes(), arena.allocated_bytes());
+}
+
+TEST(ArenaTest, ArenaVectorAllocatesFromArenaAndEscapesToHeap) {
+  util::Arena arena;
+  util::ArenaVector<int> v{util::ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_GE(arena.allocated_bytes(), 1000 * sizeof(int));
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 999 * 1000 / 2);
+
+  // An escaping copy must NOT be seated on the arena: copy construction
+  // selects a null-arena (heap) allocator, so results outlive the scratch.
+  util::ArenaVector<int> escaped = v;
+  EXPECT_EQ(escaped.get_allocator(), util::ArenaAllocator<int>(nullptr));
+  EXPECT_EQ(escaped.size(), v.size());
+
+  // Copy-assign into an arena-seated vector keeps the destination allocator
+  // (POCCA = false): workspaces absorb heap-backed data without rebinding.
+  util::ArenaVector<int> dst{util::ArenaAllocator<int>(&arena)};
+  dst = escaped;
+  EXPECT_EQ(dst.get_allocator(), util::ArenaAllocator<int>(&arena));
+  EXPECT_EQ(dst.size(), escaped.size());
+}
+
+TEST(ArenaTest, BitsetOnArena) {
+  util::Arena arena;
+  util::DynBitset b(1000, util::ArenaAllocator<uint64_t>(&arena));
+  EXPECT_GE(arena.allocated_bytes(), (1000 / 64) * sizeof(uint64_t));
+  b.set_all();
+  EXPECT_EQ(b.count(), 1000);
+  // Escaping copy is heap-backed, same contents.
+  util::DynBitset heap_copy = b;
+  EXPECT_TRUE(heap_copy == b);
+  const size_t before = arena.allocated_bytes();
+  heap_copy.reset(999);
+  EXPECT_EQ(arena.allocated_bytes(), before);
+  EXPECT_EQ(heap_copy.count(), 999);
+}
+
+TEST(ArenaTest, NullArenaAllocatorUsesHeap) {
+  util::ArenaVector<double> v{util::ArenaAllocator<double>(nullptr)};
+  v.assign(100, 1.5);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[99], 1.5);
+}
+
+}  // namespace
+}  // namespace wmcast

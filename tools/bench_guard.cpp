@@ -4,12 +4,21 @@
 // every build; refresh the baseline (bench/BENCH_micro_solvers.json) whenever
 // a deliberate perf change lands.
 //
-// Run: ./bench_guard --baseline=bench/BENCH_micro_solvers.json \
+// Run: ./bench_guard --baseline=bench/BENCH_micro_solvers.json
 //                    --current=out.json [--tolerance=0.25] [--min-ns=50000]
+//                    [--only=<prefix>] [--require-speedup=K]
 //
 // Exit code: 0 = all within tolerance, 1 = regression (or malformed input).
 // Benchmarks faster than --min-ns in the baseline are reported but never
 // fail the run: at that scale timer noise dominates any real change.
+//
+//  --only=<prefix>      gate only benchmarks whose name starts with <prefix>
+//                       (e.g. --only=kernel. or --only=scale_build/mla_solve);
+//                       everything else is ignored entirely
+//  --require-speedup=K  in addition to the regression gate, fail any selected
+//                       benchmark that is not >= K times FASTER than its
+//                       baseline entry — CI points this at a pre-optimization
+//                       baseline to pin a deliberate speedup
 
 #include <cstdio>
 #include <fstream>
@@ -73,16 +82,23 @@ std::map<std::string, Entry> load_times(const std::string& path, int* threads) {
 int main(int argc, char** argv) {
   try {
     const wmcast::util::Args args(argc, argv);
-    args.reject_unknown({"baseline", "current", "min-ns", "tolerance"});
+    args.reject_unknown(
+        {"baseline", "current", "min-ns", "tolerance", "only", "require-speedup"});
     const std::string baseline_path = args.get("baseline", "");
     const std::string current_path = args.get("current", "");
     const double tolerance = args.get_double("tolerance", 0.25);
     const double min_ns = args.get_double("min-ns", 50000.0);
+    const std::string only = args.get("only", "");
+    const double require_speedup = args.get_double("require-speedup", 0.0);
     if (baseline_path.empty() || current_path.empty()) {
       std::fprintf(stderr, "usage: bench_guard --baseline=A.json --current=B.json "
-                           "[--tolerance=0.25] [--min-ns=50000]\n");
+                           "[--tolerance=0.25] [--min-ns=50000] [--only=prefix] "
+                           "[--require-speedup=K]\n");
       return 1;
     }
+    const auto selected = [&](const std::string& name) {
+      return only.empty() || name.rfind(only, 0) == 0;
+    };
 
     int baseline_threads = 0;
     int current_threads = 0;
@@ -98,9 +114,13 @@ int main(int argc, char** argv) {
 
     int regressions = 0;
     int missing = 0;
+    int matched = 0;
+    if (!only.empty()) std::printf("gating only benchmarks matching '%s*'\n\n", only.c_str());
     std::printf("%-40s %14s %14s %8s\n", "benchmark", "baseline_ns", "current_ns",
                 "delta");
     for (const auto& [name, base] : baseline) {
+      if (!selected(name)) continue;
+      ++matched;
       const auto it = current.find(name);
       if (it == current.end()) {
         std::printf("%-40s %14.0f %14s %8s\n", name.c_str(), base.ns, "MISSING", "");
@@ -111,10 +131,19 @@ int main(int argc, char** argv) {
       const double delta = base.ns > 0.0 ? (cur_ns / base.ns - 1.0) * 100.0 : 0.0;
       const bool noise_floor = base.ns < min_ns;
       const bool regressed = !noise_floor && cur_ns > base.ns * (1.0 + tolerance);
+      const bool too_slow = require_speedup > 0.0 && !noise_floor &&
+                            cur_ns * require_speedup > base.ns;
       std::printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", name.c_str(), base.ns, cur_ns,
                   delta,
-                  regressed ? "  <-- REGRESSION" : (noise_floor ? "  (noise floor)" : ""));
-      if (regressed) ++regressions;
+                  regressed     ? "  <-- REGRESSION"
+                  : too_slow    ? "  <-- SPEEDUP NOT MET"
+                  : noise_floor ? "  (noise floor)"
+                                : "");
+      if (too_slow) {
+        std::printf("%-40s required >= %.2fx faster, got %.2fx\n", "",
+                    require_speedup, cur_ns > 0.0 ? base.ns / cur_ns : 0.0);
+      }
+      if (regressed || too_slow) ++regressions;
 
       if (base.bytes >= 0.0) {
         const std::string label = name + " [bytes]";
@@ -133,22 +162,38 @@ int main(int argc, char** argv) {
       }
     }
     for (const auto& [name, cur] : current) {
-      if (baseline.find(name) == baseline.end()) {
+      if (selected(name) && baseline.find(name) == baseline.end()) {
         std::printf("%-40s %14s %14.0f %8s\n", name.c_str(), "NEW", cur.ns, "");
       }
     }
 
+    if (!only.empty() && matched == 0) {
+      std::printf("\nno baseline benchmark matches --only=%s — nothing was gated; "
+                  "treating as failure.\n", only.c_str());
+      return 1;
+    }
     if (missing > 0) {
       std::printf("\n%d baseline benchmark(s) missing from the current run — "
                   "refresh the baseline if they were renamed.\n", missing);
       return 1;
     }
     if (regressions > 0) {
-      std::printf("\n%d benchmark(s) regressed more than %.0f%% over baseline.\n",
-                  regressions, tolerance * 100.0);
+      if (require_speedup > 0.0) {
+        std::printf("\n%d benchmark(s) regressed past %.0f%% or missed the "
+                    "required %.2fx speedup (see table above).\n",
+                    regressions, tolerance * 100.0, require_speedup);
+      } else {
+        std::printf("\n%d benchmark(s) regressed more than %.0f%% over baseline.\n",
+                    regressions, tolerance * 100.0);
+      }
       return 1;
     }
-    std::printf("\nall benchmarks within %.0f%% of baseline.\n", tolerance * 100.0);
+    if (require_speedup > 0.0) {
+      std::printf("\nall gated benchmarks >= %.2fx faster than baseline.\n",
+                  require_speedup);
+    } else {
+      std::printf("\nall benchmarks within %.0f%% of baseline.\n", tolerance * 100.0);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_guard: %s\n", e.what());

@@ -45,6 +45,10 @@
 //
 // Algorithms: ssa, mla-c, bla-c, mnu-c, mla-d, bla-d, mnu-d, lock-d,
 // local-search, mnu-1session, bla-1session.
+//
+// Every subcommand also accepts --simd=auto|scalar|avx2 (default auto) to
+// pin the bitset/popcount kernel dispatch; scalar and avx2 outputs are
+// bit-identical (docs/cli.md).
 
 #include <cstdio>
 #include <cstring>
@@ -402,7 +406,7 @@ int cmd_serve(const util::Args& args) {
        "no-admission", "seed", "threads", "profile", "duration", "rate",
        "workload-seed", "batch-max", "staleness-ms", "queue-cap", "policy",
        "no-coalesce", "modeled", "telemetry", "trace-out", "trace-epoch-s",
-       "quiet", "json"});
+       "quiet", "json", "simd"});
 
   wlan::Scenario sc = [&] {
     if (args.has("scenario")) return wlan::load_scenario(args.get("scenario", ""));
@@ -530,7 +534,7 @@ int cmd_serve(const util::Args& args) {
 // Deterministic fault-injection campaign (or a single-repro re-check).
 int cmd_chaos(const util::Args& args) {
   if (args.has("repro")) {
-    args.reject_unknown({"repro", "quiet"});
+    args.reject_unknown({"repro", "quiet", "simd"});
     const auto repro = chaos::load_repro(args.get("repro", ""));
     const auto r = chaos::run_repro(repro);
     const std::string failures = chaos::failures_to_text(r.results);
@@ -566,7 +570,7 @@ int cmd_chaos(const util::Args& args) {
   const bool as_json = args.get_bool("json", false);
   args.reject_unknown({"seed", "scenarios", "profile", "threads", "solver", "aps",
                        "users", "sessions", "area", "epochs", "no-shrink", "out-dir",
-                       "quiet", "json"});
+                       "quiet", "json", "simd"});
   if (!assoc::is_algorithm(cfg.solver)) {
     std::fprintf(stderr, "chaos: unknown --solver=%s\n", cfg.solver.c_str());
     return 2;
@@ -601,6 +605,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const util::Args args(argc - 1, argv + 1);
+    // Global kernel-dispatch override, honored by every subcommand (the
+    // scalar and SIMD paths are bit-identical; this exists for byte-diff
+    // verification legs and for benchmarking the scalar floor).
+    util::resolve_simd(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "solve") return cmd_solve(args);
