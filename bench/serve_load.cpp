@@ -11,7 +11,7 @@
 //                   [--duration=5] [--batch-max=256] [--staleness-ms=50]
 //                   [--queue-cap=0] [--policy=reject] [--refresh=0]
 //                   [--threshold=0.5] [--burst-events=1500] [--no-burst]
-//                   [--require-batching-gain=0] [--json=out.json]
+//                   [--require-batching-gain=0] [--pipeline] [--json=out.json]
 //                   [--simd=auto|scalar|avx2]
 //
 //  --require-batching-gain=K  exit 1 unless the batched burst arm beats
@@ -55,6 +55,7 @@ struct ArmResult {
   double p50_s = 0.0;
   double p99_s = 0.0;
   double p999_s = 0.0;
+  double p99_decision_s = 0.0;  // batch start -> decision committed
   uint64_t coalesced = 0;
 };
 
@@ -75,6 +76,7 @@ ArmResult run_arm(const std::string& name, const wlan::Scenario& sc,
   r.p50_s = tele.latency_s.quantile(0.5);
   r.p99_s = tele.latency_s.quantile(0.99);
   r.p999_s = tele.latency_s.quantile(0.999);
+  r.p99_decision_s = tele.decision_s.quantile(0.99);
   r.coalesced = tele.coalesced.value();
   return r;
 }
@@ -87,7 +89,7 @@ int main(int argc, char** argv) {
                        "profile", "rate", "duration", "batch-max", "staleness-ms",
                        "queue-cap", "policy", "refresh", "threshold",
                        "burst-events", "no-burst", "require-batching-gain",
-                       "json", "simd"});
+                       "pipeline", "json", "simd"});
   util::resolve_simd(args);
   const int n_users = args.get_int("users", 100000);
   const int n_aps = args.get_int("aps", 2000);
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
   const int queue_cap = args.get_int("queue-cap", 0);
   scfg.queue_cap = queue_cap <= 0 ? 0 : static_cast<size_t>(queue_cap);
   scfg.policy = serve::overflow_policy_from_name(args.get("policy", "reject"));
+  scfg.pipeline = args.get_bool("pipeline", false);
 
   std::printf("serve_load: %d users, %d APs, profile %s, %.0f events/s x %.1fs, "
               "batch-max %d, staleness %.0f ms, threads %d\n\n",
@@ -182,12 +185,13 @@ int main(int argc, char** argv) {
   }
 
   util::Table t({"arm", "events", "batches", "wall_s", "events/s", "p50_ms",
-                 "p99_ms", "p999_ms", "coalesced"});
+                 "p99_ms", "p999_ms", "p99_dec_ms", "coalesced"});
   for (const ArmResult& a : arms) {
     t.add_row({a.name, std::to_string(a.events), std::to_string(a.batches),
                util::fmt(a.wall_s, 3), util::fmt(a.events_per_s, 0),
                util::fmt(a.p50_s * 1000.0, 2), util::fmt(a.p99_s * 1000.0, 2),
-               util::fmt(a.p999_s * 1000.0, 2), std::to_string(a.coalesced)});
+               util::fmt(a.p999_s * 1000.0, 2),
+               util::fmt(a.p99_decision_s * 1000.0, 2), std::to_string(a.coalesced)});
   }
   t.print();
   if (run_burst) {
@@ -218,6 +222,15 @@ int main(int argc, char** argv) {
       b.set("name", "serve_load/p99_latency/" + profile_name + "/" + size_tag);
       b.set("real_time_ns", arms.front().p99_s * 1e9);
       b.set("iterations", static_cast<int64_t>(arms.front().events));
+      benches.push(std::move(b));
+    }
+    // Decision-only p99 per arm: the batch start -> decision-committed slice
+    // of the split latency histogram, without the queue wait.
+    for (const ArmResult& a : arms) {
+      util::Json b = util::Json::object();
+      b.set("name", "serve_load/p99_decision/" + a.name + "/" + size_tag);
+      b.set("real_time_ns", a.p99_decision_s * 1e9);
+      b.set("iterations", static_cast<int64_t>(a.events));
       benches.push(std::move(b));
     }
     doc.set("benchmarks", std::move(benches));

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "wmcast/util/assert.hpp"
+#include "wmcast/wlan/load_model.hpp"
 
 namespace wmcast::assoc {
 
@@ -12,6 +13,13 @@ namespace {
 
 constexpr double kImproveEps = 1e-12;
 
+// Search state over the incremental load model (wlan/load_model.hpp). The
+// model's loads are bit-identical to ap_load_for_members rescans, and every
+// mutation below applies the same `total += new_load - old_load` arithmetic
+// the rescanning implementation did — including the transient probe/rollback
+// sequence, whose rounding drift is part of the observable tie-break
+// behavior. Candidate probes therefore cost O(rate levels), not O(members),
+// while leaving every accepted move unchanged.
 struct State {
   const wlan::Scenario& sc;
   const LocalSearchParams& params;
@@ -19,28 +27,29 @@ struct State {
   std::vector<int>& user_ap;
   std::vector<std::vector<int>>& members;  // per AP
   std::vector<double>& ap_load;            // per AP
+  wlan::LoadModel model;
   int served = 0;
   double total = 0.0;
 
   State(const wlan::Scenario& s, const LocalSearchParams& p, core::AssocWorkspace& w)
       : sc(s), params(p), user_ap(w.user_ap), members(w.members), ap_load(w.ap_load) {
     w.prepare(s.n_aps(), s.n_users());
+    model.reset(s, p.multi_rate);
   }
 
-  double load_of(int a, const std::vector<int>& m) const {
-    return wlan::ap_load_for_members(sc, a, m, params.multi_rate);
-  }
-
-  void place(int u, int a) {
+  void place(int u, int a, double rate) {
     WMCAST_ASSERT(user_ap[static_cast<size_t>(u)] == wlan::kNoAp, "place: already placed");
     if (a == wlan::kNoAp) return;
-    auto& m = members[static_cast<size_t>(a)];
-    m.push_back(u);
-    const double nl = load_of(a, m);
+    members[static_cast<size_t>(a)].push_back(u);
+    const double nl = model.add(a, sc.user_session(u), rate);
     total += nl - ap_load[static_cast<size_t>(a)];
     ap_load[static_cast<size_t>(a)] = nl;
     user_ap[static_cast<size_t>(u)] = a;
     ++served;
+  }
+  void place(int u, int a) {
+    if (a == wlan::kNoAp) return;
+    place(u, a, sc.link_rate(a, u));
   }
 
   void unplace(int u) {
@@ -48,7 +57,7 @@ struct State {
     if (a == wlan::kNoAp) return;
     auto& m = members[static_cast<size_t>(a)];
     m.erase(std::find(m.begin(), m.end(), u));
-    const double nl = load_of(a, m);
+    const double nl = model.remove(a, sc.user_session(u), sc.link_rate(a, u));
     total += nl - ap_load[static_cast<size_t>(a)];
     ap_load[static_cast<size_t>(a)] = nl;
     user_ap[static_cast<size_t>(u)] = wlan::kNoAp;
@@ -58,6 +67,20 @@ struct State {
   double max_load() const {
     double mx = 0.0;
     for (const double l : ap_load) mx = std::max(mx, l);
+    return mx;
+  }
+
+  /// max_load() as it would read after moving `u` from `cur` (load lc_wo)
+  /// onto `a` (load la_w) — the two substituted entries are exactly the
+  /// values a physical move would have written.
+  double probe_max_load(int cur, double lc_wo, int a, double la_w) const {
+    double mx = 0.0;
+    for (size_t k = 0; k < ap_load.size(); ++k) {
+      double l = ap_load[k];
+      if (static_cast<int>(k) == cur) l = lc_wo;
+      if (static_cast<int>(k) == a) l = la_w;
+      mx = std::max(mx, l);
+    }
     return mx;
   }
 
@@ -81,6 +104,20 @@ struct State {
         return {static_cast<double>(-served), max_load(), total};
       case SearchObjective::kServedUsers:
         return {static_cast<double>(-served), total, 0.0};
+    }
+    return {0.0, 0.0, 0.0};
+  }
+
+  Key probe_key(double probe_total, int probe_served, int cur, double lc_wo, int a,
+                double la_w) const {
+    switch (params.objective) {
+      case SearchObjective::kTotalLoad:
+        return {static_cast<double>(-probe_served), probe_total, 0.0};
+      case SearchObjective::kMaxLoad:
+        return {static_cast<double>(-probe_served), probe_max_load(cur, lc_wo, a, la_w),
+                probe_total};
+      case SearchObjective::kServedUsers:
+        return {static_cast<double>(-probe_served), probe_total, 0.0};
     }
     return {0.0, 0.0, 0.0};
   }
@@ -114,9 +151,9 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
         int best_u = m.front();
         double best_drop = -1.0;
         for (const int u : m) {
-          auto rest = m;
-          rest.erase(std::find(rest.begin(), rest.end(), u));
-          const double drop = st.ap_load[static_cast<size_t>(a)] - st.load_of(a, rest);
+          const double drop =
+              st.ap_load[static_cast<size_t>(a)] -
+              st.model.load_without(a, sc.user_session(u), sc.link_rate(a, u));
           if (drop > best_drop) {
             best_drop = drop;
             best_u = u;
@@ -156,23 +193,44 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
       const int u = movers[mi];
       const int cur = st.user_ap[static_cast<size_t>(u)];
       const State::Key before = st.key();
+      const int s_u = sc.user_session(u);
+
+      // The unplace half of every probe is the same: u leaves cur.
+      double lc_wo = 0.0;
+      double d_un = 0.0;
+      if (cur != wlan::kNoAp) {
+        lc_wo = st.model.load_without(cur, s_u, sc.link_rate(cur, u));
+        d_un = lc_wo - st.ap_load[static_cast<size_t>(cur)];
+      }
+      const int probe_served = cur != wlan::kNoAp ? st.served : st.served + 1;
 
       int best_target = cur;
+      double best_rate = 0.0;
       State::Key best_key = before;
-      for (const int a : sc.aps_of_user(u)) {
+      const auto neighbors = sc.aps_of_user(u);
+      const double* rates = sc.rates_of_user(u);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const int a = neighbors[i];
         if (a == cur) continue;
-        // Try the move.
-        st.unplace(u);
-        st.place(u, a);
-        const bool feasible = !params.enforce_budget ||
-                              util::fits_budget(st.ap_load[static_cast<size_t>(a)], sc.load_budget());
-        const State::Key k = st.key();
-        // Roll back.
-        st.unplace(u);
-        if (cur != wlan::kNoAp) st.place(u, cur);
+        const double la_w = st.model.load_with(a, s_u, rates[i]);
+        const double d_pl = la_w - st.ap_load[static_cast<size_t>(a)];
+        // Try the move: the same two load deltas a physical unplace/place
+        // pair adds to the running total.
+        double t = st.total;
+        if (cur != wlan::kNoAp) t += d_un;
+        t += d_pl;
+        const bool feasible =
+            !params.enforce_budget || util::fits_budget(la_w, sc.load_budget());
+        const State::Key k = st.probe_key(t, probe_served, cur, lc_wo, a, la_w);
+        // Roll back: subtracting the same deltas reproduces the rescanning
+        // implementation's exact rounding (fp negation is exact).
+        t -= d_pl;
+        if (cur != wlan::kNoAp) t -= d_un;
+        st.total = t;
         if (feasible && k.better_than(best_key)) {
           best_key = k;
           best_target = a;
+          best_rate = rates[i];
         }
       }
       // A move must either serve an extra user or beat the gain floor.
@@ -182,7 +240,7 @@ Solution local_search(const wlan::Scenario& sc, const wlan::Association& start,
           before.k2 - best_key.k2 >= params.min_gain - kImproveEps;
       if (best_target != cur && enough_gain) {
         st.unplace(u);
-        st.place(u, best_target);
+        st.place(u, best_target, best_rate);
         ++local.moves;
         improved = true;
       }

@@ -122,4 +122,77 @@ int choose_best_ap_among(const wlan::Scenario& sc, int u,
   return vector_less(best_vector, vector_score(cur), params.eps) ? best_ap : current_ap;
 }
 
+int choose_best_ap(const wlan::Scenario& sc, const wlan::LoadModel& model, int u,
+                   int current_ap, const PolicyParams& params) {
+  const auto neighbors = sc.aps_of_user(u);
+  if (neighbors.empty()) return current_ap;
+  const double* rates = sc.rates_of_user(u);
+  const int s_u = sc.user_session(u);
+
+  // Per-neighbor loads without u, and with u joined — the same values the
+  // member-list rescans produce, via O(levels) model probes.
+  std::vector<double> load_without(neighbors.size());
+  std::vector<double> load_with(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const int a = neighbors[i];
+    if (a == current_ap) {
+      load_without[i] = model.load_without(a, s_u, rates[i]);
+      load_with[i] = model.load(a);
+    } else {
+      load_without[i] = model.load(a);
+      load_with[i] = model.load_with(a, s_u, rates[i]);
+    }
+  }
+
+  auto scalar_score = [&](size_t i) {
+    double total = 0.0;
+    for (size_t k = 0; k < neighbors.size(); ++k) {
+      total += (k == i) ? load_with[k] : load_without[k];
+    }
+    return total;
+  };
+  auto vector_score = [&](size_t i) {
+    std::vector<double> v(neighbors.size());
+    for (size_t k = 0; k < neighbors.size(); ++k) {
+      v[k] = (k == i) ? load_with[k] : load_without[k];
+    }
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+  };
+  auto feasible = [&](size_t i) {
+    return !params.enforce_budget || util::fits_budget(load_with[i], sc.load_budget());
+  };
+
+  int best_ap = wlan::kNoAp;
+  double best_scalar = 0.0;
+  std::vector<double> best_vector;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    if (!feasible(i)) continue;
+    if (params.objective == Objective::kTotalLoad) {
+      const double s = scalar_score(i);
+      if (best_ap == wlan::kNoAp || s < best_scalar - params.eps) {
+        best_ap = neighbors[i];
+        best_scalar = s;
+      }
+    } else {
+      auto v = vector_score(i);
+      if (best_ap == wlan::kNoAp || vector_less(v, best_vector, params.eps)) {
+        best_ap = neighbors[i];
+        best_vector = std::move(v);
+      }
+    }
+  }
+
+  if (best_ap == wlan::kNoAp) return current_ap;
+  if (current_ap == wlan::kNoAp || best_ap == current_ap) return best_ap;
+
+  const auto cur = static_cast<size_t>(
+      std::find(neighbors.begin(), neighbors.end(), current_ap) - neighbors.begin());
+  WMCAST_ASSERT(cur < neighbors.size(), "choose_best_ap: current AP not a neighbor");
+  if (params.objective == Objective::kTotalLoad) {
+    return best_scalar < scalar_score(cur) - params.eps ? best_ap : current_ap;
+  }
+  return vector_less(best_vector, vector_score(cur), params.eps) ? best_ap : current_ap;
+}
+
 }  // namespace wmcast::assoc

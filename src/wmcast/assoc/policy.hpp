@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "wmcast/wlan/load_model.hpp"
 #include "wmcast/wlan/scenario.hpp"
 
 namespace wmcast::assoc {
@@ -50,5 +51,14 @@ int choose_best_ap(const wlan::Scenario& sc, int u,
 int choose_best_ap_among(const wlan::Scenario& sc, int u,
                          const std::vector<std::vector<int>>& members, int current_ap,
                          const PolicyParams& params, wlan::IndexSpan heard_aps);
+
+/// Incremental-model variant: loads come from `model` (which the caller keeps
+/// consistent with the current association) instead of member-list rescans,
+/// so one decision costs O(neighbors · rate levels) instead of
+/// O(neighbors · members). Returns the same AP as choose_best_ap over the
+/// matching member lists — the model's loads are bit-identical to the
+/// rescans, and the scoring arithmetic is mirrored operation for operation.
+int choose_best_ap(const wlan::Scenario& sc, const wlan::LoadModel& model, int u,
+                   int current_ap, const PolicyParams& params);
 
 }  // namespace wmcast::assoc

@@ -107,6 +107,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg, std::ostream* progress) {
     verdicts.insert(verdicts.end(), simd_verdicts.begin(), simd_verdicts.end());
     auto replay = check_differential_replay(sc, perturbed, ccfg, cfg.threads);
     verdicts.insert(verdicts.end(), replay.results.begin(), replay.results.end());
+    const auto serve_par =
+        check_serve_repair_parallel(sc, perturbed, ccfg, cfg.threads);
+    verdicts.insert(verdicts.end(), serve_par.begin(), serve_par.end());
 
     if (profile.corrupt_prob > 0.0) {
       probe_parser(injector, ctrl::trace_to_text(trace),

@@ -484,4 +484,97 @@ std::vector<OracleResult> check_serve_coalescing(const wlan::Scenario& sc,
   return out;
 }
 
+std::vector<OracleResult> check_serve_repair_parallel(const wlan::Scenario& sc,
+                                                      const ctrl::EventTrace& trace,
+                                                      const ctrl::ControllerConfig& cfg,
+                                                      int n_threads) {
+  std::vector<OracleResult> out;
+
+  serve::ServeConfig base;
+  base.batch_max = 64;
+  base.staleness_s = 0.02;
+  base.queue_cap = 0;  // unbounded: both sides must accept the identical stream
+  base.modeled_service = true;
+
+  ctrl::ControllerConfig seq_cfg = cfg;
+  seq_cfg.threads = 1;
+  ctrl::ControllerConfig par_cfg = cfg;
+  par_cfg.threads = n_threads;
+  ctrl::AssociationController seq(sc, seq_cfg);
+  ctrl::AssociationController par(sc, par_cfg);
+  serve::ServeConfig seq_scfg = base;
+  seq_scfg.pipeline = false;
+  serve::ServeConfig par_scfg = base;
+  par_scfg.pipeline = true;
+  serve::ServeLoop loop_seq(&seq, seq_scfg);
+  serve::ServeLoop loop_par(&par, par_scfg);
+
+  // Epoch e maps to virtual window [e, e+1) * epoch_s, events spread evenly
+  // (same timeline as check_serve_coalescing).
+  const double epoch_s = 0.05;
+  for (size_t e = 0; e < trace.epochs.size(); ++e) {
+    const auto& evs = trace.epochs[e];
+    for (size_t i = 0; i < evs.size(); ++i) {
+      const double t = (static_cast<double>(e) +
+                        static_cast<double>(i + 1) / static_cast<double>(evs.size() + 1)) *
+                       epoch_s;
+      loop_seq.offer(t, evs[i]);
+      loop_par.offer(t, evs[i]);
+    }
+  }
+  const double end = static_cast<double>(trace.n_epochs()) * epoch_s;
+  const serve::ServeTelemetry& ts = loop_seq.finish(end);
+  const serve::ServeTelemetry& tp = loop_par.finish(end);
+
+  if (!(seq.state() == par.state()) || seq.slot_ap() != par.slot_ap()) {
+    std::ostringstream os;
+    os << "threads=1/pipeline=off vs threads=" << n_threads
+       << "/pipeline=on committed different results: slot_ap "
+       << seq_diff(seq.slot_ap(), par.slot_ap());
+    out.push_back(bad("serve.repair_parallel_equivalence", os.str()));
+  } else {
+    out.push_back(ok("serve.repair_parallel_equivalence"));
+  }
+
+  // Bitwise, not near(): the sharded merge reduces loads in deterministic
+  // component order, so even the FP rounding must match the sequential path.
+  if (seq.loads().total_load != par.loads().total_load ||
+      seq.loads().max_load != par.loads().max_load) {
+    std::ostringstream os;
+    os << "loads differ: total " << seq.loads().total_load << " vs "
+       << par.loads().total_load << ", max " << seq.loads().max_load << " vs "
+       << par.loads().max_load;
+    out.push_back(bad("serve.repair_parallel_loads", os.str()));
+  } else {
+    out.push_back(ok("serve.repair_parallel_loads"));
+  }
+
+  // Serve telemetry with wall excluded is a pure function of (workload,
+  // config); the pipeline and the shard partition must not leak into it.
+  const std::string js = ts.to_json(/*include_wall=*/false).dump();
+  const std::string jp = tp.to_json(/*include_wall=*/false).dump();
+  if (js != jp) {
+    size_t i = 0;
+    while (i < js.size() && i < jp.size() && js[i] == jp[i]) ++i;
+    std::ostringstream os;
+    os << "serve telemetry JSON diverges at byte " << i << ": ..."
+       << js.substr(i > 20 ? i - 20 : 0, 60) << "... vs ..."
+       << jp.substr(i > 20 ? i - 20 : 0, 60) << "...";
+    out.push_back(bad("serve.repair_parallel_telemetry", os.str()));
+  } else {
+    out.push_back(ok("serve.repair_parallel_telemetry"));
+  }
+
+  bool invariants_clean = true;
+  for (auto& r : check_controller_invariants(par, par.epochs())) {
+    if (!r.pass) {
+      r.check = "serve.repair_parallel_" + r.check;
+      out.push_back(std::move(r));
+      invariants_clean = false;
+    }
+  }
+  if (invariants_clean) out.push_back(ok("serve.repair_parallel_invariants"));
+  return out;
+}
+
 }  // namespace wmcast::chaos

@@ -99,4 +99,19 @@ std::vector<OracleResult> check_serve_coalescing(const wlan::Scenario& sc,
                                                  const ctrl::EventTrace& trace,
                                                  const ctrl::ControllerConfig& cfg);
 
+/// Sharded-repair / pipelined-serve differential: streams `trace` through two
+/// ServeLoop+controller stacks under the deterministic service model —
+/// threads=1 with the pipeline off vs threads=n_threads with the pipeline on.
+/// Sharded repair merges in deterministic component order and the pipeline
+/// computes every modeled decision at dispatch, so the committed slot_ap, the
+/// LoadReport, and the serve telemetry JSON (wall excluded) must be
+/// byte-identical — any drift is a partition/merge or dispatch-ordering bug.
+/// Checks emitted: serve.repair_parallel_equivalence (state + slot_ap),
+/// serve.repair_parallel_loads, serve.repair_parallel_telemetry, plus the
+/// controller invariants on the parallel side (serve.repair_parallel_*).
+std::vector<OracleResult> check_serve_repair_parallel(const wlan::Scenario& sc,
+                                                      const ctrl::EventTrace& trace,
+                                                      const ctrl::ControllerConfig& cfg,
+                                                      int n_threads);
+
 }  // namespace wmcast::chaos

@@ -218,8 +218,15 @@ ReplayCheckResult run_repro(const Repro& repro) {
   // Mirror the campaign's controller config (chaos/campaign.cpp) so a repro
   // replays under exactly the conditions that produced it.
   cfg.full_refresh_epochs = 1;
-  // Repros whose check lives in the serve loop ("serve.*") replay through the
-  // serve coalescing oracle instead of the controller differential.
+  // Sharded-repair / pipelined-serve repros replay the threads=1-vs-N serve
+  // differential; other serve.* checks replay the coalescing oracle.
+  if (repro.check.rfind("serve.repair_parallel", 0) == 0) {
+    ReplayCheckResult out;
+    out.results =
+        check_serve_repair_parallel(repro.scenario, repro.trace, cfg, repro.threads);
+    out.epochs_run = repro.trace.n_epochs();
+    return out;
+  }
   if (repro.check.rfind("serve.", 0) == 0) {
     ReplayCheckResult out;
     out.results = check_serve_coalescing(repro.scenario, repro.trace, cfg);

@@ -113,9 +113,10 @@ assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc,
   return assoc::solve_by_name(cfg_.full_solver, sc, rng_, opt);
 }
 
-void AssociationController::refresh_engine(const NetworkState& next) {
-  dirty_groups_.clear();
-  group_mark_.assign(static_cast<size_t>(next.n_aps()), 0);
+void AssociationController::mark_engine_dirty(const NetworkState& next) {
+  if (group_mark_.size() < static_cast<size_t>(next.n_aps())) {
+    group_mark_.resize(static_cast<size_t>(next.n_aps()), 0);
+  }
   const auto mark = [&](int a) {
     if (!group_mark_[static_cast<size_t>(a)]) {
       group_mark_[static_cast<size_t>(a)] = 1;
@@ -135,7 +136,8 @@ void AssociationController::refresh_engine(const NetworkState& next) {
     for (int s = 0; s < next.n_slots(); ++s) {
       if (s < state_.n_slots() && state_.slot(s) == next.slot(s)) continue;
       // APs that held this slot before: exactly the groups of the sets the
-      // inverted index lists for it.
+      // inverted index lists for it. Across deferred epochs the index still
+      // reflects the last flush, so re-marking yields the same "from" APs.
       if (s < engine_.n_elements()) {
         engine_.for_each_set_of(s, [&](int j) { mark(engine_.ap(j)); });
       }
@@ -153,15 +155,21 @@ void AssociationController::refresh_engine(const NetworkState& next) {
       }
     }
   }
-  if (dirty_groups_.empty() && next.n_slots() <= engine_.n_elements()) return;
+  if (!dirty_groups_.empty() || next.n_slots() > engine_.n_elements()) {
+    engine_flush_pending_ = true;
+  }
+}
+
+void AssociationController::flush_engine(const NetworkState& st) {
+  if (!engine_flush_pending_) return;
   // Rescan dirty groups in (grid cell, ap) order: neighboring APs share most
   // of their member slots, so walking their CSR rows back-to-back hits the
   // per-slot data while it is still cache-hot. The key is a pure function of
   // the AP layout, so set-id assignment — and hence solver tie-breaks — stays
-  // deterministic for a given batch. States built from explicit link rates
-  // carry no AP geometry; they keep the ascending-id order.
-  const auto& grid = next.ap_grid();
-  const auto& pos = next.ap_positions();
+  // deterministic for a given accumulated mark set. States built from
+  // explicit link rates carry no AP geometry; they keep insertion order.
+  const auto& grid = st.ap_grid();
+  const auto& pos = st.ap_positions();
   const bool have_geometry =
       !dirty_groups_.empty() &&
       pos.size() > static_cast<size_t>(*std::max_element(dirty_groups_.begin(),
@@ -174,7 +182,10 @@ void AssociationController::refresh_engine(const NetworkState& next) {
       return a < b;
     });
   }
-  engine_.update_groups(StateSource(next), dirty_groups_, cfg_.multi_rate);
+  engine_.update_groups(StateSource(st), dirty_groups_, cfg_.multi_rate);
+  for (const int a : dirty_groups_) group_mark_[static_cast<size_t>(a)] = 0;
+  dirty_groups_.clear();
+  engine_flush_pending_ = false;
 }
 
 void AssociationController::sync_engine_stats(EpochReport* rep) {
@@ -245,6 +256,26 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
     }
   }
 
+  // Sharded fast path (ctrl/repair_shard.hpp): AP-disjoint component tasks
+  // across the pool, peel + greedy + task-local polish per shard. Bitwise
+  // identical at any thread count; kTotalLoad only.
+  if (cfg_.shard_repair && cfg_.objective == assoc::SearchObjective::kTotalLoad) {
+    RepairShardParams rp;
+    rp.enforce_budget = cfg_.enforce_budget;
+    rp.multi_rate = cfg_.multi_rate;
+    rp.polish = polish;
+    rp.polish_moves_per_dirty = cfg_.polish_moves_per_dirty;
+    rp.polish_min_gain = cfg_.polish_min_gain;
+    repair_sharded(sc, user_ap, members, movable_rows, rp, pool_, repair_lanes_,
+                   &last_repair_stats_);
+    tele_.engine_parallel_repair_calls.inc();
+    tele_.engine_parallel_repair_shards.inc(
+        static_cast<uint64_t>(last_repair_stats_.shards));
+    tele_.engine_parallel_repair_imbalance.set(last_repair_stats_.imbalance);
+    return wlan::Association{user_ap};
+  }
+  last_repair_stats_ = RepairShardStats{};
+
   std::vector<int>& movable = repair_ws_.decision;  // 0/1 mask
   movable.assign(static_cast<size_t>(n), 0);
   std::vector<int> movers = movable_rows;
@@ -255,33 +286,43 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
     if (user_ap[static_cast<size_t>(u)] == wlan::kNoAp) pending.push_back(u);
   }
 
+  // Loads probed through the incremental model (wlan/load_model.hpp):
+  // bit-identical to the ap_load_for_members rescans this path used to run,
+  // at O(rate levels) per probe instead of O(members).
+  repair_model_.reset(sc, cfg_.multi_rate);
+  for (int u = 0; u < n; ++u) {
+    const int a = user_ap[static_cast<size_t>(u)];
+    if (a != wlan::kNoAp) {
+      repair_model_.add(a, sc.user_session(u), sc.link_rate(a, u));
+    }
+  }
+
   // Budget peel over the carried part: a rate change or zap can push a kept
   // AP over budget; evict whoever frees the most load and re-place them.
   if (cfg_.enforce_budget) {
     for (int a = 0; a < sc.n_aps(); ++a) {
       auto& m = members[static_cast<size_t>(a)];
-      double load = wlan::ap_load_for_members(sc, a, m, cfg_.multi_rate);
+      double load = repair_model_.load(a);
       while (util::exceeds_budget(load, sc.load_budget()) && !m.empty()) {
         int best_u = m.front();
         double best_drop = -std::numeric_limits<double>::infinity();
         for (const int u : m) {
-          auto rest = m;
-          rest.erase(std::find(rest.begin(), rest.end(), u));
-          const double drop =
-              load - wlan::ap_load_for_members(sc, a, rest, cfg_.multi_rate);
+          const double drop = load - repair_model_.load_without(
+                                         a, sc.user_session(u), sc.link_rate(a, u));
           if (drop > best_drop) {
             best_drop = drop;
             best_u = u;
           }
         }
         m.erase(std::find(m.begin(), m.end(), best_u));
+        load = repair_model_.remove(a, sc.user_session(best_u),
+                                    sc.link_rate(a, best_u));
         user_ap[static_cast<size_t>(best_u)] = wlan::kNoAp;
         pending.push_back(best_u);
         if (movable[static_cast<size_t>(best_u)] == 0) {
           movable[static_cast<size_t>(best_u)] = 1;
           movers.push_back(best_u);
         }
-        load = wlan::ap_load_for_members(sc, a, m, cfg_.multi_rate);
       }
     }
   }
@@ -293,9 +334,10 @@ wlan::Association AssociationController::repair(const wlan::Scenario& sc,
   pp.multi_rate = cfg_.multi_rate;
   std::sort(pending.begin(), pending.end());
   for (const int u : pending) {
-    const int a = assoc::choose_best_ap(sc, u, members, wlan::kNoAp, pp);
+    const int a = assoc::choose_best_ap(sc, repair_model_, u, wlan::kNoAp, pp);
     if (a != wlan::kNoAp) {
       members[static_cast<size_t>(a)].push_back(u);
+      repair_model_.add(a, sc.user_session(u), sc.link_rate(a, u));
       user_ap[static_cast<size_t>(u)] = a;
     }
   }
@@ -419,9 +461,11 @@ EpochReport AssociationController::drain() {
   }
 
   // --- 3. dirty region + compact projection. -------------------------------
-  // Bring the slot-space engine to `next` first: only the candidate sets of
-  // APs actually touched by the batch are re-projected.
-  refresh_engine(next);
+  // Mark the APs the batch touched; eager mode re-projects their candidate
+  // sets now, lazy mode defers the rebuild until a full solve needs the
+  // engine (most serve epochs never do).
+  mark_engine_dirty(next);
+  if (!cfg_.lazy_engine_refresh) flush_engine(next);
   const auto dirty_slots = compute_dirty_slots(state_, next, slot_ap_);
   rep.dirty_users = static_cast<int>(dirty_slots.size());
   tele_.dirty_region_size.record(static_cast<double>(dirty_slots.size()));
@@ -476,6 +520,7 @@ EpochReport AssociationController::drain() {
   std::optional<assoc::Solution> full;
   if (cfg_.full_refresh_epochs > 0 && epochs_since_refresh_ >= cfg_.full_refresh_epochs &&
       sc.n_users() > 0) {
+    flush_engine(next);
     full = solve_full(sc, row_slot);
     baseline_load_ = full->loads.total_load;
     epochs_since_refresh_ = 0;
@@ -488,6 +533,7 @@ EpochReport AssociationController::drain() {
       cand_loads.total_load > baseline_load_ * (1.0 + cfg_.degradation_threshold);
   if (sc.n_users() > 0 && (no_baseline || degraded) && !rep.rolled_back) {
     if (!full) {
+      flush_engine(next);
       full = solve_full(sc, row_slot);
       baseline_load_ = full->loads.total_load;
       epochs_since_refresh_ = 0;
@@ -572,6 +618,8 @@ EpochReport AssociationController::drain() {
   rep.handoffs = cc.handoffs;
   rep.forced_reassociations = cc.forced;
   rep.voluntary_reassociations = cc.voluntary;
+  rep.repair_shards = last_repair_stats_.shards;
+  rep.repair_imbalance = last_repair_stats_.imbalance;
   rep.users_present = present;
   rep.users_subscribed = state_.n_active();
   rep.users_served = loads_.satisfied_users;

@@ -35,8 +35,10 @@
 #include "wmcast/core/solve.hpp"
 #include "wmcast/core/workspace.hpp"
 #include "wmcast/ctrl/events.hpp"
+#include "wmcast/ctrl/repair_shard.hpp"
 #include "wmcast/ctrl/state.hpp"
 #include "wmcast/ctrl/telemetry.hpp"
+#include "wmcast/wlan/load_model.hpp"
 #include "wmcast/core/parallel.hpp"
 #include "wmcast/util/rng.hpp"
 #include "wmcast/util/thread_pool.hpp"
@@ -99,10 +101,23 @@ struct ControllerConfig {
   wlan::RateTable rate_table = wlan::RateTable::ieee80211a();
   uint64_t seed = 1;
   /// Worker threads for the epoch full-solve's sharded per-session path
-  /// (core/parallel.hpp). 1 = serial joint solve (the reference semantics);
-  /// <= 0 resolves WMCAST_THREADS, else 1. The committed association is
-  /// identical at any thread count (DESIGN.md §9).
+  /// (core/parallel.hpp) and the sharded incremental repair below. 1 = serial
+  /// (the reference semantics); <= 0 resolves WMCAST_THREADS, else 1. The
+  /// committed association is identical at any thread count (DESIGN.md §9,
+  /// §14).
   int threads = 1;
+  /// Shard the incremental repair into AP-disjoint component tasks across the
+  /// pool (ctrl/repair_shard.hpp). kTotalLoad only — other objectives keep
+  /// the sequential path. The repaired association is bitwise identical at
+  /// any thread count.
+  bool shard_repair = true;
+  /// Defer coverage-engine group rebuilds until a full solve actually needs
+  /// the engine: each drain runs only the cheap dirty-marking pass, and the
+  /// accumulated marks flush right before the next full solve. Epochs that
+  /// never escalate skip re-projection entirely. The committed association is
+  /// unchanged; only the timing of the engine_* maintenance counters moves
+  /// (they land on the flushing epoch).
+  bool lazy_engine_refresh = true;
 };
 
 /// What one drain()/epoch did, for logs and benches. Cumulative counterparts
@@ -128,9 +143,14 @@ struct EpochReport {
   double max_load = 0.0;
   double baseline_load = 0.0;
   double drain_seconds = 0.0;
+  // Sharded-repair accounting for the repair that produced the committed
+  // association (zeros on the sequential path).
+  int repair_shards = 0;
+  double repair_imbalance = 0.0;
   // Coverage-engine maintenance this epoch (rebuild-vs-repair accounting):
   // how many APs' candidate sets were re-projected, and the set churn that
-  // caused. A quiescent epoch reports all zeros.
+  // caused. A quiescent epoch reports all zeros; under lazy_engine_refresh
+  // deferred work lands on the epoch that flushed it.
   int engine_groups_rebuilt = 0;
   int engine_sets_rebuilt = 0;
   int engine_sets_retired = 0;
@@ -166,8 +186,10 @@ class AssociationController {
   Telemetry& telemetry() { return tele_; }
   const Telemetry& telemetry() const { return tele_; }
 
-  /// The slot-space coverage engine, kept current with state(). Exposed for
-  /// benches and tests; treat as read-only.
+  /// The slot-space coverage engine. Exposed for benches and tests; treat as
+  /// read-only. Under lazy_engine_refresh it reflects the state as of the
+  /// last full solve (dirty marks accumulate until then); with the flag off
+  /// it is kept current with state() every epoch.
   const core::CoverageEngine& engine() const { return engine_; }
 
  private:
@@ -185,10 +207,14 @@ class AssociationController {
   ChangeCount count_changes(const std::vector<int>& old_slot_ap,
                             const std::vector<int>& new_slot_ap,
                             const NetworkState& next) const;
-  /// Brings engine_ from state_ to `next`: marks every AP whose candidate
-  /// sets could differ (old sets via the inverted index, new in-range APs by
-  /// position) and rebuilds only those groups.
-  void refresh_engine(const NetworkState& next);
+  /// Marks every AP whose candidate sets could differ between state_ and
+  /// `next` (old sets via the inverted index — still valid across deferred
+  /// epochs, since the engine reflects the last flush — new in-range APs by
+  /// position). Marks accumulate in dirty_groups_ until flush_engine runs.
+  void mark_engine_dirty(const NetworkState& next);
+  /// Rebuilds the marked groups against `st` and clears the marks. No-op when
+  /// nothing is pending.
+  void flush_engine(const NetworkState& st);
   /// Folds engine stat deltas since the last sync into telemetry (and the
   /// epoch report, when given).
   void sync_engine_stats(EpochReport* rep);
@@ -215,8 +241,12 @@ class AssociationController {
   core::SessionShards shards_;       // rebuilt before each sharded full solve
   core::ShardWorkspaces shard_ws_;   // one solve workspace per pool lane
   core::AssocWorkspace repair_ws_;
+  wlan::LoadModel repair_model_;               // sequential-path load probes
+  std::vector<RepairLaneWorkspace> repair_lanes_;  // sharded-path lane scratch
+  RepairShardStats last_repair_stats_;
   std::vector<int> dirty_groups_;
   std::vector<char> group_mark_;
+  bool engine_flush_pending_ = false;
   std::vector<int> slot_row_;
 };
 

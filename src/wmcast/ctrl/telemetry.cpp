@@ -76,6 +76,11 @@ util::Json Telemetry::to_json() const {
   parallel.set("arena_peak_bytes", engine_parallel_arena_peak_bytes.value());
   parallel.set("arena_reserved_bytes",
                engine_parallel_arena_reserved_bytes.value());
+  parallel.set("repair_calls",
+               static_cast<int64_t>(engine_parallel_repair_calls.value()));
+  parallel.set("repair_shards",
+               static_cast<int64_t>(engine_parallel_repair_shards.value()));
+  parallel.set("repair_imbalance", engine_parallel_repair_imbalance.value());
   engine.set("parallel", std::move(parallel));
   counters.set("engine", std::move(engine));
 
@@ -136,6 +141,8 @@ std::string Telemetry::to_text() const {
   line("engine_compactions", engine_compactions.value());
   line("engine_parallel_solves", engine_parallel_solves.value());
   line("engine_parallel_tasks", engine_parallel_tasks.value());
+  line("engine_parallel_repair_calls", engine_parallel_repair_calls.value());
+  line("engine_parallel_repair_shards", engine_parallel_repair_shards.value());
   out += "gauges:\n";
   const auto gline = [&](const char* k, double v) {
     std::snprintf(buf, sizeof(buf), "  %-24s %s\n", k, util::fmt(v, 4).c_str());
@@ -151,6 +158,8 @@ std::string Telemetry::to_text() const {
   gline("queue_depth", queue_depth.value());
   gline("engine_parallel_workers", engine_parallel_workers.value());
   gline("engine_parallel_imbalance", engine_parallel_imbalance.value());
+  gline("engine_parallel_repair_imbalance",
+        engine_parallel_repair_imbalance.value());
   gline("engine_parallel_arena_peak_bytes",
         engine_parallel_arena_peak_bytes.value());
   gline("engine_parallel_arena_reserved_bytes",

@@ -78,6 +78,13 @@ struct Telemetry {
   Counter engine_parallel_solves;      // sharded full solves executed
   Counter engine_parallel_tasks;       // shards dispatched across all of them
 
+  // Sharded incremental-repair accounting (ctrl/repair_shard.hpp; additive
+  // keys under counters.engine.parallel). Unlike the solve counters these are
+  // thread-invariant: the task partition is fixed before dispatch, so the
+  // same workload reports the same numbers at any --threads.
+  Counter engine_parallel_repair_calls;   // sharded repair invocations
+  Counter engine_parallel_repair_shards;  // repair tasks dispatched across them
+
   // Gauges (state as of the last committed epoch).
   Gauge users_present;
   Gauge users_subscribed;
@@ -89,6 +96,7 @@ struct Telemetry {
   Gauge queue_depth;
   Gauge engine_parallel_workers;    // pool lanes used by the last sharded solve
   Gauge engine_parallel_imbalance;  // max/mean shard weight of that solve
+  Gauge engine_parallel_repair_imbalance;  // max/mean dirty users per repair task
   Gauge engine_parallel_arena_peak_bytes;      // summed lane-arena high-water marks
   Gauge engine_parallel_arena_reserved_bytes;  // summed lane-arena block capacity
 

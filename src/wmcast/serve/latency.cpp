@@ -10,6 +10,8 @@ ServeTelemetry::ServeTelemetry()
     // Latency: 1 µs .. ~8 s, factor-2 ladder (SLO quantiles interpolate
     // within a bucket, so the ladder sets their resolution).
     : latency_s(util::Histogram::exponential(1e-6, 2.0, 24)),
+      queue_wait_s(util::Histogram::exponential(1e-6, 2.0, 24)),
+      decision_s(util::Histogram::exponential(1e-6, 2.0, 24)),
       // Batches: 1 .. ~32k events.
       batch_size(util::Histogram::exponential(1.0, 2.0, 16)),
       // Backlog at batch close, same scale.
@@ -39,6 +41,8 @@ util::Json ServeTelemetry::to_json(bool include_wall) const {
 
   util::Json histograms = util::Json::object();
   histograms.set("latency_s", latency_s.to_json());
+  histograms.set("queue_wait_s", queue_wait_s.to_json());
+  histograms.set("decision_s", decision_s.to_json());
   histograms.set("batch_size", batch_size.to_json());
   histograms.set("queue_depth", queue_depth.to_json());
   histograms.set("service_s", service_s.to_json());
@@ -47,11 +51,20 @@ util::Json ServeTelemetry::to_json(bool include_wall) const {
   virt.set("duration_s", virtual_duration_s);
   virt.set("events_per_s", virtual_events_per_s());
 
+  util::Json pipeline = util::Json::object();
+  pipeline.set("overlapped", static_cast<int64_t>(pipeline_overlapped.value()));
+  pipeline.set("occupancy",
+               batches.value() > 0
+                   ? static_cast<double>(pipeline_overlapped.value()) /
+                         static_cast<double>(batches.value())
+                   : 0.0);
+
   util::Json j = util::Json::object();
   j.set("schema", kServeTelemetrySchema);
   j.set("counters", std::move(counters));
   j.set("histograms", std::move(histograms));
   j.set("virtual", std::move(virt));
+  j.set("pipeline", std::move(pipeline));
   if (include_wall) {
     util::Json wall = util::Json::object();
     wall.set("elapsed_s", wall_elapsed_s);
@@ -77,6 +90,7 @@ std::string ServeTelemetry::to_text() const {
   line("coalesced", coalesced.value());
   line("submitted", submitted.value());
   line("batches", batches.value());
+  line("overlapped", pipeline_overlapped.value());
   std::snprintf(buf, sizeof(buf),
                 "latency p50 %s  p99 %s  p999 %s  (events/sec virtual %s, wall %s)\n",
                 util::fmt(latency_s.quantile(0.5), 4).c_str(),
@@ -84,6 +98,11 @@ std::string ServeTelemetry::to_text() const {
                 util::fmt(latency_s.quantile(0.999), 4).c_str(),
                 util::fmt(virtual_events_per_s(), 4).c_str(),
                 util::fmt(wall_events_per_s(), 4).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "queue_wait p99 %s  decision p99 %s\n",
+                util::fmt(queue_wait_s.quantile(0.99), 4).c_str(),
+                util::fmt(decision_s.quantile(0.99), 4).c_str());
   out += buf;
   out += "latency_s:\n" + latency_s.render();
   return out;

@@ -36,12 +36,23 @@ struct ServeTelemetry {
   ctrl::Counter coalesced;   // folded away by bounded-staleness coalescing
   ctrl::Counter submitted;   // handed to the controller
   ctrl::Counter batches;     // controller drains issued
+  // Batches whose oldest event arrived while the server was still busy with
+  // the previous batch — the regime where a pipelined loop overlaps repair
+  // with ingest. Defined purely on virtual stamps, so the count is identical
+  // whether the pipeline is on or off (it measures the workload's pressure,
+  // not the implementation).
+  ctrl::Counter pipeline_overlapped;
 
-  // Virtual-time distributions.
-  util::Histogram latency_s;    // ingest -> decision-committed, per event
-  util::Histogram batch_size;   // events per drain, pre-coalescing
-  util::Histogram queue_depth;  // backlog observed at each batch close
-  util::Histogram service_s;    // per-batch service time (modeled or measured)
+  // Virtual-time distributions. The end-to-end latency splits exactly:
+  // latency = queue_wait (ingest -> batch start) + decision (batch start ->
+  // decision committed); all three record once per ingested event, so their
+  // counts stay equal (a conservation law the tests check).
+  util::Histogram latency_s;     // ingest -> decision-committed, per event
+  util::Histogram queue_wait_s;  // ingest -> batch start, per event
+  util::Histogram decision_s;    // batch start -> decision-committed, per event
+  util::Histogram batch_size;    // events per drain, pre-coalescing
+  util::Histogram queue_depth;   // backlog observed at each batch close
+  util::Histogram service_s;     // per-batch service time (modeled or measured)
 
   // Stream summary, set by ServeLoop::finish().
   double virtual_duration_s = 0.0;  // arrival-span end incl. final drain

@@ -1,0 +1,141 @@
+#include "wmcast/wlan/load_model.hpp"
+
+#include <algorithm>
+
+#include "wmcast/util/assert.hpp"
+
+namespace wmcast::wlan {
+
+void LoadModel::reset(const Scenario& sc, bool multi_rate) {
+  sc_ = &sc;
+  multi_rate_ = multi_rate;
+  basic_rate_ = sc.basic_rate();
+  levels_ = sc.rate_levels();
+  session_rate_.resize(static_cast<size_t>(sc.n_sessions()));
+  for (int s = 0; s < sc.n_sessions(); ++s) {
+    session_rate_[static_cast<size_t>(s)] = sc.session_rate(s);
+  }
+  cells_.resize(static_cast<size_t>(sc.n_aps()));
+  ap_load_.resize(static_cast<size_t>(sc.n_aps()));
+  ap_epoch_.assign(static_cast<size_t>(sc.n_aps()), 0);
+  epoch_ = 1;
+}
+
+int LoadModel::level_of(double rate) const {
+  const auto it = std::lower_bound(levels_.begin(), levels_.end(), rate);
+  WMCAST_ASSERT(it != levels_.end() && *it == rate,
+                "LoadModel: rate is not an instance rate level");
+  return static_cast<int>(it - levels_.begin());
+}
+
+void LoadModel::touch(int a) {
+  if (ap_epoch_[static_cast<size_t>(a)] == epoch_) return;
+  ap_epoch_[static_cast<size_t>(a)] = epoch_;
+  ap_load_[static_cast<size_t>(a)] = 0.0;
+  // Keep the cells (and their count arrays) for capacity reuse; zero them.
+  for (Cell& c : cells_[static_cast<size_t>(a)]) {
+    c.total = 0;
+    c.min_lv = 0;
+    std::fill(c.count.begin(), c.count.end(), 0);
+  }
+}
+
+double LoadModel::recompute(int a) const {
+  // Mirrors ap_load_for_members exactly: sessions visited ascending, one
+  // division per occupied session, left-to-right summation.
+  double load = 0.0;
+  for (const Cell& c : cells_[static_cast<size_t>(a)]) {
+    if (c.total > 0) load += contrib(c.session, c.min_lv);
+  }
+  return load;
+}
+
+double LoadModel::add(int a, int session, double rate) {
+  touch(a);
+  const int lv = level_of(rate);
+  auto& row = cells_[static_cast<size_t>(a)];
+  auto it = std::lower_bound(row.begin(), row.end(), session,
+                             [](const Cell& c, int s) { return c.session < s; });
+  if (it == row.end() || it->session != session) {
+    it = row.insert(it, Cell{});
+    it->session = session;
+  }
+  if (it->count.size() < levels_.size()) it->count.resize(levels_.size(), 0);
+  it->min_lv = it->total == 0 ? lv : std::min(it->min_lv, lv);
+  ++it->count[static_cast<size_t>(lv)];
+  ++it->total;
+  const double load = recompute(a);
+  ap_load_[static_cast<size_t>(a)] = load;
+  return load;
+}
+
+double LoadModel::remove(int a, int session, double rate) {
+  WMCAST_ASSERT(ap_epoch_[static_cast<size_t>(a)] == epoch_,
+                "LoadModel::remove: AP has no members this scope");
+  const int lv = level_of(rate);
+  auto& row = cells_[static_cast<size_t>(a)];
+  auto it = std::lower_bound(row.begin(), row.end(), session,
+                             [](const Cell& c, int s) { return c.session < s; });
+  WMCAST_ASSERT(it != row.end() && it->session == session && it->total > 0 &&
+                    it->count[static_cast<size_t>(lv)] > 0,
+                "LoadModel::remove: no such member");
+  --it->count[static_cast<size_t>(lv)];
+  --it->total;
+  if (it->total > 0 && lv == it->min_lv && it->count[static_cast<size_t>(lv)] == 0) {
+    int nl = lv + 1;
+    while (it->count[static_cast<size_t>(nl)] == 0) ++nl;
+    it->min_lv = nl;
+  }
+  const double load = recompute(a);
+  ap_load_[static_cast<size_t>(a)] = load;
+  return load;
+}
+
+double LoadModel::load_with(int a, int session, double rate) const {
+  const int lv = level_of(rate);
+  double load = 0.0;
+  bool merged = false;
+  if (ap_epoch_[static_cast<size_t>(a)] == epoch_) {
+    for (const Cell& c : cells_[static_cast<size_t>(a)]) {
+      if (!merged && c.session >= session) {
+        merged = true;
+        if (c.session == session) {
+          load += contrib(session, c.total > 0 ? std::min(c.min_lv, lv) : lv);
+          continue;
+        }
+        load += contrib(session, lv);  // joins ahead of c in session order
+      }
+      if (c.total > 0) load += contrib(c.session, c.min_lv);
+    }
+  }
+  if (!merged) load += contrib(session, lv);
+  return load;
+}
+
+double LoadModel::load_without(int a, int session, double rate) const {
+  WMCAST_ASSERT(ap_epoch_[static_cast<size_t>(a)] == epoch_,
+                "LoadModel::load_without: AP has no members this scope");
+  const int lv = level_of(rate);
+  double load = 0.0;
+  bool found = false;
+  for (const Cell& c : cells_[static_cast<size_t>(a)]) {
+    if (c.session == session) {
+      found = true;
+      WMCAST_ASSERT(c.total > 0 && c.count[static_cast<size_t>(lv)] > 0,
+                    "LoadModel::load_without: no such member");
+      if (c.total == 1) continue;  // session empties out
+      int mlv = c.min_lv;
+      if (lv == c.min_lv && c.count[static_cast<size_t>(lv)] == 1) {
+        mlv = lv + 1;
+        while (c.count[static_cast<size_t>(mlv)] == 0) ++mlv;
+      }
+      load += contrib(session, mlv);
+      continue;
+    }
+    if (c.total > 0) load += contrib(c.session, c.min_lv);
+  }
+  WMCAST_ASSERT(found, "LoadModel::load_without: session not present");
+  return load;
+}
+
+}  // namespace wmcast::wlan

@@ -1,0 +1,93 @@
+// Incremental multicast load model (DESIGN.md §14).
+//
+// ap_load_for_members() rescans an AP's whole member list to find each
+// session's bottleneck rate — O(|members|) per evaluation. The controller's
+// repair path evaluates thousands of candidate placements per epoch, each of
+// which changes one membership, so those rescans dominate the serve path at
+// scale. This model maintains, per (AP, session), the member count at every
+// distinct link-rate *level* of the instance (Scenario::rate_levels() — 8 for
+// 802.11a). Membership updates and what-if probes then cost O(levels), not
+// O(members): the bottleneck is the lowest level with a nonzero count.
+//
+// Exactness contract: load(a) and every probe return doubles bit-identical
+// to wlan::ap_load_for_members over the same member multiset. Rate levels
+// hold the exact link-rate doubles, the per-session contribution is the same
+// single division, and the summation visits sessions in the same ascending
+// order — so replacing the rescan with the model changes no comparison
+// anywhere, including 1e-12-epsilon tie-breaks.
+//
+// Scoped reuse: begin_scope() invalidates every AP in O(1) (per-AP epoch
+// stamps, lazily cleared on first touch). The sharded repair gives each pool
+// lane one model and re-scopes it per shard, so lane reuse can never leak
+// membership across shards and per-shard setup costs O(shard members) only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::wlan {
+
+class LoadModel {
+ public:
+  /// Binds the model to `sc` with empty membership everywhere. Keeps
+  /// container capacity across calls (steady-state epochs allocate nothing
+  /// once cell capacity has warmed up).
+  void reset(const Scenario& sc, bool multi_rate);
+
+  /// O(1) re-scope: every AP becomes empty again; its cells are lazily
+  /// cleared on first touch. Membership added before the call is forgotten.
+  void begin_scope() { ++epoch_; }
+
+  /// Adds/removes one member of AP `a`. `rate` must equal sc.link_rate(a, u)
+  /// for the member being changed (callers on the CSR rows already hold it).
+  /// Returns the AP's new load.
+  double add(int a, int session, double rate);
+  double remove(int a, int session, double rate);
+
+  /// Current load of AP `a` (0 for an untouched AP).
+  double load(int a) const {
+    return ap_epoch_[static_cast<size_t>(a)] == epoch_
+               ? ap_load_[static_cast<size_t>(a)]
+               : 0.0;
+  }
+
+  /// What-if probes, pure: the load of `a` if a member of `session` at
+  /// `rate` joined / left. load_without requires such a member to exist.
+  double load_with(int a, int session, double rate) const;
+  double load_without(int a, int session, double rate) const;
+
+  /// Index of `rate` in the instance's ascending rate_levels().
+  int level_of(double rate) const;
+
+ private:
+  // One (AP, session) aggregate: member count per rate level plus the cached
+  // bottleneck (lowest occupied level). Cells of an AP stay sorted by
+  // session id so summation order matches ap_load_for_members exactly.
+  struct Cell {
+    int session = 0;
+    int32_t total = 0;
+    int32_t min_lv = 0;
+    std::vector<int32_t> count;
+  };
+
+  void touch(int a);
+  double recompute(int a) const;
+  double contrib(int session, int min_lv) const {
+    return session_rate_[static_cast<size_t>(session)] /
+           (multi_rate_ ? levels_[static_cast<size_t>(min_lv)] : basic_rate_);
+  }
+
+  const Scenario* sc_ = nullptr;
+  bool multi_rate_ = true;
+  double basic_rate_ = 0.0;
+  std::vector<double> levels_;        // ascending distinct link rates
+  std::vector<double> session_rate_;  // per-session stream rates
+  std::vector<std::vector<Cell>> cells_;  // per AP, ascending session
+  std::vector<double> ap_load_;
+  std::vector<uint32_t> ap_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace wmcast::wlan

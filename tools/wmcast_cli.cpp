@@ -27,7 +27,7 @@
 //                        streamed incrementally and paced at --rate]
 //                        [--batch-max=256 --staleness-ms=50 --queue-cap=8192
 //                        --policy=reject|shed --no-coalesce --modeled
-//                        --solver=mla-c --seed=1 --threads=N
+//                        --pipeline --solver=mla-c --seed=1 --threads=N
 //                        --telemetry=tele.json --trace-out=t.txt --json
 //                        --quiet]
 //   wmcast_cli chaos     [--seed=1 --scenarios=20 --profile=mixed --threads=4
@@ -405,8 +405,8 @@ int cmd_serve(const util::Args& args) {
        "solver", "basic-rate", "threshold", "refresh", "max-reassoc", "min-gain",
        "no-admission", "seed", "threads", "profile", "duration", "rate",
        "workload-seed", "batch-max", "staleness-ms", "queue-cap", "policy",
-       "no-coalesce", "modeled", "telemetry", "trace-out", "trace-epoch-s",
-       "quiet", "json", "simd"});
+       "no-coalesce", "modeled", "pipeline", "telemetry", "trace-out",
+       "trace-epoch-s", "quiet", "json", "simd"});
 
   wlan::Scenario sc = [&] {
     if (args.has("scenario")) return wlan::load_scenario(args.get("scenario", ""));
@@ -449,6 +449,7 @@ int cmd_serve(const util::Args& args) {
   scfg.policy = serve::overflow_policy_from_name(args.get("policy", "reject"));
   scfg.coalesce = !args.get_bool("no-coalesce", false);
   scfg.modeled_service = args.get_bool("modeled", false);
+  scfg.pipeline = args.get_bool("pipeline", false);
   serve::ServeLoop loop(&controller, scfg);
 
   const double rate = args.get_double("rate", 1000.0);
