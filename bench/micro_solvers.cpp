@@ -22,6 +22,7 @@
 #include "bench_common.hpp"
 #include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/kconn.hpp"
 #include "wmcast/core/parallel.hpp"
 #include "wmcast/assoc/ssa.hpp"
 #include "wmcast/core/solve.hpp"
@@ -351,7 +352,44 @@ void BM_KernelWarmGreedySolve(benchmark::State& state) {
   }
 }
 
+// --- k-connectivity overlay (DESIGN.md §15) ----------------------------------
+//
+// Dotted kconn.* names so tools/bench_guard can gate the overlay's cost
+// independently (--only=kconn.). Both run at k=2 on the paper-scale
+// 200 AP / 400 user instance.
+
+/// The augmentation alone, warm: engine and base MLA solve are prebuilt, so
+/// this isolates the lazy-greedy served-set growth the k=2 paths add on top
+/// of a legacy solve.
+void BM_KconnAugmentK2(benchmark::State& state) {
+  const auto sc = scenario_for(200, 400);
+  assoc::EngineContext ctx;
+  ctx.build(sc, true);
+  const auto base = assoc::centralized_mla(sc);
+  assoc::KconnParams kp;
+  kp.k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assoc::augment_to_k(sc, ctx.engine, base.assoc, base.loads, kp)
+            .n_users());
+  }
+}
+
+/// End-to-end MLA at k=2: cold reduction + base solve + augmentation +
+/// multi-load accounting — what a --k=2 CLI solve pays per call.
+void BM_KconnMlaK2EndToEnd(benchmark::State& state) {
+  const auto sc = scenario_for(200, 400);
+  assoc::CentralizedParams params;
+  params.k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assoc::centralized_mla(sc, params).multi_loads.mean_effective_rate);
+  }
+}
+
 void register_kernel_benches() {
+  benchmark::RegisterBenchmark("kconn.augment_k2", BM_KconnAugmentK2);
+  benchmark::RegisterBenchmark("kconn.mla_k2_end_to_end", BM_KconnMlaK2EndToEnd);
   benchmark::RegisterBenchmark("kernel.popcount", BM_KernelPopcount);
   benchmark::RegisterBenchmark("kernel.popcount_and", BM_KernelPopcountAnd);
   benchmark::RegisterBenchmark("kernel.popcount_andnot", BM_KernelPopcountAndnot);

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "wmcast/assoc/kconn.hpp"
 #include "wmcast/core/solve.hpp"
 #include "wmcast/setcover/materialize.hpp"
 #include "wmcast/setcover/reduction.hpp"
@@ -12,6 +13,19 @@ namespace {
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Grows the k-connectivity overlay on top of the base solve (no-op at k == 1,
+// keeping the legacy Solution bit-identical). The augmentation is serial and
+// reuses the already-built engine, so it is thread-invariant whenever the
+// base solve is.
+void apply_kconn(const wlan::Scenario& sc, const CentralizedParams& params,
+                 EngineContext& ctx, Solution& sol, bool enforce_budget) {
+  KconnParams kp;
+  kp.k = params.k;
+  kp.multi_rate = params.multi_rate;
+  kp.enforce_budget = enforce_budget;
+  finalize_kconn(sc, ctx.engine, sol, kp);
 }
 
 }  // namespace
@@ -38,6 +52,7 @@ Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& para
   }
   auto assoc = setcover::materialize(sc, ctx.engine, greedy.chosen);
   Solution sol = make_solution("MLA-C", sc, std::move(assoc), params.multi_rate);
+  if (params.k >= 2) apply_kconn(sc, params, ctx, sol, /*enforce_budget=*/false);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }
@@ -61,6 +76,7 @@ Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& para
   auto assoc = setcover::materialize(sc, ctx.engine, scg.chosen);
   Solution sol = make_solution("BLA-C", sc, std::move(assoc), params.multi_rate);
   sol.converged = scg.feasible;
+  if (params.k >= 2) apply_kconn(sc, params, ctx, sol, /*enforce_budget=*/false);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }
@@ -92,6 +108,8 @@ Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& para
   }
   auto assoc = setcover::materialize(sc, ctx.engine, chosen);
   Solution sol = make_solution("MNU-C", sc, std::move(assoc), params.multi_rate);
+  // MNU is the budgeted setting: secondary adoptions must respect AP budgets.
+  if (params.k >= 2) apply_kconn(sc, params, ctx, sol, /*enforce_budget=*/true);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }

@@ -27,6 +27,11 @@
 namespace wmcast::assoc {
 
 struct CentralizedParams {
+  /// Maximum serving APs per user (DESIGN.md §15). 1 = the paper's single-AP
+  /// model, bit-identical to pre-k builds. k >= 2 runs the serial kconn
+  /// augmentation after the base solve and fills Solution::multi/multi_loads;
+  /// the primary assoc/loads stay exactly the k == 1 result.
+  int k = 1;
   /// false = all multicast at the scenario's basic rate (802.11 standard).
   bool multi_rate = true;
   /// MNU only: after the H1/H2 split, greedily re-add sets that still fit

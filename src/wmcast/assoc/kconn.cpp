@@ -1,0 +1,215 @@
+#include "wmcast/assoc/kconn.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "wmcast/core/solve.hpp"
+#include "wmcast/util/assert.hpp"
+#include "wmcast/util/fp.hpp"
+
+namespace wmcast::assoc {
+
+namespace {
+
+// Heap entry for the lazy-greedy augmentation. Ordered by the exact
+// better_pick ratio comparator (gain / cost, ties to lower set id); the
+// std::push_heap convention wants "less than", i.e. the worse pick first.
+struct HeapEntry {
+  int32_t gain;
+  double cost;
+  int32_t set;
+};
+
+struct HeapWorse {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return core::better_pick(b.gain, b.cost, b.set, a.gain, a.cost, a.set);
+  }
+};
+
+// Mutable augmentation state shared by the gain/cost probes.
+struct AugState {
+  std::vector<std::vector<int>> served;  // [user] sorted AP ids
+  std::vector<int> need;                 // [user] remaining adoption slots
+  std::vector<std::vector<double>> cur_tx;  // [ap][session], 0 = silent
+  std::vector<double> ap_spend;             // [ap] current modeled load
+};
+
+bool is_served_by(const std::vector<int>& s, int a) {
+  return std::binary_search(s.begin(), s.end(), a);
+}
+
+// Users the set would newly serve: needy members not already served by the
+// set's AP. Members of an engine set all hear the AP at >= tx_rate(set).
+int32_t adoption_gain(const core::CoverageEngine& engine, int j, const AugState& st) {
+  const int a = engine.ap(j);
+  int32_t gain = 0;
+  for (const int32_t m : engine.members(j)) {
+    if (st.need[static_cast<size_t>(m)] > 0 &&
+        !is_served_by(st.served[static_cast<size_t>(m)], a)) {
+      ++gain;
+    }
+  }
+  return gain;
+}
+
+// Extra load the AP takes on if it adopts the set: its (AP, session) stream
+// slows to min(current, set rate), so the delta is the spend difference.
+// Zero when the AP already transmits the session at (or below) the set rate.
+double adoption_cost(const wlan::Scenario& sc, const core::CoverageEngine& engine,
+                     int j, const AugState& st) {
+  const int a = engine.ap(j);
+  const int s = engine.session(j);
+  const double cur = st.cur_tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
+  const double rate = sc.session_rate(s);
+  const double spent = cur > 0.0 ? rate / cur : 0.0;
+  const double tx = cur > 0.0 ? std::min(cur, engine.tx_rate(j)) : engine.tx_rate(j);
+  return rate / tx - spent;
+}
+
+}  // namespace
+
+wlan::MultiAssociation augment_to_k(const wlan::Scenario& sc,
+                                    const core::CoverageEngine& engine,
+                                    const wlan::Association& base,
+                                    const wlan::LoadReport& base_loads,
+                                    const KconnParams& params) {
+  util::require(base.n_users() == sc.n_users(), "augment_to_k: association size mismatch");
+  util::require(engine.n_elements() >= sc.n_users() && engine.n_groups() == sc.n_aps(),
+                "augment_to_k: engine does not match scenario");
+
+  AugState st;
+  st.served.resize(static_cast<size_t>(sc.n_users()));
+  st.need.assign(static_cast<size_t>(sc.n_users()), 0);
+  st.cur_tx = base_loads.tx_rate;
+  st.ap_spend = base_loads.ap_load;
+
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int a = base.ap_of(u);
+    if (a == wlan::kNoAp) continue;  // base-unserved users stay unserved
+    st.served[static_cast<size_t>(u)].push_back(a);
+    const int heard = static_cast<int>(sc.aps_of_user(u).size());
+    st.need[static_cast<size_t>(u)] = std::max(0, std::min(params.k, heard) - 1);
+  }
+
+  if (params.k >= 2) {
+    std::vector<HeapEntry> heap;
+    std::vector<char> dropped(static_cast<size_t>(engine.n_set_slots()), 0);
+    for (int j = 0; j < engine.n_set_slots(); ++j) {
+      if (!engine.alive(j)) continue;
+      const int32_t gain = adoption_gain(engine, j, st);
+      if (gain == 0) continue;
+      heap.push_back(HeapEntry{gain, adoption_cost(sc, engine, j, st),
+                               static_cast<int32_t>(j)});
+    }
+    std::make_heap(heap.begin(), heap.end(), HeapWorse{});
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), HeapWorse{});
+      const HeapEntry top = heap.back();
+      heap.pop_back();
+      const int j = top.set;
+      if (dropped[static_cast<size_t>(j)] != 0) continue;
+      const int32_t gain = adoption_gain(engine, j, st);
+      if (gain == 0) continue;
+      const double cost = adoption_cost(sc, engine, j, st);
+      if (gain != top.gain || cost != top.cost) {
+        // Stale entry: reinsert with the refreshed key (lazy greedy).
+        heap.push_back(HeapEntry{gain, cost, top.set});
+        std::push_heap(heap.begin(), heap.end(), HeapWorse{});
+        continue;
+      }
+      const int a = engine.ap(j);
+      const int s = engine.session(j);
+      if (params.enforce_budget &&
+          util::exceeds_budget(st.ap_spend[static_cast<size_t>(a)] + cost,
+                               sc.load_budget())) {
+        // AP spend only grows and the total spend needed to ever adopt this
+        // (AP, session, rate) stream is invariant, so infeasible is final.
+        dropped[static_cast<size_t>(j)] = 1;
+        continue;
+      }
+
+      // Commit: adopt every needy member, slow the stream to the set's rate.
+      for (const int32_t m : engine.members(j)) {
+        auto& sv = st.served[static_cast<size_t>(m)];
+        if (st.need[static_cast<size_t>(m)] <= 0 || is_served_by(sv, a)) continue;
+        sv.insert(std::upper_bound(sv.begin(), sv.end(), a), a);
+        --st.need[static_cast<size_t>(m)];
+      }
+      auto& cur = st.cur_tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      cur = cur > 0.0 ? std::min(cur, engine.tx_rate(j)) : engine.tx_rate(j);
+      st.ap_spend[static_cast<size_t>(a)] += cost;
+
+      // Committing lowered this (AP, session) stream's rate, which can only
+      // CHEAPEN sibling sets — stale heap keys would undervalue them, so push
+      // refreshed entries now (duplicates are resolved by the recompute
+      // above). Other sets' keys only get worse, the classic lazy direction.
+      for (const int32_t j2 : engine.group_sets(a)) {
+        if (j2 == j || !engine.alive(j2) || dropped[static_cast<size_t>(j2)] != 0 ||
+            engine.session(j2) != s) {
+          continue;
+        }
+        const int32_t g2 = adoption_gain(engine, j2, st);
+        if (g2 == 0) continue;
+        heap.push_back(HeapEntry{g2, adoption_cost(sc, engine, j2, st), j2});
+        std::push_heap(heap.begin(), heap.end(), HeapWorse{});
+      }
+    }
+
+    if (params.polish) {
+      // Free-swap pass: replace a user's weakest non-primary stream with a
+      // strictly faster stream some heard AP is ALREADY transmitting (and the
+      // user can decode, link >= tx). Dropping a member never raises the old
+      // AP's load (its stream keeps its rate — conservative), and the new AP
+      // gains a member it already covers at its current rate, so swaps are
+      // budget-neutral. Deterministic: users ascending, candidates
+      // strongest-signal-first.
+      for (int u = 0; u < sc.n_users(); ++u) {
+        auto& sv = st.served[static_cast<size_t>(u)];
+        if (sv.size() < 2) continue;
+        const int primary = base.ap_of(u);
+        const int s = sc.user_session(u);
+        int worst = -1;
+        double worst_tx = std::numeric_limits<double>::infinity();
+        for (const int a : sv) {
+          if (a == primary) continue;
+          const double tx = st.cur_tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
+          if (tx < worst_tx) {
+            worst_tx = tx;
+            worst = a;
+          }
+        }
+        if (worst < 0) continue;
+        const wlan::IndexSpan heard = sc.aps_of_user(u);
+        const double* rates = sc.rates_of_user(u);
+        for (size_t i = 0; i < heard.size(); ++i) {
+          const int b = heard[i];
+          if (is_served_by(sv, b)) continue;
+          const double tx = st.cur_tx[static_cast<size_t>(b)][static_cast<size_t>(s)];
+          if (tx <= worst_tx || rates[i] < tx) continue;
+          sv.erase(std::find(sv.begin(), sv.end(), worst));
+          sv.insert(std::upper_bound(sv.begin(), sv.end(), b), b);
+          break;
+        }
+      }
+    }
+  }
+
+  wlan::MultiAssociation multi;
+  multi.user_aps = std::move(st.served);
+  return multi;
+}
+
+void finalize_kconn(const wlan::Scenario& sc, const core::CoverageEngine& engine,
+                    Solution& sol, const KconnParams& params) {
+  if (params.k <= 1) {
+    sol.k = 1;
+    return;
+  }
+  sol.k = params.k;
+  sol.multi = augment_to_k(sc, engine, sol.assoc, sol.loads, params);
+  sol.multi_loads = wlan::compute_multi_loads(sc, sol.multi, params.multi_rate);
+}
+
+}  // namespace wmcast::assoc

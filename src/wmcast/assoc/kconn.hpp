@@ -1,0 +1,60 @@
+// k-connectivity multicast association (DESIGN.md §15): a user may be served
+// by up to k APs simultaneously, combining one multicast stream per serving
+// AP (additive combine rule — the multi-connectivity model of Zuhra et al.,
+// "Multi-Connectivity for Multicast Video Streaming", see PAPERS.md).
+//
+// The solvers here are thin policies over the PR 2 coverage engine: the base
+// single-AP association stays exactly what the legacy solver produced (so
+// k == 1 is bit-identical to MNU/BLA/MLA/SSA by construction), and a serial
+// lazy-greedy *augmentation* then grows per-user served-sets from the
+// engine's (AP, session, rate-level) candidate sets, ranked by
+// (new-users-gained / added-load) with the exact better_pick comparator.
+// Adoptions that cost no extra load (the AP already transmits the session at
+// a rate the new members can hear) naturally dominate. An optional
+// local-search polish pass upgrades each user's weakest secondary stream to
+// a stronger free one. Because the augmentation is serial and runs after a
+// thread-invariant base solve, the full k-connectivity solution is bitwise
+// identical at any thread count.
+#pragma once
+
+#include "wmcast/assoc/solution.hpp"
+#include "wmcast/core/engine.hpp"
+#include "wmcast/wlan/association.hpp"
+#include "wmcast/wlan/scenario.hpp"
+
+namespace wmcast::assoc {
+
+struct KconnParams {
+  /// Maximum serving APs per user; effective cap is min(k, |heard-set|).
+  int k = 1;
+  bool multi_rate = true;
+  /// Gate every adoption on the contributing AP's load budget (the MNU
+  /// setting). A rejected (AP, session, rate) candidate is dropped for good:
+  /// AP spend only grows during augmentation, so infeasible stays infeasible.
+  bool enforce_budget = false;
+  /// Local-search pass after the greedy: per user (ascending id), replace the
+  /// weakest non-primary stream with a strictly stronger already-transmitting
+  /// one the user can hear. Swaps never add load, so they are always
+  /// budget-safe.
+  bool polish = false;
+};
+
+/// Grows `base` (a legacy single-AP association) into per-user served-sets of
+/// up to params.k APs. `engine` must be built over `sc` with the same
+/// multi_rate flag; `base_loads` must be compute_loads(sc, base, multi_rate).
+/// Users unserved in `base` stay unserved (the primary view is preserved
+/// verbatim: aps_of(u) always contains base.ap_of(u) for served users).
+/// Deterministic: pure function of (sc, engine, base).
+wlan::MultiAssociation augment_to_k(const wlan::Scenario& sc,
+                                    const core::CoverageEngine& engine,
+                                    const wlan::Association& base,
+                                    const wlan::LoadReport& base_loads,
+                                    const KconnParams& params);
+
+/// Fills sol.k / sol.multi / sol.multi_loads from sol.assoc / sol.loads.
+/// At k <= 1 the overlay stays empty (sol.k = 1) — the legacy Solution is
+/// untouched, preserving bit-identity with pre-k builds.
+void finalize_kconn(const wlan::Scenario& sc, const core::CoverageEngine& engine,
+                    Solution& sol, const KconnParams& params);
+
+}  // namespace wmcast::assoc

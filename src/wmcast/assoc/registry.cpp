@@ -4,6 +4,7 @@
 
 #include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/distributed.hpp"
+#include "wmcast/assoc/kconn.hpp"
 #include "wmcast/assoc/local_search.hpp"
 #include "wmcast/assoc/single_session.hpp"
 #include "wmcast/assoc/ssa.hpp"
@@ -26,14 +27,24 @@ bool is_algorithm(const std::string& name) {
 
 Solution solve_by_name(const std::string& name, const wlan::Scenario& sc,
                        util::Rng& rng, const SolveOptions& options) {
+  util::require(options.k >= 1, "solve_by_name: k must be >= 1");
   CentralizedParams cp;
   cp.multi_rate = options.multi_rate;
+  cp.k = options.k;
   DistributedParams dp;
   dp.multi_rate = options.multi_rate;
+  // The distributed / lock / single-session protocols are inherently
+  // single-AP: every user decision picks exactly one AP.
+  const bool single_ap_only = name == "mla-d" || name == "bla-d" || name == "mnu-d" ||
+                              name == "lock-d" || name == "mnu-1session" ||
+                              name == "bla-1session";
+  util::require(options.k == 1 || !single_ap_only,
+                "solve_by_name: '" + name + "' does not support k >= 2");
 
   if (name == "ssa") {
     SsaParams sp;
     sp.multi_rate = options.multi_rate;
+    sp.k = options.k;
     return ssa_associate(sc, rng, sp);
   }
   if (name == "mla-c") return centralized_mla(sc, cp);
@@ -62,7 +73,19 @@ Solution solve_by_name(const std::string& name, const wlan::Scenario& sc,
     const Solution start = ssa_associate(sc, rng);
     LocalSearchParams lp;
     lp.multi_rate = options.multi_rate;
-    return local_search(sc, start.assoc, lp);
+    Solution sol = local_search(sc, start.assoc, lp);
+    if (options.k >= 2) {
+      // The local-search k variant: greedy augmentation plus the free-swap
+      // polish pass (KconnParams::polish).
+      EngineContext ctx;
+      ctx.build(sc, options.multi_rate);
+      KconnParams kp;
+      kp.k = options.k;
+      kp.multi_rate = options.multi_rate;
+      kp.polish = true;
+      finalize_kconn(sc, ctx.engine, sol, kp);
+    }
+    return sol;
   }
   if (name == "mnu-1session") return single_session_mnu(sc);
   if (name == "bla-1session") return single_session_bla(sc);

@@ -14,6 +14,12 @@ namespace wmcast::assoc {
 
 struct SolveOptions {
   bool multi_rate = true;
+  /// Maximum serving APs per user (DESIGN.md §15). k == 1 is the paper's
+  /// single-AP model for every solver. k >= 2 is supported by ssa, the
+  /// centralized family (mla-c/bla-c/mnu-c) and local-search; the distributed
+  /// / lock / single-session solvers reject it (their decision protocols are
+  /// inherently single-AP).
+  int k = 1;
 };
 
 /// Names accepted by solve_by_name, in presentation order.

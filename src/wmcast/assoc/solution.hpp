@@ -15,6 +15,14 @@ struct Solution {
   int rounds = 0;         // distributed algorithms: decision rounds executed
   bool converged = true;  // distributed algorithms: reached a fixed point
   double solve_seconds = 0.0;
+  // k-connectivity overlay (DESIGN.md §15). assoc/loads above always hold the
+  // primary single-AP view (at k == 1 they ARE the solution, bit-identical to
+  // the legacy solvers); at k >= 2 `multi` holds the full served-sets (the
+  // primary AP plus up to k-1 secondaries) and `multi_loads` the per-AP loads
+  // and additive effective rates they induce. `multi` stays empty at k == 1.
+  int k = 1;
+  wlan::MultiAssociation multi;
+  wlan::MultiLoadReport multi_loads;
 };
 
 /// Builds a Solution by evaluating `assoc` on `sc` (multi_rate selects the

@@ -1,6 +1,7 @@
 #include "wmcast/assoc/ssa.hpp"
 #include "wmcast/util/fp.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "wmcast/util/assert.hpp"
@@ -30,7 +31,41 @@ Solution ssa_associate(const wlan::Scenario& sc, util::Rng& rng, const SsaParams
     assoc.user_ap[static_cast<size_t>(u)] = a;
   }
 
+  // k-connectivity pass (no-op at k == 1): in the same arrival order, each
+  // served user adopts its next-strongest heard APs under the same budget
+  // gate. Secondaries join the AP's shared member list, so later budget
+  // probes see the load they add.
+  wlan::MultiAssociation multi;
+  if (params.k >= 2) {
+    multi = wlan::MultiAssociation::from_single(assoc);
+    for (const int u : order) {
+      const int primary = assoc.ap_of(u);
+      if (primary == wlan::kNoAp) continue;
+      auto& sv = multi.user_aps[static_cast<size_t>(u)];
+      const wlan::IndexSpan heard = sc.aps_of_user(u);
+      const int cap = std::min(params.k, static_cast<int>(heard.size()));
+      for (size_t i = 0; i < heard.size() && static_cast<int>(sv.size()) < cap; ++i) {
+        const int a = heard[i];
+        if (a == primary) continue;
+        auto& m = members[static_cast<size_t>(a)];
+        m.push_back(u);
+        if (params.enforce_budget &&
+            util::exceeds_budget(wlan::ap_load_for_members(sc, a, m, params.multi_rate),
+                                 sc.load_budget())) {
+          m.pop_back();
+          continue;
+        }
+        sv.insert(std::upper_bound(sv.begin(), sv.end(), a), a);
+      }
+    }
+  }
+
   Solution sol = make_solution("SSA", sc, std::move(assoc), params.multi_rate);
+  if (params.k >= 2) {
+    sol.k = params.k;
+    sol.multi = std::move(multi);
+    sol.multi_loads = wlan::compute_multi_loads(sc, sol.multi, params.multi_rate);
+  }
   sol.solve_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return sol;
 }

@@ -13,6 +13,12 @@ namespace wmcast::assoc {
 struct SsaParams {
   bool enforce_budget = true;
   bool multi_rate = true;
+  /// Maximum serving APs per user (DESIGN.md §15). 1 = the paper's baseline,
+  /// untouched. k >= 2 runs a second pass in the same arrival order: each
+  /// served user greedily adopts its next-strongest heard APs (same budget
+  /// gate) until it holds min(k, |heard|) streams. The primary association
+  /// and load report are exactly the k == 1 result.
+  int k = 1;
 };
 
 Solution ssa_associate(const wlan::Scenario& sc, util::Rng& rng,

@@ -110,6 +110,10 @@ CampaignResult run_campaign(const CampaignConfig& cfg, std::ostream* progress) {
     const auto serve_par =
         check_serve_repair_parallel(sc, perturbed, ccfg, cfg.threads);
     verdicts.insert(verdicts.end(), serve_par.begin(), serve_par.end());
+    const auto kconn_k1 = check_kconn_k1_identity(sc);
+    verdicts.insert(verdicts.end(), kconn_k1.begin(), kconn_k1.end());
+    const auto kconn_par = check_kconn_parallel(sc, perturbed, ccfg, cfg.threads);
+    verdicts.insert(verdicts.end(), kconn_par.begin(), kconn_par.end());
 
     if (profile.corrupt_prob > 0.0) {
       probe_parser(injector, ctrl::trace_to_text(trace),

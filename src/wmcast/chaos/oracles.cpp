@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/registry.hpp"
 #include "wmcast/core/engine.hpp"
 #include "wmcast/core/parallel.hpp"
@@ -574,6 +575,166 @@ std::vector<OracleResult> check_serve_repair_parallel(const wlan::Scenario& sc,
     }
   }
   if (invariants_clean) out.push_back(ok("serve.repair_parallel_invariants"));
+  return out;
+}
+
+namespace {
+
+/// Structural invariants of a k-connectivity overlay against its primary
+/// association: returns the first violation (empty = clean).
+std::string kconn_overlay_error(const wlan::Scenario& sc, const assoc::Solution& sol,
+                                int k) {
+  std::ostringstream os;
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const auto& sv = sol.multi.aps_of(u);
+    const int primary = sol.assoc.ap_of(u);
+    if (primary == wlan::kNoAp) {
+      if (!sv.empty()) {
+        os << "user " << u << ": base-unserved but overlay serves it";
+        return os.str();
+      }
+      continue;
+    }
+    if (!std::binary_search(sv.begin(), sv.end(), primary)) {
+      os << "user " << u << ": served-set misses primary AP " << primary;
+      return os.str();
+    }
+    for (size_t i = 0; i < sv.size(); ++i) {
+      if (i > 0 && sv[i] <= sv[i - 1]) {
+        os << "user " << u << ": served-set not sorted/duplicate-free";
+        return os.str();
+      }
+      if (!(sc.link_rate(sv[i], u) > 0.0)) {
+        os << "user " << u << ": served by AP " << sv[i] << " out of radio range";
+        return os.str();
+      }
+    }
+    const int cap = std::min(k, static_cast<int>(sc.aps_of_user(u).size()));
+    if (static_cast<int>(sv.size()) > cap) {
+      os << "user " << u << ": served-set size " << sv.size() << " exceeds min(k, heard) = "
+         << cap;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<OracleResult> check_kconn_k1_identity(const wlan::Scenario& sc) {
+  std::vector<OracleResult> out;
+  static const char* kSolvers[] = {"ssa", "mla-c", "bla-c", "mnu-c", "local-search"};
+  for (const char* name : kSolvers) {
+    const std::string check = std::string("kconn.k1_identity/") + name;
+    util::Rng r1(4242);
+    util::Rng r2(4242);
+    assoc::SolveOptions o1;
+    o1.k = 1;
+    assoc::SolveOptions o2;
+    o2.k = 2;
+    const auto s1 = assoc::solve_by_name(name, sc, r1, o1);
+    const auto s2 = assoc::solve_by_name(name, sc, r2, o2);
+    if (s1.k != 1 || !s1.multi.user_aps.empty()) {
+      out.push_back(bad(check, "k=1 run carries a non-empty overlay"));
+      continue;
+    }
+    if (!(s1.assoc == s2.assoc)) {
+      out.push_back(bad(check, "k=2 primary association differs from the k=1 run"));
+      continue;
+    }
+    if (s1.loads.ap_load != s2.loads.ap_load ||
+        s1.loads.total_load != s2.loads.total_load ||
+        s1.loads.max_load != s2.loads.max_load ||
+        s1.loads.satisfied_users != s2.loads.satisfied_users) {
+      out.push_back(bad(check, "k=2 primary load report differs from the k=1 run"));
+      continue;
+    }
+    std::string err = kconn_overlay_error(sc, s2, 2);
+    if (err.empty() && s2.multi_loads.satisfied_users != s2.loads.satisfied_users) {
+      err = "overlay changed the served-user count";
+    }
+    if (err.empty()) {
+      const auto fresh = wlan::compute_multi_loads(sc, s2.multi, true);
+      if (fresh.ap_load != s2.multi_loads.ap_load ||
+          fresh.effective_rate != s2.multi_loads.effective_rate ||
+          fresh.total_load != s2.multi_loads.total_load) {
+        err = "multi load report does not match a fresh recomputation";
+      }
+    }
+    if (err.empty() && std::string(name) == "mnu-c" &&
+        s2.multi_loads.budget_violations > s2.loads.budget_violations) {
+      err = "budgeted augmentation added budget violations";
+    }
+    if (err.empty()) {
+      out.push_back(ok(check));
+    } else {
+      out.push_back(bad(check, err));
+    }
+  }
+  return out;
+}
+
+std::vector<OracleResult> check_kconn_parallel(const wlan::Scenario& sc,
+                                               const ctrl::EventTrace& trace,
+                                               const ctrl::ControllerConfig& cfg,
+                                               int n_threads) {
+  std::vector<OracleResult> out;
+
+  // (a) Sharded-vs-joint: the k=2 served-sets must be independent of the
+  // base solve's sharding (the serial augmentation sees the same base and
+  // the same engine either way).
+  {
+    util::ThreadPool pool(n_threads);
+    assoc::CentralizedParams joint;
+    joint.k = 2;
+    joint.multi_rate = cfg.multi_rate;
+    assoc::CentralizedParams sharded = joint;
+    sharded.pool = &pool;
+    const auto sj = assoc::centralized_mla(sc, joint);
+    const auto sp = assoc::centralized_mla(sc, sharded);
+    if (!(sj.multi == sp.multi)) {
+      out.push_back(bad("kconn.sharded_vs_joint",
+                        "k=2 served-sets differ between the joint and sharded MLA solves"));
+    } else {
+      out.push_back(ok("kconn.sharded_vs_joint"));
+    }
+  }
+
+  // (b) Controller threads 1-vs-N at k=2: the committed primary association
+  // AND the maintained overlay must match after every epoch.
+  ctrl::ControllerConfig c1 = cfg;
+  c1.k = 2;
+  c1.threads = 1;
+  ctrl::ControllerConfig cn = cfg;
+  cn.k = 2;
+  cn.threads = n_threads;
+  ctrl::AssociationController serial(sc, c1);
+  ctrl::AssociationController parallel(sc, cn);
+  bool diverged = false;
+  for (size_t ep = 0; ep <= trace.epochs.size() && !diverged; ++ep) {
+    if (ep > 0) {
+      serial.submit(trace.epochs[ep - 1]);
+      parallel.submit(trace.epochs[ep - 1]);
+      serial.drain();
+      parallel.drain();
+    }
+    std::ostringstream os;
+    if (serial.slot_ap() != parallel.slot_ap()) {
+      os << "epoch " << ep << ": committed association differs between threads=1 and threads="
+         << n_threads << " at k=2";
+      diverged = true;
+    } else if (!(serial.multi_assoc() == parallel.multi_assoc())) {
+      os << "epoch " << ep << ": k=2 served-sets differ between threads=1 and threads="
+         << n_threads;
+      diverged = true;
+    } else if (serial.multi_loads().effective_rate != parallel.multi_loads().effective_rate) {
+      os << "epoch " << ep << ": k=2 effective rates differ between threads=1 and threads="
+         << n_threads;
+      diverged = true;
+    }
+    if (diverged) out.push_back(bad("kconn.threads_equivalence", os.str()));
+  }
+  if (!diverged) out.push_back(ok("kconn.threads_equivalence"));
   return out;
 }
 

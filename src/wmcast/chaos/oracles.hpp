@@ -114,4 +114,26 @@ std::vector<OracleResult> check_serve_repair_parallel(const wlan::Scenario& sc,
                                                       const ctrl::ControllerConfig& cfg,
                                                       int n_threads);
 
+/// k-connectivity k == 1 identity (DESIGN.md §15): for every solver that
+/// supports k (ssa, mla-c, bla-c, mnu-c, local-search), the k == 2 run's
+/// primary association and load report must be bit-identical to the k == 1
+/// run (the overlay never perturbs the base solve), the k == 1 run must carry
+/// an empty overlay, and the k == 2 overlay must satisfy its structural
+/// invariants: each served-set contains the primary, is sorted,
+/// duplicate-free and capped at min(k, |heard|), and the recomputed multi
+/// load report agrees with the Solution's. For mnu-c (the budgeted setting)
+/// secondary adoptions must not add budget violations.
+std::vector<OracleResult> check_kconn_k1_identity(const wlan::Scenario& sc);
+
+/// k >= 2 parallel differentials: (a) sharded-vs-joint — centralized MLA at
+/// k == 2 with the sharded per-session pool path vs the joint serial solve
+/// must produce identical served-sets (the serial augmentation is a pure
+/// function of the thread-invariant base); (b) threads 1-vs-N — the
+/// controller at cfg.k = 2 replayed over `trace` must commit identical
+/// slot_ap AND identical k-connectivity overlays after every epoch.
+std::vector<OracleResult> check_kconn_parallel(const wlan::Scenario& sc,
+                                               const ctrl::EventTrace& trace,
+                                               const ctrl::ControllerConfig& cfg,
+                                               int n_threads);
+
 }  // namespace wmcast::chaos

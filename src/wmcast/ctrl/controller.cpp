@@ -53,6 +53,37 @@ AssociationController::AssociationController(const wlan::Scenario& initial,
   tele_.total_load.set(loads_.total_load);
   tele_.max_load.set(loads_.max_load);
   tele_.baseline_load.set(baseline_load_);
+  util::require(cfg_.k >= 1, "AssociationController: k must be >= 1");
+  refresh_multi(nullptr);
+}
+
+void AssociationController::refresh_multi(EpochReport* rep) {
+  if (cfg_.k < 2) return;
+  // Quiescent epochs (no applied events, no committed AP changes) keep the
+  // cached overlay: it is a pure function of (compact_sc_, committed
+  // association), neither of which moved.
+  const bool dirty = !multi_valid_ || rep == nullptr || rep->events_applied > 0 ||
+                     rep->reassociations > 0;
+  if (dirty) {
+    wlan::Association row_assoc = wlan::Association::none(compact_sc_.n_users());
+    for (int r = 0; r < compact_sc_.n_users(); ++r) {
+      row_assoc.user_ap[static_cast<size_t>(r)] =
+          slot_ap_[static_cast<size_t>(row_slot_[static_cast<size_t>(r)])];
+    }
+    kconn_ctx_.build(compact_sc_, cfg_.multi_rate);
+    assoc::KconnParams kp;
+    kp.k = cfg_.k;
+    kp.multi_rate = cfg_.multi_rate;
+    kp.enforce_budget = cfg_.enforce_budget;
+    multi_assoc_ =
+        assoc::augment_to_k(compact_sc_, kconn_ctx_.engine, row_assoc, loads_, kp);
+    multi_loads_ = wlan::compute_multi_loads(compact_sc_, multi_assoc_, cfg_.multi_rate);
+    multi_valid_ = true;
+  }
+  if (rep != nullptr) {
+    rep->multi_served_users = multi_loads_.multi_served_users;
+    rep->mean_effective_rate = multi_loads_.mean_effective_rate;
+  }
 }
 
 assoc::Solution AssociationController::solve_full(const wlan::Scenario& sc,
@@ -626,6 +657,7 @@ EpochReport AssociationController::drain() {
   rep.total_load = loads_.total_load;
   rep.max_load = loads_.max_load;
   rep.baseline_load = baseline_load_;
+  refresh_multi(&rep);
   sync_engine_stats(&rep);
   rep.drain_seconds = seconds_since(t0);
 

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "wmcast/assoc/centralized.hpp"
+#include "wmcast/assoc/kconn.hpp"
 #include "wmcast/assoc/local_search.hpp"
 #include "wmcast/assoc/solution.hpp"
 #include "wmcast/core/engine.hpp"
@@ -111,6 +113,15 @@ struct ControllerConfig {
   /// the sequential path. The repaired association is bitwise identical at
   /// any thread count.
   bool shard_repair = true;
+  /// Maximum serving APs per user (DESIGN.md §15). 1 = the paper's single-AP
+  /// model: nothing changes, bit for bit. k >= 2 maintains a k-connectivity
+  /// overlay (multi_assoc()/multi_loads()) on top of the committed primary
+  /// association: after each non-quiescent epoch the serial kconn
+  /// augmentation re-derives every served user's AP set from the committed
+  /// association — a dirty user's whole served-set is the repair unit, never
+  /// a lone secondary link. The committed primary association, loads and
+  /// telemetry JSON are unchanged at any k.
+  int k = 1;
   /// Defer coverage-engine group rebuilds until a full solve actually needs
   /// the engine: each drain runs only the cheap dirty-marking pass, and the
   /// accumulated marks flush right before the next full solve. Epochs that
@@ -155,6 +166,9 @@ struct EpochReport {
   int engine_sets_rebuilt = 0;
   int engine_sets_retired = 0;
   bool engine_compacted = false;
+  // k-connectivity overlay after this epoch (zeros when cfg.k == 1).
+  int multi_served_users = 0;
+  double mean_effective_rate = 0.0;
 };
 
 class AssociationController {
@@ -182,6 +196,12 @@ class AssociationController {
   const wlan::LoadReport& loads() const { return loads_; }
   double baseline_load() const { return baseline_load_; }
   int epochs() const { return epoch_index_; }
+
+  /// k-connectivity overlay of the last committed epoch (ControllerConfig::k
+  /// >= 2; empty served-sets at k == 1). Row-indexed like scenario().
+  const wlan::MultiAssociation& multi_assoc() const { return multi_assoc_; }
+  const wlan::MultiLoadReport& multi_loads() const { return multi_loads_; }
+  int k() const { return cfg_.k; }
 
   Telemetry& telemetry() { return tele_; }
   const Telemetry& telemetry() const { return tele_; }
@@ -218,6 +238,10 @@ class AssociationController {
   /// Folds engine stat deltas since the last sync into telemetry (and the
   /// epoch report, when given).
   void sync_engine_stats(EpochReport* rep);
+  /// Re-derives the k-connectivity overlay from the committed association
+  /// (no-op at k == 1; quiescent epochs reuse the cached overlay). Called
+  /// with null from the constructor, with the epoch report from drain().
+  void refresh_multi(EpochReport* rep);
 
   ControllerConfig cfg_;
   NetworkState state_;
@@ -248,6 +272,15 @@ class AssociationController {
   std::vector<char> group_mark_;
   bool engine_flush_pending_ = false;
   std::vector<int> slot_row_;
+
+  // k-connectivity overlay state (cfg_.k >= 2 only). The overlay engine is a
+  // private row-space context built over compact_sc_ — NOT the lazily
+  // refreshed slot-space engine_ above, whose deferred marks could propose
+  // stale out-of-range links between flushes.
+  assoc::EngineContext kconn_ctx_;
+  wlan::MultiAssociation multi_assoc_;
+  wlan::MultiLoadReport multi_loads_;
+  bool multi_valid_ = false;
 };
 
 }  // namespace wmcast::ctrl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -32,6 +33,10 @@ Histogram Histogram::exponential(double start, double factor, int n) {
 }
 
 void Histogram::record(double v) {
+  // NaN has unordered comparisons: it would land in an arbitrary bucket via
+  // lower_bound and then poison min_/max_/sum_ (and every derived quantile)
+  // irreversibly. Telemetry producers must filter or fix their samples.
+  require(!std::isnan(v), "Histogram: cannot record NaN");
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
   if (count_ == 0) {
@@ -126,8 +131,14 @@ std::string render_histogram(const std::vector<std::string>& labels,
   std::ostringstream out;
   for (size_t i = 0; i < counts.size(); ++i) {
     out << labels[i] << std::string(label_width - labels[i].size(), ' ') << " | ";
+    // 64-bit: counts[i] * width overflows int for counts near INT_MAX
+    // (Histogram::render clamps counts to INT_MAX, so they get that large).
     const int bar =
-        max_count > 0 ? (counts[i] * width + max_count - 1) / max_count : 0;
+        max_count > 0
+            ? static_cast<int>((static_cast<int64_t>(counts[i]) * width +
+                                max_count - 1) /
+                               max_count)
+            : 0;
     if (counts[i] > 0) out << std::string(static_cast<size_t>(std::max(bar, 1)), '#') << ' ';
     out << counts[i] << '\n';
   }

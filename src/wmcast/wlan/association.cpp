@@ -51,6 +51,75 @@ LoadReport compute_loads(const Scenario& sc, const Association& assoc, bool mult
   return rep;
 }
 
+MultiLoadReport compute_multi_loads(const Scenario& sc, const MultiAssociation& multi,
+                                    bool multi_rate) {
+  util::require(multi.n_users() == sc.n_users(),
+                "compute_multi_loads: association size mismatch");
+
+  MultiLoadReport rep;
+  rep.ap_load.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+  rep.tx_rate.assign(static_cast<size_t>(sc.n_aps()),
+                     std::vector<double>(static_cast<size_t>(sc.n_sessions()), 0.0));
+  rep.effective_rate.assign(static_cast<size_t>(sc.n_users()), 0.0);
+
+  // Minimum member link rate per (AP, session) over ALL users the AP serves,
+  // multi-served or not — each contributing AP carries the full stream.
+  std::vector<std::vector<double>> min_rate(
+      static_cast<size_t>(sc.n_aps()),
+      std::vector<double>(static_cast<size_t>(sc.n_sessions()),
+                          std::numeric_limits<double>::infinity()));
+
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const auto& aps = multi.aps_of(u);
+    if (aps.empty()) continue;
+    ++rep.satisfied_users;
+    if (aps.size() >= 2) ++rep.multi_served_users;
+    const int s = sc.user_session(u);
+    int prev = -1;
+    for (const int a : aps) {
+      util::require(a >= 0 && a < sc.n_aps(), "compute_multi_loads: invalid AP id");
+      util::require(a > prev,
+                    "compute_multi_loads: served-set must be sorted and duplicate-free");
+      prev = a;
+      const double r = sc.link_rate(a, u);
+      util::require(r > 0.0, "compute_multi_loads: user served by AP out of its range");
+      auto& mr = min_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      mr = std::min(mr, r);
+    }
+  }
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    double load = 0.0;
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      const double mr = min_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      if (mr == std::numeric_limits<double>::infinity()) continue;
+      const double tx = multi_rate ? mr : sc.basic_rate();
+      rep.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(s)] = tx;
+      load += sc.session_rate(s) / tx;
+    }
+    rep.ap_load[static_cast<size_t>(a)] = load;
+    rep.total_load += load;
+    rep.max_load = std::max(rep.max_load, load);
+    if (util::exceeds_budget(load, sc.load_budget())) ++rep.budget_violations;
+  }
+
+  // Additive combine rule: one stream per serving AP, each at that AP's
+  // session tx rate.
+  double sum_eff = 0.0;
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const int s = sc.user_session(u);
+    double eff = 0.0;
+    for (const int a : multi.aps_of(u)) {
+      eff += rep.tx_rate[static_cast<size_t>(a)][static_cast<size_t>(s)];
+    }
+    rep.effective_rate[static_cast<size_t>(u)] = eff;
+    sum_eff += eff;
+  }
+  rep.mean_effective_rate =
+      rep.satisfied_users > 0 ? sum_eff / rep.satisfied_users : 0.0;
+  return rep;
+}
+
 double ap_load_for_members(const Scenario& sc, int ap, const std::vector<int>& members,
                            bool multi_rate) {
   std::vector<double> min_rate(static_cast<size_t>(sc.n_sessions()),

@@ -132,5 +132,22 @@ TEST(Centralized, SolveTimeIsRecorded) {
   EXPECT_GE(centralized_mla(sc).solve_seconds, 0.0);
 }
 
+TEST(Centralized, K2OverlayRidesOnTheLegacySolve) {
+  // The k-connectivity overlay (assoc_kconn_test.cpp has the full suite):
+  // fig1's five users all hear both APs, so at k = 2 every served user can
+  // take a second stream, and each effective rate is at least its primary
+  // stream's rate.
+  const auto sc = test::fig1_scenario(1.0);
+  CentralizedParams p;
+  p.k = 2;
+  const Solution sol = centralized_mla(sc, p);
+  EXPECT_EQ(sol.k, 2);
+  EXPECT_EQ(sol.multi_loads.satisfied_users, sol.loads.satisfied_users);
+  for (int u = 0; u < 5; ++u) {
+    EXPECT_TRUE(sol.multi.serves(u, sol.assoc.ap_of(u)));
+  }
+  EXPECT_GT(sol.multi_loads.multi_served_users, 0);
+}
+
 }  // namespace
 }  // namespace wmcast::assoc

@@ -6,11 +6,13 @@
 // the committed association — depended on heap layout and thread count).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "wmcast/chaos/fault.hpp"
 #include "wmcast/chaos/oracles.hpp"
+#include "wmcast/chaos/shrink.hpp"
 #include "wmcast/core/solve.hpp"
 #include "wmcast/ctrl/controller.hpp"
 #include "wmcast/ctrl/state.hpp"
@@ -102,6 +104,52 @@ TEST(DifferentialReplayTest, CleanUnderHeavyFaultInjection) {
   const auto r = check_differential_replay(sc, perturbed, oracle_config(31), 4);
   EXPECT_FALSE(r.diverged);
   EXPECT_EQ(all_failures(r.results), "");
+}
+
+// k-connectivity oracles (DESIGN.md §15): the k=1 identity sweep must be
+// clean on a healthy scenario, and the k=2 parallel differentials must agree
+// even over a fault-perturbed trace.
+TEST(KconnOracleTest, K1IdentitySweepCleanOnGeneratedScenario) {
+  const auto results = check_kconn_k1_identity(test_scenario());
+  EXPECT_EQ(results.size(), 5u) << "one verdict per k-capable solver";
+  EXPECT_EQ(all_failures(results), "");
+}
+
+TEST(KconnOracleTest, ParallelDifferentialsCleanUnderFaultInjection) {
+  const auto sc = test_scenario(37);
+  const auto initial = ctrl::NetworkState::from_scenario(sc);
+  const auto trace = churn_trace(initial, 37);
+  FaultInjector inj(37, FaultProfile::named("heavy"));
+  const auto perturbed = inj.perturb(trace, initial);
+
+  const auto results = check_kconn_parallel(sc, perturbed, oracle_config(37), 4);
+  EXPECT_EQ(all_failures(results), "");
+  bool sharded = false, threads = false;
+  for (const auto& r : results) {
+    if (r.check == "kconn.sharded_vs_joint") sharded = true;
+    if (r.check == "kconn.threads_equivalence") threads = true;
+  }
+  EXPECT_TRUE(sharded);
+  EXPECT_TRUE(threads);
+}
+
+// The committed k-connectivity repro must keep replaying clean through the
+// run_repro kconn.* dispatch — exactly how CI replays the corpus.
+TEST(KconnOracleTest, CommittedThreadsReproStaysFixed) {
+  const std::filesystem::path path = std::filesystem::path(WMCAST_TEST_DATA_DIR) /
+                                     "repros" / "repro_kconn_threads.repro";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  const Repro r = load_repro(path.string());
+  EXPECT_EQ(r.check, "kconn.threads_equivalence");
+  EXPECT_EQ(r.threads, 4);
+  const auto res = run_repro(r);
+  EXPECT_EQ(failures_to_text(res.results), "");
+  EXPECT_EQ(res.epochs_run, r.trace.n_epochs());
+  bool saw_threads_check = false;
+  for (const auto& o : res.results) {
+    if (o.check == "kconn.threads_equivalence") saw_threads_check = true;
+  }
+  EXPECT_TRUE(saw_threads_check);
 }
 
 TEST(FailuresToTextTest, FormatsOnlyFailures) {

@@ -200,6 +200,59 @@ TEST(ServeLoop, StalenessBoundsBatchWait) {
   EXPECT_LE(tele.latency_s.quantile(1.0), 0.011 + 1e-3);
 }
 
+// staleness_s == 0 edge: an event is stale the moment it arrives, so every
+// offer on an idle server dispatches its own batch immediately — no event
+// ever waits for a second one, and the only modeled latency is service time.
+TEST(ServeLoop, ZeroStalenessDispatchesEveryEventImmediately) {
+  const auto sc = test_scenario();
+  ctrl::AssociationController c(sc, controller_config(1));
+  ServeConfig scfg = modeled_config();
+  scfg.batch_max = 1000;  // never fills: staleness alone must trigger
+  scfg.staleness_s = 0.0;
+  ServeLoop loop(&c, scfg);
+
+  for (int i = 0; i < 10; ++i) {
+    // Spaced far beyond the modeled service time, so the server is idle at
+    // every arrival. offer() advances the clock before pushing, so event i
+    // dispatches at the next call — every earlier event already has its own
+    // batch, none ever waited for a companion.
+    loop.offer(0.1 * i, ctrl::Event::move(i % sc.n_users(), {5.0 + i, 5.0}));
+    EXPECT_EQ(loop.telemetry().batches.value(), static_cast<uint64_t>(i));
+  }
+  const ServeTelemetry& tele = loop.finish(1.0);
+  EXPECT_EQ(tele.batches.value(), 10u);
+  EXPECT_EQ(tele.submitted.value() + tele.coalesced.value(), 10u);
+  // No staleness wait component: latency is pure modeled service.
+  EXPECT_LE(tele.queue_wait_s.quantile(1.0), 1e-9);
+}
+
+// finish() racing an in-flight pipelined batch: with staleness 0 every batch
+// dispatches eagerly, so the final offer's batch is typically still in flight
+// when finish() force-drains. The force-flush must join it, harvest its
+// telemetry, and still be byte-identical to the unpipelined run.
+TEST(ServePipeline, ForceFlushJoinsTheRacingBatchAtFinish) {
+  const auto sc = test_scenario();
+  const auto events = test_workload(sc);
+
+  std::vector<std::string> dumps;
+  for (const bool pipeline : {false, true}) {
+    ctrl::AssociationController c(sc, controller_config(pipeline ? 4 : 1));
+    ServeConfig scfg = modeled_config();
+    scfg.staleness_s = 0.0;
+    scfg.pipeline = pipeline;
+    ServeLoop loop(&c, scfg);
+    for (const auto& te : events) loop.offer(te.t_s, te.ev);
+    // Finish right at the last stamp: no advance_to grace, so any in-flight
+    // batch is joined by the force-drain itself.
+    const ServeTelemetry& tele = loop.finish(events.back().t_s);
+    EXPECT_EQ(tele.offered.value(), tele.accepted.value() + tele.rejected.value());
+    EXPECT_EQ(tele.accepted.value(),
+              tele.submitted.value() + tele.coalesced.value() + tele.shed.value());
+    dumps.push_back(tele.to_json(/*include_wall=*/false).dump(2));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
 TEST(ServeLoop, OfferRequiresMonotoneStamps) {
   const auto sc = test_scenario();
   ctrl::AssociationController c(sc, controller_config(1));

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace wmcast::util {
 namespace {
@@ -94,6 +96,31 @@ TEST(BucketedQuantiles, MonotoneAcrossManyQs) {
     EXPECT_GE(cur, prev) << "q=" << q;
     prev = cur;
   }
+}
+
+// Regression: record(NaN) used to slip past every unordered comparison and
+// poison min_/max_/sum_ (every later quantile and mean came back NaN). It
+// must be rejected up front, leaving the recorded state untouched.
+TEST(BucketedQuantiles, RecordRejectsNaNWithoutPoisoningState) {
+  Histogram h({1.0, 10.0});
+  h.record(3.5);
+  EXPECT_THROW(h.record(std::nan("")), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5) << "count must not include the NaN";
+}
+
+// Regression: the bar scaling computed counts[i] * width in int, which
+// overflows (UB, typically a negative bar) once a count passes
+// INT_MAX / width. The math is 64-bit now; the largest count still gets the
+// full bar and tiny counts still round up to one '#'.
+TEST(Histogram, HugeCountsDoNotOverflowBarScaling) {
+  const int kMax = std::numeric_limits<int>::max();
+  const std::string out = render_histogram({"big", "tiny"}, {kMax, 1}, 100);
+  EXPECT_NE(out.find(std::string(100, '#') + " " + std::to_string(kMax)),
+            std::string::npos);
+  EXPECT_EQ(out.find(std::string(101, '#')), std::string::npos);
+  EXPECT_NE(out.find("# 1"), std::string::npos);
 }
 
 TEST(Histogram, RendersBarsProportionally) {

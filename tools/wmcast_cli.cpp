@@ -5,7 +5,7 @@
 //                        --zipf=0 --hotspot=0]
 //   wmcast_cli info      --scenario=sc.txt
 //   wmcast_cli solve     --scenario=sc.txt --algorithm=mla-c
-//                        [--seed=1 --assoc-out=a.txt --basic-rate]
+//                        [--seed=1 --assoc-out=a.txt --basic-rate --k=1]
 //   wmcast_cli eval      --scenario=sc.txt --assoc=a.txt
 //   wmcast_cli exact     --scenario=sc.txt --problem=mla [--budget=0.9
 //                        --time-limit=10]
@@ -19,7 +19,7 @@
 //                        --join=0.02 --rate-prob=0 --trace-seed=7]
 //                        [--solver=mla-c --threshold=0.1 --refresh=10
 //                        --max-reassoc=-1 --no-admission --seed=1 --threads=N
-//                        --telemetry=tele.json --trace-out=t.txt --quiet]
+//                        --k=1 --telemetry=tele.json --trace-out=t.txt --quiet]
 //   wmcast_cli serve     [--scenario=sc.txt | --aps=100 --users=300
 //                        --area=1095.445 --scenario-seed=1]
 //                        [--profile=mixed --duration=10
@@ -28,7 +28,7 @@
 //                        [--batch-max=256 --staleness-ms=50 --queue-cap=8192
 //                        --policy=reject|shed --no-coalesce --modeled
 //                        --pipeline --solver=mla-c --seed=1 --threads=N
-//                        --telemetry=tele.json --trace-out=t.txt --json
+//                        --k=1 --telemetry=tele.json --trace-out=t.txt --json
 //                        --quiet]
 //   wmcast_cli chaos     [--seed=1 --scenarios=20 --profile=mixed --threads=4
 //                        --solver=mla-c --aps=16 --users=60 --sessions=4
@@ -111,6 +111,13 @@ void print_solution(const wlan::Scenario& sc, const assoc::Solution& sol) {
   t.add_row({"revenue: pay-per-view", util::fmt(rev.pay_per_view, 2)});
   t.add_row({"revenue: convex unicast", util::fmt(rev.convex_unicast, 3)});
   t.add_row({"revenue: per-byte", util::fmt(rev.per_byte, 3)});
+  if (sol.k >= 2) {
+    t.add_row({"k (max serving APs/user)", std::to_string(sol.k)});
+    t.add_row({"multi-served users", std::to_string(sol.multi_loads.multi_served_users)});
+    t.add_row({"mean effective rate (Mbps)",
+               util::fmt(sol.multi_loads.mean_effective_rate, 2)});
+    t.add_row({"total load (all streams)", util::fmt(sol.multi_loads.total_load, 4)});
+  }
   t.print();
 }
 
@@ -175,6 +182,7 @@ int cmd_solve(const util::Args& args) {
   }
   assoc::SolveOptions options;
   options.multi_rate = !args.get_bool("basic-rate", false);
+  options.k = args.get_int("k", 1);
   const assoc::Solution sol = assoc::solve_by_name(algorithm, sc, rng, options);
 
   print_solution(sc, sol);
@@ -315,6 +323,7 @@ int cmd_replay(const util::Args& args) {
   cfg.admission_control = !args.get_bool("no-admission", false);
   cfg.seed = args.get_u64("seed", cfg.seed);
   cfg.threads = util::resolve_threads(args);
+  cfg.k = args.get_int("k", cfg.k);
   if (!assoc::is_algorithm(cfg.full_solver)) {
     std::fprintf(stderr, "replay: unknown --solver=%s\n", cfg.full_solver.c_str());
     return 2;
@@ -380,6 +389,11 @@ int cmd_replay(const util::Args& args) {
               static_cast<double>(reassoc) / n_epochs,
               static_cast<double>(forced) / n_epochs, full_solves, rollbacks,
               controller.loads().total_load, controller.baseline_load());
+  if (cfg.k >= 2) {
+    std::printf("k=%d overlay: %d multi-served users, mean effective rate %.2f Mbps\n",
+                cfg.k, controller.multi_loads().multi_served_users,
+                controller.multi_loads().mean_effective_rate);
+  }
 
   const std::string tele_out = args.get("telemetry", "");
   if (!tele_out.empty()) {
@@ -403,7 +417,7 @@ int cmd_serve(const util::Args& args) {
   args.reject_unknown(
       {"scenario", "aps", "users", "sessions", "area", "budget", "scenario-seed",
        "solver", "basic-rate", "threshold", "refresh", "max-reassoc", "min-gain",
-       "no-admission", "seed", "threads", "profile", "duration", "rate",
+       "no-admission", "seed", "threads", "k", "profile", "duration", "rate",
        "workload-seed", "batch-max", "staleness-ms", "queue-cap", "policy",
        "no-coalesce", "modeled", "pipeline", "telemetry", "trace-out",
        "trace-epoch-s", "quiet", "json", "simd"});
@@ -434,6 +448,7 @@ int cmd_serve(const util::Args& args) {
   cfg.admission_control = !args.get_bool("no-admission", false);
   cfg.seed = args.get_u64("seed", cfg.seed);
   cfg.threads = util::resolve_threads(args);
+  cfg.k = args.get_int("k", cfg.k);
   cfg.max_batch = 0;  // the serve loop owns batching; one batch = one epoch
   if (!assoc::is_algorithm(cfg.full_solver)) {
     std::fprintf(stderr, "serve: unknown --solver=%s\n", cfg.full_solver.c_str());
