@@ -25,6 +25,7 @@
 #include "wmcast/assoc/kconn.hpp"
 #include "wmcast/core/parallel.hpp"
 #include "wmcast/assoc/ssa.hpp"
+#include "wmcast/ctrl/controller.hpp"
 #include "wmcast/core/solve.hpp"
 #include "wmcast/exact/exact_mla.hpp"
 #include "wmcast/ext/locks.hpp"
@@ -262,7 +263,7 @@ BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(8);
 // --- Hot-path kernels (DESIGN.md §13) ----------------------------------------
 //
 // The solver's inner loops, benched in isolation under dotted kernel.* names
-// so tools/bench_guard can gate each one independently (--only=kernel.). All
+// so tools/bench_guard can gate each one independently (--gate-prefix=kernel.). All
 // run whichever dispatch --simd selected (auto by default); the scalar path
 // is byte-compared against AVX2 by the tests, so these entries only track
 // speed. Sized to clear bench_guard's 50 µs noise floor per iteration.
@@ -352,26 +353,48 @@ void BM_KernelWarmGreedySolve(benchmark::State& state) {
   }
 }
 
-// --- k-connectivity overlay (DESIGN.md §15) ----------------------------------
+// --- k-connectivity overlay (DESIGN.md §15-16) -------------------------------
 //
 // Dotted kconn.* names so tools/bench_guard can gate the overlay's cost
-// independently (--only=kconn.). Both run at k=2 on the paper-scale
-// 200 AP / 400 user instance.
+// independently (--gate-prefix=kconn.).
 
-/// The augmentation alone, warm: engine and base MLA solve are prebuilt, so
-/// this isolates the lazy-greedy served-set growth the k=2 paths add on top
-/// of a legacy solve.
+/// The cold augmentation alone: the base MLA solve is prebuilt, so this
+/// isolates the full plan + derive sweep the k=2 paths add on top of a legacy
+/// solve.
 void BM_KconnAugmentK2(benchmark::State& state) {
   const auto sc = scenario_for(200, 400);
-  assoc::EngineContext ctx;
-  ctx.build(sc, true);
   const auto base = assoc::centralized_mla(sc);
   assoc::KconnParams kp;
   kp.k = 2;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        assoc::augment_to_k(sc, ctx.engine, base.assoc, base.loads, kp)
-            .n_users());
+        assoc::augment_to_k(sc, base.assoc, base.loads, kp).n_users());
+  }
+}
+
+/// One controller epoch of k=2 overlay maintenance under light churn (20
+/// moves against 4k users): the persistent kconn engine re-plans only the
+/// dirty APs and re-derives only the dirty rows. Contrast with
+/// kconn.augment_k2, which pays the full sweep every call.
+void BM_KconnRepairEpoch(benchmark::State& state) {
+  const auto sc = scenario_for(200, 4000);
+  ctrl::ControllerConfig cfg;
+  cfg.k = 2;
+  cfg.full_refresh_epochs = 0;  // keep every iteration on the repair path
+  ctrl::AssociationController ctl(sc, cfg);
+  util::Rng rng(123);
+  std::vector<ctrl::Event> batch;
+  for (auto _ : state) {
+    batch.clear();
+    for (int i = 0; i < 20; ++i) {
+      const int s = rng.next_int(ctl.state().n_slots());
+      wlan::Point pos = ctl.state().slot(s).pos;
+      pos.x += rng.uniform(-20.0, 20.0);
+      pos.y += rng.uniform(-20.0, 20.0);
+      batch.push_back(ctrl::Event::move(s, pos));
+    }
+    ctl.submit(batch);
+    benchmark::DoNotOptimize(ctl.drain().kconn_repaired_users);
   }
 }
 
@@ -389,6 +412,7 @@ void BM_KconnMlaK2EndToEnd(benchmark::State& state) {
 
 void register_kernel_benches() {
   benchmark::RegisterBenchmark("kconn.augment_k2", BM_KconnAugmentK2);
+  benchmark::RegisterBenchmark("kconn.repair_epoch", BM_KconnRepairEpoch);
   benchmark::RegisterBenchmark("kconn.mla_k2_end_to_end", BM_KconnMlaK2EndToEnd);
   benchmark::RegisterBenchmark("kernel.popcount", BM_KernelPopcount);
   benchmark::RegisterBenchmark("kernel.popcount_and", BM_KernelPopcountAnd);

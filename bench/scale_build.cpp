@@ -15,7 +15,7 @@
 //  --dense             also run the dense reference build (same instance) and
 //                      verify the two scenarios are identical
 //  --solve             run centralized MLA end-to-end on the built scenario
-//  --k=K               with --solve and K >= 2, add an mla_k2_solve arm: the
+//  --k=K               with --solve and K >= 2, add an mla_solve_k2 arm: the
 //                      same MLA solve plus the k-connectivity augmentation
 //                      (DESIGN.md §15), so the overlay's incremental cost is
 //                      guarded separately from the base solve
@@ -120,16 +120,13 @@ int main(int argc, char** argv) {
                     peak_rss_bytes()});
     std::printf("MLA: total load %.3f, %.2fs\n", sol.loads.total_load, solve_seconds);
 
-    // The arm is named mla_k2_solve (NOT mla_solve_k2): bench_guard --only
-    // matches by prefix, and the CI 2x gate pins scale_build/mla_solve — a
-    // mla_solve* sibling would silently fall under that gate.
     if (k >= 2) {
       assoc::CentralizedParams kp;
       kp.k = k;
       t0 = now_seconds();
       const auto ksol = assoc::centralized_mla(sparse, kp);
       const double k_seconds = now_seconds() - t0;
-      arms.push_back({"mla_k2_solve", k_seconds, sparse.memory_bytes(),
+      arms.push_back({"mla_solve_k2", k_seconds, sparse.memory_bytes(),
                       peak_rss_bytes()});
       std::printf("MLA k=%d: %d multi-served users, mean effective rate %.2f Mbps, "
                   "%.2fs (+%.0f%% over k=1)\n",

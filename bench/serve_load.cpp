@@ -11,12 +11,25 @@
 //                   [--duration=5] [--batch-max=256] [--staleness-ms=50]
 //                   [--queue-cap=0] [--policy=reject] [--refresh=0]
 //                   [--threshold=0.5] [--burst-events=1500] [--no-burst]
-//                   [--require-batching-gain=0] [--pipeline] [--json=out.json]
-//                   [--simd=auto|scalar|avx2]
+//                   [--require-batching-gain=0] [--pipeline] [--k=1]
+//                   [--kconn-events=4000] [--require-kconn-speedup=0]
+//                   [--json=out.json] [--simd=auto|scalar|avx2]
 //
 //  --require-batching-gain=K  exit 1 unless the batched burst arm beats
 //                             --batch-max=1 by >= K in wall events/sec;
 //                             CI pins K on the committed BENCH_serve.json run
+//  --k=K                      serve with the k-connectivity overlay
+//                             (DESIGN.md §15/§16); with K >= 2 two extra churn
+//                             arms replay the same truncated stream with the
+//                             incremental kconn engine on (kconn_incremental)
+//                             and off (kconn_cold: full overlay rebuild every
+//                             non-quiescent epoch)
+//  --kconn-events=N           truncate the kconn comparison stream to N events
+//                             so the cold leg (a full rebuild per batch) stays
+//                             tractable at 100k users
+//  --require-kconn-speedup=K  exit 1 unless the incremental leg beats the cold
+//                             leg by >= K in wall events/sec; the dirty-region
+//                             repair claim of DESIGN.md §16, pinned by CI
 //  --json                     wmcast-microbench/v1 document for
 //                             tools/bench_guard (per-event wall ns per arm,
 //                             plus the main arm's p99 latency in ns)
@@ -57,6 +70,9 @@ struct ArmResult {
   double p999_s = 0.0;
   double p99_decision_s = 0.0;  // batch start -> decision committed
   uint64_t coalesced = 0;
+  double kconn_s = 0.0;  // wall spent in refresh_multi (overlay repair only)
+  uint64_t kconn_repaired = 0;  // engine.kconn.repaired_users over the run
+  uint64_t kconn_rebuilds = 0;  // engine.kconn.engine_rebuilds over the run
 };
 
 ArmResult run_arm(const std::string& name, const wlan::Scenario& sc,
@@ -64,6 +80,9 @@ ArmResult run_arm(const std::string& name, const wlan::Scenario& sc,
                   const std::vector<serve::TimedEvent>& events, double duration_s) {
   ctrl::AssociationController controller(sc, cfg);
   serve::ServeLoop loop(&controller, scfg);
+  // Exclude the constructor's cold overlay build: the arm measures steady-state
+  // epoch repair, and both kconn legs pay the identical initial build.
+  const double kconn0 = controller.kconn_seconds();
   const double t0 = now_seconds();
   for (const auto& te : events) loop.offer(te.t_s, te.ev);
   const serve::ServeTelemetry& tele = loop.finish(duration_s);
@@ -78,6 +97,9 @@ ArmResult run_arm(const std::string& name, const wlan::Scenario& sc,
   r.p999_s = tele.latency_s.quantile(0.999);
   r.p99_decision_s = tele.decision_s.quantile(0.99);
   r.coalesced = tele.coalesced.value();
+  r.kconn_s = controller.kconn_seconds() - kconn0;
+  r.kconn_repaired = controller.telemetry().engine_kconn_repaired_users.value();
+  r.kconn_rebuilds = controller.telemetry().engine_kconn_rebuilds.value();
   return r;
 }
 
@@ -89,7 +111,8 @@ int main(int argc, char** argv) {
                        "profile", "rate", "duration", "batch-max", "staleness-ms",
                        "queue-cap", "policy", "refresh", "threshold",
                        "burst-events", "no-burst", "require-batching-gain",
-                       "pipeline", "json", "simd"});
+                       "pipeline", "k", "kconn-events", "require-kconn-speedup",
+                       "json", "simd"});
   util::resolve_simd(args);
   const int n_users = args.get_int("users", 100000);
   const int n_aps = args.get_int("aps", 2000);
@@ -102,6 +125,9 @@ int main(int argc, char** argv) {
   const int burst_events = args.get_int("burst-events", 1500);
   const bool run_burst = !args.get_bool("no-burst", false);
   const double require_gain = args.get_double("require-batching-gain", 0.0);
+  const int k = args.get_int("k", 1);
+  const int kconn_events = args.get_int("kconn-events", 4000);
+  const double require_kconn = args.get_double("require-kconn-speedup", 0.0);
   util::ThreadPool pool(util::resolve_threads(args));
 
   // Degree-held geometry, as in scale_build: event cost stays local as the
@@ -133,6 +159,7 @@ int main(int argc, char** argv) {
   // this scale schedules re-solves out of band for the same reason.
   cfg.full_refresh_epochs = args.get_int("refresh", 0);
   cfg.degradation_threshold = args.get_double("threshold", 0.5);
+  cfg.k = k;  // every arm serves the overlay when --k >= 2
 
   serve::ServeConfig scfg;
   scfg.batch_max = args.get_int("batch-max", scfg.batch_max);
@@ -184,6 +211,36 @@ int main(int argc, char** argv) {
     gain = single.events_per_s > 0.0 ? batched.events_per_s / single.events_per_s : 0.0;
   }
 
+  double kconn_speedup = 0.0;
+  double kconn_inc_s = 0.0;
+  double kconn_cold_s = 0.0;
+  if (k >= 2) {
+    // Incremental-vs-cold overlay repair on a pure churn stream (moves /
+    // joins / leaves / zaps). Rate changes are filtered out: a stream-rate
+    // change legitimately forces a cold rebuild on BOTH legs (DESIGN.md §16),
+    // so leaving them in would only measure how often the profile emits them.
+    // The gate compares wall time spent in refresh_multi itself — base repair
+    // is identical on both legs and would otherwise swamp the overlay cost.
+    std::vector<serve::TimedEvent> churn;
+    churn.reserve(workload.size());
+    for (const auto& te : workload) {
+      if (te.ev.type == ctrl::EventType::kRateChange) continue;
+      if (kconn_events > 0 && static_cast<int>(churn.size()) >= kconn_events) break;
+      churn.push_back(te);
+    }
+    const double churn_end = churn.empty() ? 0.0 : churn.back().t_s;
+
+    arms.push_back(run_arm("kconn_incremental", sc, cfg, scfg, churn, churn_end));
+    ctrl::ControllerConfig cold = cfg;
+    cold.kconn_incremental = false;
+    arms.push_back(run_arm("kconn_cold", sc, cold, scfg, churn, churn_end));
+    const ArmResult& inc = arms[arms.size() - 2];
+    const ArmResult& full = arms.back();
+    kconn_inc_s = inc.kconn_s;
+    kconn_cold_s = full.kconn_s;
+    kconn_speedup = inc.kconn_s > 0.0 ? full.kconn_s / inc.kconn_s : 0.0;
+  }
+
   util::Table t({"arm", "events", "batches", "wall_s", "events/s", "p50_ms",
                  "p99_ms", "p999_ms", "p99_dec_ms", "coalesced"});
   for (const ArmResult& a : arms) {
@@ -197,6 +254,14 @@ int main(int argc, char** argv) {
   if (run_burst) {
     std::printf("\nbatching+coalescing gain on flash bursts: %.1fx events/s over "
                 "--batch-max=1\n", gain);
+  }
+  if (k >= 2) {
+    const ArmResult& inc_arm = arms[arms.size() - 2];
+    std::printf("\nincremental kconn repair: %.3fs vs %.3fs cold in refresh_multi "
+                "(%.1fx faster, k=%d; %llu users re-derived, %llu rebuilds)\n",
+                kconn_inc_s, kconn_cold_s, kconn_speedup, k,
+                static_cast<unsigned long long>(inc_arm.kconn_repaired),
+                static_cast<unsigned long long>(inc_arm.kconn_rebuilds));
   }
 
   const std::string json_path = args.get("json", "");
@@ -223,6 +288,28 @@ int main(int argc, char** argv) {
       b.set("real_time_ns", arms.front().p99_s * 1e9);
       b.set("iterations", static_cast<int64_t>(arms.front().events));
       benches.push(std::move(b));
+    }
+    if (k >= 2) {
+      // Overlay-repair-only entries for the incremental-kconn speedup gate:
+      // the committed cold baseline (bench/BENCH_kconn_cold_baseline.json)
+      // carries the kconn_cold leg's number under the kconn_repair name, so
+      // bench_guard --only=serve_load/kconn_repair/<tag> --require-speedup=K
+      // pins the incremental engine's win against a full rebuild.
+      const size_t churn_events = arms[arms.size() - 2].events;
+      util::Json b = util::Json::object();
+      b.set("name", "serve_load/kconn_repair/" + size_tag);
+      b.set("real_time_ns",
+            churn_events > 0 ? kconn_inc_s * 1e9 / static_cast<double>(churn_events)
+                             : 0.0);
+      b.set("iterations", static_cast<int64_t>(churn_events));
+      benches.push(std::move(b));
+      util::Json bc = util::Json::object();
+      bc.set("name", "serve_load/kconn_repair_cold/" + size_tag);
+      bc.set("real_time_ns",
+             churn_events > 0 ? kconn_cold_s * 1e9 / static_cast<double>(churn_events)
+                              : 0.0);
+      bc.set("iterations", static_cast<int64_t>(churn_events));
+      benches.push(std::move(bc));
     }
     // Decision-only p99 per arm: the batch start -> decision-committed slice
     // of the split latency histogram, without the queue wait.
@@ -251,6 +338,17 @@ int main(int argc, char** argv) {
     if (gain < require_gain) {
       std::fprintf(stderr, "serve_load: batching gain %.2fx below required %.2fx\n",
                    gain, require_gain);
+      return 1;
+    }
+  }
+  if (require_kconn > 0.0) {
+    if (k < 2) {
+      std::fprintf(stderr, "serve_load: --require-kconn-speedup needs --k >= 2\n");
+      return 1;
+    }
+    if (kconn_speedup < require_kconn) {
+      std::fprintf(stderr, "serve_load: kconn speedup %.2fx below required %.2fx\n",
+                   kconn_speedup, require_kconn);
       return 1;
     }
   }

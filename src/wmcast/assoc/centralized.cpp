@@ -16,16 +16,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 // Grows the k-connectivity overlay on top of the base solve (no-op at k == 1,
-// keeping the legacy Solution bit-identical). The augmentation is serial and
-// reuses the already-built engine, so it is thread-invariant whenever the
-// base solve is.
+// keeping the legacy Solution bit-identical). The local augmentation rule
+// reads the scenario CSR directly and is thread-invariant whenever the base
+// solve is.
 void apply_kconn(const wlan::Scenario& sc, const CentralizedParams& params,
-                 EngineContext& ctx, Solution& sol, bool enforce_budget) {
+                 Solution& sol, bool enforce_budget) {
   KconnParams kp;
   kp.k = params.k;
   kp.multi_rate = params.multi_rate;
   kp.enforce_budget = enforce_budget;
-  finalize_kconn(sc, ctx.engine, sol, kp);
+  finalize_kconn(sc, sol, kp);
 }
 
 }  // namespace
@@ -52,7 +52,7 @@ Solution centralized_mla(const wlan::Scenario& sc, const CentralizedParams& para
   }
   auto assoc = setcover::materialize(sc, ctx.engine, greedy.chosen);
   Solution sol = make_solution("MLA-C", sc, std::move(assoc), params.multi_rate);
-  if (params.k >= 2) apply_kconn(sc, params, ctx, sol, /*enforce_budget=*/false);
+  if (params.k >= 2) apply_kconn(sc, params, sol, /*enforce_budget=*/false);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }
@@ -76,7 +76,7 @@ Solution centralized_bla(const wlan::Scenario& sc, const CentralizedParams& para
   auto assoc = setcover::materialize(sc, ctx.engine, scg.chosen);
   Solution sol = make_solution("BLA-C", sc, std::move(assoc), params.multi_rate);
   sol.converged = scg.feasible;
-  if (params.k >= 2) apply_kconn(sc, params, ctx, sol, /*enforce_budget=*/false);
+  if (params.k >= 2) apply_kconn(sc, params, sol, /*enforce_budget=*/false);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }
@@ -109,7 +109,7 @@ Solution centralized_mnu(const wlan::Scenario& sc, const CentralizedParams& para
   auto assoc = setcover::materialize(sc, ctx.engine, chosen);
   Solution sol = make_solution("MNU-C", sc, std::move(assoc), params.multi_rate);
   // MNU is the budgeted setting: secondary adoptions must respect AP budgets.
-  if (params.k >= 2) apply_kconn(sc, params, ctx, sol, /*enforce_budget=*/true);
+  if (params.k >= 2) apply_kconn(sc, params, sol, /*enforce_budget=*/true);
   sol.solve_seconds = seconds_since(t0);
   return sol;
 }

@@ -2,213 +2,265 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
 
-#include "wmcast/core/solve.hpp"
 #include "wmcast/util/assert.hpp"
 #include "wmcast/util/fp.hpp"
 
 namespace wmcast::assoc {
 
-namespace {
-
-// Heap entry for the lazy-greedy augmentation. Ordered by the exact
-// better_pick ratio comparator (gain / cost, ties to lower set id); the
-// std::push_heap convention wants "less than", i.e. the worse pick first.
-struct HeapEntry {
-  int32_t gain;
-  double cost;
-  int32_t set;
-};
-
-struct HeapWorse {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    return core::better_pick(b.gain, b.cost, b.set, a.gain, a.cost, a.set);
+void kconn_scan_pmin(const wlan::Scenario& sc, const wlan::Association& base,
+                     int a, KconnPlan& plan) {
+  const int S = sc.n_sessions();
+  double* pmin = plan.pmin.data() + plan.at(a, 0);
+  int* pcount = plan.pcount.data() + plan.at(a, 0);
+  for (int s = 0; s < S; ++s) {
+    pmin[s] = std::numeric_limits<double>::infinity();
+    pcount[s] = 0;
   }
-};
-
-// Mutable augmentation state shared by the gain/cost probes.
-struct AugState {
-  std::vector<std::vector<int>> served;  // [user] sorted AP ids
-  std::vector<int> need;                 // [user] remaining adoption slots
-  std::vector<std::vector<double>> cur_tx;  // [ap][session], 0 = silent
-  std::vector<double> ap_spend;             // [ap] current modeled load
-};
-
-bool is_served_by(const std::vector<int>& s, int a) {
-  return std::binary_search(s.begin(), s.end(), a);
-}
-
-// Users the set would newly serve: needy members not already served by the
-// set's AP. Members of an engine set all hear the AP at >= tx_rate(set).
-int32_t adoption_gain(const core::CoverageEngine& engine, int j, const AugState& st) {
-  const int a = engine.ap(j);
-  int32_t gain = 0;
-  for (const int32_t m : engine.members(j)) {
-    if (st.need[static_cast<size_t>(m)] > 0 &&
-        !is_served_by(st.served[static_cast<size_t>(m)], a)) {
-      ++gain;
+  // Every base-served hearer contributes, including members of running
+  // streams: the plan never reads pmin for a running session, but keeping the
+  // row session-complete means a stream that later falls silent (its primary
+  // members hand off or leave) already has the correct adopter min on hand —
+  // no rescan is needed for the running→silent flip itself.
+  const wlan::IndexSpan members = sc.users_of_ap(a);
+  const double* rates = sc.rates_of_ap(a);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const int u = members[i];
+    if (base.ap_of(u) == wlan::kNoAp) continue;
+    const int s = sc.user_session(u);
+    if (rates[i] < pmin[s]) {
+      pmin[s] = rates[i];
+      pcount[s] = 1;
+    } else if (rates[i] == pmin[s]) {
+      ++pcount[s];
     }
   }
-  return gain;
 }
 
-// Extra load the AP takes on if it adopts the set: its (AP, session) stream
-// slows to min(current, set rate), so the delta is the spend difference.
-// Zero when the AP already transmits the session at (or below) the set rate.
-double adoption_cost(const wlan::Scenario& sc, const core::CoverageEngine& engine,
-                     int j, const AugState& st) {
-  const int a = engine.ap(j);
-  const int s = engine.session(j);
-  const double cur = st.cur_tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
-  const double rate = sc.session_rate(s);
-  const double spent = cur > 0.0 ? rate / cur : 0.0;
-  const double tx = cur > 0.0 ? std::min(cur, engine.tx_rate(j)) : engine.tx_rate(j);
-  return rate / tx - spent;
+void kconn_plan_from_pmin(const wlan::Scenario& sc,
+                          const wlan::LoadReport& base_loads,
+                          const KconnParams& params, int a, KconnPlan& plan) {
+  const int S = sc.n_sessions();
+  double* advert = plan.advert.data() + plan.at(a, 0);
+  char* startable = plan.startable.data() + plan.at(a, 0);
+  const double* pmin = plan.pmin.data() + plan.at(a, 0);
+  const std::vector<double>& base_tx = base_loads.tx_rate[static_cast<size_t>(a)];
+
+  // Running streams advertise their base tx rate: a secondary whose link
+  // sustains it joins without slowing the stream, so the member min — and
+  // hence the AP's load — is untouched.
+  for (int s = 0; s < S; ++s) {
+    advert[s] = base_tx[static_cast<size_t>(s)];
+    startable[s] = 0;
+  }
+
+  // Startable entries, budget-gated in session-ascending order with the
+  // conservative estimate stream_rate / advert: the settled cost never
+  // exceeds it (adopters are a subset of the potential adopters), so a gate
+  // pass can never turn into a violation. For a silent session the pmin row
+  // is exactly the potential-adopter min p (no hearer has a as primary, or
+  // the stream would be running).
+  double projected = base_loads.ap_load[static_cast<size_t>(a)];
+  for (int s = 0; s < S; ++s) {
+    if (advert[s] > 0.0) continue;  // running
+    const double ps = pmin[s];
+    if (ps == std::numeric_limits<double>::infinity()) continue;  // no adopters
+    const double tx_est = params.multi_rate ? ps : sc.basic_rate();
+    if (params.enforce_budget) {
+      const double cost_est = sc.session_rate(s) / tx_est;
+      if (util::exceeds_budget(projected + cost_est, sc.load_budget())) continue;
+      projected += cost_est;
+    }
+    advert[s] = tx_est;
+    startable[s] = 1;
+  }
 }
 
-}  // namespace
+void kconn_plan_ap(const wlan::Scenario& sc, const wlan::Association& base,
+                   const wlan::LoadReport& base_loads, const KconnParams& params,
+                   int a, KconnPlan& plan) {
+  kconn_scan_pmin(sc, base, a, plan);
+  kconn_plan_from_pmin(sc, base_loads, params, a, plan);
+}
+
+void kconn_derive_user(const wlan::Scenario& sc, const wlan::Association& base,
+                       const KconnPlan& plan, const KconnParams& params, int u,
+                       std::vector<int>& served, KconnScratch& scratch) {
+  served.clear();
+  const int primary = base.ap_of(u);
+  if (primary == wlan::kNoAp) return;  // base-unserved users stay unserved
+
+  const wlan::IndexSpan heard = sc.aps_of_user(u);
+  const double* rates = sc.rates_of_user(u);
+  const int cap = std::min(params.k, static_cast<int>(heard.size()));
+  const int need = cap - 1;
+  if (need <= 0) {
+    served.push_back(primary);
+    return;
+  }
+
+  const int s = sc.user_session(u);
+  auto& cands = scratch.cands;
+  cands.clear();
+  for (size_t i = 0; i < heard.size(); ++i) {
+    const int a = heard[i];
+    if (a == primary) continue;
+    const double advert = plan.advert[plan.at(a, s)];
+    // Decode filter: the user's link must sustain the advertised rate. For
+    // startable streams this is automatic under multi-rate (advert is the min
+    // over potential adopters, u among them); under the basic-rate model it
+    // excludes links below the basic rate.
+    if (advert <= 0.0 || rates[i] < advert) continue;
+    cands.push_back({advert, plan.startable[plan.at(a, s)] != 0 ? 1 : 0, a});
+  }
+  const int take = std::min(need, static_cast<int>(cands.size()));
+  if (take > 0) {
+    // Strongest advertised rate first; free (running) adoptions beat stream
+    // starts at equal rate; AP id breaks the remaining ties deterministically.
+    std::partial_sort(cands.begin(), cands.begin() + take, cands.end(),
+                      [](const KconnScratch::Candidate& x,
+                         const KconnScratch::Candidate& y) {
+                        if (x.advert != y.advert) return x.advert > y.advert;
+                        if (x.tier != y.tier) return x.tier < y.tier;
+                        return x.ap < y.ap;
+                      });
+  }
+  served.push_back(primary);
+  for (int i = 0; i < take; ++i) served.push_back(cands[static_cast<size_t>(i)].ap);
+  std::sort(served.begin(), served.end());
+}
+
+void kconn_settle_ap(const wlan::Scenario& sc, const wlan::LoadReport& base_loads,
+                     const KconnParams& params, const KconnPlan& plan,
+                     const wlan::MultiAssociation& multi, int a, double* tx_row) {
+  const int S = sc.n_sessions();
+  const std::vector<double>& base_tx = base_loads.tx_rate[static_cast<size_t>(a)];
+  thread_local std::vector<double> min_rate;
+  min_rate.assign(static_cast<size_t>(S), std::numeric_limits<double>::infinity());
+
+  // Adopter min per session over this AP's started streams. Running streams
+  // never need the scan: every joiner decodes at >= the base tx rate, so the
+  // member min stays the base min exactly.
+  bool any_started = false;
+  for (int s = 0; s < S; ++s) {
+    if (base_tx[static_cast<size_t>(s)] <= 0.0 &&
+        plan.startable[plan.at(a, s)] != 0) {
+      any_started = true;
+    }
+  }
+  if (any_started) {
+    const wlan::IndexSpan members = sc.users_of_ap(a);
+    const double* rates = sc.rates_of_ap(a);
+    for (size_t i = 0; i < members.size(); ++i) {
+      const int u = members[i];
+      const int s = sc.user_session(u);
+      if (base_tx[static_cast<size_t>(s)] > 0.0 ||
+          plan.startable[plan.at(a, s)] == 0) {
+        continue;
+      }
+      if (!multi.serves(u, a)) continue;
+      auto& mr = min_rate[static_cast<size_t>(s)];
+      mr = std::min(mr, rates[i]);
+    }
+  }
+
+  for (int s = 0; s < S; ++s) {
+    const double bt = base_tx[static_cast<size_t>(s)];
+    if (bt > 0.0) {
+      tx_row[s] = bt;
+    } else if (min_rate[static_cast<size_t>(s)] !=
+               std::numeric_limits<double>::infinity()) {
+      tx_row[s] = params.multi_rate ? min_rate[static_cast<size_t>(s)]
+                                    : sc.basic_rate();
+    } else {
+      tx_row[s] = 0.0;  // silent (startable but nobody adopted, or neither)
+    }
+  }
+}
+
+wlan::MultiLoadReport kconn_collect_loads(const wlan::Scenario& sc,
+                                          const wlan::MultiAssociation& multi,
+                                          const std::vector<std::vector<double>>& tx) {
+  util::require(multi.n_users() == sc.n_users(),
+                "kconn_collect_loads: association size mismatch");
+  wlan::MultiLoadReport rep;
+  rep.tx_rate = tx;
+  rep.ap_load.assign(static_cast<size_t>(sc.n_aps()), 0.0);
+  rep.effective_rate.assign(static_cast<size_t>(sc.n_users()), 0.0);
+
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    double load = 0.0;
+    for (int s = 0; s < sc.n_sessions(); ++s) {
+      const double t = tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
+      if (t <= 0.0) continue;
+      load += sc.session_rate(s) / t;
+    }
+    rep.ap_load[static_cast<size_t>(a)] = load;
+    rep.total_load += load;
+    rep.max_load = std::max(rep.max_load, load);
+    if (util::exceeds_budget(load, sc.load_budget())) ++rep.budget_violations;
+  }
+
+  double sum_eff = 0.0;
+  for (int u = 0; u < sc.n_users(); ++u) {
+    const auto& aps = multi.aps_of(u);
+    if (!aps.empty()) {
+      ++rep.satisfied_users;
+      if (aps.size() >= 2) ++rep.multi_served_users;
+    }
+    const int s = sc.user_session(u);
+    double eff = 0.0;
+    for (const int a : aps) {
+      eff += tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
+    }
+    rep.effective_rate[static_cast<size_t>(u)] = eff;
+    sum_eff += eff;
+  }
+  rep.mean_effective_rate =
+      rep.satisfied_users > 0 ? sum_eff / rep.satisfied_users : 0.0;
+  return rep;
+}
 
 wlan::MultiAssociation augment_to_k(const wlan::Scenario& sc,
-                                    const core::CoverageEngine& engine,
                                     const wlan::Association& base,
                                     const wlan::LoadReport& base_loads,
                                     const KconnParams& params) {
-  util::require(base.n_users() == sc.n_users(), "augment_to_k: association size mismatch");
-  util::require(engine.n_elements() >= sc.n_users() && engine.n_groups() == sc.n_aps(),
-                "augment_to_k: engine does not match scenario");
+  util::require(base.n_users() == sc.n_users(),
+                "augment_to_k: association size mismatch");
+  util::require(base_loads.tx_rate.size() == static_cast<size_t>(sc.n_aps()),
+                "augment_to_k: load report does not match scenario");
 
-  AugState st;
-  st.served.resize(static_cast<size_t>(sc.n_users()));
-  st.need.assign(static_cast<size_t>(sc.n_users()), 0);
-  st.cur_tx = base_loads.tx_rate;
-  st.ap_spend = base_loads.ap_load;
+  wlan::MultiAssociation multi = wlan::MultiAssociation::none(sc.n_users());
+  if (params.k < 2) {
+    for (int u = 0; u < sc.n_users(); ++u) {
+      if (base.ap_of(u) != wlan::kNoAp) {
+        multi.user_aps[static_cast<size_t>(u)].push_back(base.ap_of(u));
+      }
+    }
+    return multi;
+  }
 
+  KconnPlan plan;
+  plan.resize(sc.n_aps(), sc.n_sessions());
+  for (int a = 0; a < sc.n_aps(); ++a) {
+    kconn_plan_ap(sc, base, base_loads, params, a, plan);
+  }
+  KconnScratch scratch;
   for (int u = 0; u < sc.n_users(); ++u) {
-    const int a = base.ap_of(u);
-    if (a == wlan::kNoAp) continue;  // base-unserved users stay unserved
-    st.served[static_cast<size_t>(u)].push_back(a);
-    const int heard = static_cast<int>(sc.aps_of_user(u).size());
-    st.need[static_cast<size_t>(u)] = std::max(0, std::min(params.k, heard) - 1);
+    kconn_derive_user(sc, base, plan, params, u,
+                      multi.user_aps[static_cast<size_t>(u)], scratch);
   }
-
-  if (params.k >= 2) {
-    std::vector<HeapEntry> heap;
-    std::vector<char> dropped(static_cast<size_t>(engine.n_set_slots()), 0);
-    for (int j = 0; j < engine.n_set_slots(); ++j) {
-      if (!engine.alive(j)) continue;
-      const int32_t gain = adoption_gain(engine, j, st);
-      if (gain == 0) continue;
-      heap.push_back(HeapEntry{gain, adoption_cost(sc, engine, j, st),
-                               static_cast<int32_t>(j)});
-    }
-    std::make_heap(heap.begin(), heap.end(), HeapWorse{});
-
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), HeapWorse{});
-      const HeapEntry top = heap.back();
-      heap.pop_back();
-      const int j = top.set;
-      if (dropped[static_cast<size_t>(j)] != 0) continue;
-      const int32_t gain = adoption_gain(engine, j, st);
-      if (gain == 0) continue;
-      const double cost = adoption_cost(sc, engine, j, st);
-      if (gain != top.gain || cost != top.cost) {
-        // Stale entry: reinsert with the refreshed key (lazy greedy).
-        heap.push_back(HeapEntry{gain, cost, top.set});
-        std::push_heap(heap.begin(), heap.end(), HeapWorse{});
-        continue;
-      }
-      const int a = engine.ap(j);
-      const int s = engine.session(j);
-      if (params.enforce_budget &&
-          util::exceeds_budget(st.ap_spend[static_cast<size_t>(a)] + cost,
-                               sc.load_budget())) {
-        // AP spend only grows and the total spend needed to ever adopt this
-        // (AP, session, rate) stream is invariant, so infeasible is final.
-        dropped[static_cast<size_t>(j)] = 1;
-        continue;
-      }
-
-      // Commit: adopt every needy member, slow the stream to the set's rate.
-      for (const int32_t m : engine.members(j)) {
-        auto& sv = st.served[static_cast<size_t>(m)];
-        if (st.need[static_cast<size_t>(m)] <= 0 || is_served_by(sv, a)) continue;
-        sv.insert(std::upper_bound(sv.begin(), sv.end(), a), a);
-        --st.need[static_cast<size_t>(m)];
-      }
-      auto& cur = st.cur_tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
-      cur = cur > 0.0 ? std::min(cur, engine.tx_rate(j)) : engine.tx_rate(j);
-      st.ap_spend[static_cast<size_t>(a)] += cost;
-
-      // Committing lowered this (AP, session) stream's rate, which can only
-      // CHEAPEN sibling sets — stale heap keys would undervalue them, so push
-      // refreshed entries now (duplicates are resolved by the recompute
-      // above). Other sets' keys only get worse, the classic lazy direction.
-      for (const int32_t j2 : engine.group_sets(a)) {
-        if (j2 == j || !engine.alive(j2) || dropped[static_cast<size_t>(j2)] != 0 ||
-            engine.session(j2) != s) {
-          continue;
-        }
-        const int32_t g2 = adoption_gain(engine, j2, st);
-        if (g2 == 0) continue;
-        heap.push_back(HeapEntry{g2, adoption_cost(sc, engine, j2, st), j2});
-        std::push_heap(heap.begin(), heap.end(), HeapWorse{});
-      }
-    }
-
-    if (params.polish) {
-      // Free-swap pass: replace a user's weakest non-primary stream with a
-      // strictly faster stream some heard AP is ALREADY transmitting (and the
-      // user can decode, link >= tx). Dropping a member never raises the old
-      // AP's load (its stream keeps its rate — conservative), and the new AP
-      // gains a member it already covers at its current rate, so swaps are
-      // budget-neutral. Deterministic: users ascending, candidates
-      // strongest-signal-first.
-      for (int u = 0; u < sc.n_users(); ++u) {
-        auto& sv = st.served[static_cast<size_t>(u)];
-        if (sv.size() < 2) continue;
-        const int primary = base.ap_of(u);
-        const int s = sc.user_session(u);
-        int worst = -1;
-        double worst_tx = std::numeric_limits<double>::infinity();
-        for (const int a : sv) {
-          if (a == primary) continue;
-          const double tx = st.cur_tx[static_cast<size_t>(a)][static_cast<size_t>(s)];
-          if (tx < worst_tx) {
-            worst_tx = tx;
-            worst = a;
-          }
-        }
-        if (worst < 0) continue;
-        const wlan::IndexSpan heard = sc.aps_of_user(u);
-        const double* rates = sc.rates_of_user(u);
-        for (size_t i = 0; i < heard.size(); ++i) {
-          const int b = heard[i];
-          if (is_served_by(sv, b)) continue;
-          const double tx = st.cur_tx[static_cast<size_t>(b)][static_cast<size_t>(s)];
-          if (tx <= worst_tx || rates[i] < tx) continue;
-          sv.erase(std::find(sv.begin(), sv.end(), worst));
-          sv.insert(std::upper_bound(sv.begin(), sv.end(), b), b);
-          break;
-        }
-      }
-    }
-  }
-
-  wlan::MultiAssociation multi;
-  multi.user_aps = std::move(st.served);
   return multi;
 }
 
-void finalize_kconn(const wlan::Scenario& sc, const core::CoverageEngine& engine,
-                    Solution& sol, const KconnParams& params) {
+void finalize_kconn(const wlan::Scenario& sc, Solution& sol,
+                    const KconnParams& params) {
   if (params.k <= 1) {
     sol.k = 1;
     return;
   }
   sol.k = params.k;
-  sol.multi = augment_to_k(sc, engine, sol.assoc, sol.loads, params);
+  sol.multi = augment_to_k(sc, sol.assoc, sol.loads, params);
   sol.multi_loads = wlan::compute_multi_loads(sc, sol.multi, params.multi_rate);
 }
 

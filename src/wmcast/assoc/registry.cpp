@@ -75,15 +75,10 @@ Solution solve_by_name(const std::string& name, const wlan::Scenario& sc,
     lp.multi_rate = options.multi_rate;
     Solution sol = local_search(sc, start.assoc, lp);
     if (options.k >= 2) {
-      // The local-search k variant: greedy augmentation plus the free-swap
-      // polish pass (KconnParams::polish).
-      EngineContext ctx;
-      ctx.build(sc, options.multi_rate);
       KconnParams kp;
       kp.k = options.k;
       kp.multi_rate = options.multi_rate;
-      kp.polish = true;
-      finalize_kconn(sc, ctx.engine, sol, kp);
+      finalize_kconn(sc, sol, kp);
     }
     return sol;
   }

@@ -114,6 +114,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg, std::ostream* progress) {
     verdicts.insert(verdicts.end(), kconn_k1.begin(), kconn_k1.end());
     const auto kconn_par = check_kconn_parallel(sc, perturbed, ccfg, cfg.threads);
     verdicts.insert(verdicts.end(), kconn_par.begin(), kconn_par.end());
+    const auto kconn_inc =
+        check_kconn_incremental(sc, perturbed, ccfg, cfg.threads);
+    verdicts.insert(verdicts.end(), kconn_inc.begin(), kconn_inc.end());
 
     if (profile.corrupt_prob > 0.0) {
       probe_parser(injector, ctrl::trace_to_text(trace),

@@ -738,4 +738,163 @@ std::vector<OracleResult> check_kconn_parallel(const wlan::Scenario& sc,
   return out;
 }
 
+namespace {
+
+/// Bitwise diff of a controller's maintained overlay against a cold
+/// re-derivation from its own committed state (empty = identical).
+std::string kconn_cold_diff(const ctrl::AssociationController& c,
+                            const ctrl::ControllerConfig& cfg) {
+  const wlan::Scenario& sc = c.scenario();
+  assoc::KconnParams kp;
+  kp.k = c.k();
+  kp.multi_rate = cfg.multi_rate;
+  kp.enforce_budget = cfg.enforce_budget;
+  wlan::Association base = wlan::Association::none(sc.n_users());
+  for (int r = 0; r < sc.n_users(); ++r) {
+    base.user_ap[static_cast<size_t>(r)] =
+        c.slot_ap()[static_cast<size_t>(c.row_slot()[static_cast<size_t>(r)])];
+  }
+  const auto cold = assoc::augment_to_k(sc, base, c.loads(), kp);
+  if (!(cold == c.multi_assoc())) {
+    return "maintained served-sets differ from a cold augment_to_k re-derivation";
+  }
+  const auto loads = wlan::compute_multi_loads(sc, cold, kp.multi_rate);
+  const auto& m = c.multi_loads();
+  if (loads.tx_rate != m.tx_rate || loads.ap_load != m.ap_load ||
+      loads.effective_rate != m.effective_rate ||
+      loads.total_load != m.total_load || loads.max_load != m.max_load ||
+      loads.mean_effective_rate != m.mean_effective_rate ||
+      loads.satisfied_users != m.satisfied_users ||
+      loads.multi_served_users != m.multi_served_users ||
+      loads.budget_violations != m.budget_violations) {
+    return "maintained multi-load report differs bitwise from compute_multi_loads";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<OracleResult> check_kconn_incremental(const wlan::Scenario& sc,
+                                                  const ctrl::EventTrace& trace,
+                                                  const ctrl::ControllerConfig& cfg,
+                                                  int n_threads) {
+  std::vector<OracleResult> out;
+
+  // (a) Per-epoch incremental-vs-cold + threads 1-vs-N at k=2 with the
+  // persistent engine on. The cold side is re-derived from each controller's
+  // own committed state, so any drift is the incremental engine's.
+  ctrl::ControllerConfig c1 = cfg;
+  c1.k = std::max(2, cfg.k);
+  c1.threads = 1;
+  c1.kconn_incremental = true;
+  ctrl::ControllerConfig cn = c1;
+  cn.threads = n_threads;
+  ctrl::AssociationController inc1(sc, c1);
+  ctrl::AssociationController incn(sc, cn);
+  bool diverged = false;
+  for (size_t ep = 0; ep <= trace.epochs.size() && !diverged; ++ep) {
+    if (ep > 0) {
+      inc1.submit(trace.epochs[ep - 1]);
+      incn.submit(trace.epochs[ep - 1]);
+      inc1.drain();
+      incn.drain();
+    }
+    std::ostringstream os;
+    std::string err = kconn_cold_diff(inc1, c1);
+    if (!err.empty()) {
+      os << "epoch " << ep << " (threads=1): " << err;
+      diverged = true;
+    } else if (!(err = kconn_cold_diff(incn, cn)).empty()) {
+      os << "epoch " << ep << " (threads=" << n_threads << "): " << err;
+      diverged = true;
+    } else if (!(inc1.multi_assoc() == incn.multi_assoc()) ||
+               inc1.multi_loads().effective_rate !=
+                   incn.multi_loads().effective_rate) {
+      os << "epoch " << ep << ": incremental overlays differ between threads=1 and threads="
+         << n_threads;
+      diverged = true;
+    }
+    if (diverged) out.push_back(bad("kconn.incremental_vs_cold", os.str()));
+  }
+  if (!diverged) out.push_back(ok("kconn.incremental_vs_cold"));
+
+  // The dirty-region accounting must be a pure function of the applied
+  // deltas, never of the pool schedule.
+  const ctrl::Telemetry& t1 = inc1.telemetry();
+  const ctrl::Telemetry& tn = incn.telemetry();
+  if (t1.engine_kconn_repairs.value() != tn.engine_kconn_repairs.value() ||
+      t1.engine_kconn_repaired_users.value() !=
+          tn.engine_kconn_repaired_users.value() ||
+      t1.engine_kconn_carried_users.value() !=
+          tn.engine_kconn_carried_users.value() ||
+      t1.engine_kconn_rebuilds.value() != tn.engine_kconn_rebuilds.value()) {
+    std::ostringstream os;
+    os << "engine.kconn counters differ between threads=1 and threads=" << n_threads
+       << ": repairs " << t1.engine_kconn_repairs.value() << " vs "
+       << tn.engine_kconn_repairs.value() << ", repaired_users "
+       << t1.engine_kconn_repaired_users.value() << " vs "
+       << tn.engine_kconn_repaired_users.value();
+    out.push_back(bad("kconn.incremental_counters", os.str()));
+  } else {
+    out.push_back(ok("kconn.incremental_counters"));
+  }
+
+  // (b) Full serve stacks at k=2: threads=1/pipeline=off vs
+  // threads=N/pipeline=on must byte-agree on state, overlay and telemetry.
+  serve::ServeConfig sbase;
+  sbase.batch_max = 64;
+  sbase.staleness_s = 0.02;
+  sbase.queue_cap = 0;  // unbounded: both sides accept the identical stream
+  sbase.modeled_service = true;
+  ctrl::AssociationController seq(sc, c1);
+  ctrl::AssociationController par(sc, cn);
+  serve::ServeConfig seq_scfg = sbase;
+  seq_scfg.pipeline = false;
+  serve::ServeConfig par_scfg = sbase;
+  par_scfg.pipeline = true;
+  serve::ServeLoop loop_seq(&seq, seq_scfg);
+  serve::ServeLoop loop_par(&par, par_scfg);
+  const double epoch_s = 0.05;
+  for (size_t e = 0; e < trace.epochs.size(); ++e) {
+    const auto& evs = trace.epochs[e];
+    for (size_t i = 0; i < evs.size(); ++i) {
+      const double t = (static_cast<double>(e) +
+                        static_cast<double>(i + 1) / static_cast<double>(evs.size() + 1)) *
+                       epoch_s;
+      loop_seq.offer(t, evs[i]);
+      loop_par.offer(t, evs[i]);
+    }
+  }
+  const double end = static_cast<double>(trace.n_epochs()) * epoch_s;
+  const serve::ServeTelemetry& ts = loop_seq.finish(end);
+  const serve::ServeTelemetry& tp = loop_par.finish(end);
+
+  if (!(seq.state() == par.state()) || seq.slot_ap() != par.slot_ap() ||
+      !(seq.multi_assoc() == par.multi_assoc()) ||
+      seq.multi_loads().effective_rate != par.multi_loads().effective_rate) {
+    std::ostringstream os;
+    os << "k=2 serve stacks committed different results (threads=1/pipeline=off vs threads="
+       << n_threads << "/pipeline=on): slot_ap "
+       << seq_diff(seq.slot_ap(), par.slot_ap());
+    out.push_back(bad("kconn.serve_parallel_equivalence", os.str()));
+  } else {
+    out.push_back(ok("kconn.serve_parallel_equivalence"));
+  }
+
+  const std::string js = ts.to_json(/*include_wall=*/false).dump();
+  const std::string jp = tp.to_json(/*include_wall=*/false).dump();
+  if (js != jp) {
+    size_t i = 0;
+    while (i < js.size() && i < jp.size() && js[i] == jp[i]) ++i;
+    std::ostringstream os;
+    os << "k=2 serve telemetry JSON diverges at byte " << i << ": ..."
+       << js.substr(i > 20 ? i - 20 : 0, 60) << "... vs ..."
+       << jp.substr(i > 20 ? i - 20 : 0, 60) << "...";
+    out.push_back(bad("kconn.serve_parallel_telemetry", os.str()));
+  } else {
+    out.push_back(ok("kconn.serve_parallel_telemetry"));
+  }
+  return out;
+}
+
 }  // namespace wmcast::chaos

@@ -136,4 +136,18 @@ std::vector<OracleResult> check_kconn_parallel(const wlan::Scenario& sc,
                                                const ctrl::ControllerConfig& cfg,
                                                int n_threads);
 
+/// Incremental kconn engine differential (DESIGN.md §16), the PR 10 gate:
+/// (a) controllers at k = 2 with the persistent incremental engine, threads 1
+/// and N, replayed over `trace` — after EVERY epoch the maintained overlay
+/// and multi-load report must be bitwise equal to a cold augment_to_k +
+/// compute_multi_loads re-derivation from the committed association, the two
+/// thread counts must agree with each other, and the engine.kconn.* counters
+/// must be thread-invariant; (b) two full ServeLoop+controller stacks at
+/// k = 2 — threads=1/pipeline=off vs threads=N/pipeline=on — must commit
+/// byte-identical state, overlay and serve-telemetry JSON (wall excluded).
+std::vector<OracleResult> check_kconn_incremental(const wlan::Scenario& sc,
+                                                  const ctrl::EventTrace& trace,
+                                                  const ctrl::ControllerConfig& cfg,
+                                                  int n_threads);
+
 }  // namespace wmcast::chaos

@@ -233,15 +233,18 @@ ReplayCheckResult run_repro(const Repro& repro) {
     out.epochs_run = repro.trace.n_epochs();
     return out;
   }
-  // k-connectivity repros replay both kconn oracles: the trace-free k=1
-  // identity sweep on the embedded scenario plus the k=2 parallel
-  // differentials over the embedded trace.
+  // k-connectivity repros replay every kconn oracle: the trace-free k=1
+  // identity sweep on the embedded scenario, the k=2 parallel differentials,
+  // and the incremental-engine-vs-cold differential over the embedded trace.
   if (repro.check.rfind("kconn.", 0) == 0) {
     ReplayCheckResult out;
     out.results = check_kconn_k1_identity(repro.scenario);
     const auto par =
         check_kconn_parallel(repro.scenario, repro.trace, cfg, repro.threads);
     out.results.insert(out.results.end(), par.begin(), par.end());
+    const auto inc = check_kconn_incremental(repro.scenario, repro.trace, cfg,
+                                             repro.threads);
+    out.results.insert(out.results.end(), inc.begin(), inc.end());
     out.epochs_run = repro.trace.n_epochs();
     return out;
   }

@@ -57,29 +57,475 @@ AssociationController::AssociationController(const wlan::Scenario& initial,
   refresh_multi(nullptr);
 }
 
+void AssociationController::kconn_mark_dirty(const NetworkState& next,
+                                             const std::vector<int>& new_slot_ap) {
+  if (cfg_.k < 2) return;
+  // Clear the previous epoch's marks (O(previous dirt), never O(network)).
+  for (const int a : kconn_dirty_aps_) kconn_ap_mark_[static_cast<size_t>(a)] = 0;
+  kconn_dirty_aps_.clear();
+  for (const int s : kconn_dirty_slots_) kconn_slot_mark_[static_cast<size_t>(s)] = 0;
+  kconn_dirty_slots_.clear();
+  kconn_settle_hint_.clear();
+  for (const int a : kconn_rescan_aps_) kconn_rescan_mark_[static_cast<size_t>(a)] = 0;
+  kconn_rescan_aps_.clear();
+  kconn_rate_changed_ = false;
+  if (!multi_valid_) return;  // nothing to repair; the first derivation is cold
+
+  for (int t = 0; t < next.n_sessions(); ++t) {
+    if (t >= state_.n_sessions() || next.session_rate(t) != state_.session_rate(t)) {
+      // Stream rates feed every plan row's budget estimate and every load
+      // fold; no local region bounds the effect. Rebuild cold.
+      kconn_rate_changed_ = true;
+      return;
+    }
+  }
+
+  if (kconn_ap_mark_.size() < static_cast<size_t>(next.n_aps())) {
+    kconn_ap_mark_.resize(static_cast<size_t>(next.n_aps()), 0);
+  }
+  if (kconn_slot_mark_.size() < static_cast<size_t>(next.n_slots())) {
+    kconn_slot_mark_.resize(static_cast<size_t>(next.n_slots()), 0);
+  }
+  if (kconn_rescan_mark_.size() < static_cast<size_t>(next.n_aps())) {
+    kconn_rescan_mark_.resize(static_cast<size_t>(next.n_aps()), 0);
+  }
+  const auto mark_ap = [&](int a) {
+    if (!kconn_ap_mark_[static_cast<size_t>(a)]) {
+      kconn_ap_mark_[static_cast<size_t>(a)] = 1;
+      kconn_dirty_aps_.push_back(a);
+    }
+  };
+  const auto mark_slot = [&](int s) {
+    if (!kconn_slot_mark_[static_cast<size_t>(s)]) {
+      kconn_slot_mark_[static_cast<size_t>(s)] = 1;
+      kconn_dirty_slots_.push_back(s);
+    }
+  };
+
+  // Persistent pmin maintenance (kconn_plan_.pmin/pcount are valid here
+  // because multi_valid_ holds and session/AP counts are epoch-stable). A
+  // hearer ARRIVING in the (a, session) adopter pool can only lower the min —
+  // an exact O(1) fold. A hearer DEPARTING can only raise it, and only if it
+  // was the LAST member sitting at the min (802.11 rates are coarsely
+  // quantized, so the min is usually shared — pcount tracks the tie), in
+  // which case the row is queued for a full rescan at refresh time (after
+  // commit, against the new projection). Everything else is an O(1) no-op.
+  // This is what lets the incremental path re-plan a dirty AP in O(sessions)
+  // instead of re-scanning its ~membership-sized CSR row.
+  const auto mark_rescan = [&](int a) {
+    if (!kconn_rescan_mark_[static_cast<size_t>(a)]) {
+      kconn_rescan_mark_[static_cast<size_t>(a)] = 1;
+      kconn_rescan_aps_.push_back(a);
+    }
+  };
+  const auto pool_departure = [&](int a, int sess, double r) {
+    const size_t at = kconn_plan_.at(a, sess);
+    if (r == kconn_plan_.pmin[at]) {
+      if (--kconn_plan_.pcount[at] == 0) mark_rescan(a);
+    }
+  };
+  const auto pool_arrival = [&](int a, int sess, double r) {
+    const size_t at = kconn_plan_.at(a, sess);
+    double& pm = kconn_plan_.pmin[at];
+    if (r < pm) {
+      pm = r;
+      kconn_plan_.pcount[at] = 1;
+    } else if (r == pm) {
+      ++kconn_plan_.pcount[at];
+    }
+  };
+
+  std::vector<std::pair<int, double>> old_links;  // (ap, rate) before a move
+  for (int s = 0; s < next.n_slots(); ++s) {
+    const UserSlot before = s < state_.n_slots() ? state_.slot(s) : UserSlot{};
+    const UserSlot& after = next.slot(s);
+    const int old_ap = static_cast<size_t>(s) < slot_ap_.size()
+                           ? slot_ap_[static_cast<size_t>(s)]
+                           : wlan::kNoAp;
+    const int new_ap = static_cast<size_t>(s) < new_slot_ap.size()
+                           ? new_slot_ap[static_cast<size_t>(s)]
+                           : wlan::kNoAp;
+    // Pool membership = base-served: the slot contributes to the
+    // potential-adopter min of every heard AP iff it is served in the base.
+    const bool old_pool = before.wants_service() && old_ap != wlan::kNoAp;
+    const bool new_pool = after.wants_service() && new_ap != wlan::kNoAp;
+    if (!(before == after)) {
+      // Invisible on both sides (e.g. a rejected admission, or a join+leave
+      // coalescing to nothing): the projection never sees the slot, so the
+      // overlay cannot depend on it. No dirt — this is what keeps
+      // quiescent-equivalent epochs on the cached overlay.
+      if (!before.wants_service() && !after.wants_service()) continue;
+      mark_slot(s);
+      if (old_ap != wlan::kNoAp) kconn_settle_hint_.push_back(old_ap);
+      if (new_ap != wlan::kNoAp && new_ap != old_ap) {
+        kconn_settle_hint_.push_back(new_ap);
+      }
+      const bool pure_move = old_pool && new_pool &&
+                             before.session == after.session;
+      if (pure_move) {
+        // A relocation of a user that stays subscribed to the same session
+        // and base-served only moves an AP's plan inputs where the DISCRETE
+        // link rate to the user changed: equal rates contribute identically
+        // to the potential-adopter mins. 802.11 rates are distance-quantized,
+        // so a short walk usually leaves most heard APs' rates — and hence
+        // their plans — untouched. This is what keeps a move's blast radius
+        // small.
+        const int sess = before.session;
+        old_links.clear();
+        state_.for_each_ap_near(before.pos, [&](int a) {
+          const double r = state_.link_rate(a, s);
+          if (r > 0.0) old_links.emplace_back(a, r);
+        });
+        next.for_each_ap_near(after.pos, [&](int a) {
+          const double rn = next.link_rate(a, s);
+          if (rn <= 0.0) return;
+          for (auto& [oa, orate] : old_links) {
+            if (oa == a) {
+              if (orate != rn) {
+                mark_ap(a);
+                pool_departure(a, sess, orate);
+                pool_arrival(a, sess, rn);
+              }
+              orate = -1.0;  // matched: not old-only
+              return;
+            }
+          }
+          mark_ap(a);  // newly in range
+          pool_arrival(a, sess, rn);
+        });
+        for (const auto& [oa, orate] : old_links) {
+          if (orate > 0.0) {
+            mark_ap(oa);  // dropped out of range
+            pool_departure(oa, sess, orate);
+          }
+        }
+        // A forced handoff on top of the move changes both groups' base
+        // memberships (and hence base tx / load of both primaries).
+        if (old_ap != new_ap) {
+          mark_ap(old_ap);
+          mark_ap(new_ap);
+        }
+        continue;
+      }
+      // Joins, leaves, zaps, (un)subscribes and serve-status flips change the
+      // slot's base-served status or session: every AP that could hear it
+      // before or after has its potential-adopter mins moved.
+      if (before.wants_service()) {
+        state_.for_each_ap_near(before.pos, [&](int a) {
+          const double r = state_.link_rate(a, s);
+          if (r <= 0.0) return;
+          mark_ap(a);
+          if (old_pool) pool_departure(a, before.session, r);
+        });
+      }
+      if (after.wants_service()) {
+        next.for_each_ap_near(after.pos, [&](int a) {
+          const double r = next.link_rate(a, s);
+          if (r <= 0.0) return;
+          mark_ap(a);
+          if (new_pool) pool_arrival(a, after.session, r);
+        });
+      }
+      continue;
+    }
+    if (old_ap == new_ap) continue;
+    // Same record, different committed primary: the slot's served-set must be
+    // re-derived and the stream plans of the affected APs re-planned.
+    mark_slot(s);
+    if (old_ap != wlan::kNoAp) kconn_settle_hint_.push_back(old_ap);
+    if (new_ap != wlan::kNoAp) kconn_settle_hint_.push_back(new_ap);
+    if (old_ap != wlan::kNoAp && new_ap != wlan::kNoAp) {
+      // A handoff moves the user between two multicast groups; other heard
+      // APs see the same base-served hearer as before — and the adopter pools
+      // key on served-ness, not the primary, so pmin is untouched everywhere.
+      mark_ap(old_ap);
+      mark_ap(new_ap);
+    } else {
+      // Served <-> unserved flips the slot's base-served status, which feeds
+      // the potential-adopter min of EVERY heard AP's silent streams. The
+      // record did not change, so old and new link rates coincide.
+      state_.for_each_ap_near(before.pos, [&](int a) {
+        const double r = state_.link_rate(a, s);
+        if (r <= 0.0) return;
+        mark_ap(a);
+        if (old_ap != wlan::kNoAp) {
+          pool_departure(a, before.session, r);
+        } else {
+          pool_arrival(a, before.session, r);
+        }
+      });
+    }
+  }
+  std::sort(kconn_dirty_aps_.begin(), kconn_dirty_aps_.end());
+  std::sort(kconn_dirty_slots_.begin(), kconn_dirty_slots_.end());
+}
+
 void AssociationController::refresh_multi(EpochReport* rep) {
   if (cfg_.k < 2) return;
-  // Quiescent epochs (no applied events, no committed AP changes) keep the
-  // cached overlay: it is a pure function of (compact_sc_, committed
-  // association), neither of which moved.
-  const bool dirty = !multi_valid_ || rep == nullptr || rep->events_applied > 0 ||
-                     rep->reassociations > 0;
-  if (dirty) {
-    wlan::Association row_assoc = wlan::Association::none(compact_sc_.n_users());
-    for (int r = 0; r < compact_sc_.n_users(); ++r) {
-      row_assoc.user_ap[static_cast<size_t>(r)] =
-          slot_ap_[static_cast<size_t>(row_slot_[static_cast<size_t>(r)])];
+  // Every exit path (quiescent, cold, incremental) accumulates into
+  // kconn_seconds_ so benches can isolate the overlay step's cost.
+  struct Timer {
+    double* acc;
+    std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+    ~Timer() {
+      *acc += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
     }
-    kconn_ctx_.build(compact_sc_, cfg_.multi_rate);
-    assoc::KconnParams kp;
-    kp.k = cfg_.k;
-    kp.multi_rate = cfg_.multi_rate;
-    kp.enforce_budget = cfg_.enforce_budget;
-    multi_assoc_ =
-        assoc::augment_to_k(compact_sc_, kconn_ctx_.engine, row_assoc, loads_, kp);
-    multi_loads_ = wlan::compute_multi_loads(compact_sc_, multi_assoc_, cfg_.multi_rate);
-    multi_valid_ = true;
+  } timer{&kconn_seconds_};
+  const int n = compact_sc_.n_users();
+  const int n_aps = compact_sc_.n_aps();
+
+  // kconn-quiescent epoch: nothing the overlay reads moved (no visible record
+  // change, no committed AP change, no rate change), so the cached overlay,
+  // tx table and load report are all still exact — including across rejected
+  // admissions and other invisible-slot churn.
+  if (multi_valid_ && !kconn_rate_changed_ && kconn_dirty_aps_.empty() &&
+      kconn_dirty_slots_.empty()) {
+    if (rep != nullptr) {
+      rep->multi_served_users = multi_loads_.multi_served_users;
+      rep->mean_effective_rate = multi_loads_.mean_effective_rate;
+    }
+    return;
   }
+
+  assoc::KconnParams kp;
+  kp.k = cfg_.k;
+  kp.multi_rate = cfg_.multi_rate;
+  kp.enforce_budget = cfg_.enforce_budget;
+
+  // The committed primary view in this epoch's row space.
+  wlan::Association row_assoc = wlan::Association::none(n);
+  for (int r = 0; r < n; ++r) {
+    row_assoc.user_ap[static_cast<size_t>(r)] =
+        slot_ap_[static_cast<size_t>(row_slot_[static_cast<size_t>(r)])];
+  }
+
+  if (kconn_plan_.n_aps != n_aps ||
+      kconn_plan_.n_sessions != compact_sc_.n_sessions()) {
+    kconn_plan_.resize(n_aps, compact_sc_.n_sessions());
+    kconn_tx_.assign(static_cast<size_t>(n_aps),
+                     std::vector<double>(
+                         static_cast<size_t>(compact_sc_.n_sessions()), 0.0));
+  }
+  if (kconn_served_.size() < static_cast<size_t>(state_.n_slots())) {
+    kconn_served_.resize(static_cast<size_t>(state_.n_slots()));
+  }
+  if (kconn_lanes_.size() < static_cast<size_t>(pool_.size())) {
+    kconn_lanes_.resize(static_cast<size_t>(pool_.size()));
+  }
+
+  const bool cold =
+      !multi_valid_ || kconn_rate_changed_ || !cfg_.kconn_incremental;
+  if (cold) {
+    // Serial full re-derivation: plan every AP, derive every row, settle
+    // every AP. This is the reference the chaos oracle and the bench cold leg
+    // compare the incremental path against.
+    for (int a = 0; a < n_aps; ++a) {
+      assoc::kconn_plan_ap(compact_sc_, row_assoc, loads_, kp, a, kconn_plan_);
+    }
+    if (multi_assoc_.n_users() != n) multi_assoc_.user_aps.resize(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      assoc::kconn_derive_user(compact_sc_, row_assoc, kconn_plan_, kp, r,
+                               multi_assoc_.user_aps[static_cast<size_t>(r)],
+                               kconn_lanes_[0]);
+    }
+    for (auto& served : kconn_served_) served.clear();
+    for (int r = 0; r < n; ++r) {
+      kconn_served_[static_cast<size_t>(row_slot_[static_cast<size_t>(r)])] =
+          multi_assoc_.user_aps[static_cast<size_t>(r)];
+    }
+    for (int a = 0; a < n_aps; ++a) {
+      assoc::kconn_settle_ap(compact_sc_, loads_, kp, kconn_plan_, multi_assoc_,
+                             a, kconn_tx_[static_cast<size_t>(a)].data());
+    }
+    tele_.engine_kconn_rebuilds.inc();
+    if (rep != nullptr) rep->kconn_rebuild = true;
+  } else {
+    // Incremental dirty-region repair (DESIGN.md §16). Correctness rests on
+    // the marking invariants (kconn_mark_dirty): every AP whose plan inputs
+    // moved is in kconn_dirty_aps_ with its pmin row delta-maintained (or
+    // queued for rescan), and every slot whose served-set inputs moved is in
+    // kconn_dirty_slots_ or hears a changed plan row.
+    //
+    // 1. Refresh the plan rows of the dirty APs: rescan the pmin row only
+    //    where a departure delta may have removed the min, then re-derive
+    //    advert/startable in O(sessions) from the maintained pmin. Track
+    //    which (AP, session) plan entries actually CHANGED: derivation reads
+    //    nothing of an AP but its plan entries for the user's own session, so
+    //    a dirty AP whose re-planned entry is bitwise unchanged cannot move
+    //    any clean hearer's served-set (hearers whose own heard-set, links or
+    //    primary moved have dirty slots and enter U through them). This is
+    //    what keeps the blast radius of a move — which dirties every AP in
+    //    hearing range — from pulling the whole neighborhood into U.
+    const int n_sessions = compact_sc_.n_sessions();
+    std::vector<int> changed_aps;
+    std::vector<std::pair<int, int>> changed_pairs;  // (ap, session), ap-major
+    std::vector<double> prev_advert(static_cast<size_t>(n_sessions));
+    std::vector<char> prev_startable(static_cast<size_t>(n_sessions));
+    for (const int a : kconn_dirty_aps_) {
+      const size_t row = kconn_plan_.at(a, 0);
+      std::copy_n(kconn_plan_.advert.begin() + static_cast<ptrdiff_t>(row),
+                  n_sessions, prev_advert.begin());
+      std::copy_n(kconn_plan_.startable.begin() + static_cast<ptrdiff_t>(row),
+                  n_sessions, prev_startable.begin());
+      if (kconn_rescan_mark_[static_cast<size_t>(a)]) {
+        assoc::kconn_scan_pmin(compact_sc_, row_assoc, a, kconn_plan_);
+      }
+      assoc::kconn_plan_from_pmin(compact_sc_, loads_, kp, a, kconn_plan_);
+      bool changed = false;
+      for (int s = 0; s < n_sessions; ++s) {
+        if (kconn_plan_.advert[row + static_cast<size_t>(s)] !=
+                prev_advert[static_cast<size_t>(s)] ||
+            kconn_plan_.startable[row + static_cast<size_t>(s)] !=
+                prev_startable[static_cast<size_t>(s)]) {
+          changed_pairs.emplace_back(a, s);
+          changed = true;
+        }
+      }
+      if (changed) changed_aps.push_back(a);
+    }
+
+    // 2. The dirty rows U: rows of dirty slots, plus rows hearing a changed
+    //    (AP, session) plan entry FOR THEIR OWN SESSION (a served-set can
+    //    only contain heard APs, a user only reads its session's plan
+    //    entries, and a clean slot's heard-set did not change — so U covers
+    //    every row whose derivation inputs moved).
+    std::vector<int> slot_row(static_cast<size_t>(state_.n_slots()), -1);
+    for (int r = 0; r < n; ++r) {
+      slot_row[static_cast<size_t>(row_slot_[static_cast<size_t>(r)])] = r;
+    }
+    std::vector<char> row_dirty(static_cast<size_t>(n), 0);
+    for (const int s : kconn_dirty_slots_) {
+      if (s < static_cast<int>(slot_row.size()) &&
+          slot_row[static_cast<size_t>(s)] >= 0) {
+        row_dirty[static_cast<size_t>(slot_row[static_cast<size_t>(s)])] = 1;
+      }
+    }
+    for (size_t i = 0; i < changed_pairs.size();) {
+      const int a = changed_pairs[i].first;
+      size_t j = i;
+      while (j < changed_pairs.size() && changed_pairs[j].first == a) ++j;
+      const wlan::IndexSpan members = compact_sc_.users_of_ap(a);
+      for (size_t m = 0; m < members.size(); ++m) {
+        const int r = members[m];
+        if (row_dirty[static_cast<size_t>(r)]) continue;
+        const int us = compact_sc_.user_session(r);
+        for (size_t t = i; t < j; ++t) {
+          if (changed_pairs[t].second == us) {
+            row_dirty[static_cast<size_t>(r)] = 1;
+            break;
+          }
+        }
+      }
+      i = j;
+    }
+    std::vector<int> dirty_rows;
+    for (int r = 0; r < n; ++r) {
+      if (row_dirty[static_cast<size_t>(r)]) dirty_rows.push_back(r);
+    }
+
+    // 3. Settle set: every AP whose settle inputs can have moved — a changed
+    //    plan row (changed_aps), a changed base tx / membership (the old and
+    //    new primaries of dirty slots, collected by kconn_mark_dirty), or a
+    //    changed adopter contribution: the old served-sets of DEPARTED dirty
+    //    slots (whose store entries are retired here); surviving rows mark
+    //    after derivation, and only when their adopter contribution actually
+    //    moved. A dirty AP outside these sets kept its plan row, base tx,
+    //    members' links and members' serves, so its settled tx row is
+    //    unchanged by construction.
+    std::vector<char> settle_mark(static_cast<size_t>(n_aps), 0);
+    std::vector<int> settle_aps;
+    const auto mark_settle = [&](int a) {
+      if (!settle_mark[static_cast<size_t>(a)]) {
+        settle_mark[static_cast<size_t>(a)] = 1;
+        settle_aps.push_back(a);
+      }
+    };
+    for (const int a : changed_aps) mark_settle(a);
+    for (const int a : kconn_settle_hint_) mark_settle(a);
+    for (const int s : kconn_dirty_slots_) {
+      if (static_cast<size_t>(s) >= kconn_served_.size()) continue;
+      const bool departed = s >= static_cast<int>(slot_row.size()) ||
+                            slot_row[static_cast<size_t>(s)] < 0;
+      if (!departed) continue;
+      for (const int a : kconn_served_[static_cast<size_t>(s)]) mark_settle(a);
+      kconn_served_[static_cast<size_t>(s)].clear();
+    }
+
+    // 4. Rebuild the row-space overlay: carried rows copy their slot's stored
+    //    served-set; dirty rows are re-derived in parallel over AP-connected
+    //    components (disjoint row sets -> disjoint writes, fixed task order
+    //    -> bitwise identical at any thread count; per-phase inputs are all
+    //    read-only).
+    if (multi_assoc_.n_users() != n) multi_assoc_.user_aps.resize(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      if (!row_dirty[static_cast<size_t>(r)]) {
+        multi_assoc_.user_aps[static_cast<size_t>(r)] =
+            kconn_served_[static_cast<size_t>(row_slot_[static_cast<size_t>(r)])];
+      }
+    }
+    ComponentTasks tasks;
+    std::vector<int> isolated;
+    build_component_tasks(compact_sc_, dirty_rows, tasks, isolated);
+    pool_.parallel_for(
+        0, static_cast<int64_t>(tasks.order.size()),
+        [&](int64_t b, int64_t e, int lane) {
+          for (int64_t i = b; i < e; ++i) {
+            const int t = tasks.order[static_cast<size_t>(i)];
+            for (const int r : tasks.rows[static_cast<size_t>(t)]) {
+              assoc::kconn_derive_user(
+                  compact_sc_, row_assoc, kconn_plan_, kp, r,
+                  multi_assoc_.user_aps[static_cast<size_t>(r)],
+                  kconn_lanes_[static_cast<size_t>(lane)]);
+            }
+          }
+        });
+    for (const int r : isolated) {
+      assoc::kconn_derive_user(compact_sc_, row_assoc, kconn_plan_, kp, r,
+                               multi_assoc_.user_aps[static_cast<size_t>(r)],
+                               kconn_lanes_[0]);
+    }
+    // Re-derived rows settle-mark their old AND new served APs — but only
+    // when the adopter contribution moved: a row pulled into U by a changed
+    // plan entry that re-derives the identical served-set, with its record
+    // (and hence its link rates) untouched, contributes the same rate to the
+    // same adopter mins as before. Dirty SLOTS always mark: their links may
+    // have changed even where the served-set did not.
+    for (const int r : dirty_rows) {
+      const int s = row_slot_[static_cast<size_t>(r)];
+      auto& stored = kconn_served_[static_cast<size_t>(s)];
+      const auto& fresh = multi_assoc_.user_aps[static_cast<size_t>(r)];
+      const bool slot_dirty = static_cast<size_t>(s) < kconn_slot_mark_.size() &&
+                              kconn_slot_mark_[static_cast<size_t>(s)] != 0;
+      if (slot_dirty || stored != fresh) {
+        for (const int a : stored) mark_settle(a);
+        for (const int a : fresh) mark_settle(a);
+        stored = fresh;
+      }
+    }
+
+    // 5. Re-settle only the touched APs; every other tx row's inputs (its
+    //    members, their served flags, its base tx and plan row) are unmoved.
+    for (const int a : settle_aps) {
+      assoc::kconn_settle_ap(compact_sc_, loads_, kp, kconn_plan_, multi_assoc_,
+                             a, kconn_tx_[static_cast<size_t>(a)].data());
+    }
+
+    tele_.engine_kconn_repairs.inc();
+    tele_.engine_kconn_repaired_users.inc(dirty_rows.size());
+    tele_.engine_kconn_carried_users.inc(static_cast<uint64_t>(n) -
+                                         dirty_rows.size());
+    if (rep != nullptr) {
+      rep->kconn_repaired_users = static_cast<int>(dirty_rows.size());
+      rep->kconn_carried_users = n - static_cast<int>(dirty_rows.size());
+    }
+  }
+
+  // 6. Fold the settled tx table into the load report in the reference
+  //    accumulation order — bitwise identical to compute_multi_loads on both
+  //    paths.
+  multi_loads_ = assoc::kconn_collect_loads(compact_sc_, multi_assoc_, kconn_tx_);
+  multi_valid_ = true;
   if (rep != nullptr) {
     rep->multi_served_users = multi_loads_.multi_served_users;
     rep->mean_effective_rate = multi_loads_.mean_effective_rate;
@@ -628,6 +1074,10 @@ EpochReport AssociationController::drain() {
   if (sc.n_users() == 0) baseline_load_ = 0.0;
 
   // --- 7. commit. ----------------------------------------------------------
+  // Translate the epoch's deltas into kconn dirty marks first: the marking
+  // needs the pre-commit state/projection (old heard-sets) alongside the
+  // final candidate association.
+  kconn_mark_dirty(next, cand_slot);
   state_ = std::move(next);
   slot_ap_ = std::move(cand_slot);
   compact_sc_ = std::move(sc);

@@ -29,7 +29,6 @@
 #include <string>
 #include <vector>
 
-#include "wmcast/assoc/centralized.hpp"
 #include "wmcast/assoc/kconn.hpp"
 #include "wmcast/assoc/local_search.hpp"
 #include "wmcast/assoc/solution.hpp"
@@ -113,15 +112,22 @@ struct ControllerConfig {
   /// the sequential path. The repaired association is bitwise identical at
   /// any thread count.
   bool shard_repair = true;
-  /// Maximum serving APs per user (DESIGN.md §15). 1 = the paper's single-AP
-  /// model: nothing changes, bit for bit. k >= 2 maintains a k-connectivity
-  /// overlay (multi_assoc()/multi_loads()) on top of the committed primary
-  /// association: after each non-quiescent epoch the serial kconn
-  /// augmentation re-derives every served user's AP set from the committed
-  /// association — a dirty user's whole served-set is the repair unit, never
-  /// a lone secondary link. The committed primary association, loads and
-  /// telemetry JSON are unchanged at any k.
+  /// Maximum serving APs per user (DESIGN.md §15-16). 1 = the paper's
+  /// single-AP model: nothing changes, bit for bit. k >= 2 maintains a
+  /// k-connectivity overlay (multi_assoc()/multi_loads()) on top of the
+  /// committed primary association — a dirty user's whole served-set is the
+  /// repair unit, never a lone secondary link. The committed primary
+  /// association and loads are unchanged at any k.
   int k = 1;
+  /// Maintain the k >= 2 overlay incrementally (DESIGN.md §16): the stream
+  /// plan, served-set store and settled tx table persist across epochs and
+  /// only the dirty region — users whose served-set intersects a dirty AP or
+  /// who moved/churned — is re-derived, in parallel over AP-connected
+  /// components of the pool. Bitwise identical to the cold re-derivation at
+  /// any thread count (the chaos kconn-incremental oracle byte-checks this).
+  /// false = re-derive the whole overlay every non-quiescent epoch (the cold
+  /// reference path, kept for benches and differential tests).
+  bool kconn_incremental = true;
   /// Defer coverage-engine group rebuilds until a full solve actually needs
   /// the engine: each drain runs only the cheap dirty-marking pass, and the
   /// accumulated marks flush right before the next full solve. Epochs that
@@ -169,6 +175,13 @@ struct EpochReport {
   // k-connectivity overlay after this epoch (zeros when cfg.k == 1).
   int multi_served_users = 0;
   double mean_effective_rate = 0.0;
+  // Overlay maintenance this epoch: users re-derived vs carried untouched by
+  // the dirty-region repair, and whether a cold full re-derivation ran. A
+  // kconn-quiescent epoch (nothing dirty) reports all zeros and keeps the
+  // cached overlay.
+  int kconn_repaired_users = 0;
+  int kconn_carried_users = 0;
+  bool kconn_rebuild = false;
 };
 
 class AssociationController {
@@ -202,6 +215,12 @@ class AssociationController {
   const wlan::MultiAssociation& multi_assoc() const { return multi_assoc_; }
   const wlan::MultiLoadReport& multi_loads() const { return multi_loads_; }
   int k() const { return cfg_.k; }
+  /// Cumulative wall seconds spent in refresh_multi (overlay repair/rebuild),
+  /// including the constructor's cold build. Diagnostics for benches that
+  /// isolate the overlay step from base repair; deliberately NOT part of
+  /// telemetry so modeled-serve telemetry stays a pure function of the
+  /// workload (the CI byte-diff legs depend on that).
+  double kconn_seconds() const { return kconn_seconds_; }
 
   Telemetry& telemetry() { return tele_; }
   const Telemetry& telemetry() const { return tele_; }
@@ -239,9 +258,24 @@ class AssociationController {
   /// epoch report, when given).
   void sync_engine_stats(EpochReport* rep);
   /// Re-derives the k-connectivity overlay from the committed association
-  /// (no-op at k == 1; quiescent epochs reuse the cached overlay). Called
-  /// with null from the constructor, with the epoch report from drain().
+  /// (no-op at k == 1; kconn-quiescent epochs reuse the cached overlay).
+  /// Called with null from the constructor, with the epoch report from
+  /// drain(). Cold path (first derivation, session-rate change, or
+  /// cfg_.kconn_incremental off): serial full re-derivation. Incremental
+  /// path: re-plan dirty APs, re-derive only dirty rows (in parallel over
+  /// AP-connected components), carry every other slot's served-set from
+  /// kconn_served_, re-settle only touched APs. Both paths produce bitwise
+  /// identical overlays and load reports.
   void refresh_multi(EpochReport* rep);
+  /// Translates this epoch's applied slot deltas into kconn dirty marks
+  /// (dirty APs whose stream plan may change + dirty slots whose served-set
+  /// must be re-derived). Runs during drain() while the PRE-commit state_
+  /// / compact_sc_ / row_slot_ and the post-epoch `next` / `new_slot_ap`
+  /// coexist, because old heard-sets come from the old projection. A
+  /// session-rate change sets kconn_rate_changed_ (cold rebuild: rates feed
+  /// every stream's cost and advertised floor).
+  void kconn_mark_dirty(const NetworkState& next,
+                        const std::vector<int>& new_slot_ap);
 
   ControllerConfig cfg_;
   NetworkState state_;
@@ -273,14 +307,27 @@ class AssociationController {
   bool engine_flush_pending_ = false;
   std::vector<int> slot_row_;
 
-  // k-connectivity overlay state (cfg_.k >= 2 only). The overlay engine is a
-  // private row-space context built over compact_sc_ — NOT the lazily
-  // refreshed slot-space engine_ above, whose deferred marks could propose
-  // stale out-of-range links between flushes.
-  assoc::EngineContext kconn_ctx_;
+  // k-connectivity overlay state (cfg_.k >= 2 only). The persistent engine
+  // (DESIGN.md §16) keys its cross-epoch stores by what is stable across
+  // epochs: the stream plan and settled tx by AP, the served-sets by slot
+  // (rows are remapped every epoch; multi_assoc_'s row-space view is rebuilt
+  // O(n·k) from kconn_served_ after each repair).
   wlan::MultiAssociation multi_assoc_;
   wlan::MultiLoadReport multi_loads_;
   bool multi_valid_ = false;
+  assoc::KconnPlan kconn_plan_;                 // [ap][session] advert/startable
+  std::vector<std::vector<double>> kconn_tx_;   // settled tx, [ap][session]
+  std::vector<std::vector<int>> kconn_served_;  // served APs by SLOT (sorted)
+  std::vector<int> kconn_dirty_aps_;            // this epoch's dirty APs
+  std::vector<char> kconn_ap_mark_;
+  std::vector<int> kconn_dirty_slots_;          // slots to re-derive
+  std::vector<char> kconn_slot_mark_;
+  bool kconn_rate_changed_ = false;             // forces a cold rebuild
+  std::vector<int> kconn_settle_hint_;          // old/new primaries of dirty slots
+  std::vector<int> kconn_rescan_aps_;           // pmin rows needing a full rescan
+  std::vector<char> kconn_rescan_mark_;
+  std::vector<assoc::KconnScratch> kconn_lanes_;  // per-pool-lane derive scratch
+  double kconn_seconds_ = 0.0;                  // cumulative refresh_multi wall time
 };
 
 }  // namespace wmcast::ctrl

@@ -305,4 +305,55 @@ void repair_sharded(const wlan::Scenario& sc, std::vector<int>& user_ap,
   });
 }
 
+void build_component_tasks(const wlan::Scenario& sc,
+                           const std::vector<int>& dirty_rows,
+                           ComponentTasks& tasks, std::vector<int>& isolated) {
+  tasks.rows.clear();
+  tasks.order.clear();
+  isolated.clear();
+  const int n_aps = sc.n_aps();
+  std::vector<int> parent(static_cast<size_t>(n_aps));
+  for (int a = 0; a < n_aps; ++a) parent[static_cast<size_t>(a)] = a;
+  for (const int u : dirty_rows) {
+    const auto nb = sc.aps_of_user(u);
+    for (size_t i = 1; i < nb.size(); ++i) unite(parent, nb[0], nb[i]);
+  }
+
+  // One task per component root with work. unite() always parents to the
+  // smaller id, so a component's root IS its lowest united AP — the task key.
+  std::vector<int> task_of_root(static_cast<size_t>(n_aps), -1);
+  std::vector<int> task_key;
+  for (const int u : dirty_rows) {
+    const auto nb = sc.aps_of_user(u);
+    if (nb.empty()) {
+      isolated.push_back(u);
+      continue;
+    }
+    const int r = find_root(parent, nb[0]);
+    int& t = task_of_root[static_cast<size_t>(r)];
+    if (t < 0) {
+      t = static_cast<int>(tasks.rows.size());
+      tasks.rows.emplace_back();
+      task_key.push_back(r);
+    }
+    tasks.rows[static_cast<size_t>(t)].push_back(u);
+  }
+
+  const int n_tasks = static_cast<int>(tasks.rows.size());
+  tasks.order.resize(static_cast<size_t>(n_tasks));
+  for (int t = 0; t < n_tasks; ++t) tasks.order[static_cast<size_t>(t)] = t;
+  const auto& pos = sc.ap_positions();
+  if (pos.size() >= static_cast<size_t>(n_aps) && n_aps > 0) {
+    const auto& grid = sc.ap_grid();
+    std::sort(tasks.order.begin(), tasks.order.end(), [&](int x, int y) {
+      const int ax = task_key[static_cast<size_t>(x)];
+      const int ay = task_key[static_cast<size_t>(y)];
+      const int64_t kx = grid.cell_key(pos[static_cast<size_t>(ax)]);
+      const int64_t ky = grid.cell_key(pos[static_cast<size_t>(ay)]);
+      if (kx != ky) return kx < ky;
+      return ax < ay;
+    });
+  }
+}
+
 }  // namespace wmcast::ctrl

@@ -80,4 +80,21 @@ void repair_sharded(const wlan::Scenario& sc, std::vector<int>& user_ap,
                     std::vector<RepairLaneWorkspace>& lanes,
                     RepairShardStats* stats = nullptr);
 
+/// AP-connected component tasks over an arbitrary dirty-row set — the same
+/// union-find partition repair_sharded builds internally, exposed for the
+/// k-connectivity overlay repair (ctrl/controller.cpp), whose per-user
+/// derivations read only the rows' heard APs. rows[t] lists each task's rows
+/// in ascending order; order[] is the deterministic dispatch order (grid cell
+/// of the component's lowest AP, then lowest AP id — a pure function of the
+/// AP layout, so any consumer iterating tasks in this order is
+/// thread-invariant). Rows with an empty heard-set are appended to
+/// `isolated` instead of any task.
+struct ComponentTasks {
+  std::vector<std::vector<int>> rows;
+  std::vector<int> order;
+};
+void build_component_tasks(const wlan::Scenario& sc,
+                           const std::vector<int>& dirty_rows,
+                           ComponentTasks& tasks, std::vector<int>& isolated);
+
 }  // namespace wmcast::ctrl

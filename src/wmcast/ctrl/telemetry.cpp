@@ -82,6 +82,14 @@ util::Json Telemetry::to_json() const {
                static_cast<int64_t>(engine_parallel_repair_shards.value()));
   parallel.set("repair_imbalance", engine_parallel_repair_imbalance.value());
   engine.set("parallel", std::move(parallel));
+  util::Json kconn = util::Json::object();
+  kconn.set("repairs", static_cast<int64_t>(engine_kconn_repairs.value()));
+  kconn.set("repaired_users",
+            static_cast<int64_t>(engine_kconn_repaired_users.value()));
+  kconn.set("carried_users",
+            static_cast<int64_t>(engine_kconn_carried_users.value()));
+  kconn.set("engine_rebuilds", static_cast<int64_t>(engine_kconn_rebuilds.value()));
+  engine.set("kconn", std::move(kconn));
   counters.set("engine", std::move(engine));
 
   util::Json gauges = util::Json::object();
@@ -143,6 +151,10 @@ std::string Telemetry::to_text() const {
   line("engine_parallel_tasks", engine_parallel_tasks.value());
   line("engine_parallel_repair_calls", engine_parallel_repair_calls.value());
   line("engine_parallel_repair_shards", engine_parallel_repair_shards.value());
+  line("engine_kconn_repairs", engine_kconn_repairs.value());
+  line("engine_kconn_repaired_users", engine_kconn_repaired_users.value());
+  line("engine_kconn_carried_users", engine_kconn_carried_users.value());
+  line("engine_kconn_rebuilds", engine_kconn_rebuilds.value());
   out += "gauges:\n";
   const auto gline = [&](const char* k, double v) {
     std::snprintf(buf, sizeof(buf), "  %-24s %s\n", k, util::fmt(v, 4).c_str());

@@ -85,6 +85,14 @@ struct Telemetry {
   Counter engine_parallel_repair_calls;   // sharded repair invocations
   Counter engine_parallel_repair_shards;  // repair tasks dispatched across them
 
+  // Persistent k-connectivity engine accounting (DESIGN.md §16; additive keys
+  // under counters.engine.kconn). Thread-invariant: dirty regions are a pure
+  // function of the applied state deltas, never of the pool schedule.
+  Counter engine_kconn_repairs;         // dirty-region overlay repairs
+  Counter engine_kconn_repaired_users;  // users re-derived across them
+  Counter engine_kconn_carried_users;   // users carried untouched across them
+  Counter engine_kconn_rebuilds;        // cold full re-derivations
+
   // Gauges (state as of the last committed epoch).
   Gauge users_present;
   Gauge users_subscribed;

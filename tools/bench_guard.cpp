@@ -6,15 +6,22 @@
 //
 // Run: ./bench_guard --baseline=bench/BENCH_micro_solvers.json
 //                    --current=out.json [--tolerance=0.25] [--min-ns=50000]
-//                    [--only=<prefix>] [--require-speedup=K]
+//                    [--only=<name>] [--gate-prefix=<prefix>]
+//                    [--require-speedup=K]
 //
 // Exit code: 0 = all within tolerance, 1 = regression (or malformed input).
 // Benchmarks faster than --min-ns in the baseline are reported but never
 // fail the run: at that scale timer noise dominates any real change.
 //
-//  --only=<prefix>      gate only benchmarks whose name starts with <prefix>
-//                       (e.g. --only=kernel. or --only=scale_build/mla_solve);
-//                       everything else is ignored entirely
+//  --only=<name>        gate exactly the benchmark named <name> (e.g.
+//                       --only=kconn.repair_epoch); everything else is
+//                       ignored entirely. Exact match — a speedup gate aimed
+//                       at one arm must not silently swallow siblings that
+//                       later land under the same prefix.
+//  --gate-prefix=<pfx>  gate every benchmark whose name starts with <pfx>
+//                       (e.g. --gate-prefix=kernel. or
+//                       --gate-prefix=scale_build/mla_solve/). Mutually
+//                       exclusive with --only.
 //  --require-speedup=K  in addition to the regression gate, fail any selected
 //                       benchmark that is not >= K times FASTER than its
 //                       baseline entry — CI points this at a pre-optimization
@@ -82,22 +89,29 @@ std::map<std::string, Entry> load_times(const std::string& path, int* threads) {
 int main(int argc, char** argv) {
   try {
     const wmcast::util::Args args(argc, argv);
-    args.reject_unknown(
-        {"baseline", "current", "min-ns", "tolerance", "only", "require-speedup"});
+    args.reject_unknown({"baseline", "current", "min-ns", "tolerance", "only",
+                         "gate-prefix", "require-speedup"});
     const std::string baseline_path = args.get("baseline", "");
     const std::string current_path = args.get("current", "");
     const double tolerance = args.get_double("tolerance", 0.25);
     const double min_ns = args.get_double("min-ns", 50000.0);
     const std::string only = args.get("only", "");
+    const std::string gate_prefix = args.get("gate-prefix", "");
     const double require_speedup = args.get_double("require-speedup", 0.0);
     if (baseline_path.empty() || current_path.empty()) {
       std::fprintf(stderr, "usage: bench_guard --baseline=A.json --current=B.json "
-                           "[--tolerance=0.25] [--min-ns=50000] [--only=prefix] "
-                           "[--require-speedup=K]\n");
+                           "[--tolerance=0.25] [--min-ns=50000] [--only=name] "
+                           "[--gate-prefix=prefix] [--require-speedup=K]\n");
+      return 1;
+    }
+    if (!only.empty() && !gate_prefix.empty()) {
+      std::fprintf(stderr,
+                   "bench_guard: --only and --gate-prefix are mutually exclusive\n");
       return 1;
     }
     const auto selected = [&](const std::string& name) {
-      return only.empty() || name.rfind(only, 0) == 0;
+      if (!only.empty()) return name == only;
+      return gate_prefix.empty() || name.rfind(gate_prefix, 0) == 0;
     };
 
     int baseline_threads = 0;
@@ -115,7 +129,10 @@ int main(int argc, char** argv) {
     int regressions = 0;
     int missing = 0;
     int matched = 0;
-    if (!only.empty()) std::printf("gating only benchmarks matching '%s*'\n\n", only.c_str());
+    if (!only.empty()) std::printf("gating only the benchmark named '%s'\n\n", only.c_str());
+    if (!gate_prefix.empty()) {
+      std::printf("gating only benchmarks matching '%s*'\n\n", gate_prefix.c_str());
+    }
     std::printf("%-40s %14s %14s %8s\n", "benchmark", "baseline_ns", "current_ns",
                 "delta");
     for (const auto& [name, base] : baseline) {
@@ -167,9 +184,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (!only.empty() && matched == 0) {
-      std::printf("\nno baseline benchmark matches --only=%s — nothing was gated; "
-                  "treating as failure.\n", only.c_str());
+    if ((!only.empty() || !gate_prefix.empty()) && matched == 0) {
+      std::printf("\nno baseline benchmark matches %s=%s — nothing was gated; "
+                  "treating as failure.\n", only.empty() ? "--gate-prefix" : "--only",
+                  only.empty() ? gate_prefix.c_str() : only.c_str());
       return 1;
     }
     if (missing > 0) {
